@@ -1,0 +1,126 @@
+//! Ablation benches for the design choices DESIGN.md calls out: congestion
+//! modelling, coarsening target, refinement passes, and joint scheduling
+//! vs placement-only. Each bench measures the *end-to-end pipeline* on a
+//! reduced RNNLM so relative timings are meaningful.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pesto::graph::Cluster;
+use pesto::models::ModelSpec;
+use pesto::{Pesto, PestoConfig};
+use std::hint::black_box;
+
+fn small_config() -> PestoConfig {
+    PestoConfig {
+        coarsen_target: 64,
+        placer: pesto::ilp::PlacerConfig {
+            hybrid: pesto::ilp::HybridConfig {
+                iterations: 200,
+                restarts: 1,
+                ..pesto::ilp::HybridConfig::default()
+            },
+            ..pesto::ilp::PlacerConfig::default()
+        },
+        refinement_passes: 1,
+        ..PestoConfig::default()
+    }
+}
+
+fn ablate_congestion(c: &mut Criterion) {
+    let graph = ModelSpec::rnnlm(1, 64).generate_scaled(4, 1, 0.25);
+    let cluster = Cluster::two_gpus();
+    let mut group = c.benchmark_group("ablate_congestion");
+    for aware in [false, true] {
+        group.bench_with_input(BenchmarkId::from_parameter(aware), &aware, |b, &aware| {
+            let config = PestoConfig {
+                congestion_aware: aware,
+                ..small_config()
+            };
+            b.iter(|| {
+                black_box(
+                    Pesto::new(config.clone())
+                        .place(&graph, &cluster)
+                        .unwrap()
+                        .makespan_us,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablate_coarsen_target(c: &mut Criterion) {
+    let graph = ModelSpec::rnnlm(1, 64).generate_scaled(4, 1, 0.25);
+    let cluster = Cluster::two_gpus();
+    let mut group = c.benchmark_group("ablate_coarsen_target");
+    for target in [32usize, 128, 512] {
+        group.bench_with_input(BenchmarkId::from_parameter(target), &target, |b, &target| {
+            let config = PestoConfig {
+                coarsen_target: target,
+                ..small_config()
+            };
+            b.iter(|| {
+                black_box(
+                    Pesto::new(config.clone())
+                        .place(&graph, &cluster)
+                        .unwrap()
+                        .makespan_us,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablate_refinement(c: &mut Criterion) {
+    let graph = ModelSpec::rnnlm(1, 64).generate_scaled(4, 1, 0.25);
+    let cluster = Cluster::two_gpus();
+    let mut group = c.benchmark_group("ablate_refinement");
+    for passes in [0usize, 2] {
+        group.bench_with_input(BenchmarkId::from_parameter(passes), &passes, |b, &passes| {
+            let config = PestoConfig {
+                refinement_passes: passes,
+                ..small_config()
+            };
+            b.iter(|| {
+                black_box(
+                    Pesto::new(config.clone())
+                        .place(&graph, &cluster)
+                        .unwrap()
+                        .makespan_us,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablate_joint_scheduling(c: &mut Criterion) {
+    // Pesto's explicit scheduling vs placement-only (TF-default dispatch).
+    let graph = ModelSpec::rnnlm(1, 64).generate_scaled(4, 1, 0.25);
+    let cluster = Cluster::two_gpus();
+    let mut group = c.benchmark_group("ablate_joint_scheduling");
+    for (name, max_members) in [("joint", 10_000usize), ("placement_only", 0)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &max_members, |b, &mm| {
+            let config = PestoConfig {
+                max_members_for_scheduling: mm,
+                ..small_config()
+            };
+            b.iter(|| {
+                black_box(
+                    Pesto::new(config.clone())
+                        .place(&graph, &cluster)
+                        .unwrap()
+                        .makespan_us,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = ablate_congestion, ablate_coarsen_target, ablate_refinement, ablate_joint_scheduling
+}
+criterion_main!(benches);

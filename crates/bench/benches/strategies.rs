@@ -1,0 +1,52 @@
+//! Strategy benches: placement time of each approach on a reduced model —
+//! the Criterion-measured counterpart of Table 2 (run `expfig table2` for
+//! the paper-scale numbers).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pesto::baselines::{expert, m_etf, m_sct, m_topo, random_search};
+use pesto::cost::CommModel;
+use pesto::graph::Cluster;
+use pesto::models::ModelSpec;
+use pesto::{Pesto, PestoConfig};
+use std::hint::black_box;
+
+fn bench_placement_time(c: &mut Criterion) {
+    let graph = ModelSpec::nmt(1, 64).generate_scaled(4, 1, 0.2);
+    let cluster = Cluster::two_gpus();
+    let comm = CommModel::default_v100();
+    let mut group = c.benchmark_group("placement_time/nmt-1-64");
+
+    group.bench_function("expert", |b| {
+        b.iter(|| black_box(expert(&graph, &cluster).placement.cut_edges(&graph)))
+    });
+    group.bench_function("m_topo", |b| {
+        b.iter(|| black_box(m_topo(&graph, &cluster).placement.cut_edges(&graph)))
+    });
+    group.bench_function("m_etf", |b| {
+        b.iter(|| black_box(m_etf(&graph, &cluster, &comm).placement.cut_edges(&graph)))
+    });
+    group.bench_function("m_sct", |b| {
+        b.iter(|| black_box(m_sct(&graph, &cluster, &comm).placement.cut_edges(&graph)))
+    });
+    group.bench_function("random_search_20", |b| {
+        b.iter(|| black_box(random_search(&graph, &cluster, &comm, 20, 1).makespan_us))
+    });
+    group.sample_size(10).bench_function("pesto_fast", |b| {
+        b.iter(|| {
+            black_box(
+                Pesto::new(PestoConfig::fast())
+                    .place(&graph, &cluster)
+                    .unwrap()
+                    .makespan_us,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_placement_time
+}
+criterion_main!(benches);

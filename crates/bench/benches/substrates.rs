@@ -1,0 +1,91 @@
+//! Microbenchmarks of the subsystems Pesto is built from: the simulator,
+//! the coarsener, the list scheduler, and the LP/MILP solvers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pesto::coarsen::{coarsen, CoarsenConfig};
+use pesto::cost::CommModel;
+use pesto::graph::{Cluster, Placement, Plan, ScheduleOrder};
+use pesto::ilp::etf_schedule;
+use pesto::lp::{Problem, Relation, Sense};
+use pesto::milp::{MilpConfig, MilpProblem};
+use pesto::models::ModelSpec;
+use pesto::sim::Simulator;
+use std::hint::black_box;
+
+fn bench_simulator(c: &mut Criterion) {
+    let graph = ModelSpec::rnnlm(1, 64).generate_scaled(8, 1, 0.25);
+    let cluster = Cluster::two_gpus();
+    let comm = CommModel::default_v100();
+    let placement = Placement::affinity_default(&graph, &cluster);
+    let order = ScheduleOrder::from_global_order(&placement, graph.topo_order(), cluster.device_count());
+    let plan = Plan::with_order(placement, order);
+    let sim = Simulator::new(&graph, &cluster, comm).with_memory_check(false);
+    c.bench_function("sim/rnnlm-1-64 ordered step", |b| {
+        b.iter(|| black_box(sim.run(&plan).unwrap().makespan_us))
+    });
+    let po = Plan::placement_only(plan.placement.clone());
+    c.bench_function("sim/rnnlm-1-64 tf-default step", |b| {
+        b.iter(|| black_box(sim.run(&po).unwrap().makespan_us))
+    });
+}
+
+fn bench_coarsening(c: &mut Criterion) {
+    let graph = ModelSpec::rnnlm(2, 128).generate_scaled(16, 1, 0.5);
+    c.bench_function("coarsen/rnnlm-2-128 to 200", |b| {
+        b.iter(|| black_box(coarsen(&graph, &CoarsenConfig::to_target(200)).coarse().op_count()))
+    });
+}
+
+fn bench_etf(c: &mut Criterion) {
+    let graph = ModelSpec::transformer(2, 2, 64).generate(4, 1);
+    let cluster = Cluster::two_gpus();
+    let comm = CommModel::default_v100();
+    let placement = Placement::affinity_default(&graph, &cluster);
+    let sim = Simulator::new(&graph, &cluster, comm).with_memory_check(false);
+    c.bench_function("etf/transformer-2-2-64 schedule+sim", |b| {
+        b.iter(|| {
+            black_box(
+                etf_schedule(&graph, &cluster, &comm, placement.clone(), &sim)
+                    .unwrap()
+                    .makespan_us(),
+            )
+        })
+    });
+}
+
+fn bench_lp(c: &mut Criterion) {
+    // A mid-size LP: 40 vars, 60 rows.
+    let mut p = Problem::new(Sense::Maximize);
+    let vars: Vec<_> = (0..40).map(|i| p.add_var(format!("x{i}"), 0.0, 10.0, (i % 7 + 1) as f64)).collect();
+    for r in 0..60 {
+        let terms: Vec<_> = vars
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| (i + r) % 3 == 0)
+            .map(|(i, &v)| (v, ((i + r) % 5 + 1) as f64))
+            .collect();
+        p.add_constraint(terms, Relation::Le, (r % 11 + 5) as f64);
+    }
+    c.bench_function("lp/simplex 40x60", |b| {
+        b.iter(|| black_box(p.solve().unwrap().objective))
+    });
+}
+
+fn bench_milp(c: &mut Criterion) {
+    // A 14-item knapsack.
+    let mut lp = Problem::new(Sense::Maximize);
+    let vars: Vec<_> = (0..14).map(|i| lp.add_var(format!("b{i}"), 0.0, 1.0, ((i * 7) % 13 + 1) as f64)).collect();
+    let terms: Vec<_> = vars.iter().enumerate().map(|(i, &v)| (v, ((i * 5) % 9 + 1) as f64)).collect();
+    lp.add_constraint(terms, Relation::Le, 20.0);
+    let milp = MilpProblem::new(lp, vars);
+    c.bench_function("milp/knapsack-14", |b| {
+        b.iter(|| black_box(milp.solve(&MilpConfig::default()).unwrap().objective))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_simulator, bench_coarsening, bench_etf, bench_lp, bench_milp
+}
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! The Figure 2(b) strawman: critical-path priority scheduling that is
+//! blind to compute times.
+
+use pesto_graph::{Cluster, FrozenGraph, OpId, Placement, Plan, ScheduleOrder};
+
+/// Schedules a given placement by hop-count critical path: each device
+/// dispatches ops in descending order of the number of *vertices* on their
+/// longest path to a sink — "prioritizes the longest critical path, without
+/// knowing the compute requirements of operations" (Figure 2(b)).
+pub fn naive_critical_path(graph: &FrozenGraph, cluster: &Cluster, placement: Placement) -> Plan {
+    // Hop-count b-level: 1 + max over successors.
+    let mut hops = vec![1u32; graph.op_count()];
+    for &v in graph.topo_order().iter().rev() {
+        for &s in graph.succs(v) {
+            hops[v.index()] = hops[v.index()].max(1 + hops[s.index()]);
+        }
+    }
+    // Topological position for tie-breaking (keeps the order dispatchable).
+    let mut pos = vec![0usize; graph.op_count()];
+    for (i, &v) in graph.topo_order().iter().enumerate() {
+        pos[v.index()] = i;
+    }
+    let mut global: Vec<OpId> = graph.op_ids().collect();
+    global.sort_by(|&a, &b| {
+        hops[b.index()]
+            .cmp(&hops[a.index()])
+            .then(pos[a.index()].cmp(&pos[b.index()]))
+    });
+    // A priority order is not necessarily dispatchable (a high-priority op
+    // deep in the DAG would block the device). Convert to a dispatchable
+    // list per device by repeatedly emitting the highest-priority op whose
+    // predecessors are already emitted.
+    let mut emitted = vec![false; graph.op_count()];
+    let mut result: Vec<OpId> = Vec::with_capacity(graph.op_count());
+    while result.len() < graph.op_count() {
+        let next = global
+            .iter()
+            .copied()
+            .find(|&op| {
+                !emitted[op.index()]
+                    && graph.preds(op).iter().all(|p| emitted[p.index()])
+            })
+            .expect("a DAG always has an emittable op");
+        emitted[next.index()] = true;
+        result.push(next);
+    }
+    let order = ScheduleOrder::from_global_order(&placement, &result, cluster.device_count());
+    Plan::with_order(placement, order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pesto_cost::CommModel;
+    use pesto_graph::{DeviceKind, OpGraph};
+    use pesto_sim::Simulator;
+
+    #[test]
+    fn ignores_compute_times() {
+        // Long chain of tiny ops vs one huge independent op: hop-count
+        // priority runs the chain first, even though starting the huge op
+        // first is better (the Figure 2(b) mistake).
+        let mut g = OpGraph::new("naive-trap");
+        let mut prev = g.add_op("c0", DeviceKind::Gpu, 1.0, 0);
+        for i in 1..5 {
+            let id = g.add_op(format!("c{i}"), DeviceKind::Gpu, 1.0, 0);
+            g.add_edge(prev, id, 8).unwrap();
+            prev = id;
+        }
+        let huge = g.add_op("huge", DeviceKind::Gpu, 100.0, 0);
+        let _ = huge;
+        let g = g.freeze().unwrap();
+        let cluster = Cluster::two_gpus();
+        let placement = Placement::uniform(g.op_count(), cluster.gpu(0));
+        let plan = naive_critical_path(&g, &cluster, placement);
+        let order = plan.order.as_ref().unwrap().on_device(cluster.gpu(0));
+        // The 5-hop chain head outranks the 1-hop huge op, so the device
+        // grinds through most of the chain before touching `huge` — the
+        // Figure 2(b) mistake (an optimal schedule starts `huge` first).
+        let pos = |i: usize| order.iter().position(|o| o.index() == i).unwrap();
+        assert_eq!(pos(0), 0);
+        assert!(pos(5) > pos(3), "huge dispatched after the chain's body");
+    }
+
+    #[test]
+    fn schedule_simulates_without_deadlock() {
+        let g = pesto_models::figure2();
+        let cluster = Cluster::two_gpus();
+        let mut placement = Placement::affinity_default(&g, &cluster);
+        // Spread F and G (ops 5, 6) to gpu1.
+        placement.set_device(OpId::from_index(5), cluster.gpu(1));
+        placement.set_device(OpId::from_index(6), cluster.gpu(1));
+        let plan = naive_critical_path(&g, &cluster, placement);
+        let sim = Simulator::new(&g, &cluster, CommModel::default_v100());
+        let report = sim.run(&plan).unwrap();
+        assert!(report.makespan_us > 0.0);
+    }
+}

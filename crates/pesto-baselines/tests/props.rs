@@ -1,0 +1,92 @@
+//! Property tests: every baseline must produce valid, simulator-executable
+//! plans on arbitrary DAGs, and the memory-aware heuristics must respect
+//! capacity whenever a feasible split exists.
+
+use pesto_baselines::{expert, m_etf, m_sct, m_topo, naive_critical_path, random_placement};
+use pesto_cost::CommModel;
+use pesto_graph::{Cluster, DeviceKind, FrozenGraph, OpGraph, OpId, Placement};
+use pesto_sim::Simulator;
+use proptest::prelude::*;
+
+fn arb_dag() -> impl Strategy<Value = FrozenGraph> {
+    (3usize..30)
+        .prop_flat_map(|n| {
+            let edges = proptest::collection::vec((0..n, 0..n, 0u64..(1 << 22)), 0..n * 2);
+            let kinds = proptest::collection::vec(0u8..3, n);
+            let times = proptest::collection::vec(1.0f64..500.0, n);
+            (Just(n), edges, kinds, times)
+        })
+        .prop_map(|(n, edges, kinds, times)| {
+            let mut g = OpGraph::new("random");
+            let ids: Vec<OpId> = (0..n)
+                .map(|i| {
+                    let kind = match kinds[i] {
+                        0 => DeviceKind::Cpu,
+                        1 => DeviceKind::Gpu,
+                        _ => DeviceKind::Kernel,
+                    };
+                    g.add_op(format!("op{i}"), kind, times[i], (i as u64 + 1) * 100)
+                })
+                .collect();
+            for (a, b, bytes) in edges {
+                let (u, v) = if a < b { (a, b) } else { (b, a) };
+                if u != v {
+                    let _ = g.add_edge(ids[u], ids[v], bytes);
+                }
+            }
+            g.freeze().unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// All baselines yield valid plans that the simulator executes.
+    #[test]
+    fn baselines_always_produce_executable_plans(g in arb_dag(), seed in any::<u64>()) {
+        let cluster = Cluster::two_gpus();
+        let comm = CommModel::default_v100();
+        let sim = Simulator::new(&g, &cluster, comm).with_memory_check(false);
+        let plans = vec![
+            ("expert", expert(&g, &cluster)),
+            ("m_topo", m_topo(&g, &cluster)),
+            ("m_etf", m_etf(&g, &cluster, &comm)),
+            ("m_sct", m_sct(&g, &cluster, &comm)),
+            ("random", random_placement(&g, &cluster, seed)),
+            (
+                "naive_cp",
+                naive_critical_path(&g, &cluster, Placement::affinity_default(&g, &cluster)),
+            ),
+        ];
+        for (name, plan) in plans {
+            prop_assert!(plan.validate(&g, &cluster).is_ok(), "{name} invalid");
+            let report = sim.run(&plan);
+            prop_assert!(report.is_ok(), "{name} failed: {report:?}");
+            let report = report.unwrap();
+            prop_assert!(report.makespan_us >= g.critical_path_us() - 1e-6, "{name}");
+        }
+    }
+
+    /// When each GPU can hold half the ops, mETF/mSCT never overflow.
+    #[test]
+    fn memory_aware_heuristics_respect_feasible_capacity(g in arb_dag()) {
+        let gpu_mem: u64 = g
+            .op_ids()
+            .filter(|&i| g.op(i).kind() == DeviceKind::Gpu)
+            .map(|i| g.op(i).memory_bytes())
+            .sum();
+        // Generous: 80% of total on each GPU always admits a split because
+        // every single op fits (op memory <= 3000 << capacity).
+        let cluster = Cluster::homogeneous(2, (gpu_mem * 4 / 5).max(4096));
+        let comm = CommModel::default_v100();
+        for (name, plan) in [
+            ("m_etf", m_etf(&g, &cluster, &comm)),
+            ("m_sct", m_sct(&g, &cluster, &comm)),
+        ] {
+            prop_assert!(
+                plan.placement.oom_devices(&g, &cluster).is_empty(),
+                "{name} overflowed a feasible capacity"
+            );
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Cycle-free batch graph coarsening (paper §3.3).
+//!
+//! Modern DNN DAGs have tens of thousands of operations, most of them tiny
+//! (paper Table 1), which makes the Pesto ILP intractable at full scale. The
+//! paper's answer is a coarsening algorithm that merges adjacent vertices
+//! without ever creating a cycle, and in *batches* so the whole graph can be
+//! shrunk in a few passes:
+//!
+//! * **Theorem 3.2** — merging a single edge `(u, v)` is safe iff that edge
+//!   is the only path from `u` to `v` (checked by
+//!   [`pesto_graph::FrozenGraph::edge_is_unique_path`]).
+//! * **Theorem 3.5** — a whole *matching* of edges can be merged in one
+//!   batch when per-edge local conditions on heights, in/out-degrees
+//!   (condition ii) and a pairwise height/edge condition (iii) hold.
+//!
+//! Edges are prioritized for merging by their communication size: merging a
+//! heavy edge colocates its endpoints and removes a potentially expensive
+//! transfer (the "maintaining parallelizability" discussion in §3.3).
+//!
+//! The result is a [`Coarsening`], which keeps the member mapping so a
+//! placement/schedule computed on the coarse graph can be *expanded* back to
+//! the original operations — exactly how the paper applies the ILP solution
+//! ("if the ILP suggests placing merged-vertex v on GPU-0, all vertices
+//! merged into v are placed on GPU-0").
+//!
+//! # Example
+//!
+//! ```
+//! use pesto_graph::{OpGraph, DeviceKind};
+//! use pesto_coarsen::{coarsen, CoarsenConfig};
+//!
+//! # fn main() -> Result<(), pesto_graph::GraphError> {
+//! let mut g = OpGraph::new("chain");
+//! let ids: Vec<_> = (0..100)
+//!     .map(|i| g.add_op(format!("op{i}"), DeviceKind::Gpu, 1.0, 8))
+//!     .collect();
+//! for w in ids.windows(2) {
+//!     g.add_edge(w[0], w[1], 1024)?;
+//! }
+//! let g = g.freeze()?;
+//! let c = coarsen(&g, &CoarsenConfig::to_target(10));
+//! assert!(c.coarse().op_count() <= 10);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batch;
+mod mapping;
+
+pub use batch::{coarsen, coarsen_with_stats, merge_edge, CoarsenConfig, CoarsenRound};
+pub use mapping::Coarsening;

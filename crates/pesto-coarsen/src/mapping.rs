@@ -1,0 +1,163 @@
+//! The coarse↔fine mapping and plan expansion.
+
+use pesto_graph::{Cluster, FrozenGraph, OpId, Placement, Plan, ScheduleOrder};
+use serde::{Deserialize, Serialize};
+
+/// A coarsened graph together with the mapping back to the original
+/// operations.
+///
+/// `members(c)` lists, in original topological order, the fine ops merged
+/// into coarse vertex `c`; `coarse_of(f)` is the inverse. Both directions
+/// are total.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Coarsening {
+    coarse: FrozenGraph,
+    members: Vec<Vec<OpId>>,
+    fine_to_coarse: Vec<u32>,
+}
+
+impl Coarsening {
+    pub(crate) fn from_parts(
+        coarse: FrozenGraph,
+        members: Vec<Vec<OpId>>,
+        fine_to_coarse: Vec<u32>,
+    ) -> Self {
+        debug_assert_eq!(coarse.op_count(), members.len());
+        Coarsening {
+            coarse,
+            members,
+            fine_to_coarse,
+        }
+    }
+
+    /// The identity coarsening: every op is its own coarse vertex.
+    pub fn identity(graph: &FrozenGraph) -> Self {
+        Coarsening {
+            coarse: graph.clone(),
+            members: graph.op_ids().map(|id| vec![id]).collect(),
+            fine_to_coarse: (0..graph.op_count() as u32).collect(),
+        }
+    }
+
+    /// The coarsened graph (input to the ILP).
+    pub fn coarse(&self) -> &FrozenGraph {
+        &self.coarse
+    }
+
+    /// Fine ops merged into coarse vertex `c`, in original topological
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range for the coarse graph.
+    pub fn members(&self, c: OpId) -> &[OpId] {
+        &self.members[c.index()]
+    }
+
+    /// Coarse vertex containing fine op `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is out of range for the fine graph.
+    pub fn coarse_of(&self, f: OpId) -> OpId {
+        OpId::from_index(self.fine_to_coarse[f.index()] as usize)
+    }
+
+    /// Number of fine operations covered.
+    pub fn fine_op_count(&self) -> usize {
+        self.fine_to_coarse.len()
+    }
+
+    /// Size of the largest merged vertex.
+    pub fn max_member_count(&self) -> usize {
+        self.members.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Expands a placement of the coarse graph to the fine graph: every
+    /// member inherits its coarse vertex's device.
+    pub fn expand_placement(&self, coarse_placement: &Placement) -> Placement {
+        let mut device_of = Vec::with_capacity(self.fine_op_count());
+        for f in 0..self.fine_op_count() {
+            let c = self.fine_to_coarse[f] as usize;
+            device_of.push(coarse_placement.device(OpId::from_index(c)));
+        }
+        Placement::from_vec(device_of)
+    }
+
+    /// Expands a full coarse plan to the fine graph. The coarse per-device
+    /// order expands by replacing each merged vertex with its members in
+    /// original topological order — the paper's "individual vertices of a
+    /// merged-vertex are scheduled sequentially on the same device" rule.
+    /// A placement-only coarse plan expands to a placement-only fine plan
+    /// (the paper's fallback to default TensorFlow scheduling).
+    pub fn expand_plan(&self, coarse_plan: &Plan, cluster: &Cluster) -> Plan {
+        let placement = self.expand_placement(&coarse_plan.placement);
+        match &coarse_plan.order {
+            None => Plan::placement_only(placement),
+            Some(order) => {
+                let mut per_device = Vec::with_capacity(cluster.device_count());
+                for d in 0..cluster.device_count() {
+                    let mut fine_order = Vec::new();
+                    for &c in order.on_device(pesto_graph::DeviceId::from_index(d)) {
+                        fine_order.extend_from_slice(self.members(c));
+                    }
+                    per_device.push(fine_order);
+                }
+                Plan::with_order(placement, ScheduleOrder::from_vecs(per_device))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pesto_graph::{Cluster, DeviceKind, OpGraph};
+
+    fn tiny() -> FrozenGraph {
+        let mut g = OpGraph::new("tiny");
+        let a = g.add_op("a", DeviceKind::Gpu, 1.0, 8);
+        let b = g.add_op("b", DeviceKind::Gpu, 1.0, 8);
+        let c = g.add_op("c", DeviceKind::Gpu, 1.0, 8);
+        g.add_edge(a, b, 10).unwrap();
+        g.add_edge(b, c, 10).unwrap();
+        g.freeze().unwrap()
+    }
+
+    #[test]
+    fn identity_mapping_round_trips() {
+        let g = tiny();
+        let c = Coarsening::identity(&g);
+        assert_eq!(c.coarse().op_count(), 3);
+        assert_eq!(c.fine_op_count(), 3);
+        assert_eq!(c.max_member_count(), 1);
+        for id in g.op_ids() {
+            assert_eq!(c.coarse_of(id), id);
+            assert_eq!(c.members(id), &[id]);
+        }
+    }
+
+    #[test]
+    fn identity_placement_expansion_is_identity() {
+        let g = tiny();
+        let cluster = Cluster::two_gpus();
+        let c = Coarsening::identity(&g);
+        let p = Placement::affinity_default(&g, &cluster);
+        assert_eq!(c.expand_placement(&p), p);
+    }
+
+    #[test]
+    fn identity_plan_expansion_preserves_order() {
+        let g = tiny();
+        let cluster = Cluster::two_gpus();
+        let c = Coarsening::identity(&g);
+        let p = Placement::affinity_default(&g, &cluster);
+        let order = ScheduleOrder::from_global_order(&p, g.topo_order(), cluster.device_count());
+        let plan = Plan::with_order(p, order);
+        let expanded = c.expand_plan(&plan, &cluster);
+        assert_eq!(expanded, plan);
+        // Placement-only plans stay placement-only.
+        let po = Plan::placement_only(plan.placement.clone());
+        assert_eq!(c.expand_plan(&po, &cluster).order, None);
+    }
+}

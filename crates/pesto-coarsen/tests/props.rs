@@ -1,0 +1,119 @@
+//! Property tests for coarsening: acyclicity, conservation, and valid plan
+//! expansion on random DAGs.
+
+use pesto_coarsen::{coarsen, CoarsenConfig, Coarsening};
+use pesto_cost::CommModel;
+use pesto_graph::{
+    Cluster, DeviceKind, FrozenGraph, OpGraph, OpId, Placement, Plan, ScheduleOrder,
+};
+use pesto_sim::Simulator;
+use proptest::prelude::*;
+
+fn arb_dag() -> impl Strategy<Value = FrozenGraph> {
+    (4usize..60)
+        .prop_flat_map(|n| {
+            let edges = proptest::collection::vec((0..n, 0..n, 1u64..1_000_000), 0..n * 3);
+            let kinds = proptest::collection::vec(0u8..3, n);
+            (Just(n), edges, kinds)
+        })
+        .prop_map(|(n, edges, kinds)| {
+            let mut g = OpGraph::new("random");
+            let ids: Vec<OpId> = (0..n)
+                .map(|i| {
+                    let kind = match kinds[i] {
+                        0 => DeviceKind::Cpu,
+                        1 => DeviceKind::Gpu,
+                        _ => DeviceKind::Kernel,
+                    };
+                    g.add_op(format!("op{i}"), kind, (i % 7 + 1) as f64, 16)
+                })
+                .collect();
+            for (a, b, bytes) in edges {
+                let (u, v) = if a < b { (a, b) } else { (b, a) };
+                if u != v {
+                    let _ = g.add_edge(ids[u], ids[v], bytes);
+                }
+            }
+            g.freeze().unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Coarsening always yields a valid DAG (apply_matching would panic on a
+    /// cycle) and conserves total compute, memory, and op coverage.
+    #[test]
+    fn coarsening_conserves_and_stays_acyclic(g in arb_dag(), target in 1usize..20) {
+        let c = coarsen(&g, &CoarsenConfig::to_target(target));
+        let coarse = c.coarse();
+
+        prop_assert!((coarse.total_compute_us() - g.total_compute_us()).abs() < 1e-6);
+        prop_assert_eq!(coarse.total_memory_bytes(), g.total_memory_bytes());
+        prop_assert_eq!(c.fine_op_count(), g.op_count());
+
+        // Partition check.
+        let mut seen = vec![false; g.op_count()];
+        for cv in coarse.op_ids() {
+            for &f in c.members(cv) {
+                prop_assert!(!seen[f.index()]);
+                seen[f.index()] = true;
+                prop_assert_eq!(c.coarse_of(f), cv);
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+
+        // No merged vertex mixes GPU ops with CPU-resident ops.
+        for cv in coarse.op_ids() {
+            let gpu_members = c.members(cv).iter()
+                .filter(|&&f| g.op(f).kind() == DeviceKind::Gpu)
+                .count();
+            prop_assert!(gpu_members == 0 || gpu_members == c.members(cv).len());
+        }
+    }
+
+    /// Monotone progress: coarsening never increases the vertex count, and
+    /// the coarse edge bytes never exceed the fine total.
+    #[test]
+    fn coarsening_shrinks(g in arb_dag()) {
+        let c = coarsen(&g, &CoarsenConfig::to_target(1));
+        prop_assert!(c.coarse().op_count() <= g.op_count());
+        let fine_bytes: u64 = g.edges().iter().map(|e| e.2).sum();
+        let coarse_bytes: u64 = c.coarse().edges().iter().map(|e| e.2).sum();
+        prop_assert!(coarse_bytes <= fine_bytes);
+    }
+
+    /// Plans computed on the coarse graph expand to simulator-feasible fine
+    /// plans (the paper's expansion rule never deadlocks).
+    #[test]
+    fn expanded_plans_simulate(g in arb_dag(), target in 2usize..12, devbits in any::<u64>()) {
+        let c = coarsen(&g, &CoarsenConfig::to_target(target));
+        let coarse = c.coarse();
+        let cluster = Cluster::two_gpus();
+
+        // Arbitrary affinity-respecting coarse placement.
+        let mut placement = Placement::affinity_default(coarse, &cluster);
+        for (i, cv) in coarse.op_ids().enumerate() {
+            if coarse.op(cv).kind() == DeviceKind::Gpu && (devbits >> (i % 64)) & 1 == 1 {
+                placement.set_device(cv, cluster.gpu(1));
+            }
+        }
+        let order = ScheduleOrder::from_global_order(&placement, coarse.topo_order(), cluster.device_count());
+        let coarse_plan = Plan::with_order(placement, order);
+
+        let fine_plan = c.expand_plan(&coarse_plan, &cluster);
+        prop_assert!(fine_plan.validate(&g, &cluster).is_ok());
+        let sim = Simulator::new(&g, &cluster, CommModel::default_v100()).with_memory_check(false);
+        let report = sim.run(&fine_plan);
+        prop_assert!(report.is_ok(), "expanded plan deadlocked: {report:?}");
+    }
+
+    /// Identity coarsening is a fixed point of expansion.
+    #[test]
+    fn identity_expansion_fixed_point(g in arb_dag()) {
+        let c = Coarsening::identity(&g);
+        let cluster = Cluster::two_gpus();
+        let p = Placement::affinity_default(&g, &cluster);
+        prop_assert_eq!(c.expand_placement(&p), p);
+    }
+}

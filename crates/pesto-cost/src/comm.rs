@@ -1,0 +1,158 @@
+//! The per-link-class linear communication model.
+
+use crate::regression::LinearFit;
+use pesto_graph::LinkType;
+use serde::{Deserialize, Serialize};
+
+/// Communication cost model: one linear fit per link class (paper §3.1).
+///
+/// Transfer time in microseconds for `bytes` over a link of type `t` is
+/// `β0(t) + β1(t) · bytes`. The model is DNN-independent and is obtained by
+/// offline profiling of transfers of varying sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CommModel {
+    cpu_to_gpu: LinearFit,
+    gpu_to_cpu: LinearFit,
+    gpu_to_gpu: LinearFit,
+}
+
+impl CommModel {
+    /// Builds a model from explicit fits per link class.
+    pub fn new(cpu_to_gpu: LinearFit, gpu_to_cpu: LinearFit, gpu_to_gpu: LinearFit) -> Self {
+        CommModel {
+            cpu_to_gpu,
+            gpu_to_cpu,
+            gpu_to_gpu,
+        }
+    }
+
+    /// A model calibrated to the paper's testbed (§5.1): V100 GPUs with
+    /// NVlink peer links (~25 GB/s effective) and PCIe 3.0 x16 host links
+    /// (~12 GB/s effective), with ~10 µs fixed launch latency per transfer.
+    pub fn default_v100() -> Self {
+        // µs per byte = 1 / (GB/s * 1e9 / 1e6) = 1e-3 / (GB/s).
+        let pcie = 1.0e-3 / 12.0; // ≈ 8.3e-5 µs/B
+        let nvlink = 1.0e-3 / 25.0; // ≈ 4.0e-5 µs/B
+        CommModel {
+            cpu_to_gpu: LinearFit {
+                beta0: 12.0,
+                beta1: pcie,
+                r2: 1.0,
+            },
+            gpu_to_cpu: LinearFit {
+                beta0: 12.0,
+                beta1: pcie,
+                r2: 1.0,
+            },
+            gpu_to_gpu: LinearFit {
+                beta0: 8.0,
+                beta1: nvlink,
+                r2: 1.0,
+            },
+        }
+    }
+
+    /// The fit used for a given link class.
+    pub fn fit(&self, link: LinkType) -> LinearFit {
+        match link {
+            LinkType::CpuToGpu => self.cpu_to_gpu,
+            LinkType::GpuToCpu => self.gpu_to_cpu,
+            LinkType::GpuToGpu => self.gpu_to_gpu,
+        }
+    }
+
+    /// Predicted transfer time in microseconds for `bytes` over `link`.
+    ///
+    /// Zero-byte transfers still pay the fixed latency β0 — control edges
+    /// across devices are synchronization events, not free.
+    pub fn transfer_us(&self, link: LinkType, bytes: u64) -> f64 {
+        let f = self.fit(link);
+        // `bytes as f64` is exact for all practical tensor sizes (< 2^53).
+        f.beta0 + f.beta1 * bytes as f64
+    }
+
+    /// Returns a model with every link `speedup`× faster (both latency and
+    /// bandwidth), for the Figure 8(b) interconnect sweep. `speedup < 1`
+    /// models slower links (the paper's 0.1× is "on the order of PCIe").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speedup` is not strictly positive and finite.
+    pub fn scaled(&self, speedup: f64) -> Self {
+        assert!(
+            speedup.is_finite() && speedup > 0.0,
+            "interconnect speedup must be positive and finite, got {speedup}"
+        );
+        let scale = |f: LinearFit| LinearFit {
+            beta0: f.beta0 / speedup,
+            beta1: f.beta1 / speedup,
+            r2: f.r2,
+        };
+        CommModel {
+            cpu_to_gpu: scale(self.cpu_to_gpu),
+            gpu_to_cpu: scale(self.gpu_to_cpu),
+            gpu_to_gpu: scale(self.gpu_to_gpu),
+        }
+    }
+}
+
+impl Default for CommModel {
+    fn default() -> Self {
+        CommModel::default_v100()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_is_linear_in_bytes() {
+        let m = CommModel::default_v100();
+        let t1 = m.transfer_us(LinkType::GpuToGpu, 1_000_000);
+        let t2 = m.transfer_us(LinkType::GpuToGpu, 2_000_000);
+        let beta0 = m.fit(LinkType::GpuToGpu).beta0;
+        assert!(((t2 - beta0) - 2.0 * (t1 - beta0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nvlink_is_faster_than_pcie() {
+        let m = CommModel::default_v100();
+        let big = 64 * 1024 * 1024;
+        assert!(m.transfer_us(LinkType::GpuToGpu, big) < m.transfer_us(LinkType::CpuToGpu, big));
+    }
+
+    #[test]
+    fn zero_bytes_pays_latency() {
+        let m = CommModel::default_v100();
+        assert!(m.transfer_us(LinkType::CpuToGpu, 0) > 0.0);
+    }
+
+    #[test]
+    fn scaling_divides_times() {
+        let m = CommModel::default_v100();
+        let fast = m.scaled(2.0);
+        let bytes = 1 << 20;
+        let ratio = m.transfer_us(LinkType::GpuToGpu, bytes) / fast.transfer_us(LinkType::GpuToGpu, bytes);
+        assert!((ratio - 2.0).abs() < 1e-9);
+        let slow = m.scaled(0.1);
+        let ratio = slow.transfer_us(LinkType::GpuToGpu, bytes) / m.transfer_us(LinkType::GpuToGpu, bytes);
+        assert!((ratio - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_speedup_rejected() {
+        let _ = CommModel::default_v100().scaled(0.0);
+    }
+
+    #[test]
+    fn comm_can_dominate_small_op_compute() {
+        // Paper §3.2: "communication time can be several orders of magnitude
+        // higher than the compute time of some operations". A 10 MB transfer
+        // vs a 1 µs op.
+        let m = CommModel::default_v100();
+        let t = m.transfer_us(LinkType::GpuToGpu, 10 * 1024 * 1024);
+        assert!(t > 100.0 * 1.0);
+    }
+}

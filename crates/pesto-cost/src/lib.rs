@@ -1,0 +1,50 @@
+//! Compute-time profiling and communication cost models for Pesto.
+//!
+//! Pesto's placement quality rests on two estimates (paper §3.1):
+//!
+//! 1. **Per-operation compute times**, taken as the mean over ~100 profiled
+//!    training iterations. The paper shows (Figure 4a) that the normalized
+//!    standard deviation of per-op compute times is small, which is why a
+//!    simple mean works.
+//! 2. **Communication times**, modelled per link class as a linear function
+//!    of transfer size: `T_comm = β0 + β1 · bytes` (Figure 4b), fit by least
+//!    squares with R² between 0.92 and 0.99.
+//!
+//! Because this reproduction has no physical GPUs, the *sources* of these
+//! samples are synthetic — [`Profiler`] replays noisy per-op samples and
+//! [`TransferBench`] generates noisy transfer measurements — but the entire
+//! estimation pipeline (averaging, regression, R² reporting) is the real
+//! thing and is what the rest of the system consumes.
+//!
+//! The crate also provides [`HardwareScaling`], the knob used for the paper's
+//! Figure 8 sweeps over compute and interconnect speeds.
+//!
+//! # Example
+//!
+//! ```
+//! use pesto_cost::{CommModel, fit_linear};
+//! use pesto_graph::LinkType;
+//!
+//! let model = CommModel::default_v100();
+//! let t = model.transfer_us(LinkType::GpuToGpu, 1 << 20); // 1 MiB over NVlink
+//! assert!(t > 0.0);
+//!
+//! let xs = [0.0, 1.0, 2.0, 3.0];
+//! let ys = [1.0, 3.0, 5.0, 7.0];
+//! let fit = fit_linear(&xs, &ys).unwrap();
+//! assert!((fit.beta1 - 2.0).abs() < 1e-9);
+//! assert!(fit.r2 > 0.999);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod comm;
+mod profiler;
+mod regression;
+mod scale;
+
+pub use comm::CommModel;
+pub use profiler::{ProfileReport, Profiler, TransferBench, TransferSample};
+pub use regression::{fit_linear, FitError, LinearFit};
+pub use scale::HardwareScaling;

@@ -1,0 +1,357 @@
+//! Synthetic profiling: noisy per-op compute samples and transfer
+//! measurements.
+//!
+//! On the paper's testbed these samples come from instrumented TensorFlow
+//! runs; here they are generated from ground truth plus realistic noise, so
+//! the estimation pipeline (mean-of-100-iterations, linear regression) is
+//! exercised end to end. The noise calibration follows Figure 4(a): the
+//! normalized standard deviation of per-op compute time is small overall and
+//! larger for tiny operations.
+
+use crate::comm::CommModel;
+use crate::regression::{fit_linear, FitError, LinearFit};
+use pesto_graph::{FrozenGraph, LinkType};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Samples a standard normal via Box–Muller (rand 0.8 core has no Normal
+/// distribution and we avoid extra dependencies).
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Replays noisy per-operation compute-time samples over many iterations
+/// and aggregates them exactly as the paper does (§3.1: the mean over ~100
+/// runs).
+#[derive(Debug, Clone)]
+pub struct Profiler {
+    iterations: usize,
+    seed: u64,
+}
+
+impl Profiler {
+    /// Creates a profiler replaying `iterations` iterations (the paper uses
+    /// 100) with a deterministic seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iterations < 2` — a standard deviation needs two samples.
+    pub fn new(iterations: usize, seed: u64) -> Self {
+        assert!(iterations >= 2, "profiling needs at least 2 iterations");
+        Profiler { iterations, seed }
+    }
+
+    /// The paper's configuration: 100 iterations.
+    pub fn paper_default(seed: u64) -> Self {
+        Profiler::new(100, seed)
+    }
+
+    /// Profiles a graph whose op compute times act as ground truth, and
+    /// returns per-op estimates and dispersion statistics.
+    ///
+    /// The noise model is multiplicative lognormal jitter whose σ shrinks
+    /// with op size: tiny (<10 µs) ops see σ ≈ 0.2, large (>100 µs) ops
+    /// σ ≈ 0.04, matching the Figure 4(a) CDFs.
+    pub fn profile(&self, graph: &FrozenGraph) -> ProfileReport {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let n = graph.op_count();
+        let mut mean_us = vec![0.0; n];
+        let mut std_us = vec![0.0; n];
+        for (i, id) in graph.op_ids().enumerate() {
+            let truth = graph.op(id).compute_us();
+            if truth <= 0.0 {
+                continue;
+            }
+            let sigma = 0.04 + 0.16 * (-truth / 30.0).exp();
+            let mut samples = Vec::with_capacity(self.iterations);
+            for _ in 0..self.iterations {
+                let jitter = (sigma * standard_normal(&mut rng)).exp();
+                samples.push(truth * jitter);
+            }
+            let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+            let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>()
+                / (samples.len() - 1) as f64;
+            mean_us[i] = mean;
+            std_us[i] = var.sqrt();
+        }
+        ProfileReport { mean_us, std_us }
+    }
+}
+
+/// Aggregated profiling output: per-op mean and standard deviation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileReport {
+    /// Mean compute time per op (the estimate fed to placement), µs.
+    pub mean_us: Vec<f64>,
+    /// Sample standard deviation per op, µs.
+    pub std_us: Vec<f64>,
+}
+
+impl ProfileReport {
+    /// Normalized standard deviation (σ/μ) per op with a positive mean;
+    /// this is the quantity whose CDF the paper plots in Figure 4(a).
+    pub fn normalized_std(&self) -> Vec<f64> {
+        self.mean_us
+            .iter()
+            .zip(&self.std_us)
+            .filter(|&(&m, _)| m > 0.0)
+            .map(|(&m, &s)| s / m)
+            .collect()
+    }
+
+    /// CDF points `(normalized_std, cumulative_fraction)` for Figure 4(a),
+    /// optionally ignoring ops whose mean is below `min_mean_us` (the paper
+    /// drops very small ops from the plot for clarity).
+    pub fn normalized_std_cdf(&self, min_mean_us: f64) -> Vec<(f64, f64)> {
+        let mut xs: Vec<f64> = self
+            .mean_us
+            .iter()
+            .zip(&self.std_us)
+            .filter(|&(&m, _)| m > min_mean_us)
+            .map(|(&m, &s)| s / m)
+            .collect();
+        xs.sort_by(f64::total_cmp);
+        let n = xs.len().max(1) as f64;
+        xs.into_iter()
+            .enumerate()
+            .map(|(i, x)| (x, (i + 1) as f64 / n))
+            .collect()
+    }
+
+    /// Writes the profiled means back into a graph (what the paper does
+    /// before running the ILP): returns a new graph with each op's compute
+    /// time set to its estimate.
+    pub fn apply_to(&self, graph: FrozenGraph) -> FrozenGraph {
+        let mut builder = graph.thaw();
+        for i in 0..self.mean_us.len().min(builder.op_count()) {
+            if self.mean_us[i] > 0.0 {
+                builder
+                    .op_mut(pesto_graph::OpId::from_index(i))
+                    .set_compute_us(self.mean_us[i]);
+            }
+        }
+        builder.freeze().expect("re-freezing a frozen graph cannot fail")
+    }
+}
+
+/// One measured transfer: size, observed duration, link class.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransferSample {
+    /// Transfer size in bytes.
+    pub bytes: u64,
+    /// Observed duration in µs.
+    pub duration_us: f64,
+    /// Link class the transfer ran on.
+    pub link: LinkType,
+}
+
+/// Generates noisy transfer measurements from a ground-truth [`CommModel`]
+/// and refits the linear model — the offline step behind Figure 4(b).
+#[derive(Debug, Clone)]
+pub struct TransferBench {
+    truth: CommModel,
+    seed: u64,
+    /// Multiplicative noise σ on each measurement.
+    noise_sigma: f64,
+}
+
+impl TransferBench {
+    /// Creates a bench with ground-truth `truth` and measurement noise
+    /// `noise_sigma` (e.g. 0.08 for ±8% jitter).
+    pub fn new(truth: CommModel, noise_sigma: f64, seed: u64) -> Self {
+        TransferBench {
+            truth,
+            seed,
+            noise_sigma,
+        }
+    }
+
+    /// Measures `reps` transfers at each size in `sizes` over `link`.
+    pub fn measure(&self, link: LinkType, sizes: &[u64], reps: usize) -> Vec<TransferSample> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ link_tag(link));
+        let mut out = Vec::with_capacity(sizes.len() * reps);
+        for &bytes in sizes {
+            let base = self.truth.transfer_us(link, bytes);
+            for _ in 0..reps {
+                let jitter = (self.noise_sigma * standard_normal(&mut rng)).exp();
+                out.push(TransferSample {
+                    bytes,
+                    duration_us: base * jitter,
+                    link,
+                });
+            }
+        }
+        out
+    }
+
+    /// Fits the linear model `T = β0 + β1 · bytes` to measured samples.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FitError`] when samples are insufficient or degenerate.
+    pub fn fit(samples: &[TransferSample]) -> Result<LinearFit, FitError> {
+        let xs: Vec<f64> = samples.iter().map(|s| s.bytes as f64).collect();
+        let ys: Vec<f64> = samples.iter().map(|s| s.duration_us).collect();
+        fit_linear(&xs, &ys)
+    }
+
+    /// Measures all three link classes over a standard size sweep and fits
+    /// a complete [`CommModel`] — the full offline calibration pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FitError`] if any class's fit is degenerate.
+    pub fn calibrate(&self) -> Result<CommModel, FitError> {
+        // 1 KiB .. 64 MiB, log-spaced, like the paper's Figure 4(b) x-axis.
+        let sizes: Vec<u64> = (0..17).map(|i| 1024u64 << i).collect();
+        let fit_for = |link| -> Result<LinearFit, FitError> {
+            TransferBench::fit(&self.measure(link, &sizes, 5))
+        };
+        Ok(CommModel::new(
+            fit_for(LinkType::CpuToGpu)?,
+            fit_for(LinkType::GpuToCpu)?,
+            fit_for(LinkType::GpuToGpu)?,
+        ))
+    }
+}
+
+fn link_tag(link: LinkType) -> u64 {
+    match link {
+        LinkType::CpuToGpu => 0x1111_1111,
+        LinkType::GpuToCpu => 0x2222_2222,
+        LinkType::GpuToGpu => 0x3333_3333,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pesto_graph::{DeviceKind, OpGraph};
+
+    fn graph_with_times(times: &[f64]) -> FrozenGraph {
+        let mut g = OpGraph::new("profiled");
+        let ids: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| g.add_op(format!("op{i}"), DeviceKind::Gpu, t, 64))
+            .collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1], 128).unwrap();
+        }
+        g.freeze().unwrap()
+    }
+
+    #[test]
+    fn estimates_are_close_to_truth() {
+        let g = graph_with_times(&[5.0, 50.0, 500.0]);
+        let report = Profiler::paper_default(7).profile(&g);
+        for (i, &truth) in [5.0, 50.0, 500.0].iter().enumerate() {
+            let rel = (report.mean_us[i] - truth).abs() / truth;
+            assert!(rel < 0.15, "op{i}: estimate {} vs truth {truth}", report.mean_us[i]);
+        }
+    }
+
+    #[test]
+    fn small_ops_are_noisier_than_large_ops() {
+        let g = graph_with_times(&[2.0, 2000.0]);
+        let report = Profiler::new(400, 11).profile(&g);
+        let ns = report.normalized_std();
+        assert!(
+            ns[0] > ns[1],
+            "small-op dispersion {} should exceed large-op dispersion {}",
+            ns[0],
+            ns[1]
+        );
+    }
+
+    #[test]
+    fn normalized_std_is_small_like_figure_4a() {
+        let g = graph_with_times(&[50.0, 120.0, 300.0, 800.0, 2500.0]);
+        let report = Profiler::paper_default(3).profile(&g);
+        for ns in report.normalized_std() {
+            assert!(ns < 0.25, "normalized std {ns} too large for a sizable op");
+        }
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let g = graph_with_times(&[5.0, 15.0, 50.0, 150.0, 500.0]);
+        let report = Profiler::paper_default(5).profile(&g);
+        let cdf = report.normalized_std_cdf(0.0);
+        assert_eq!(cdf.len(), 5);
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 < w[1].1);
+        }
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_filter_drops_small_ops() {
+        let g = graph_with_times(&[1.0, 2.0, 500.0]);
+        let report = Profiler::paper_default(5).profile(&g);
+        assert_eq!(report.normalized_std_cdf(10.0).len(), 1);
+    }
+
+    #[test]
+    fn apply_to_overwrites_compute_times() {
+        let g = graph_with_times(&[10.0, 20.0]);
+        let report = Profiler::paper_default(5).profile(&g);
+        let estimated = report.apply_to(g);
+        for (i, id) in estimated.op_ids().enumerate() {
+            assert!((estimated.op(id).compute_us() - report.mean_us[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn profiling_is_deterministic_per_seed() {
+        let g = graph_with_times(&[10.0, 20.0, 30.0]);
+        let a = Profiler::paper_default(42).profile(&g);
+        let b = Profiler::paper_default(42).profile(&g);
+        let c = Profiler::paper_default(43).profile(&g);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn one_iteration_rejected() {
+        let _ = Profiler::new(1, 0);
+    }
+
+    #[test]
+    fn transfer_fit_recovers_truth_with_high_r2() {
+        let truth = CommModel::default_v100();
+        let bench = TransferBench::new(truth, 0.08, 99);
+        let calibrated = bench.calibrate().unwrap();
+        for link in [LinkType::CpuToGpu, LinkType::GpuToCpu, LinkType::GpuToGpu] {
+            let fit = calibrated.fit(link);
+            // Paper: R^2 in 0.92..0.99 for all classes.
+            assert!(fit.r2 > 0.9, "{link}: R2 {}", fit.r2);
+            let t_true = truth.transfer_us(link, 8 << 20);
+            let t_fit = calibrated.transfer_us(link, 8 << 20);
+            assert!(
+                (t_fit - t_true).abs() / t_true < 0.2,
+                "{link}: fitted {t_fit} vs true {t_true}"
+            );
+        }
+    }
+
+    #[test]
+    fn measure_produces_requested_samples() {
+        let bench = TransferBench::new(CommModel::default_v100(), 0.05, 1);
+        let samples = bench.measure(LinkType::GpuToGpu, &[1024, 4096], 3);
+        assert_eq!(samples.len(), 6);
+        assert!(samples.iter().all(|s| s.duration_us > 0.0));
+    }
+
+    #[test]
+    fn fit_needs_varied_sizes() {
+        let bench = TransferBench::new(CommModel::default_v100(), 0.0, 1);
+        let same = bench.measure(LinkType::GpuToGpu, &[2048], 10);
+        assert_eq!(TransferBench::fit(&same).unwrap_err(), FitError::DegenerateX);
+    }
+}

@@ -1,0 +1,173 @@
+//! Ordinary least-squares fitting of the linear communication model.
+
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// A fitted line `y = beta0 + beta1 * x` with its coefficient of
+/// determination.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearFit {
+    /// Intercept (fixed per-transfer latency, µs).
+    pub beta0: f64,
+    /// Slope (per-byte cost, µs/byte).
+    pub beta1: f64,
+    /// Coefficient of determination of the fit. The paper reports R² of
+    /// 0.92–0.99 for all three link classes.
+    pub r2: f64,
+}
+
+impl LinearFit {
+    /// Evaluates the fitted line at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.beta0 + self.beta1 * x
+    }
+}
+
+impl fmt::Display for LinearFit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "y = {:.4} + {:.3e}*x (R2 = {:.4})",
+            self.beta0, self.beta1, self.r2
+        )
+    }
+}
+
+/// Errors from regression fitting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FitError {
+    /// Fewer than two samples, or mismatched input lengths.
+    NotEnoughData,
+    /// All x values identical — the slope is undetermined.
+    DegenerateX,
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::NotEnoughData => write!(f, "need at least two (x, y) samples of equal length"),
+            FitError::DegenerateX => write!(f, "all x values are identical; slope undetermined"),
+        }
+    }
+}
+
+impl Error for FitError {}
+
+/// Fits `y = beta0 + beta1 * x` by ordinary least squares.
+///
+/// # Errors
+///
+/// * [`FitError::NotEnoughData`] if fewer than 2 samples or `xs.len() !=
+///   ys.len()`;
+/// * [`FitError::DegenerateX`] if the x values have zero variance.
+pub fn fit_linear(xs: &[f64], ys: &[f64]) -> Result<LinearFit, FitError> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return Err(FitError::NotEnoughData);
+    }
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mean_x).powi(2)).sum();
+    if sxx < 1e-300 {
+        return Err(FitError::DegenerateX);
+    }
+    let sxy: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| (x - mean_x) * (y - mean_y))
+        .sum();
+    let beta1 = sxy / sxx;
+    let beta0 = mean_y - beta1 * mean_x;
+
+    let ss_tot: f64 = ys.iter().map(|y| (y - mean_y).powi(2)).sum();
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| (y - (beta0 + beta1 * x)).powi(2))
+        .sum();
+    let r2 = if ss_tot < 1e-300 {
+        1.0 // constant y perfectly explained by beta1 ~ 0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    Ok(LinearFit { beta0, beta1, r2 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let xs: Vec<f64> = (0..50).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.5 + 0.25 * x).collect();
+        let fit = fit_linear(&xs, &ys).unwrap();
+        assert!((fit.beta0 - 3.5).abs() < 1e-9);
+        assert!((fit.beta1 - 0.25).abs() < 1e-9);
+        assert!((fit.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_high_r2() {
+        // Deterministic pseudo-noise around a line.
+        let xs: Vec<f64> = (0..200).map(f64::from).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 10.0 + 2.0 * x + if i % 2 == 0 { 1.5 } else { -1.5 })
+            .collect();
+        let fit = fit_linear(&xs, &ys).unwrap();
+        assert!((fit.beta1 - 2.0).abs() < 0.01);
+        assert!(fit.r2 > 0.99);
+    }
+
+    #[test]
+    fn anti_correlated_data_low_r2() {
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [0.0, 5.0, 1.0, 4.0, 2.0, 3.0];
+        let fit = fit_linear(&xs, &ys).unwrap();
+        assert!(fit.r2 < 0.8);
+    }
+
+    #[test]
+    fn too_few_samples() {
+        assert_eq!(fit_linear(&[1.0], &[2.0]).unwrap_err(), FitError::NotEnoughData);
+        assert_eq!(fit_linear(&[], &[]).unwrap_err(), FitError::NotEnoughData);
+    }
+
+    #[test]
+    fn mismatched_lengths() {
+        assert_eq!(
+            fit_linear(&[1.0, 2.0], &[1.0]).unwrap_err(),
+            FitError::NotEnoughData
+        );
+    }
+
+    #[test]
+    fn degenerate_x() {
+        assert_eq!(
+            fit_linear(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]).unwrap_err(),
+            FitError::DegenerateX
+        );
+    }
+
+    #[test]
+    fn constant_y_has_zero_slope() {
+        let fit = fit_linear(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]).unwrap();
+        assert!(fit.beta1.abs() < 1e-12);
+        assert!((fit.beta0 - 5.0).abs() < 1e-12);
+        assert!((fit.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predict_matches_line() {
+        let fit = LinearFit {
+            beta0: 1.0,
+            beta1: 2.0,
+            r2: 1.0,
+        };
+        assert!((fit.predict(3.0) - 7.0).abs() < 1e-12);
+    }
+}

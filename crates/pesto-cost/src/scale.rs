@@ -1,0 +1,120 @@
+//! Hardware scaling knobs for the Figure 8 what-if sweeps.
+
+use crate::comm::CommModel;
+use pesto_graph::FrozenGraph;
+use serde::{Deserialize, Serialize};
+
+/// A what-if hardware configuration: compute `speed`× faster devices and
+/// `comm_speed`× faster interconnects relative to the baseline testbed.
+///
+/// The paper's simulator section (§5.4) scales compute and communication
+/// time estimates to model future GPUs (Figure 8a, compute speed 1×–10×)
+/// and slower interconnects (Figure 8b, 0.1× ≈ PCIe vs 1× = NVlink).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HardwareScaling {
+    /// Device compute speedup; op times divide by this.
+    pub compute_speed: f64,
+    /// Interconnect speedup; transfer times divide by this.
+    pub comm_speed: f64,
+}
+
+impl HardwareScaling {
+    /// The baseline testbed (1×, 1×).
+    pub fn baseline() -> Self {
+        HardwareScaling {
+            compute_speed: 1.0,
+            comm_speed: 1.0,
+        }
+    }
+
+    /// Creates a scaling configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both factors are finite and strictly positive.
+    pub fn new(compute_speed: f64, comm_speed: f64) -> Self {
+        assert!(
+            compute_speed.is_finite() && compute_speed > 0.0,
+            "compute speed must be positive and finite, got {compute_speed}"
+        );
+        assert!(
+            comm_speed.is_finite() && comm_speed > 0.0,
+            "comm speed must be positive and finite, got {comm_speed}"
+        );
+        HardwareScaling {
+            compute_speed,
+            comm_speed,
+        }
+    }
+
+    /// Applies the compute speedup to a graph: each op's compute time is
+    /// divided by `compute_speed`.
+    pub fn scale_graph(&self, graph: FrozenGraph) -> FrozenGraph {
+        if (self.compute_speed - 1.0).abs() < f64::EPSILON {
+            return graph;
+        }
+        let mut builder = graph.thaw();
+        for i in 0..builder.op_count() {
+            let id = pesto_graph::OpId::from_index(i);
+            let t = builder.op(id).compute_us() / self.compute_speed;
+            builder.op_mut(id).set_compute_us(t);
+        }
+        builder.freeze().expect("rescaling preserves acyclicity")
+    }
+
+    /// Applies the interconnect speedup to a communication model.
+    pub fn scale_comm(&self, model: &CommModel) -> CommModel {
+        model.scaled(self.comm_speed)
+    }
+}
+
+impl Default for HardwareScaling {
+    fn default() -> Self {
+        HardwareScaling::baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pesto_graph::{DeviceKind, LinkType, OpGraph};
+
+    fn tiny_graph() -> FrozenGraph {
+        let mut g = OpGraph::new("t");
+        let a = g.add_op("a", DeviceKind::Gpu, 100.0, 0);
+        let b = g.add_op("b", DeviceKind::Gpu, 40.0, 0);
+        g.add_edge(a, b, 64).unwrap();
+        g.freeze().unwrap()
+    }
+
+    #[test]
+    fn compute_scaling_divides_op_times() {
+        let scaled = HardwareScaling::new(4.0, 1.0).scale_graph(tiny_graph());
+        let times: Vec<f64> = scaled.op_ids().map(|v| scaled.op(v).compute_us()).collect();
+        assert!((times[0] - 25.0).abs() < 1e-9);
+        assert!((times[1] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identity_scaling_is_noop() {
+        let g = tiny_graph();
+        let before: Vec<f64> = g.op_ids().map(|v| g.op(v).compute_us()).collect();
+        let scaled = HardwareScaling::baseline().scale_graph(g);
+        let after: Vec<f64> = scaled.op_ids().map(|v| scaled.op(v).compute_us()).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn comm_scaling_delegates() {
+        let m = CommModel::default_v100();
+        let s = HardwareScaling::new(1.0, 10.0).scale_comm(&m);
+        let ratio = m.transfer_us(LinkType::GpuToGpu, 1 << 20) / s.transfer_us(LinkType::GpuToGpu, 1 << 20);
+        assert!((ratio - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn negative_compute_speed_rejected() {
+        let _ = HardwareScaling::new(-1.0, 1.0);
+    }
+}

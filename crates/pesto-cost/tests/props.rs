@@ -1,0 +1,85 @@
+//! Property tests for the cost-model layer: regression recovery, profiler
+//! estimate quality, and scaling consistency.
+
+use pesto_cost::{fit_linear, CommModel, HardwareScaling, Profiler, TransferBench};
+use pesto_graph::{DeviceKind, LinkType, OpGraph};
+use proptest::prelude::*;
+
+proptest! {
+    /// Least squares recovers exact lines for any slope/intercept.
+    #[test]
+    fn fit_recovers_exact_lines(
+        beta0 in -100.0f64..100.0,
+        beta1 in -5.0f64..5.0,
+        n in 3usize..40,
+    ) {
+        let xs: Vec<f64> = (0..n).map(|i| i as f64 * 3.5).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| beta0 + beta1 * x).collect();
+        let fit = fit_linear(&xs, &ys).unwrap();
+        prop_assert!((fit.beta0 - beta0).abs() < 1e-6);
+        prop_assert!((fit.beta1 - beta1).abs() < 1e-8);
+        prop_assert!(fit.r2 > 1.0 - 1e-9 || beta1.abs() < 1e-12);
+    }
+
+    /// Transfer-bench calibration recovers the ground truth within the
+    /// noise level for any reasonable noise setting.
+    #[test]
+    fn calibration_tracks_truth(noise in 0.01f64..0.15, seed in any::<u64>()) {
+        let truth = CommModel::default_v100();
+        let calibrated = TransferBench::new(truth, noise, seed).calibrate().unwrap();
+        for link in [LinkType::CpuToGpu, LinkType::GpuToCpu, LinkType::GpuToGpu] {
+            let t_true = truth.transfer_us(link, 16 << 20);
+            let t_fit = calibrated.transfer_us(link, 16 << 20);
+            prop_assert!(
+                (t_fit - t_true).abs() / t_true < 0.25 + noise,
+                "{link}: {t_fit} vs {t_true} at noise {noise}"
+            );
+        }
+    }
+
+    /// Profiler estimates converge to the truth as iterations grow.
+    #[test]
+    fn profiler_estimates_converge(truth_us in 20.0f64..2000.0, seed in any::<u64>()) {
+        let mut g = OpGraph::new("one");
+        let id = g.add_op("op", DeviceKind::Gpu, truth_us, 0);
+        let g = g.freeze().unwrap();
+        let few = Profiler::new(5, seed).profile(&g).mean_us[id.index()];
+        let many = Profiler::new(400, seed).profile(&g).mean_us[id.index()];
+        // 400 samples land within 5%; 5 samples may wander further.
+        prop_assert!((many - truth_us).abs() / truth_us < 0.05,
+            "400-sample mean {many} vs truth {truth_us}");
+        prop_assert!((few - truth_us).abs() / truth_us < 0.5);
+    }
+
+    /// Compute and comm scaling compose: scaling by a then b equals
+    /// scaling by a*b.
+    #[test]
+    fn scaling_composes(a in 0.2f64..4.0, b in 0.2f64..4.0) {
+        let comm = CommModel::default_v100();
+        let once = HardwareScaling::new(1.0, a * b).scale_comm(&comm);
+        let twice = HardwareScaling::new(1.0, b)
+            .scale_comm(&HardwareScaling::new(1.0, a).scale_comm(&comm));
+        for link in [LinkType::CpuToGpu, LinkType::GpuToCpu, LinkType::GpuToGpu] {
+            let x = once.transfer_us(link, 1 << 20);
+            let y = twice.transfer_us(link, 1 << 20);
+            prop_assert!((x - y).abs() < 1e-9 * x.max(1.0));
+        }
+    }
+
+    /// Graph compute scaling preserves structure and rescales times.
+    #[test]
+    fn graph_scaling_preserves_structure(speed in 0.25f64..8.0) {
+        let mut g = OpGraph::new("chain");
+        let a = g.add_op("a", DeviceKind::Gpu, 100.0, 64);
+        let b = g.add_op("b", DeviceKind::Gpu, 40.0, 64);
+        g.add_edge(a, b, 4096).unwrap();
+        let g = g.freeze().unwrap();
+        let scaled = HardwareScaling::new(speed, 1.0).scale_graph(g.clone());
+        prop_assert_eq!(scaled.op_count(), g.op_count());
+        prop_assert_eq!(scaled.edge_count(), g.edge_count());
+        for id in g.op_ids() {
+            let want = g.op(id).compute_us() / speed;
+            prop_assert!((scaled.op(id).compute_us() - want).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Structural analysis of operation DAGs: parallelism profiles and size
+//! summaries.
+//!
+//! Pesto's gains depend on how much parallelism the DAG exposes (paper
+//! §5.3: "the structure of the DAG dictates the parallelization
+//! opportunity"). These helpers quantify that structure; the model
+//! generators' tests use them to verify that RNNLM grids are wide and
+//! Transformers narrow.
+
+use crate::graph::FrozenGraph;
+use crate::op::DeviceKind;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate structural statistics of a DAG.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphSummary {
+    /// Number of operations.
+    pub ops: usize,
+    /// Number of edges.
+    pub edges: usize,
+    /// Depth: the maximum height (longest chain, in ops).
+    pub depth: usize,
+    /// Maximum width: the largest number of ops sharing one height.
+    pub max_width: usize,
+    /// Average width (`ops / depth`) — a proxy for how many devices the
+    /// DAG can keep busy.
+    pub avg_width: f64,
+    /// Total compute, µs.
+    pub total_compute_us: f64,
+    /// Compute-only critical path, µs.
+    pub critical_path_us: f64,
+    /// Ops per device-affinity class: `[cpu, gpu, kernel]`.
+    pub ops_by_kind: [usize; 3],
+}
+
+impl GraphSummary {
+    /// The compute parallelism bound `total / critical_path`: an upper
+    /// bound on the speedup any placement can extract, independent of
+    /// communication.
+    pub fn compute_parallelism(&self) -> f64 {
+        if self.critical_path_us <= 0.0 {
+            1.0
+        } else {
+            self.total_compute_us / self.critical_path_us
+        }
+    }
+}
+
+/// Ops per height layer: `profile[h - 1]` is the number of ops at height
+/// `h`. The wavefront of an unrolled LSTM grid shows up as a long plateau;
+/// a Transformer shows a narrow spine.
+pub fn width_profile(graph: &FrozenGraph) -> Vec<usize> {
+    let depth = graph.heights().iter().copied().max().unwrap_or(0) as usize;
+    let mut profile = vec![0usize; depth];
+    for id in graph.op_ids() {
+        profile[(graph.height(id) - 1) as usize] += 1;
+    }
+    profile
+}
+
+/// Computes the full [`GraphSummary`].
+///
+/// # Example
+///
+/// ```
+/// use pesto_graph::{OpGraph, DeviceKind, analysis::summarize};
+///
+/// let mut g = OpGraph::new("fan");
+/// let root = g.add_op("root", DeviceKind::Gpu, 1.0, 0);
+/// for i in 0..4 {
+///     let w = g.add_op(format!("w{i}"), DeviceKind::Gpu, 10.0, 0);
+///     g.add_edge(root, w, 64).unwrap();
+/// }
+/// let s = summarize(&g.freeze().unwrap());
+/// assert_eq!(s.depth, 2);
+/// assert_eq!(s.max_width, 4);
+/// ```
+pub fn summarize(graph: &FrozenGraph) -> GraphSummary {
+    let profile = width_profile(graph);
+    let mut ops_by_kind = [0usize; 3];
+    for id in graph.op_ids() {
+        let k = match graph.op(id).kind() {
+            DeviceKind::Cpu => 0,
+            DeviceKind::Gpu => 1,
+            DeviceKind::Kernel => 2,
+        };
+        ops_by_kind[k] += 1;
+    }
+    GraphSummary {
+        ops: graph.op_count(),
+        edges: graph.edge_count(),
+        depth: profile.len(),
+        max_width: profile.iter().copied().max().unwrap_or(0),
+        avg_width: graph.op_count() as f64 / profile.len().max(1) as f64,
+        total_compute_us: graph.total_compute_us(),
+        critical_path_us: graph.critical_path_us(),
+        ops_by_kind,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::OpGraph;
+
+    #[test]
+    fn chain_is_deep_and_narrow() {
+        let mut g = OpGraph::new("chain");
+        let mut prev = g.add_op("op0", DeviceKind::Gpu, 10.0, 0);
+        for i in 1..8 {
+            let id = g.add_op(format!("op{i}"), DeviceKind::Gpu, 10.0, 0);
+            g.add_edge(prev, id, 1).unwrap();
+            prev = id;
+        }
+        let g = g.freeze().unwrap();
+        let s = summarize(&g);
+        assert_eq!(s.depth, 8);
+        assert_eq!(s.max_width, 1);
+        assert!((s.avg_width - 1.0).abs() < 1e-12);
+        assert!((s.compute_parallelism() - 1.0).abs() < 1e-12);
+        assert_eq!(width_profile(&g), vec![1; 8]);
+    }
+
+    #[test]
+    fn fan_is_shallow_and_wide() {
+        let mut g = OpGraph::new("fan");
+        let root = g.add_op("root", DeviceKind::Cpu, 5.0, 0);
+        for i in 0..6 {
+            let id = g.add_op(format!("w{i}"), DeviceKind::Gpu, 50.0, 0);
+            g.add_edge(root, id, 1).unwrap();
+        }
+        let g = g.freeze().unwrap();
+        let s = summarize(&g);
+        assert_eq!(s.depth, 2);
+        assert_eq!(s.max_width, 6);
+        assert_eq!(s.ops_by_kind, [1, 6, 0]);
+        // 305 total / 55 critical path ≈ 5.5x parallelism.
+        assert!(s.compute_parallelism() > 5.0);
+    }
+
+    #[test]
+    fn profile_sums_to_op_count() {
+        let mut g = OpGraph::new("mixed");
+        let a = g.add_op("a", DeviceKind::Gpu, 1.0, 0);
+        let b = g.add_op("b", DeviceKind::Kernel, 1.0, 0);
+        let c = g.add_op("c", DeviceKind::Gpu, 1.0, 0);
+        g.add_edge(a, c, 1).unwrap();
+        g.add_edge(b, c, 1).unwrap();
+        let g = g.freeze().unwrap();
+        assert_eq!(width_profile(&g).iter().sum::<usize>(), g.op_count());
+    }
+}

@@ -1,0 +1,449 @@
+//! The device and interconnect topology Pesto places onto.
+//!
+//! The paper's testbed (§5.1) is one CPU plus two NVIDIA V100 GPUs, each GPU
+//! attached to the CPU over a dedicated PCIe link and to the other GPU over
+//! NVlink. [`Cluster`] generalizes that to one CPU and `n` GPUs, with one
+//! *directed* link per ordered device pair — directed because the paper
+//! models each one-way traffic direction as its own FCFS queue (§3.2.2
+//! congestion constraints distinguish GPU-0→GPU-1 from GPU-1→GPU-0).
+
+use crate::error::GraphError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a device within one [`Cluster`].
+///
+/// Device 0 is always the CPU; GPUs follow in index order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DeviceId(pub(crate) u32);
+
+impl DeviceId {
+    /// Dense index of this device within its cluster.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `DeviceId` from a dense index (0 = CPU, 1.. = GPUs).
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        DeviceId(index as u32)
+    }
+}
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dev{}", self.0)
+    }
+}
+
+/// One compute device in the cluster.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Device {
+    /// The host CPU. Modelled with effectively unbounded memory (host DRAM
+    /// is not the binding constraint in the paper).
+    Cpu {
+        /// Human-readable name, e.g. `"Xeon-4116"`.
+        name: String,
+    },
+    /// A GPU with a finite memory capacity (the paper's V100s have 16 GB).
+    Gpu {
+        /// Human-readable name, e.g. `"V100-0"`.
+        name: String,
+        /// Usable device memory in bytes; placements exceeding it OOM.
+        memory_bytes: u64,
+    },
+}
+
+impl Device {
+    /// The device's human-readable name.
+    pub fn name(&self) -> &str {
+        match self {
+            Device::Cpu { name } | Device::Gpu { name, .. } => name,
+        }
+    }
+
+    /// Whether this device is a GPU.
+    pub fn is_gpu(&self) -> bool {
+        matches!(self, Device::Gpu { .. })
+    }
+
+    /// Memory capacity in bytes (`u64::MAX` for the CPU).
+    pub fn memory_bytes(&self) -> u64 {
+        match self {
+            Device::Cpu { .. } => u64::MAX,
+            Device::Gpu { memory_bytes, .. } => *memory_bytes,
+        }
+    }
+}
+
+/// Identifier of a directed link within one [`Cluster`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LinkId(pub(crate) u32);
+
+impl LinkId {
+    /// Dense index of this link within its cluster.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `LinkId` from a dense index. The caller is responsible for
+    /// the index being in range for the intended cluster.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        LinkId(index as u32)
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "link{}", self.0)
+    }
+}
+
+/// The class of a communication link, which selects the linear cost model
+/// used for transfers on it (paper §3.1 fits one regression per class).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkType {
+    /// Host-to-device transfer over PCIe.
+    CpuToGpu,
+    /// Device-to-host transfer over PCIe.
+    GpuToCpu,
+    /// Peer GPU transfer over NVlink (or PCIe when so configured).
+    GpuToGpu,
+}
+
+impl fmt::Display for LinkType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkType::CpuToGpu => write!(f, "CPU->GPU"),
+            LinkType::GpuToCpu => write!(f, "GPU->CPU"),
+            LinkType::GpuToGpu => write!(f, "GPU->GPU"),
+        }
+    }
+}
+
+/// A directed communication link between two devices.
+///
+/// Each link is a non-preemptive FCFS queue: at most one transfer is in
+/// flight per link at any time (paper §3.2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    id: LinkId,
+    src: DeviceId,
+    dst: DeviceId,
+    link_type: LinkType,
+    #[serde(default = "default_speed")]
+    speed: f64,
+}
+
+fn default_speed() -> f64 {
+    1.0
+}
+
+impl Link {
+    /// This link's identifier.
+    pub fn id(&self) -> LinkId {
+        self.id
+    }
+
+    /// Source device.
+    pub fn src(&self) -> DeviceId {
+        self.src
+    }
+
+    /// Destination device.
+    pub fn dst(&self) -> DeviceId {
+        self.dst
+    }
+
+    /// Cost-model class of the link.
+    pub fn link_type(&self) -> LinkType {
+        self.link_type
+    }
+
+    /// Relative speed of this link vs its class's cost model (1.0 =
+    /// nominal). Transfer durations divide by this, so `0.5` models a link
+    /// twice as slow as its class — the paper's §3.2.2 "heterogeneous
+    /// communication models" (e.g. one GPU pair on PCIe, another on
+    /// NVlink).
+    pub fn speed(&self) -> f64 {
+        self.speed
+    }
+}
+
+/// A device/interconnect topology: one CPU plus `n` GPUs, fully connected by
+/// directed links.
+///
+/// # Example
+///
+/// ```
+/// use pesto_graph::{Cluster, DeviceId, LinkType};
+///
+/// let c = Cluster::two_gpus();
+/// assert_eq!(c.gpu_count(), 2);
+/// let g0 = c.gpu(0);
+/// let g1 = c.gpu(1);
+/// let link = c.link_between(g0, g1).expect("gpus are connected");
+/// assert_eq!(c.link(link).link_type(), LinkType::GpuToGpu);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    devices: Vec<Device>,
+    links: Vec<Link>,
+}
+
+/// Default per-GPU memory: 16 GB, matching the paper's V100 SXM2 16GB.
+pub(crate) const DEFAULT_GPU_MEMORY: u64 = 16 * 1024 * 1024 * 1024;
+
+impl Cluster {
+    /// Builds a cluster with one CPU and `gpus` GPUs of `gpu_memory_bytes`
+    /// each, fully connected with directed links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpus == 0`; Pesto is a multi-device placement system.
+    pub fn homogeneous(gpus: usize, gpu_memory_bytes: u64) -> Self {
+        assert!(gpus > 0, "a cluster needs at least one GPU");
+        let mut devices = vec![Device::Cpu {
+            name: "cpu0".to_string(),
+        }];
+        for i in 0..gpus {
+            devices.push(Device::Gpu {
+                name: format!("gpu{i}"),
+                memory_bytes: gpu_memory_bytes,
+            });
+        }
+        let mut links = Vec::new();
+        for s in 0..devices.len() {
+            for d in 0..devices.len() {
+                if s == d {
+                    continue;
+                }
+                let link_type = match (devices[s].is_gpu(), devices[d].is_gpu()) {
+                    (false, true) => LinkType::CpuToGpu,
+                    (true, false) => LinkType::GpuToCpu,
+                    (true, true) => LinkType::GpuToGpu,
+                    (false, false) => continue, // single CPU; no CPU-CPU links
+                };
+                links.push(Link {
+                    id: LinkId(links.len() as u32),
+                    src: DeviceId(s as u32),
+                    dst: DeviceId(d as u32),
+                    link_type,
+                    speed: 1.0,
+                });
+            }
+        }
+        Cluster { devices, links }
+    }
+
+    /// The paper's experimental setup (§5.1): one CPU and two 16 GB GPUs.
+    pub fn two_gpus() -> Self {
+        Cluster::homogeneous(2, DEFAULT_GPU_MEMORY)
+    }
+
+    /// All devices, CPU first.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// Number of devices including the CPU.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Number of GPUs.
+    pub fn gpu_count(&self) -> usize {
+        self.devices.len() - 1
+    }
+
+    /// The CPU's device id (always index 0).
+    pub fn cpu(&self) -> DeviceId {
+        DeviceId(0)
+    }
+
+    /// Device id of the `i`-th GPU (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= gpu_count()`.
+    pub fn gpu(&self, i: usize) -> DeviceId {
+        assert!(i < self.gpu_count(), "gpu index {i} out of range");
+        DeviceId((i + 1) as u32)
+    }
+
+    /// Device ids of all GPUs in order.
+    pub fn gpus(&self) -> Vec<DeviceId> {
+        (0..self.gpu_count()).map(|i| self.gpu(i)).collect()
+    }
+
+    /// Shared access to a device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownDevice`] for an out-of-range id.
+    pub fn device(&self, id: DeviceId) -> Result<&Device, GraphError> {
+        self.devices
+            .get(id.index())
+            .ok_or(GraphError::UnknownDevice(id.0))
+    }
+
+    /// All directed links.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Number of directed links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Shared access to a link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this cluster.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.index()]
+    }
+
+    /// Looks up the directed link from `src` to `dst`, if any.
+    pub fn link_between(&self, src: DeviceId, dst: DeviceId) -> Option<LinkId> {
+        self.links
+            .iter()
+            .find(|l| l.src == src && l.dst == dst)
+            .map(|l| l.id)
+    }
+
+    /// Whether `id` names a GPU in this cluster.
+    pub fn is_gpu(&self, id: DeviceId) -> bool {
+        self.devices.get(id.index()).is_some_and(Device::is_gpu)
+    }
+
+    /// Sets the relative speed of the directed link from `src` to `dst`
+    /// (see [`Link::speed`]); returns `self` for chaining.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no such link exists or `speed` is not positive and finite.
+    #[must_use]
+    pub fn with_link_speed(mut self, src: DeviceId, dst: DeviceId, speed: f64) -> Self {
+        assert!(
+            speed.is_finite() && speed > 0.0,
+            "link speed must be positive and finite, got {speed}"
+        );
+        let id = self
+            .link_between(src, dst)
+            .unwrap_or_else(|| panic!("no link {src} -> {dst}"));
+        self.links[id.index()].speed = speed;
+        self
+    }
+}
+
+impl Default for Cluster {
+    fn default() -> Self {
+        Cluster::two_gpus()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_gpu_cluster_matches_paper_setup() {
+        let c = Cluster::two_gpus();
+        assert_eq!(c.device_count(), 3);
+        assert_eq!(c.gpu_count(), 2);
+        assert!(!c.device(c.cpu()).unwrap().is_gpu());
+        assert!(c.device(c.gpu(0)).unwrap().is_gpu());
+        assert_eq!(c.device(c.gpu(0)).unwrap().memory_bytes(), DEFAULT_GPU_MEMORY);
+        // 3 devices, fully connected minus self-loops minus CPU-CPU: 6 links.
+        assert_eq!(c.link_count(), 6);
+    }
+
+    #[test]
+    fn link_types_match_endpoints() {
+        let c = Cluster::two_gpus();
+        let cg = c.link_between(c.cpu(), c.gpu(0)).unwrap();
+        assert_eq!(c.link(cg).link_type(), LinkType::CpuToGpu);
+        let gc = c.link_between(c.gpu(1), c.cpu()).unwrap();
+        assert_eq!(c.link(gc).link_type(), LinkType::GpuToCpu);
+        let gg = c.link_between(c.gpu(0), c.gpu(1)).unwrap();
+        assert_eq!(c.link(gg).link_type(), LinkType::GpuToGpu);
+    }
+
+    #[test]
+    fn links_are_directed() {
+        let c = Cluster::two_gpus();
+        let fwd = c.link_between(c.gpu(0), c.gpu(1)).unwrap();
+        let back = c.link_between(c.gpu(1), c.gpu(0)).unwrap();
+        assert_ne!(fwd, back);
+    }
+
+    #[test]
+    fn no_self_links() {
+        let c = Cluster::homogeneous(4, 1024);
+        for l in c.links() {
+            assert_ne!(l.src(), l.dst());
+        }
+        assert_eq!(c.link_between(c.gpu(0), c.gpu(0)), None);
+    }
+
+    #[test]
+    fn four_gpu_link_count() {
+        // 5 devices: 4 GPUs * 3 other GPUs + 4 CpuToGpu + 4 GpuToCpu = 20.
+        let c = Cluster::homogeneous(4, 1024);
+        assert_eq!(c.link_count(), 20);
+    }
+
+    #[test]
+    fn unknown_device_is_an_error() {
+        let c = Cluster::two_gpus();
+        assert_eq!(
+            c.device(DeviceId::from_index(17)).unwrap_err(),
+            GraphError::UnknownDevice(17)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one GPU")]
+    fn zero_gpu_cluster_rejected() {
+        let _ = Cluster::homogeneous(0, 1024);
+    }
+
+    #[test]
+    fn link_speed_overrides() {
+        let c = Cluster::two_gpus();
+        let (g0, g1) = (c.gpu(0), c.gpu(1));
+        let c = c.with_link_speed(g0, g1, 0.25);
+        let fwd = c.link(c.link_between(g0, g1).unwrap());
+        let back = c.link(c.link_between(g1, g0).unwrap());
+        assert!((fwd.speed() - 0.25).abs() < 1e-12);
+        assert!((back.speed() - 1.0).abs() < 1e-12, "direction-specific");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_link_speed_rejected() {
+        let c = Cluster::two_gpus();
+        let (g0, g1) = (c.gpu(0), c.gpu(1));
+        let _ = c.with_link_speed(g0, g1, 0.0);
+    }
+
+    #[test]
+    fn cpu_memory_is_unbounded() {
+        let c = Cluster::two_gpus();
+        assert_eq!(c.device(c.cpu()).unwrap().memory_bytes(), u64::MAX);
+    }
+
+    #[test]
+    fn is_gpu_handles_out_of_range() {
+        let c = Cluster::two_gpus();
+        assert!(c.is_gpu(c.gpu(1)));
+        assert!(!c.is_gpu(c.cpu()));
+        assert!(!c.is_gpu(DeviceId::from_index(99)));
+    }
+}

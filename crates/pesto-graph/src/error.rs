@@ -1,0 +1,70 @@
+//! Error type for graph construction and validation.
+
+use crate::op::OpId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or validating an operation graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge referenced an operation id that does not exist in the graph.
+    UnknownOp(OpId),
+    /// An edge connected an operation to itself.
+    SelfLoop(OpId),
+    /// The same directed edge was added twice.
+    DuplicateEdge(OpId, OpId),
+    /// The graph contains a directed cycle; one witness vertex is reported.
+    Cycle(OpId),
+    /// The graph has no operations.
+    Empty,
+    /// A plan or query referenced a device unknown to the cluster.
+    UnknownDevice(u32),
+    /// Deserialization of an exported graph failed.
+    Parse(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownOp(id) => write!(f, "unknown operation {id}"),
+            GraphError::SelfLoop(id) => write!(f, "self loop on operation {id}"),
+            GraphError::DuplicateEdge(u, v) => write!(f, "duplicate edge {u} -> {v}"),
+            GraphError::Cycle(id) => write!(f, "graph contains a cycle through {id}"),
+            GraphError::Empty => write!(f, "graph has no operations"),
+            GraphError::UnknownDevice(id) => write!(f, "unknown device {id}"),
+            GraphError::Parse(msg) => write!(f, "failed to parse graph: {msg}"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let cases: Vec<(GraphError, &str)> = vec![
+            (GraphError::UnknownOp(OpId(7)), "unknown operation op7"),
+            (GraphError::SelfLoop(OpId(3)), "self loop on operation op3"),
+            (
+                GraphError::DuplicateEdge(OpId(1), OpId(2)),
+                "duplicate edge op1 -> op2",
+            ),
+            (GraphError::Cycle(OpId(0)), "graph contains a cycle through op0"),
+            (GraphError::Empty, "graph has no operations"),
+            (GraphError::UnknownDevice(9), "unknown device 9"),
+        ];
+        for (err, want) in cases {
+            assert_eq!(err.to_string(), want);
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

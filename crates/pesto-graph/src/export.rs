@@ -1,0 +1,127 @@
+//! Graph export/import: GraphViz DOT for inspection and JSON for
+//! round-tripping profiled graphs between tools.
+
+use crate::error::GraphError;
+use crate::graph::{FrozenGraph, OpGraph};
+use crate::op::DeviceKind;
+use std::fmt::Write as _;
+
+/// Renders a graph in GraphViz DOT format, coloring nodes by device
+/// affinity (CPU = lightblue, GPU = lightgreen, Kernel = lightyellow).
+///
+/// # Example
+///
+/// ```
+/// use pesto_graph::{OpGraph, DeviceKind, to_dot};
+///
+/// # fn main() -> Result<(), pesto_graph::GraphError> {
+/// let mut g = OpGraph::new("tiny");
+/// let a = g.add_op("a", DeviceKind::Gpu, 1.0, 0);
+/// let b = g.add_op("b", DeviceKind::Gpu, 1.0, 0);
+/// g.add_edge(a, b, 42)?;
+/// let dot = to_dot(&g.freeze()?);
+/// assert!(dot.contains("digraph"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_dot(graph: &FrozenGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", graph.name().replace('"', "'"));
+    let _ = writeln!(out, "  rankdir=TB;");
+    for id in graph.op_ids() {
+        let op = graph.op(id);
+        let color = match op.kind() {
+            DeviceKind::Cpu => "lightblue",
+            DeviceKind::Gpu => "lightgreen",
+            DeviceKind::Kernel => "lightyellow",
+        };
+        let _ = writeln!(
+            out,
+            "  {} [label=\"{}\\n{:.1}us\" style=filled fillcolor={}];",
+            id.index(),
+            op.name().replace('"', "'"),
+            op.compute_us(),
+            color
+        );
+    }
+    for &(u, v, bytes) in graph.edges() {
+        let _ = writeln!(out, "  {} -> {} [label=\"{}B\"];", u.index(), v.index(), bytes);
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Serializes a frozen graph to a JSON string.
+///
+/// The format round-trips through [`from_json`], letting profiled graphs be
+/// saved to disk and fed back into the placement pipeline.
+pub fn to_json(graph: &FrozenGraph) -> String {
+    serde_json::to_string(graph).expect("FrozenGraph serialization is infallible")
+}
+
+/// Parses a frozen graph from the JSON produced by [`to_json`], re-freezing
+/// it so invariants are revalidated rather than trusted.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] for malformed JSON and the usual
+/// validation errors if the payload encodes an invalid graph.
+pub fn from_json(json: &str) -> Result<FrozenGraph, GraphError> {
+    let raw: OpGraph = serde_json::from_str::<FrozenGraph>(json)
+        .map_err(|e| GraphError::Parse(e.to_string()))?
+        .thaw();
+    raw.freeze()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpId;
+
+    fn sample() -> FrozenGraph {
+        let mut g = OpGraph::new("sample");
+        let a = g.add_op("input", DeviceKind::Cpu, 1.0, 8);
+        let b = g.add_op("matmul", DeviceKind::Gpu, 50.0, 4096);
+        let c = g.add_op("launch", DeviceKind::Kernel, 0.5, 0);
+        g.add_edge(a, b, 1024).unwrap();
+        g.add_edge(c, b, 0).unwrap();
+        g.freeze().unwrap()
+    }
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let dot = to_dot(&sample());
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("input"));
+        assert!(dot.contains("matmul"));
+        assert!(dot.contains("launch"));
+        assert!(dot.contains("0 -> 1"));
+        assert!(dot.contains("2 -> 1"));
+        assert!(dot.contains("lightblue"));
+        assert!(dot.contains("lightgreen"));
+        assert!(dot.contains("lightyellow"));
+    }
+
+    #[test]
+    fn json_round_trip_preserves_structure() {
+        let g = sample();
+        let back = from_json(&to_json(&g)).unwrap();
+        assert_eq!(back.op_count(), g.op_count());
+        assert_eq!(back.edge_count(), g.edge_count());
+        assert_eq!(back.name(), g.name());
+        for id in g.op_ids() {
+            assert_eq!(back.op(id).name(), g.op(id).name());
+            assert_eq!(back.op(id).kind(), g.op(id).kind());
+        }
+        assert_eq!(
+            back.edge_bytes(OpId::from_index(0), OpId::from_index(1)),
+            Some(1024)
+        );
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(matches!(from_json("not json"), Err(GraphError::Parse(_))));
+        assert!(matches!(from_json("{}"), Err(GraphError::Parse(_))));
+    }
+}

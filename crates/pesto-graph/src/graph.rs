@@ -1,0 +1,587 @@
+//! The operation DAG: mutable builder and immutable validated form.
+
+use crate::error::GraphError;
+use crate::op::{DeviceKind, OpId, Operation};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// A DNN operation graph under construction.
+///
+/// `OpGraph` is a mutable builder: operations and edges can be added in any
+/// order, and [`OpGraph::freeze`] validates the result (acyclicity, edge
+/// well-formedness) and produces an immutable [`FrozenGraph`] with
+/// precomputed topological order, adjacency, and vertex heights.
+///
+/// # Example
+///
+/// ```
+/// use pesto_graph::{OpGraph, DeviceKind};
+///
+/// # fn main() -> Result<(), pesto_graph::GraphError> {
+/// let mut g = OpGraph::new("two-op chain");
+/// let a = g.add_op("a", DeviceKind::Gpu, 5.0, 64);
+/// let b = g.add_op("b", DeviceKind::Gpu, 7.0, 64);
+/// g.add_edge(a, b, 256)?;
+/// let frozen = g.freeze()?;
+/// assert_eq!(frozen.succs(a), &[b]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct OpGraph {
+    name: String,
+    ops: Vec<Operation>,
+    edges: Vec<(OpId, OpId, u64)>,
+}
+
+impl OpGraph {
+    /// Creates an empty graph with a descriptive name.
+    pub fn new(name: impl Into<String>) -> Self {
+        OpGraph {
+            name: name.into(),
+            ops: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// The graph's descriptive name (model/variant).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds an operation and returns its id.
+    pub fn add_op(
+        &mut self,
+        name: impl Into<String>,
+        kind: DeviceKind,
+        compute_us: f64,
+        memory_bytes: u64,
+    ) -> OpId {
+        self.add_operation(Operation::new(name, kind, compute_us, memory_bytes))
+    }
+
+    /// Adds a fully-constructed [`Operation`] and returns its id.
+    pub fn add_operation(&mut self, op: Operation) -> OpId {
+        let id = OpId(self.ops.len() as u32);
+        self.ops.push(op);
+        id
+    }
+
+    /// Adds a directed edge carrying `tensor_bytes` from `src` to `dst`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownOp`] if either endpoint does not exist,
+    /// [`GraphError::SelfLoop`] if `src == dst`, and
+    /// [`GraphError::DuplicateEdge`] if the edge was already added.
+    /// Cycles are only detected at [`OpGraph::freeze`] time.
+    pub fn add_edge(&mut self, src: OpId, dst: OpId, tensor_bytes: u64) -> Result<(), GraphError> {
+        if src.index() >= self.ops.len() {
+            return Err(GraphError::UnknownOp(src));
+        }
+        if dst.index() >= self.ops.len() {
+            return Err(GraphError::UnknownOp(dst));
+        }
+        if src == dst {
+            return Err(GraphError::SelfLoop(src));
+        }
+        if self.edges.iter().any(|&(u, v, _)| u == src && v == dst) {
+            return Err(GraphError::DuplicateEdge(src, dst));
+        }
+        self.edges.push((src, dst, tensor_bytes));
+        Ok(())
+    }
+
+    /// Number of operations added so far.
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Shared access to an operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this graph.
+    pub fn op(&self, id: OpId) -> &Operation {
+        &self.ops[id.index()]
+    }
+
+    /// Exclusive access to an operation, e.g. to set colocation groups or
+    /// re-profiled compute times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this graph.
+    pub fn op_mut(&mut self, id: OpId) -> &mut Operation {
+        &mut self.ops[id.index()]
+    }
+
+    /// Validates the graph and produces the immutable, query-optimized form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Empty`] for a graph without operations and
+    /// [`GraphError::Cycle`] if the edges contain a directed cycle.
+    pub fn freeze(self) -> Result<FrozenGraph, GraphError> {
+        FrozenGraph::build(self)
+    }
+}
+
+/// An immutable, validated operation DAG with precomputed queries.
+///
+/// Produced by [`OpGraph::freeze`]. Besides adjacency and topological order,
+/// the frozen graph precomputes every vertex's *height* (paper Definition
+/// 3.4): the length, in vertices, of the longest path from any root to the
+/// vertex, with roots at height 1. Heights drive the batch-merging safety
+/// conditions of Theorem 3.5 in the `pesto-coarsen` crate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FrozenGraph {
+    name: String,
+    ops: Vec<Operation>,
+    edges: Vec<(OpId, OpId, u64)>,
+    succs: Vec<Vec<OpId>>,
+    preds: Vec<Vec<OpId>>,
+    /// Successor adjacency with tensor sizes, for O(deg) edge lookups.
+    succ_bytes: Vec<Vec<(OpId, u64)>>,
+    /// Predecessor adjacency with tensor sizes.
+    pred_bytes: Vec<Vec<(OpId, u64)>>,
+    topo: Vec<OpId>,
+    heights: Vec<u32>,
+}
+
+impl FrozenGraph {
+    fn build(g: OpGraph) -> Result<Self, GraphError> {
+        if g.ops.is_empty() {
+            return Err(GraphError::Empty);
+        }
+        let n = g.ops.len();
+        let mut succs: Vec<Vec<OpId>> = vec![Vec::new(); n];
+        let mut preds: Vec<Vec<OpId>> = vec![Vec::new(); n];
+        let mut succ_bytes: Vec<Vec<(OpId, u64)>> = vec![Vec::new(); n];
+        let mut pred_bytes: Vec<Vec<(OpId, u64)>> = vec![Vec::new(); n];
+        for &(u, v, bytes) in &g.edges {
+            succs[u.index()].push(v);
+            preds[v.index()].push(u);
+            succ_bytes[u.index()].push((v, bytes));
+            pred_bytes[v.index()].push((u, bytes));
+        }
+
+        // Kahn's algorithm, layer-by-layer, which both detects cycles and
+        // yields heights: every vertex removed in layer k has height k
+        // (Definition 3.4 and its footnote-1 modified topological sort).
+        let mut indegree: Vec<usize> = preds.iter().map(Vec::len).collect();
+        let mut heights = vec![0u32; n];
+        let mut topo = Vec::with_capacity(n);
+        let mut frontier: Vec<OpId> = (0..n)
+            .filter(|&i| indegree[i] == 0)
+            .map(OpId::from_index)
+            .collect();
+        let mut layer = 1u32;
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                heights[u.index()] = layer;
+                topo.push(u);
+                for &v in &succs[u.index()] {
+                    indegree[v.index()] -= 1;
+                    if indegree[v.index()] == 0 {
+                        next.push(v);
+                    }
+                }
+            }
+            frontier = next;
+            layer += 1;
+        }
+        if topo.len() != n {
+            let witness = (0..n)
+                .find(|&i| indegree[i] > 0)
+                .map(OpId::from_index)
+                .expect("cycle implies a vertex with remaining indegree");
+            return Err(GraphError::Cycle(witness));
+        }
+
+        // Heights per Definition 3.4 are longest-path based: 1 + max over
+        // predecessors. The layered Kahn above computes exactly that because
+        // a vertex is only released once all predecessors are removed, and
+        // it is removed in the layer after its deepest predecessor.
+        debug_assert!(topo.iter().all(|&v| {
+            let h = heights[v.index()];
+            let want = preds[v.index()]
+                .iter()
+                .map(|p| heights[p.index()])
+                .max()
+                .map_or(1, |m| m + 1);
+            h == want
+        }));
+
+        Ok(FrozenGraph {
+            name: g.name,
+            ops: g.ops,
+            edges: g.edges,
+            succs,
+            preds,
+            succ_bytes,
+            pred_bytes,
+            topo,
+            heights,
+        })
+    }
+
+    /// The graph's descriptive name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of operations.
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Shared access to an operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this graph.
+    pub fn op(&self, id: OpId) -> &Operation {
+        &self.ops[id.index()]
+    }
+
+    /// Iterates over all operation ids in dense index order.
+    pub fn op_ids(&self) -> impl Iterator<Item = OpId> + '_ {
+        (0..self.ops.len()).map(OpId::from_index)
+    }
+
+    /// All edges as `(src, dst, tensor_bytes)` triples, in insertion order.
+    pub fn edges(&self) -> &[(OpId, OpId, u64)] {
+        &self.edges
+    }
+
+    /// Direct successors of `id`.
+    pub fn succs(&self, id: OpId) -> &[OpId] {
+        &self.succs[id.index()]
+    }
+
+    /// Direct predecessors of `id`.
+    pub fn preds(&self, id: OpId) -> &[OpId] {
+        &self.preds[id.index()]
+    }
+
+    /// Out-degree of `id`.
+    pub fn out_degree(&self, id: OpId) -> usize {
+        self.succs[id.index()].len()
+    }
+
+    /// In-degree of `id`.
+    pub fn in_degree(&self, id: OpId) -> usize {
+        self.preds[id.index()].len()
+    }
+
+    /// Tensor bytes on edge `(src, dst)`, if the edge exists. Runs in
+    /// O(out-degree of `src`), not O(|E|).
+    pub fn edge_bytes(&self, src: OpId, dst: OpId) -> Option<u64> {
+        self.succ_bytes[src.index()]
+            .iter()
+            .find(|&&(v, _)| v == dst)
+            .map(|&(_, b)| b)
+    }
+
+    /// Direct successors of `id` with the tensor bytes on each edge.
+    pub fn succs_with_bytes(&self, id: OpId) -> &[(OpId, u64)] {
+        &self.succ_bytes[id.index()]
+    }
+
+    /// Direct predecessors of `id` with the tensor bytes on each edge.
+    pub fn preds_with_bytes(&self, id: OpId) -> &[(OpId, u64)] {
+        &self.pred_bytes[id.index()]
+    }
+
+    /// A valid topological order of all operations.
+    pub fn topo_order(&self) -> &[OpId] {
+        &self.topo
+    }
+
+    /// Height of a vertex (Definition 3.4): the longest root-to-vertex path
+    /// length counted in vertices, with roots at height 1.
+    pub fn height(&self, id: OpId) -> u32 {
+        self.heights[id.index()]
+    }
+
+    /// All heights, indexable by [`OpId::index`].
+    pub fn heights(&self) -> &[u32] {
+        &self.heights
+    }
+
+    /// Sum of all operation compute times in microseconds.
+    pub fn total_compute_us(&self) -> f64 {
+        self.ops.iter().map(Operation::compute_us).sum()
+    }
+
+    /// Sum of all operation memory footprints in bytes.
+    pub fn total_memory_bytes(&self) -> u64 {
+        self.ops.iter().map(Operation::memory_bytes).sum()
+    }
+
+    /// Whether `dst` is reachable from `src` by a directed path of one or
+    /// more edges.
+    pub fn reachable(&self, src: OpId, dst: OpId) -> bool {
+        if src == dst {
+            return false;
+        }
+        let mut seen = HashSet::new();
+        let mut stack = vec![src];
+        while let Some(u) = stack.pop() {
+            for &v in self.succs(u) {
+                if v == dst {
+                    return true;
+                }
+                if seen.insert(v) {
+                    stack.push(v);
+                }
+            }
+        }
+        false
+    }
+
+    /// Tests the Theorem 3.2 condition: `(src, dst)` is an edge *and* it is
+    /// the only directed path from `src` to `dst`. Merging `src` and `dst`
+    /// keeps the graph acyclic exactly when this holds.
+    pub fn edge_is_unique_path(&self, src: OpId, dst: OpId) -> bool {
+        if self.edge_bytes(src, dst).is_none() {
+            return false;
+        }
+        // Search for a second path src ~> dst that does not use the edge
+        // (src, dst) as its first step.
+        let mut seen = HashSet::new();
+        let mut stack: Vec<OpId> = self
+            .succs(src)
+            .iter()
+            .copied()
+            .filter(|&v| v != dst)
+            .collect();
+        while let Some(u) = stack.pop() {
+            if u == dst {
+                return false;
+            }
+            if seen.insert(u) {
+                for &v in self.succs(u) {
+                    stack.push(v);
+                }
+            }
+        }
+        true
+    }
+
+    /// Root operations (no predecessors).
+    pub fn roots(&self) -> Vec<OpId> {
+        self.op_ids().filter(|&v| self.in_degree(v) == 0).collect()
+    }
+
+    /// Sink operations (no successors).
+    pub fn sinks(&self) -> Vec<OpId> {
+        self.op_ids().filter(|&v| self.out_degree(v) == 0).collect()
+    }
+
+    /// Length of the critical path through the DAG in microseconds,
+    /// counting only compute time (communication-free lower bound on the
+    /// makespan).
+    pub fn critical_path_us(&self) -> f64 {
+        let mut finish = vec![0.0f64; self.op_count()];
+        for &v in &self.topo {
+            let ready = self
+                .preds(v)
+                .iter()
+                .map(|p| finish[p.index()])
+                .fold(0.0, f64::max);
+            finish[v.index()] = ready + self.op(v).compute_us();
+        }
+        finish.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Converts back into a mutable builder, e.g. to rescale compute times
+    /// for the Figure 8 hardware sweeps.
+    pub fn thaw(self) -> OpGraph {
+        OpGraph {
+            name: self.name,
+            ops: self.ops,
+            edges: self.edges,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> FrozenGraph {
+        // a -> b -> d, a -> c -> d
+        let mut g = OpGraph::new("diamond");
+        let a = g.add_op("a", DeviceKind::Gpu, 1.0, 10);
+        let b = g.add_op("b", DeviceKind::Gpu, 2.0, 10);
+        let c = g.add_op("c", DeviceKind::Gpu, 3.0, 10);
+        let d = g.add_op("d", DeviceKind::Gpu, 4.0, 10);
+        g.add_edge(a, b, 100).unwrap();
+        g.add_edge(a, c, 100).unwrap();
+        g.add_edge(b, d, 100).unwrap();
+        g.add_edge(c, d, 100).unwrap();
+        g.freeze().unwrap()
+    }
+
+    #[test]
+    fn freeze_empty_graph_fails() {
+        assert_eq!(OpGraph::new("e").freeze().unwrap_err(), GraphError::Empty);
+    }
+
+    #[test]
+    fn add_edge_validates_endpoints() {
+        let mut g = OpGraph::new("t");
+        let a = g.add_op("a", DeviceKind::Cpu, 1.0, 0);
+        let ghost = OpId::from_index(9);
+        assert_eq!(g.add_edge(a, ghost, 1), Err(GraphError::UnknownOp(ghost)));
+        assert_eq!(g.add_edge(ghost, a, 1), Err(GraphError::UnknownOp(ghost)));
+        assert_eq!(g.add_edge(a, a, 1), Err(GraphError::SelfLoop(a)));
+    }
+
+    #[test]
+    fn duplicate_edge_rejected() {
+        let mut g = OpGraph::new("t");
+        let a = g.add_op("a", DeviceKind::Cpu, 1.0, 0);
+        let b = g.add_op("b", DeviceKind::Cpu, 1.0, 0);
+        g.add_edge(a, b, 1).unwrap();
+        assert_eq!(g.add_edge(a, b, 2), Err(GraphError::DuplicateEdge(a, b)));
+    }
+
+    #[test]
+    fn cycle_detected_at_freeze() {
+        let mut g = OpGraph::new("c");
+        let a = g.add_op("a", DeviceKind::Cpu, 1.0, 0);
+        let b = g.add_op("b", DeviceKind::Cpu, 1.0, 0);
+        g.add_edge(a, b, 1).unwrap();
+        g.add_edge(b, a, 1).unwrap();
+        assert!(matches!(g.freeze(), Err(GraphError::Cycle(_))));
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let g = diamond();
+        let pos: Vec<usize> = {
+            let mut pos = vec![0; g.op_count()];
+            for (i, &v) in g.topo_order().iter().enumerate() {
+                pos[v.index()] = i;
+            }
+            pos
+        };
+        for &(u, v, _) in g.edges() {
+            assert!(pos[u.index()] < pos[v.index()], "{u} before {v}");
+        }
+    }
+
+    #[test]
+    fn heights_match_definition() {
+        let g = diamond();
+        assert_eq!(g.height(OpId::from_index(0)), 1);
+        assert_eq!(g.height(OpId::from_index(1)), 2);
+        assert_eq!(g.height(OpId::from_index(2)), 2);
+        assert_eq!(g.height(OpId::from_index(3)), 3);
+    }
+
+    #[test]
+    fn heights_use_longest_path_not_shortest() {
+        // a -> b -> c and a -> c: c's height must be 3, not 2.
+        let mut g = OpGraph::new("skip");
+        let a = g.add_op("a", DeviceKind::Gpu, 1.0, 0);
+        let b = g.add_op("b", DeviceKind::Gpu, 1.0, 0);
+        let c = g.add_op("c", DeviceKind::Gpu, 1.0, 0);
+        g.add_edge(a, b, 1).unwrap();
+        g.add_edge(b, c, 1).unwrap();
+        g.add_edge(a, c, 1).unwrap();
+        let g = g.freeze().unwrap();
+        assert_eq!(g.height(c), 3);
+    }
+
+    #[test]
+    fn reachability() {
+        let g = diamond();
+        let a = OpId::from_index(0);
+        let b = OpId::from_index(1);
+        let c = OpId::from_index(2);
+        let d = OpId::from_index(3);
+        assert!(g.reachable(a, d));
+        assert!(g.reachable(a, b));
+        assert!(!g.reachable(b, c));
+        assert!(!g.reachable(d, a));
+        assert!(!g.reachable(a, a), "reachability requires at least one edge");
+    }
+
+    #[test]
+    fn unique_path_detection() {
+        let g = diamond();
+        let a = OpId::from_index(0);
+        let b = OpId::from_index(1);
+        let d = OpId::from_index(3);
+        // a->b is unique: the only other route out of a goes through c to d.
+        assert!(g.edge_is_unique_path(a, b));
+        // b->d is unique as well.
+        assert!(g.edge_is_unique_path(b, d));
+        // a->d is not even an edge.
+        assert!(!g.edge_is_unique_path(a, d));
+    }
+
+    #[test]
+    fn unique_path_rejects_parallel_route() {
+        // a -> b -> c plus shortcut a -> c: a->c has two paths.
+        let mut g = OpGraph::new("skip");
+        let a = g.add_op("a", DeviceKind::Gpu, 1.0, 0);
+        let b = g.add_op("b", DeviceKind::Gpu, 1.0, 0);
+        let c = g.add_op("c", DeviceKind::Gpu, 1.0, 0);
+        g.add_edge(a, b, 1).unwrap();
+        g.add_edge(b, c, 1).unwrap();
+        g.add_edge(a, c, 1).unwrap();
+        let g = g.freeze().unwrap();
+        assert!(!g.edge_is_unique_path(a, c));
+        assert!(g.edge_is_unique_path(a, b));
+        assert!(g.edge_is_unique_path(b, c));
+    }
+
+    #[test]
+    fn roots_sinks_and_totals() {
+        let g = diamond();
+        assert_eq!(g.roots(), vec![OpId::from_index(0)]);
+        assert_eq!(g.sinks(), vec![OpId::from_index(3)]);
+        assert!((g.total_compute_us() - 10.0).abs() < 1e-9);
+        assert_eq!(g.total_memory_bytes(), 40);
+    }
+
+    #[test]
+    fn critical_path_takes_longest_branch() {
+        let g = diamond();
+        // a(1) -> c(3) -> d(4) = 8 beats a -> b(2) -> d = 7.
+        assert!((g.critical_path_us() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thaw_round_trip() {
+        let g = diamond();
+        let ops = g.op_count();
+        let edges = g.edge_count();
+        let rebuilt = g.thaw().freeze().unwrap();
+        assert_eq!(rebuilt.op_count(), ops);
+        assert_eq!(rebuilt.edge_count(), edges);
+    }
+
+    #[test]
+    fn edge_bytes_lookup() {
+        let g = diamond();
+        assert_eq!(g.edge_bytes(OpId::from_index(0), OpId::from_index(1)), Some(100));
+        assert_eq!(g.edge_bytes(OpId::from_index(1), OpId::from_index(0)), None);
+    }
+}

@@ -1,0 +1,59 @@
+//! Operation-DAG data structures for the Pesto placement and scheduling
+//! system.
+//!
+//! This crate is the foundation of the Pesto reproduction (Hafeez et al.,
+//! Middleware 2021). It models a DNN training step the way TensorFlow does
+//! (paper §2.1): a directed acyclic graph whose nodes are compute
+//! *operations* — each with a device affinity (CPU, GPU, or Kernel), an
+//! estimated compute time, and a memory footprint — and whose edges carry
+//! tensors of a known byte size between operations.
+//!
+//! The crate provides:
+//!
+//! * [`OpGraph`] — the DAG under construction, with builder-style
+//!   construction and validation, and [`FrozenGraph`] — the immutable,
+//!   validated DAG with topological ordering, per-vertex *heights* (paper
+//!   Definition 3.4), reachability queries, and unique-path tests
+//!   (Theorem 3.2 support);
+//! * [`Cluster`] — the device/link topology Pesto places onto (a CPU plus
+//!   `n` GPUs with directed PCIe/NVlink-style links);
+//! * [`Plan`] — a placement (op → device) together with per-device
+//!   execution orders, the common currency between the ILP, the baselines,
+//!   and the discrete-event simulator.
+//!
+//! # Example
+//!
+//! ```
+//! use pesto_graph::{OpGraph, DeviceKind, Cluster};
+//!
+//! # fn main() -> Result<(), pesto_graph::GraphError> {
+//! let mut g = OpGraph::new("toy");
+//! let a = g.add_op("a", DeviceKind::Gpu, 10.0, 1024);
+//! let b = g.add_op("b", DeviceKind::Gpu, 20.0, 1024);
+//! g.add_edge(a, b, 4096)?;
+//! let g = g.freeze()?;
+//! assert_eq!(g.topo_order().len(), 2);
+//! let cluster = Cluster::two_gpus();
+//! assert_eq!(cluster.gpu_count(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod cluster;
+mod error;
+mod export;
+mod graph;
+mod op;
+mod plan;
+
+pub use analysis::{summarize, width_profile, GraphSummary};
+pub use cluster::{Cluster, Device, DeviceId, Link, LinkId, LinkType};
+pub use error::GraphError;
+pub use export::{from_json, to_dot, to_json};
+pub use graph::{FrozenGraph, OpGraph};
+pub use op::{DeviceKind, OpId, Operation};
+pub use plan::{Placement, Plan, ScheduleOrder};

@@ -1,0 +1,206 @@
+//! Operations (DAG vertices) and their device affinities.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an operation inside one [`crate::OpGraph`].
+///
+/// `OpId`s are dense indices handed out by [`crate::OpGraph::add_op`] in
+/// insertion order; they index directly into the graph's internal vectors.
+/// An `OpId` is only meaningful for the graph that created it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct OpId(pub(crate) u32);
+
+impl OpId {
+    /// Returns the dense index of this operation.
+    ///
+    /// Useful for indexing caller-side side tables sized with
+    /// [`crate::FrozenGraph::op_count`].
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an `OpId` from a dense index.
+    ///
+    /// The caller is responsible for the index being in range for the graph
+    /// it will be used with; out-of-range ids cause panics on use, not
+    /// undefined behaviour.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        OpId(index as u32)
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// The device *affinity* of an operation (paper §3.2.1).
+///
+/// Pesto distinguishes three operation classes: operations pinned to the
+/// CPU, operations that run on some GPU (the ILP decides which), and
+/// *kernel* operations — "small pre-processing operations executed on the
+/// CPU before a GPU operation can be executed on the GPU".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// Must execute on the CPU (`O_C` in the paper).
+    Cpu,
+    /// Executes on one of the GPUs; placement is a decision variable
+    /// (`O_G`).
+    Gpu,
+    /// CPU-side kernel-launch/pre-processing operation (`O_K`). Placement
+    /// follows the GPU operation it feeds.
+    Kernel,
+}
+
+impl fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceKind::Cpu => write!(f, "CPU"),
+            DeviceKind::Gpu => write!(f, "GPU"),
+            DeviceKind::Kernel => write!(f, "Kernel"),
+        }
+    }
+}
+
+/// A single compute operation: one vertex of the DNN DAG.
+///
+/// Compute time is in microseconds, matching the paper's measurement
+/// granularity (Table 1 buckets ops at 10 µs / 100 µs boundaries). Memory is
+/// the operation's resident footprint (input + output tensors, paper §3.2.2
+/// memory constraints), in bytes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Operation {
+    name: String,
+    kind: DeviceKind,
+    compute_us: f64,
+    memory_bytes: u64,
+    colocation_group: Option<u32>,
+}
+
+impl Operation {
+    /// Creates an operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `compute_us` is negative or not finite — compute times come
+    /// from profiling and must be physical.
+    pub fn new(name: impl Into<String>, kind: DeviceKind, compute_us: f64, memory_bytes: u64) -> Self {
+        assert!(
+            compute_us.is_finite() && compute_us >= 0.0,
+            "compute time must be finite and non-negative, got {compute_us}"
+        );
+        Operation {
+            name: name.into(),
+            kind,
+            compute_us,
+            memory_bytes,
+            colocation_group: None,
+        }
+    }
+
+    /// The operation's (not necessarily unique) human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Device affinity class of this operation.
+    pub fn kind(&self) -> DeviceKind {
+        self.kind
+    }
+
+    /// Estimated compute time in microseconds (paper §3.1: mean over ~100
+    /// profiled iterations).
+    pub fn compute_us(&self) -> f64 {
+        self.compute_us
+    }
+
+    /// Resident memory footprint in bytes (input + output tensor sizes).
+    pub fn memory_bytes(&self) -> u64 {
+        self.memory_bytes
+    }
+
+    /// Colocation group, if the model requires this op to share a device
+    /// with others (paper §3.2.2: `x_{i1} = x_{i2} = … = x_{ik}`).
+    pub fn colocation_group(&self) -> Option<u32> {
+        self.colocation_group
+    }
+
+    /// Assigns the op to a colocation group.
+    pub fn set_colocation_group(&mut self, group: Option<u32>) {
+        self.colocation_group = group;
+    }
+
+    /// Replaces the compute-time estimate (used when re-profiling or when
+    /// scaling compute speed for the Figure 8 sweeps).
+    pub fn set_compute_us(&mut self, compute_us: f64) {
+        assert!(
+            compute_us.is_finite() && compute_us >= 0.0,
+            "compute time must be finite and non-negative, got {compute_us}"
+        );
+        self.compute_us = compute_us;
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {:.1}us {}B",
+            self.name, self.kind, self.compute_us, self.memory_bytes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_id_round_trips_through_index() {
+        let id = OpId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.to_string(), "op42");
+    }
+
+    #[test]
+    fn operation_accessors() {
+        let mut op = Operation::new("matmul", DeviceKind::Gpu, 125.5, 4096);
+        assert_eq!(op.name(), "matmul");
+        assert_eq!(op.kind(), DeviceKind::Gpu);
+        assert!((op.compute_us() - 125.5).abs() < 1e-12);
+        assert_eq!(op.memory_bytes(), 4096);
+        assert_eq!(op.colocation_group(), None);
+        op.set_colocation_group(Some(3));
+        assert_eq!(op.colocation_group(), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_compute_time_rejected() {
+        let _ = Operation::new("bad", DeviceKind::Cpu, -1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_compute_time_rejected() {
+        let _ = Operation::new("bad", DeviceKind::Cpu, f64::NAN, 0);
+    }
+
+    #[test]
+    fn device_kind_display() {
+        assert_eq!(DeviceKind::Cpu.to_string(), "CPU");
+        assert_eq!(DeviceKind::Gpu.to_string(), "GPU");
+        assert_eq!(DeviceKind::Kernel.to_string(), "Kernel");
+    }
+
+    #[test]
+    fn set_compute_us_updates() {
+        let mut op = Operation::new("x", DeviceKind::Gpu, 1.0, 0);
+        op.set_compute_us(2.5);
+        assert!((op.compute_us() - 2.5).abs() < 1e-12);
+    }
+}

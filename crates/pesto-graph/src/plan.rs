@@ -1,0 +1,425 @@
+//! Placement and scheduling plans — the common currency between the ILP,
+//! the baselines, and the simulator.
+
+use crate::cluster::{Cluster, DeviceId};
+use crate::error::GraphError;
+use crate::graph::FrozenGraph;
+use crate::op::{DeviceKind, OpId};
+use serde::{Deserialize, Serialize};
+
+/// A placement: one device per operation.
+///
+/// Indexed by [`OpId::index`]. A placement is valid for a `(graph, cluster)`
+/// pair when every op respects its [`DeviceKind`] affinity: CPU and Kernel
+/// ops live on the CPU, GPU ops on some GPU (paper §3.2.1 device affinity
+/// constraints).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    device_of: Vec<DeviceId>,
+}
+
+impl Placement {
+    /// Builds a placement from a dense device vector.
+    pub fn from_vec(device_of: Vec<DeviceId>) -> Self {
+        Placement { device_of }
+    }
+
+    /// A placement that puts every operation on `device` (useful as a
+    /// baseline and for OOM demonstrations).
+    pub fn uniform(op_count: usize, device: DeviceId) -> Self {
+        Placement {
+            device_of: vec![device; op_count],
+        }
+    }
+
+    /// A placement that respects affinities trivially: CPU/Kernel ops to the
+    /// CPU and every GPU op to GPU 0.
+    pub fn affinity_default(graph: &FrozenGraph, cluster: &Cluster) -> Self {
+        let device_of = graph
+            .op_ids()
+            .map(|id| match graph.op(id).kind() {
+                DeviceKind::Cpu | DeviceKind::Kernel => cluster.cpu(),
+                DeviceKind::Gpu => cluster.gpu(0),
+            })
+            .collect();
+        Placement { device_of }
+    }
+
+    /// The device hosting `op`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is out of range for the graph this placement was
+    /// built for.
+    pub fn device(&self, op: OpId) -> DeviceId {
+        self.device_of[op.index()]
+    }
+
+    /// Reassigns `op` to `device`.
+    pub fn set_device(&mut self, op: OpId, device: DeviceId) {
+        self.device_of[op.index()] = device;
+    }
+
+    /// Number of operations covered.
+    pub fn op_count(&self) -> usize {
+        self.device_of.len()
+    }
+
+    /// Dense view of the underlying assignment.
+    pub fn as_slice(&self) -> &[DeviceId] {
+        &self.device_of
+    }
+
+    /// Checks size and device-affinity validity against a graph and cluster.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownOp`] when sizes disagree and
+    /// [`GraphError::UnknownDevice`] when an op is mapped to a device that
+    /// does not exist or violates its affinity.
+    pub fn validate(&self, graph: &FrozenGraph, cluster: &Cluster) -> Result<(), GraphError> {
+        if self.device_of.len() != graph.op_count() {
+            return Err(GraphError::UnknownOp(OpId::from_index(
+                self.device_of.len().min(graph.op_count()),
+            )));
+        }
+        for id in graph.op_ids() {
+            let dev = self.device(id);
+            let device = cluster.device(dev)?;
+            let ok = match graph.op(id).kind() {
+                DeviceKind::Cpu | DeviceKind::Kernel => !device.is_gpu(),
+                DeviceKind::Gpu => device.is_gpu(),
+            };
+            if !ok {
+                return Err(GraphError::UnknownDevice(dev.index() as u32));
+            }
+        }
+        Ok(())
+    }
+
+    /// Memory footprint per device in bytes, indexed by [`DeviceId::index`].
+    pub fn memory_per_device(&self, graph: &FrozenGraph, cluster: &Cluster) -> Vec<u64> {
+        let mut mem = vec![0u64; cluster.device_count()];
+        for id in graph.op_ids() {
+            mem[self.device(id).index()] =
+                mem[self.device(id).index()].saturating_add(graph.op(id).memory_bytes());
+        }
+        mem
+    }
+
+    /// Devices whose memory capacity this placement exceeds (would OOM).
+    ///
+    /// The paper's Expert strategy OOMs on NASNet-6-168 and NASNet-4-212
+    /// (Figure 7); Pesto's memory-balance constraints avoid this.
+    pub fn oom_devices(&self, graph: &FrozenGraph, cluster: &Cluster) -> Vec<DeviceId> {
+        self.memory_per_device(graph, cluster)
+            .iter()
+            .enumerate()
+            .filter(|&(d, &used)| {
+                used > cluster.devices()[d].memory_bytes()
+            })
+            .map(|(d, _)| DeviceId::from_index(d))
+            .collect()
+    }
+
+    /// Number of cross-device edges under this placement (each incurs a
+    /// communication transfer).
+    pub fn cut_edges(&self, graph: &FrozenGraph) -> usize {
+        graph
+            .edges()
+            .iter()
+            .filter(|&&(u, v, _)| self.device(u) != self.device(v))
+            .count()
+    }
+
+    /// Total bytes transferred across devices under this placement.
+    pub fn cut_bytes(&self, graph: &FrozenGraph) -> u64 {
+        graph
+            .edges()
+            .iter()
+            .filter(|&&(u, v, _)| self.device(u) != self.device(v))
+            .map(|&(_, _, b)| b)
+            .sum()
+    }
+}
+
+/// Per-device execution orders.
+///
+/// For each device, the ops placed there in the order the scheduler should
+/// dispatch them. This encodes the control-flow dependencies Pesto adds to
+/// TensorFlow (paper §4, `tf.Node.add_control_dependency`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduleOrder {
+    per_device: Vec<Vec<OpId>>,
+}
+
+impl ScheduleOrder {
+    /// Builds a schedule from per-device op lists, indexed by
+    /// [`DeviceId::index`].
+    pub fn from_vecs(per_device: Vec<Vec<OpId>>) -> Self {
+        ScheduleOrder { per_device }
+    }
+
+    /// Derives a schedule from a placement and a single global priority
+    /// order (e.g. a topological order): each device runs its ops in the
+    /// global order.
+    pub fn from_global_order(placement: &Placement, global: &[OpId], device_count: usize) -> Self {
+        let mut per_device = vec![Vec::new(); device_count];
+        for &op in global {
+            per_device[placement.device(op).index()].push(op);
+        }
+        ScheduleOrder { per_device }
+    }
+
+    /// The dispatch order for `device`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` is out of range.
+    pub fn on_device(&self, device: DeviceId) -> &[OpId] {
+        &self.per_device[device.index()]
+    }
+
+    /// Number of devices covered.
+    pub fn device_count(&self) -> usize {
+        self.per_device.len()
+    }
+
+    /// Total ops across all devices.
+    pub fn op_count(&self) -> usize {
+        self.per_device.iter().map(Vec::len).sum()
+    }
+
+    /// Checks that the schedule covers exactly the graph's ops, each on the
+    /// device the placement assigns it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownOp`] naming a missing, duplicated, or
+    /// misplaced operation.
+    pub fn validate(&self, graph: &FrozenGraph, placement: &Placement) -> Result<(), GraphError> {
+        let mut seen = vec![false; graph.op_count()];
+        for (d, ops) in self.per_device.iter().enumerate() {
+            for &op in ops {
+                if op.index() >= graph.op_count()
+                    || seen[op.index()]
+                    || placement.device(op).index() != d
+                {
+                    return Err(GraphError::UnknownOp(op));
+                }
+                seen[op.index()] = true;
+            }
+        }
+        if let Some(missing) = seen.iter().position(|&s| !s) {
+            return Err(GraphError::UnknownOp(OpId::from_index(missing)));
+        }
+        Ok(())
+    }
+}
+
+/// A full plan: placement plus (optionally) explicit per-device scheduling.
+///
+/// `order: None` means "framework default scheduling" — the simulator then
+/// mimics TensorFlow's behaviour of picking any ready op (paper §2.1). The
+/// paper itself falls back to default scheduling when coarsened vertices
+/// contain hundreds of ops (§3.3 end).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Plan {
+    /// Operation → device assignment.
+    pub placement: Placement,
+    /// Explicit per-device dispatch orders, or `None` for framework-default
+    /// scheduling.
+    pub order: Option<ScheduleOrder>,
+}
+
+impl Plan {
+    /// A plan with placement only (framework-default scheduling).
+    pub fn placement_only(placement: Placement) -> Self {
+        Plan {
+            placement,
+            order: None,
+        }
+    }
+
+    /// A plan with explicit scheduling.
+    pub fn with_order(placement: Placement, order: ScheduleOrder) -> Self {
+        Plan {
+            placement,
+            order: Some(order),
+        }
+    }
+
+    /// Validates placement (and order if present) against graph and cluster.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying [`Placement::validate`] /
+    /// [`ScheduleOrder::validate`] errors.
+    pub fn validate(&self, graph: &FrozenGraph, cluster: &Cluster) -> Result<(), GraphError> {
+        self.placement.validate(graph, cluster)?;
+        if let Some(order) = &self.order {
+            // A schedule must cover exactly the cluster's devices;
+            // otherwise dispatch would index out of bounds (e.g. a 2-GPU
+            // plan replayed on a 4-GPU cluster).
+            if order.device_count() != cluster.device_count() {
+                return Err(GraphError::UnknownDevice(order.device_count() as u32));
+            }
+            order.validate(graph, &self.placement)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::OpGraph;
+
+    fn chain() -> (FrozenGraph, Cluster) {
+        let mut g = OpGraph::new("chain");
+        let a = g.add_op("a", DeviceKind::Cpu, 1.0, 100);
+        let b = g.add_op("b", DeviceKind::Gpu, 2.0, 200);
+        let c = g.add_op("c", DeviceKind::Gpu, 3.0, 300);
+        g.add_edge(a, b, 10).unwrap();
+        g.add_edge(b, c, 20).unwrap();
+        (g.freeze().unwrap(), Cluster::two_gpus())
+    }
+
+    #[test]
+    fn affinity_default_is_valid() {
+        let (g, c) = chain();
+        let p = Placement::affinity_default(&g, &c);
+        p.validate(&g, &c).unwrap();
+        assert_eq!(p.device(OpId::from_index(0)), c.cpu());
+        assert_eq!(p.device(OpId::from_index(1)), c.gpu(0));
+    }
+
+    #[test]
+    fn affinity_violation_rejected() {
+        let (g, c) = chain();
+        let mut p = Placement::affinity_default(&g, &c);
+        // CPU op on a GPU: invalid.
+        p.set_device(OpId::from_index(0), c.gpu(0));
+        assert!(p.validate(&g, &c).is_err());
+        // GPU op on the CPU: invalid.
+        let mut p2 = Placement::affinity_default(&g, &c);
+        p2.set_device(OpId::from_index(1), c.cpu());
+        assert!(p2.validate(&g, &c).is_err());
+    }
+
+    #[test]
+    fn wrong_size_placement_rejected() {
+        let (g, c) = chain();
+        let p = Placement::from_vec(vec![c.cpu(); 2]);
+        assert!(p.validate(&g, &c).is_err());
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let (g, c) = chain();
+        let p = Placement::affinity_default(&g, &c);
+        let mem = p.memory_per_device(&g, &c);
+        assert_eq!(mem[c.cpu().index()], 100);
+        assert_eq!(mem[c.gpu(0).index()], 500);
+        assert_eq!(mem[c.gpu(1).index()], 0);
+    }
+
+    #[test]
+    fn oom_detection() {
+        let (g, _) = chain();
+        let small = Cluster::homogeneous(2, 350); // 350 bytes per GPU
+        let p = Placement::affinity_default(&g, &small);
+        // Both GPU ops (500 B total) on gpu0 exceeds 350 B.
+        assert_eq!(p.oom_devices(&g, &small), vec![small.gpu(0)]);
+        // Spreading them avoids OOM.
+        let mut p2 = p.clone();
+        p2.set_device(OpId::from_index(2), small.gpu(1));
+        assert!(p2.oom_devices(&g, &small).is_empty());
+    }
+
+    #[test]
+    fn cut_edges_and_bytes() {
+        let (g, c) = chain();
+        let mut p = Placement::affinity_default(&g, &c);
+        assert_eq!(p.cut_edges(&g), 1); // cpu->gpu edge a->b
+        assert_eq!(p.cut_bytes(&g), 10);
+        p.set_device(OpId::from_index(2), c.gpu(1));
+        assert_eq!(p.cut_edges(&g), 2);
+        assert_eq!(p.cut_bytes(&g), 30);
+    }
+
+    #[test]
+    fn schedule_from_global_order() {
+        let (g, c) = chain();
+        let p = Placement::affinity_default(&g, &c);
+        let s = ScheduleOrder::from_global_order(&p, g.topo_order(), c.device_count());
+        s.validate(&g, &p).unwrap();
+        assert_eq!(s.on_device(c.cpu()).len(), 1);
+        assert_eq!(s.on_device(c.gpu(0)).len(), 2);
+        assert_eq!(s.op_count(), 3);
+    }
+
+    #[test]
+    fn schedule_validation_catches_misplacement() {
+        let (g, c) = chain();
+        let p = Placement::affinity_default(&g, &c);
+        // Claim op1 runs on gpu1 although placed on gpu0.
+        let s = ScheduleOrder::from_vecs(vec![
+            vec![OpId::from_index(0)],
+            vec![OpId::from_index(2)],
+            vec![OpId::from_index(1)],
+        ]);
+        assert!(s.validate(&g, &p).is_err());
+    }
+
+    #[test]
+    fn schedule_validation_catches_missing_op() {
+        let (g, c) = chain();
+        let p = Placement::affinity_default(&g, &c);
+        let s = ScheduleOrder::from_vecs(vec![
+            vec![OpId::from_index(0)],
+            vec![OpId::from_index(1)],
+            vec![],
+        ]);
+        assert_eq!(
+            s.validate(&g, &p).unwrap_err(),
+            GraphError::UnknownOp(OpId::from_index(2))
+        );
+    }
+
+    #[test]
+    fn schedule_validation_catches_duplicate() {
+        let (g, c) = chain();
+        let p = Placement::affinity_default(&g, &c);
+        let s = ScheduleOrder::from_vecs(vec![
+            vec![OpId::from_index(0)],
+            vec![OpId::from_index(1), OpId::from_index(1), OpId::from_index(2)],
+            vec![],
+        ]);
+        assert!(s.validate(&g, &p).is_err());
+    }
+
+    #[test]
+    fn plan_with_wrong_device_coverage_is_rejected() {
+        let (g, c) = chain();
+        let p = Placement::affinity_default(&g, &c);
+        let order = ScheduleOrder::from_global_order(&p, g.topo_order(), c.device_count());
+        let plan = Plan::with_order(p, order);
+        plan.validate(&g, &c).unwrap();
+        // The same plan on a larger cluster must fail cleanly, not panic.
+        let bigger = Cluster::homogeneous(4, 1 << 30);
+        assert_eq!(
+            plan.validate(&g, &bigger).unwrap_err(),
+            GraphError::UnknownDevice(3)
+        );
+    }
+
+    #[test]
+    fn plan_validate_round_trip() {
+        let (g, c) = chain();
+        let p = Placement::affinity_default(&g, &c);
+        let s = ScheduleOrder::from_global_order(&p, g.topo_order(), c.device_count());
+        Plan::with_order(p.clone(), s).validate(&g, &c).unwrap();
+        Plan::placement_only(p).validate(&g, &c).unwrap();
+    }
+}

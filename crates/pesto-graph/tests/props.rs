@@ -1,0 +1,119 @@
+//! Property-based tests for the core graph invariants.
+
+use pesto_graph::{Cluster, DeviceKind, FrozenGraph, OpGraph, OpId, Placement, ScheduleOrder};
+use proptest::prelude::*;
+
+/// Generates a random DAG by only adding forward edges (i -> j with i < j),
+/// which guarantees acyclicity by construction.
+fn arb_dag(max_ops: usize) -> impl Strategy<Value = FrozenGraph> {
+    (2..max_ops)
+        .prop_flat_map(|n| {
+            let edges = proptest::collection::vec((0..n, 0..n, 0u64..1_000_000), 0..n * 3);
+            let kinds = proptest::collection::vec(0u8..3, n);
+            let times = proptest::collection::vec(0.0f64..1000.0, n);
+            (Just(n), edges, kinds, times)
+        })
+        .prop_map(|(n, edges, kinds, times)| {
+            let mut g = OpGraph::new("random");
+            let ids: Vec<OpId> = (0..n)
+                .map(|i| {
+                    let kind = match kinds[i] {
+                        0 => DeviceKind::Cpu,
+                        1 => DeviceKind::Gpu,
+                        _ => DeviceKind::Kernel,
+                    };
+                    g.add_op(format!("op{i}"), kind, times[i], (i as u64 + 1) * 16)
+                })
+                .collect();
+            for (a, b, bytes) in edges {
+                let (u, v) = if a < b { (a, b) } else { (b, a) };
+                if u != v {
+                    let _ = g.add_edge(ids[u], ids[v], bytes); // duplicates ignored
+                }
+            }
+            g.freeze().expect("forward edges cannot form a cycle")
+        })
+}
+
+proptest! {
+    /// Topological order places every edge's source before its destination.
+    #[test]
+    fn topo_order_is_consistent(g in arb_dag(40)) {
+        let mut pos = vec![usize::MAX; g.op_count()];
+        for (i, &v) in g.topo_order().iter().enumerate() {
+            pos[v.index()] = i;
+        }
+        for &(u, v, _) in g.edges() {
+            prop_assert!(pos[u.index()] < pos[v.index()]);
+        }
+    }
+
+    /// Heights obey Definition 3.4: roots are 1, every other vertex is
+    /// 1 + the max height among its predecessors.
+    #[test]
+    fn heights_match_recurrence(g in arb_dag(40)) {
+        for v in g.op_ids() {
+            let want = g
+                .preds(v)
+                .iter()
+                .map(|p| g.height(*p))
+                .max()
+                .map_or(1, |m| m + 1);
+            prop_assert_eq!(g.height(v), want);
+        }
+    }
+
+    /// An edge is a unique path iff removing it leaves dst unreachable.
+    #[test]
+    fn unique_path_agrees_with_reachability(g in arb_dag(25)) {
+        for &(u, v, _) in g.edges() {
+            // Rebuild without this edge to compute ground truth.
+            let mut h = OpGraph::new("minus-edge");
+            for id in g.op_ids() {
+                let op = g.op(id);
+                h.add_op(op.name(), op.kind(), op.compute_us(), op.memory_bytes());
+            }
+            for &(a, b, bytes) in g.edges() {
+                if (a, b) != (u, v) {
+                    h.add_edge(a, b, bytes).unwrap();
+                }
+            }
+            let h = h.freeze().unwrap();
+            let still_reachable = h.reachable(u, v);
+            prop_assert_eq!(g.edge_is_unique_path(u, v), !still_reachable);
+        }
+    }
+
+    /// Critical path never exceeds total compute and is at least the
+    /// longest single op.
+    #[test]
+    fn critical_path_bounds(g in arb_dag(40)) {
+        let cp = g.critical_path_us();
+        let total = g.total_compute_us();
+        let longest = g.op_ids().map(|v| g.op(v).compute_us()).fold(0.0, f64::max);
+        prop_assert!(cp <= total + 1e-6);
+        prop_assert!(cp >= longest - 1e-6);
+    }
+
+    /// JSON round-trip preserves everything observable.
+    #[test]
+    fn json_round_trip(g in arb_dag(25)) {
+        let back = pesto_graph::from_json(&pesto_graph::to_json(&g)).unwrap();
+        prop_assert_eq!(back.op_count(), g.op_count());
+        prop_assert_eq!(back.edge_count(), g.edge_count());
+        for v in g.op_ids() {
+            prop_assert_eq!(back.height(v), g.height(v));
+        }
+    }
+
+    /// affinity_default placement always validates, and a schedule derived
+    /// from the topo order always validates against it.
+    #[test]
+    fn default_plan_is_valid(g in arb_dag(40)) {
+        let cluster = Cluster::two_gpus();
+        let p = Placement::affinity_default(&g, &cluster);
+        prop_assert!(p.validate(&g, &cluster).is_ok());
+        let s = ScheduleOrder::from_global_order(&p, g.topo_order(), cluster.device_count());
+        prop_assert!(s.validate(&g, &p).is_ok());
+    }
+}

@@ -1,0 +1,236 @@
+//! DAG augmentation: edges become schedulable communication vertices.
+//!
+//! Traditional DAG scheduling treats communication as edge weights and
+//! assumes transfers never contend. The paper instead converts each
+//! potentially cross-device edge `(i, j)` into a new vertex `k` with edges
+//! `(i, k), (k, j)` (§3.2.2 "DAG augmentation"); communication vertices on
+//! the same link are then subject to non-overlap (congestion) constraints
+//! just like compute vertices on a device.
+//!
+//! Three classes arise on the paper's 1-CPU + GPUs topology:
+//!
+//! * `O_GG` — between two GPU ops; the transfer only exists if the ILP
+//!   places the endpoints on *different* GPUs (indicator `z_k`);
+//! * `O_CG` — CPU-resident producer to GPU consumer; always a real
+//!   transfer (CPU and GPU are always distinct devices);
+//! * `O_GC` — GPU producer to CPU-resident consumer; likewise always real.
+
+use pesto_cost::CommModel;
+use pesto_graph::{DeviceKind, FrozenGraph, LinkType, OpId};
+use serde::{Deserialize, Serialize};
+
+/// Class of an augmented communication vertex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CommClass {
+    /// `O_GG`: GPU → GPU, conditional on cross-GPU placement.
+    GpuGpu,
+    /// `O_CG`: CPU → GPU, unconditional.
+    CpuGpu,
+    /// `O_GC`: GPU → CPU, unconditional.
+    GpuCpu,
+}
+
+impl CommClass {
+    /// The link class whose cost model prices this transfer.
+    pub fn link_type(self) -> LinkType {
+        match self {
+            CommClass::GpuGpu => LinkType::GpuToGpu,
+            CommClass::CpuGpu => LinkType::CpuToGpu,
+            CommClass::GpuCpu => LinkType::GpuToCpu,
+        }
+    }
+}
+
+/// One vertex of the augmented graph.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AugNode {
+    /// An original compute operation.
+    Op(OpId),
+    /// A communication vertex inserted for an original edge.
+    Comm {
+        /// Index of the original edge in [`FrozenGraph::edges`].
+        edge: usize,
+        /// Communication class.
+        class: CommClass,
+        /// Tensor size carried.
+        bytes: u64,
+        /// Estimated transfer time (the `p_k` of the ILP), µs.
+        duration_us: f64,
+    },
+}
+
+impl AugNode {
+    /// Whether this is a communication vertex.
+    pub fn is_comm(&self) -> bool {
+        matches!(self, AugNode::Comm { .. })
+    }
+}
+
+/// The augmented DAG `Ḡ = (V̄, Ē)` of paper §3.2.2.
+///
+/// Nodes `0..op_count` are the original operations in [`OpId`] order;
+/// communication vertices follow. Edges are `(from, to)` pairs of node
+/// indices.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AugmentedGraph {
+    nodes: Vec<AugNode>,
+    edges: Vec<(usize, usize)>,
+    op_count: usize,
+}
+
+impl AugmentedGraph {
+    /// Augments `graph`, pricing communication vertices with `comm`.
+    ///
+    /// Ops are classified by [`DeviceKind`]: `Gpu` ops are GPU-placeable;
+    /// `Cpu` and `Kernel` ops are CPU-resident.
+    pub fn build(graph: &FrozenGraph, comm: &CommModel) -> Self {
+        let op_count = graph.op_count();
+        let mut nodes: Vec<AugNode> = graph.op_ids().map(AugNode::Op).collect();
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        let is_gpu = |id: OpId| graph.op(id).kind() == DeviceKind::Gpu;
+
+        for (edge, &(u, v, bytes)) in graph.edges().iter().enumerate() {
+            let class = match (is_gpu(u), is_gpu(v)) {
+                (true, true) => Some(CommClass::GpuGpu),
+                (false, true) => Some(CommClass::CpuGpu),
+                (true, false) => Some(CommClass::GpuCpu),
+                // CPU-resident to CPU-resident: same device, no transfer.
+                (false, false) => None,
+            };
+            match class {
+                Some(class) => {
+                    let duration_us = comm.transfer_us(class.link_type(), bytes);
+                    let k = nodes.len();
+                    nodes.push(AugNode::Comm {
+                        edge,
+                        class,
+                        bytes,
+                        duration_us,
+                    });
+                    edges.push((u.index(), k));
+                    edges.push((k, v.index()));
+                }
+                None => edges.push((u.index(), v.index())),
+            }
+        }
+        AugmentedGraph {
+            nodes,
+            edges,
+            op_count,
+        }
+    }
+
+    /// All augmented nodes; indices `0..op_count()` are original ops.
+    pub fn nodes(&self) -> &[AugNode] {
+        &self.nodes
+    }
+
+    /// All augmented edges as node-index pairs.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Number of original operations.
+    pub fn op_count(&self) -> usize {
+        self.op_count
+    }
+
+    /// Number of augmented nodes (ops + communication vertices).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Augmented-node index of an original op.
+    pub fn node_of_op(&self, op: OpId) -> usize {
+        op.index()
+    }
+
+    /// Iterates `(node_index, edge_index, class, duration)` over
+    /// communication vertices.
+    pub fn comm_nodes(&self) -> impl Iterator<Item = (usize, usize, CommClass, f64)> + '_ {
+        self.nodes.iter().enumerate().filter_map(|(i, n)| match n {
+            AugNode::Comm {
+                edge,
+                class,
+                duration_us,
+                ..
+            } => Some((i, *edge, *class, *duration_us)),
+            AugNode::Op(_) => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pesto_graph::OpGraph;
+
+    /// c(cpu) -> k(kernel) -> g1 -> g2 -> out(cpu).
+    fn mixed_graph() -> FrozenGraph {
+        let mut g = OpGraph::new("mixed");
+        let c = g.add_op("cpu", DeviceKind::Cpu, 1.0, 0);
+        let k = g.add_op("kernel", DeviceKind::Kernel, 0.5, 0);
+        let g1 = g.add_op("gpu1", DeviceKind::Gpu, 10.0, 0);
+        let g2 = g.add_op("gpu2", DeviceKind::Gpu, 10.0, 0);
+        let out = g.add_op("out", DeviceKind::Cpu, 1.0, 0);
+        g.add_edge(c, k, 64).unwrap(); // cpu->cpu: no comm vertex
+        g.add_edge(k, g1, 128).unwrap(); // O_CG
+        g.add_edge(g1, g2, 256).unwrap(); // O_GG
+        g.add_edge(g2, out, 512).unwrap(); // O_GC
+        g.freeze().unwrap()
+    }
+
+    #[test]
+    fn classes_assigned_correctly() {
+        let g = mixed_graph();
+        let aug = AugmentedGraph::build(&g, &CommModel::default_v100());
+
+        assert_eq!(aug.op_count(), 5);
+        // 3 comm vertices: CG, GG, GC; the cpu->kernel edge stays direct.
+        assert_eq!(aug.node_count(), 8);
+        let classes: Vec<CommClass> = aug.comm_nodes().map(|(_, _, c, _)| c).collect();
+        assert_eq!(
+            classes,
+            vec![CommClass::CpuGpu, CommClass::GpuGpu, CommClass::GpuCpu]
+        );
+        // Edge counts: 1 direct + 3 * 2 = 7.
+        assert_eq!(aug.edges().len(), 7);
+    }
+
+    #[test]
+    fn comm_durations_follow_model() {
+        let g = mixed_graph();
+        let model = CommModel::default_v100();
+        let aug = AugmentedGraph::build(&g, &model);
+        for (_, edge, class, dur) in aug.comm_nodes() {
+            let bytes = g.edges()[edge].2;
+            assert!((dur - model.transfer_us(class.link_type(), bytes)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn comm_vertices_sit_between_endpoints() {
+        let g = mixed_graph();
+        let aug = AugmentedGraph::build(&g, &CommModel::default_v100());
+        for (node, edge, _, _) in aug.comm_nodes() {
+            let (u, v, _) = g.edges()[edge];
+            assert!(aug.edges().contains(&(u.index(), node)));
+            assert!(aug.edges().contains(&(node, v.index())));
+        }
+    }
+
+    #[test]
+    fn pure_gpu_graph_has_one_comm_node_per_edge() {
+        let mut g = OpGraph::new("gg");
+        let a = g.add_op("a", DeviceKind::Gpu, 1.0, 0);
+        let b = g.add_op("b", DeviceKind::Gpu, 1.0, 0);
+        let c = g.add_op("c", DeviceKind::Gpu, 1.0, 0);
+        g.add_edge(a, b, 1).unwrap();
+        g.add_edge(a, c, 1).unwrap();
+        g.add_edge(b, c, 1).unwrap();
+        let g = g.freeze().unwrap();
+        let aug = AugmentedGraph::build(&g, &CommModel::default_v100());
+        assert_eq!(aug.comm_nodes().count(), 3);
+        assert!(aug.nodes()[3..].iter().all(AugNode::is_comm));
+    }
+}

@@ -1,0 +1,133 @@
+//! Combinatorial lower bounds on the achievable makespan.
+//!
+//! Useful for judging plan quality without solving anything: any valid
+//! placement + schedule (and therefore the Pesto optimum) is at least
+//! these bounds. EXPERIMENTS.md reports Pesto's gap to
+//! [`makespan_lower_bound`] on small instances.
+
+use pesto_cost::CommModel;
+use pesto_graph::{Cluster, DeviceKind, FrozenGraph};
+
+/// The classic work bound: GPU compute must fit on the GPUs, CPU-resident
+/// compute on the CPU, whichever is larger.
+pub fn work_lower_bound_us(graph: &FrozenGraph, cluster: &Cluster) -> f64 {
+    let mut gpu_work = 0.0;
+    let mut cpu_work = 0.0;
+    for id in graph.op_ids() {
+        match graph.op(id).kind() {
+            DeviceKind::Gpu => gpu_work += graph.op(id).compute_us(),
+            DeviceKind::Cpu | DeviceKind::Kernel => cpu_work += graph.op(id).compute_us(),
+        }
+    }
+    (gpu_work / cluster.gpu_count() as f64).max(cpu_work)
+}
+
+/// The critical-path bound including *unavoidable* communication: every
+/// CPU↔GPU edge crosses devices under any placement, so its transfer time
+/// is on every schedule's critical path.
+pub fn path_lower_bound_us(graph: &FrozenGraph, comm: &CommModel) -> f64 {
+    let mut finish = vec![0.0f64; graph.op_count()];
+    for &v in graph.topo_order() {
+        let mut ready = 0.0f64;
+        for &(p, bytes) in graph.preds_with_bytes(v) {
+            let is_gpu = |k: DeviceKind| k == DeviceKind::Gpu;
+            let crossing = is_gpu(graph.op(p).kind()) != is_gpu(graph.op(v).kind());
+            let transfer = if crossing {
+                let link = if is_gpu(graph.op(p).kind()) {
+                    pesto_graph::LinkType::GpuToCpu
+                } else {
+                    pesto_graph::LinkType::CpuToGpu
+                };
+                comm.transfer_us(link, bytes)
+            } else {
+                0.0 // GPU-GPU or CPU-CPU edges may be colocated for free
+            };
+            ready = ready.max(finish[p.index()] + transfer);
+        }
+        finish[v.index()] = ready + graph.op(v).compute_us();
+    }
+    finish.into_iter().fold(0.0, f64::max)
+}
+
+/// The tightest of the combinatorial bounds: any plan's simulated makespan
+/// is at least this.
+///
+/// # Example
+///
+/// ```
+/// use pesto_graph::{OpGraph, DeviceKind, Cluster};
+/// use pesto_cost::CommModel;
+/// use pesto_ilp::makespan_lower_bound;
+///
+/// let mut g = OpGraph::new("two");
+/// g.add_op("a", DeviceKind::Gpu, 100.0, 0);
+/// g.add_op("b", DeviceKind::Gpu, 100.0, 0);
+/// let g = g.freeze().unwrap();
+/// let lb = makespan_lower_bound(&g, &Cluster::two_gpus(), &CommModel::default_v100());
+/// assert!((lb - 100.0).abs() < 1e-9); // 200 us of work over 2 GPUs
+/// ```
+pub fn makespan_lower_bound(graph: &FrozenGraph, cluster: &Cluster, comm: &CommModel) -> f64 {
+    work_lower_bound_us(graph, cluster).max(path_lower_bound_us(graph, comm))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pesto_graph::{OpGraph, Placement, Plan};
+    use pesto_sim::Simulator;
+
+    fn mixed() -> FrozenGraph {
+        let mut g = OpGraph::new("m");
+        let c = g.add_op("load", DeviceKind::Cpu, 30.0, 0);
+        let a = g.add_op("a", DeviceKind::Gpu, 100.0, 0);
+        let b = g.add_op("b", DeviceKind::Gpu, 100.0, 0);
+        let s = g.add_op("s", DeviceKind::Gpu, 10.0, 0);
+        g.add_edge(c, a, 1 << 20).unwrap();
+        g.add_edge(c, b, 1 << 20).unwrap();
+        g.add_edge(a, s, 64).unwrap();
+        g.add_edge(b, s, 64).unwrap();
+        g.freeze().unwrap()
+    }
+
+    #[test]
+    fn work_bound_splits_gpu_work() {
+        let g = mixed();
+        let cluster = Cluster::two_gpus();
+        // GPU work 210 over 2 GPUs = 105 > CPU work 30.
+        assert!((work_lower_bound_us(&g, &cluster) - 105.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn path_bound_charges_unavoidable_transfers() {
+        let g = mixed();
+        let comm = CommModel::default_v100();
+        let t = comm.transfer_us(pesto_graph::LinkType::CpuToGpu, 1 << 20);
+        // load -> transfer -> a -> s = 30 + t + 100 + 10.
+        let want = 30.0 + t + 100.0 + 10.0;
+        assert!((path_lower_bound_us(&g, &comm) - want).abs() < 1e-6);
+    }
+
+    #[test]
+    fn every_simulated_plan_respects_the_bound() {
+        let g = mixed();
+        let cluster = Cluster::two_gpus();
+        let comm = CommModel::default_v100();
+        let lb = makespan_lower_bound(&g, &cluster, &comm);
+        let sim = Simulator::new(&g, &cluster, comm).with_memory_check(false);
+        // Check several placements.
+        for mask in 0u32..8 {
+            let mut p = Placement::affinity_default(&g, &cluster);
+            for (bit, id) in g.op_ids().filter(|&i| g.op(i).kind() == DeviceKind::Gpu).enumerate() {
+                if (mask >> bit) & 1 == 1 {
+                    p.set_device(id, cluster.gpu(1));
+                }
+            }
+            let report = sim.run(&Plan::placement_only(p)).unwrap();
+            assert!(
+                report.makespan_us >= lb - 1e-6,
+                "plan {mask} beat the lower bound: {} < {lb}",
+                report.makespan_us
+            );
+        }
+    }
+}

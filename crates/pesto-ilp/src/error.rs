@@ -1,0 +1,88 @@
+//! Error type for the Pesto optimizer.
+
+use pesto_graph::GraphError;
+use pesto_milp::MilpError;
+use pesto_sim::SimError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from Pesto placement and scheduling.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum IlpError {
+    /// The input graph or cluster is unusable for the requested formulation
+    /// (e.g. the exact ILP currently requires exactly 2 GPUs, per the
+    /// paper's main formulation).
+    Unsupported(String),
+    /// The ILP was proven infeasible — typically impossible memory
+    /// constraints.
+    Infeasible,
+    /// The MILP search ended without any feasible solution within limits.
+    NoSolution,
+    /// An underlying graph error (invalid plan, malformed graph).
+    Graph(GraphError),
+    /// Simulation of a candidate plan failed (e.g. OOM under strict memory
+    /// checking in the hybrid evaluator).
+    Sim(SimError),
+}
+
+impl fmt::Display for IlpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IlpError::Unsupported(msg) => write!(f, "unsupported instance: {msg}"),
+            IlpError::Infeasible => write!(f, "placement problem is infeasible"),
+            IlpError::NoSolution => write!(f, "no feasible plan found within solver limits"),
+            IlpError::Graph(e) => write!(f, "graph error: {e}"),
+            IlpError::Sim(e) => write!(f, "simulation error: {e}"),
+        }
+    }
+}
+
+impl Error for IlpError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            IlpError::Graph(e) => Some(e),
+            IlpError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for IlpError {
+    fn from(e: GraphError) -> Self {
+        IlpError::Graph(e)
+    }
+}
+
+impl From<SimError> for IlpError {
+    fn from(e: SimError) -> Self {
+        IlpError::Sim(e)
+    }
+}
+
+impl From<MilpError> for IlpError {
+    fn from(e: MilpError) -> Self {
+        match e {
+            MilpError::Infeasible => IlpError::Infeasible,
+            MilpError::NoSolutionFound => IlpError::NoSolution,
+            other => IlpError::Unsupported(other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: IlpError = GraphError::Empty.into();
+        assert!(e.to_string().contains("graph error"));
+        let e: IlpError = MilpError::Infeasible.into();
+        assert_eq!(e, IlpError::Infeasible);
+        let e: IlpError = MilpError::NoSolutionFound.into();
+        assert_eq!(e, IlpError::NoSolution);
+        assert!(Error::source(&IlpError::Graph(GraphError::Empty)).is_some());
+        assert!(Error::source(&IlpError::Infeasible).is_none());
+    }
+}

@@ -1,0 +1,887 @@
+//! The Pesto 0-1 ILP (paper §3.2.2), built on `pesto-lp`/`pesto-milp`.
+//!
+//! Variable glossary (matching the paper):
+//!
+//! * `C_max` — makespan, the objective;
+//! * `S_i` — start time of every augmented node (ops and communication
+//!   vertices); completion times `C_i = S_i + p_i` are substituted away
+//!   (constraint (2)), and `C_k = S_k + z_k·p_k` for `O_GG` vertices
+//!   (constraint (6));
+//! * `x_i ∈ {0,1}` — placement of GPU op `i` (GPU-0 vs GPU-1);
+//! * `z_k ∈ {0,1}` — whether `O_GG` vertex `k` is a real transfer,
+//!   linearized from `z_k = x_i XOR x_j` (constraint (5)) as the paper's
+//!   four inequalities;
+//! * `δ_ij ∈ {0,1}` — disjunctive order indicators for non-overlap (10) and
+//!   congestion (7) constraint pairs, gated by placement terms so they only
+//!   bind when both parties share a device/link direction.
+//!
+//! The formulation targets the paper's main setting of exactly two GPUs;
+//! the n-GPU extension is served by the hybrid solver.
+
+use crate::augment::{AugNode, AugmentedGraph, CommClass};
+use crate::error::IlpError;
+use pesto_cost::CommModel;
+use pesto_graph::{Cluster, DeviceKind, FrozenGraph, OpId, Placement, Plan, ScheduleOrder};
+use pesto_lp::{Problem, Relation, Sense, VarId};
+use pesto_milp::{MilpConfig, MilpProblem, MilpSolution, MilpStatus};
+use pesto_sim::Simulator;
+
+/// Memory-constraint mode (paper constraint (8)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MemoryRule {
+    /// No memory constraints (ablation).
+    Off,
+    /// The paper's rule: each GPU's share of the total GPU-op footprint must
+    /// lie within `0.5 ± slack` (balanced placement).
+    Balance {
+        /// Allowed deviation from a perfect 50/50 split, e.g. `0.1`.
+        slack: f64,
+    },
+    /// Hard per-device capacity from the cluster's GPU memory sizes.
+    Capacity,
+}
+
+/// Configuration of the exact ILP.
+#[derive(Debug, Clone)]
+pub struct IlpConfig {
+    /// Include the communication congestion constraints (7). Disabling them
+    /// reproduces the paper's Figure 5(a) ablation.
+    pub congestion: bool,
+    /// Memory constraint mode.
+    pub memory: MemoryRule,
+    /// Branch-and-bound limits.
+    pub milp: MilpConfig,
+}
+
+impl Default for IlpConfig {
+    fn default() -> Self {
+        IlpConfig {
+            congestion: true,
+            memory: MemoryRule::Balance { slack: 0.2 },
+            milp: MilpConfig::default(),
+        }
+    }
+}
+
+/// Outcome of solving the Pesto ILP.
+#[derive(Debug, Clone)]
+pub struct IlpOutcome {
+    /// The decoded plan: placement plus per-device start-time order.
+    pub plan: Plan,
+    /// The model's optimal (or best-found) makespan `C_max`, µs.
+    pub cmax_us: f64,
+    /// Whether B&B proved optimality.
+    pub proven_optimal: bool,
+    /// Remaining relative optimality gap.
+    pub gap: f64,
+    /// Branch-and-bound nodes explored.
+    pub nodes_explored: usize,
+}
+
+/// The assembled ILP for one `(graph, cluster, comm)` instance.
+#[derive(Debug)]
+pub struct IlpModel<'a> {
+    graph: &'a FrozenGraph,
+    cluster: &'a Cluster,
+    aug: AugmentedGraph,
+    milp: MilpProblem,
+    /// `S_i` per augmented node.
+    start_vars: Vec<VarId>,
+    /// `x_i` per op (None for CPU-resident ops).
+    x_vars: Vec<Option<VarId>>,
+    /// `z_k` per augmented node (None for non-GG nodes).
+    z_vars: Vec<Option<VarId>>,
+    cmax: VarId,
+    horizon: f64,
+}
+
+/// Durations of augmented nodes: `p_i` for ops, the transfer estimate for
+/// comm vertices.
+fn node_duration(graph: &FrozenGraph, node: &AugNode) -> f64 {
+    match node {
+        AugNode::Op(id) => graph.op(*id).compute_us(),
+        AugNode::Comm { duration_us, .. } => *duration_us,
+    }
+}
+
+impl<'a> IlpModel<'a> {
+    /// Builds the Pesto ILP for a two-GPU cluster.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IlpError::Unsupported`] if the cluster does not have
+    /// exactly two GPUs (the paper's main formulation; see the crate docs).
+    pub fn build(
+        graph: &'a FrozenGraph,
+        cluster: &'a Cluster,
+        comm: &CommModel,
+        config: &IlpConfig,
+    ) -> Result<Self, IlpError> {
+        if cluster.gpu_count() != 2 {
+            return Err(IlpError::Unsupported(format!(
+                "the exact Pesto ILP is formulated for 2 GPUs, cluster has {}",
+                cluster.gpu_count()
+            )));
+        }
+        let aug = AugmentedGraph::build(graph, comm);
+        let n_nodes = aug.node_count();
+
+        // Horizon: everything serialized = safe big-M.
+        let horizon: f64 = aug
+            .nodes()
+            .iter()
+            .map(|n| node_duration(graph, n))
+            .sum::<f64>()
+            .max(1.0);
+        let h = horizon;
+        let gate = 2.0 * h; // must dominate any time difference plus H·δ
+
+        let mut lp = Problem::new(Sense::Minimize);
+        let cmax = lp.add_var("cmax", 0.0, f64::INFINITY, 1.0);
+        let start_vars: Vec<VarId> = (0..n_nodes)
+            .map(|i| lp.add_var(format!("s{i}"), 0.0, f64::INFINITY, 0.0))
+            .collect();
+        let mut binaries = Vec::new();
+
+        // Placement binaries for GPU ops.
+        let mut x_vars: Vec<Option<VarId>> = vec![None; graph.op_count()];
+        for id in graph.op_ids() {
+            if graph.op(id).kind() == DeviceKind::Gpu {
+                let v = lp.add_var(format!("x{}", id.index()), 0.0, 1.0, 0.0);
+                x_vars[id.index()] = Some(v);
+                binaries.push(v);
+            }
+        }
+
+        // z_k indicators for O_GG vertices, with the XOR linearization (5).
+        let mut z_vars: Vec<Option<VarId>> = vec![None; n_nodes];
+        for (k, edge, class, _) in aug.comm_nodes() {
+            if class != CommClass::GpuGpu {
+                continue;
+            }
+            let (a, b, _) = graph.edges()[edge];
+            let xa = x_vars[a.index()].expect("GG endpoint is a GPU op");
+            let xb = x_vars[b.index()].expect("GG endpoint is a GPU op");
+            let z = lp.add_var(format!("z{k}"), 0.0, 1.0, 0.0);
+            binaries.push(z);
+            z_vars[k] = Some(z);
+            // z <= xa + xb ; z >= xa - xb ; z >= xb - xa ; z <= 2 - xa - xb.
+            lp.add_constraint(vec![(z, 1.0), (xa, -1.0), (xb, -1.0)], Relation::Le, 0.0);
+            lp.add_constraint(vec![(z, 1.0), (xa, -1.0), (xb, 1.0)], Relation::Ge, 0.0);
+            lp.add_constraint(vec![(z, 1.0), (xa, 1.0), (xb, -1.0)], Relation::Ge, 0.0);
+            lp.add_constraint(vec![(z, 1.0), (xa, 1.0), (xb, 1.0)], Relation::Le, 2.0);
+        }
+
+        // Completion expression of node i as linear terms into a constraint:
+        // C_i = S_i + p_i, or S_k + p_k z_k for GG vertices.
+        let completion_terms = |i: usize| -> (Vec<(VarId, f64)>, f64) {
+            let p = node_duration(graph, &aug.nodes()[i]);
+            match z_vars[i] {
+                Some(z) => (vec![(start_vars[i], 1.0), (z, p)], 0.0),
+                None => (vec![(start_vars[i], 1.0)], p),
+            }
+        };
+
+        // (1) Precedence on augmented edges: C_i <= S_j.
+        for &(i, j) in aug.edges() {
+            let (mut terms, constant) = completion_terms(i);
+            for t in &mut terms {
+                t.1 = -t.1;
+            }
+            terms.push((start_vars[j], 1.0));
+            lp.add_constraint(terms, Relation::Ge, constant);
+        }
+
+        // (3) C_i <= C_max for every node.
+        for i in 0..n_nodes {
+            let (mut terms, constant) = completion_terms(i);
+            for t in &mut terms {
+                t.1 = -t.1;
+            }
+            terms.push((cmax, 1.0));
+            lp.add_constraint(terms, Relation::Ge, constant);
+        }
+
+        // Reachability on the base graph for pruning redundant disjunctions:
+        // if i must precede j anyway, no δ pair is needed.
+        let reach = reachability_matrix(graph);
+        let unordered_ops = |a: OpId, b: OpId| -> bool {
+            !reach[a.index()][b.index()] && !reach[b.index()][a.index()]
+        };
+
+        // (4) CPU non-overlap: CPU-resident ops share the single CPU.
+        let cpu_ops: Vec<OpId> = graph
+            .op_ids()
+            .filter(|&id| graph.op(id).kind() != DeviceKind::Gpu)
+            .collect();
+        for (ai, &a) in cpu_ops.iter().enumerate() {
+            for &b in cpu_ops.iter().skip(ai + 1) {
+                if !unordered_ops(a, b) {
+                    continue;
+                }
+                let d = lp.add_var(format!("dC_{}_{}", a.index(), b.index()), 0.0, 1.0, 0.0);
+                binaries.push(d);
+                let (sa, sb) = (start_vars[a.index()], start_vars[b.index()]);
+                let (pa, pb) = (graph.op(a).compute_us(), graph.op(b).compute_us());
+                // δ=0: S_a >= C_b ; δ=1: S_b >= C_a.
+                lp.add_constraint(vec![(sa, 1.0), (sb, -1.0), (d, h)], Relation::Ge, pb);
+                lp.add_constraint(vec![(sb, 1.0), (sa, -1.0), (d, -h)], Relation::Ge, pa - h);
+            }
+        }
+
+        // (10) GPU non-overlap, gated on colocation (both on GPU-1 or both
+        // on GPU-0).
+        let gpu_ops: Vec<OpId> = graph
+            .op_ids()
+            .filter(|&id| graph.op(id).kind() == DeviceKind::Gpu)
+            .collect();
+        for (ai, &a) in gpu_ops.iter().enumerate() {
+            for &b in gpu_ops.iter().skip(ai + 1) {
+                if !unordered_ops(a, b) {
+                    continue;
+                }
+                let d = lp.add_var(format!("dG_{}_{}", a.index(), b.index()), 0.0, 1.0, 0.0);
+                binaries.push(d);
+                let (sa, sb) = (start_vars[a.index()], start_vars[b.index()]);
+                let (pa, pb) = (graph.op(a).compute_us(), graph.op(b).compute_us());
+                let xa = x_vars[a.index()].expect("gpu op");
+                let xb = x_vars[b.index()].expect("gpu op");
+                // Gate "both on GPU-1": slack G*(2 - xa - xb).
+                lp.add_constraint(
+                    vec![(sa, 1.0), (sb, -1.0), (d, h), (xa, -gate), (xb, -gate)],
+                    Relation::Ge,
+                    pb - 2.0 * gate,
+                );
+                lp.add_constraint(
+                    vec![(sb, 1.0), (sa, -1.0), (d, -h), (xa, -gate), (xb, -gate)],
+                    Relation::Ge,
+                    pa - h - 2.0 * gate,
+                );
+                // Gate "both on GPU-0": slack G*(xa + xb).
+                lp.add_constraint(
+                    vec![(sa, 1.0), (sb, -1.0), (d, h), (xa, gate), (xb, gate)],
+                    Relation::Ge,
+                    pb,
+                );
+                lp.add_constraint(
+                    vec![(sb, 1.0), (sa, -1.0), (d, -h), (xa, gate), (xb, gate)],
+                    Relation::Ge,
+                    pa - h,
+                );
+            }
+        }
+
+        // (7) Congestion constraints on communication vertices.
+        if config.congestion {
+            add_congestion_constraints(
+                &mut lp,
+                &mut binaries,
+                graph,
+                &aug,
+                &start_vars,
+                &x_vars,
+                &z_vars,
+                &reach,
+                h,
+                gate,
+            );
+        }
+
+        // (8) Memory constraints.
+        match config.memory {
+            MemoryRule::Off => {}
+            MemoryRule::Balance { slack } => {
+                let total: f64 = gpu_ops
+                    .iter()
+                    .map(|&id| graph.op(id).memory_bytes() as f64)
+                    .sum();
+                if total > 0.0 {
+                    let terms: Vec<(VarId, f64)> = gpu_ops
+                        .iter()
+                        .map(|&id| {
+                            (
+                                x_vars[id.index()].expect("gpu op"),
+                                graph.op(id).memory_bytes() as f64,
+                            )
+                        })
+                        .collect();
+                    lp.add_constraint(terms.clone(), Relation::Le, (0.5 + slack) * total);
+                    lp.add_constraint(terms, Relation::Ge, (0.5 - slack) * total);
+                }
+            }
+            MemoryRule::Capacity => {
+                let total: f64 = gpu_ops
+                    .iter()
+                    .map(|&id| graph.op(id).memory_bytes() as f64)
+                    .sum();
+                let terms: Vec<(VarId, f64)> = gpu_ops
+                    .iter()
+                    .map(|&id| {
+                        (
+                            x_vars[id.index()].expect("gpu op"),
+                            graph.op(id).memory_bytes() as f64,
+                        )
+                    })
+                    .collect();
+                let cap1 = cluster.devices()[cluster.gpu(1).index()].memory_bytes() as f64;
+                let cap0 = cluster.devices()[cluster.gpu(0).index()].memory_bytes() as f64;
+                // Σ mem·x <= cap1 and Σ mem·(1-x) <= cap0.
+                lp.add_constraint(terms.clone(), Relation::Le, cap1);
+                lp.add_constraint(terms, Relation::Ge, total - cap0);
+            }
+        }
+
+        // Colocation: all GPU ops in a group share x (paper §3.2.2).
+        let mut groups: std::collections::HashMap<u32, VarId> = std::collections::HashMap::new();
+        for &id in &gpu_ops {
+            if let Some(gid) = graph.op(id).colocation_group() {
+                let x = x_vars[id.index()].expect("gpu op");
+                match groups.get(&gid) {
+                    None => {
+                        groups.insert(gid, x);
+                    }
+                    Some(&leader) => {
+                        lp.add_constraint(vec![(x, 1.0), (leader, -1.0)], Relation::Eq, 0.0);
+                    }
+                }
+            }
+        }
+
+        let milp = MilpProblem::new(lp, binaries);
+        Ok(IlpModel {
+            graph,
+            cluster,
+            aug,
+            milp,
+            start_vars,
+            x_vars,
+            z_vars,
+            cmax,
+            horizon,
+        })
+    }
+
+    /// The underlying MILP (for inspection and statistics).
+    pub fn milp(&self) -> &MilpProblem {
+        &self.milp
+    }
+
+    /// The augmented graph the model was built from.
+    pub fn augmented(&self) -> &AugmentedGraph {
+        &self.aug
+    }
+
+    /// Big-M horizon used by the disjunctive constraints.
+    pub fn horizon_us(&self) -> f64 {
+        self.horizon
+    }
+
+    /// Builds a warm-start assignment from an existing feasible plan by
+    /// simulating it and reading off start times, placements, transfer
+    /// indicators, and order indicators. Returns `None` if the plan cannot
+    /// be simulated or the resulting point is not feasible for the model
+    /// (e.g. it violates the memory-balance constraints).
+    pub fn warm_start_from(&self, plan: &Plan, comm: &CommModel) -> Option<Vec<f64>> {
+        let sim = Simulator::new(self.graph, self.cluster, *comm).with_memory_check(false);
+        let report = sim.run(plan).ok()?;
+        let lp = self.milp.lp();
+        let mut values = vec![0.0; lp.var_count()];
+        values[self.cmax.index()] = report.makespan_us;
+
+        // Op starts and x placements.
+        for id in self.graph.op_ids() {
+            let s = report.op_start_us(id)?;
+            values[self.start_vars[self.aug.node_of_op(id)].index()] = s;
+            if let Some(x) = self.x_vars[id.index()] {
+                let dev = plan.placement.device(id);
+                values[x.index()] = if dev == self.cluster.gpu(1) { 1.0 } else { 0.0 };
+            }
+        }
+
+        // Comm vertex starts and z indicators.
+        for (k, edge, _class, _dur) in self.aug.comm_nodes() {
+            let (u, v, _) = self.graph.edges()[edge];
+            let cross = plan.placement.device(u) != plan.placement.device(v);
+            if let Some(z) = self.z_vars[k] {
+                values[z.index()] = if cross { 1.0 } else { 0.0 };
+            }
+            let s = if cross {
+                report
+                    .transfer_spans
+                    .iter()
+                    .find(|t| t.src == u && t.dst == v)?
+                    .start_us
+            } else {
+                report.op_finish_us(u)?
+            };
+            values[self.start_vars[k].index()] = s;
+        }
+
+        // Order indicators: every δ variable is named d?_{a}_{b}; set from
+        // observed start order (δ=1 ⇔ a starts first ⇒ S_b >= C_a branch).
+        for vi in 0..lp.var_count() {
+            let name = lp.var_name(VarId::from_index(vi)).to_string();
+            if let Some(rest) = name.strip_prefix("dC_").or_else(|| name.strip_prefix("dG_")) {
+                let mut parts = rest.split('_');
+                let a: usize = parts.next()?.parse().ok()?;
+                let b: usize = parts.next()?.parse().ok()?;
+                let sa = values[self.start_vars[a].index()];
+                let sb = values[self.start_vars[b].index()];
+                values[vi] = if sa <= sb { 1.0 } else { 0.0 };
+            } else if let Some(rest) = name.strip_prefix("dK_") {
+                let mut parts = rest.split('_');
+                let a: usize = parts.next()?.parse().ok()?;
+                let b: usize = parts.next()?.parse().ok()?;
+                let sa = values[self.start_vars[a].index()];
+                let sb = values[self.start_vars[b].index()];
+                values[vi] = if sa <= sb { 1.0 } else { 0.0 };
+            }
+        }
+
+        if self.milp.is_integer_feasible(&values, 1e-4) {
+            Some(values)
+        } else {
+            None
+        }
+    }
+
+    /// Solves the model and decodes a plan.
+    ///
+    /// # Errors
+    ///
+    /// * [`IlpError::Infeasible`] — no placement satisfies the constraints
+    ///   (e.g. an impossible memory balance);
+    /// * [`IlpError::NoSolution`] — B&B limits expired before any feasible
+    ///   point was found.
+    pub fn solve(&self, config: &MilpConfig) -> Result<IlpOutcome, IlpError> {
+        let solution = self.milp.solve(config)?;
+        Ok(self.decode(&solution))
+    }
+
+    /// Decodes a MILP solution into a [`Plan`] and outcome statistics.
+    pub fn decode(&self, solution: &MilpSolution) -> IlpOutcome {
+        let mut device_of = Vec::with_capacity(self.graph.op_count());
+        for id in self.graph.op_ids() {
+            let dev = match self.x_vars[id.index()] {
+                None => self.cluster.cpu(),
+                Some(x) => {
+                    if solution.value(x) > 0.5 {
+                        self.cluster.gpu(1)
+                    } else {
+                        self.cluster.gpu(0)
+                    }
+                }
+            };
+            device_of.push(dev);
+        }
+        let placement = Placement::from_vec(device_of);
+
+        // Order ops per device by model start time (tie: topo position).
+        let mut topo_pos = vec![0usize; self.graph.op_count()];
+        for (i, &v) in self.graph.topo_order().iter().enumerate() {
+            topo_pos[v.index()] = i;
+        }
+        let mut per_device: Vec<Vec<OpId>> = vec![Vec::new(); self.cluster.device_count()];
+        for id in self.graph.op_ids() {
+            per_device[placement.device(id).index()].push(id);
+        }
+        for list in &mut per_device {
+            list.sort_by(|&a, &b| {
+                let sa = solution.value(self.start_vars[self.aug.node_of_op(a)]);
+                let sb = solution.value(self.start_vars[self.aug.node_of_op(b)]);
+                sa.total_cmp(&sb).then(topo_pos[a.index()].cmp(&topo_pos[b.index()]))
+            });
+        }
+        let plan = Plan::with_order(placement, ScheduleOrder::from_vecs(per_device));
+        IlpOutcome {
+            plan,
+            cmax_us: solution.value(self.cmax),
+            proven_optimal: solution.status == MilpStatus::Optimal,
+            gap: solution.gap,
+            nodes_explored: solution.nodes_explored,
+        }
+    }
+}
+
+/// Dense reachability (transitive closure) on the base graph.
+fn reachability_matrix(graph: &FrozenGraph) -> Vec<Vec<bool>> {
+    let n = graph.op_count();
+    let mut reach = vec![vec![false; n]; n];
+    #[allow(clippy::needless_range_loop)] // row-OR over the closure matrix
+    for &v in graph.topo_order().iter().rev() {
+        for &s in graph.succs(v) {
+            reach[v.index()][s.index()] = true;
+            // Row-or: reach[v] |= reach[s]. Manual loop keeps it simple.
+            for t in 0..n {
+                if reach[s.index()][t] {
+                    reach[v.index()][t] = true;
+                }
+            }
+        }
+    }
+    reach
+}
+
+/// Adds the paper's congestion constraints (7): communication vertices that
+/// would use the same link in the same direction must not overlap. One δ
+/// variable (named `dK_{i}_{j}` over augmented-node indices) per pair.
+#[allow(clippy::too_many_arguments)]
+fn add_congestion_constraints(
+    lp: &mut Problem,
+    binaries: &mut Vec<VarId>,
+    graph: &FrozenGraph,
+    aug: &AugmentedGraph,
+    start_vars: &[VarId],
+    x_vars: &[Option<VarId>],
+    z_vars: &[Option<VarId>],
+    reach: &[Vec<bool>],
+    h: f64,
+    gate: f64,
+) {
+    let comm: Vec<(usize, usize, CommClass, f64)> = aug.comm_nodes().collect();
+    // Comm vertex k for edge (u, v) precedes comm vertex k' for (u', v') if
+    // v reaches u' (or v == u').
+    let precedes = |e1: usize, e2: usize| -> bool {
+        let (_, v1, _) = graph.edges()[e1];
+        let (u2, _, _) = graph.edges()[e2];
+        v1 == u2 || reach[v1.index()][u2.index()]
+    };
+
+    for (i_pos, &(ki, ei, ci, pi)) in comm.iter().enumerate() {
+        for &(kj, ej, cj, pj) in comm.iter().skip(i_pos + 1) {
+            if ci != cj {
+                continue; // different link classes never share a queue
+            }
+            if precedes(ei, ej) || precedes(ej, ei) {
+                continue; // order already implied by precedence
+            }
+            let d = lp.add_var(format!("dK_{ki}_{kj}"), 0.0, 1.0, 0.0);
+            binaries.push(d);
+            let (si, sj) = (start_vars[ki], start_vars[kj]);
+
+            // Completion terms: C = S + p (or S + p z for GG).
+            let ct = |k: usize, p: f64, sign: f64, terms: &mut Vec<(VarId, f64)>| -> f64 {
+                terms.push((start_vars[k], sign));
+                match z_vars[k] {
+                    Some(z) => {
+                        terms.push((z, sign * p));
+                        0.0
+                    }
+                    None => sign * p,
+                }
+            };
+
+            // The two directed gates for this pair, as coefficient bundles
+            // on x variables such that gate_expr == 0 iff both transfers use
+            // the link in that direction, and >= 1 otherwise.
+            let (u_i, v_i, _) = graph.edges()[ei];
+            let (u_j, v_j, _) = graph.edges()[ej];
+            // Each gate is (x-coefficients, constant) such that
+            // gate_expr = constant + Σ coeff·x is 0 exactly when both
+            // transfers use the same link direction, and >= 1 otherwise.
+            let gates: Vec<(Vec<(VarId, f64)>, f64)> = match ci {
+                CommClass::GpuGpu => {
+                    let xa = x_vars[u_i.index()].expect("gg");
+                    let xb = x_vars[v_i.index()].expect("gg");
+                    let xc = x_vars[u_j.index()].expect("gg");
+                    let xd = x_vars[v_j.index()].expect("gg");
+                    vec![
+                        // GPU-1 -> GPU-0 (xa=1, xb=0, xc=1, xd=0):
+                        // gate = 2 - xa + xb - xc + xd.
+                        (vec![(xa, -1.0), (xb, 1.0), (xc, -1.0), (xd, 1.0)], 2.0),
+                        // GPU-0 -> GPU-1 (xa=0, xb=1, xc=0, xd=1):
+                        // gate = 2 + xa - xb + xc - xd.
+                        (vec![(xa, 1.0), (xb, -1.0), (xc, 1.0), (xd, -1.0)], 2.0),
+                    ]
+                }
+                CommClass::CpuGpu => {
+                    // Same queue iff the two GPU consumers share a GPU.
+                    let xb = x_vars[v_i.index()].expect("cg consumer is gpu");
+                    let xd = x_vars[v_j.index()].expect("cg consumer is gpu");
+                    vec![
+                        // Both on GPU-1: gate = 2 - xb - xd.
+                        (vec![(xb, -1.0), (xd, -1.0)], 2.0),
+                        // Both on GPU-0: gate = xb + xd.
+                        (vec![(xb, 1.0), (xd, 1.0)], 0.0),
+                    ]
+                }
+                CommClass::GpuCpu => {
+                    let xa = x_vars[u_i.index()].expect("gc producer is gpu");
+                    let xc = x_vars[u_j.index()].expect("gc producer is gpu");
+                    vec![
+                        (vec![(xa, -1.0), (xc, -1.0)], 2.0),
+                        (vec![(xa, 1.0), (xc, 1.0)], 0.0),
+                    ]
+                }
+            };
+            for (gate_terms, gate_const) in gates {
+                // δ=0 branch: S_i >= C_j - H·δ - G·gate_expr
+                //   S_i - C_j + H·δ + G·gate_expr >= 0.
+                let mut terms = vec![(si, 1.0), (d, h)];
+                let cj_const = ct(kj, pj, -1.0, &mut terms);
+                for &(xv, c) in &gate_terms {
+                    terms.push((xv, gate * c));
+                }
+                lp.add_constraint(terms, Relation::Ge, -cj_const - gate * gate_const);
+                // δ=1 branch: S_j >= C_i - H(1-δ) - G·gate_expr.
+                let mut terms = vec![(sj, 1.0), (d, -h)];
+                let ci_const = ct(ki, pi, -1.0, &mut terms);
+                for &(xv, c) in &gate_terms {
+                    terms.push((xv, gate * c));
+                }
+                lp.add_constraint(terms, Relation::Ge, -ci_const - h - gate * gate_const);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pesto_graph::OpGraph;
+    use std::time::Duration;
+
+    fn cfg() -> IlpConfig {
+        IlpConfig {
+            congestion: true,
+            memory: MemoryRule::Off,
+            milp: MilpConfig::with_time_limit(Duration::from_secs(20)),
+        }
+    }
+
+    fn comm() -> CommModel {
+        CommModel::default_v100()
+    }
+
+    #[test]
+    fn independent_heavy_ops_split_across_gpus() {
+        let mut g = OpGraph::new("two-independent");
+        let a = g.add_op("a", DeviceKind::Gpu, 100.0, 16);
+        let b = g.add_op("b", DeviceKind::Gpu, 100.0, 16);
+        let g = g.freeze().unwrap();
+        let cluster = Cluster::two_gpus();
+        let model = IlpModel::build(&g, &cluster, &comm(), &cfg()).unwrap();
+        let out = model.solve(&cfg().milp).unwrap();
+        assert!(out.proven_optimal);
+        assert!((out.cmax_us - 100.0).abs() < 1e-4, "cmax {}", out.cmax_us);
+        assert_ne!(out.plan.placement.device(a), out.plan.placement.device(b));
+    }
+
+    #[test]
+    fn heavy_communication_forces_colocation() {
+        // Chain with a huge tensor: splitting costs far more than serial.
+        let mut g = OpGraph::new("heavy-edge");
+        let a = g.add_op("a", DeviceKind::Gpu, 10.0, 16);
+        let b = g.add_op("b", DeviceKind::Gpu, 10.0, 16);
+        g.add_edge(a, b, 256 << 20).unwrap(); // 256 MiB
+        let g = g.freeze().unwrap();
+        let cluster = Cluster::two_gpus();
+        let model = IlpModel::build(&g, &cluster, &comm(), &cfg()).unwrap();
+        let out = model.solve(&cfg().milp).unwrap();
+        assert_eq!(out.plan.placement.device(a), out.plan.placement.device(b));
+        assert!((out.cmax_us - 20.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn cheap_communication_enables_pipelining() {
+        // Diamond: root -> two heavy branches -> sink, tiny tensors. The
+        // optimum spreads the branches.
+        let mut g = OpGraph::new("diamond");
+        let r = g.add_op("r", DeviceKind::Gpu, 1.0, 16);
+        let x = g.add_op("x", DeviceKind::Gpu, 500.0, 16);
+        let y = g.add_op("y", DeviceKind::Gpu, 500.0, 16);
+        let s = g.add_op("s", DeviceKind::Gpu, 1.0, 16);
+        g.add_edge(r, x, 64).unwrap();
+        g.add_edge(r, y, 64).unwrap();
+        g.add_edge(x, s, 64).unwrap();
+        g.add_edge(y, s, 64).unwrap();
+        let g = g.freeze().unwrap();
+        let cluster = Cluster::two_gpus();
+        let model = IlpModel::build(&g, &cluster, &comm(), &cfg()).unwrap();
+        let out = model.solve(&cfg().milp).unwrap();
+        assert_ne!(out.plan.placement.device(x), out.plan.placement.device(y));
+        // Serial would be ~1002; parallel pays two small transfers.
+        assert!(out.cmax_us < 600.0, "cmax {}", out.cmax_us);
+    }
+
+    #[test]
+    fn memory_balance_forces_split() {
+        // Two heavy-memory independent ops with huge comm avoidance benefit
+        // to colocate — but Balance{0.1} forbids an 100/0 split.
+        let mut g = OpGraph::new("membal");
+        let a = g.add_op("a", DeviceKind::Gpu, 10.0, 1000);
+        let b = g.add_op("b", DeviceKind::Gpu, 10.0, 1000);
+        g.add_edge(a, b, 512 << 20).unwrap();
+        let g = g.freeze().unwrap();
+        let cluster = Cluster::two_gpus();
+        let config = IlpConfig {
+            memory: MemoryRule::Balance { slack: 0.1 },
+            ..cfg()
+        };
+        let model = IlpModel::build(&g, &cluster, &comm(), &config).unwrap();
+        let out = model.solve(&config.milp).unwrap();
+        assert_ne!(
+            out.plan.placement.device(a),
+            out.plan.placement.device(b),
+            "memory balance must force the split despite the huge tensor"
+        );
+    }
+
+    #[test]
+    fn capacity_rule_infeasible_when_too_big() {
+        let mut g = OpGraph::new("toobig");
+        g.add_op("a", DeviceKind::Gpu, 1.0, 100);
+        g.add_op("b", DeviceKind::Gpu, 1.0, 100);
+        let g = g.freeze().unwrap();
+        let cluster = Cluster::homogeneous(2, 80); // each op alone overflows
+        let config = IlpConfig {
+            memory: MemoryRule::Capacity,
+            ..cfg()
+        };
+        let model = IlpModel::build(&g, &cluster, &comm(), &config).unwrap();
+        assert_eq!(model.solve(&config.milp).unwrap_err(), IlpError::Infeasible);
+    }
+
+    #[test]
+    fn colocation_constraint_respected() {
+        let mut g = OpGraph::new("coloc");
+        let a = g.add_op("a", DeviceKind::Gpu, 100.0, 16);
+        let b = g.add_op("b", DeviceKind::Gpu, 100.0, 16);
+        g.op_mut(a).set_colocation_group(Some(7));
+        g.op_mut(b).set_colocation_group(Some(7));
+        let g = g.freeze().unwrap();
+        let cluster = Cluster::two_gpus();
+        let model = IlpModel::build(&g, &cluster, &comm(), &cfg()).unwrap();
+        let out = model.solve(&cfg().milp).unwrap();
+        // Without colocation these would split (see the first test); the
+        // group forces them together.
+        assert_eq!(out.plan.placement.device(a), out.plan.placement.device(b));
+        assert!((out.cmax_us - 200.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn decoded_plan_simulates_close_to_cmax() {
+        let mut g = OpGraph::new("sim-check");
+        let r = g.add_op("r", DeviceKind::Gpu, 5.0, 16);
+        let x = g.add_op("x", DeviceKind::Gpu, 60.0, 16);
+        let y = g.add_op("y", DeviceKind::Gpu, 40.0, 16);
+        let z = g.add_op("z", DeviceKind::Gpu, 30.0, 16);
+        let s = g.add_op("s", DeviceKind::Gpu, 5.0, 16);
+        g.add_edge(r, x, 4096).unwrap();
+        g.add_edge(r, y, 4096).unwrap();
+        g.add_edge(r, z, 4096).unwrap();
+        g.add_edge(x, s, 4096).unwrap();
+        g.add_edge(y, s, 4096).unwrap();
+        g.add_edge(z, s, 4096).unwrap();
+        let g = g.freeze().unwrap();
+        let cluster = Cluster::two_gpus();
+        let model = IlpModel::build(&g, &cluster, &comm(), &cfg()).unwrap();
+        let out = model.solve(&cfg().milp).unwrap();
+        let sim = Simulator::new(&g, &cluster, comm()).with_memory_check(false);
+        let report = sim.run(&out.plan).unwrap();
+        // The simulator's FCFS links can differ slightly from the model's
+        // free transfer ordering, but they should be close.
+        assert!(
+            report.makespan_us <= out.cmax_us * 1.15 + 1e-6,
+            "sim {} vs cmax {}",
+            report.makespan_us,
+            out.cmax_us
+        );
+        assert!(report.makespan_us >= out.cmax_us - 1e-6);
+    }
+
+    #[test]
+    fn three_gpus_unsupported_by_exact_ilp() {
+        let mut g = OpGraph::new("t");
+        g.add_op("a", DeviceKind::Gpu, 1.0, 0);
+        let g = g.freeze().unwrap();
+        let cluster = Cluster::homogeneous(3, 1 << 30);
+        assert!(matches!(
+            IlpModel::build(&g, &cluster, &comm(), &cfg()),
+            Err(IlpError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn warm_start_round_trips() {
+        let mut g = OpGraph::new("ws");
+        let a = g.add_op("a", DeviceKind::Gpu, 10.0, 16);
+        let b = g.add_op("b", DeviceKind::Gpu, 20.0, 16);
+        let c = g.add_op("c", DeviceKind::Gpu, 30.0, 16);
+        g.add_edge(a, b, 256).unwrap();
+        g.add_edge(a, c, 256).unwrap();
+        let g = g.freeze().unwrap();
+        let cluster = Cluster::two_gpus();
+        let model = IlpModel::build(&g, &cluster, &comm(), &cfg()).unwrap();
+        // Simple plan: everything on gpu0, topo order.
+        let placement = Placement::uniform(3, cluster.gpu(0));
+        let order = ScheduleOrder::from_global_order(&placement, g.topo_order(), cluster.device_count());
+        let plan = Plan::with_order(placement, order);
+        let ws = model.warm_start_from(&plan, &comm());
+        assert!(ws.is_some(), "a valid simulated plan must warm-start");
+        // Solving with the warm start still reaches the optimum.
+        let config = MilpConfig {
+            warm_start: ws,
+            ..MilpConfig::with_time_limit(Duration::from_secs(20))
+        };
+        let out = model.solve(&config).unwrap();
+        assert!(out.cmax_us <= 60.0 + 1e-4);
+    }
+
+    #[test]
+    fn model_size_matches_formulas() {
+        // k independent GPU ops, no edges: variables = 1 (cmax) + k (S_i)
+        // + k (x_i) + C(k,2) (δ); no z (no GG edges).
+        let k = 5;
+        let mut g = OpGraph::new("count");
+        for i in 0..k {
+            g.add_op(format!("op{i}"), DeviceKind::Gpu, 10.0, 16);
+        }
+        let g = g.freeze().unwrap();
+        let cluster = Cluster::two_gpus();
+        let model = IlpModel::build(&g, &cluster, &comm(), &cfg()).unwrap();
+        let pairs = k * (k - 1) / 2;
+        assert_eq!(model.milp().lp().var_count(), 1 + k + k + pairs);
+        assert_eq!(model.milp().binaries().len(), k + pairs);
+        // Constraints: k Cmax rows + 4 rows per GPU pair (two gates x two
+        // orders); no precedence/congestion/memory rows.
+        assert_eq!(model.milp().lp().constraint_count(), k + 4 * pairs);
+    }
+
+    #[test]
+    fn z_indicators_match_cross_placement_in_solutions() {
+        // A chain a -> b with a modest tensor: whatever the solver picks,
+        // z must equal [a and b on different GPUs].
+        let mut g = OpGraph::new("zcheck");
+        let a = g.add_op("a", DeviceKind::Gpu, 30.0, 16);
+        let b = g.add_op("b", DeviceKind::Gpu, 30.0, 16);
+        g.add_edge(a, b, 1 << 16).unwrap();
+        let g = g.freeze().unwrap();
+        let cluster = Cluster::two_gpus();
+        let model = IlpModel::build(&g, &cluster, &comm(), &cfg()).unwrap();
+        let solution = model.milp().solve(&cfg().milp).unwrap();
+        let out = model.decode(&solution);
+        let cross = out.plan.placement.device(a) != out.plan.placement.device(b);
+        // Find the z variable by name.
+        let lp = model.milp().lp();
+        let z = (0..lp.var_count())
+            .map(pesto_lp::VarId::from_index)
+            .find(|&v| lp.var_name(v).starts_with('z'))
+            .expect("one GG comm vertex");
+        assert_eq!(solution.value(z) > 0.5, cross);
+    }
+
+    #[test]
+    fn cpu_ops_serialize_on_the_cpu() {
+        let mut g = OpGraph::new("cpu2");
+        let a = g.add_op("a", DeviceKind::Cpu, 50.0, 0);
+        let b = g.add_op("b", DeviceKind::Cpu, 50.0, 0);
+        let _ = (a, b);
+        let g = g.freeze().unwrap();
+        let cluster = Cluster::two_gpus();
+        let model = IlpModel::build(&g, &cluster, &comm(), &cfg()).unwrap();
+        let out = model.solve(&cfg().milp).unwrap();
+        // One CPU: they cannot overlap.
+        assert!((out.cmax_us - 100.0).abs() < 1e-4, "cmax {}", out.cmax_us);
+    }
+}

@@ -1,0 +1,494 @@
+//! The hybrid placement solver: simulated annealing over placements with a
+//! list-scheduling + simulation evaluator.
+//!
+//! The paper solves its ILP with CPLEX after coarsening to ~200 vertices
+//! (§3.3, §5.3). A from-scratch branch-and-bound cannot close big-M
+//! scheduling formulations of that size in reasonable time, so this module
+//! provides the search horsepower instead: an annealed local search over
+//! the *placement* variables `x_i` — the same decision space as the ILP —
+//! whose inner objective is the simulated makespan of the ETF schedule for
+//! that placement, plus a penalty for memory-capacity violations.
+//!
+//! The result is used directly for large instances and as a warm-start
+//! incumbent for the exact ILP on small ones (see [`crate::PestoPlacer`]).
+//! Restarts run in parallel via `crossbeam` scoped threads.
+
+use crate::error::IlpError;
+use crate::listsched::etf_schedule;
+use pesto_cost::CommModel;
+use pesto_graph::{Cluster, DeviceKind, FrozenGraph, OpId, Placement, Plan};
+use pesto_sim::Simulator;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Hybrid solver knobs.
+#[derive(Debug, Clone)]
+pub struct HybridConfig {
+    /// Annealing steps per restart.
+    pub iterations: usize,
+    /// Independent restarts (run in parallel threads), *in addition to* one
+    /// restart per seed placement.
+    pub restarts: usize,
+    /// RNG seed; restart `r` uses `seed + r`.
+    pub seed: u64,
+    /// Initial temperature as a fraction of the initial makespan.
+    pub initial_temp_frac: f64,
+    /// Constructive placements to seed extra restarts with (e.g. the Baechi
+    /// heuristics run on the same graph). Invalid-length seeds are ignored.
+    pub initial_placements: Vec<Placement>,
+    /// Evaluate candidates believing links have infinite capacity (the
+    /// congestion-blind assumption of prior work). Exists for the Figure 5
+    /// ablation; leave `false` for faithful optimization.
+    pub infinite_links: bool,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        HybridConfig {
+            iterations: 2500,
+            restarts: 2,
+            seed: 0x9e37,
+            initial_temp_frac: 0.08,
+            initial_placements: Vec::new(),
+            infinite_links: false,
+        }
+    }
+}
+
+impl HybridConfig {
+    /// A light configuration for quick warm starts and tests.
+    pub fn quick() -> Self {
+        HybridConfig {
+            iterations: 400,
+            restarts: 2,
+            ..HybridConfig::default()
+        }
+    }
+}
+
+/// Result of a hybrid search: a complete plan and its simulated makespan.
+#[derive(Debug, Clone)]
+pub struct HybridOutcome {
+    /// Best plan found (placement + ETF-derived order).
+    pub plan: Plan,
+    /// Simulated makespan of the plan, µs.
+    pub makespan_us: f64,
+    /// Whether the plan fits in device memory.
+    pub memory_feasible: bool,
+}
+
+/// Simulated-annealing placement solver. Works for any GPU count.
+///
+/// # Example
+///
+/// ```
+/// use pesto_graph::{OpGraph, DeviceKind, Cluster};
+/// use pesto_cost::CommModel;
+/// use pesto_ilp::{HybridSolver, HybridConfig};
+///
+/// # fn main() -> Result<(), pesto_ilp::IlpError> {
+/// let mut g = OpGraph::new("two-independent");
+/// g.add_op("a", DeviceKind::Gpu, 100.0, 16);
+/// g.add_op("b", DeviceKind::Gpu, 100.0, 16);
+/// let g = g.freeze().unwrap();
+/// let out = HybridSolver::new(HybridConfig::quick())
+///     .solve(&g, &Cluster::two_gpus(), &CommModel::default_v100())?;
+/// assert!((out.makespan_us - 100.0).abs() < 1e-6); // spread across GPUs
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct HybridSolver {
+    config: HybridConfig,
+}
+
+impl HybridSolver {
+    /// Creates a solver with the given knobs.
+    pub fn new(config: HybridConfig) -> Self {
+        HybridSolver { config }
+    }
+
+    /// Runs the search.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IlpError::Unsupported`] for a graph without GPU ops on a
+    /// cluster without GPUs (nothing to place), and propagates simulator
+    /// errors for plans that cannot be evaluated at all.
+    pub fn solve(
+        &self,
+        graph: &FrozenGraph,
+        cluster: &Cluster,
+        comm: &CommModel,
+    ) -> Result<HybridOutcome, IlpError> {
+        // Move units: colocation groups move as a whole (paper §3.2.2:
+        // colocated ops share one placement variable); ungrouped GPU ops
+        // are singleton units.
+        let mut groups: std::collections::HashMap<u32, Vec<OpId>> = std::collections::HashMap::new();
+        let mut units: Vec<Vec<OpId>> = Vec::new();
+        for id in graph.op_ids() {
+            if graph.op(id).kind() != DeviceKind::Gpu {
+                continue;
+            }
+            match graph.op(id).colocation_group() {
+                Some(gid) => groups.entry(gid).or_default().push(id),
+                None => units.push(vec![id]),
+            }
+        }
+        let mut grouped: Vec<(u32, Vec<OpId>)> = groups.into_iter().collect();
+        grouped.sort_by_key(|(gid, _)| *gid); // determinism
+        units.extend(grouped.into_iter().map(|(_, ops)| ops));
+        let seeds: Vec<&Placement> = self
+            .config
+            .initial_placements
+            .iter()
+            .filter(|p| p.op_count() == graph.op_count())
+            .collect();
+        let restarts = self.config.restarts.max(1) + seeds.len();
+
+        let results: Vec<Result<(Plan, f64), IlpError>> = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for r in 0..restarts {
+                let units = &units;
+                let config = &self.config;
+                let seed_placement = seeds.get(r).copied();
+                let first_unseeded = r == seeds.len();
+                handles.push(scope.spawn(move |_| {
+                    anneal_once(
+                        graph,
+                        cluster,
+                        comm,
+                        units,
+                        config,
+                        r as u64,
+                        seed_placement,
+                        first_unseeded,
+                    )
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("restart panicked")).collect()
+        })
+        .expect("annealing scope panicked");
+
+        let mut best: Option<(Plan, f64)> = None;
+        let mut last_err = None;
+        for res in results {
+            match res {
+                Ok((plan, cost)) => {
+                    if best.as_ref().is_none_or(|(_, c)| cost < *c) {
+                        best = Some((plan, cost));
+                    }
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        let (plan, _) = best.ok_or_else(|| last_err.unwrap_or(IlpError::NoSolution))?;
+
+        // Final honest evaluation.
+        let sim = Simulator::new(graph, cluster, *comm).with_memory_check(false);
+        let report = sim.run(&plan)?;
+        let memory_feasible = plan.placement.oom_devices(graph, cluster).is_empty();
+        Ok(HybridOutcome {
+            plan,
+            makespan_us: report.makespan_us,
+            memory_feasible,
+        })
+    }
+}
+
+/// Penalized cost of a placement: simulated ETF makespan plus a strong
+/// penalty per byte of memory-capacity overflow.
+fn evaluate(
+    graph: &FrozenGraph,
+    cluster: &Cluster,
+    comm: &CommModel,
+    placement: &Placement,
+    sim: &Simulator<'_>,
+    horizon: f64,
+) -> Result<(Plan, f64), IlpError> {
+    let sched = etf_schedule(graph, cluster, comm, placement.clone(), sim)?;
+    let mut cost = sched.report.makespan_us;
+    let usage = placement.memory_per_device(graph, cluster);
+    for (d, &used) in usage.iter().enumerate() {
+        let cap = cluster.devices()[d].memory_bytes();
+        if used > cap {
+            let overflow_frac = (used - cap) as f64 / cap.max(1) as f64;
+            cost += horizon * (1.0 + overflow_frac);
+        }
+    }
+    Ok((sched.plan, cost))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn anneal_once(
+    graph: &FrozenGraph,
+    cluster: &Cluster,
+    comm: &CommModel,
+    units: &[Vec<OpId>],
+    config: &HybridConfig,
+    restart: u64,
+    seed_placement: Option<&Placement>,
+    first_unseeded: bool,
+) -> Result<(Plan, f64), IlpError> {
+    let gpu_ops: Vec<OpId> = units.iter().flatten().copied().collect();
+    let gpu_ops = &gpu_ops[..];
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(restart));
+    let sim = Simulator::new(graph, cluster, *comm)
+        .with_memory_check(false)
+        .with_infinite_links(config.infinite_links);
+    let horizon = graph.total_compute_us().max(1.0);
+    let gpus = cluster.gpus();
+
+    // Initial placement: seeded restarts use the provided constructive
+    // placement; the first unseeded restart splits by contiguous
+    // topological halves (Expert-like); the rest start randomly balanced.
+    let mut placement = Placement::affinity_default(graph, cluster);
+    if let Some(seed) = seed_placement {
+        placement = seed.clone();
+    } else if first_unseeded && !gpu_ops.is_empty() {
+        let mut order: Vec<OpId> = graph
+            .topo_order()
+            .iter()
+            .copied()
+            .filter(|&id| graph.op(id).kind() == DeviceKind::Gpu)
+            .collect();
+        let total: f64 = order.iter().map(|&id| graph.op(id).compute_us()).sum();
+        let per_gpu = total / gpus.len() as f64;
+        let mut acc = 0.0;
+        let mut g = 0usize;
+        for id in order.drain(..) {
+            placement.set_device(id, gpus[g]);
+            acc += graph.op(id).compute_us();
+            if acc > per_gpu * (g + 1) as f64 && g + 1 < gpus.len() {
+                g += 1;
+            }
+        }
+    } else {
+        for unit in units {
+            let g = gpus[rng.gen_range(0..gpus.len())];
+            for &id in unit {
+                placement.set_device(id, g);
+            }
+        }
+    }
+    // Normalize: every unit shares one device (the unit leader's), so
+    // colocation holds regardless of how the seed placement was built.
+    for unit in units {
+        let lead = placement.device(unit[0]);
+        for &id in &unit[1..] {
+            placement.set_device(id, lead);
+        }
+    }
+
+    let (mut cur_plan, mut cur_cost) = evaluate(graph, cluster, comm, &placement, &sim, horizon)?;
+    let mut best = (cur_plan.clone(), cur_cost);
+
+    if gpu_ops.is_empty() || gpus.len() < 2 {
+        return Ok(best); // nothing to search
+    }
+
+    let t0 = (cur_cost * config.initial_temp_frac).max(1e-6);
+    let t_end = t0 / 1000.0;
+    let steps = config.iterations.max(1);
+    let cooling = (t_end / t0).powf(1.0 / steps as f64);
+    let mut temp = t0;
+
+    for _ in 0..steps {
+        // Move: flip one GPU op to a different GPU, or (25%) swap two ops.
+        // Half of the single flips target *boundary* ops (ops with at least
+        // one cross-device edge), where placement changes actually move the
+        // communication structure.
+        let mut cand = placement.clone();
+        let move_unit = |cand: &mut Placement, unit: &[OpId], dev| {
+            for &id in unit {
+                cand.set_device(id, dev);
+            }
+        };
+        if units.len() >= 2 && rng.gen_bool(0.25) {
+            let a = &units[rng.gen_range(0..units.len())];
+            let b = &units[rng.gen_range(0..units.len())];
+            let (da, db) = (cand.device(a[0]), cand.device(b[0]));
+            move_unit(&mut cand, a, db);
+            move_unit(&mut cand, b, da);
+        } else {
+            let pick_boundary = rng.gen_bool(0.5);
+            let is_boundary = |unit: &[OpId], cand: &Placement| {
+                unit.iter().any(|&o| {
+                    let d = cand.device(o);
+                    graph.succs(o).iter().any(|&s| cand.device(s) != d)
+                        || graph.preds(o).iter().any(|&p| cand.device(p) != d)
+                })
+            };
+            let mut u = rng.gen_range(0..units.len());
+            if pick_boundary {
+                // Rejection-sample a boundary unit with a bounded number of
+                // tries (cheap; boundary units are common after warm-up).
+                for _ in 0..12 {
+                    if is_boundary(&units[u], &cand) {
+                        break;
+                    }
+                    u = rng.gen_range(0..units.len());
+                }
+            }
+            let unit = &units[u];
+            let cur_dev = cand.device(unit[0]);
+            let mut next = gpus[rng.gen_range(0..gpus.len())];
+            if next == cur_dev {
+                next = gpus[(gpus.iter().position(|&g| g == cur_dev).expect("gpu") + 1) % gpus.len()];
+            }
+            move_unit(&mut cand, unit, next);
+        }
+        let (cand_plan, cand_cost) = evaluate(graph, cluster, comm, &cand, &sim, horizon)?;
+        let accept = cand_cost < cur_cost
+            || rng.gen_bool(((cur_cost - cand_cost) / temp).exp().clamp(0.0, 1.0));
+        if accept {
+            placement = cand;
+            cur_plan = cand_plan;
+            cur_cost = cand_cost;
+            if cur_cost < best.1 {
+                best = (cur_plan.clone(), cur_cost);
+            }
+        }
+        temp *= cooling;
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pesto_graph::OpGraph;
+
+    fn comm() -> CommModel {
+        CommModel::default_v100()
+    }
+
+    #[test]
+    fn finds_parallel_split_for_independent_work() {
+        // 8 independent heavy GPU ops: best makespan is half of serial.
+        let mut g = OpGraph::new("indep");
+        for i in 0..8 {
+            g.add_op(format!("op{i}"), DeviceKind::Gpu, 100.0, 16);
+        }
+        let g = g.freeze().unwrap();
+        let cluster = Cluster::two_gpus();
+        let out = HybridSolver::new(HybridConfig::quick())
+            .solve(&g, &cluster, &comm())
+            .unwrap();
+        assert!(out.memory_feasible);
+        assert!(
+            out.makespan_us <= 500.0,
+            "makespan {} should approach the 400 optimum",
+            out.makespan_us
+        );
+    }
+
+    #[test]
+    fn keeps_heavy_chain_together() {
+        let mut g = OpGraph::new("chain");
+        let mut prev = None;
+        for i in 0..6 {
+            let id = g.add_op(format!("op{i}"), DeviceKind::Gpu, 10.0, 16);
+            if let Some(p) = prev {
+                g.add_edge(p, id, 64 << 20).unwrap(); // heavy tensors
+            }
+            prev = Some(id);
+        }
+        let g = g.freeze().unwrap();
+        let cluster = Cluster::two_gpus();
+        let out = HybridSolver::new(HybridConfig::quick())
+            .solve(&g, &cluster, &comm())
+            .unwrap();
+        // Serial on one GPU is 60; any split pays >5000 in transfers.
+        assert!((out.makespan_us - 60.0).abs() < 1e-6, "makespan {}", out.makespan_us);
+        assert_eq!(out.plan.placement.cut_edges(&g), 0);
+    }
+
+    #[test]
+    fn respects_memory_via_penalty() {
+        // Two fat independent ops that cannot share a GPU.
+        let mut g = OpGraph::new("fat");
+        g.add_op("a", DeviceKind::Gpu, 10.0, 900);
+        g.add_op("b", DeviceKind::Gpu, 10.0, 900);
+        let g = g.freeze().unwrap();
+        let cluster = Cluster::homogeneous(2, 1000);
+        let out = HybridSolver::new(HybridConfig::quick())
+            .solve(&g, &cluster, &comm())
+            .unwrap();
+        assert!(out.memory_feasible, "penalty must push ops apart");
+    }
+
+    #[test]
+    fn works_with_four_gpus() {
+        let mut g = OpGraph::new("wide4");
+        for i in 0..8 {
+            g.add_op(format!("op{i}"), DeviceKind::Gpu, 100.0, 16);
+        }
+        let g = g.freeze().unwrap();
+        let cluster = Cluster::homogeneous(4, 1 << 30);
+        let out = HybridSolver::new(HybridConfig::quick())
+            .solve(&g, &cluster, &comm())
+            .unwrap();
+        assert!(
+            out.makespan_us <= 300.0,
+            "4 GPUs should reach ~200, got {}",
+            out.makespan_us
+        );
+    }
+
+    #[test]
+    fn cpu_only_graph_is_fine() {
+        let mut g = OpGraph::new("cpu");
+        let a = g.add_op("a", DeviceKind::Cpu, 5.0, 0);
+        let b = g.add_op("b", DeviceKind::Cpu, 5.0, 0);
+        g.add_edge(a, b, 64).unwrap();
+        let g = g.freeze().unwrap();
+        let cluster = Cluster::two_gpus();
+        let out = HybridSolver::new(HybridConfig::quick())
+            .solve(&g, &cluster, &comm())
+            .unwrap();
+        assert!((out.makespan_us - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn colocation_groups_move_as_units() {
+        // Two heavy independent ops in one colocation group plus two free
+        // ops: the group must end up on one GPU even though splitting it
+        // would halve the makespan.
+        let mut g = OpGraph::new("coloc");
+        let a = g.add_op("a", DeviceKind::Gpu, 100.0, 16);
+        let b = g.add_op("b", DeviceKind::Gpu, 100.0, 16);
+        g.op_mut(a).set_colocation_group(Some(1));
+        g.op_mut(b).set_colocation_group(Some(1));
+        let _c = g.add_op("c", DeviceKind::Gpu, 100.0, 16);
+        let _d = g.add_op("d", DeviceKind::Gpu, 100.0, 16);
+        let g = g.freeze().unwrap();
+        let cluster = Cluster::two_gpus();
+        let out = HybridSolver::new(HybridConfig::quick())
+            .solve(&g, &cluster, &comm())
+            .unwrap();
+        assert_eq!(
+            out.plan.placement.device(a),
+            out.plan.placement.device(b),
+            "colocation group split"
+        );
+        // Optimal with the group intact: {a,b} on one GPU, {c,d} on the
+        // other = 200.
+        assert!((out.makespan_us - 200.0).abs() < 1e-6, "got {}", out.makespan_us);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut g = OpGraph::new("det");
+        for i in 0..6 {
+            g.add_op(format!("op{i}"), DeviceKind::Gpu, (i * 10 + 5) as f64, 16);
+        }
+        let g = g.freeze().unwrap();
+        let cluster = Cluster::two_gpus();
+        let solver = HybridSolver::new(HybridConfig::quick());
+        let a = solver.solve(&g, &cluster, &comm()).unwrap();
+        let b = solver.solve(&g, &cluster, &comm()).unwrap();
+        assert_eq!(a.plan, b.plan);
+        assert!((a.makespan_us - b.makespan_us).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,227 @@
+//! The top-level placement driver: exact ILP for small instances, hybrid
+//! search for large ones, warm-starting one with the other.
+
+use crate::error::IlpError;
+use crate::formulation::{IlpConfig, IlpModel};
+use crate::hybrid::{HybridConfig, HybridSolver};
+use pesto_cost::CommModel;
+use pesto_graph::{Cluster, FrozenGraph, Plan};
+use pesto_milp::MilpConfig;
+use pesto_sim::Simulator;
+
+/// Which solve path produced a plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolvePath {
+    /// Exact ILP (branch and bound), warm-started by a quick hybrid pass.
+    Exact,
+    /// Hybrid simulated annealing + list scheduling only.
+    Hybrid,
+}
+
+/// Driver configuration.
+#[derive(Debug, Clone)]
+pub struct PlacerConfig {
+    /// Instances with at most this many operations (and 2 GPUs) go through
+    /// the exact ILP; larger ones use the hybrid path.
+    pub exact_max_ops: usize,
+    /// Exact-ILP settings.
+    pub ilp: IlpConfig,
+    /// Hybrid-search settings.
+    pub hybrid: HybridConfig,
+}
+
+impl Default for PlacerConfig {
+    fn default() -> Self {
+        PlacerConfig {
+            exact_max_ops: 12,
+            ilp: IlpConfig::default(),
+            hybrid: HybridConfig::default(),
+        }
+    }
+}
+
+/// A produced plan with its provenance and measured quality.
+#[derive(Debug, Clone)]
+pub struct PlaceOutcome {
+    /// The placement + schedule.
+    pub plan: Plan,
+    /// Simulated per-step time of the plan, µs.
+    pub makespan_us: f64,
+    /// The ILP's model makespan `C_max`, when the exact path ran.
+    pub cmax_model_us: Option<f64>,
+    /// Whether B&B proved model optimality (exact path only).
+    pub proven_optimal: bool,
+    /// Which path produced the plan.
+    pub path: SolvePath,
+}
+
+/// Pesto's placement engine: profile-estimated graph in, plan out.
+///
+/// See the [crate-level documentation](crate) for an example.
+#[derive(Debug, Clone)]
+pub struct PestoPlacer {
+    comm: CommModel,
+    config: PlacerConfig,
+}
+
+impl PestoPlacer {
+    /// Creates a placer with default configuration.
+    pub fn new(comm: CommModel) -> Self {
+        PestoPlacer {
+            comm,
+            config: PlacerConfig::default(),
+        }
+    }
+
+    /// Creates a placer with explicit configuration.
+    pub fn with_config(comm: CommModel, config: PlacerConfig) -> Self {
+        PestoPlacer { comm, config }
+    }
+
+    /// The driver configuration.
+    pub fn config(&self) -> &PlacerConfig {
+        &self.config
+    }
+
+    /// Jointly places and schedules `graph` on `cluster`.
+    ///
+    /// Small two-GPU instances are solved exactly (warm-started by a quick
+    /// hybrid pass); everything else uses the hybrid solver. The returned
+    /// makespan is always the *simulated* per-step time of the final plan —
+    /// never the model objective — so outcomes are comparable across paths
+    /// and against baselines.
+    ///
+    /// # Errors
+    ///
+    /// * [`IlpError::Sim`] with an OOM if no memory-feasible placement was
+    ///   found;
+    /// * [`IlpError::Infeasible`] / [`IlpError::NoSolution`] from the exact
+    ///   path's B&B;
+    /// * [`IlpError::Graph`] for malformed inputs.
+    pub fn place(&self, graph: &FrozenGraph, cluster: &Cluster) -> Result<PlaceOutcome, IlpError> {
+        let use_exact =
+            cluster.gpu_count() == 2 && graph.op_count() <= self.config.exact_max_ops;
+
+        // Hybrid always runs: it is the fallback and the warm start.
+        let hybrid_cfg = if use_exact {
+            HybridConfig::quick()
+        } else {
+            self.config.hybrid.clone()
+        };
+        let hybrid = HybridSolver::new(hybrid_cfg).solve(graph, cluster, &self.comm)?;
+
+        let mut best_plan = hybrid.plan;
+        let mut best_makespan = hybrid.makespan_us;
+        let mut cmax_model = None;
+        let mut proven = false;
+        let mut path = SolvePath::Hybrid;
+
+        if use_exact {
+            let model = IlpModel::build(graph, cluster, &self.comm, &self.config.ilp)?;
+            let warm = model.warm_start_from(&best_plan, &self.comm);
+            let milp_cfg = MilpConfig {
+                warm_start: warm,
+                ..self.config.ilp.milp.clone()
+            };
+            // On infeasibility (e.g. the balance rule admits no split) or
+            // solver limits, keep the hybrid plan; the final memory verdict
+            // below reports the honest failure cause if any.
+            if let Ok(outcome) = model.solve(&milp_cfg) {
+                let sim = Simulator::new(graph, cluster, self.comm).with_memory_check(false);
+                let simulated = sim.run(&outcome.plan)?.makespan_us;
+                cmax_model = Some(outcome.cmax_us);
+                proven = outcome.proven_optimal;
+                // Keep whichever plan actually simulates faster (the
+                // model's free transfer ordering can differ from FCFS).
+                if simulated <= best_makespan {
+                    best_plan = outcome.plan;
+                    best_makespan = simulated;
+                }
+                path = SolvePath::Exact;
+            }
+        }
+
+        // Final memory verdict: a plan that OOMs is not a plan.
+        let oom = best_plan.placement.oom_devices(graph, cluster);
+        if !oom.is_empty() {
+            return Err(IlpError::Sim(pesto_sim::SimError::OutOfMemory(oom)));
+        }
+
+        Ok(PlaceOutcome {
+            plan: best_plan,
+            makespan_us: best_makespan,
+            cmax_model_us: cmax_model,
+            proven_optimal: proven,
+            path,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pesto_graph::{DeviceKind, OpGraph};
+
+    fn comm() -> CommModel {
+        CommModel::default_v100()
+    }
+
+    #[test]
+    fn small_instance_takes_exact_path() {
+        let mut g = OpGraph::new("small");
+        let a = g.add_op("a", DeviceKind::Gpu, 100.0, 16);
+        let b = g.add_op("b", DeviceKind::Gpu, 100.0, 16);
+        let _ = (a, b);
+        let g = g.freeze().unwrap();
+        let cluster = Cluster::two_gpus();
+        let out = PestoPlacer::new(comm()).place(&g, &cluster).unwrap();
+        assert_eq!(out.path, SolvePath::Exact);
+        assert!(out.proven_optimal);
+        assert!((out.makespan_us - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn large_instance_takes_hybrid_path() {
+        let mut g = OpGraph::new("large");
+        for i in 0..40 {
+            g.add_op(format!("op{i}"), DeviceKind::Gpu, 10.0, 16);
+        }
+        let g = g.freeze().unwrap();
+        let cluster = Cluster::two_gpus();
+        let cfg = PlacerConfig {
+            hybrid: crate::HybridConfig::quick(),
+            ..PlacerConfig::default()
+        };
+        let out = PestoPlacer::with_config(comm(), cfg).place(&g, &cluster).unwrap();
+        assert_eq!(out.path, SolvePath::Hybrid);
+        assert!(out.cmax_model_us.is_none());
+        assert!(out.makespan_us <= 260.0, "got {}", out.makespan_us);
+    }
+
+    #[test]
+    fn oom_everywhere_is_an_error() {
+        let mut g = OpGraph::new("fat");
+        g.add_op("a", DeviceKind::Gpu, 1.0, 2000);
+        let g = g.freeze().unwrap();
+        let cluster = Cluster::homogeneous(2, 1000);
+        let err = PestoPlacer::new(comm()).place(&g, &cluster).unwrap_err();
+        assert!(matches!(err, IlpError::Sim(pesto_sim::SimError::OutOfMemory(_))));
+    }
+
+    #[test]
+    fn four_gpu_cluster_uses_hybrid() {
+        let mut g = OpGraph::new("w4");
+        for i in 0..4 {
+            g.add_op(format!("op{i}"), DeviceKind::Gpu, 50.0, 16);
+        }
+        let g = g.freeze().unwrap();
+        let cluster = Cluster::homogeneous(4, 1 << 30);
+        let cfg = PlacerConfig {
+            hybrid: crate::HybridConfig::quick(),
+            ..PlacerConfig::default()
+        };
+        let out = PestoPlacer::with_config(comm(), cfg).place(&g, &cluster).unwrap();
+        assert_eq!(out.path, SolvePath::Hybrid);
+        assert!(out.makespan_us <= 150.0, "got {}", out.makespan_us);
+    }
+}

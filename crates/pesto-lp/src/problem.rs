@@ -1,0 +1,369 @@
+//! LP problem modelling: variables, constraints, bounds, and the public
+//! solve entry point.
+
+use crate::simplex;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Identifier of a variable within one [`Problem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VarId(pub(crate) u32);
+
+impl VarId {
+    /// Dense index of this variable.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `VarId` from a dense index.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        VarId(index as u32)
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Sense {
+    /// Minimize the objective.
+    Minimize,
+    /// Maximize the objective.
+    Maximize,
+}
+
+/// Constraint relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Relation {
+    /// `lhs <= rhs`
+    Le,
+    /// `lhs >= rhs`
+    Ge,
+    /// `lhs == rhs`
+    Eq,
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Relation::Le => write!(f, "<="),
+            Relation::Ge => write!(f, ">="),
+            Relation::Eq => write!(f, "="),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct Variable {
+    pub(crate) name: String,
+    pub(crate) lower: f64,
+    pub(crate) upper: f64,
+    pub(crate) objective: f64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct Constraint {
+    pub(crate) terms: Vec<(VarId, f64)>,
+    pub(crate) relation: Relation,
+    pub(crate) rhs: f64,
+}
+
+/// Errors from LP solving.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LpError {
+    /// No assignment satisfies all constraints and bounds.
+    Infeasible,
+    /// The objective can be improved without bound.
+    Unbounded,
+    /// The simplex iteration limit was exceeded (numerical trouble).
+    IterationLimit,
+    /// A variable's bounds are inconsistent (`lower > upper`) or a
+    /// coefficient is not finite.
+    InvalidModel(String),
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "problem is infeasible"),
+            LpError::Unbounded => write!(f, "problem is unbounded"),
+            LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+            LpError::InvalidModel(msg) => write!(f, "invalid model: {msg}"),
+        }
+    }
+}
+
+impl Error for LpError {}
+
+/// An optimal LP solution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Solution {
+    /// Optimal objective value, in the problem's own [`Sense`].
+    pub objective: f64,
+    /// Optimal variable values, indexed by [`VarId::index`].
+    pub values: Vec<f64>,
+}
+
+impl Solution {
+    /// Value of `var` in this solution.
+    pub fn value(&self, var: VarId) -> f64 {
+        self.values[var.index()]
+    }
+}
+
+/// A linear program: `min/max c^T x` subject to linear constraints and
+/// per-variable bounds.
+///
+/// See the [crate-level documentation](crate) for an example.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Problem {
+    pub(crate) sense: Sense,
+    pub(crate) vars: Vec<Variable>,
+    pub(crate) constraints: Vec<Constraint>,
+}
+
+impl Problem {
+    /// Creates an empty problem with the given optimization direction.
+    pub fn new(sense: Sense) -> Self {
+        Problem {
+            sense,
+            vars: Vec::new(),
+            constraints: Vec::new(),
+        }
+    }
+
+    /// The problem's optimization direction.
+    pub fn sense(&self) -> Sense {
+        self.sense
+    }
+
+    /// Adds a variable with bounds `[lower, upper]` and objective
+    /// coefficient `objective`; returns its id.
+    ///
+    /// `upper` may be `f64::INFINITY`. Lower bounds may be any finite value
+    /// (they are shifted internally); `-INFINITY` lower bounds are not
+    /// supported because Pesto's formulation never needs free variables.
+    pub fn add_var(&mut self, name: impl Into<String>, lower: f64, upper: f64, objective: f64) -> VarId {
+        let id = VarId(self.vars.len() as u32);
+        self.vars.push(Variable {
+            name: name.into(),
+            lower,
+            upper,
+            objective,
+        });
+        id
+    }
+
+    /// Adds the constraint `sum(terms) relation rhs`.
+    ///
+    /// Terms may repeat a variable; coefficients are summed.
+    pub fn add_constraint(&mut self, terms: Vec<(VarId, f64)>, relation: Relation, rhs: f64) {
+        self.constraints.push(Constraint {
+            terms,
+            relation,
+            rhs,
+        });
+    }
+
+    /// Number of variables.
+    pub fn var_count(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    pub fn constraint_count(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Name of a variable (for diagnostics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn var_name(&self, var: VarId) -> &str {
+        &self.vars[var.index()].name
+    }
+
+    /// Bounds of a variable as `(lower, upper)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn var_bounds(&self, var: VarId) -> (f64, f64) {
+        let v = &self.vars[var.index()];
+        (v.lower, v.upper)
+    }
+
+    /// Tightens the bounds of an existing variable (used by branch & bound
+    /// to fix binaries without rebuilding the model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn set_var_bounds(&mut self, var: VarId, lower: f64, upper: f64) {
+        let v = &mut self.vars[var.index()];
+        v.lower = lower;
+        v.upper = upper;
+    }
+
+    /// Checks whether `values` satisfies all constraints and bounds to
+    /// within `tol`.
+    pub fn is_feasible(&self, values: &[f64], tol: f64) -> bool {
+        if values.len() != self.vars.len() {
+            return false;
+        }
+        for (v, &x) in self.vars.iter().zip(values) {
+            if x < v.lower - tol || x > v.upper + tol {
+                return false;
+            }
+        }
+        for c in &self.constraints {
+            let lhs: f64 = c.terms.iter().map(|&(v, a)| a * values[v.index()]).sum();
+            let ok = match c.relation {
+                Relation::Le => lhs <= c.rhs + tol,
+                Relation::Ge => lhs >= c.rhs - tol,
+                Relation::Eq => (lhs - c.rhs).abs() <= tol,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Evaluates the objective at `values`.
+    pub fn objective_value(&self, values: &[f64]) -> f64 {
+        self.vars
+            .iter()
+            .zip(values)
+            .map(|(v, &x)| v.objective * x)
+            .sum()
+    }
+
+    /// Solves the LP with two-phase primal simplex.
+    ///
+    /// # Errors
+    ///
+    /// * [`LpError::Infeasible`] — constraints admit no solution;
+    /// * [`LpError::Unbounded`] — the objective improves without limit;
+    /// * [`LpError::InvalidModel`] — inconsistent bounds or non-finite data;
+    /// * [`LpError::IterationLimit`] — the pivot budget was exhausted.
+    pub fn solve(&self) -> Result<Solution, LpError> {
+        self.validate()?;
+        simplex::solve(self)
+    }
+
+    fn validate(&self) -> Result<(), LpError> {
+        for (i, v) in self.vars.iter().enumerate() {
+            if !v.lower.is_finite() {
+                return Err(LpError::InvalidModel(format!(
+                    "variable {} has non-finite lower bound {}",
+                    i, v.lower
+                )));
+            }
+            if v.upper.is_nan() {
+                return Err(LpError::InvalidModel(format!("variable {i} has NaN upper bound")));
+            }
+            if v.lower > v.upper {
+                return Err(LpError::Infeasible);
+            }
+            if !v.objective.is_finite() {
+                return Err(LpError::InvalidModel(format!(
+                    "variable {i} has non-finite objective coefficient"
+                )));
+            }
+        }
+        for (i, c) in self.constraints.iter().enumerate() {
+            if !c.rhs.is_finite() {
+                return Err(LpError::InvalidModel(format!("constraint {i} has non-finite rhs")));
+            }
+            for &(v, a) in &c.terms {
+                if v.index() >= self.vars.len() {
+                    return Err(LpError::InvalidModel(format!(
+                        "constraint {i} references unknown variable {v}"
+                    )));
+                }
+                if !a.is_finite() {
+                    return Err(LpError::InvalidModel(format!(
+                        "constraint {i} has non-finite coefficient on {v}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feasibility_checker() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var("x", 0.0, 10.0, 1.0);
+        let y = p.add_var("y", 0.0, 10.0, 1.0);
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Ge, 5.0);
+        assert!(p.is_feasible(&[2.0, 3.0], 1e-9));
+        assert!(!p.is_feasible(&[2.0, 2.0], 1e-9));
+        assert!(!p.is_feasible(&[-1.0, 7.0], 1e-9));
+        assert!(!p.is_feasible(&[11.0, 0.0], 1e-9));
+        assert!(!p.is_feasible(&[1.0], 1e-9));
+    }
+
+    #[test]
+    fn objective_evaluation() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var("x", 0.0, 1.0, 3.0);
+        let y = p.add_var("y", 0.0, 1.0, -2.0);
+        let _ = (x, y);
+        assert!((p.objective_value(&[1.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inconsistent_bounds_are_infeasible() {
+        let mut p = Problem::new(Sense::Minimize);
+        p.add_var("x", 2.0, 1.0, 1.0);
+        assert_eq!(p.solve().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn nan_rhs_is_invalid_model() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var("x", 0.0, 1.0, 1.0);
+        p.add_constraint(vec![(x, 1.0)], Relation::Le, f64::NAN);
+        assert!(matches!(p.solve(), Err(LpError::InvalidModel(_))));
+    }
+
+    #[test]
+    fn unknown_var_in_constraint_is_invalid() {
+        let mut p = Problem::new(Sense::Minimize);
+        let _x = p.add_var("x", 0.0, 1.0, 1.0);
+        p.add_constraint(vec![(VarId::from_index(5), 1.0)], Relation::Le, 1.0);
+        assert!(matches!(p.solve(), Err(LpError::InvalidModel(_))));
+    }
+
+    #[test]
+    fn set_var_bounds_tightens() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var("x", 0.0, 1.0, 1.0);
+        p.set_var_bounds(x, 1.0, 1.0);
+        assert_eq!(p.var_bounds(x), (1.0, 1.0));
+        let sol = p.solve().unwrap();
+        assert!((sol.value(x) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_messages() {
+        assert_eq!(LpError::Infeasible.to_string(), "problem is infeasible");
+        assert_eq!(LpError::Unbounded.to_string(), "problem is unbounded");
+    }
+}

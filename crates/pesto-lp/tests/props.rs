@@ -1,0 +1,157 @@
+//! Property tests: the simplex optimum must match a brute-force optimum
+//! obtained by enumerating basic solutions (vertices) of random small LPs.
+
+use pesto_lp::{LpError, Problem, Relation, Sense};
+use proptest::prelude::*;
+
+/// Solves an n x n dense linear system by Gaussian elimination with partial
+/// pivoting; returns `None` if (numerically) singular.
+fn gauss_solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        let piv = (col..n).max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))?;
+        if a[piv][col].abs() < 1e-9 {
+            return None;
+        }
+        a.swap(col, piv);
+        b.swap(col, piv);
+        for row in 0..n {
+            if row != col {
+                let f = a[row][col] / a[col][col];
+                #[allow(clippy::needless_range_loop)] // pivot-row access aliases `a`
+                for k in col..n {
+                    a[row][k] -= f * a[col][k];
+                }
+                b[row] -= f * b[col];
+            }
+        }
+    }
+    Some((0..n).map(|i| b[i] / a[i][i]).collect())
+}
+
+/// Brute-force LP optimum: enumerate all choices of `n` active constraints
+/// (from rows, bounds), solve, keep feasible vertices, return the best
+/// objective. Only valid for bounded feasible regions with small n.
+fn brute_force_optimum(
+    n: usize,
+    rows: &[(Vec<f64>, f64)], // a·x <= b rows
+    ub: f64,
+    costs: &[f64],
+) -> Option<f64> {
+    // Constraint set: rows (a, b) plus x_j >= 0 (as -x_j <= 0) and x_j <= ub.
+    let mut all: Vec<(Vec<f64>, f64)> = rows.to_vec();
+    for j in 0..n {
+        let mut lo = vec![0.0; n];
+        lo[j] = -1.0;
+        all.push((lo, 0.0));
+        let mut hi = vec![0.0; n];
+        hi[j] = 1.0;
+        all.push((hi, ub));
+    }
+    let m = all.len();
+    let mut best: Option<f64> = None;
+    // Enumerate all n-subsets of constraints as active sets.
+    let mut idx: Vec<usize> = (0..n).collect();
+    loop {
+        let a: Vec<Vec<f64>> = idx.iter().map(|&i| all[i].0.clone()).collect();
+        let b: Vec<f64> = idx.iter().map(|&i| all[i].1).collect();
+        if let Some(x) = gauss_solve(a, b) {
+            let feasible = all
+                .iter()
+                .all(|(arow, brhs)| arow.iter().zip(&x).map(|(ai, xi)| ai * xi).sum::<f64>() <= brhs + 1e-6);
+            if feasible {
+                let z: f64 = costs.iter().zip(&x).map(|(c, xi)| c * xi).sum();
+                best = Some(best.map_or(z, |cur: f64| cur.max(z)));
+            }
+        }
+        // next combination
+        let mut i = n;
+        loop {
+            if i == 0 {
+                return best;
+            }
+            i -= 1;
+            if idx[i] != i + m - n {
+                idx[i] += 1;
+                for k in i + 1..n {
+                    idx[k] = idx[k - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Random bounded maximization LPs: simplex == vertex enumeration.
+    #[test]
+    fn simplex_matches_vertex_enumeration(
+        n in 2usize..4,
+        m in 1usize..4,
+        seedgrid in proptest::collection::vec(-4i32..5, 32),
+        rhs in proptest::collection::vec(1i32..10, 4),
+        costs in proptest::collection::vec(-3i32..6, 4),
+    ) {
+        let ub = 10.0;
+        let rows: Vec<(Vec<f64>, f64)> = (0..m)
+            .map(|i| {
+                let coeffs: Vec<f64> = (0..n).map(|j| f64::from(seedgrid[i * n + j])).collect();
+                (coeffs, f64::from(rhs[i]))
+            })
+            .collect();
+        let costs_f: Vec<f64> = (0..n).map(|j| f64::from(costs[j])).collect();
+
+        let mut p = Problem::new(Sense::Maximize);
+        let vars: Vec<_> = (0..n)
+            .map(|j| p.add_var(format!("x{j}"), 0.0, ub, costs_f[j]))
+            .collect();
+        for (coeffs, b) in &rows {
+            let terms: Vec<_> = vars.iter().zip(coeffs).map(|(&v, &a)| (v, a)).collect();
+            p.add_constraint(terms, Relation::Le, *b);
+        }
+
+        let simplex = p.solve();
+        let brute = brute_force_optimum(n, &rows, ub, &costs_f);
+        match (simplex, brute) {
+            (Ok(sol), Some(best)) => {
+                prop_assert!((sol.objective - best).abs() < 1e-5,
+                    "simplex {} vs brute {}", sol.objective, best);
+                prop_assert!(p.is_feasible(&sol.values, 1e-6));
+            }
+            (Err(LpError::Infeasible), None) => {}
+            (got, want) => {
+                return Err(TestCaseError::fail(format!(
+                    "status mismatch: simplex {got:?}, brute-force {want:?}"
+                )));
+            }
+        }
+    }
+
+    /// Feasibility of returned solutions on random LPs with mixed relations.
+    #[test]
+    fn solutions_are_feasible(
+        coeffs in proptest::collection::vec(-3i32..4, 12),
+        rhs in proptest::collection::vec(0i32..8, 4),
+        rel in proptest::collection::vec(0u8..3, 4),
+    ) {
+        let n = 3;
+        let mut p = Problem::new(Sense::Minimize);
+        let vars: Vec<_> = (0..n).map(|j| p.add_var(format!("x{j}"), 0.0, 20.0, 1.0)).collect();
+        for i in 0..4 {
+            let terms: Vec<_> = (0..n)
+                .map(|j| (vars[j], f64::from(coeffs[i * n + j])))
+                .collect();
+            let relation = match rel[i] {
+                0 => Relation::Le,
+                1 => Relation::Ge,
+                _ => Relation::Eq,
+            };
+            p.add_constraint(terms, relation, f64::from(rhs[i]));
+        }
+        if let Ok(sol) = p.solve() {
+            prop_assert!(p.is_feasible(&sol.values, 1e-5));
+        }
+    }
+}

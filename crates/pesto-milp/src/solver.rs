@@ -1,0 +1,572 @@
+//! Best-first branch-and-bound for 0-1 MILPs.
+
+use pesto_lp::{LpError, Problem, Sense, VarId};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::error::Error;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Integrality tolerance: an LP value within this of an integer counts as
+/// integral.
+const INT_TOL: f64 = 1e-6;
+
+/// Errors from MILP solving.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MilpError {
+    /// The LP relaxation at the root is infeasible — so is the MILP.
+    Infeasible,
+    /// The LP relaxation is unbounded.
+    Unbounded,
+    /// The model is malformed (propagated from the LP layer).
+    InvalidModel(String),
+    /// Search ended (time/node limit) without any feasible solution found.
+    NoSolutionFound,
+}
+
+impl fmt::Display for MilpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MilpError::Infeasible => write!(f, "problem is infeasible"),
+            MilpError::Unbounded => write!(f, "problem is unbounded"),
+            MilpError::InvalidModel(m) => write!(f, "invalid model: {m}"),
+            MilpError::NoSolutionFound => {
+                write!(f, "search limit reached before any feasible solution was found")
+            }
+        }
+    }
+}
+
+impl Error for MilpError {}
+
+/// How the search terminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MilpStatus {
+    /// Solved to proven optimality (within the configured gap).
+    Optimal,
+    /// A feasible solution was found but limits stopped the proof of
+    /// optimality; `gap` reports the remaining relative gap.
+    Feasible,
+}
+
+/// Solver limits and tolerances.
+#[derive(Debug, Clone)]
+pub struct MilpConfig {
+    /// Wall-clock budget for the search.
+    pub time_limit: Duration,
+    /// Maximum number of branch-and-bound nodes to explore.
+    pub node_limit: usize,
+    /// Relative optimality gap at which the search stops and reports
+    /// [`MilpStatus::Optimal`]. `0.0` means prove true optimality.
+    pub gap_tolerance: f64,
+    /// A known feasible assignment (all variables) used as the initial
+    /// incumbent for pruning.
+    pub warm_start: Option<Vec<f64>>,
+}
+
+impl Default for MilpConfig {
+    fn default() -> Self {
+        MilpConfig {
+            time_limit: Duration::from_secs(60),
+            node_limit: 200_000,
+            gap_tolerance: 1e-6,
+            warm_start: None,
+        }
+    }
+}
+
+impl MilpConfig {
+    /// Convenience constructor with a wall-clock budget.
+    pub fn with_time_limit(time_limit: Duration) -> Self {
+        MilpConfig {
+            time_limit,
+            ..MilpConfig::default()
+        }
+    }
+}
+
+/// Outcome of a branch-and-bound run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MilpSolution {
+    /// Whether optimality was proven.
+    pub status: MilpStatus,
+    /// Objective of the best solution found, in the problem's own sense.
+    pub objective: f64,
+    /// Values of all variables in the best solution.
+    pub values: Vec<f64>,
+    /// Best dual bound at termination (equals `objective` when optimal).
+    pub best_bound: f64,
+    /// Remaining relative gap `|objective - best_bound| / max(1, |objective|)`.
+    pub gap: f64,
+    /// Number of branch-and-bound nodes explored.
+    pub nodes_explored: usize,
+}
+
+impl MilpSolution {
+    /// Value of `var` in the best solution.
+    pub fn value(&self, var: VarId) -> f64 {
+        self.values[var.index()]
+    }
+}
+
+/// A 0-1 MILP: an LP plus the set of variables restricted to `{0, 1}`.
+#[derive(Debug, Clone)]
+pub struct MilpProblem {
+    lp: Problem,
+    binaries: Vec<VarId>,
+}
+
+/// One open node: a set of branching decisions (bound fixings).
+#[derive(Debug, Clone)]
+struct Node {
+    /// `(var, value)` fixings accumulated from the root.
+    fixings: Vec<(VarId, f64)>,
+    /// LP bound of the parent (optimistic estimate for ordering).
+    bound: f64,
+    depth: usize,
+}
+
+/// Max-heap ordering on node quality (best bound first, then deepest).
+struct OrderedNode {
+    node: Node,
+    /// Key such that larger = more promising, regardless of sense.
+    key: f64,
+}
+
+impl PartialEq for OrderedNode {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl Eq for OrderedNode {}
+impl PartialOrd for OrderedNode {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrderedNode {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key
+            .total_cmp(&other.key)
+            .then_with(|| self.node.depth.cmp(&other.node.depth))
+    }
+}
+
+impl MilpProblem {
+    /// Wraps an LP, declaring `binaries` as 0-1 variables.
+    ///
+    /// The binaries' bounds in `lp` should already be within `[0, 1]`; the
+    /// constructor clamps them.
+    pub fn new(mut lp: Problem, binaries: Vec<VarId>) -> Self {
+        for &v in &binaries {
+            let (lo, hi) = lp.var_bounds(v);
+            lp.set_var_bounds(v, lo.max(0.0), hi.min(1.0));
+        }
+        MilpProblem { lp, binaries }
+    }
+
+    /// The underlying LP (relaxation) model.
+    pub fn lp(&self) -> &Problem {
+        &self.lp
+    }
+
+    /// The declared binary variables.
+    pub fn binaries(&self) -> &[VarId] {
+        &self.binaries
+    }
+
+    /// Checks integer feasibility of an assignment: LP-feasible and all
+    /// binaries integral.
+    pub fn is_integer_feasible(&self, values: &[f64], tol: f64) -> bool {
+        self.lp.is_feasible(values, tol)
+            && self
+                .binaries
+                .iter()
+                .all(|&v| frac(values[v.index()]) <= tol.max(INT_TOL))
+    }
+
+    /// Solves by branch and bound.
+    ///
+    /// # Errors
+    ///
+    /// * [`MilpError::Infeasible`] / [`MilpError::Unbounded`] for hopeless
+    ///   models;
+    /// * [`MilpError::NoSolutionFound`] when limits expire before any
+    ///   integer-feasible point is found;
+    /// * [`MilpError::InvalidModel`] for malformed input.
+    pub fn solve(&self, config: &MilpConfig) -> Result<MilpSolution, MilpError> {
+        let start = Instant::now();
+        let maximize = matches!(self.lp.sense(), Sense::Maximize);
+        // `better(a, b)`: is objective a strictly better than b?
+        let better = |a: f64, b: f64| if maximize { a > b + 1e-12 } else { a < b - 1e-12 };
+
+        let mut incumbent: Option<(f64, Vec<f64>)> = None;
+        if let Some(ws) = &config.warm_start {
+            if self.is_integer_feasible(ws, 1e-6) {
+                incumbent = Some((self.lp.objective_value(ws), ws.clone()));
+            }
+        }
+
+        let mut heap: BinaryHeap<OrderedNode> = BinaryHeap::new();
+        let root = Node {
+            fixings: Vec::new(),
+            bound: if maximize { f64::INFINITY } else { f64::NEG_INFINITY },
+            depth: 0,
+        };
+        heap.push(OrderedNode {
+            key: f64::INFINITY,
+            node: root,
+        });
+
+        let mut nodes_explored = 0usize;
+        let mut best_bound = if maximize { f64::NEG_INFINITY } else { f64::INFINITY };
+        let mut saw_root = false;
+        let mut limits_hit = false;
+
+        // Best-first with plunging: pop the most promising open node, then
+        // dive depth-first along the LP-preferred branch until the subtree
+        // is pruned or integral. Diving finds incumbents quickly on weak
+        // (big-M) relaxations, where pure best-first can wander forever.
+        'outer: while let Some(OrderedNode { node, .. }) = heap.pop() {
+            let mut current = Some(node);
+            while let Some(node) = current.take() {
+                if nodes_explored >= config.node_limit || start.elapsed() > config.time_limit {
+                    limits_hit = true;
+                    break 'outer;
+                }
+                nodes_explored += 1;
+
+                // Prune by parent bound against incumbent.
+                if let Some((inc, _)) = &incumbent {
+                    if !better(node.bound, *inc) && node.depth > 0 {
+                        continue;
+                    }
+                }
+
+                // Solve this node's relaxation.
+                let mut lp = self.lp.clone();
+                for &(v, val) in &node.fixings {
+                    lp.set_var_bounds(v, val, val);
+                }
+                let relax = match lp.solve() {
+                    Ok(s) => s,
+                    Err(LpError::Infeasible) => {
+                        if node.depth == 0 {
+                            return Err(MilpError::Infeasible);
+                        }
+                        continue;
+                    }
+                    Err(LpError::Unbounded) => {
+                        if node.depth == 0 {
+                            return Err(MilpError::Unbounded);
+                        }
+                        continue;
+                    }
+                    Err(LpError::IterationLimit) => continue, // treat as pruned
+                    Err(LpError::InvalidModel(m)) => return Err(MilpError::InvalidModel(m)),
+                    // LpError is non-exhaustive; treat future variants as fatal.
+                    Err(other) => return Err(MilpError::InvalidModel(other.to_string())),
+                };
+                if node.depth == 0 {
+                    best_bound = relax.objective;
+                    saw_root = true;
+                }
+
+                // Prune by this node's own bound.
+                if let Some((inc, _)) = &incumbent {
+                    if !better(relax.objective, *inc) {
+                        continue;
+                    }
+                }
+
+                // Find most fractional binary.
+                let branch_var = self
+                    .binaries
+                    .iter()
+                    .copied()
+                    .map(|v| (v, frac(relax.values[v.index()])))
+                    .filter(|&(_, f)| f > INT_TOL)
+                    .max_by(|a, b| a.1.total_cmp(&b.1))
+                    .map(|(v, _)| v);
+
+                match branch_var {
+                    None => {
+                        // Integer feasible: candidate incumbent.
+                        let obj = relax.objective;
+                        let accept = incumbent.as_ref().is_none_or(|(inc, _)| better(obj, *inc));
+                        if accept {
+                            incumbent = Some((obj, round_binaries(&relax.values, &self.binaries)));
+                        }
+                    }
+                    Some(v) => {
+                        // Rounding heuristic: snap all binaries, re-check.
+                        let rounded = round_binaries(&relax.values, &self.binaries);
+                        if self.lp.is_feasible(&rounded, 1e-7) {
+                            let obj = self.lp.objective_value(&rounded);
+                            let accept =
+                                incumbent.as_ref().is_none_or(|(inc, _)| better(obj, *inc));
+                            if accept {
+                                incumbent = Some((obj, rounded));
+                            }
+                        }
+                        // Branch: dive into the side the LP leans toward;
+                        // the other child goes to the best-first heap.
+                        let lean1 = relax.values[v.index()];
+                        let (dive_val, other_val) = if lean1 >= 0.5 { (1.0, 0.0) } else { (0.0, 1.0) };
+                        let mut dive_fixings = node.fixings.clone();
+                        dive_fixings.push((v, dive_val));
+                        let mut other_fixings = node.fixings;
+                        other_fixings.push((v, other_val));
+                        let base = if maximize { relax.objective } else { -relax.objective };
+                        heap.push(OrderedNode {
+                            key: base,
+                            node: Node {
+                                fixings: other_fixings,
+                                bound: relax.objective,
+                                depth: node.depth + 1,
+                            },
+                        });
+                        current = Some(Node {
+                            fixings: dive_fixings,
+                            bound: relax.objective,
+                            depth: node.depth + 1,
+                        });
+                    }
+                }
+
+                // Global bound from open nodes (heap + in-hand) ⇒ early stop.
+                if let Some((inc, _)) = &incumbent {
+                    let neutral = if maximize { f64::NEG_INFINITY } else { f64::INFINITY };
+                    let mut open_best = heap.iter().map(|n| n.node.bound).fold(neutral, |acc, b| {
+                        if maximize {
+                            acc.max(b)
+                        } else {
+                            acc.min(b)
+                        }
+                    });
+                    if let Some(cur) = &current {
+                        open_best = if maximize {
+                            open_best.max(cur.bound)
+                        } else {
+                            open_best.min(cur.bound)
+                        };
+                    }
+                    let bound = if open_best == neutral { *inc } else { open_best };
+                    best_bound = bound;
+                    let gap = relative_gap(*inc, bound);
+                    if gap <= config.gap_tolerance {
+                        return Ok(self.finish(
+                            MilpStatus::Optimal,
+                            incumbent.expect("checked"),
+                            bound,
+                            nodes_explored,
+                        ));
+                    }
+                }
+            }
+        }
+
+        match incumbent {
+            Some((inc, values)) => {
+                let exhausted = heap.is_empty();
+                let bound = if exhausted || !saw_root { inc } else { best_bound };
+                let status = if exhausted || relative_gap(inc, bound) <= config.gap_tolerance {
+                    MilpStatus::Optimal
+                } else {
+                    MilpStatus::Feasible
+                };
+                Ok(self.finish(status, (inc, values), bound, nodes_explored))
+            }
+            // An exhausted tree with no incumbent is a proof of
+            // infeasibility; only a limit-terminated search is inconclusive.
+            None if limits_hit => Err(MilpError::NoSolutionFound),
+            None => Err(MilpError::Infeasible),
+        }
+    }
+
+    fn finish(
+        &self,
+        status: MilpStatus,
+        incumbent: (f64, Vec<f64>),
+        best_bound: f64,
+        nodes_explored: usize,
+    ) -> MilpSolution {
+        let (objective, values) = incumbent;
+        MilpSolution {
+            status,
+            objective,
+            values,
+            best_bound,
+            gap: relative_gap(objective, best_bound),
+            nodes_explored,
+        }
+    }
+}
+
+fn frac(x: f64) -> f64 {
+    (x - x.round()).abs()
+}
+
+fn round_binaries(values: &[f64], binaries: &[VarId]) -> Vec<f64> {
+    let mut out = values.to_vec();
+    for &v in binaries {
+        out[v.index()] = out[v.index()].round().clamp(0.0, 1.0);
+    }
+    out
+}
+
+fn relative_gap(incumbent: f64, bound: f64) -> f64 {
+    (incumbent - bound).abs() / incumbent.abs().max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pesto_lp::{Relation, Sense};
+
+    fn approx(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-5, "{a} != {b}");
+    }
+
+    #[test]
+    fn knapsack_small() {
+        // max 10a + 6b + 4c s.t. a+b+c <= 2 (binaries) -> a + b = 16.
+        let mut lp = Problem::new(Sense::Maximize);
+        let a = lp.add_var("a", 0.0, 1.0, 10.0);
+        let b = lp.add_var("b", 0.0, 1.0, 6.0);
+        let c = lp.add_var("c", 0.0, 1.0, 4.0);
+        lp.add_constraint(vec![(a, 1.0), (b, 1.0), (c, 1.0)], Relation::Le, 2.0);
+        let sol = MilpProblem::new(lp, vec![a, b, c]).solve(&MilpConfig::default()).unwrap();
+        assert_eq!(sol.status, MilpStatus::Optimal);
+        approx(sol.objective, 16.0);
+        approx(sol.value(a), 1.0);
+        approx(sol.value(b), 1.0);
+        approx(sol.value(c), 0.0);
+    }
+
+    #[test]
+    fn fractional_lp_integral_milp_differ() {
+        // max a + b s.t. 2a + 2b <= 3: LP gives 1.5, MILP gives 1.
+        let mut lp = Problem::new(Sense::Maximize);
+        let a = lp.add_var("a", 0.0, 1.0, 1.0);
+        let b = lp.add_var("b", 0.0, 1.0, 1.0);
+        lp.add_constraint(vec![(a, 2.0), (b, 2.0)], Relation::Le, 3.0);
+        let milp = MilpProblem::new(lp.clone(), vec![a, b]);
+        let relax = lp.solve().unwrap();
+        approx(relax.objective, 1.5);
+        let sol = milp.solve(&MilpConfig::default()).unwrap();
+        approx(sol.objective, 1.0);
+    }
+
+    #[test]
+    fn mixed_integer_with_continuous_variable() {
+        // min t s.t. t >= 5x, t >= 3(1-x): best is x=0? t>=3 vs x=1 t>=5.
+        let mut lp = Problem::new(Sense::Minimize);
+        let t = lp.add_var("t", 0.0, f64::INFINITY, 1.0);
+        let x = lp.add_var("x", 0.0, 1.0, 0.0);
+        lp.add_constraint(vec![(t, 1.0), (x, -5.0)], Relation::Ge, 0.0);
+        lp.add_constraint(vec![(t, 1.0), (x, 3.0)], Relation::Ge, 3.0);
+        let sol = MilpProblem::new(lp, vec![x]).solve(&MilpConfig::default()).unwrap();
+        assert_eq!(sol.status, MilpStatus::Optimal);
+        approx(sol.objective, 3.0);
+        approx(sol.value(x), 0.0);
+    }
+
+    #[test]
+    fn infeasible_milp() {
+        let mut lp = Problem::new(Sense::Minimize);
+        let a = lp.add_var("a", 0.0, 1.0, 1.0);
+        let b = lp.add_var("b", 0.0, 1.0, 1.0);
+        lp.add_constraint(vec![(a, 1.0), (b, 1.0)], Relation::Ge, 3.0);
+        assert_eq!(
+            MilpProblem::new(lp, vec![a, b]).solve(&MilpConfig::default()).unwrap_err(),
+            MilpError::Infeasible
+        );
+    }
+
+    #[test]
+    fn integrality_gap_branching() {
+        // Equality forcing: 2a + 2b + 2c = 4 with costs 3,2,1 max -> a,b.
+        let mut lp = Problem::new(Sense::Maximize);
+        let a = lp.add_var("a", 0.0, 1.0, 3.0);
+        let b = lp.add_var("b", 0.0, 1.0, 2.0);
+        let c = lp.add_var("c", 0.0, 1.0, 1.0);
+        lp.add_constraint(vec![(a, 2.0), (b, 2.0), (c, 2.0)], Relation::Eq, 4.0);
+        let sol = MilpProblem::new(lp, vec![a, b, c]).solve(&MilpConfig::default()).unwrap();
+        approx(sol.objective, 5.0);
+    }
+
+    #[test]
+    fn warm_start_is_used() {
+        let mut lp = Problem::new(Sense::Maximize);
+        let a = lp.add_var("a", 0.0, 1.0, 2.0);
+        let b = lp.add_var("b", 0.0, 1.0, 3.0);
+        lp.add_constraint(vec![(a, 1.0), (b, 1.0)], Relation::Le, 1.0);
+        let milp = MilpProblem::new(lp, vec![a, b]);
+        let cfg = MilpConfig {
+            warm_start: Some(vec![1.0, 0.0]),
+            node_limit: 0, // no exploration allowed: answer must come from warm start
+            ..MilpConfig::default()
+        };
+        let sol = milp.solve(&cfg).unwrap();
+        approx(sol.objective, 2.0); // warm-start value, not the true optimum 3
+    }
+
+    #[test]
+    fn no_solution_under_zero_budget() {
+        let mut lp = Problem::new(Sense::Maximize);
+        let a = lp.add_var("a", 0.0, 1.0, 1.0);
+        lp.add_constraint(vec![(a, 2.0)], Relation::Le, 1.0);
+        let milp = MilpProblem::new(lp, vec![a]);
+        let cfg = MilpConfig {
+            node_limit: 0,
+            ..MilpConfig::default()
+        };
+        assert_eq!(milp.solve(&cfg).unwrap_err(), MilpError::NoSolutionFound);
+    }
+
+    #[test]
+    fn big_m_indicator_pattern() {
+        // The paper's non-overlap pattern: S_i >= C_j - M*d, S_j >= C_i - M*(1-d).
+        // Two unit jobs on one machine: makespan 2, not 1.
+        let m = 100.0;
+        let mut lp = Problem::new(Sense::Minimize);
+        let cmax = lp.add_var("cmax", 0.0, f64::INFINITY, 1.0);
+        let s1 = lp.add_var("s1", 0.0, f64::INFINITY, 0.0);
+        let s2 = lp.add_var("s2", 0.0, f64::INFINITY, 0.0);
+        let d = lp.add_var("d", 0.0, 1.0, 0.0);
+        // C_i = S_i + 1; Cmax >= S_i + 1.
+        lp.add_constraint(vec![(cmax, 1.0), (s1, -1.0)], Relation::Ge, 1.0);
+        lp.add_constraint(vec![(cmax, 1.0), (s2, -1.0)], Relation::Ge, 1.0);
+        // S1 >= S2 + 1 - M*d ; S2 >= S1 + 1 - M*(1-d).
+        lp.add_constraint(vec![(s1, 1.0), (s2, -1.0), (d, m)], Relation::Ge, 1.0);
+        lp.add_constraint(vec![(s2, 1.0), (s1, -1.0), (d, -m)], Relation::Ge, 1.0 - m);
+        let sol = MilpProblem::new(lp, vec![d]).solve(&MilpConfig::default()).unwrap();
+        approx(sol.objective, 2.0);
+    }
+
+    #[test]
+    fn binaries_bounds_clamped() {
+        let mut lp = Problem::new(Sense::Maximize);
+        let a = lp.add_var("a", 0.0, 10.0, 1.0); // sloppy bounds
+        let milp = MilpProblem::new(lp, vec![a]);
+        assert_eq!(milp.lp().var_bounds(a), (0.0, 1.0));
+        let sol = milp.solve(&MilpConfig::default()).unwrap();
+        approx(sol.objective, 1.0);
+    }
+
+    #[test]
+    fn reports_gap_and_nodes() {
+        let mut lp = Problem::new(Sense::Maximize);
+        let vars: Vec<_> = (0..6).map(|i| lp.add_var(format!("v{i}"), 0.0, 1.0, (i + 1) as f64)).collect();
+        let terms: Vec<_> = vars.iter().map(|&v| (v, 2.0)).collect();
+        lp.add_constraint(terms, Relation::Le, 7.0);
+        let sol = MilpProblem::new(lp, vars).solve(&MilpConfig::default()).unwrap();
+        assert!(sol.nodes_explored >= 1);
+        assert!(sol.gap <= 1e-6);
+        assert_eq!(sol.status, MilpStatus::Optimal);
+        approx(sol.objective, 15.0); // pick the three largest: 6+5+4
+    }
+}

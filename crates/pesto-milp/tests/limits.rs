@@ -1,0 +1,101 @@
+//! Termination-behaviour tests for branch and bound: limits, gaps, and
+//! status honesty under constrained budgets.
+
+use pesto_lp::{Problem, Relation, Sense};
+use pesto_milp::{MilpConfig, MilpError, MilpProblem, MilpStatus};
+use std::time::Duration;
+
+/// A deliberately hard instance: equality-partition with near-symmetric
+/// weights so pruning bites late.
+fn hard_partition(n: usize) -> MilpProblem {
+    let mut lp = Problem::new(Sense::Minimize);
+    let t = lp.add_var("t", 0.0, f64::INFINITY, 1.0);
+    let weights: Vec<f64> = (0..n).map(|i| 13.0 + ((i * 29) % 7) as f64).collect();
+    let total: f64 = weights.iter().sum();
+    let xs: Vec<_> = (0..n).map(|j| lp.add_var(format!("x{j}"), 0.0, 1.0, 0.0)).collect();
+    let mut t1 = vec![(t, 1.0)];
+    let mut t2 = vec![(t, 1.0)];
+    for (j, &x) in xs.iter().enumerate() {
+        t1.push((x, -weights[j]));
+        t2.push((x, weights[j]));
+    }
+    lp.add_constraint(t1, Relation::Ge, 0.0);
+    lp.add_constraint(t2, Relation::Ge, total);
+    MilpProblem::new(lp, xs)
+}
+
+#[test]
+fn node_limit_yields_feasible_with_gap() {
+    let milp = hard_partition(16);
+    let cfg = MilpConfig {
+        node_limit: 50,
+        gap_tolerance: 0.0,
+        ..MilpConfig::default()
+    };
+    let sol = milp.solve(&cfg).expect("diving finds an incumbent in 50 nodes");
+    // 50 nodes cannot prove optimality on this instance; the status and
+    // gap must say so honestly.
+    if sol.status == MilpStatus::Feasible {
+        assert!(sol.gap > 0.0, "feasible status must carry a positive gap");
+        assert!(sol.nodes_explored <= 50);
+    }
+    assert!(milp.is_integer_feasible(&sol.values, 1e-6));
+}
+
+#[test]
+fn tight_time_limit_is_respected() {
+    let milp = hard_partition(18);
+    let cfg = MilpConfig {
+        time_limit: Duration::from_millis(200),
+        gap_tolerance: 0.0,
+        ..MilpConfig::default()
+    };
+    let start = std::time::Instant::now();
+    let result = milp.solve(&cfg);
+    // Generous overshoot bound: one node's LP beyond the deadline.
+    assert!(start.elapsed() < Duration::from_secs(5));
+    if let Ok(sol) = result {
+        assert!(milp.is_integer_feasible(&sol.values, 1e-6));
+    }
+}
+
+#[test]
+fn gap_tolerance_stops_early_with_optimal_status() {
+    let milp = hard_partition(14);
+    let loose = MilpConfig {
+        gap_tolerance: 0.25,
+        ..MilpConfig::default()
+    };
+    let sol = milp.solve(&loose).unwrap();
+    assert_eq!(sol.status, MilpStatus::Optimal, "within-gap counts as done");
+    assert!(sol.gap <= 0.25 + 1e-9);
+}
+
+#[test]
+fn warm_start_bound_prunes_search() {
+    // Provide the optimum as warm start; the search should close quickly.
+    let milp = hard_partition(12);
+    let exact = milp.solve(&MilpConfig::default()).unwrap();
+    let warm_cfg = MilpConfig {
+        warm_start: Some(exact.values.clone()),
+        ..MilpConfig::default()
+    };
+    let warm = milp.solve(&warm_cfg).unwrap();
+    assert!((warm.objective - exact.objective).abs() < 1e-6);
+    assert!(
+        warm.nodes_explored <= exact.nodes_explored,
+        "warm start must not enlarge the tree ({} vs {})",
+        warm.nodes_explored,
+        exact.nodes_explored
+    );
+}
+
+#[test]
+fn infeasible_binary_program_diagnosed_quickly() {
+    let mut lp = Problem::new(Sense::Minimize);
+    let a = lp.add_var("a", 0.0, 1.0, 1.0);
+    let b = lp.add_var("b", 0.0, 1.0, 1.0);
+    lp.add_constraint(vec![(a, 1.0), (b, 1.0)], Relation::Ge, 3.0);
+    let milp = MilpProblem::new(lp, vec![a, b]);
+    assert_eq!(milp.solve(&MilpConfig::default()).unwrap_err(), MilpError::Infeasible);
+}

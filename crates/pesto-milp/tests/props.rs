@@ -1,0 +1,108 @@
+//! Property tests: branch-and-bound must match exhaustive enumeration of
+//! all 0-1 assignments on random small binary programs.
+
+use pesto_lp::{Problem, Relation, Sense};
+use pesto_milp::{MilpConfig, MilpError, MilpProblem};
+use proptest::prelude::*;
+
+/// Exhaustively solves a pure binary program by trying all 2^n points.
+fn brute_force(lp: &Problem, n: usize, maximize: bool) -> Option<f64> {
+    let mut best: Option<f64> = None;
+    for mask in 0u32..(1 << n) {
+        let values: Vec<f64> = (0..n).map(|j| f64::from((mask >> j) & 1)).collect();
+        if lp.is_feasible(&values, 1e-9) {
+            let z = lp.objective_value(&values);
+            best = Some(match best {
+                None => z,
+                Some(cur) => {
+                    if maximize {
+                        cur.max(z)
+                    } else {
+                        cur.min(z)
+                    }
+                }
+            });
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Pure binary programs with random <=/>= rows.
+    #[test]
+    fn bnb_matches_exhaustive(
+        n in 2usize..7,
+        m in 1usize..5,
+        coeffs in proptest::collection::vec(-4i32..5, 35),
+        rhs in proptest::collection::vec(-3i32..8, 5),
+        rel in proptest::collection::vec(0u8..2, 5),
+        costs in proptest::collection::vec(-5i32..6, 7),
+        maximize in any::<bool>(),
+    ) {
+        let sense = if maximize { Sense::Maximize } else { Sense::Minimize };
+        let mut lp = Problem::new(sense);
+        let vars: Vec<_> = (0..n)
+            .map(|j| lp.add_var(format!("b{j}"), 0.0, 1.0, f64::from(costs[j])))
+            .collect();
+        for i in 0..m {
+            let terms: Vec<_> = (0..n).map(|j| (vars[j], f64::from(coeffs[i * n + j]))).collect();
+            let relation = if rel[i] == 0 { Relation::Le } else { Relation::Ge };
+            lp.add_constraint(terms, relation, f64::from(rhs[i]));
+        }
+        let brute = brute_force(&lp, n, maximize);
+        let milp = MilpProblem::new(lp, vars);
+        match (milp.solve(&MilpConfig::default()), brute) {
+            (Ok(sol), Some(best)) => {
+                prop_assert!((sol.objective - best).abs() < 1e-5,
+                    "bnb {} vs brute {}", sol.objective, best);
+                prop_assert!(milp.is_integer_feasible(&sol.values, 1e-6));
+            }
+            (Err(MilpError::Infeasible), None) => {}
+            (got, want) => {
+                return Err(TestCaseError::fail(format!(
+                    "status mismatch: bnb {got:?}, brute {want:?}"
+                )));
+            }
+        }
+    }
+
+    /// Mixed problems: one continuous makespan-like variable tied to
+    /// binaries by big-M rows; B&B solution must be integer feasible and at
+    /// least as good as any exhaustively enumerated assignment.
+    #[test]
+    fn mixed_bnb_dominates_enumeration(
+        n in 2usize..5,
+        weights in proptest::collection::vec(1i32..9, 5),
+    ) {
+        // Partition n items of given weights over 2 machines to minimize
+        // the max load: t >= sum(w_j x_j), t >= sum(w_j (1-x_j)).
+        let mut lp = Problem::new(Sense::Minimize);
+        let t = lp.add_var("t", 0.0, f64::INFINITY, 1.0);
+        let xs: Vec<_> = (0..n).map(|j| lp.add_var(format!("x{j}"), 0.0, 1.0, 0.0)).collect();
+        let total: f64 = (0..n).map(|j| f64::from(weights[j])).sum();
+        let mut terms1 = vec![(t, 1.0)];
+        let mut terms2 = vec![(t, 1.0)];
+        for j in 0..n {
+            terms1.push((xs[j], -f64::from(weights[j])));
+            terms2.push((xs[j], f64::from(weights[j])));
+        }
+        lp.add_constraint(terms1, Relation::Ge, 0.0);
+        lp.add_constraint(terms2, Relation::Ge, total);
+        let milp = MilpProblem::new(lp, xs.clone());
+        let sol = milp.solve(&MilpConfig::default()).unwrap();
+
+        // Brute force the optimal makespan.
+        let mut best = f64::INFINITY;
+        for mask in 0u32..(1 << n) {
+            let load: f64 = (0..n)
+                .filter(|j| (mask >> j) & 1 == 1)
+                .map(|j| f64::from(weights[j]))
+                .sum();
+            best = best.min(load.max(total - load));
+        }
+        prop_assert!((sol.objective - best).abs() < 1e-5,
+            "bnb {} vs brute {}", sol.objective, best);
+    }
+}

@@ -1,0 +1,330 @@
+//! Shared machinery: cost model, the network builder, and the generic
+//! backward-pass transform.
+
+use pesto_graph::{DeviceKind, FrozenGraph, GraphError, OpGraph, OpId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Effective matmul throughput, FLOPs per microsecond (≈8 TFLOP/s, a
+/// realistic sustained rate for fp32 V100 GEMMs).
+const MATMUL_FLOPS_PER_US: f64 = 8.0e6;
+/// Effective element-wise bandwidth, bytes per microsecond (≈600 GB/s).
+const ELEMENTWISE_BYTES_PER_US: f64 = 6.0e5;
+/// Kernel launch / dispatch floor per op, µs.
+const LAUNCH_FLOOR_US: f64 = 1.5;
+/// Bytes per fp32 element.
+pub(crate) const F32: u64 = 4;
+
+/// Builder for op-level training DAGs with FLOP-derived costs and a
+/// generic backward-pass expansion.
+///
+/// Every forward op records its output activation bytes (used for edge
+/// tensor sizes and for the activation edges feeding its gradient op) and
+/// its weight bytes (counted 4× in memory: weights + gradient + two Adam
+/// moments).
+#[derive(Debug)]
+pub struct NetBuilder {
+    g: OpGraph,
+    out_bytes: Vec<u64>,
+    weight_bytes: Vec<u64>,
+    rng: StdRng,
+}
+
+impl NetBuilder {
+    /// Creates a builder; `seed` controls the deterministic ±10% jitter on
+    /// op compute times.
+    pub fn new(name: impl Into<String>, seed: u64) -> Self {
+        NetBuilder {
+            g: OpGraph::new(name),
+            out_bytes: Vec::new(),
+            weight_bytes: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn jitter(&mut self) -> f64 {
+        self.rng.gen_range(0.9..1.1)
+    }
+
+    /// Adds a raw op with explicit cost and sizes, wiring edges from each
+    /// input with that input's output-tensor size.
+    pub fn raw(
+        &mut self,
+        name: impl Into<String>,
+        kind: DeviceKind,
+        compute_us: f64,
+        out_bytes: u64,
+        weight_bytes: u64,
+        inputs: &[OpId],
+    ) -> OpId {
+        let memory = out_bytes + 4 * weight_bytes;
+        let id = self.g.add_op(name, kind, compute_us, memory);
+        self.out_bytes.push(out_bytes);
+        self.weight_bytes.push(weight_bytes);
+        for &src in inputs {
+            let bytes = self.out_bytes[src.index()];
+            self.g
+                .add_edge(src, id, bytes)
+                .expect("builder edges are well-formed");
+        }
+        id
+    }
+
+    /// A dense matmul `[rows × k] · [k × n]`, with weights `k × n`.
+    pub fn matmul(
+        &mut self,
+        name: impl Into<String>,
+        rows: usize,
+        k: usize,
+        n: usize,
+        inputs: &[OpId],
+    ) -> OpId {
+        self.matmul_shared(name, rows, k, n, true, inputs)
+    }
+
+    /// A dense matmul whose `k × n` weight table may be *shared* with other
+    /// ops (unrolled RNN steps reuse one weight matrix): pass
+    /// `count_weights = true` on exactly one of the sharing ops so the
+    /// model's memory accounting is not inflated per timestep.
+    pub fn matmul_shared(
+        &mut self,
+        name: impl Into<String>,
+        rows: usize,
+        k: usize,
+        n: usize,
+        count_weights: bool,
+        inputs: &[OpId],
+    ) -> OpId {
+        let flops = 2.0 * rows as f64 * k as f64 * n as f64;
+        let t = (flops / MATMUL_FLOPS_PER_US).max(LAUNCH_FLOOR_US) * self.jitter();
+        let out = (rows * n) as u64 * F32;
+        let weights = if count_weights { (k * n) as u64 * F32 } else { 0 };
+        self.raw(name, DeviceKind::Gpu, t, out, weights, inputs)
+    }
+
+    /// An element-wise / activation op over `elems` elements.
+    pub fn elementwise(&mut self, name: impl Into<String>, elems: usize, inputs: &[OpId]) -> OpId {
+        let bytes = elems as u64 * F32;
+        let t = (bytes as f64 / ELEMENTWISE_BYTES_PER_US).max(LAUNCH_FLOOR_US) * self.jitter();
+        self.raw(name, DeviceKind::Gpu, t, bytes, 0, inputs)
+    }
+
+    /// A convolution over a `[h × w × cin]` activation producing `cout`
+    /// channels with `kk × kk` kernels (batch folded into `rows`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv(
+        &mut self,
+        name: impl Into<String>,
+        batch: usize,
+        h: usize,
+        w: usize,
+        cin: usize,
+        cout: usize,
+        kk: usize,
+        inputs: &[OpId],
+    ) -> OpId {
+        let flops = 2.0 * (batch * h * w) as f64 * (cin * kk * kk) as f64 * cout as f64;
+        let t = (flops / MATMUL_FLOPS_PER_US).max(LAUNCH_FLOOR_US) * self.jitter();
+        let out = (batch * h * w * cout) as u64 * F32;
+        let weights = (kk * kk * cin * cout) as u64 * F32;
+        self.raw(name, DeviceKind::Gpu, t, out, weights, inputs)
+    }
+
+    /// A CPU-resident op (input pipeline, summaries).
+    pub fn cpu(&mut self, name: impl Into<String>, compute_us: f64, out_bytes: u64, inputs: &[OpId]) -> OpId {
+        self.raw(name, DeviceKind::Cpu, compute_us, out_bytes, 0, inputs)
+    }
+
+    /// A small CPU-side kernel-launch op (`O_K` in the paper).
+    pub fn kernel(&mut self, name: impl Into<String>, inputs: &[OpId]) -> OpId {
+        self.raw(name, DeviceKind::Kernel, 0.8, 64, 0, inputs)
+    }
+
+    /// Current number of ops.
+    pub fn op_count(&self) -> usize {
+        self.g.op_count()
+    }
+
+    /// Appends a full backward pass and weight updates:
+    ///
+    /// * a `loss` op depending on every current sink;
+    /// * one gradient op per forward GPU op, with reversed data edges
+    ///   (`grad(v) → grad(u)` for every forward edge `(u, v)`) and an
+    ///   activation edge `u → grad(u)`, costing ~2× the forward op;
+    /// * one weight-update op per parameterized forward op.
+    ///
+    /// This mirrors the DAG `tf.gradients` builds and is what gives real
+    /// training graphs their 2–3× forward size.
+    pub fn add_backward(&mut self) {
+        let n_fwd = self.g.op_count();
+        let fwd_edges: Vec<(OpId, OpId, u64)> = {
+            // Collect the forward edges before we start mutating.
+            let frozen = self.g.clone().freeze().expect("forward DAG must be valid");
+            frozen.edges().to_vec()
+        };
+        let sinks: Vec<OpId> = {
+            let frozen = self.g.clone().freeze().expect("forward DAG must be valid");
+            frozen.sinks()
+        };
+
+        let loss = {
+            let scalar = F32;
+            let id = self.g.add_op("loss", DeviceKind::Gpu, LAUNCH_FLOOR_US, scalar);
+            self.out_bytes.push(scalar);
+            self.weight_bytes.push(0);
+            for s in sinks {
+                let bytes = self.out_bytes[s.index()];
+                self.g.add_edge(s, id, bytes).expect("loss edges");
+            }
+            id
+        };
+
+        // Gradient op per forward GPU op.
+        let mut grad_of: Vec<Option<OpId>> = vec![None; n_fwd];
+        // Walk forward ops in reverse insertion order, which is reverse
+        // topological for builder-constructed DAGs (inputs precede users).
+        #[allow(clippy::needless_range_loop)] // `i` indexes several tables
+        for i in (0..n_fwd).rev() {
+            let f = OpId::from_index(i);
+            if self.g.op(f).kind() != DeviceKind::Gpu {
+                continue;
+            }
+            let fwd_t = self.g.op(f).compute_us();
+            let out = self.out_bytes[i];
+            let name = format!("grad_{}", self.g.op(f).name());
+            let id = self.g.add_op(name, DeviceKind::Gpu, 2.0 * fwd_t, out);
+            self.out_bytes.push(out);
+            self.weight_bytes.push(0);
+            grad_of[i] = Some(id);
+            // Upstream gradient edges: from grad of each forward successor.
+            let mut has_upstream = false;
+            for &(u, v, _) in &fwd_edges {
+                if u == f {
+                    if let Some(gv) = grad_of[v.index()] {
+                        self.g
+                            .add_edge(gv, id, self.out_bytes[f.index()])
+                            .expect("grad edges");
+                        has_upstream = true;
+                    }
+                }
+            }
+            if !has_upstream {
+                self.g
+                    .add_edge(loss, id, F32)
+                    .expect("loss-to-grad edge");
+            }
+            // Activation edge: grad needs the forward op's saved output.
+            self.g.add_edge(f, id, out).expect("activation edge");
+        }
+
+        // Weight updates.
+        #[allow(clippy::needless_range_loop)] // `i` indexes two parallel tables
+        for i in 0..n_fwd {
+            if self.weight_bytes[i] == 0 {
+                continue;
+            }
+            let Some(grad) = grad_of[i] else { continue };
+            let w = self.weight_bytes[i];
+            let t = (w as f64 / ELEMENTWISE_BYTES_PER_US).max(LAUNCH_FLOOR_US);
+            let name = format!("update_{}", self.g.op(OpId::from_index(i)).name());
+            let id = self.g.add_op(name, DeviceKind::Gpu, t, 0);
+            self.out_bytes.push(0);
+            self.weight_bytes.push(0);
+            self.g.add_edge(grad, id, w).expect("update edge");
+        }
+    }
+
+    /// Validates and freezes the DAG.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] — a generator bug (cycles) or an empty
+    /// model.
+    pub fn finish(self) -> Result<FrozenGraph, GraphError> {
+        self.g.freeze()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_cost_scales_with_flops() {
+        let mut b = NetBuilder::new("t", 0);
+        let small = b.matmul("s", 8, 8, 8, &[]);
+        let big = b.matmul("b", 128, 2048, 2048, &[]);
+        let g = b.finish().unwrap();
+        assert!(g.op(big).compute_us() > 50.0 * g.op(small).compute_us());
+    }
+
+    #[test]
+    fn small_ops_hit_the_launch_floor() {
+        let mut b = NetBuilder::new("t", 0);
+        let tiny = b.elementwise("e", 4, &[]);
+        let g = b.finish().unwrap();
+        assert!(g.op(tiny).compute_us() >= LAUNCH_FLOOR_US * 0.9);
+        assert!(g.op(tiny).compute_us() <= LAUNCH_FLOOR_US * 1.1);
+    }
+
+    #[test]
+    fn weights_count_four_times_in_memory() {
+        let mut b = NetBuilder::new("t", 0);
+        let m = b.matmul("m", 1, 100, 100, &[]);
+        let g = b.finish().unwrap();
+        let weights = 100 * 100 * F32;
+        let out = 100 * F32;
+        assert_eq!(g.op(m).memory_bytes(), out + 4 * weights);
+    }
+
+    #[test]
+    fn edges_carry_producer_output_bytes() {
+        let mut b = NetBuilder::new("t", 0);
+        let a = b.elementwise("a", 1000, &[]);
+        let c = b.elementwise("c", 10, &[a]);
+        let g = b.finish().unwrap();
+        assert_eq!(g.edge_bytes(a, c), Some(1000 * F32));
+    }
+
+    #[test]
+    fn backward_roughly_doubles_the_graph() {
+        let mut b = NetBuilder::new("t", 0);
+        let x = b.elementwise("x", 100, &[]);
+        let m = b.matmul("m", 4, 10, 10, &[x]);
+        let _y = b.elementwise("y", 40, &[m]);
+        let before = b.op_count();
+        b.add_backward();
+        let g = b.finish().unwrap();
+        // loss + 3 grads + 1 update.
+        assert_eq!(g.op_count(), before + 1 + 3 + 1);
+        // Gradient flow is reversed: grad_y precedes grad_m.
+        let find = |name: &str| g.op_ids().find(|&i| g.op(i).name() == name).unwrap();
+        assert!(g.reachable(find("grad_y"), find("grad_m")));
+        assert!(g.reachable(find("grad_m"), find("grad_x")));
+        assert!(g.reachable(find("loss"), find("grad_y")));
+        assert!(g.reachable(find("grad_m"), find("update_m")));
+    }
+
+    #[test]
+    fn backward_preserves_acyclicity_on_diamonds() {
+        let mut b = NetBuilder::new("t", 0);
+        let r = b.elementwise("r", 10, &[]);
+        let x = b.matmul("x", 2, 4, 4, &[r]);
+        let y = b.matmul("y", 2, 4, 4, &[r]);
+        let _s = b.elementwise("s", 8, &[x, y]);
+        b.add_backward();
+        assert!(b.finish().is_ok());
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let mk = |seed| {
+            let mut b = NetBuilder::new("t", seed);
+            let m = b.matmul("m", 64, 256, 256, &[]);
+            let g = b.finish().unwrap();
+            g.op(m).compute_us()
+        };
+        assert_eq!(mk(5), mk(5));
+        assert_ne!(mk(5), mk(6));
+    }
+}

@@ -1,0 +1,48 @@
+//! Synthetic DNN operation-graph generators for the Pesto evaluation.
+//!
+//! The paper evaluates eleven variants of four "giant" models (§5.2):
+//! RNNLM (2/4/16 layers), NMT with attention (2/4 layers), Transformer
+//! (10/12/6 layers with 8/8/16 heads), and NASNet (4/6 cells with varying
+//! filter counts). This crate regenerates *structurally faithful* op-level
+//! training DAGs for all of them:
+//!
+//! * LSTM models unroll into the time × layer **grid** whose parallelism
+//!   Pesto exploits (the paper's §5.3 "grid like structure of LSTM cells");
+//! * the Transformer is a deep **sequential** stack of attention + FFN
+//!   blocks with heavy tensors — little parallelism, matching the paper's
+//!   "Transformers … do not provide much opportunity for parallelization";
+//! * NASNet cells contain parallel **branches** (the paper's Expert
+//!   baseline splits branches across GPUs);
+//! * every model gets a full backward pass (mirror gradient ops + weight
+//!   updates), which is what makes real TF training DAGs 2–3× the forward
+//!   size.
+//!
+//! Compute times are derived from FLOP counts at V100-like throughputs,
+//! with a kernel-launch floor; the resulting op-time distribution
+//! reproduces Table 1's shape (most ops below 10 µs, a heavy tail above
+//! 100 µs). Memory footprints count saved activations plus 4× weights
+//! (gradient + Adam moments), calibrated so exactly the variants the paper
+//! says do not fit on one 16 GB GPU indeed do not.
+//!
+//! # Example
+//!
+//! ```
+//! use pesto_models::ModelSpec;
+//!
+//! let g = ModelSpec::rnnlm(2, 2048).generate(128, 1);
+//! assert!(g.op_count() > 1000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod common;
+mod nasnet;
+mod rnnlm;
+mod spec;
+mod toy;
+mod transformer;
+
+pub use common::NetBuilder;
+pub use spec::{paper_variants, ModelSpec};
+pub use toy::{figure2, figure6_hazard};

@@ -1,0 +1,186 @@
+//! NASNet generator: convolutional cells with parallel branches.
+//!
+//! Each NASNet cell contains five blocks, each combining two parallel
+//! branches (separable convolutions or pooling) with an add — the branch
+//! parallelism the paper's Expert baseline splits across GPUs ("Expert
+//! places parallel branches within each cell across different GPUs",
+//! §5.2). Convolution branches carry weights while pooling branches do
+//! not, so a branch-count-balanced split is *not* memory-balanced — the
+//! root cause of Expert's OOM on NASNet-6-168 and NASNet-4-212 (Figure 7).
+
+use crate::common::NetBuilder;
+use pesto_graph::{FrozenGraph, OpId};
+
+/// ImageNet batch size used in the paper for NASNet.
+pub(crate) const BATCH: usize = 32;
+
+/// A separable convolution: depthwise + pointwise + batch-norm + relu.
+#[allow(clippy::too_many_arguments)]
+fn sep_conv(
+    b: &mut NetBuilder,
+    tag: &str,
+    hw: usize,
+    cin: usize,
+    cout: usize,
+    kk: usize,
+    input: OpId,
+) -> OpId {
+    // Depthwise: one kk×kk filter per input channel (multiplier 1). Passing
+    // `cin = 1, cout = channels` gives the right FLOPs (2·B·h·w·kk²·C),
+    // weights (kk²·C), and output shape (B·h·w·C).
+    let dw = b.conv(format!("{tag}/depthwise"), BATCH, hw, hw, 1, cin, kk, &[input]);
+    let pw = b.conv(format!("{tag}/pointwise"), BATCH, hw, hw, cin, cout, 1, &[dw]);
+    let bn = b.elementwise(format!("{tag}/bn"), BATCH * hw * hw * cout, &[pw]);
+    b.elementwise(format!("{tag}/relu"), BATCH * hw * hw * cout, &[bn])
+}
+
+/// One NASNet block: a convolutional left branch (two chained separable
+/// convolutions, as in NASNet-A) in parallel with a light pooling right
+/// branch, combined by an add. The weight/activation asymmetry between the
+/// branches is what makes a branch-count-balanced Expert split memory-
+/// imbalanced.
+fn nas_block(
+    b: &mut NetBuilder,
+    tag: &str,
+    hw: usize,
+    channels: usize,
+    left: OpId,
+    right: OpId,
+) -> OpId {
+    let l1 = sep_conv(b, &format!("{tag}/branch_l/sep1"), hw, channels, channels, 3, left);
+    let l = sep_conv(b, &format!("{tag}/branch_l/sep2"), hw, channels, channels, 5, l1);
+    let r = b.elementwise(format!("{tag}/branch_r_pool"), BATCH * hw * hw * channels, &[right]);
+    b.elementwise(format!("{tag}/add"), BATCH * hw * hw * channels, &[l, r])
+}
+
+/// One NASNet cell: five blocks over the two previous cell outputs, then a
+/// concat (modeled as an elementwise merge).
+fn nas_cell(
+    b: &mut NetBuilder,
+    tag: &str,
+    hw: usize,
+    channels: usize,
+    prev: OpId,
+    prev_prev: OpId,
+) -> OpId {
+    let mut outs = Vec::with_capacity(5);
+    for blk in 0..5 {
+        let (l, r) = match blk {
+            0 => (prev, prev_prev),
+            1 => (prev_prev, prev),
+            _ => (outs[blk - 2], prev),
+        };
+        outs.push(nas_block(b, &format!("{tag}/b{blk}"), hw, channels, l, r));
+    }
+    let all: Vec<OpId> = outs;
+    b.elementwise(format!("{tag}/concat"), BATCH * hw * hw * channels * 5, &all)
+}
+
+/// Generates the NASNet training DAG: stem, `cells` cells across three
+/// resolution stages with doubling filters, classifier head, and backward.
+pub(crate) fn nasnet(cells: usize, filters: usize, seed: u64) -> FrozenGraph {
+    let mut b = NetBuilder::new(format!("NASNet-{cells}-{filters}"), seed);
+    let input = b.cpu("input_pipeline", 120.0, (BATCH * 224 * 224 * 3) as u64, &[]);
+    let k = b.kernel("stem_launch", &[input]);
+    let stem = b.conv("stem", BATCH, 56, 56, 3, filters, 3, &[k]);
+
+    // Three stages at 56/28/14 spatial resolution; filters double each
+    // stage (the NASNet-A schedule).
+    let stages = [(56usize, 1usize), (28, 2), (14, 4)];
+    let per_stage = cells.div_ceil(3);
+    let mut prev = stem;
+    let mut prev_prev = stem;
+    let mut cell_idx = 0;
+    for (stage, &(hw, mult)) in stages.iter().enumerate() {
+        for _ in 0..per_stage {
+            if cell_idx >= cells {
+                break;
+            }
+            let c = filters * mult;
+            let out = nas_cell(
+                &mut b,
+                &format!("cell{cell_idx}_s{stage}"),
+                hw,
+                c,
+                prev,
+                prev_prev,
+            );
+            prev_prev = prev;
+            prev = out;
+            cell_idx += 1;
+        }
+        if stage + 1 < stages.len() && cell_idx < cells {
+            // Reduction between stages.
+            let (nhw, nmult) = stages[stage + 1];
+            prev = b.conv(
+                format!("reduce{stage}"),
+                BATCH,
+                nhw,
+                nhw,
+                filters * mult,
+                filters * nmult,
+                3,
+                &[prev],
+            );
+            prev_prev = prev;
+        }
+    }
+
+    let pool = b.elementwise("global_pool", BATCH * filters * 4, &[prev]);
+    let logits = b.matmul("fc", BATCH, filters * 4, 1000, &[pool]);
+    let _nll = b.elementwise("nll", BATCH, &[logits]);
+
+    b.add_backward();
+    b.finish().expect("NASNet generator produces a DAG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branches_are_parallel_within_a_block() {
+        let g = nasnet(4, 44, 0);
+        let find = |name: &str| g.op_ids().find(|&i| g.op(i).name() == name).unwrap();
+        let l = find("cell0_s0/b1/branch_l/sep2/relu");
+        let r = find("cell0_s0/b1/branch_r_pool");
+        assert!(!g.reachable(l, r));
+        assert!(!g.reachable(r, l));
+        // Both feed the add.
+        let add = find("cell0_s0/b1/add");
+        assert!(g.reachable(l, add));
+        assert!(g.reachable(r, add));
+    }
+
+    #[test]
+    fn cells_are_sequential() {
+        let g = nasnet(4, 44, 0);
+        let find = |name: &str| g.op_ids().find(|&i| g.op(i).name() == name).unwrap();
+        assert!(g.reachable(find("cell0_s0/concat"), find("cell1_s0/b0/add")));
+    }
+
+    #[test]
+    fn op_count_scales_with_cells() {
+        assert!(nasnet(6, 44, 0).op_count() > nasnet(4, 44, 0).op_count());
+    }
+
+    #[test]
+    fn branch_memory_is_imbalanced() {
+        // Convolution branches carry weights; pooling branches do not. A
+        // branch-count-balanced (Expert-style) split is therefore not
+        // memory-balanced — the mechanism behind Expert's NASNet OOMs.
+        let g = nasnet(4, 64, 0);
+        let mem_of = |prefix: &str| -> u64 {
+            g.op_ids()
+                .filter(|&i| g.op(i).name().starts_with(prefix))
+                .map(|i| g.op(i).memory_bytes())
+                .sum()
+        };
+        let conv_branch = mem_of("cell0_s0/b1/branch_l");
+        let pool_branch = mem_of("cell0_s0/b1/branch_r_pool");
+        assert!(
+            conv_branch > pool_branch,
+            "conv {conv_branch} vs pool {pool_branch}"
+        );
+    }
+}

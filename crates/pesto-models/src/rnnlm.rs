@@ -1,0 +1,254 @@
+//! RNNLM and NMT generators: unrolled LSTM grids (+ attention for NMT).
+//!
+//! The LSTM grid is the structure the paper highlights (§5.3): cell
+//! `(t, l)` depends on `(t-1, l)` (recurrent state) and `(t, l-1)` (layer
+//! input), giving a wavefront of parallelism that Pesto exploits and
+//! Expert's layer-wise split under-uses.
+
+use crate::common::{NetBuilder, F32};
+use pesto_graph::{FrozenGraph, OpId};
+
+/// Vocabulary used for the language models (drives embedding and softmax
+/// weight sizes; calibrated so the paper's "fits on one GPU" set matches).
+pub(crate) const VOCAB: usize = 20_000;
+/// Unrolled sequence length for RNNLM (Penn Treebank-style truncated BPTT).
+pub(crate) const RNNLM_STEPS: usize = 80;
+/// Source/target lengths for NMT (WMT-style sentences).
+pub(crate) const NMT_STEPS: usize = 128;
+/// NMT vocabulary (per side).
+pub(crate) const NMT_VOCAB: usize = 12_000;
+
+/// One LSTM cell: two gate matmuls, bias, four gate activations, and the
+/// state updates. Returns `(h, c)`.
+#[allow(clippy::too_many_arguments)]
+fn lstm_cell(
+    b: &mut NetBuilder,
+    tag: &str,
+    batch: usize,
+    hidden: usize,
+    count_weights: bool,
+    x: OpId,
+    h_prev: OpId,
+    c_prev: OpId,
+) -> (OpId, OpId) {
+    let gates = 4 * hidden;
+    // Weight matrices are shared across the unrolled time steps; only the
+    // t = 0 cell accounts for them.
+    let mx = b.matmul_shared(format!("{tag}/x_gates"), batch, hidden, gates, count_weights, &[x]);
+    let mh = b.matmul_shared(format!("{tag}/h_gates"), batch, hidden, gates, count_weights, &[h_prev]);
+    let sum = b.elementwise(format!("{tag}/bias_add"), batch * gates, &[mx, mh]);
+    let i = b.elementwise(format!("{tag}/sigmoid_i"), batch * hidden, &[sum]);
+    let f = b.elementwise(format!("{tag}/sigmoid_f"), batch * hidden, &[sum]);
+    let o = b.elementwise(format!("{tag}/sigmoid_o"), batch * hidden, &[sum]);
+    let g = b.elementwise(format!("{tag}/tanh_g"), batch * hidden, &[sum]);
+    let fc = b.elementwise(format!("{tag}/f_mul_c"), batch * hidden, &[f, c_prev]);
+    let ig = b.elementwise(format!("{tag}/i_mul_g"), batch * hidden, &[i, g]);
+    let c = b.elementwise(format!("{tag}/c_new"), batch * hidden, &[fc, ig]);
+    let tc = b.elementwise(format!("{tag}/tanh_c"), batch * hidden, &[c]);
+    let h = b.elementwise(format!("{tag}/h_new"), batch * hidden, &[o, tc]);
+    (h, c)
+}
+
+/// Builds an unrolled LSTM grid over `steps × layers` on top of per-step
+/// input ops; returns the top-layer `h` per step.
+#[allow(clippy::too_many_arguments)]
+fn lstm_grid(
+    b: &mut NetBuilder,
+    tag: &str,
+    batch: usize,
+    hidden: usize,
+    layers: usize,
+    steps: usize,
+    inputs: &[OpId],
+    init: OpId,
+) -> Vec<OpId> {
+    let mut h_prev: Vec<OpId> = vec![init; layers];
+    let mut c_prev: Vec<OpId> = vec![init; layers];
+    let mut tops = Vec::with_capacity(steps);
+    for (t, &input) in inputs.iter().enumerate().take(steps) {
+        let mut x = input;
+        for l in 0..layers {
+            let (h, c) = lstm_cell(
+                b,
+                &format!("{tag}/t{t}/l{l}"),
+                batch,
+                hidden,
+                t == 0,
+                x,
+                h_prev[l],
+                c_prev[l],
+            );
+            h_prev[l] = h;
+            c_prev[l] = c;
+            x = h;
+        }
+        tops.push(x);
+    }
+    tops
+}
+
+/// Generates the RNNLM training DAG (embedding → LSTM grid → per-step
+/// softmax, plus the full backward pass) with an explicit unroll length;
+/// the paper-default is [`RNNLM_STEPS`].
+pub(crate) fn rnnlm_steps(
+    layers: usize,
+    hidden: usize,
+    batch: usize,
+    seed: u64,
+    steps: usize,
+) -> FrozenGraph {
+    let steps = steps.max(2);
+    let mut b = NetBuilder::new(format!("RNNLM-{layers}-{hidden}"), seed);
+    let input = b.cpu("input_pipeline", 50.0, (batch * steps * 8) as u64, &[]);
+    let init = b.elementwise("zero_state", batch * hidden, &[]);
+
+    // Embedding lookups: weight table amortized onto the first lookup.
+    let mut embeds = Vec::with_capacity(steps);
+    for t in 0..steps {
+        let k = b.kernel(format!("embed_lookup_launch/t{t}"), &[input]);
+        let weight = if t == 0 { (VOCAB * hidden) as u64 * F32 } else { 0 };
+        let e = b.raw(
+            format!("embed/t{t}"),
+            pesto_graph::DeviceKind::Gpu,
+            3.0,
+            (batch * hidden) as u64 * F32,
+            weight,
+            &[k],
+        );
+        embeds.push(e);
+    }
+
+    let tops = lstm_grid(&mut b, "lstm", batch, hidden, layers, steps, &embeds, init);
+
+    // Per-step projection to the vocabulary + loss contribution.
+    for (t, &h) in tops.iter().enumerate() {
+        let logits = b.matmul_shared(format!("softmax/t{t}"), batch, hidden, VOCAB, t == 0, &[h]);
+        let _nll = b.elementwise(format!("nll/t{t}"), batch * 64, &[logits]);
+    }
+
+    b.add_backward();
+    b.finish().expect("RNNLM generator produces a DAG")
+}
+
+/// Generates the NMT training DAG (encoder grid, decoder grid with
+/// per-step attention over all encoder outputs, softmax, and backward)
+/// with an explicit per-side sequence length; the paper-default is
+/// [`NMT_STEPS`].
+pub(crate) fn nmt_steps(
+    layers: usize,
+    hidden: usize,
+    batch: usize,
+    seed: u64,
+    steps: usize,
+) -> FrozenGraph {
+    let steps = steps.max(2);
+    let mut b = NetBuilder::new(format!("NMT-{layers}-{hidden}"), seed);
+    let input = b.cpu("input_pipeline", 80.0, (batch * steps * 16) as u64, &[]);
+    let init = b.elementwise("zero_state", batch * hidden, &[]);
+
+    let mk_embeds = |b: &mut NetBuilder, side: &str| -> Vec<OpId> {
+        (0..steps)
+            .map(|t| {
+                let weight = if t == 0 { (NMT_VOCAB * hidden) as u64 * F32 } else { 0 };
+                b.raw(
+                    format!("{side}_embed/t{t}"),
+                    pesto_graph::DeviceKind::Gpu,
+                    3.0,
+                    (batch * hidden) as u64 * F32,
+                    weight,
+                    &[input],
+                )
+            })
+            .collect()
+    };
+    let src_embeds = mk_embeds(&mut b, "src");
+    let tgt_embeds = mk_embeds(&mut b, "tgt");
+
+    let enc_tops = lstm_grid(&mut b, "enc", batch, hidden, layers, steps, &src_embeds, init);
+
+    // Decoder with Bahdanau-style attention: each step's input is the
+    // target embedding; its output attends over all encoder outputs.
+    let dec_tops = lstm_grid(&mut b, "dec", batch, hidden, layers, steps, &tgt_embeds, init);
+    for (t, &d) in dec_tops.iter().enumerate() {
+        // Scores against every encoder step (one fused matmul), softmax,
+        // context, and the attentional projection.
+        let mut attn_inputs = vec![d];
+        attn_inputs.extend_from_slice(&enc_tops);
+        let scores = b.matmul_shared(format!("attn_scores/t{t}"), batch, hidden, steps, t == 0, &attn_inputs);
+        let weights = b.elementwise(format!("attn_softmax/t{t}"), batch * steps, &[scores]);
+        let context = b.matmul_shared(format!("attn_context/t{t}"), batch, steps, hidden, t == 0, &[weights]);
+        let merged = b.matmul_shared(format!("attn_proj/t{t}"), batch, 2 * hidden, hidden, t == 0, &[d, context]);
+        let logits = b.matmul_shared(format!("softmax/t{t}"), batch, hidden, NMT_VOCAB, t == 0, &[merged]);
+        let _nll = b.elementwise(format!("nll/t{t}"), batch * 64, &[logits]);
+    }
+
+    b.add_backward();
+    b.finish().expect("NMT generator produces a DAG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pesto_graph::DeviceKind;
+
+    #[test]
+    fn rnnlm_has_grid_structure() {
+        let g = rnnlm_steps(2, 256, 8, 0, RNNLM_STEPS);
+        // Find cell (1,1)'s x_gates matmul and check it depends on both the
+        // previous step and the previous layer.
+        let find = |name: &str| g.op_ids().find(|&i| g.op(i).name() == name).unwrap();
+        let h_t0_l1 = find("lstm/t0/l1/h_new");
+        let h_t1_l0 = find("lstm/t1/l0/h_new");
+        let h_t1_l1 = find("lstm/t1/l1/h_new");
+        assert!(g.reachable(h_t0_l1, h_t1_l1), "recurrent dependency");
+        assert!(g.reachable(h_t1_l0, h_t1_l1), "layer dependency");
+        // Wavefront parallelism: (t0, l1) and (t1, l0) are independent.
+        assert!(!g.reachable(h_t0_l1, h_t1_l0));
+        assert!(!g.reachable(h_t1_l0, h_t0_l1));
+    }
+
+    #[test]
+    fn rnnlm_op_count_scales_with_layers() {
+        let g2 = rnnlm_steps(2, 128, 4, 0, RNNLM_STEPS);
+        let g4 = rnnlm_steps(4, 128, 4, 0, RNNLM_STEPS);
+        assert!(g4.op_count() > g2.op_count() + RNNLM_STEPS * 10);
+    }
+
+    #[test]
+    fn rnnlm_has_backward_and_updates() {
+        let g = rnnlm_steps(1, 64, 4, 0, RNNLM_STEPS);
+        let grads = g.op_ids().filter(|&i| g.op(i).name().starts_with("grad_")).count();
+        let updates = g.op_ids().filter(|&i| g.op(i).name().starts_with("update_")).count();
+        assert!(grads > 100);
+        // Weights are shared across the unrolled steps, so there is one
+        // update per weight table: x/h gate matmuls per layer + embedding
+        // + softmax.
+        assert_eq!(updates, 2 + 1 + 1, "one update per shared weight table");
+    }
+
+    #[test]
+    fn rnnlm_mixes_device_kinds() {
+        let g = rnnlm_steps(1, 64, 4, 0, RNNLM_STEPS);
+        let kinds: std::collections::HashSet<_> =
+            g.op_ids().map(|i| g.op(i).kind()).collect();
+        assert!(kinds.contains(&DeviceKind::Cpu));
+        assert!(kinds.contains(&DeviceKind::Gpu));
+        assert!(kinds.contains(&DeviceKind::Kernel));
+    }
+
+    #[test]
+    fn nmt_decoder_attends_to_encoder() {
+        let g = nmt_steps(1, 128, 4, 0, NMT_STEPS);
+        let find = |name: &str| g.op_ids().find(|&i| g.op(i).name() == name).unwrap();
+        let enc_last = find(&format!("enc/t{}/l0/h_new", NMT_STEPS - 1));
+        let attn_first = find("attn_scores/t0");
+        assert!(g.reachable(enc_last, attn_first), "attention sees all encoder steps");
+    }
+
+    #[test]
+    fn nmt_is_bigger_than_rnnlm() {
+        let g_nmt = nmt_steps(2, 128, 4, 0, NMT_STEPS);
+        let g_rnnlm = rnnlm_steps(2, 128, 4, 0, RNNLM_STEPS);
+        assert!(g_nmt.op_count() > g_rnnlm.op_count());
+    }
+}

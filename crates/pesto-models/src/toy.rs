@@ -1,0 +1,93 @@
+//! The paper's illustrative toy DAGs.
+
+use pesto_graph::{DeviceKind, FrozenGraph, OpGraph};
+
+/// The Figure 2(a) toy DAG: small ops A–E form two short diamonds feeding
+/// the sink H, while heavy ops F and G gate H directly. Compute times are
+/// in parentheses in the paper; tensors are small so scheduling, not
+/// communication, dominates.
+///
+/// ```
+/// use pesto_models::figure2;
+/// let g = figure2();
+/// assert_eq!(g.op_count(), 8);
+/// ```
+pub fn figure2() -> FrozenGraph {
+    let mut g = OpGraph::new("figure2-toy");
+    let a = g.add_op("A", DeviceKind::Gpu, 10.0, 64);
+    let b = g.add_op("B", DeviceKind::Gpu, 10.0, 64);
+    let c = g.add_op("C", DeviceKind::Gpu, 10.0, 64);
+    let d = g.add_op("D", DeviceKind::Gpu, 20.0, 64);
+    let e = g.add_op("E", DeviceKind::Gpu, 20.0, 64);
+    let f = g.add_op("F", DeviceKind::Gpu, 40.0, 64);
+    let gg = g.add_op("G", DeviceKind::Gpu, 40.0, 64);
+    let h = g.add_op("H", DeviceKind::Gpu, 10.0, 64);
+    g.add_edge(a, d, 1024).expect("static edges");
+    g.add_edge(b, d, 1024).expect("static edges");
+    g.add_edge(b, e, 1024).expect("static edges");
+    g.add_edge(c, e, 1024).expect("static edges");
+    g.add_edge(d, h, 1024).expect("static edges");
+    g.add_edge(e, h, 1024).expect("static edges");
+    g.add_edge(f, h, 1024).expect("static edges");
+    g.add_edge(gg, h, 1024).expect("static edges");
+    g.freeze().expect("figure 2 DAG is valid")
+}
+
+/// The Figure 6 coarsening hazard: edges `(A, C)` and `(B, D)` are each
+/// individually safe to merge (Theorem 3.2) but merging both at once
+/// creates a cycle. Used to test batch-merging safety.
+///
+/// ```
+/// use pesto_models::figure6_hazard;
+/// let g = figure6_hazard();
+/// assert!(g.edge_is_unique_path(
+///     g.op_ids().next().unwrap(),
+///     g.op_ids().nth(2).unwrap(),
+/// ));
+/// ```
+pub fn figure6_hazard() -> FrozenGraph {
+    let mut g = OpGraph::new("figure6-hazard");
+    let a = g.add_op("A", DeviceKind::Gpu, 1.0, 16);
+    let b = g.add_op("B", DeviceKind::Gpu, 1.0, 16);
+    let c = g.add_op("C", DeviceKind::Gpu, 1.0, 16);
+    let d = g.add_op("D", DeviceKind::Gpu, 1.0, 16);
+    // A -> C and B -> D are the merge candidates; A -> D and B -> C are
+    // the cross edges that close a cycle if both merges happen at once.
+    g.add_edge(a, c, 1024).expect("static edges");
+    g.add_edge(b, d, 1024).expect("static edges");
+    g.add_edge(a, d, 64).expect("static edges");
+    g.add_edge(b, c, 64).expect("static edges");
+    g.freeze().expect("figure 6 DAG is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pesto_graph::OpId;
+
+    #[test]
+    fn figure2_structure() {
+        let g = figure2();
+        assert_eq!(g.op_count(), 8);
+        assert_eq!(g.edge_count(), 8);
+        // Serial time 160, critical path A/B/C -> D/E -> H = 10+20+10 = 40...
+        // but F -> H gives 40 + 10 = 50.
+        assert!((g.total_compute_us() - 160.0).abs() < 1e-9);
+        assert!((g.critical_path_us() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn figure6_merges_conflict() {
+        let g = figure6_hazard();
+        let a = OpId::from_index(0);
+        let b = OpId::from_index(1);
+        let c = OpId::from_index(2);
+        let d = OpId::from_index(3);
+        assert!(g.edge_is_unique_path(a, c));
+        assert!(g.edge_is_unique_path(b, d));
+        // Merging both would create merged(AC) <-> merged(BD):
+        // A->D connects AC -> BD, B->C connects BD -> AC.
+        assert!(g.edge_bytes(a, d).is_some());
+        assert!(g.edge_bytes(b, c).is_some());
+    }
+}

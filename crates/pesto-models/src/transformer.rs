@@ -1,0 +1,140 @@
+//! Transformer generator: sequential encoder/decoder stacks of multi-head
+//! attention + feed-forward blocks.
+//!
+//! The structure is deliberately *sequential* between blocks with heavy
+//! tensors on every edge — the reason the paper sees only moderate (~8%)
+//! gains for Transformers (§5.3: "significant communication overheads …
+//! do not provide much opportunity for parallelization").
+
+use crate::common::{NetBuilder, F32};
+use pesto_graph::{FrozenGraph, OpId};
+
+/// Tokens per batch: 32 sentences (paper batch size) × average length 128.
+pub(crate) const TOKENS: usize = 32 * 128;
+/// Sequence length used for attention score shapes.
+pub(crate) const SEQ: usize = 128;
+/// Shared sub-word vocabulary.
+pub(crate) const VOCAB: usize = 32_000;
+
+/// One multi-head attention + FFN block. `heads` independent head chains
+/// give the (limited) intra-block parallelism real Transformers have.
+fn block(
+    b: &mut NetBuilder,
+    tag: &str,
+    hidden: usize,
+    heads: usize,
+    filters: usize,
+    input: OpId,
+) -> OpId {
+    let ln1 = b.elementwise(format!("{tag}/ln1"), TOKENS * hidden, &[input]);
+    let q = b.matmul(format!("{tag}/q_proj"), TOKENS, hidden, hidden, &[ln1]);
+    let k = b.matmul(format!("{tag}/k_proj"), TOKENS, hidden, hidden, &[ln1]);
+    let v = b.matmul(format!("{tag}/v_proj"), TOKENS, hidden, hidden, &[ln1]);
+    let dh = hidden / heads;
+    let mut head_outs = Vec::with_capacity(heads);
+    for h in 0..heads {
+        let qh = b.elementwise(format!("{tag}/h{h}/q_split"), TOKENS * dh, &[q]);
+        let kh = b.elementwise(format!("{tag}/h{h}/k_split"), TOKENS * dh, &[k]);
+        let vh = b.elementwise(format!("{tag}/h{h}/v_split"), TOKENS * dh, &[v]);
+        let scores = b.matmul(format!("{tag}/h{h}/scores"), TOKENS, dh, SEQ, &[qh, kh]);
+        let probs = b.elementwise(format!("{tag}/h{h}/softmax"), TOKENS * SEQ, &[scores]);
+        let ctx = b.matmul(format!("{tag}/h{h}/context"), TOKENS, SEQ, dh, &[probs, vh]);
+        head_outs.push(ctx);
+    }
+    let concat = b.elementwise(format!("{tag}/concat"), TOKENS * hidden, &head_outs);
+    let attn_out = b.matmul(format!("{tag}/out_proj"), TOKENS, hidden, hidden, &[concat]);
+    let res1 = b.elementwise(format!("{tag}/residual1"), TOKENS * hidden, &[input, attn_out]);
+
+    let ln2 = b.elementwise(format!("{tag}/ln2"), TOKENS * hidden, &[res1]);
+    let ff1 = b.matmul(format!("{tag}/ffn1"), TOKENS, hidden, filters, &[ln2]);
+    let relu = b.elementwise(format!("{tag}/relu"), TOKENS * filters, &[ff1]);
+    let ff2 = b.matmul(format!("{tag}/ffn2"), TOKENS, filters, hidden, &[relu]);
+    b.elementwise(format!("{tag}/residual2"), TOKENS * hidden, &[res1, ff2])
+}
+
+/// Generates the Transformer training DAG (`layers` encoder blocks +
+/// `layers` decoder blocks) with full backward pass.
+pub(crate) fn transformer(
+    layers: usize,
+    heads: usize,
+    hidden: usize,
+    filters: usize,
+    seed: u64,
+) -> FrozenGraph {
+    let mut b = NetBuilder::new(format!("Transformer-{layers}-{heads}-{hidden}"), seed);
+    let input = b.cpu("input_pipeline", 60.0, (TOKENS * 8) as u64, &[]);
+    let k = b.kernel("embed_launch", &[input]);
+    let embed = b.raw(
+        "embed",
+        pesto_graph::DeviceKind::Gpu,
+        20.0,
+        (TOKENS * hidden) as u64 * F32,
+        (VOCAB * hidden) as u64 * F32,
+        &[k],
+    );
+
+    let mut x = embed;
+    for l in 0..layers {
+        x = block(&mut b, &format!("enc{l}"), hidden, heads, filters, x);
+    }
+    let enc_out = x;
+    let mut y = embed;
+    for l in 0..layers {
+        y = block(&mut b, &format!("dec{l}"), hidden, heads, filters, y);
+        // Cross-attention link to the encoder output (summarized as the
+        // residual dependency that makes the decoder wait for the encoder).
+        y = b.elementwise(format!("dec{l}/cross_merge"), TOKENS * hidden, &[y, enc_out]);
+    }
+
+    let logits = b.matmul("softmax_logits", TOKENS, hidden, VOCAB, &[y]);
+    let _nll = b.elementwise("nll", TOKENS, &[logits]);
+
+    b.add_backward();
+    b.finish().expect("Transformer generator produces a DAG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_are_sequential() {
+        let g = transformer(3, 2, 64, 256, 0);
+        let find = |name: &str| g.op_ids().find(|&i| g.op(i).name() == name).unwrap();
+        assert!(g.reachable(find("enc0/residual2"), find("enc1/ln1")));
+        assert!(g.reachable(find("enc1/residual2"), find("enc2/ln1")));
+        // Decoder waits for the encoder via cross-attention.
+        assert!(g.reachable(find("enc2/residual2"), find("dec0/cross_merge")));
+    }
+
+    #[test]
+    fn heads_are_parallel_within_a_block() {
+        let g = transformer(1, 4, 64, 256, 0);
+        let find = |name: &str| g.op_ids().find(|&i| g.op(i).name() == name).unwrap();
+        let h0 = find("enc0/h0/context");
+        let h3 = find("enc0/h3/context");
+        assert!(!g.reachable(h0, h3));
+        assert!(!g.reachable(h3, h0));
+    }
+
+    #[test]
+    fn op_count_scales_with_layers_and_heads() {
+        let small = transformer(2, 2, 64, 256, 0);
+        let deeper = transformer(4, 2, 64, 256, 0);
+        let wider = transformer(2, 8, 64, 256, 0);
+        assert!(deeper.op_count() > small.op_count());
+        assert!(wider.op_count() > small.op_count());
+    }
+
+    #[test]
+    fn edges_between_blocks_are_heavy() {
+        let g = transformer(1, 2, 1024, 4096, 0);
+        let find = |name: &str| g.op_ids().find(|&i| g.op(i).name() == name).unwrap();
+        let bytes = g
+            .edge_bytes(find("enc0/residual2"), find("dec0/ln1"))
+            .or_else(|| g.edge_bytes(find("embed"), find("enc0/ln1")))
+            .unwrap();
+        // Tokens × hidden × 4 bytes = 16 MiB: real inter-layer tensors.
+        assert!(bytes >= (TOKENS * 1024) as u64 * 4);
+    }
+}

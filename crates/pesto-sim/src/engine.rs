@@ -1,0 +1,551 @@
+//! The event-driven simulation engine.
+
+use crate::error::SimError;
+use crate::report::{OpSpan, SimReport, TransferSpan};
+use pesto_cost::CommModel;
+use pesto_graph::{Cluster, DeviceId, FrozenGraph, LinkId, OpId, Plan};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Discrete-event simulator of one training step under a [`Plan`].
+///
+/// See the [crate-level documentation](crate) for the execution model and
+/// an example.
+#[derive(Debug, Clone)]
+pub struct Simulator<'a> {
+    graph: &'a FrozenGraph,
+    cluster: &'a Cluster,
+    comm: CommModel,
+    seed: u64,
+    check_memory: bool,
+    infinite_links: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EventKind {
+    OpFinish { op: OpId },
+    TransferFinish { link: LinkId, edge: usize },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    time: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct QueuedTransfer {
+    edge: usize,
+    queued_us: f64,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator for a graph on a cluster with the given
+    /// communication model. Memory checking is on by default.
+    pub fn new(graph: &'a FrozenGraph, cluster: &'a Cluster, comm: CommModel) -> Self {
+        Simulator {
+            graph,
+            cluster,
+            comm,
+            seed: 0,
+            check_memory: true,
+            infinite_links: false,
+        }
+    }
+
+    /// Sets the RNG seed used by the TensorFlow-default random-ready-queue
+    /// policy (only relevant for plans without an explicit order).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables or disables the OOM check (useful for what-if runs).
+    #[must_use]
+    pub fn with_memory_check(mut self, check: bool) -> Self {
+        self.check_memory = check;
+        self
+    }
+
+    /// Models links with *infinite* capacity: transfers start the moment
+    /// they are enqueued and never queue behind each other. This is the
+    /// congestion-free assumption most prior DAG-scheduling work makes
+    /// (paper §3.2.2) and exists to reproduce the Figure 5 ablation; the
+    /// default FCFS behaviour is the faithful model.
+    #[must_use]
+    pub fn with_infinite_links(mut self, infinite: bool) -> Self {
+        self.infinite_links = infinite;
+        self
+    }
+
+    /// Simulates one training step.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::InvalidPlan`] if the plan fails validation;
+    /// * [`SimError::OutOfMemory`] if any device's memory capacity is
+    ///   exceeded (and checking is enabled);
+    /// * [`SimError::Deadlock`] if an explicit schedule order makes some op
+    ///   permanently unready.
+    pub fn run(&self, plan: &Plan) -> Result<SimReport, SimError> {
+        plan.validate(self.graph, self.cluster)?;
+        if self.check_memory {
+            let oom = plan.placement.oom_devices(self.graph, self.cluster);
+            if !oom.is_empty() {
+                return Err(SimError::OutOfMemory(oom));
+            }
+        }
+
+        let n = self.graph.op_count();
+        let n_dev = self.cluster.device_count();
+        let n_link = self.cluster.link_count();
+        let edges = self.graph.edges();
+
+        let mut pending_inputs: Vec<usize> = (0..n)
+            .map(|i| self.graph.in_degree(OpId::from_index(i)))
+            .collect();
+        let mut ready = vec![false; n];
+        let mut started = vec![false; n];
+        let mut completed = 0usize;
+
+        // Scheduling state.
+        let ordered = plan.order.as_ref();
+        let mut order_ptr = vec![0usize; n_dev];
+        let mut ready_pool: Vec<Vec<OpId>> = vec![Vec::new(); n_dev];
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        let mut device_busy = vec![false; n_dev];
+        let mut link_busy = vec![false; n_link];
+        let mut link_queue: Vec<VecDeque<QueuedTransfer>> =
+            vec![VecDeque::new(); n_link];
+
+        let mut heap: BinaryHeap<Event> = BinaryHeap::new();
+        let mut seq = 0u64;
+
+        // Out-edge index: edge indices by producer, so completions touch
+        // only their own edges instead of scanning the whole edge list.
+        let mut out_edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (idx, &(u, _, _)) in edges.iter().enumerate() {
+            out_edges[u.index()].push(idx);
+        }
+
+        let mut op_start = vec![f64::NAN; n];
+        let mut op_spans: Vec<OpSpan> = Vec::with_capacity(n);
+        let mut transfer_spans: Vec<TransferSpan> = Vec::new();
+        let mut transfer_start = vec![f64::NAN; edges.len()];
+        let mut transfer_queued = vec![f64::NAN; edges.len()];
+        let mut device_busy_us = vec![0.0; n_dev];
+        let mut link_busy_us = vec![0.0; n_link];
+
+        // Initially ready ops.
+        for i in 0..n {
+            if pending_inputs[i] == 0 {
+                ready[i] = true;
+                ready_pool[plan.placement.device(OpId::from_index(i)).index()]
+                    .push(OpId::from_index(i));
+            }
+        }
+
+        // Dispatch helper as a closure is awkward with borrows; use a macro.
+        macro_rules! try_dispatch {
+            ($dev:expr, $now:expr) => {{
+                let d: usize = $dev;
+                if !device_busy[d] {
+                    let next: Option<OpId> = match ordered {
+                        Some(order) => {
+                            let list = order.on_device(DeviceId::from_index(d));
+                            if order_ptr[d] < list.len() && ready[list[order_ptr[d]].index()] {
+                                let op = list[order_ptr[d]];
+                                order_ptr[d] += 1;
+                                Some(op)
+                            } else {
+                                None
+                            }
+                        }
+                        None => {
+                            if ready_pool[d].is_empty() {
+                                None
+                            } else {
+                                // TensorFlow's default policy (§2.1): pick a
+                                // uniformly random ready op.
+                                let k = rng.gen_range(0..ready_pool[d].len());
+                                Some(ready_pool[d].swap_remove(k))
+                            }
+                        }
+                    };
+                    if let Some(op) = next {
+                        debug_assert!(!started[op.index()]);
+                        started[op.index()] = true;
+                        device_busy[d] = true;
+                        let dur = self.graph.op(op).compute_us();
+                        op_start[op.index()] = $now;
+                        device_busy_us[d] += dur;
+                        seq += 1;
+                        heap.push(Event {
+                            time: $now + dur,
+                            seq,
+                            kind: EventKind::OpFinish { op },
+                        });
+                    }
+                }
+            }};
+        }
+
+        macro_rules! try_start_link {
+            ($link:expr, $now:expr) => {{
+                let l: usize = $link;
+                while self.infinite_links || !link_busy[l] {
+                    let Some(qt) = link_queue[l].pop_front() else { break };
+                    {
+                        let (_, _, bytes) = edges[qt.edge];
+                        let link_info = self.cluster.link(LinkId::from_index(l));
+                        let dur = self.comm.transfer_us(link_info.link_type(), bytes)
+                            / link_info.speed();
+                        link_busy[l] = !self.infinite_links;
+                        transfer_start[qt.edge] = $now;
+                        transfer_queued[qt.edge] = qt.queued_us;
+                        link_busy_us[l] += dur;
+                        seq += 1;
+                        heap.push(Event {
+                            time: $now + dur,
+                            seq,
+                            kind: EventKind::TransferFinish {
+                                link: LinkId::from_index(l),
+                                edge: qt.edge,
+                            },
+                        });
+                    }
+                }
+            }};
+        }
+
+        macro_rules! arrive {
+            ($op:expr, $now:expr) => {{
+                let v: OpId = $op;
+                pending_inputs[v.index()] -= 1;
+                if pending_inputs[v.index()] == 0 {
+                    ready[v.index()] = true;
+                    let d = plan.placement.device(v).index();
+                    ready_pool[d].push(v);
+                    try_dispatch!(d, $now);
+                }
+            }};
+        }
+
+        for d in 0..n_dev {
+            try_dispatch!(d, 0.0);
+        }
+
+        let mut makespan = 0.0f64;
+        while let Some(ev) = heap.pop() {
+            let now = ev.time;
+            makespan = makespan.max(now);
+            match ev.kind {
+                EventKind::OpFinish { op } => {
+                    let dev = plan.placement.device(op);
+                    device_busy[dev.index()] = false;
+                    completed += 1;
+                    op_spans.push(OpSpan {
+                        op,
+                        device: dev,
+                        start_us: op_start[op.index()],
+                        finish_us: now,
+                    });
+                    for &edge_idx in &out_edges[op.index()] {
+                        let (_, v, _) = edges[edge_idx];
+                        let vdev = plan.placement.device(v);
+                        if vdev == dev {
+                            arrive!(v, now);
+                        } else {
+                            let link = self
+                                .cluster
+                                .link_between(dev, vdev)
+                                .expect("fully connected cluster");
+                            link_queue[link.index()].push_back(QueuedTransfer {
+                                edge: edge_idx,
+                                queued_us: now,
+                            });
+                            try_start_link!(link.index(), now);
+                        }
+                    }
+                    try_dispatch!(dev.index(), now);
+                }
+                EventKind::TransferFinish { link, edge } => {
+                    link_busy[link.index()] = false;
+                    let (u, v, bytes) = edges[edge];
+                    transfer_spans.push(TransferSpan {
+                        link,
+                        src: u,
+                        dst: v,
+                        bytes,
+                        queued_us: transfer_queued[edge],
+                        start_us: transfer_start[edge],
+                        finish_us: now,
+                    });
+                    try_start_link!(link.index(), now);
+                    arrive!(v, now);
+                }
+            }
+        }
+
+        if completed < n {
+            let blocked = (0..n)
+                .find(|&i| !started[i])
+                .map(OpId::from_index)
+                .expect("unfinished implies an unstarted op");
+            return Err(SimError::Deadlock(blocked));
+        }
+
+        Ok(SimReport {
+            makespan_us: makespan,
+            op_spans,
+            transfer_spans,
+            device_busy_us,
+            link_busy_us,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pesto_graph::{DeviceKind, OpGraph, Placement, ScheduleOrder};
+
+    fn comm() -> CommModel {
+        CommModel::default_v100()
+    }
+
+    /// a -> b -> c chain of GPU ops, 10 µs each, 1 MiB tensors.
+    fn chain3() -> FrozenGraph {
+        let mut g = OpGraph::new("chain3");
+        let a = g.add_op("a", DeviceKind::Gpu, 10.0, 1024);
+        let b = g.add_op("b", DeviceKind::Gpu, 10.0, 1024);
+        let c = g.add_op("c", DeviceKind::Gpu, 10.0, 1024);
+        g.add_edge(a, b, 1 << 20).unwrap();
+        g.add_edge(b, c, 1 << 20).unwrap();
+        g.freeze().unwrap()
+    }
+
+    #[test]
+    fn same_device_chain_has_no_transfers() {
+        let g = chain3();
+        let cluster = Cluster::two_gpus();
+        let plan = Plan::placement_only(Placement::affinity_default(&g, &cluster));
+        let r = Simulator::new(&g, &cluster, comm()).run(&plan).unwrap();
+        assert!((r.makespan_us - 30.0).abs() < 1e-9);
+        assert!(r.transfer_spans.is_empty());
+        assert!((r.device_utilization(cluster.gpu(0)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cross_device_edge_pays_transfer_time() {
+        let g = chain3();
+        let cluster = Cluster::two_gpus();
+        let mut p = Placement::affinity_default(&g, &cluster);
+        p.set_device(OpId::from_index(2), cluster.gpu(1));
+        let plan = Plan::placement_only(p);
+        let r = Simulator::new(&g, &cluster, comm()).run(&plan).unwrap();
+        let t = comm().transfer_us(pesto_graph::LinkType::GpuToGpu, 1 << 20);
+        assert!((r.makespan_us - (30.0 + t)).abs() < 1e-6);
+        assert_eq!(r.transfer_spans.len(), 1);
+        assert_eq!(r.transfer_spans[0].bytes, 1 << 20);
+    }
+
+    #[test]
+    fn fcfs_link_congestion_delays_second_transfer() {
+        // Two producers on gpu0 feed two consumers on gpu1; the two
+        // transfers share the gpu0->gpu1 link and must serialize.
+        let mut g = OpGraph::new("fanout");
+        let p1 = g.add_op("p1", DeviceKind::Gpu, 5.0, 0);
+        let p2 = g.add_op("p2", DeviceKind::Gpu, 10.0, 0);
+        let c1 = g.add_op("c1", DeviceKind::Gpu, 1.0, 0);
+        let c2 = g.add_op("c2", DeviceKind::Gpu, 1.0, 0);
+        g.add_edge(p1, c1, 4 << 20).unwrap();
+        g.add_edge(p2, c2, 4 << 20).unwrap();
+        let g = g.freeze().unwrap();
+        let cluster = Cluster::two_gpus();
+        let mut placement = Placement::affinity_default(&g, &cluster);
+        placement.set_device(OpId::from_index(2), cluster.gpu(1));
+        placement.set_device(OpId::from_index(3), cluster.gpu(1));
+        // Explicit order so p1, p2 run serially on gpu0 in that order.
+        let order = ScheduleOrder::from_global_order(&placement, g.topo_order(), cluster.device_count());
+        let r = Simulator::new(&g, &cluster, comm())
+            .run(&Plan::with_order(placement, order))
+            .unwrap();
+        let t = comm().transfer_us(pesto_graph::LinkType::GpuToGpu, 4 << 20);
+        // p1 done at 5, transfer1 runs [5, 5+t]; p2 done at 15; if 5+t > 15
+        // the second transfer queues.
+        assert!(t > 10.0, "test premise: transfer longer than p2's tail");
+        let delayed = r
+            .transfer_spans
+            .iter()
+            .find(|s| s.src == OpId::from_index(1))
+            .unwrap();
+        assert!(delayed.queue_delay_us() > 0.0, "second transfer must queue");
+        assert!((delayed.start_us - (5.0 + t)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parallel_branches_overlap_across_gpus() {
+        // root -> (x, y) -> sink; x and y are heavy and independent.
+        let mut g = OpGraph::new("branch");
+        let root = g.add_op("root", DeviceKind::Gpu, 1.0, 0);
+        let x = g.add_op("x", DeviceKind::Gpu, 100.0, 0);
+        let y = g.add_op("y", DeviceKind::Gpu, 100.0, 0);
+        let sink = g.add_op("sink", DeviceKind::Gpu, 1.0, 0);
+        g.add_edge(root, x, 1024).unwrap();
+        g.add_edge(root, y, 1024).unwrap();
+        g.add_edge(x, sink, 1024).unwrap();
+        g.add_edge(y, sink, 1024).unwrap();
+        let g = g.freeze().unwrap();
+        let cluster = Cluster::two_gpus();
+
+        let serial = Plan::placement_only(Placement::affinity_default(&g, &cluster));
+        let serial_time = Simulator::new(&g, &cluster, comm()).run(&serial).unwrap().makespan_us;
+
+        let mut spread = Placement::affinity_default(&g, &cluster);
+        spread.set_device(OpId::from_index(2), cluster.gpu(1));
+        let par_time = Simulator::new(&g, &cluster, comm())
+            .run(&Plan::placement_only(spread))
+            .unwrap()
+            .makespan_us;
+        assert!(
+            par_time < serial_time,
+            "parallel {par_time} should beat serial {serial_time}"
+        );
+    }
+
+    #[test]
+    fn explicit_order_is_respected() {
+        // Two independent ops on one GPU; order forces the slow one first.
+        let mut g = OpGraph::new("two");
+        let fast = g.add_op("fast", DeviceKind::Gpu, 1.0, 0);
+        let slow = g.add_op("slow", DeviceKind::Gpu, 50.0, 0);
+        let g = g.freeze().unwrap();
+        let cluster = Cluster::two_gpus();
+        let placement = Placement::affinity_default(&g, &cluster);
+        let order = ScheduleOrder::from_vecs(vec![vec![], vec![slow, fast], vec![]]);
+        let r = Simulator::new(&g, &cluster, comm())
+            .run(&Plan::with_order(placement, order))
+            .unwrap();
+        assert_eq!(r.op_start_us(slow), Some(0.0));
+        assert_eq!(r.op_start_us(fast), Some(50.0));
+    }
+
+    #[test]
+    fn contradictory_order_deadlocks() {
+        // b depends on a, but the order puts b before a on the same device:
+        // b never becomes ready at the head of the queue.
+        let mut g = OpGraph::new("dead");
+        let a = g.add_op("a", DeviceKind::Gpu, 1.0, 0);
+        let b = g.add_op("b", DeviceKind::Gpu, 1.0, 0);
+        g.add_edge(a, b, 1).unwrap();
+        let g = g.freeze().unwrap();
+        let cluster = Cluster::two_gpus();
+        let placement = Placement::affinity_default(&g, &cluster);
+        let order = ScheduleOrder::from_vecs(vec![vec![], vec![b, a], vec![]]);
+        let err = Simulator::new(&g, &cluster, comm())
+            .run(&Plan::with_order(placement, order))
+            .unwrap_err();
+        assert!(matches!(err, SimError::Deadlock(_)));
+    }
+
+    #[test]
+    fn oom_is_reported() {
+        let mut g = OpGraph::new("fat");
+        g.add_op("huge", DeviceKind::Gpu, 1.0, 64 * 1024 * 1024 * 1024);
+        let g = g.freeze().unwrap();
+        let cluster = Cluster::two_gpus();
+        let plan = Plan::placement_only(Placement::affinity_default(&g, &cluster));
+        let err = Simulator::new(&g, &cluster, comm()).run(&plan).unwrap_err();
+        assert_eq!(err, SimError::OutOfMemory(vec![cluster.gpu(0)]));
+        // With checking disabled the run succeeds.
+        let r = Simulator::new(&g, &cluster, comm())
+            .with_memory_check(false)
+            .run(&plan)
+            .unwrap();
+        assert!((r.makespan_us - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_policy_is_deterministic_per_seed() {
+        let mut g = OpGraph::new("many");
+        for i in 0..20 {
+            g.add_op(format!("op{i}"), DeviceKind::Gpu, (i + 1) as f64, 0);
+        }
+        let g = g.freeze().unwrap();
+        let cluster = Cluster::two_gpus();
+        let plan = Plan::placement_only(Placement::affinity_default(&g, &cluster));
+        let sim = |seed| {
+            Simulator::new(&g, &cluster, comm())
+                .with_seed(seed)
+                .run(&plan)
+                .unwrap()
+        };
+        assert_eq!(sim(1), sim(1));
+        // All on one device, makespan is the same regardless of order.
+        assert!((sim(1).makespan_us - sim(2).makespan_us).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_plan_is_rejected() {
+        let g = chain3();
+        let cluster = Cluster::two_gpus();
+        let p = Placement::uniform(g.op_count(), cluster.cpu()); // GPU ops on CPU
+        let err = Simulator::new(&g, &cluster, comm())
+            .run(&Plan::placement_only(p))
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidPlan(_)));
+    }
+
+    #[test]
+    fn zero_byte_cross_device_edge_still_costs_latency() {
+        let mut g = OpGraph::new("ctl");
+        let a = g.add_op("a", DeviceKind::Gpu, 1.0, 0);
+        let b = g.add_op("b", DeviceKind::Gpu, 1.0, 0);
+        g.add_edge(a, b, 0).unwrap();
+        let g = g.freeze().unwrap();
+        let cluster = Cluster::two_gpus();
+        let mut p = Placement::affinity_default(&g, &cluster);
+        p.set_device(OpId::from_index(1), cluster.gpu(1));
+        let r = Simulator::new(&g, &cluster, comm())
+            .run(&Plan::placement_only(p))
+            .unwrap();
+        assert!(r.makespan_us > 2.0, "latency beta0 must apply");
+    }
+
+    #[test]
+    fn busy_times_sum_to_compute() {
+        let g = chain3();
+        let cluster = Cluster::two_gpus();
+        let plan = Plan::placement_only(Placement::affinity_default(&g, &cluster));
+        let r = Simulator::new(&g, &cluster, comm()).run(&plan).unwrap();
+        let total_busy: f64 = r.device_busy_us.iter().sum();
+        assert!((total_busy - g.total_compute_us()).abs() < 1e-9);
+    }
+}

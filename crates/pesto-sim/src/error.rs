@@ -1,0 +1,71 @@
+//! Simulator error type.
+
+use pesto_graph::{DeviceId, GraphError, OpId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors from simulating a plan.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The plan failed validation against the graph and cluster.
+    InvalidPlan(GraphError),
+    /// The cumulative memory footprint on these devices exceeds capacity —
+    /// the simulated analogue of TensorFlow's OOM error.
+    OutOfMemory(Vec<DeviceId>),
+    /// Execution stalled: no event can fire but operations remain. This
+    /// happens when an explicit schedule order contradicts the DAG's
+    /// precedence across devices; one blocked op is reported.
+    Deadlock(OpId),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidPlan(e) => write!(f, "invalid plan: {e}"),
+            SimError::OutOfMemory(devs) => {
+                write!(f, "out of memory on {} device(s):", devs.len())?;
+                for d in devs {
+                    write!(f, " {d}")?;
+                }
+                Ok(())
+            }
+            SimError::Deadlock(op) => write!(f, "schedule deadlock; {op} can never start"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::InvalidPlan(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for SimError {
+    fn from(e: GraphError) -> Self {
+        SimError::InvalidPlan(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = SimError::OutOfMemory(vec![DeviceId::from_index(1), DeviceId::from_index(2)]);
+        assert_eq!(e.to_string(), "out of memory on 2 device(s): dev1 dev2");
+        let d = SimError::Deadlock(OpId::from_index(3));
+        assert!(d.to_string().contains("op3"));
+    }
+
+    #[test]
+    fn graph_error_converts() {
+        let e: SimError = GraphError::Empty.into();
+        assert!(matches!(e, SimError::InvalidPlan(GraphError::Empty)));
+        assert!(Error::source(&e).is_some());
+    }
+}

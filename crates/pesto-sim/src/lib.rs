@@ -1,0 +1,57 @@
+//! Discrete-event simulator for model-parallel DNN training steps.
+//!
+//! This is the execution substrate of the reproduction. The paper validates
+//! an equivalent simulator against its TensorFlow implementation at 0.1% to
+//! 11.3% error (§5.4) and uses it for the Figure 5 congestion case study and
+//! the Figure 8 hardware sweeps; here it additionally stands in for the
+//! TensorFlow runtime itself when measuring per-step training times
+//! (Figure 7).
+//!
+//! The model follows §3.2.1 exactly:
+//!
+//! * **Devices** are non-preemptive: one operation at a time.
+//! * **Links** are directed, non-preemptive, FCFS queues: one transfer at a
+//!   time per link, so simultaneous transfers on the same link queue behind
+//!   each other (this is the congestion the Pesto ILP's constraints model).
+//! * An operation starts once all predecessor *data* has arrived on its
+//!   device — same-device data at the predecessor's completion, cross-device
+//!   data at the completion of the corresponding transfer.
+//! * A finished op enqueues one transfer per cross-device out-edge
+//!   immediately on completion ("operations are aware of all placement
+//!   decisions", §2.2).
+//!
+//! Scheduling policy per device is taken from the [`Plan`][pesto_graph::Plan]: an explicit
+//! per-device order (Pesto's control dependencies, §4) or, when absent,
+//! TensorFlow's default of dispatching a uniformly random ready op (§2.1).
+//!
+//! # Example
+//!
+//! ```
+//! use pesto_graph::{OpGraph, DeviceKind, Cluster, Placement, Plan};
+//! use pesto_cost::CommModel;
+//! use pesto_sim::Simulator;
+//!
+//! # fn main() -> Result<(), pesto_sim::SimError> {
+//! let mut g = OpGraph::new("pair");
+//! let a = g.add_op("a", DeviceKind::Gpu, 10.0, 16);
+//! let b = g.add_op("b", DeviceKind::Gpu, 10.0, 16);
+//! g.add_edge(a, b, 1024).map_err(pesto_sim::SimError::from)?;
+//! let g = g.freeze().map_err(pesto_sim::SimError::from)?;
+//! let cluster = Cluster::two_gpus();
+//! let plan = Plan::placement_only(Placement::affinity_default(&g, &cluster));
+//! let report = Simulator::new(&g, &cluster, CommModel::default_v100()).run(&plan)?;
+//! assert!((report.makespan_us - 20.0).abs() < 1e-9); // same device: no transfer
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod error;
+mod report;
+
+pub use engine::Simulator;
+pub use error::SimError;
+pub use report::{MemoryProfile, OpSpan, SimReport, TransferSpan};

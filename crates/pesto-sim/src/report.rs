@@ -1,0 +1,490 @@
+//! Simulation output: spans, utilization, and a text timeline (Figure 5).
+
+use pesto_graph::{Cluster, DeviceId, LinkId, OpId};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Execution interval of one operation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpSpan {
+    /// Which op ran.
+    pub op: OpId,
+    /// Which device ran it.
+    pub device: DeviceId,
+    /// Start time, µs.
+    pub start_us: f64,
+    /// Finish time, µs.
+    pub finish_us: f64,
+}
+
+/// One data transfer over a link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransferSpan {
+    /// The link carrying the transfer.
+    pub link: LinkId,
+    /// Producing op.
+    pub src: OpId,
+    /// Consuming op.
+    pub dst: OpId,
+    /// Bytes moved.
+    pub bytes: u64,
+    /// When the transfer was enqueued (producer completion time), µs.
+    pub queued_us: f64,
+    /// When the link actually started serving it, µs; `start_us -
+    /// queued_us` is queueing (congestion) delay.
+    pub start_us: f64,
+    /// Transfer completion, µs.
+    pub finish_us: f64,
+}
+
+impl TransferSpan {
+    /// Time spent waiting for the link — the congestion the Pesto ILP's
+    /// constraints are designed to avoid.
+    pub fn queue_delay_us(&self) -> f64 {
+        self.start_us - self.queued_us
+    }
+}
+
+/// Full result of simulating one training step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Completion time of the last operation (per-step training time), µs.
+    pub makespan_us: f64,
+    /// One span per op, in completion order.
+    pub op_spans: Vec<OpSpan>,
+    /// One span per cross-device transfer, in completion order.
+    pub transfer_spans: Vec<TransferSpan>,
+    /// Busy time per device, indexed by [`DeviceId::index`].
+    pub device_busy_us: Vec<f64>,
+    /// Busy time per link, indexed by [`LinkId::index`].
+    pub link_busy_us: Vec<f64>,
+}
+
+/// Temporal peak-memory profile of an executed step (the paper's §3.2.2
+/// "strengthened" memory model, after Baechi): an op's transient footprint
+/// is allocated when it starts and freed when its last consumer finishes,
+/// while weight memory (counted in the op's resident footprint) stays
+/// resident. [`SimReport::peak_memory`] computes the per-device peak of the
+/// transient profile; comparing it with the resident sum shows how much
+/// headroom the paper's simple balance rule leaves.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryProfile {
+    /// Peak transient (activation) bytes per device, indexed by
+    /// [`DeviceId::index`].
+    pub peak_transient_bytes: Vec<u64>,
+}
+
+impl SimReport {
+    /// Utilization (busy / makespan) of `device`; zero if the makespan is
+    /// zero.
+    pub fn device_utilization(&self, device: DeviceId) -> f64 {
+        if self.makespan_us <= 0.0 {
+            0.0
+        } else {
+            self.device_busy_us[device.index()] / self.makespan_us
+        }
+    }
+
+    /// Total time transfers spent queued behind other transfers, summed
+    /// over all links — the aggregate congestion delay.
+    pub fn total_queue_delay_us(&self) -> f64 {
+        self.transfer_spans.iter().map(TransferSpan::queue_delay_us).sum()
+    }
+
+    /// Total bytes moved across devices.
+    pub fn total_transferred_bytes(&self) -> u64 {
+        self.transfer_spans.iter().map(|t| t.bytes).sum()
+    }
+
+    /// Start time of a specific op, if it ran.
+    pub fn op_start_us(&self, op: OpId) -> Option<f64> {
+        self.op_spans.iter().find(|s| s.op == op).map(|s| s.start_us)
+    }
+
+    /// Finish time of a specific op, if it ran.
+    pub fn op_finish_us(&self, op: OpId) -> Option<f64> {
+        self.op_spans.iter().find(|s| s.op == op).map(|s| s.finish_us)
+    }
+
+    /// Renders an ASCII Gantt timeline with one row per device and per
+    /// active link — the Figure 5 visualization. `width` is the number of
+    /// character cells the makespan is divided into.
+    pub fn timeline(&self, cluster: &Cluster, width: usize) -> String {
+        let width = width.max(10);
+        let mut out = String::new();
+        let span = self.makespan_us.max(1e-9);
+        let cell = span / width as f64;
+        let mut row = |label: String, intervals: &[(f64, f64)]| {
+            let mut cells = vec!['.'; width];
+            for &(s, f) in intervals {
+                let from = ((s / cell) as usize).min(width - 1);
+                let to = ((f / cell).ceil() as usize).clamp(from + 1, width);
+                for c in cells.iter_mut().take(to).skip(from) {
+                    *c = '#';
+                }
+            }
+            let _ = writeln!(out, "{label:<18} {}", cells.iter().collect::<String>());
+        };
+        for (d, dev) in cluster.devices().iter().enumerate() {
+            let intervals: Vec<(f64, f64)> = self
+                .op_spans
+                .iter()
+                .filter(|s| s.device.index() == d && s.finish_us > s.start_us)
+                .map(|s| (s.start_us, s.finish_us))
+                .collect();
+            row(dev.name().to_string(), &intervals);
+        }
+        for link in cluster.links() {
+            let intervals: Vec<(f64, f64)> = self
+                .transfer_spans
+                .iter()
+                .filter(|t| t.link == link.id() && t.finish_us > t.start_us)
+                .map(|t| (t.start_us, t.finish_us))
+                .collect();
+            if !intervals.is_empty() {
+                let src = cluster.devices()[link.src().index()].name();
+                let dst = cluster.devices()[link.dst().index()].name();
+                row(format!("{src}->{dst}"), &intervals);
+            }
+        }
+        let _ = writeln!(out, "{:<18} 0 .. {:.1} us", "", self.makespan_us);
+        out
+    }
+}
+
+impl SimReport {
+    /// Computes the temporal peak-memory profile of this execution on
+    /// `graph` under `placement`: each op's output-activation bytes (its
+    /// largest out-edge tensor, or its memory footprint when it has no
+    /// consumers) are held from its start until the finish of its last
+    /// consumer (or transfer completion, for remote consumers), and the
+    /// per-device running sum's maximum is reported.
+    pub fn peak_memory(
+        &self,
+        graph: &pesto_graph::FrozenGraph,
+        placement: &pesto_graph::Placement,
+        device_count: usize,
+    ) -> MemoryProfile {
+        // Event list per device: (time, +bytes at op start / -bytes at free).
+        let mut events: Vec<(f64, usize, i64)> = Vec::new();
+        for span in &self.op_spans {
+            let op = span.op;
+            let bytes = graph
+                .succs_with_bytes(op)
+                .iter()
+                .map(|&(_, b)| b)
+                .max()
+                .unwrap_or_else(|| graph.op(op).memory_bytes());
+            if bytes == 0 {
+                continue;
+            }
+            // Free when the last consumer finishes; sinks free at makespan.
+            let mut free_at = span.finish_us;
+            for &(c, _) in graph.succs_with_bytes(op) {
+                if let Some(f) = self.op_finish_us(c) {
+                    free_at = free_at.max(f);
+                }
+            }
+            if graph.succs(op).is_empty() {
+                free_at = self.makespan_us;
+            }
+            let d = placement.device(op).index();
+            events.push((span.start_us, d, bytes as i64));
+            events.push((free_at, d, -(bytes as i64)));
+        }
+        // Sort by time; at equal times apply frees before allocations.
+        events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.2.cmp(&b.2)));
+        let mut current = vec![0i64; device_count];
+        let mut peak = vec![0i64; device_count];
+        for (_, d, delta) in events {
+            current[d] += delta;
+            peak[d] = peak[d].max(current[d]);
+        }
+        MemoryProfile {
+            peak_transient_bytes: peak.into_iter().map(|p| p.max(0) as u64).collect(),
+        }
+    }
+
+    /// Renders an SVG Gantt chart: one lane per device and per active link,
+    /// compute spans in blue, transfers in orange (queueing portions
+    /// hatched in red). Suitable for embedding in reports — this is how the
+    /// Figure 5 artifacts are produced.
+    pub fn to_svg(&self, cluster: &Cluster, width_px: u32) -> String {
+        use std::fmt::Write as _;
+        let width = f64::from(width_px.max(200));
+        let lane_h = 22.0;
+        let label_w = 130.0;
+        let span = self.makespan_us.max(1e-9);
+        let sx = (width - label_w - 10.0) / span;
+
+        // Lanes: devices first, then links with traffic.
+        type Lane<'a> = (String, Vec<(f64, f64, &'a str)>);
+        let mut lanes: Vec<Lane<'_>> = Vec::new();
+        for (d, dev) in cluster.devices().iter().enumerate() {
+            let spans: Vec<(f64, f64, &str)> = self
+                .op_spans
+                .iter()
+                .filter(|s| s.device.index() == d && s.finish_us > s.start_us)
+                .map(|s| (s.start_us, s.finish_us, "#4d79c9"))
+                .collect();
+            lanes.push((dev.name().to_string(), spans));
+        }
+        for link in cluster.links() {
+            let mut spans: Vec<(f64, f64, &str)> = Vec::new();
+            for t in self.transfer_spans.iter().filter(|t| t.link == link.id()) {
+                if t.start_us > t.queued_us {
+                    spans.push((t.queued_us, t.start_us, "#d9544f")); // queueing
+                }
+                if t.finish_us > t.start_us {
+                    spans.push((t.start_us, t.finish_us, "#e8983a"));
+                }
+            }
+            if !spans.is_empty() {
+                let src = cluster.devices()[link.src().index()].name();
+                let dst = cluster.devices()[link.dst().index()].name();
+                lanes.push((format!("{src}->{dst}"), spans));
+            }
+        }
+
+        let height = lane_h * lanes.len() as f64 + 30.0;
+        let mut svg = String::new();
+        let _ = write!(
+            svg,
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width}\" height=\"{height}\" font-family=\"monospace\" font-size=\"11\">"
+        );
+        for (i, (label, spans)) in lanes.iter().enumerate() {
+            let y = 5.0 + lane_h * i as f64;
+            let _ = write!(
+                svg,
+                "<text x=\"4\" y=\"{:.1}\">{}</text>",
+                y + 14.0,
+                label.replace('<', "&lt;").replace('>', "&gt;")
+            );
+            for &(s0, s1, color) in spans {
+                let x = label_w + s0 * sx;
+                let w = ((s1 - s0) * sx).max(0.5);
+                let _ = write!(
+                    svg,
+                    "<rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{w:.1}\" height=\"{:.1}\" fill=\"{color}\"/>",
+                    lane_h - 6.0
+                );
+            }
+        }
+        let _ = write!(
+            svg,
+            "<text x=\"{label_w}\" y=\"{:.1}\">0 .. {:.1} us</text></svg>",
+            height - 8.0,
+            self.makespan_us
+        );
+        svg
+    }
+}
+
+impl SimReport {
+    /// Exports the execution as a Chrome trace (the `chrome://tracing` /
+    /// Perfetto JSON array format): one row per device and per link, ops
+    /// and transfers as complete events with microsecond timestamps. Open
+    /// the written file in <https://ui.perfetto.dev> to scrub through a
+    /// training step interactively.
+    pub fn to_chrome_trace(&self, cluster: &Cluster, graph: &pesto_graph::FrozenGraph) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("[");
+        let mut first = true;
+        let mut emit = |name: &str, cat: &str, pid: usize, ts: f64, dur: f64| {
+            // serde_json handles all JSON string escaping (quotes, control
+            // characters) in user-provided op names.
+            let name = serde_json::to_string(name).unwrap_or_else(|_| "\"?\"".into());
+            let sep = if std::mem::take(&mut first) { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}{{\"name\":{name},\"cat\":\"{cat}\",\"ph\":\"X\",\"pid\":{pid},\"tid\":0,\"ts\":{ts:.3},\"dur\":{dur:.3}}}"
+            );
+        };
+        for s in &self.op_spans {
+            emit(
+                graph.op(s.op).name(),
+                "compute",
+                s.device.index(),
+                s.start_us,
+                s.finish_us - s.start_us,
+            );
+        }
+        for t in &self.transfer_spans {
+            let name = format!(
+                "{} -> {} ({} B)",
+                graph.op(t.src).name(),
+                graph.op(t.dst).name(),
+                t.bytes
+            );
+            let pid = cluster.device_count() + t.link.index();
+            if t.start_us > t.queued_us {
+                emit(&format!("queued: {name}"), "queueing", pid, t.queued_us, t.start_us - t.queued_us);
+            }
+            emit(&name, "transfer", pid, t.start_us, t.finish_us - t.start_us);
+        }
+        // Process-name metadata rows.
+        for (d, dev) in cluster.devices().iter().enumerate() {
+            let sep = if std::mem::take(&mut first) { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{d},\"args\":{{\"name\":\"{}\"}}}}",
+                dev.name()
+            );
+        }
+        for link in cluster.links() {
+            let pid = cluster.device_count() + link.id().index();
+            let src = cluster.devices()[link.src().index()].name();
+            let dst = cluster.devices()[link.dst().index()].name();
+            let sep = if std::mem::take(&mut first) { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"args\":{{\"name\":\"link {src}->{dst}\"}}}}"
+            );
+        }
+        out.push(']');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> SimReport {
+        SimReport {
+            makespan_us: 100.0,
+            op_spans: vec![
+                OpSpan {
+                    op: OpId::from_index(0),
+                    device: DeviceId::from_index(1),
+                    start_us: 0.0,
+                    finish_us: 40.0,
+                },
+                OpSpan {
+                    op: OpId::from_index(1),
+                    device: DeviceId::from_index(2),
+                    start_us: 60.0,
+                    finish_us: 100.0,
+                },
+            ],
+            transfer_spans: vec![TransferSpan {
+                link: LinkId::from_index(4),
+                src: OpId::from_index(0),
+                dst: OpId::from_index(1),
+                bytes: 1024,
+                queued_us: 40.0,
+                start_us: 45.0,
+                finish_us: 60.0,
+            }],
+            device_busy_us: vec![0.0, 40.0, 40.0],
+            link_busy_us: vec![0.0, 0.0, 0.0, 0.0, 15.0, 0.0],
+        }
+    }
+
+    #[test]
+    fn utilization_and_delays() {
+        let r = sample_report();
+        assert!((r.device_utilization(DeviceId::from_index(1)) - 0.4).abs() < 1e-12);
+        assert!((r.total_queue_delay_us() - 5.0).abs() < 1e-12);
+        assert_eq!(r.total_transferred_bytes(), 1024);
+    }
+
+    #[test]
+    fn op_lookup() {
+        let r = sample_report();
+        assert_eq!(r.op_start_us(OpId::from_index(1)), Some(60.0));
+        assert_eq!(r.op_finish_us(OpId::from_index(0)), Some(40.0));
+        assert_eq!(r.op_start_us(OpId::from_index(9)), None);
+    }
+
+    #[test]
+    fn timeline_renders_rows() {
+        let r = sample_report();
+        let cluster = pesto_graph::Cluster::two_gpus();
+        let text = r.timeline(&cluster, 40);
+        assert!(text.contains("cpu0"));
+        assert!(text.contains("gpu0"));
+        assert!(text.contains("gpu1"));
+        assert!(text.contains('#'));
+        // Exactly one link row (the one with traffic).
+        let link_rows = text.lines().filter(|l| l.contains("->")).count();
+        assert_eq!(link_rows, 1);
+    }
+
+    #[test]
+    fn peak_memory_tracks_liveness() {
+        use pesto_graph::{DeviceKind, OpGraph, Placement};
+        // a (1 MiB out) -> b -> c; a's tensor lives until b finishes, so
+        // while b runs both a's and b's outputs are live.
+        let mut g = OpGraph::new("mem");
+        let a = g.add_op("a", DeviceKind::Gpu, 10.0, 0);
+        let b = g.add_op("b", DeviceKind::Gpu, 10.0, 0);
+        let c = g.add_op("c", DeviceKind::Gpu, 10.0, 0);
+        g.add_edge(a, b, 1 << 20).unwrap();
+        g.add_edge(b, c, 1 << 19).unwrap();
+        let g = g.freeze().unwrap();
+        let cluster = pesto_graph::Cluster::two_gpus();
+        let placement = Placement::affinity_default(&g, &cluster);
+        let report = SimReport {
+            makespan_us: 30.0,
+            op_spans: vec![
+                OpSpan { op: a, device: cluster.gpu(0), start_us: 0.0, finish_us: 10.0 },
+                OpSpan { op: b, device: cluster.gpu(0), start_us: 10.0, finish_us: 20.0 },
+                OpSpan { op: c, device: cluster.gpu(0), start_us: 20.0, finish_us: 30.0 },
+            ],
+            transfer_spans: vec![],
+            device_busy_us: vec![0.0, 30.0, 0.0],
+            link_busy_us: vec![0.0; 6],
+        };
+        let profile = report.peak_memory(&g, &placement, cluster.device_count());
+        // Peak: during b, a's 1 MiB + b's 0.5 MiB are both live.
+        assert_eq!(profile.peak_transient_bytes[cluster.gpu(0).index()], (1 << 20) + (1 << 19));
+        assert_eq!(profile.peak_transient_bytes[cluster.gpu(1).index()], 0);
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_events() {
+        let r = sample_report();
+        let cluster = pesto_graph::Cluster::two_gpus();
+        let mut g = pesto_graph::OpGraph::new("t");
+        let a = g.add_op("alpha", pesto_graph::DeviceKind::Gpu, 40.0, 0);
+        let b = g.add_op("beta", pesto_graph::DeviceKind::Gpu, 40.0, 0);
+        g.add_edge(a, b, 1024).unwrap();
+        let g = g.freeze().unwrap();
+        let trace = r.to_chrome_trace(&cluster, &g);
+        let parsed: serde_json::Value = serde_json::from_str(&trace).expect("valid JSON");
+        let events = parsed.as_array().unwrap();
+        // 2 ops + 1 queued + 1 transfer + metadata rows (3 devices, 6 links).
+        assert!(events.len() >= 4 + 9);
+        assert!(trace.contains("alpha"));
+        assert!(trace.contains("queued:"));
+        assert!(trace.contains("link gpu0->gpu1"));
+    }
+
+    #[test]
+    fn svg_renders_lanes_and_spans() {
+        let r = sample_report();
+        let cluster = pesto_graph::Cluster::two_gpus();
+        let svg = r.to_svg(&cluster, 640);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("gpu0"));
+        assert!(svg.contains("#4d79c9"), "compute spans rendered");
+        assert!(svg.contains("#e8983a"), "transfer spans rendered");
+        assert!(svg.contains("#d9544f"), "queueing spans rendered");
+        // Only links with traffic get lanes.
+        assert_eq!(svg.matches("-&gt;").count(), 1);
+    }
+
+    #[test]
+    fn zero_makespan_has_zero_utilization() {
+        let r = SimReport {
+            makespan_us: 0.0,
+            op_spans: vec![],
+            transfer_spans: vec![],
+            device_busy_us: vec![0.0; 3],
+            link_busy_us: vec![0.0; 6],
+        };
+        assert_eq!(r.device_utilization(DeviceId::from_index(0)), 0.0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Heterogeneous-interconnect tests (paper §3.2.2: "hierarchical and
+//! heterogeneous communication models … e.g. PCIe and NVlink"): per-link
+//! speed overrides must slow exactly the overridden direction, and the
+//! hybrid solver must route around slow links.
+
+use pesto_cost::CommModel;
+use pesto_graph::{Cluster, DeviceKind, OpGraph, OpId, Placement, Plan};
+use pesto_sim::Simulator;
+
+fn pair_graph(bytes: u64) -> pesto_graph::FrozenGraph {
+    let mut g = OpGraph::new("pair");
+    let a = g.add_op("a", DeviceKind::Gpu, 10.0, 16);
+    let b = g.add_op("b", DeviceKind::Gpu, 10.0, 16);
+    g.add_edge(a, b, bytes).unwrap();
+    g.freeze().unwrap()
+}
+
+#[test]
+fn slow_link_slows_only_its_direction() {
+    let g = pair_graph(8 << 20);
+    let base = Cluster::two_gpus();
+    let slow = base
+        .clone()
+        .with_link_speed(base.gpu(0), base.gpu(1), 0.25);
+    let comm = CommModel::default_v100();
+
+    // a on gpu0, b on gpu1: uses the slowed gpu0 -> gpu1 direction.
+    let mut fwd = Placement::affinity_default(&g, &base);
+    fwd.set_device(OpId::from_index(1), base.gpu(1));
+    let fwd_plan = Plan::placement_only(fwd);
+
+    // a on gpu1, b on gpu0: uses the untouched gpu1 -> gpu0 direction.
+    let mut back = Placement::affinity_default(&g, &base);
+    back.set_device(OpId::from_index(0), base.gpu(1));
+    let back_plan = Plan::placement_only(back);
+
+    let run = |cluster: &Cluster, plan: &Plan| {
+        Simulator::new(&g, cluster, comm)
+            .with_memory_check(false)
+            .run(plan)
+            .unwrap()
+            .makespan_us
+    };
+    let base_fwd = run(&base, &fwd_plan);
+    let slow_fwd = run(&slow, &fwd_plan);
+    let slow_back = run(&slow, &back_plan);
+
+    let transfer = comm.transfer_us(pesto_graph::LinkType::GpuToGpu, 8 << 20);
+    assert!((base_fwd - (20.0 + transfer)).abs() < 1e-6);
+    assert!((slow_fwd - (20.0 + 4.0 * transfer)).abs() < 1e-6, "4x slower forward");
+    assert!((slow_back - base_fwd).abs() < 1e-6, "reverse direction untouched");
+}
+
+#[test]
+fn hybrid_routes_around_a_slow_link() {
+    // Three parallel producer->consumer pairs with moderate tensors on a
+    // 4-GPU cluster where every link touching gpu3 is 20x slow: the solver
+    // should leave gpu3 idle rather than pay the slow transfers, even
+    // though using it would balance compute.
+    let mut g = OpGraph::new("three-pairs");
+    for i in 0..3 {
+        let p = g.add_op(format!("p{i}"), DeviceKind::Gpu, 50.0, 16);
+        let c = g.add_op(format!("c{i}"), DeviceKind::Gpu, 50.0, 16);
+        g.add_edge(p, c, 4 << 20).unwrap();
+    }
+    let g = g.freeze().unwrap();
+    let mut cluster = Cluster::homogeneous(4, 1 << 30);
+    for other in 0..3 {
+        let (a, b) = (cluster.gpu(other), cluster.gpu(3));
+        cluster = cluster
+            .with_link_speed(a, b, 0.05)
+            .with_link_speed(b, a, 0.05);
+    }
+    let comm = CommModel::default_v100();
+    let out = pesto_ilp::HybridSolver::new(pesto_ilp::HybridConfig::quick())
+        .solve(&g, &cluster, &comm)
+        .unwrap();
+    // Each pair colocated, spread over the three well-connected GPUs.
+    for i in 0..3 {
+        let p = OpId::from_index(2 * i);
+        let c = OpId::from_index(2 * i + 1);
+        assert_eq!(
+            out.plan.placement.device(p),
+            out.plan.placement.device(c),
+            "pair {i} split across a transfer"
+        );
+    }
+    assert!(out.makespan_us <= 120.0, "got {}", out.makespan_us);
+}

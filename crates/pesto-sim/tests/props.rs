@@ -1,0 +1,128 @@
+//! Property tests: every simulated schedule must satisfy the §3.2.1 model's
+//! invariants regardless of the plan.
+
+use pesto_cost::CommModel;
+use pesto_graph::{
+    Cluster, DeviceKind, FrozenGraph, OpGraph, OpId, Placement, Plan, ScheduleOrder,
+};
+use pesto_sim::Simulator;
+use proptest::prelude::*;
+
+fn arb_case() -> impl Strategy<Value = (FrozenGraph, Vec<u8>, u64)> {
+    (3usize..25)
+        .prop_flat_map(|n| {
+            let edges = proptest::collection::vec((0..n, 0..n, 0u64..(4 << 20)), 0..n * 2);
+            let times = proptest::collection::vec(0.0f64..200.0, n);
+            let devs = proptest::collection::vec(0u8..2, n); // gpu0 / gpu1
+            let seed = any::<u64>();
+            (Just(n), edges, times, devs, seed)
+        })
+        .prop_map(|(n, edges, times, devs, seed)| {
+            let mut g = OpGraph::new("random");
+            let ids: Vec<OpId> = (0..n)
+                .map(|i| g.add_op(format!("op{i}"), DeviceKind::Gpu, times[i], 64))
+                .collect();
+            for (a, b, bytes) in edges {
+                let (u, v) = if a < b { (a, b) } else { (b, a) };
+                if u != v {
+                    let _ = g.add_edge(ids[u], ids[v], bytes);
+                }
+            }
+            (g.freeze().unwrap(), devs, seed)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn simulated_schedules_respect_the_model((g, devs, seed) in arb_case()) {
+        let cluster = Cluster::two_gpus();
+        let placement = Placement::from_vec(
+            (0..g.op_count()).map(|i| cluster.gpu(devs[i] as usize)).collect(),
+        );
+        let comm = CommModel::default_v100();
+
+        // Run both scheduling policies: explicit topo order and TF-default.
+        let order = ScheduleOrder::from_global_order(&placement, g.topo_order(), cluster.device_count());
+        let plans = [
+            Plan::with_order(placement.clone(), order),
+            Plan::placement_only(placement.clone()),
+        ];
+        for plan in plans {
+            let r = Simulator::new(&g, &cluster, comm).with_seed(seed).run(&plan).unwrap();
+
+            // 1. Every op ran exactly once on its placed device.
+            prop_assert_eq!(r.op_spans.len(), g.op_count());
+            for s in &r.op_spans {
+                prop_assert_eq!(s.device, placement.device(s.op));
+                prop_assert!((s.finish_us - s.start_us - g.op(s.op).compute_us()).abs() < 1e-6);
+            }
+
+            // 2. Precedence: a successor starts no earlier than each
+            //    predecessor's finish (plus the transfer, if cross-device).
+            for &(u, v, bytes) in g.edges() {
+                let fu = r.op_finish_us(u).unwrap();
+                let sv = r.op_start_us(v).unwrap();
+                if placement.device(u) == placement.device(v) {
+                    prop_assert!(sv >= fu - 1e-6);
+                } else {
+                    let t = r.transfer_spans.iter()
+                        .find(|t| t.src == u && t.dst == v)
+                        .expect("cross-device edge has a transfer");
+                    prop_assert_eq!(t.bytes, bytes);
+                    prop_assert!(t.queued_us >= fu - 1e-6);
+                    prop_assert!(t.start_us >= t.queued_us - 1e-6);
+                    prop_assert!(sv >= t.finish_us - 1e-6);
+                }
+            }
+
+            // 3. Device exclusivity: no two op spans on a device overlap.
+            for d in 0..cluster.device_count() {
+                let mut spans: Vec<(f64, f64)> = r.op_spans.iter()
+                    .filter(|s| s.device.index() == d)
+                    .map(|s| (s.start_us, s.finish_us))
+                    .collect();
+                spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+                for w in spans.windows(2) {
+                    prop_assert!(w[1].0 >= w[0].1 - 1e-6,
+                        "overlap on device {d}: {:?} then {:?}", w[0], w[1]);
+                }
+            }
+
+            // 4. Link exclusivity + FCFS: transfers on a link are serial and
+            //    served in the order queued.
+            for l in 0..cluster.link_count() {
+                let mut spans: Vec<_> = r.transfer_spans.iter()
+                    .filter(|t| t.link.index() == l)
+                    .collect();
+                spans.sort_by(|a, b| a.start_us.total_cmp(&b.start_us));
+                for w in spans.windows(2) {
+                    prop_assert!(w[1].start_us >= w[0].finish_us - 1e-6, "link overlap");
+                    prop_assert!(w[1].queued_us >= w[0].queued_us - 1e-6, "FCFS violated");
+                }
+            }
+
+            // 5. Makespan bounds: at least the compute critical path, at
+            //    most total compute + total transfer time.
+            prop_assert!(r.makespan_us >= g.critical_path_us() - 1e-6);
+            let total_transfer: f64 = r.transfer_spans.iter()
+                .map(|t| t.finish_us - t.start_us)
+                .sum();
+            prop_assert!(r.makespan_us <= g.total_compute_us() + total_transfer + 1e-6);
+        }
+    }
+
+    /// Single-device plans: makespan equals total compute exactly.
+    #[test]
+    fn single_device_makespan_is_total_compute((g, _devs, seed) in arb_case()) {
+        let cluster = Cluster::two_gpus();
+        let placement = Placement::uniform(g.op_count(), cluster.gpu(0));
+        let r = Simulator::new(&g, &cluster, CommModel::default_v100())
+            .with_seed(seed)
+            .run(&Plan::placement_only(placement))
+            .unwrap();
+        prop_assert!((r.makespan_us - g.total_compute_us()).abs() < 1e-6);
+        prop_assert!(r.transfer_spans.is_empty());
+    }
+}

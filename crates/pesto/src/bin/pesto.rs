@@ -1,0 +1,173 @@
+//! `pesto` — command-line front end for the placement pipeline.
+//!
+//! ```text
+//! pesto generate <rnnlm|nmt|transformer|nasnet> [ARGS..]  > graph.json
+//! pesto place    <graph.json> [--gpus N] [--quick]        > plan.json
+//! pesto simulate <graph.json> <plan.json> [--svg out.svg] [--gpus N]
+//! pesto baseline <expert|m_topo|m_etf|m_sct> <graph.json> [--gpus N] > plan.json
+//! pesto info     <graph.json>
+//! ```
+//!
+//! Graphs and plans are JSON; `generate` writes to stdout so pipelines
+//! compose: `pesto generate rnnlm 2 256 | tee g.json | pesto info /dev/stdin`.
+
+use pesto::baselines::{expert, m_etf, m_sct, m_topo};
+use pesto::cost::CommModel;
+use pesto::graph::{from_json, to_json, Cluster, FrozenGraph, Plan};
+use pesto::models::ModelSpec;
+use pesto::sim::Simulator;
+use pesto::{Pesto, PestoConfig};
+use std::fs;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("usage:");
+            eprintln!("  pesto generate <rnnlm|nmt|transformer|nasnet> [dims..]");
+            eprintln!("  pesto place <graph.json> [--gpus N] [--quick]");
+            eprintln!("  pesto simulate <graph.json> <plan.json> [--svg out.svg] [--gpus N]");
+            eprintln!("  pesto baseline <expert|m_topo|m_etf|m_sct> <graph.json> [--gpus N]");
+            eprintln!("  pesto info <graph.json>");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn cluster_from(args: &[String]) -> Result<Cluster, String> {
+    let gpus: usize = flag_value(args, "--gpus")
+        .map(|v| v.parse().map_err(|_| format!("bad --gpus value {v}")))
+        .transpose()?
+        .unwrap_or(2);
+    if gpus == 0 {
+        return Err("--gpus must be at least 1".into());
+    }
+    Ok(Cluster::homogeneous(gpus, 16 * 1024 * 1024 * 1024))
+}
+
+fn load_graph(path: &str) -> Result<FrozenGraph, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    from_json(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().map(String::as_str).ok_or("missing command")?;
+    match cmd {
+        "generate" => {
+            let family = args.get(1).map(String::as_str).ok_or("missing model family")?;
+            let num = |i: usize, default: usize| -> usize {
+                args.get(i).and_then(|v| v.parse().ok()).unwrap_or(default)
+            };
+            let spec = match family {
+                "rnnlm" => ModelSpec::rnnlm(num(2, 2), num(3, 2048)),
+                "nmt" => ModelSpec::nmt(num(2, 2), num(3, 1024)),
+                "transformer" => ModelSpec::transformer(num(2, 6), num(3, 8), num(4, 1024)),
+                "nasnet" => ModelSpec::nasnet(num(2, 4), num(3, 148)),
+                other => return Err(format!("unknown model family {other}")),
+            };
+            let graph = spec.generate(spec.paper_batch(), 1);
+            println!("{}", to_json(&graph));
+            eprintln!(
+                "generated {}: {} ops, {} edges",
+                spec.label(),
+                graph.op_count(),
+                graph.edge_count()
+            );
+            Ok(())
+        }
+        "place" => {
+            let path = args.get(1).ok_or("missing graph path")?;
+            let cluster = cluster_from(args)?;
+            let graph = load_graph(path)?;
+            let config = if args.iter().any(|a| a == "--quick") {
+                PestoConfig::fast()
+            } else {
+                PestoConfig::default()
+            };
+            let outcome = Pesto::new(config)
+                .place(&graph, &cluster)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "{}",
+                serde_json::to_string(&outcome.plan).map_err(|e| e.to_string())?
+            );
+            eprintln!(
+                "placed in {:?}; simulated per-step time {:.2} ms",
+                outcome.placement_time,
+                outcome.makespan_us / 1000.0
+            );
+            Ok(())
+        }
+        "baseline" => {
+            let name = args.get(1).map(String::as_str).ok_or("missing baseline name")?;
+            let path = args.get(2).ok_or("missing graph path")?;
+            let cluster = cluster_from(args)?;
+            let graph = load_graph(path)?;
+            let comm = CommModel::default_v100();
+            let plan = match name {
+                "expert" => expert(&graph, &cluster),
+                "m_topo" => m_topo(&graph, &cluster),
+                "m_etf" => m_etf(&graph, &cluster, &comm),
+                "m_sct" => m_sct(&graph, &cluster, &comm),
+                other => return Err(format!("unknown baseline {other}")),
+            };
+            println!("{}", serde_json::to_string(&plan).map_err(|e| e.to_string())?);
+            Ok(())
+        }
+        "simulate" => {
+            let gpath = args.get(1).ok_or("missing graph path")?;
+            let ppath = args.get(2).ok_or("missing plan path")?;
+            let cluster = cluster_from(args)?;
+            let graph = load_graph(gpath)?;
+            let plan: Plan = serde_json::from_str(
+                &fs::read_to_string(ppath).map_err(|e| format!("cannot read {ppath}: {e}"))?,
+            )
+            .map_err(|e| format!("cannot parse {ppath}: {e}"))?;
+            let report = Simulator::new(&graph, &cluster, CommModel::default_v100())
+                .run(&plan)
+                .map_err(|e| e.to_string())?;
+            println!("per-step time: {:.2} ms", report.makespan_us / 1000.0);
+            println!(
+                "queueing delay: {:.2} ms over {} transfers",
+                report.total_queue_delay_us() / 1000.0,
+                report.transfer_spans.len()
+            );
+            print!("{}", report.timeline(&cluster, 72));
+            if let Some(svg_path) = flag_value(args, "--svg") {
+                fs::write(&svg_path, report.to_svg(&cluster, 900))
+                    .map_err(|e| format!("cannot write {svg_path}: {e}"))?;
+                eprintln!("wrote {svg_path}");
+            }
+            Ok(())
+        }
+        "info" => {
+            let path = args.get(1).ok_or("missing graph path")?;
+            let graph = load_graph(path)?;
+            println!("name:        {}", graph.name());
+            println!("ops:         {}", graph.op_count());
+            println!("edges:       {}", graph.edge_count());
+            println!(
+                "memory:      {:.2} GiB",
+                graph.total_memory_bytes() as f64 / (1u64 << 30) as f64
+            );
+            println!(
+                "compute:     {:.2} ms serial, {:.2} ms critical path",
+                graph.total_compute_us() / 1000.0,
+                graph.critical_path_us() / 1000.0
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown command {other}")),
+    }
+}

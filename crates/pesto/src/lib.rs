@@ -1,0 +1,89 @@
+//! # Pesto: near-optimal joint placement and scheduling of DNN operations
+//!
+//! A from-scratch Rust reproduction of *"Towards Optimal Placement and
+//! Scheduling of DNN Operations with Pesto"* (Hafeez, Sun, Gandhi, Liu —
+//! Middleware 2021).
+//!
+//! Training a DNN that does not fit on one GPU requires *model
+//! parallelism*: partitioning the operation DAG across GPUs. Pesto jointly
+//! optimizes **where** each operation runs and **when**, by (1) estimating
+//! per-op compute times and a linear communication model from profiles,
+//! (2) coarsening the DAG with cycle-free batch merging, (3) solving a 0-1
+//! ILP with precedence, non-overlap, link-congestion and memory-balance
+//! constraints, and (4) expanding the coarse solution back to all
+//! operations.
+//!
+//! This crate is the user-facing facade: the [`Pesto`] pipeline plus
+//! re-exports of every subsystem crate. See `DESIGN.md` in the repository
+//! for the full system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured results.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pesto::{Pesto, PestoConfig};
+//! use pesto::graph::Cluster;
+//! use pesto::models::ModelSpec;
+//!
+//! # fn main() -> Result<(), pesto::PestoError> {
+//! // A (reduced-size) NASNet training DAG and the paper's 2-GPU testbed.
+//! let graph = ModelSpec::nasnet(3, 16).generate(32, 42);
+//! let cluster = Cluster::two_gpus();
+//!
+//! let pesto = Pesto::new(PestoConfig::fast());
+//! let outcome = pesto.place(&graph, &cluster)?;
+//! println!(
+//!     "per-step time {:.1} ms after coarsening {} -> {} ops",
+//!     outcome.makespan_us / 1000.0,
+//!     graph.op_count(),
+//!     outcome.coarse_op_count,
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod eval;
+mod pipeline;
+
+pub use eval::{evaluate_plan, evaluate_plan_avg, StepOutcome};
+pub use pipeline::{Pesto, PestoConfig, PestoError, PestoOutcome};
+
+/// Re-export: operation DAGs, clusters, and plans.
+pub mod graph {
+    pub use pesto_graph::*;
+}
+/// Re-export: profiling and communication cost models.
+pub mod cost {
+    pub use pesto_cost::*;
+}
+/// Re-export: the LP solver.
+pub mod lp {
+    pub use pesto_lp::*;
+}
+/// Re-export: the branch-and-bound MILP solver.
+pub mod milp {
+    pub use pesto_milp::*;
+}
+/// Re-export: the discrete-event training-step simulator.
+pub mod sim {
+    pub use pesto_sim::*;
+}
+/// Re-export: cycle-free graph coarsening.
+pub mod coarsen {
+    pub use pesto_coarsen::*;
+}
+/// Re-export: the Pesto ILP, hybrid solver, and placer.
+pub mod ilp {
+    pub use pesto_ilp::*;
+}
+/// Re-export: Expert, Baechi, and other baselines.
+pub mod baselines {
+    pub use pesto_baselines::*;
+}
+/// Re-export: synthetic DNN model generators.
+pub mod models {
+    pub use pesto_models::*;
+}

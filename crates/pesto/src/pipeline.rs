@@ -1,0 +1,404 @@
+//! The end-to-end Pesto pipeline: profile → coarsen → solve → expand.
+
+use pesto_coarsen::{coarsen, CoarsenConfig};
+use pesto_cost::{CommModel, Profiler};
+use pesto_graph::{Cluster, FrozenGraph, GraphError, Plan};
+use pesto_ilp::{IlpError, PestoPlacer, PlacerConfig, SolvePath};
+use pesto_sim::{SimError, Simulator};
+use std::error::Error;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PestoConfig {
+    /// Coarsening target (the paper uses ~200 vertices, §3.3).
+    pub coarsen_target: usize,
+    /// Profiling iterations used to estimate op times (paper: 100). `None`
+    /// trusts the graph's compute times as-is.
+    pub profiler_iterations: Option<usize>,
+    /// When a coarse vertex contains more than this many original ops,
+    /// Pesto keeps the placement but falls back to framework-default
+    /// scheduling (paper §3.3: "we lose out on scheduling opportunities due
+    /// to coarsening, and thus instead employ the default TensorFlow
+    /// scheduling").
+    pub max_members_for_scheduling: usize,
+    /// Placement solver configuration.
+    pub placer: PlacerConfig,
+    /// Deterministic seed (profiling noise + final evaluation tie-breaks).
+    pub seed: u64,
+    /// Hill-climbing passes of the fine-grained group-flip refinement that
+    /// follows coarse solving. `0` disables refinement.
+    pub refinement_passes: usize,
+    /// Model link congestion during optimization (the paper's constraint
+    /// set (7)). Setting `false` reproduces the Figure 5 ablation: the
+    /// optimizer believes transfers never queue.
+    pub congestion_aware: bool,
+}
+
+impl Default for PestoConfig {
+    fn default() -> Self {
+        PestoConfig {
+            coarsen_target: 800,
+            profiler_iterations: Some(100),
+            max_members_for_scheduling: 200,
+            placer: PlacerConfig::default(),
+            seed: 0xbe57,
+            refinement_passes: 2,
+            congestion_aware: true,
+        }
+    }
+}
+
+impl PestoConfig {
+    /// A faster configuration for tests and examples: coarser graphs and a
+    /// lighter search.
+    pub fn fast() -> Self {
+        PestoConfig {
+            coarsen_target: 64,
+            placer: PlacerConfig {
+                hybrid: pesto_ilp::HybridConfig::quick(),
+                ..PlacerConfig::default()
+            },
+            refinement_passes: 1,
+            ..PestoConfig::default()
+        }
+    }
+}
+
+/// Errors from the pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PestoError {
+    /// Graph-level failure.
+    Graph(GraphError),
+    /// Solver failure (including out-of-memory verdicts).
+    Solve(IlpError),
+    /// Final simulation failure.
+    Sim(SimError),
+}
+
+impl fmt::Display for PestoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PestoError::Graph(e) => write!(f, "graph error: {e}"),
+            PestoError::Solve(e) => write!(f, "solver error: {e}"),
+            PestoError::Sim(e) => write!(f, "simulation error: {e}"),
+        }
+    }
+}
+
+impl Error for PestoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PestoError::Graph(e) => Some(e),
+            PestoError::Solve(e) => Some(e),
+            PestoError::Sim(e) => Some(e),
+        }
+    }
+}
+
+impl From<GraphError> for PestoError {
+    fn from(e: GraphError) -> Self {
+        PestoError::Graph(e)
+    }
+}
+impl From<IlpError> for PestoError {
+    fn from(e: IlpError) -> Self {
+        PestoError::Solve(e)
+    }
+}
+impl From<SimError> for PestoError {
+    fn from(e: SimError) -> Self {
+        PestoError::Sim(e)
+    }
+}
+
+/// Result of the full pipeline.
+#[derive(Debug, Clone)]
+pub struct PestoOutcome {
+    /// The final fine-grained plan.
+    pub plan: Plan,
+    /// Simulated per-step training time of the plan on the *true* op times
+    /// (placement was computed from profiled estimates), µs.
+    pub makespan_us: f64,
+    /// Wall-clock time spent finding the placement (the paper's "placement
+    /// time", Table 2).
+    pub placement_time: Duration,
+    /// Vertices after coarsening.
+    pub coarse_op_count: usize,
+    /// Largest merged-vertex size.
+    pub max_member_count: usize,
+    /// Which solver path produced the coarse plan.
+    pub path: SolvePath,
+    /// Whether explicit Pesto scheduling was kept (vs framework-default
+    /// fallback for very coarse merges).
+    pub explicit_schedule: bool,
+}
+
+/// Hill climbing on the fine graph at merged-group granularity: for each
+/// coarse vertex, try moving all its members to each other GPU and keep
+/// the first improvement of the fine ETF-scheduled makespan (with a memory
+/// penalty mirroring the hybrid solver's).
+#[allow(clippy::too_many_arguments)]
+fn refine_by_group_flips(
+    estimated: &FrozenGraph,
+    cluster: &Cluster,
+    comm: &CommModel,
+    coarsening: &pesto_coarsen::Coarsening,
+    mut placement: pesto_graph::Placement,
+    sim: &Simulator<'_>,
+    passes: usize,
+) -> Result<pesto_graph::Placement, PestoError> {
+    if passes == 0 || cluster.gpu_count() < 2 {
+        return Ok(placement);
+    }
+    let cost_of = |p: pesto_graph::Placement| -> Result<(f64, pesto_graph::Placement), PestoError> {
+        let sched = pesto_ilp::etf_schedule(estimated, cluster, comm, p, sim)
+            .map_err(IlpError::from)?;
+        let mut cost = sched.report.makespan_us;
+        let usage = sched.plan.placement.memory_per_device(estimated, cluster);
+        for (d, &used) in usage.iter().enumerate() {
+            let cap = cluster.devices()[d].memory_bytes();
+            if used > cap {
+                cost += estimated.total_compute_us() * (1.0 + (used - cap) as f64 / cap.max(1) as f64);
+            }
+        }
+        Ok((cost, sched.plan.placement))
+    };
+    let (mut best_cost, _) = cost_of(placement.clone())?;
+    let coarse = coarsening.coarse();
+    // Visit heavy groups first: they move the makespan the most.
+    let mut groups: Vec<pesto_graph::OpId> = coarse
+        .op_ids()
+        .filter(|&cv| coarse.op(cv).kind() == pesto_graph::DeviceKind::Gpu)
+        .collect();
+    groups.sort_by(|&a, &b| {
+        coarse
+            .op(b)
+            .compute_us()
+            .total_cmp(&coarse.op(a).compute_us())
+    });
+    for _ in 0..passes {
+        let mut improved = false;
+        for &cv in &groups {
+            let members = coarsening.members(cv);
+            let current = placement.device(members[0]);
+            for gpu in cluster.gpus() {
+                if gpu == current {
+                    continue;
+                }
+                let mut cand = placement.clone();
+                for &f in members {
+                    cand.set_device(f, gpu);
+                }
+                let (cost, cand) = cost_of(cand)?;
+                if cost < best_cost - 1e-9 {
+                    best_cost = cost;
+                    placement = cand;
+                    improved = true;
+                    break;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    Ok(placement)
+}
+
+/// The Pesto pipeline.
+///
+/// See the [crate-level documentation](crate) for an example.
+#[derive(Debug, Clone)]
+pub struct Pesto {
+    comm: CommModel,
+    config: PestoConfig,
+}
+
+impl Pesto {
+    /// Creates a pipeline with the default V100/NVlink communication model.
+    pub fn new(config: PestoConfig) -> Self {
+        Pesto {
+            comm: CommModel::default_v100(),
+            config,
+        }
+    }
+
+    /// Creates a pipeline with an explicit communication model (e.g. a
+    /// calibrated or hardware-scaled one).
+    pub fn with_comm(comm: CommModel, config: PestoConfig) -> Self {
+        Pesto { comm, config }
+    }
+
+    /// The communication model in use.
+    pub fn comm(&self) -> &CommModel {
+        &self.comm
+    }
+
+    /// Runs the full pipeline on `graph` (whose op times act as ground
+    /// truth) and returns the plan plus its simulated per-step time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors — notably an out-of-memory verdict when no
+    /// memory-feasible placement exists — and simulation failures.
+    pub fn place(&self, graph: &FrozenGraph, cluster: &Cluster) -> Result<PestoOutcome, PestoError> {
+        let start = Instant::now();
+
+        // 1. Profile: placement decisions use *estimated* times (§3.1).
+        let estimated = match self.config.profiler_iterations {
+            Some(iters) => Profiler::new(iters.max(2), self.config.seed)
+                .profile(graph)
+                .apply_to(graph.clone()),
+            None => graph.clone(),
+        };
+
+        // 2. Coarsen (§3.3). Parallel fine edges that collapse into one
+        //    coarse edge still pay one fixed transfer latency each on the
+        //    real link, so the coarse edge is inflated by the latency-
+        //    equivalent bytes β0/β1 per collapsed edge.
+        let gg = self.comm.fit(pesto_graph::LinkType::GpuToGpu);
+        // Scale-aware target: always coarsen at least ~4x (so the solver
+        // works on merged vertices), but never above the configured cap.
+        let target = self
+            .config
+            .coarsen_target
+            .min((graph.op_count() / 4).max(200));
+        let coarsen_config = CoarsenConfig {
+            parallel_edge_penalty_bytes: if gg.beta1 > 0.0 {
+                (gg.beta0 / gg.beta1) as u64
+            } else {
+                0
+            },
+            ..CoarsenConfig::to_target(target)
+        };
+        let coarsening = coarsen(&estimated, &coarsen_config);
+        let coarse = coarsening.coarse();
+
+        // 3. Solve placement + scheduling on the coarse graph (§3.2). The
+        //    hybrid search is seeded with constructive placements (the
+        //    Baechi heuristics run on the coarse graph), so its result can
+        //    only improve on them.
+        let mut placer_config = self.config.placer.clone();
+        // Seeds: constructive heuristics on the coarse graph, plus the
+        // fine-grained mSCT placement projected onto the coarse vertices by
+        // member-compute-weighted majority vote.
+        let fine_msct = pesto_baselines::m_sct(&estimated, cluster, &self.comm).placement;
+        let mut projected = pesto_graph::Placement::affinity_default(coarse, cluster);
+        for cv in coarse.op_ids() {
+            if coarse.op(cv).kind() != pesto_graph::DeviceKind::Gpu {
+                continue;
+            }
+            let mut weight_per_dev = vec![0.0f64; cluster.device_count()];
+            for &f in coarsening.members(cv) {
+                weight_per_dev[fine_msct.device(f).index()] +=
+                    estimated.op(f).compute_us().max(1e-3);
+            }
+            let best = cluster
+                .gpus()
+                .into_iter()
+                .max_by(|a, b| weight_per_dev[a.index()].total_cmp(&weight_per_dev[b.index()]))
+                .expect("cluster has gpus");
+            projected.set_device(cv, best);
+        }
+        placer_config.hybrid.infinite_links = !self.config.congestion_aware;
+        placer_config.hybrid.initial_placements.extend([
+            projected,
+            pesto_baselines::m_sct(coarse, cluster, &self.comm).placement,
+            pesto_baselines::m_etf(coarse, cluster, &self.comm).placement,
+        ]);
+        let placer = PestoPlacer::with_config(self.comm, placer_config);
+        let outcome = placer.place(coarse, cluster)?;
+
+        // 4. Expand to the fine graph and refine: group-flip hill climbing
+        //    evaluated on the fine graph closes the residual gap between
+        //    the coarse model and fine-grained reality.
+        let mut fine_placement = coarsening.expand_placement(&outcome.plan.placement);
+        let sim_est = Simulator::new(&estimated, cluster, self.comm)
+            .with_memory_check(false)
+            .with_infinite_links(!self.config.congestion_aware);
+        fine_placement = refine_by_group_flips(
+            &estimated,
+            cluster,
+            &self.comm,
+            &coarsening,
+            fine_placement,
+            &sim_est,
+            self.config.refinement_passes,
+        )?;
+
+        //    Drop explicit scheduling when merged vertices are too large
+        //    (§3.3 fallback); otherwise re-derive the op-level schedule at
+        //    fine granularity (the control dependencies Pesto injects into
+        //    TensorFlow, §4).
+        let explicit_schedule =
+            coarsening.max_member_count() <= self.config.max_members_for_scheduling;
+        let plan = if explicit_schedule {
+            pesto_ilp::etf_schedule(&estimated, cluster, &self.comm, fine_placement, &sim_est)
+                .map_err(IlpError::from)?
+                .plan
+        } else {
+            Plan::placement_only(fine_placement)
+        };
+        let placement_time = start.elapsed();
+
+        // 5. Honest evaluation on the true op times.
+        let sim = Simulator::new(graph, cluster, self.comm).with_seed(self.config.seed);
+        let report = sim.run(&plan)?;
+
+        Ok(PestoOutcome {
+            plan,
+            makespan_us: report.makespan_us,
+            placement_time,
+            coarse_op_count: coarse.op_count(),
+            max_member_count: coarsening.max_member_count(),
+            path: outcome.path,
+            explicit_schedule,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pesto_models::ModelSpec;
+
+    #[test]
+    fn pipeline_runs_end_to_end_on_a_small_model() {
+        let graph = ModelSpec::nasnet(3, 16).generate(32, 1);
+        let cluster = Cluster::two_gpus();
+        let outcome = Pesto::new(PestoConfig::fast()).place(&graph, &cluster).unwrap();
+        assert!(outcome.makespan_us > 0.0);
+        // Scale-aware floor: small graphs coarsen to at most max(200, n/4).
+        assert!(outcome.coarse_op_count <= graph.op_count());
+        assert!(outcome.plan.validate(&graph, &cluster).is_ok());
+    }
+
+    #[test]
+    fn scheduling_fallback_when_merges_are_huge() {
+        let graph = ModelSpec::nasnet(3, 16).generate(32, 1);
+        let cluster = Cluster::two_gpus();
+        let config = PestoConfig {
+            max_members_for_scheduling: 1, // force the fallback
+            coarsen_target: 16,
+            ..PestoConfig::fast()
+        };
+        let outcome = Pesto::new(config).place(&graph, &cluster).unwrap();
+        assert!(!outcome.explicit_schedule);
+        assert!(outcome.plan.order.is_none());
+    }
+
+    #[test]
+    fn profiling_can_be_disabled() {
+        let graph = ModelSpec::transformer(1, 2, 64).generate(4, 1);
+        let cluster = Cluster::two_gpus();
+        let config = PestoConfig {
+            profiler_iterations: None,
+            ..PestoConfig::fast()
+        };
+        let outcome = Pesto::new(config).place(&graph, &cluster).unwrap();
+        assert!(outcome.makespan_us > 0.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Hardware what-if analysis (the paper's Figure 8 methodology): how do
+//! Pesto's decisions change with faster devices or slower interconnects?
+//!
+//! ```sh
+//! cargo run --release --example hardware_whatif
+//! ```
+
+use pesto::baselines::expert;
+use pesto::cost::{CommModel, HardwareScaling};
+use pesto::graph::Cluster;
+use pesto::models::ModelSpec;
+use pesto::{evaluate_plan, Pesto, PestoConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cluster = Cluster::two_gpus();
+    let base_comm = CommModel::default_v100();
+    let spec = ModelSpec::nmt(1, 128);
+    let base_graph = spec.generate(spec.paper_batch(), 3);
+
+    println!("== compute-speed sweep (1x = V100) ==");
+    for speed in [0.5, 1.0, 4.0] {
+        let graph = HardwareScaling::new(speed, 1.0).scale_graph(base_graph.clone());
+        let expert_step = evaluate_plan(&graph, &cluster, &base_comm, &expert(&graph, &cluster), 1);
+        let pesto = Pesto::with_comm(base_comm, PestoConfig::fast()).place(&graph, &cluster)?;
+        let pesto_step = evaluate_plan(&graph, &cluster, &base_comm, &pesto.plan, 1);
+        let (e, p) = (
+            expert_step.makespan_us().unwrap_or(f64::NAN),
+            pesto_step.makespan_us().unwrap_or(f64::NAN),
+        );
+        println!(
+            "  {speed:>4.1}x compute: expert {:.1} ms, pesto {:.1} ms ({:+.1}%)",
+            e / 1e3,
+            p / 1e3,
+            (p / e - 1.0) * 100.0
+        );
+    }
+
+    println!("== interconnect-speed sweep (1x = NVlink, 0.1x ~ PCIe) ==");
+    for speed in [0.1, 1.0, 2.0] {
+        let comm = HardwareScaling::new(1.0, speed).scale_comm(&base_comm);
+        let expert_step =
+            evaluate_plan(&base_graph, &cluster, &comm, &expert(&base_graph, &cluster), 1);
+        let pesto = Pesto::with_comm(comm, PestoConfig::fast()).place(&base_graph, &cluster)?;
+        let pesto_step = evaluate_plan(&base_graph, &cluster, &comm, &pesto.plan, 1);
+        println!(
+            "  {speed:>4.1}x comm: expert {:.1} ms, pesto {:.1} ms, pesto cut edges {}",
+            expert_step.makespan_us().unwrap_or(f64::NAN) / 1e3,
+            pesto_step.makespan_us().unwrap_or(f64::NAN) / 1e3,
+            pesto.plan.placement.cut_edges(&base_graph),
+        );
+    }
+    println!("(Pesto places more conservatively as links slow down; Expert is oblivious)");
+    Ok(())
+}

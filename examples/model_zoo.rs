@@ -1,0 +1,57 @@
+//! Model zoo: generate each of the paper's model families and compare the
+//! Expert baseline against Pesto on a reduced variant of each.
+//!
+//! ```sh
+//! cargo run --release --example model_zoo
+//! ```
+
+use pesto::baselines::expert;
+use pesto::cost::CommModel;
+use pesto::graph::Cluster;
+use pesto::models::ModelSpec;
+use pesto::{evaluate_plan, Pesto, PestoConfig, StepOutcome};
+
+fn show(outcome: &StepOutcome) -> String {
+    match outcome {
+        StepOutcome::Ok { makespan_us } => format!("{:.1} ms", makespan_us / 1000.0),
+        StepOutcome::Oom { devices } => format!("OOM on {} device(s)", devices.len()),
+        StepOutcome::Failed { reason } => format!("failed: {reason}"),
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cluster = Cluster::two_gpus();
+    let comm = CommModel::default_v100();
+    // Reduced variants of all four families (the full paper variants run in
+    // the `expfig fig7` harness).
+    let zoo = [
+        ModelSpec::rnnlm(2, 256),
+        ModelSpec::nmt(1, 128),
+        ModelSpec::transformer(2, 4, 256),
+        ModelSpec::nasnet(4, 24),
+    ];
+    println!(
+        "{:<24} {:>7} {:>8} {:>12} {:>12}",
+        "variant", "ops", "mem GiB", "expert", "pesto"
+    );
+    for spec in zoo {
+        let graph = spec.generate(spec.paper_batch(), 7);
+        let exp = evaluate_plan(&graph, &cluster, &comm, &expert(&graph, &cluster), 7);
+        let pesto = Pesto::new(PestoConfig::fast()).place(&graph, &cluster);
+        let pesto_outcome = match pesto {
+            Ok(o) => evaluate_plan(&graph, &cluster, &comm, &o.plan, 7),
+            Err(e) => StepOutcome::Failed {
+                reason: e.to_string(),
+            },
+        };
+        println!(
+            "{:<24} {:>7} {:>8.2} {:>12} {:>12}",
+            spec.label(),
+            graph.op_count(),
+            graph.total_memory_bytes() as f64 / (1u64 << 30) as f64,
+            show(&exp),
+            show(&pesto_outcome),
+        );
+    }
+    Ok(())
+}

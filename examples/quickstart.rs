@@ -1,0 +1,51 @@
+//! Quickstart: place and schedule a DNN training step across two GPUs.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use pesto::cost::CommModel;
+use pesto::graph::Cluster;
+use pesto::models::ModelSpec;
+use pesto::sim::Simulator;
+use pesto::{Pesto, PestoConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A training DAG. Here: a reduced NASNet; swap in any generator or
+    //    build your own graph with `pesto::graph::OpGraph`.
+    let spec = ModelSpec::nasnet(4, 32);
+    let graph = spec.generate(spec.paper_batch(), 42);
+    println!(
+        "model {}: {} ops, {} edges, {:.1} GiB total footprint",
+        graph.name(),
+        graph.op_count(),
+        graph.edge_count(),
+        graph.total_memory_bytes() as f64 / (1u64 << 30) as f64,
+    );
+
+    // 2. The paper's testbed: one CPU + two 16 GiB GPUs (NVlink + PCIe).
+    let cluster = Cluster::two_gpus();
+
+    // 3. Run the Pesto pipeline: profile -> coarsen -> solve -> expand.
+    let pesto = Pesto::new(PestoConfig::fast());
+    let outcome = pesto.place(&graph, &cluster)?;
+    println!(
+        "pesto: {} -> {} coarse vertices, {:?} path, placement took {:?}",
+        graph.op_count(),
+        outcome.coarse_op_count,
+        outcome.path,
+        outcome.placement_time,
+    );
+    println!("per-step training time: {:.2} ms", outcome.makespan_us / 1000.0);
+
+    // 4. Inspect the schedule on the simulator.
+    let report = Simulator::new(&graph, &cluster, CommModel::default_v100()).run(&outcome.plan)?;
+    println!(
+        "gpu0 utilization {:.0}%, gpu1 utilization {:.0}%, {} cross-GPU transfers ({:.1} MiB)",
+        report.device_utilization(cluster.gpu(0)) * 100.0,
+        report.device_utilization(cluster.gpu(1)) * 100.0,
+        report.transfer_spans.len(),
+        report.total_transferred_bytes() as f64 / (1u64 << 20) as f64,
+    );
+    Ok(())
+}

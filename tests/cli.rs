@@ -1,0 +1,98 @@
+//! End-to-end tests of the `pesto` CLI binary: generate → info → baseline
+//! → simulate, exercising the JSON round trip through real process
+//! boundaries.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn pesto_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pesto"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("pesto-cli-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn generate_info_baseline_simulate_round_trip() {
+    // generate
+    let out = pesto_bin()
+        .args(["generate", "nasnet", "3", "16"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let graph_path = tmp("graph.json");
+    std::fs::write(&graph_path, &out.stdout).unwrap();
+
+    // info
+    let out = pesto_bin()
+        .args(["info", graph_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let info = String::from_utf8_lossy(&out.stdout);
+    assert!(info.contains("NASNet-3-16"), "{info}");
+    assert!(info.contains("ops:"));
+
+    // baseline plan
+    let out = pesto_bin()
+        .args(["baseline", "m_sct", graph_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let plan_path = tmp("plan.json");
+    std::fs::write(&plan_path, &out.stdout).unwrap();
+
+    // simulate with SVG export
+    let svg_path = tmp("step.svg");
+    let out = pesto_bin()
+        .args([
+            "simulate",
+            graph_path.to_str().unwrap(),
+            plan_path.to_str().unwrap(),
+            "--svg",
+            svg_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let sim = String::from_utf8_lossy(&out.stdout);
+    assert!(sim.contains("per-step time:"), "{sim}");
+    let svg = std::fs::read_to_string(&svg_path).unwrap();
+    assert!(svg.starts_with("<svg"));
+
+    for p in [graph_path, plan_path, svg_path] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = pesto_bin().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage:"), "{err}");
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    let out = pesto_bin()
+        .args(["info", "/nonexistent/graph.json"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot read"), "{err}");
+}
+
+#[test]
+fn gpus_flag_is_validated() {
+    let out = pesto_bin()
+        .args(["baseline", "m_topo", "/dev/null", "--gpus", "abc"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad --gpus"));
+}

@@ -1,0 +1,110 @@
+//! Cross-crate integration tests: the full pipeline on reduced variants of
+//! every model family, error propagation, and determinism.
+
+use pesto::cost::CommModel;
+use pesto::graph::Cluster;
+use pesto::models::ModelSpec;
+use pesto::sim::Simulator;
+use pesto::{evaluate_plan, Pesto, PestoConfig, PestoError, StepOutcome};
+
+fn fast() -> PestoConfig {
+    PestoConfig::fast()
+}
+
+#[test]
+fn pipeline_handles_every_model_family() {
+    let cluster = Cluster::two_gpus();
+    for spec in [
+        ModelSpec::rnnlm(1, 64),
+        ModelSpec::nmt(1, 64),
+        ModelSpec::transformer(2, 2, 64),
+        ModelSpec::nasnet(3, 16),
+    ] {
+        let graph = spec.generate(4, 1);
+        let outcome = Pesto::new(fast())
+            .place(&graph, &cluster)
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.label()));
+        assert!(outcome.makespan_us > 0.0, "{}", spec.label());
+        outcome
+            .plan
+            .validate(&graph, &cluster)
+            .unwrap_or_else(|e| panic!("{}: invalid plan: {e}", spec.label()));
+        // The plan must actually execute on the simulator.
+        let report = Simulator::new(&graph, &cluster, CommModel::default_v100())
+            .run(&outcome.plan)
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.label()));
+        assert!((report.makespan_us - outcome.makespan_us).abs() < outcome.makespan_us * 0.2);
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let cluster = Cluster::two_gpus();
+    let graph = ModelSpec::nasnet(3, 16).generate(32, 5);
+    let a = Pesto::new(fast()).place(&graph, &cluster).unwrap();
+    let b = Pesto::new(fast()).place(&graph, &cluster).unwrap();
+    assert_eq!(a.plan, b.plan);
+    assert!((a.makespan_us - b.makespan_us).abs() < 1e-9);
+}
+
+#[test]
+fn pipeline_reports_oom_when_nothing_fits() {
+    // Tiny GPUs that cannot hold the model under any split.
+    let cluster = Cluster::homogeneous(2, 1 << 20); // 1 MiB GPUs
+    let graph = ModelSpec::nasnet(3, 16).generate(32, 1);
+    let err = Pesto::new(fast()).place(&graph, &cluster).unwrap_err();
+    assert!(
+        matches!(err, PestoError::Solve(_)),
+        "expected a solver/OOM error, got {err}"
+    );
+}
+
+#[test]
+fn pesto_beats_or_matches_single_gpu_serial_execution() {
+    let cluster = Cluster::two_gpus();
+    let comm = CommModel::default_v100();
+    let graph = ModelSpec::transformer(2, 2, 128).generate(4, 2);
+    let outcome = Pesto::new(fast()).place(&graph, &cluster).unwrap();
+    // Serial lower bound sanity: Pesto's makespan is at least the critical
+    // path and at most serial execution (placing everything on one GPU is
+    // always in the search space).
+    assert!(outcome.makespan_us >= graph.critical_path_us() - 1e-6);
+    assert!(
+        outcome.makespan_us <= graph.total_compute_us() * 1.05,
+        "pesto {} vs serial {}",
+        outcome.makespan_us,
+        graph.total_compute_us()
+    );
+    let step = evaluate_plan(&graph, &cluster, &comm, &outcome.plan, 3);
+    assert!(matches!(step, StepOutcome::Ok { .. }));
+}
+
+#[test]
+fn hardware_scaling_changes_decisions_consistently() {
+    use pesto::cost::HardwareScaling;
+    let cluster = Cluster::two_gpus();
+    let base = ModelSpec::rnnlm(1, 64).generate(4, 3);
+    // 4x faster compute shrinks the makespan by roughly 4x or less
+    // (communication does not scale).
+    let slow = Pesto::new(fast()).place(&base, &cluster).unwrap();
+    let fast_graph = HardwareScaling::new(4.0, 1.0).scale_graph(base.clone());
+    let fast_run = Pesto::new(fast()).place(&fast_graph, &cluster).unwrap();
+    assert!(fast_run.makespan_us < slow.makespan_us);
+    assert!(fast_run.makespan_us > slow.makespan_us / 8.0);
+}
+
+#[test]
+fn congestion_blind_pipeline_still_produces_valid_plans() {
+    let cluster = Cluster::two_gpus();
+    let graph = ModelSpec::rnnlm(1, 64).generate(4, 3);
+    let config = PestoConfig {
+        congestion_aware: false,
+        ..PestoConfig::fast()
+    };
+    let outcome = Pesto::new(config).place(&graph, &cluster).unwrap();
+    // The plan was chosen under a blind model but must still execute.
+    let report = Simulator::new(&graph, &cluster, CommModel::default_v100())
+        .run(&outcome.plan)
+        .unwrap();
+    assert!(report.makespan_us > 0.0);
+}
