@@ -3,7 +3,7 @@
 //!
 //! Usage: `expfig <experiment> [--quick]` where experiment is one of
 //! `fig2 fig4a fig4b table1 fig5 fig7 table2 table3 fig8a fig8b
-//! coarsen-sweep budget-sweep all`.
+//! coarsen-sweep budget-sweep robustness all`.
 
 use pesto::baselines::{expert, naive_critical_path, random_placement};
 use pesto::coarsen::{coarsen, CoarsenConfig};
@@ -63,6 +63,9 @@ fn main() {
     }
     if run("budget-sweep") {
         budget_sweep(&cluster, &comm);
+    }
+    if run("robustness") {
+        robustness(&cluster, &comm, quick);
     }
 }
 
@@ -590,6 +593,93 @@ fn budget_sweep(cluster: &Cluster, comm: &CommModel) {
     }
     println!("(diminishing returns justify the paper's minutes-scale budget)");
     record_json("budget_sweep", &recs);
+}
+
+/// Robustness experiment (beyond the paper): Monte-Carlo perturbation
+/// sweep comparing how Pesto's, Expert's, and mSCT's plans degrade under
+/// stragglers, compute jitter, and degraded links. All strategies face the
+/// exact same seeded fault draws, so the distributions are comparable.
+fn robustness(cluster: &Cluster, comm: &CommModel, quick: bool) {
+    use pesto::{evaluate_robustness, RobustnessConfig};
+    println!("\n== robustness: perturbed per-step time distribution ==");
+    let specs = if quick {
+        vec![ModelSpec::nmt(2, 256), ModelSpec::transformer(2, 4, 256)]
+    } else {
+        vec![ModelSpec::nmt(2, 1024), ModelSpec::transformer(6, 8, 512)]
+    };
+    let config = RobustnessConfig {
+        draws: if quick { 16 } else { 64 },
+        ..RobustnessConfig::default()
+    };
+
+    #[derive(Serialize)]
+    struct Row {
+        model: String,
+        strategy: String,
+        clean_ms: f64,
+        p50_ms: f64,
+        p95_ms: f64,
+        p99_ms: f64,
+        worst_ms: f64,
+        p95_over_clean: f64,
+        most_sensitive_gpu: Option<usize>,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    println!(
+        "{:<20} {:<8} {:>10} {:>10} {:>10} {:>10} {:>8}",
+        "model", "strategy", "clean ms", "p50 ms", "p95 ms", "p99 ms", "p95/cln"
+    );
+    for spec in specs {
+        let batch = if quick { 4 } else { spec.paper_batch() };
+        let graph = spec.generate(batch, 1);
+        let pesto_plan = Pesto::with_comm(*comm, pesto_config(quick))
+            .place(&graph, cluster)
+            .map(|o| o.plan);
+        let plans = [
+            ("pesto", pesto_plan.ok()),
+            ("expert", Some(expert(&graph, cluster))),
+            ("m_sct", Some(pesto::baselines::m_sct(&graph, cluster, comm))),
+        ];
+        for (name, plan) in plans {
+            let Some(plan) = plan else {
+                println!("{:<20} {:<8} no plan (solver failed)", spec.label(), name);
+                continue;
+            };
+            match evaluate_robustness(&graph, cluster, *comm, &plan, &config) {
+                Ok(r) => {
+                    let p95_over_clean = if r.clean_makespan_us > 0.0 {
+                        r.p95_us / r.clean_makespan_us
+                    } else {
+                        f64::NAN
+                    };
+                    println!(
+                        "{:<20} {:<8} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>8.3}",
+                        spec.label(),
+                        name,
+                        r.clean_makespan_us / 1e3,
+                        r.p50_us / 1e3,
+                        r.p95_us / 1e3,
+                        r.p99_us / 1e3,
+                        p95_over_clean,
+                    );
+                    rows.push(Row {
+                        model: spec.label(),
+                        strategy: name.to_string(),
+                        clean_ms: r.clean_makespan_us / 1e3,
+                        p50_ms: r.p50_us / 1e3,
+                        p95_ms: r.p95_us / 1e3,
+                        p99_ms: r.p99_us / 1e3,
+                        worst_ms: r.worst_us / 1e3,
+                        p95_over_clean,
+                        most_sensitive_gpu: r.most_sensitive_device.map(|d| d.index()),
+                    });
+                }
+                Err(e) => println!("{:<20} {:<8} sweep failed: {e}", spec.label(), name),
+            }
+        }
+    }
+    println!("(lower p95/clean = plan keeps its advantage when the cluster misbehaves)");
+    record_json("robustness", &rows);
 }
 
 /// Quick sanity check for the §3.3 claim that a DAG can always be coarsened

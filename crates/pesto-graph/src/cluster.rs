@@ -322,6 +322,43 @@ impl Cluster {
         self.devices.get(id.index()).is_some_and(Device::is_gpu)
     }
 
+    /// The cluster left after removing a failed GPU: surviving devices are
+    /// renumbered densely (ids above the removed one shift down by one) and
+    /// only links between survivors are kept, with their configured speeds.
+    /// Removing the last GPU yields a CPU-only cluster, which the placement
+    /// pipeline rejects with a typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownDevice`] if `gpu` does not name a GPU
+    /// of this cluster.
+    pub fn without_gpu(&self, gpu: DeviceId) -> Result<Cluster, GraphError> {
+        if !self.is_gpu(gpu) {
+            return Err(GraphError::UnknownDevice(gpu.0));
+        }
+        let devices: Vec<Device> = self
+            .devices
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != gpu.index())
+            .map(|(_, d)| d.clone())
+            .collect();
+        let map = |old: DeviceId| DeviceId(if old.0 > gpu.0 { old.0 - 1 } else { old.0 });
+        let mut links = Vec::new();
+        for l in &self.links {
+            if l.src == gpu || l.dst == gpu {
+                continue;
+            }
+            links.push(Link {
+                id: LinkId(links.len() as u32),
+                src: map(l.src),
+                dst: map(l.dst),
+                ..*l
+            });
+        }
+        Ok(Cluster { devices, links })
+    }
+
     /// Sets the relative speed of the directed link from `src` to `dst`
     /// (see [`Link::speed`]); returns `self` for chaining.
     ///
@@ -445,5 +482,38 @@ mod tests {
         assert!(c.is_gpu(c.gpu(1)));
         assert!(!c.is_gpu(c.cpu()));
         assert!(!c.is_gpu(DeviceId::from_index(99)));
+    }
+
+    #[test]
+    fn without_gpu_renumbers_and_keeps_speeds() {
+        let c = Cluster::homogeneous(3, 1024);
+        let (g1, g2) = (c.gpu(1), c.gpu(2));
+        let c = c.with_link_speed(g1, g2, 0.5);
+        let survived = c.without_gpu(c.gpu(0)).unwrap();
+        assert_eq!(survived.gpu_count(), 2);
+        assert_eq!(survived.device_count(), 3);
+        // Full connectivity among survivors, ids dense.
+        for l in survived.links() {
+            assert!(l.src().index() < survived.device_count());
+            assert!(l.dst().index() < survived.device_count());
+        }
+        // gpu1/gpu2 became gpu(0)/gpu(1); their configured speed survives.
+        let fwd = survived
+            .link(survived.link_between(survived.gpu(0), survived.gpu(1)).unwrap());
+        assert!((fwd.speed() - 0.5).abs() < 1e-12);
+        assert_eq!(survived.device(survived.gpu(0)).unwrap().name(), "gpu1");
+    }
+
+    #[test]
+    fn without_gpu_rejects_non_gpu_and_allows_cpu_only_result() {
+        let c = Cluster::two_gpus();
+        assert_eq!(
+            c.without_gpu(c.cpu()).unwrap_err(),
+            GraphError::UnknownDevice(0)
+        );
+        let one = Cluster::homogeneous(1, 1024);
+        let cpu_only = one.without_gpu(one.gpu(0)).unwrap();
+        assert_eq!(cpu_only.gpu_count(), 0);
+        assert_eq!(cpu_only.link_count(), 0);
     }
 }

@@ -20,6 +20,7 @@ use pesto_graph::{Cluster, DeviceKind, FrozenGraph, OpId, Placement, Plan};
 use pesto_sim::Simulator;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::time::Instant;
 
 /// Hybrid solver knobs.
 #[derive(Debug, Clone)]
@@ -40,6 +41,11 @@ pub struct HybridConfig {
     /// congestion-blind assumption of prior work). Exists for the Figure 5
     /// ablation; leave `false` for faithful optimization.
     pub infinite_links: bool,
+    /// Cooperative wall-clock deadline: every restart polls it between
+    /// annealing iterations and returns its incumbent when it passes. The
+    /// search still produces a valid plan (the best seen so far);
+    /// [`HybridOutcome::deadline_hit`] records the truncation.
+    pub deadline: Option<Instant>,
 }
 
 impl Default for HybridConfig {
@@ -51,6 +57,7 @@ impl Default for HybridConfig {
             initial_temp_frac: 0.08,
             initial_placements: Vec::new(),
             infinite_links: false,
+            deadline: None,
         }
     }
 }
@@ -75,6 +82,8 @@ pub struct HybridOutcome {
     pub makespan_us: f64,
     /// Whether the plan fits in device memory.
     pub memory_feasible: bool,
+    /// Whether any restart was cut short by [`HybridConfig::deadline`].
+    pub deadline_hit: bool,
 }
 
 /// Simulated-annealing placement solver. Works for any GPU count.
@@ -146,7 +155,7 @@ impl HybridSolver {
             .collect();
         let restarts = self.config.restarts.max(1) + seeds.len();
 
-        let results: Vec<Result<(Plan, f64), IlpError>> = crossbeam::thread::scope(|scope| {
+        let results: Vec<Result<(Plan, f64, bool), IlpError>> = crossbeam::thread::scope(|scope| {
             let mut handles = Vec::new();
             for r in 0..restarts {
                 let units = &units;
@@ -172,9 +181,11 @@ impl HybridSolver {
 
         let mut best: Option<(Plan, f64)> = None;
         let mut last_err = None;
+        let mut deadline_hit = false;
         for res in results {
             match res {
-                Ok((plan, cost)) => {
+                Ok((plan, cost, truncated)) => {
+                    deadline_hit |= truncated;
                     if best.as_ref().is_none_or(|(_, c)| cost < *c) {
                         best = Some((plan, cost));
                     }
@@ -192,6 +203,7 @@ impl HybridSolver {
             plan,
             makespan_us: report.makespan_us,
             memory_feasible,
+            deadline_hit,
         })
     }
 }
@@ -229,7 +241,7 @@ fn anneal_once(
     restart: u64,
     seed_placement: Option<&Placement>,
     first_unseeded: bool,
-) -> Result<(Plan, f64), IlpError> {
+) -> Result<(Plan, f64, bool), IlpError> {
     let gpu_ops: Vec<OpId> = units.iter().flatten().copied().collect();
     let gpu_ops = &gpu_ops[..];
     let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(restart));
@@ -282,9 +294,10 @@ fn anneal_once(
 
     let (mut cur_plan, mut cur_cost) = evaluate(graph, cluster, comm, &placement, &sim, horizon)?;
     let mut best = (cur_plan.clone(), cur_cost);
+    let mut truncated = false;
 
     if gpu_ops.is_empty() || gpus.len() < 2 {
-        return Ok(best); // nothing to search
+        return Ok((best.0, best.1, truncated)); // nothing to search
     }
 
     let t0 = (cur_cost * config.initial_temp_frac).max(1e-6);
@@ -294,6 +307,11 @@ fn anneal_once(
     let mut temp = t0;
 
     for _ in 0..steps {
+        // Cooperative deadline: keep the incumbent, stop searching.
+        if config.deadline.is_some_and(|d| Instant::now() >= d) {
+            truncated = true;
+            break;
+        }
         // Move: flip one GPU op to a different GPU, or (25%) swap two ops.
         // Half of the single flips target *boundary* ops (ops with at least
         // one cross-device edge), where placement changes actually move the
@@ -351,7 +369,7 @@ fn anneal_once(
         }
         temp *= cooling;
     }
-    Ok(best)
+    Ok((best.0, best.1, truncated))
 }
 
 #[cfg(test)]
@@ -475,6 +493,27 @@ mod tests {
         // Optimal with the group intact: {a,b} on one GPU, {c,d} on the
         // other = 200.
         assert!((out.makespan_us - 200.0).abs() < 1e-6, "got {}", out.makespan_us);
+    }
+
+    #[test]
+    fn expired_deadline_still_returns_a_valid_plan() {
+        let mut g = OpGraph::new("deadline");
+        for i in 0..8 {
+            g.add_op(format!("op{i}"), DeviceKind::Gpu, 100.0, 16);
+        }
+        let g = g.freeze().unwrap();
+        let cluster = Cluster::two_gpus();
+        let cfg = HybridConfig {
+            iterations: 1_000_000, // would take minutes without the deadline
+            restarts: 1,
+            deadline: Some(Instant::now()),
+            ..HybridConfig::default()
+        };
+        let t0 = Instant::now();
+        let out = HybridSolver::new(cfg).solve(&g, &cluster, &comm()).unwrap();
+        assert!(out.deadline_hit, "deadline in the past must truncate");
+        assert!(t0.elapsed().as_secs() < 30, "search must stop early");
+        out.plan.validate(&g, &cluster).unwrap();
     }
 
     #[test]

@@ -131,14 +131,13 @@ pub fn etf_schedule(
                 let arrival = if pdev == dev {
                     finish[p.index()]
                 } else {
-                    let link = cluster
-                        .link_between(pdev, dev)
-                        .expect("fully connected cluster");
+                    let Some(link) = cluster.link_between(pdev, dev) else {
+                        return Err(SimError::MissingLink { src: pdev, dst: dev });
+                    };
                     let start = finish[p.index()].max(link_free[link.index()]);
                     start
                         + comm.transfer_us(cluster.link(link).link_type(), bytes)
                             / cluster.link(link).speed()
-                        / cluster.link(link).speed()
                 };
                 est = est.max(arrival);
             }
@@ -164,9 +163,9 @@ pub fn etf_schedule(
             let arrival = if pdev == dev {
                 finish[p.index()]
             } else {
-                let link = cluster
-                    .link_between(pdev, dev)
-                    .expect("fully connected cluster");
+                let Some(link) = cluster.link_between(pdev, dev) else {
+                    return Err(SimError::MissingLink { src: pdev, dst: dev });
+                };
                 let t0 = finish[p.index()].max(link_free[link.index()]);
                 let t1 = t0 + comm.transfer_us(cluster.link(link).link_type(), bytes)
                         / cluster.link(link).speed();

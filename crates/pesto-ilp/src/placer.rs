@@ -8,14 +8,23 @@ use pesto_cost::CommModel;
 use pesto_graph::{Cluster, FrozenGraph, Plan};
 use pesto_milp::MilpConfig;
 use pesto_sim::Simulator;
+use std::time::{Duration, Instant};
 
 /// Which solve path produced a plan.
+///
+/// The first two are the placer's own paths; the last two are the
+/// degradation rungs the pipeline falls back to under a tight
+/// `time_budget` (see `pesto`'s `PestoConfig`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SolvePath {
     /// Exact ILP (branch and bound), warm-started by a quick hybrid pass.
     Exact,
     /// Hybrid simulated annealing + list scheduling only.
     Hybrid,
+    /// Constructive mSCT placement, no search (deadline/solver fallback).
+    Constructive,
+    /// Everything on one device (last-resort fallback).
+    SingleDevice,
 }
 
 /// Driver configuration.
@@ -28,6 +37,12 @@ pub struct PlacerConfig {
     pub ilp: IlpConfig,
     /// Hybrid-search settings.
     pub hybrid: HybridConfig,
+    /// Wall-clock deadline for the whole placement. The hybrid search polls
+    /// it between annealing iterations (via [`HybridConfig::deadline`],
+    /// which this field also seeds when set) and the exact path's MILP gets
+    /// whatever time remains; an exact solve is skipped entirely when less
+    /// than ~50 ms remain.
+    pub deadline: Option<Instant>,
 }
 
 impl Default for PlacerConfig {
@@ -36,6 +51,7 @@ impl Default for PlacerConfig {
             exact_max_ops: 12,
             ilp: IlpConfig::default(),
             hybrid: HybridConfig::default(),
+            deadline: None,
         }
     }
 }
@@ -53,6 +69,10 @@ pub struct PlaceOutcome {
     pub proven_optimal: bool,
     /// Which path produced the plan.
     pub path: SolvePath,
+    /// Whether the deadline truncated or skipped part of the solve (the
+    /// hybrid search returned its incumbent early, or the exact ILP was
+    /// skipped/cut short).
+    pub deadline_hit: bool,
 }
 
 /// Pesto's placement engine: profile-estimated graph in, plan out.
@@ -99,16 +119,23 @@ impl PestoPlacer {
     ///   path's B&B;
     /// * [`IlpError::Graph`] for malformed inputs.
     pub fn place(&self, graph: &FrozenGraph, cluster: &Cluster) -> Result<PlaceOutcome, IlpError> {
-        let use_exact =
+        let mut use_exact =
             cluster.gpu_count() == 2 && graph.op_count() <= self.config.exact_max_ops;
+        let remaining =
+            |d: Instant| d.checked_duration_since(Instant::now()).unwrap_or(Duration::ZERO);
+        let mut deadline_hit = false;
 
         // Hybrid always runs: it is the fallback and the warm start.
-        let hybrid_cfg = if use_exact {
+        let mut hybrid_cfg = if use_exact {
             HybridConfig::quick()
         } else {
             self.config.hybrid.clone()
         };
+        if hybrid_cfg.deadline.is_none() {
+            hybrid_cfg.deadline = self.config.deadline;
+        }
         let hybrid = HybridSolver::new(hybrid_cfg).solve(graph, cluster, &self.comm)?;
+        deadline_hit |= hybrid.deadline_hit;
 
         let mut best_plan = hybrid.plan;
         let mut best_makespan = hybrid.makespan_us;
@@ -116,13 +143,28 @@ impl PestoPlacer {
         let mut proven = false;
         let mut path = SolvePath::Hybrid;
 
+        // Under ~50 ms of remaining budget an exact solve cannot do useful
+        // work; keep the hybrid incumbent instead.
+        const MIN_EXACT_BUDGET: Duration = Duration::from_millis(50);
+        if use_exact {
+            if let Some(d) = self.config.deadline {
+                if remaining(d) < MIN_EXACT_BUDGET {
+                    use_exact = false;
+                    deadline_hit = true;
+                }
+            }
+        }
+
         if use_exact {
             let model = IlpModel::build(graph, cluster, &self.comm, &self.config.ilp)?;
             let warm = model.warm_start_from(&best_plan, &self.comm);
-            let milp_cfg = MilpConfig {
+            let mut milp_cfg = MilpConfig {
                 warm_start: warm,
                 ..self.config.ilp.milp.clone()
             };
+            if let Some(d) = self.config.deadline {
+                milp_cfg.time_limit = milp_cfg.time_limit.min(remaining(d));
+            }
             // On infeasibility (e.g. the balance rule admits no split) or
             // solver limits, keep the hybrid plan; the final memory verdict
             // below reports the honest failure cause if any.
@@ -131,6 +173,8 @@ impl PestoPlacer {
                 let simulated = sim.run(&outcome.plan)?.makespan_us;
                 cmax_model = Some(outcome.cmax_us);
                 proven = outcome.proven_optimal;
+                deadline_hit |= !outcome.proven_optimal
+                    && self.config.deadline.is_some_and(|d| remaining(d).is_zero());
                 // Keep whichever plan actually simulates faster (the
                 // model's free transfer ordering can differ from FCFS).
                 if simulated <= best_makespan {
@@ -153,6 +197,7 @@ impl PestoPlacer {
             cmax_model_us: cmax_model,
             proven_optimal: proven,
             path,
+            deadline_hit,
         })
     }
 }
@@ -196,6 +241,23 @@ mod tests {
         assert_eq!(out.path, SolvePath::Hybrid);
         assert!(out.cmax_model_us.is_none());
         assert!(out.makespan_us <= 260.0, "got {}", out.makespan_us);
+    }
+
+    #[test]
+    fn expired_deadline_skips_exact_and_reports_truncation() {
+        let mut g = OpGraph::new("small");
+        g.add_op("a", DeviceKind::Gpu, 100.0, 16);
+        g.add_op("b", DeviceKind::Gpu, 100.0, 16);
+        let g = g.freeze().unwrap();
+        let cluster = Cluster::two_gpus();
+        let cfg = PlacerConfig {
+            deadline: Some(Instant::now()),
+            ..PlacerConfig::default()
+        };
+        let out = PestoPlacer::with_config(comm(), cfg).place(&g, &cluster).unwrap();
+        assert_eq!(out.path, SolvePath::Hybrid, "exact must be skipped");
+        assert!(out.deadline_hit);
+        out.plan.validate(&g, &cluster).unwrap();
     }
 
     #[test]

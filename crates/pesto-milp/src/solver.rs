@@ -370,9 +370,17 @@ impl MilpProblem {
 
         match incumbent {
             Some((inc, values)) => {
-                let exhausted = heap.is_empty();
+                // Optimality needs a genuinely exhausted tree: an empty heap
+                // after a limits break (e.g. the root was popped and the
+                // deadline fired before its children were pushed) proves
+                // nothing, and without a processed root there is no bound to
+                // close a gap with — a warm-start incumbent under a ~zero
+                // deadline is Feasible, not Optimal.
+                let exhausted = heap.is_empty() && !limits_hit;
                 let bound = if exhausted || !saw_root { inc } else { best_bound };
-                let status = if exhausted || relative_gap(inc, bound) <= config.gap_tolerance {
+                let status = if exhausted
+                    || (saw_root && relative_gap(inc, bound) <= config.gap_tolerance)
+                {
                     MilpStatus::Optimal
                 } else {
                     MilpStatus::Feasible

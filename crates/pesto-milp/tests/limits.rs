@@ -91,6 +91,27 @@ fn warm_start_bound_prunes_search() {
 }
 
 #[test]
+fn warm_start_under_zero_deadline_returns_feasible_incumbent() {
+    // A deadline that has effectively already passed: the search may not
+    // claim NoSolutionFound (the warm start IS a solution) nor Optimal (it
+    // proved nothing). It must hand back the incumbent as Feasible.
+    let milp = hard_partition(16);
+    let exact = milp.solve(&MilpConfig::default()).unwrap();
+    let cfg = MilpConfig {
+        warm_start: Some(exact.values.clone()),
+        time_limit: Duration::ZERO,
+        gap_tolerance: 0.0,
+        ..MilpConfig::default()
+    };
+    let sol = milp
+        .solve(&cfg)
+        .expect("warm start must survive a zero deadline");
+    assert_eq!(sol.status, MilpStatus::Feasible);
+    assert!((sol.objective - exact.objective).abs() < 1e-6);
+    assert!(milp.is_integer_feasible(&sol.values, 1e-6));
+}
+
+#[test]
 fn infeasible_binary_program_diagnosed_quickly() {
     let mut lp = Problem::new(Sense::Minimize);
     let a = lp.add_var("a", 0.0, 1.0, 1.0);

@@ -1,6 +1,7 @@
 //! The event-driven simulation engine.
 
 use crate::error::SimError;
+use crate::faults::{FaultAttribution, FaultPlan};
 use crate::report::{OpSpan, SimReport, TransferSpan};
 use pesto_cost::CommModel;
 use pesto_graph::{Cluster, DeviceId, FrozenGraph, LinkId, OpId, Plan};
@@ -21,6 +22,7 @@ pub struct Simulator<'a> {
     seed: u64,
     check_memory: bool,
     infinite_links: bool,
+    faults: Option<FaultPlan>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -74,6 +76,7 @@ impl<'a> Simulator<'a> {
             seed: 0,
             check_memory: true,
             infinite_links: false,
+            faults: None,
         }
     }
 
@@ -103,6 +106,16 @@ impl<'a> Simulator<'a> {
         self
     }
 
+    /// Injects a deterministic [`FaultPlan`] into the run: stragglers and
+    /// jitter stretch op durations, degraded links and stall windows stretch
+    /// transfers, and outages kill devices mid-step. The resulting
+    /// [`SimReport::faults`] attributes the injected delay per fault class.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
     /// Simulates one training step.
     ///
     /// # Errors
@@ -111,7 +124,11 @@ impl<'a> Simulator<'a> {
     /// * [`SimError::OutOfMemory`] if any device's memory capacity is
     ///   exceeded (and checking is enabled);
     /// * [`SimError::Deadlock`] if an explicit schedule order makes some op
-    ///   permanently unready.
+    ///   permanently unready;
+    /// * [`SimError::DeviceLost`] if an injected outage kills a device
+    ///   before all of its ops finish;
+    /// * [`SimError::MissingLink`] if the plan needs a transfer between
+    ///   devices the cluster does not connect.
     pub fn run(&self, plan: &Plan) -> Result<SimReport, SimError> {
         plan.validate(self.graph, self.cluster)?;
         if self.check_memory {
@@ -154,6 +171,25 @@ impl<'a> Simulator<'a> {
             out_edges[u.index()].push(idx);
         }
 
+        // Fault state, all neutral when no plan is injected.
+        let faults = self.faults.as_ref().filter(|f| !f.is_empty());
+        let (jitter, slowdown, degradation, outage): (Vec<f64>, Vec<f64>, Vec<f64>, Vec<Option<f64>>) =
+            match faults {
+                Some(f) => (
+                    f.jitter_factors(n),
+                    (0..n_dev).map(|d| f.slowdown(DeviceId::from_index(d))).collect(),
+                    (0..n_link).map(|l| f.degradation(LinkId::from_index(l))).collect(),
+                    (0..n_dev).map(|d| f.outage_at(DeviceId::from_index(d))).collect(),
+                ),
+                None => (
+                    vec![1.0; n],
+                    vec![1.0; n_dev],
+                    vec![1.0; n_link],
+                    vec![None; n_dev],
+                ),
+            };
+        let mut attribution = FaultAttribution::default();
+
         let mut op_start = vec![f64::NAN; n];
         let mut op_spans: Vec<OpSpan> = Vec::with_capacity(n);
         let mut transfer_spans: Vec<TransferSpan> = Vec::new();
@@ -175,7 +211,8 @@ impl<'a> Simulator<'a> {
         macro_rules! try_dispatch {
             ($dev:expr, $now:expr) => {{
                 let d: usize = $dev;
-                if !device_busy[d] {
+                let dead = outage[d].is_some_and(|t| $now >= t);
+                if !device_busy[d] && !dead {
                     let next: Option<OpId> = match ordered {
                         Some(order) => {
                             let list = order.on_device(DeviceId::from_index(d));
@@ -202,7 +239,12 @@ impl<'a> Simulator<'a> {
                         debug_assert!(!started[op.index()]);
                         started[op.index()] = true;
                         device_busy[d] = true;
-                        let dur = self.graph.op(op).compute_us();
+                        let base = self.graph.op(op).compute_us();
+                        let s = slowdown[d];
+                        let j = jitter[op.index()];
+                        let dur = base * s * j;
+                        attribution.straggler_extra_us += base * j * (s - 1.0);
+                        attribution.jitter_extra_us += base * (j - 1.0);
                         op_start[op.index()] = $now;
                         device_busy_us[d] += dur;
                         seq += 1;
@@ -224,15 +266,22 @@ impl<'a> Simulator<'a> {
                     {
                         let (_, _, bytes) = edges[qt.edge];
                         let link_info = self.cluster.link(LinkId::from_index(l));
-                        let dur = self.comm.transfer_us(link_info.link_type(), bytes)
+                        let begin = match faults {
+                            Some(f) => f.stall_clear_time(LinkId::from_index(l), $now),
+                            None => $now,
+                        };
+                        attribution.stall_delay_us += begin - $now;
+                        let nominal = self.comm.transfer_us(link_info.link_type(), bytes)
                             / link_info.speed();
+                        let dur = nominal / degradation[l];
+                        attribution.degraded_transfer_extra_us += dur - nominal;
                         link_busy[l] = !self.infinite_links;
-                        transfer_start[qt.edge] = $now;
+                        transfer_start[qt.edge] = begin;
                         transfer_queued[qt.edge] = qt.queued_us;
                         link_busy_us[l] += dur;
                         seq += 1;
                         heap.push(Event {
-                            time: $now + dur,
+                            time: begin + dur,
                             seq,
                             kind: EventKind::TransferFinish {
                                 link: LinkId::from_index(l),
@@ -268,6 +317,15 @@ impl<'a> Simulator<'a> {
             match ev.kind {
                 EventKind::OpFinish { op } => {
                     let dev = plan.placement.device(op);
+                    if let Some(t) = outage[dev.index()] {
+                        if now > t {
+                            return Err(SimError::DeviceLost {
+                                device: dev,
+                                at_us: t,
+                                op,
+                            });
+                        }
+                    }
                     device_busy[dev.index()] = false;
                     completed += 1;
                     op_spans.push(OpSpan {
@@ -282,10 +340,9 @@ impl<'a> Simulator<'a> {
                         if vdev == dev {
                             arrive!(v, now);
                         } else {
-                            let link = self
-                                .cluster
-                                .link_between(dev, vdev)
-                                .expect("fully connected cluster");
+                            let Some(link) = self.cluster.link_between(dev, vdev) else {
+                                return Err(SimError::MissingLink { src: dev, dst: vdev });
+                            };
                             link_queue[link.index()].push_back(QueuedTransfer {
                                 edge: edge_idx,
                                 queued_us: now,
@@ -314,9 +371,28 @@ impl<'a> Simulator<'a> {
         }
 
         if completed < n {
-            let blocked = (0..n)
-                .find(|&i| !started[i])
-                .map(OpId::from_index)
+            // An injected outage that stranded unstarted ops is a device
+            // loss, not a scheduling deadlock.
+            for (i, _) in started.iter().enumerate().filter(|&(_, &s)| !s) {
+                let dev = plan.placement.device(OpId::from_index(i));
+                if let Some(t) = outage[dev.index()] {
+                    return Err(SimError::DeviceLost {
+                        device: dev,
+                        at_us: t,
+                        op: OpId::from_index(i),
+                    });
+                }
+            }
+            // With an explicit order, the root cause is the op wedged at the
+            // head of some device queue: scheduled next but never ready.
+            let blocked = ordered
+                .and_then(|order| {
+                    (0..n_dev).find_map(|d| {
+                        let list = order.on_device(DeviceId::from_index(d));
+                        list.get(order_ptr[d]).copied().filter(|op| !started[op.index()])
+                    })
+                })
+                .or_else(|| (0..n).find(|&i| !started[i]).map(OpId::from_index))
                 .expect("unfinished implies an unstarted op");
             return Err(SimError::Deadlock(blocked));
         }
@@ -327,6 +403,7 @@ impl<'a> Simulator<'a> {
             transfer_spans,
             device_busy_us,
             link_busy_us,
+            faults: attribution,
         })
     }
 }
@@ -537,6 +614,150 @@ mod tests {
             .run(&Plan::placement_only(p))
             .unwrap();
         assert!(r.makespan_us > 2.0, "latency beta0 must apply");
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical_to_clean_run() {
+        let g = chain3();
+        let cluster = Cluster::two_gpus();
+        let plan = Plan::placement_only(Placement::affinity_default(&g, &cluster));
+        let clean = Simulator::new(&g, &cluster, comm()).run(&plan).unwrap();
+        let faulted = Simulator::new(&g, &cluster, comm())
+            .with_faults(FaultPlan::new(1))
+            .run(&plan)
+            .unwrap();
+        assert_eq!(clean, faulted);
+        assert_eq!(faulted.faults, FaultAttribution::default());
+    }
+
+    #[test]
+    fn straggler_on_critical_device_hurts_but_idle_device_does_not() {
+        let g = chain3();
+        let cluster = Cluster::two_gpus();
+        // Whole chain on gpu0; gpu1 is idle.
+        let plan = Plan::placement_only(Placement::affinity_default(&g, &cluster));
+        let clean = Simulator::new(&g, &cluster, comm()).run(&plan).unwrap();
+
+        let slow_critical = Simulator::new(&g, &cluster, comm())
+            .with_faults(FaultPlan::new(0).with_straggler(cluster.gpu(0), 2.0))
+            .run(&plan)
+            .unwrap();
+        assert!(
+            slow_critical.makespan_us > clean.makespan_us,
+            "straggler on the critical-path device must increase makespan"
+        );
+        assert!((slow_critical.makespan_us - 2.0 * clean.makespan_us).abs() < 1e-9);
+        assert!((slow_critical.faults.straggler_extra_us - clean.makespan_us).abs() < 1e-9);
+
+        let slow_idle = Simulator::new(&g, &cluster, comm())
+            .with_faults(FaultPlan::new(0).with_straggler(cluster.gpu(1), 4.0))
+            .run(&plan)
+            .unwrap();
+        assert!(
+            (slow_idle.makespan_us - clean.makespan_us).abs() < 1e-12,
+            "a fault on an idle device must not change the makespan"
+        );
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic_per_seed() {
+        let g = chain3();
+        let cluster = Cluster::two_gpus();
+        let plan = Plan::placement_only(Placement::affinity_default(&g, &cluster));
+        let run = |seed| {
+            Simulator::new(&g, &cluster, comm())
+                .with_faults(FaultPlan::new(seed).with_compute_jitter(0.3))
+                .run(&plan)
+                .unwrap()
+        };
+        assert_eq!(run(11), run(11));
+        assert!((run(11).makespan_us - run(12).makespan_us).abs() > 1e-9);
+    }
+
+    #[test]
+    fn link_stall_delays_transfer_and_is_attributed() {
+        let g = chain3();
+        let cluster = Cluster::two_gpus();
+        let mut p = Placement::affinity_default(&g, &cluster);
+        p.set_device(OpId::from_index(2), cluster.gpu(1));
+        let plan = Plan::placement_only(p);
+        let link = cluster.link_between(cluster.gpu(0), cluster.gpu(1)).unwrap();
+        let clean = Simulator::new(&g, &cluster, comm()).run(&plan).unwrap();
+        // b finishes at 20; stall the link over [10, 60).
+        let stalled = Simulator::new(&g, &cluster, comm())
+            .with_faults(FaultPlan::new(0).with_link_stall(link, 10.0, 50.0))
+            .run(&plan)
+            .unwrap();
+        assert!((stalled.faults.stall_delay_us - 40.0).abs() < 1e-9);
+        assert!((stalled.makespan_us - (clean.makespan_us + 40.0)).abs() < 1e-6);
+        assert!((stalled.transfer_spans[0].start_us - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn link_degradation_stretches_transfers() {
+        let g = chain3();
+        let cluster = Cluster::two_gpus();
+        let mut p = Placement::affinity_default(&g, &cluster);
+        p.set_device(OpId::from_index(2), cluster.gpu(1));
+        let plan = Plan::placement_only(p);
+        let link = cluster.link_between(cluster.gpu(0), cluster.gpu(1)).unwrap();
+        let clean = Simulator::new(&g, &cluster, comm()).run(&plan).unwrap();
+        let degraded = Simulator::new(&g, &cluster, comm())
+            .with_faults(FaultPlan::new(0).with_link_degradation(link, 0.5))
+            .run(&plan)
+            .unwrap();
+        let t = comm().transfer_us(pesto_graph::LinkType::GpuToGpu, 1 << 20);
+        assert!((degraded.makespan_us - (clean.makespan_us + t)).abs() < 1e-6);
+        assert!((degraded.faults.degraded_transfer_extra_us - t).abs() < 1e-6);
+    }
+
+    #[test]
+    fn outage_kills_in_flight_op() {
+        let g = chain3();
+        let cluster = Cluster::two_gpus();
+        let plan = Plan::placement_only(Placement::affinity_default(&g, &cluster));
+        // Chain runs [0,30] on gpu0; kill it at 15 (mid op b).
+        let err = Simulator::new(&g, &cluster, comm())
+            .with_faults(FaultPlan::new(0).with_outage(cluster.gpu(0), 15.0))
+            .run(&plan)
+            .unwrap_err();
+        match err {
+            SimError::DeviceLost { device, at_us, .. } => {
+                assert_eq!(device, cluster.gpu(0));
+                assert!((at_us - 15.0).abs() < 1e-12);
+            }
+            other => panic!("expected DeviceLost, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn outage_before_start_strands_unstarted_ops() {
+        let g = chain3();
+        let cluster = Cluster::two_gpus();
+        let plan = Plan::placement_only(Placement::affinity_default(&g, &cluster));
+        let err = Simulator::new(&g, &cluster, comm())
+            .with_faults(FaultPlan::new(0).with_outage(cluster.gpu(0), 0.0))
+            .run(&plan)
+            .unwrap_err();
+        assert!(matches!(err, SimError::DeviceLost { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn deadlock_names_the_wedged_head_of_queue() {
+        // b depends on a but is scheduled first: b is the genuinely blocked
+        // op (at the head of gpu0's queue, never ready).
+        let mut g = OpGraph::new("dead2");
+        let a = g.add_op("a", DeviceKind::Gpu, 1.0, 0);
+        let b = g.add_op("b", DeviceKind::Gpu, 1.0, 0);
+        g.add_edge(a, b, 1).unwrap();
+        let g = g.freeze().unwrap();
+        let cluster = Cluster::two_gpus();
+        let placement = Placement::affinity_default(&g, &cluster);
+        let order = ScheduleOrder::from_vecs(vec![vec![], vec![b, a], vec![]]);
+        let err = Simulator::new(&g, &cluster, comm())
+            .run(&Plan::with_order(placement, order))
+            .unwrap_err();
+        assert_eq!(err, SimError::Deadlock(b));
     }
 
     #[test]

@@ -17,6 +17,24 @@ pub enum SimError {
     /// happens when an explicit schedule order contradicts the DAG's
     /// precedence across devices; one blocked op is reported.
     Deadlock(OpId),
+    /// An injected outage killed a device before all of its ops finished
+    /// (see [`FaultPlan::with_outage`](crate::FaultPlan::with_outage)).
+    DeviceLost {
+        /// The failed device.
+        device: DeviceId,
+        /// When it failed, µs of simulated time.
+        at_us: f64,
+        /// One operation lost to the failure.
+        op: OpId,
+    },
+    /// The plan routes a transfer between two devices the cluster does not
+    /// connect (possible with hand-built or deserialized clusters).
+    MissingLink {
+        /// Producing device.
+        src: DeviceId,
+        /// Consuming device.
+        dst: DeviceId,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -31,6 +49,12 @@ impl fmt::Display for SimError {
                 Ok(())
             }
             SimError::Deadlock(op) => write!(f, "schedule deadlock; {op} can never start"),
+            SimError::DeviceLost { device, at_us, op } => {
+                write!(f, "device {device} lost at {at_us:.1} us; {op} cannot complete")
+            }
+            SimError::MissingLink { src, dst } => {
+                write!(f, "cluster has no link {src} -> {dst} for a required transfer")
+            }
         }
     }
 }
@@ -60,6 +84,17 @@ mod tests {
         assert_eq!(e.to_string(), "out of memory on 2 device(s): dev1 dev2");
         let d = SimError::Deadlock(OpId::from_index(3));
         assert!(d.to_string().contains("op3"));
+        let l = SimError::DeviceLost {
+            device: DeviceId::from_index(2),
+            at_us: 15.0,
+            op: OpId::from_index(4),
+        };
+        assert!(l.to_string().contains("dev2") && l.to_string().contains("op4"));
+        let m = SimError::MissingLink {
+            src: DeviceId::from_index(1),
+            dst: DeviceId::from_index(2),
+        };
+        assert!(m.to_string().contains("dev1 -> dev2"));
     }
 
     #[test]

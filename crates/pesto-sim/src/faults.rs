@@ -1,0 +1,327 @@
+//! Deterministic fault injection for the discrete-event simulator.
+//!
+//! The paper validates its event model only under *clean* conditions; real
+//! clusters have stragglers, contended links, and failed devices. A
+//! [`FaultPlan`] describes one concrete perturbed world — per-device
+//! straggler slowdowns, multiplicative per-op compute jitter, per-link
+//! bandwidth degradation, transient link stall windows, and whole-device
+//! outages — and is applied by [`Simulator::with_faults`]. Everything is
+//! derived from an explicit seed, so the same plan replayed under the same
+//! `FaultPlan` produces bit-identical reports.
+//!
+//! [`PerturbationSpec`] is the Monte-Carlo counterpart: a distribution over
+//! fault plans from which robustness sweeps draw N seeded samples.
+//!
+//! [`Simulator::with_faults`]: crate::Simulator::with_faults
+
+use pesto_graph::{Cluster, DeviceId, LinkId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A transient stall window on one directed link: transfers that would start
+/// inside `[start_us, start_us + duration_us)` are held until the window
+/// clears (modeling a contended or flapping interconnect).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkStall {
+    /// The stalled link.
+    pub link: LinkId,
+    /// Window start, µs of simulated time.
+    pub start_us: f64,
+    /// Window length, µs.
+    pub duration_us: f64,
+}
+
+/// A deterministic, seeded set of faults to inject into one simulation run.
+///
+/// Build one with [`FaultPlan::new`] and the `with_*` builders. An empty
+/// plan (no faults, zero jitter) leaves the simulation bit-identical to a
+/// clean run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    jitter_sigma: f64,
+    device_slowdown: Vec<(DeviceId, f64)>,
+    link_degradation: Vec<(LinkId, f64)>,
+    stalls: Vec<LinkStall>,
+    outages: Vec<(DeviceId, f64)>,
+}
+
+impl FaultPlan {
+    /// A fault plan with no faults; `seed` drives the per-op jitter draw if
+    /// [`with_compute_jitter`](Self::with_compute_jitter) is enabled later.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Marks `device` as a straggler: every op on it takes `factor`× its
+    /// profiled time. Factors compound if a device is named twice.
+    #[must_use]
+    pub fn with_straggler(mut self, device: DeviceId, factor: f64) -> Self {
+        assert!(factor.is_finite() && factor > 0.0, "slowdown factor must be positive");
+        self.device_slowdown.push((device, factor));
+        self
+    }
+
+    /// Enables multiplicative lognormal compute jitter: each op's duration
+    /// is scaled by `exp(sigma · z)` with `z ~ N(0, 1)` drawn once per op
+    /// from the plan's seed.
+    #[must_use]
+    pub fn with_compute_jitter(mut self, sigma: f64) -> Self {
+        assert!(sigma.is_finite() && sigma >= 0.0, "jitter sigma must be non-negative");
+        self.jitter_sigma = sigma;
+        self
+    }
+
+    /// Degrades `link` to `factor` of its bandwidth (`0 < factor <= 1`);
+    /// transfer times divide by `factor`. Factors compound.
+    #[must_use]
+    pub fn with_link_degradation(mut self, link: LinkId, factor: f64) -> Self {
+        assert!(factor > 0.0 && factor <= 1.0, "bandwidth factor must be in (0, 1]");
+        self.link_degradation.push((link, factor));
+        self
+    }
+
+    /// Adds a transient stall window on `link` (see [`LinkStall`]).
+    #[must_use]
+    pub fn with_link_stall(mut self, link: LinkId, start_us: f64, duration_us: f64) -> Self {
+        assert!(duration_us >= 0.0, "stall duration must be non-negative");
+        self.stalls.push(LinkStall {
+            link,
+            start_us,
+            duration_us,
+        });
+        self
+    }
+
+    /// Fails `device` at `at_us`: ops that have not finished by then are
+    /// lost and the simulation reports [`SimError::DeviceLost`].
+    ///
+    /// [`SimError::DeviceLost`]: crate::SimError::DeviceLost
+    #[must_use]
+    pub fn with_outage(mut self, device: DeviceId, at_us: f64) -> Self {
+        assert!(at_us >= 0.0, "outage time must be non-negative");
+        self.outages.push((device, at_us));
+        self
+    }
+
+    /// The seed driving the jitter draw.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// True when the plan injects nothing (clean run).
+    pub fn is_empty(&self) -> bool {
+        self.jitter_sigma == 0.0
+            && self.device_slowdown.is_empty()
+            && self.link_degradation.is_empty()
+            && self.stalls.is_empty()
+            && self.outages.is_empty()
+    }
+
+    /// Combined slowdown factor for `device` (1.0 when healthy).
+    pub fn slowdown(&self, device: DeviceId) -> f64 {
+        self.device_slowdown
+            .iter()
+            .filter(|(d, _)| *d == device)
+            .map(|(_, f)| *f)
+            .product()
+    }
+
+    /// Combined remaining-bandwidth factor for `link` (1.0 when healthy).
+    pub fn degradation(&self, link: LinkId) -> f64 {
+        self.link_degradation
+            .iter()
+            .filter(|(l, _)| *l == link)
+            .map(|(_, f)| *f)
+            .product()
+    }
+
+    /// Earliest configured outage time for `device`, if any.
+    pub fn outage_at(&self, device: DeviceId) -> Option<f64> {
+        self.outages
+            .iter()
+            .filter(|(d, _)| *d == device)
+            .map(|(_, t)| *t)
+            .min_by(f64::total_cmp)
+    }
+
+    /// Earliest time `>= t` at which `link` is outside every stall window.
+    /// Iterates to a fixed point so overlapping/adjacent windows chain.
+    pub fn stall_clear_time(&self, link: LinkId, t: f64) -> f64 {
+        let mut cleared = t;
+        loop {
+            let mut moved = false;
+            for s in self.stalls.iter().filter(|s| s.link == link) {
+                let end = s.start_us + s.duration_us;
+                if cleared >= s.start_us && cleared < end {
+                    cleared = end;
+                    moved = true;
+                }
+            }
+            if !moved {
+                return cleared;
+            }
+        }
+    }
+
+    /// Per-op multiplicative jitter factors, deterministic in the seed.
+    /// All 1.0 when jitter is disabled.
+    pub fn jitter_factors(&self, op_count: usize) -> Vec<f64> {
+        if self.jitter_sigma == 0.0 {
+            return vec![1.0; op_count];
+        }
+        // Box-Muller from a seeded uniform stream; `rand_distr` is not a
+        // dependency, and two uniforms per normal is plenty here.
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x5157_a119_d3c5_0b7b);
+        (0..op_count)
+            .map(|_| {
+                let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                (self.jitter_sigma * z).exp()
+            })
+            .collect()
+    }
+}
+
+/// A distribution over [`FaultPlan`]s for Monte-Carlo robustness sweeps.
+///
+/// [`draw`](Self::draw) maps `(cluster, seed)` to a concrete plan; sweeps
+/// call it with consecutive seeds so the whole experiment is reproducible.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerturbationSpec {
+    /// Probability each GPU is a straggler in a draw.
+    pub straggler_prob: f64,
+    /// Straggler slowdown factor range `[lo, hi]`, each `>= 1`.
+    pub straggler_factor: (f64, f64),
+    /// Lognormal sigma of per-op compute jitter (0 disables).
+    pub jitter_sigma: f64,
+    /// Probability each link is degraded in a draw.
+    pub link_degradation_prob: f64,
+    /// Remaining-bandwidth factor range `(0, 1]` for degraded links.
+    pub link_bandwidth_factor: (f64, f64),
+}
+
+impl Default for PerturbationSpec {
+    fn default() -> Self {
+        PerturbationSpec {
+            straggler_prob: 0.25,
+            straggler_factor: (1.1, 1.75),
+            jitter_sigma: 0.05,
+            link_degradation_prob: 0.15,
+            link_bandwidth_factor: (0.4, 0.9),
+        }
+    }
+}
+
+impl PerturbationSpec {
+    /// Draws one concrete fault plan for `cluster`, deterministic in `seed`.
+    pub fn draw(&self, cluster: &Cluster, seed: u64) -> FaultPlan {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let mut plan = FaultPlan::new(seed).with_compute_jitter(self.jitter_sigma);
+        for gpu in cluster.gpus() {
+            if rng.gen_bool(self.straggler_prob.clamp(0.0, 1.0)) {
+                let (lo, hi) = self.straggler_factor;
+                let f = if hi > lo { rng.gen_range(lo..hi) } else { lo };
+                plan = plan.with_straggler(gpu, f);
+            }
+        }
+        for link in 0..cluster.link_count() {
+            if rng.gen_bool(self.link_degradation_prob.clamp(0.0, 1.0)) {
+                let (lo, hi) = self.link_bandwidth_factor;
+                let f = if hi > lo { rng.gen_range(lo..hi) } else { lo };
+                plan = plan.with_link_degradation(LinkId::from_index(link), f);
+            }
+        }
+        plan
+    }
+}
+
+/// Per-fault attribution accumulated by a simulation run: where the extra
+/// time (relative to a clean run of the same plan) was spent.
+///
+/// All fields are zero for a clean run. `jitter_extra_us` can be negative —
+/// lognormal jitter sometimes speeds an op up.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct FaultAttribution {
+    /// Extra op-compute time from per-device straggler slowdowns, µs.
+    pub straggler_extra_us: f64,
+    /// Net op-compute time from multiplicative jitter, µs (may be < 0).
+    pub jitter_extra_us: f64,
+    /// Transfer-start delay from link stall windows, µs.
+    pub stall_delay_us: f64,
+    /// Extra transfer time from bandwidth degradation, µs.
+    pub degraded_transfer_extra_us: f64,
+}
+
+impl FaultAttribution {
+    /// Total injected delay (stragglers + jitter + stalls + degradation), µs.
+    pub fn total_extra_us(&self) -> f64 {
+        self.straggler_extra_us
+            + self.jitter_extra_us
+            + self.stall_delay_us
+            + self.degraded_transfer_extra_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_empty_and_neutral() {
+        let p = FaultPlan::new(3);
+        assert!(p.is_empty());
+        assert_eq!(p.slowdown(DeviceId::from_index(1)), 1.0);
+        assert_eq!(p.degradation(LinkId::from_index(0)), 1.0);
+        assert_eq!(p.outage_at(DeviceId::from_index(1)), None);
+        assert_eq!(p.jitter_factors(4), vec![1.0; 4]);
+    }
+
+    #[test]
+    fn factors_compound_and_outage_takes_earliest() {
+        let d = DeviceId::from_index(1);
+        let p = FaultPlan::new(0)
+            .with_straggler(d, 2.0)
+            .with_straggler(d, 1.5)
+            .with_outage(d, 50.0)
+            .with_outage(d, 20.0);
+        assert!((p.slowdown(d) - 3.0).abs() < 1e-12);
+        assert_eq!(p.outage_at(d), Some(20.0));
+    }
+
+    #[test]
+    fn stall_windows_chain_to_a_fixed_point() {
+        let l = LinkId::from_index(0);
+        let p = FaultPlan::new(0)
+            .with_link_stall(l, 10.0, 5.0)
+            .with_link_stall(l, 15.0, 5.0);
+        assert_eq!(p.stall_clear_time(l, 0.0), 0.0);
+        assert_eq!(p.stall_clear_time(l, 12.0), 20.0);
+        assert_eq!(p.stall_clear_time(l, 20.0), 20.0);
+        // Other links are unaffected.
+        assert_eq!(p.stall_clear_time(LinkId::from_index(1), 12.0), 12.0);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed_and_positive() {
+        let a = FaultPlan::new(9).with_compute_jitter(0.2).jitter_factors(64);
+        let b = FaultPlan::new(9).with_compute_jitter(0.2).jitter_factors(64);
+        let c = FaultPlan::new(10).with_compute_jitter(0.2).jitter_factors(64);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.iter().all(|&f| f > 0.0 && f.is_finite()));
+    }
+
+    #[test]
+    fn perturbation_draws_are_deterministic() {
+        let cluster = Cluster::two_gpus();
+        let spec = PerturbationSpec::default();
+        assert_eq!(spec.draw(&cluster, 5), spec.draw(&cluster, 5));
+        assert_ne!(spec.draw(&cluster, 5), spec.draw(&cluster, 6));
+    }
+}

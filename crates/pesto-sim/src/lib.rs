@@ -24,6 +24,12 @@
 //! per-device order (Pesto's control dependencies, §4) or, when absent,
 //! TensorFlow's default of dispatching a uniformly random ready op (§2.1).
 //!
+//! Beyond the paper's clean-conditions model, [`Simulator::with_faults`]
+//! injects a deterministic [`FaultPlan`] — straggler devices, per-op compute
+//! jitter, degraded links, transient stall windows, and device outages — so
+//! robustness sweeps can ask "how fragile is this schedule?" (see the
+//! [`faults`](FaultPlan) module types).
+//!
 //! # Example
 //!
 //! ```
@@ -50,8 +56,10 @@
 
 mod engine;
 mod error;
+mod faults;
 mod report;
 
 pub use engine::Simulator;
 pub use error::SimError;
+pub use faults::{FaultAttribution, FaultPlan, LinkStall, PerturbationSpec};
 pub use report::{MemoryProfile, OpSpan, SimReport, TransferSpan};

@@ -1,5 +1,6 @@
 //! Simulation output: spans, utilization, and a text timeline (Figure 5).
 
+use crate::faults::FaultAttribution;
 use pesto_graph::{Cluster, DeviceId, LinkId, OpId};
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
@@ -58,6 +59,9 @@ pub struct SimReport {
     pub device_busy_us: Vec<f64>,
     /// Busy time per link, indexed by [`LinkId::index`].
     pub link_busy_us: Vec<f64>,
+    /// Injected-fault attribution; all zeros for a clean run.
+    #[serde(default)]
+    pub faults: FaultAttribution,
 }
 
 /// Temporal peak-memory profile of an executed step (the paper's §3.2.2
@@ -378,6 +382,7 @@ mod tests {
             }],
             device_busy_us: vec![0.0, 40.0, 40.0],
             link_busy_us: vec![0.0, 0.0, 0.0, 0.0, 15.0, 0.0],
+            faults: FaultAttribution::default(),
         }
     }
 
@@ -435,6 +440,7 @@ mod tests {
             transfer_spans: vec![],
             device_busy_us: vec![0.0, 30.0, 0.0],
             link_busy_us: vec![0.0; 6],
+            faults: FaultAttribution::default(),
         };
         let profile = report.peak_memory(&g, &placement, cluster.device_count());
         // Peak: during b, a's 1 MiB + b's 0.5 MiB are both live.
@@ -484,6 +490,7 @@ mod tests {
             transfer_spans: vec![],
             device_busy_us: vec![0.0; 3],
             link_busy_us: vec![0.0; 6],
+            faults: FaultAttribution::default(),
         };
         assert_eq!(r.device_utilization(DeviceId::from_index(0)), 0.0);
     }

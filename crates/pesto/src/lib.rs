@@ -18,6 +18,14 @@
 //! for the full system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured results.
 //!
+//! Beyond the paper's clean-conditions pipeline, a robustness layer asks
+//! how plans behave when the cluster misbehaves: [`evaluate_robustness`]
+//! replays a plan under deterministic fault draws (stragglers, jitter,
+//! degraded links), [`repair_after_outage`] re-places stranded ops after
+//! a GPU dies, and [`PestoConfig::time_budget`] turns the solver stack
+//! into a deadline-aware degradation ladder (recorded in
+//! [`PestoOutcome::degradation`]).
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -47,9 +55,13 @@
 
 mod eval;
 mod pipeline;
+mod robust;
 
 pub use eval::{evaluate_plan, evaluate_plan_avg, StepOutcome};
-pub use pipeline::{Pesto, PestoConfig, PestoError, PestoOutcome};
+pub use pipeline::{DegradationReason, Pesto, PestoConfig, PestoError, PestoOutcome};
+pub use robust::{
+    evaluate_robustness, repair_after_outage, RepairOutcome, RobustnessConfig, RobustnessReport,
+};
 
 /// Re-export: operation DAGs, clusters, and plans.
 pub mod graph {

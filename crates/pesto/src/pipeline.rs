@@ -34,6 +34,13 @@ pub struct PestoConfig {
     /// set (7)). Setting `false` reproduces the Figure 5 ablation: the
     /// optimizer believes transfers never queue.
     pub congestion_aware: bool,
+    /// Wall-clock budget for the whole pipeline. When set, placement
+    /// becomes a deadline-aware fallback chain — exact ILP → hybrid
+    /// annealing (cooperative deadline between iterations) → constructive
+    /// mSCT → single-device — and the chosen rung is recorded in
+    /// [`PestoOutcome::degradation`] instead of erroring out. `None` (the
+    /// default) means run to completion.
+    pub time_budget: Option<Duration>,
 }
 
 impl Default for PestoConfig {
@@ -46,6 +53,7 @@ impl Default for PestoConfig {
             seed: 0xbe57,
             refinement_passes: 2,
             congestion_aware: true,
+            time_budget: None,
         }
     }
 }
@@ -76,6 +84,11 @@ pub enum PestoError {
     Solve(IlpError),
     /// Final simulation failure.
     Sim(SimError),
+    /// The cluster has no GPU devices; Pesto places GPU operations.
+    NoGpus,
+    /// Post-outage plan repair failed (e.g. the failed device was not a
+    /// GPU of the cluster).
+    Repair(String),
 }
 
 impl fmt::Display for PestoError {
@@ -84,6 +97,10 @@ impl fmt::Display for PestoError {
             PestoError::Graph(e) => write!(f, "graph error: {e}"),
             PestoError::Solve(e) => write!(f, "solver error: {e}"),
             PestoError::Sim(e) => write!(f, "simulation error: {e}"),
+            PestoError::NoGpus => {
+                write!(f, "cluster has no GPUs; Pesto needs at least one GPU device")
+            }
+            PestoError::Repair(msg) => write!(f, "plan repair failed: {msg}"),
         }
     }
 }
@@ -94,6 +111,7 @@ impl Error for PestoError {
             PestoError::Graph(e) => Some(e),
             PestoError::Solve(e) => Some(e),
             PestoError::Sim(e) => Some(e),
+            PestoError::NoGpus | PestoError::Repair(_) => None,
         }
     }
 }
@@ -111,6 +129,48 @@ impl From<IlpError> for PestoError {
 impl From<SimError> for PestoError {
     fn from(e: SimError) -> Self {
         PestoError::Sim(e)
+    }
+}
+
+/// Why the pipeline degraded from its preferred solve path. Recorded in
+/// [`PestoOutcome::degradation`] instead of surfacing as an error: under a
+/// [`PestoConfig::time_budget`] a worse-but-valid plan beats no plan.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DegradationReason {
+    /// The deadline fired mid-search: the hybrid annealer returned its
+    /// incumbent early, the exact ILP was skipped or cut short, or the
+    /// group-flip refinement was abandoned partway.
+    DeadlineDuringSearch,
+    /// Too little budget remained after profiling and coarsening to start
+    /// the search at all; a constructive mSCT placement was used.
+    BudgetTooSmallForSearch,
+    /// The budget was already spent before placement began; every op was
+    /// kept on a single device.
+    BudgetExhausted,
+    /// The solver failed outright (carries its error message); a
+    /// constructive mSCT placement was used instead. Out-of-memory
+    /// verdicts are *not* masked this way — they still surface as errors,
+    /// because no placement rung can fix an infeasible memory footprint.
+    SolverFailed(String),
+}
+
+impl fmt::Display for DegradationReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DegradationReason::DeadlineDuringSearch => {
+                write!(f, "deadline fired during search; kept the incumbent")
+            }
+            DegradationReason::BudgetTooSmallForSearch => {
+                write!(f, "budget too small for search; used constructive mSCT")
+            }
+            DegradationReason::BudgetExhausted => {
+                write!(f, "budget exhausted before placement; used a single device")
+            }
+            DegradationReason::SolverFailed(msg) => {
+                write!(f, "solver failed ({msg}); used constructive mSCT")
+            }
+        }
     }
 }
 
@@ -134,12 +194,18 @@ pub struct PestoOutcome {
     /// Whether explicit Pesto scheduling was kept (vs framework-default
     /// fallback for very coarse merges).
     pub explicit_schedule: bool,
+    /// Why (if at all) the pipeline fell back from its preferred path.
+    /// `None` means the full search ran to completion.
+    pub degradation: Option<DegradationReason>,
 }
 
 /// Hill climbing on the fine graph at merged-group granularity: for each
 /// coarse vertex, try moving all its members to each other GPU and keep
 /// the first improvement of the fine ETF-scheduled makespan (with a memory
 /// penalty mirroring the hybrid solver's).
+///
+/// Returns the refined placement and whether `deadline` cut the climb
+/// short (the incumbent placement is still valid in that case).
 #[allow(clippy::too_many_arguments)]
 fn refine_by_group_flips(
     estimated: &FrozenGraph,
@@ -149,9 +215,14 @@ fn refine_by_group_flips(
     mut placement: pesto_graph::Placement,
     sim: &Simulator<'_>,
     passes: usize,
-) -> Result<pesto_graph::Placement, PestoError> {
+    deadline: Option<Instant>,
+) -> Result<(pesto_graph::Placement, bool), PestoError> {
+    let expired = || deadline.is_some_and(|d| Instant::now() >= d);
     if passes == 0 || cluster.gpu_count() < 2 {
-        return Ok(placement);
+        return Ok((placement, false));
+    }
+    if expired() {
+        return Ok((placement, true));
     }
     let cost_of = |p: pesto_graph::Placement| -> Result<(f64, pesto_graph::Placement), PestoError> {
         let sched = pesto_ilp::etf_schedule(estimated, cluster, comm, p, sim)
@@ -182,6 +253,9 @@ fn refine_by_group_flips(
     for _ in 0..passes {
         let mut improved = false;
         for &cv in &groups {
+            if expired() {
+                return Ok((placement, true));
+            }
             let members = coarsening.members(cv);
             let current = placement.device(members[0]);
             for gpu in cluster.gpus() {
@@ -205,7 +279,7 @@ fn refine_by_group_flips(
             break;
         }
     }
-    Ok(placement)
+    Ok((placement, false))
 }
 
 /// The Pesto pipeline.
@@ -237,15 +311,62 @@ impl Pesto {
         &self.comm
     }
 
+    /// Builds a degraded-but-valid outcome for the lower rungs of the
+    /// fallback ladder: a constructive mSCT plan, or (last resort) every
+    /// op on a single device. Honestly simulated on the true op times.
+    fn degraded_outcome(
+        &self,
+        graph: &FrozenGraph,
+        estimated: &FrozenGraph,
+        cluster: &Cluster,
+        start: Instant,
+        path: SolvePath,
+        reason: DegradationReason,
+    ) -> Result<PestoOutcome, PestoError> {
+        let plan = match path {
+            SolvePath::SingleDevice => Plan::placement_only(
+                pesto_graph::Placement::affinity_default(graph, cluster),
+            ),
+            _ => pesto_baselines::m_sct(estimated, cluster, &self.comm),
+        };
+        let placement_time = start.elapsed();
+        let explicit_schedule = plan.order.is_some();
+        let report = Simulator::new(graph, cluster, self.comm)
+            .with_seed(self.config.seed)
+            .run(&plan)?;
+        Ok(PestoOutcome {
+            plan,
+            makespan_us: report.makespan_us,
+            placement_time,
+            coarse_op_count: graph.op_count(),
+            max_member_count: 1,
+            path,
+            explicit_schedule,
+            degradation: Some(reason),
+        })
+    }
+
     /// Runs the full pipeline on `graph` (whose op times act as ground
     /// truth) and returns the plan plus its simulated per-step time.
     ///
+    /// With a [`PestoConfig::time_budget`] set, the pipeline degrades
+    /// instead of overrunning: the search gets ~80% of the budget as a
+    /// cooperative deadline, and when even that is gone it falls back to a
+    /// constructive mSCT placement or, past the budget entirely, to a
+    /// single device. The rung taken is recorded in
+    /// [`PestoOutcome::degradation`].
+    ///
     /// # Errors
     ///
-    /// Propagates solver errors — notably an out-of-memory verdict when no
-    /// memory-feasible placement exists — and simulation failures.
+    /// * [`PestoError::NoGpus`] if the cluster has no GPU devices;
+    /// * solver errors — notably an out-of-memory verdict when no
+    ///   memory-feasible placement exists — and simulation failures.
     pub fn place(&self, graph: &FrozenGraph, cluster: &Cluster) -> Result<PestoOutcome, PestoError> {
         let start = Instant::now();
+        if cluster.gpu_count() == 0 {
+            return Err(PestoError::NoGpus);
+        }
+        let deadline = self.config.time_budget.map(|b| start + b);
 
         // 1. Profile: placement decisions use *estimated* times (§3.1).
         let estimated = match self.config.profiler_iterations {
@@ -276,6 +397,34 @@ impl Pesto {
         };
         let coarsening = coarsen(&estimated, &coarsen_config);
         let coarse = coarsening.coarse();
+
+        // Degradation ladder, lower rungs: if profiling + coarsening ate
+        // the whole budget there is no time to search. With under an
+        // eighth of the budget left, a constructive mSCT placement is the
+        // best we can justify; with nothing left, a single device is.
+        if let Some(budget) = self.config.time_budget {
+            let elapsed = start.elapsed();
+            if elapsed >= budget {
+                return self.degraded_outcome(
+                    graph,
+                    &estimated,
+                    cluster,
+                    start,
+                    SolvePath::SingleDevice,
+                    DegradationReason::BudgetExhausted,
+                );
+            }
+            if budget - elapsed < budget.mul_f64(0.125) {
+                return self.degraded_outcome(
+                    graph,
+                    &estimated,
+                    cluster,
+                    start,
+                    SolvePath::Constructive,
+                    DegradationReason::BudgetTooSmallForSearch,
+                );
+            }
+        }
 
         // 3. Solve placement + scheduling on the coarse graph (§3.2). The
         //    hybrid search is seeded with constructive placements (the
@@ -309,8 +458,31 @@ impl Pesto {
             pesto_baselines::m_sct(coarse, cluster, &self.comm).placement,
             pesto_baselines::m_etf(coarse, cluster, &self.comm).placement,
         ]);
+        // The search gets ~80% of the budget; the rest is reserved for
+        // expansion, refinement, and the honest final simulation.
+        if placer_config.deadline.is_none() {
+            placer_config.deadline = self.config.time_budget.map(|b| start + b.mul_f64(0.8));
+        }
         let placer = PestoPlacer::with_config(self.comm, placer_config);
-        let outcome = placer.place(coarse, cluster)?;
+        let outcome = match placer.place(coarse, cluster) {
+            Ok(outcome) => outcome,
+            // OOM is not recoverable by falling down the ladder: no rung
+            // can shrink the model's memory footprint.
+            Err(e @ IlpError::Sim(SimError::OutOfMemory(_))) => return Err(e.into()),
+            Err(e) => {
+                return self.degraded_outcome(
+                    graph,
+                    &estimated,
+                    cluster,
+                    start,
+                    SolvePath::Constructive,
+                    DegradationReason::SolverFailed(e.to_string()),
+                )
+            }
+        };
+        let mut degradation = outcome
+            .deadline_hit
+            .then_some(DegradationReason::DeadlineDuringSearch);
 
         // 4. Expand to the fine graph and refine: group-flip hill climbing
         //    evaluated on the fine graph closes the residual gap between
@@ -319,7 +491,7 @@ impl Pesto {
         let sim_est = Simulator::new(&estimated, cluster, self.comm)
             .with_memory_check(false)
             .with_infinite_links(!self.config.congestion_aware);
-        fine_placement = refine_by_group_flips(
+        let (refined, refine_truncated) = refine_by_group_flips(
             &estimated,
             cluster,
             &self.comm,
@@ -327,7 +499,12 @@ impl Pesto {
             fine_placement,
             &sim_est,
             self.config.refinement_passes,
+            deadline,
         )?;
+        fine_placement = refined;
+        if refine_truncated && degradation.is_none() {
+            degradation = Some(DegradationReason::DeadlineDuringSearch);
+        }
 
         //    Drop explicit scheduling when merged vertices are too large
         //    (§3.3 fallback); otherwise re-derive the op-level schedule at
@@ -356,6 +533,7 @@ impl Pesto {
             max_member_count: coarsening.max_member_count(),
             path: outcome.path,
             explicit_schedule,
+            degradation,
         })
     }
 }
@@ -373,6 +551,45 @@ mod tests {
         assert!(outcome.makespan_us > 0.0);
         // Scale-aware floor: small graphs coarsen to at most max(200, n/4).
         assert!(outcome.coarse_op_count <= graph.op_count());
+        assert!(outcome.plan.validate(&graph, &cluster).is_ok());
+        assert_eq!(outcome.degradation, None, "no budget, no degradation");
+    }
+
+    #[test]
+    fn cpu_only_cluster_is_a_typed_error_not_a_panic() {
+        let graph = ModelSpec::transformer(1, 2, 64).generate(4, 1);
+        let full = Cluster::homogeneous(1, 1 << 34);
+        let cpu_only = full.without_gpu(full.gpus()[0]).unwrap();
+        let err = Pesto::new(PestoConfig::fast()).place(&graph, &cpu_only).unwrap_err();
+        assert_eq!(err, PestoError::NoGpus);
+    }
+
+    #[test]
+    fn zero_budget_degrades_to_a_single_device() {
+        let graph = ModelSpec::transformer(1, 2, 64).generate(4, 1);
+        let cluster = Cluster::two_gpus();
+        let config = PestoConfig {
+            time_budget: Some(Duration::ZERO),
+            ..PestoConfig::fast()
+        };
+        let outcome = Pesto::new(config).place(&graph, &cluster).unwrap();
+        assert_eq!(outcome.path, SolvePath::SingleDevice);
+        assert_eq!(outcome.degradation, Some(DegradationReason::BudgetExhausted));
+        assert!(outcome.plan.validate(&graph, &cluster).is_ok());
+        // Everything sits on one GPU.
+        let gpu0 = cluster.gpus()[0];
+        for op in graph.op_ids() {
+            let d = outcome.plan.placement.device(op);
+            assert!(d == gpu0 || d == cluster.cpu());
+        }
+    }
+
+    #[test]
+    fn single_gpu_cluster_runs_end_to_end() {
+        let graph = ModelSpec::transformer(1, 2, 64).generate(4, 1);
+        let cluster = Cluster::homogeneous(1, 1 << 34);
+        let outcome = Pesto::new(PestoConfig::fast()).place(&graph, &cluster).unwrap();
+        assert!(outcome.makespan_us > 0.0);
         assert!(outcome.plan.validate(&graph, &cluster).is_ok());
     }
 

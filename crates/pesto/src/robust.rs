@@ -1,0 +1,375 @@
+//! Robustness analysis for placement plans: Monte-Carlo perturbation
+//! sweeps and post-outage plan repair.
+//!
+//! The paper optimizes for clean conditions; real clusters have
+//! stragglers, contended links, and the occasional dead device. This
+//! module asks two questions of a finished [`Plan`]:
+//!
+//! 1. **How fragile is it?** [`evaluate_robustness`] replays the plan
+//!    under `N` deterministic fault draws (see
+//!    [`PerturbationSpec`][pesto_sim::PerturbationSpec]) and reports the
+//!    makespan distribution (p50/p95/p99) plus which device hurts most
+//!    when it straggles.
+//! 2. **Can it survive an outage?** [`repair_after_outage`] removes a
+//!    failed GPU from the cluster, keeps every placement on the
+//!    survivors, re-places only the stranded operations greedily, and
+//!    re-derives an ETF schedule on the surviving cluster.
+
+use crate::pipeline::PestoError;
+use pesto_cost::CommModel;
+use pesto_graph::{Cluster, DeviceId, LinkType, OpId, Placement, Plan};
+use pesto_ilp::etf_schedule;
+use pesto_sim::{FaultPlan, PerturbationSpec, SimError, Simulator};
+use serde::Serialize;
+
+/// Configuration for [`evaluate_robustness`].
+#[derive(Debug, Clone)]
+pub struct RobustnessConfig {
+    /// Number of Monte-Carlo fault draws. Each draw is seeded
+    /// deterministically from [`RobustnessConfig::seed`], so the same
+    /// config always yields the same percentiles.
+    pub draws: usize,
+    /// Base seed for the sweep.
+    pub seed: u64,
+    /// The perturbation distribution each draw samples from.
+    pub spec: PerturbationSpec,
+    /// Straggler slowdown used for the per-device sensitivity probes.
+    pub sensitivity_factor: f64,
+}
+
+impl Default for RobustnessConfig {
+    fn default() -> Self {
+        RobustnessConfig {
+            draws: 64,
+            seed: 0x0b57,
+            spec: PerturbationSpec::default(),
+            sensitivity_factor: 1.5,
+        }
+    }
+}
+
+/// Makespan distribution of a plan under perturbation.
+#[derive(Debug, Clone, Serialize)]
+pub struct RobustnessReport {
+    /// Makespan under clean (fault-free) conditions, µs.
+    pub clean_makespan_us: f64,
+    /// Number of fault draws behind the percentiles.
+    pub draws: usize,
+    /// Mean perturbed makespan, µs.
+    pub mean_us: f64,
+    /// Median perturbed makespan (nearest-rank), µs.
+    pub p50_us: f64,
+    /// 95th-percentile perturbed makespan (nearest-rank), µs.
+    pub p95_us: f64,
+    /// 99th-percentile perturbed makespan (nearest-rank), µs.
+    pub p99_us: f64,
+    /// Worst perturbed makespan observed, µs.
+    pub worst_us: f64,
+    /// Makespan increase (vs clean) when GPU *i* alone straggles by
+    /// [`RobustnessConfig::sensitivity_factor`], µs. Indexed like
+    /// [`Cluster::gpus`].
+    pub device_sensitivity_us: Vec<f64>,
+    /// The GPU whose straggling hurts the makespan most, if any probe
+    /// increased it.
+    pub most_sensitive_device: Option<DeviceId>,
+}
+
+/// Nearest-rank percentile of an ascending-sorted non-empty slice.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    let rank = (q * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
+}
+
+/// Replays `plan` under `config.draws` deterministic fault draws and
+/// reports the resulting makespan distribution plus per-device straggler
+/// sensitivity.
+///
+/// The same `(plan, config)` pair always produces the same report: draw
+/// `i` uses fault seed `config.seed + i`.
+///
+/// # Errors
+///
+/// Propagates simulation failures. A plan that runs clean cannot fail
+/// under the sweep's faults (stragglers, jitter, and degraded links only
+/// slow things down; the sweep injects no outages).
+pub fn evaluate_robustness(
+    graph: &pesto_graph::FrozenGraph,
+    cluster: &Cluster,
+    comm: CommModel,
+    plan: &Plan,
+    config: &RobustnessConfig,
+) -> Result<RobustnessReport, SimError> {
+    let clean = Simulator::new(graph, cluster, comm).run(plan)?.makespan_us;
+
+    let mut samples = Vec::with_capacity(config.draws);
+    for i in 0..config.draws {
+        let faults = config.spec.draw(cluster, config.seed.wrapping_add(i as u64));
+        let report = Simulator::new(graph, cluster, comm).with_faults(faults).run(plan)?;
+        samples.push(report.makespan_us);
+    }
+    samples.sort_by(f64::total_cmp);
+
+    let (mean, p50, p95, p99, worst) = if samples.is_empty() {
+        (clean, clean, clean, clean, clean)
+    } else {
+        (
+            samples.iter().sum::<f64>() / samples.len() as f64,
+            percentile(&samples, 0.50),
+            percentile(&samples, 0.95),
+            percentile(&samples, 0.99),
+            *samples.last().expect("non-empty"),
+        )
+    };
+
+    // Sensitivity probes: one straggler at a time, everything else clean.
+    let mut sensitivity = Vec::with_capacity(cluster.gpu_count());
+    for gpu in cluster.gpus() {
+        let faults = FaultPlan::new(config.seed).with_straggler(gpu, config.sensitivity_factor);
+        let perturbed = Simulator::new(graph, cluster, comm).with_faults(faults).run(plan)?;
+        sensitivity.push(perturbed.makespan_us - clean);
+    }
+    let most_sensitive = sensitivity
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .filter(|(_, &extra)| extra > 1e-9)
+        .map(|(i, _)| cluster.gpus()[i]);
+
+    Ok(RobustnessReport {
+        clean_makespan_us: clean,
+        draws: config.draws,
+        mean_us: mean,
+        p50_us: p50,
+        p95_us: p95,
+        p99_us: p99,
+        worst_us: worst,
+        device_sensitivity_us: sensitivity,
+        most_sensitive_device: most_sensitive,
+    })
+}
+
+/// A plan repaired onto the surviving cluster after a device outage.
+#[derive(Debug, Clone)]
+pub struct RepairOutcome {
+    /// The surviving cluster (failed GPU removed, devices renumbered
+    /// densely).
+    pub cluster: Cluster,
+    /// The repaired plan, valid on [`RepairOutcome::cluster`].
+    pub plan: Plan,
+    /// Simulated per-step time of the repaired plan on the survivors, µs.
+    pub makespan_us: f64,
+    /// How many operations had to move off the failed device.
+    pub moved_ops: usize,
+}
+
+/// Repairs `plan` after `failed` dies: placements on surviving devices
+/// are kept (renumbered), only the stranded operations are re-placed —
+/// greedily, in topological order, onto the GPU minimizing accumulated
+/// load plus cross-device transfer cost to already-placed neighbors,
+/// subject to device memory — and the schedule is re-derived by ETF on
+/// the surviving cluster.
+///
+/// This is deliberately cheap (no new search): the point is a valid plan
+/// *now*, not an optimal one. Re-run the full pipeline when there is
+/// time.
+///
+/// # Errors
+///
+/// * [`PestoError::NoGpus`] if no GPU survives;
+/// * [`PestoError::Repair`] if `failed` is not a GPU of `cluster` or a
+///   stranded op fits on no surviving device;
+/// * simulation errors from the final honest evaluation.
+pub fn repair_after_outage(
+    graph: &pesto_graph::FrozenGraph,
+    cluster: &Cluster,
+    comm: CommModel,
+    plan: &Plan,
+    failed: DeviceId,
+) -> Result<RepairOutcome, PestoError> {
+    let survivors = cluster
+        .without_gpu(failed)
+        .map_err(|e| PestoError::Repair(format!("cannot remove {failed:?}: {e}")))?;
+    if survivors.gpu_count() == 0 {
+        return Err(PestoError::NoGpus);
+    }
+    // Dense renumbering: devices after the failed one shift down by one.
+    let map = |old: DeviceId| {
+        DeviceId::from_index(old.index() - usize::from(old.index() > failed.index()))
+    };
+
+    let mut placement = Placement::affinity_default(graph, &survivors);
+    let mut stranded: Vec<OpId> = Vec::new();
+    let mut load_us = vec![0.0f64; survivors.device_count()];
+    let mut used_bytes = vec![0u64; survivors.device_count()];
+    let mut placed = vec![false; graph.op_count()];
+    for &op in graph.topo_order() {
+        let old = plan.placement.device(op);
+        if old == failed {
+            stranded.push(op);
+            continue;
+        }
+        let new = map(old);
+        placement.set_device(op, new);
+        placed[op.index()] = true;
+        load_us[new.index()] += graph.op(op).compute_us();
+        used_bytes[new.index()] = used_bytes[new.index()].saturating_add(graph.op(op).memory_bytes());
+    }
+    let moved_ops = stranded.len();
+
+    let cpu = survivors.cpu();
+    let link_type = |src: DeviceId, dst: DeviceId| {
+        if src == cpu {
+            LinkType::CpuToGpu
+        } else if dst == cpu {
+            LinkType::GpuToCpu
+        } else {
+            LinkType::GpuToGpu
+        }
+    };
+    for op in stranded {
+        let mem = graph.op(op).memory_bytes();
+        let mut best: Option<(f64, DeviceId)> = None;
+        for gpu in survivors.gpus() {
+            let cap = survivors.devices()[gpu.index()].memory_bytes();
+            if used_bytes[gpu.index()].saturating_add(mem) > cap {
+                continue;
+            }
+            // Load so far plus the transfers this choice would create.
+            let mut cost = load_us[gpu.index()];
+            for &(pred, bytes) in graph.preds_with_bytes(op) {
+                if placed[pred.index()] && placement.device(pred) != gpu {
+                    cost += comm.transfer_us(link_type(placement.device(pred), gpu), bytes);
+                }
+            }
+            for &(succ, bytes) in graph.succs_with_bytes(op) {
+                if placed[succ.index()] && placement.device(succ) != gpu {
+                    cost += comm.transfer_us(link_type(gpu, placement.device(succ)), bytes);
+                }
+            }
+            if best.is_none_or(|(c, _)| cost < c) {
+                best = Some((cost, gpu));
+            }
+        }
+        let Some((_, gpu)) = best else {
+            return Err(PestoError::Repair(format!(
+                "stranded op {op:?} ({mem} bytes) fits on no surviving GPU"
+            )));
+        };
+        placement.set_device(op, gpu);
+        placed[op.index()] = true;
+        load_us[gpu.index()] += graph.op(op).compute_us();
+        used_bytes[gpu.index()] = used_bytes[gpu.index()].saturating_add(mem);
+    }
+
+    let repaired = {
+        let sim = Simulator::new(graph, &survivors, comm).with_memory_check(false);
+        etf_schedule(graph, &survivors, &comm, placement, &sim)
+            .map_err(pesto_ilp::IlpError::from)?
+            .plan
+    };
+    repaired
+        .validate(graph, &survivors)
+        .map_err(|e| PestoError::Repair(format!("repaired plan is invalid: {e}")))?;
+    let makespan_us = Simulator::new(graph, &survivors, comm).run(&repaired)?.makespan_us;
+
+    Ok(RepairOutcome {
+        cluster: survivors,
+        plan: repaired,
+        makespan_us,
+        moved_ops,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Pesto, PestoConfig};
+    use pesto_models::ModelSpec;
+
+    fn comm() -> CommModel {
+        CommModel::default_v100()
+    }
+
+    #[test]
+    fn robustness_sweep_is_deterministic_and_ordered() {
+        let graph = ModelSpec::transformer(1, 2, 64).generate(4, 1);
+        let cluster = Cluster::two_gpus();
+        let outcome = Pesto::new(PestoConfig::fast()).place(&graph, &cluster).unwrap();
+        let config = RobustnessConfig { draws: 16, ..RobustnessConfig::default() };
+        let a = evaluate_robustness(&graph, &cluster, comm(), &outcome.plan, &config).unwrap();
+        let b = evaluate_robustness(&graph, &cluster, comm(), &outcome.plan, &config).unwrap();
+        assert_eq!(a.p50_us, b.p50_us);
+        assert_eq!(a.p95_us, b.p95_us);
+        assert_eq!(a.p99_us, b.p99_us);
+        assert!(a.clean_makespan_us <= a.p50_us + 1e-9, "faults only slow things down");
+        assert!(a.p50_us <= a.p95_us && a.p95_us <= a.p99_us && a.p99_us <= a.worst_us);
+        assert_eq!(a.device_sensitivity_us.len(), cluster.gpu_count());
+    }
+
+    #[test]
+    fn sensitivity_identifies_a_loaded_device() {
+        let graph = ModelSpec::transformer(1, 2, 64).generate(4, 1);
+        let cluster = Cluster::two_gpus();
+        let outcome = Pesto::new(PestoConfig::fast()).place(&graph, &cluster).unwrap();
+        let report = evaluate_robustness(
+            &graph,
+            &cluster,
+            comm(),
+            &outcome.plan,
+            &RobustnessConfig { draws: 4, ..RobustnessConfig::default() },
+        )
+        .unwrap();
+        // Some GPU carries critical-path work, so slowing it must hurt.
+        assert!(report.most_sensitive_device.is_some());
+    }
+
+    #[test]
+    fn repair_moves_only_stranded_ops_and_validates() {
+        let graph = ModelSpec::transformer(1, 2, 64).generate(4, 1);
+        let cluster = Cluster::homogeneous(3, 1 << 34);
+        let outcome = Pesto::new(PestoConfig::fast()).place(&graph, &cluster).unwrap();
+        let failed = cluster.gpus()[1];
+        let stranded: Vec<OpId> = graph
+            .op_ids()
+            .filter(|&op| outcome.plan.placement.device(op) == failed)
+            .collect();
+        let repair =
+            repair_after_outage(&graph, &cluster, comm(), &outcome.plan, failed).unwrap();
+        assert_eq!(repair.moved_ops, stranded.len());
+        assert_eq!(repair.cluster.gpu_count(), cluster.gpu_count() - 1);
+        assert!(repair.makespan_us > 0.0);
+        // Ops that were NOT on the failed device kept their (renumbered)
+        // placement.
+        for op in graph.op_ids() {
+            let old = outcome.plan.placement.device(op);
+            if old == failed {
+                continue;
+            }
+            let expect = DeviceId::from_index(
+                old.index() - usize::from(old.index() > failed.index()),
+            );
+            assert_eq!(repair.plan.placement.device(op), expect);
+        }
+    }
+
+    #[test]
+    fn repair_with_no_survivors_is_no_gpus() {
+        let graph = ModelSpec::transformer(1, 2, 64).generate(4, 1);
+        let cluster = Cluster::homogeneous(1, 1 << 34);
+        let outcome = Pesto::new(PestoConfig::fast()).place(&graph, &cluster).unwrap();
+        let err = repair_after_outage(&graph, &cluster, comm(), &outcome.plan, cluster.gpus()[0])
+            .unwrap_err();
+        assert_eq!(err, PestoError::NoGpus);
+    }
+
+    #[test]
+    fn repair_rejects_a_non_gpu_device() {
+        let graph = ModelSpec::transformer(1, 2, 64).generate(4, 1);
+        let cluster = Cluster::two_gpus();
+        let outcome = Pesto::new(PestoConfig::fast()).place(&graph, &cluster).unwrap();
+        let err = repair_after_outage(&graph, &cluster, comm(), &outcome.plan, cluster.cpu())
+            .unwrap_err();
+        assert!(matches!(err, PestoError::Repair(_)));
+    }
+}
