@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-ce7820f912fc085f.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/debug/deps/libablations-ce7820f912fc085f.rmeta: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

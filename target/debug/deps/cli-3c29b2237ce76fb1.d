@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-3c29b2237ce76fb1.d: crates/pesto/../../tests/cli.rs
+
+/root/repo/target/debug/deps/cli-3c29b2237ce76fb1: crates/pesto/../../tests/cli.rs
+
+crates/pesto/../../tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_pesto=/root/repo/target/debug/pesto

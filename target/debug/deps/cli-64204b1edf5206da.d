@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-64204b1edf5206da.d: crates/pesto/../../tests/cli.rs
+
+/root/repo/target/debug/deps/libcli-64204b1edf5206da.rmeta: crates/pesto/../../tests/cli.rs
+
+crates/pesto/../../tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_pesto=placeholder:pesto

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-86979422832b4df6.d: crates/pesto/../../tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-86979422832b4df6.rmeta: crates/pesto/../../tests/cli.rs Cargo.toml
+
+crates/pesto/../../tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_pesto=placeholder:pesto
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

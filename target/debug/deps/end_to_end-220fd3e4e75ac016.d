@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-220fd3e4e75ac016.d: crates/pesto/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-220fd3e4e75ac016: crates/pesto/../../tests/end_to_end.rs
+
+crates/pesto/../../tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/end_to_end-5822b290be6bcf7f.d: crates/pesto/../../tests/end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end-5822b290be6bcf7f.rmeta: crates/pesto/../../tests/end_to_end.rs Cargo.toml
+
+crates/pesto/../../tests/end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-7b1385b7f162641d.d: crates/pesto/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/libend_to_end-7b1385b7f162641d.rmeta: crates/pesto/../../tests/end_to_end.rs
+
+crates/pesto/../../tests/end_to_end.rs:

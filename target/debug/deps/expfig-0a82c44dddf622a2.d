@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/expfig-0a82c44dddf622a2.d: crates/bench/src/bin/expfig.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexpfig-0a82c44dddf622a2.rmeta: crates/bench/src/bin/expfig.rs Cargo.toml
+
+crates/bench/src/bin/expfig.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/expfig-7e0734f43cdcd36c.d: crates/bench/src/bin/expfig.rs
+
+/root/repo/target/debug/deps/libexpfig-7e0734f43cdcd36c.rmeta: crates/bench/src/bin/expfig.rs
+
+crates/bench/src/bin/expfig.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/expfig-9bce8079bc0c8eed.d: crates/bench/src/bin/expfig.rs
+
+/root/repo/target/debug/deps/expfig-9bce8079bc0c8eed: crates/bench/src/bin/expfig.rs
+
+crates/bench/src/bin/expfig.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/expfig-9cf365ae1ca7b1c6.d: crates/bench/src/bin/expfig.rs
+
+/root/repo/target/debug/deps/libexpfig-9cf365ae1ca7b1c6.rmeta: crates/bench/src/bin/expfig.rs
+
+crates/bench/src/bin/expfig.rs:

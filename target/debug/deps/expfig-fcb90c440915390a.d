@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/expfig-fcb90c440915390a.d: crates/bench/src/bin/expfig.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexpfig-fcb90c440915390a.rmeta: crates/bench/src/bin/expfig.rs Cargo.toml
+
+crates/bench/src/bin/expfig.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hetero_links-3a2d3b0d7c48e6cb.d: crates/pesto-sim/tests/hetero_links.rs
+
+/root/repo/target/debug/deps/hetero_links-3a2d3b0d7c48e6cb: crates/pesto-sim/tests/hetero_links.rs
+
+crates/pesto-sim/tests/hetero_links.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hetero_links-525ab5bc378a770e.d: crates/pesto-sim/tests/hetero_links.rs
+
+/root/repo/target/debug/deps/libhetero_links-525ab5bc378a770e.rmeta: crates/pesto-sim/tests/hetero_links.rs
+
+crates/pesto-sim/tests/hetero_links.rs:

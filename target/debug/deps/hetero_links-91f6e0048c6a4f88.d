@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hetero_links-91f6e0048c6a4f88.d: crates/pesto-sim/tests/hetero_links.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhetero_links-91f6e0048c6a4f88.rmeta: crates/pesto-sim/tests/hetero_links.rs Cargo.toml
+
+crates/pesto-sim/tests/hetero_links.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/limits-142b5a84e5645e03.d: crates/pesto-milp/tests/limits.rs
+
+/root/repo/target/debug/deps/liblimits-142b5a84e5645e03.rmeta: crates/pesto-milp/tests/limits.rs
+
+crates/pesto-milp/tests/limits.rs:

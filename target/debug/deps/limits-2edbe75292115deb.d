@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/limits-2edbe75292115deb.d: crates/pesto-milp/tests/limits.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblimits-2edbe75292115deb.rmeta: crates/pesto-milp/tests/limits.rs Cargo.toml
+
+crates/pesto-milp/tests/limits.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

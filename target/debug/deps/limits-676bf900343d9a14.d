@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/limits-676bf900343d9a14.d: crates/pesto-milp/tests/limits.rs
+
+/root/repo/target/debug/deps/limits-676bf900343d9a14: crates/pesto-milp/tests/limits.rs
+
+crates/pesto-milp/tests/limits.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_consistency-18252c3652e1534d.d: crates/pesto-ilp/tests/multi_consistency.rs
+
+/root/repo/target/debug/deps/multi_consistency-18252c3652e1534d: crates/pesto-ilp/tests/multi_consistency.rs
+
+crates/pesto-ilp/tests/multi_consistency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multi_consistency-b9ce980065704e8c.d: crates/pesto-ilp/tests/multi_consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmulti_consistency-b9ce980065704e8c.rmeta: crates/pesto-ilp/tests/multi_consistency.rs Cargo.toml
+
+crates/pesto-ilp/tests/multi_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

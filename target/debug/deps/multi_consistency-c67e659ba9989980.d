@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_consistency-c67e659ba9989980.d: crates/pesto-ilp/tests/multi_consistency.rs
+
+/root/repo/target/debug/deps/libmulti_consistency-c67e659ba9989980.rmeta: crates/pesto-ilp/tests/multi_consistency.rs
+
+crates/pesto-ilp/tests/multi_consistency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multi_gpu_pipeline-260553e4a1027bb4.d: crates/pesto/../../tests/multi_gpu_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmulti_gpu_pipeline-260553e4a1027bb4.rmeta: crates/pesto/../../tests/multi_gpu_pipeline.rs Cargo.toml
+
+crates/pesto/../../tests/multi_gpu_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_gpu_pipeline-32b6741363abb9d4.d: crates/pesto/../../tests/multi_gpu_pipeline.rs
+
+/root/repo/target/debug/deps/libmulti_gpu_pipeline-32b6741363abb9d4.rmeta: crates/pesto/../../tests/multi_gpu_pipeline.rs
+
+crates/pesto/../../tests/multi_gpu_pipeline.rs:

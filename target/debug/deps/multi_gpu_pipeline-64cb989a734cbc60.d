@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_gpu_pipeline-64cb989a734cbc60.d: crates/pesto/../../tests/multi_gpu_pipeline.rs
+
+/root/repo/target/debug/deps/multi_gpu_pipeline-64cb989a734cbc60: crates/pesto/../../tests/multi_gpu_pipeline.rs
+
+crates/pesto/../../tests/multi_gpu_pipeline.rs:

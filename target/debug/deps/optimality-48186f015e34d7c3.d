@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/optimality-48186f015e34d7c3.d: crates/pesto-ilp/tests/optimality.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboptimality-48186f015e34d7c3.rmeta: crates/pesto-ilp/tests/optimality.rs Cargo.toml
+
+crates/pesto-ilp/tests/optimality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/optimality-7bec8ebd10d481a3.d: crates/pesto-ilp/tests/optimality.rs
+
+/root/repo/target/debug/deps/liboptimality-7bec8ebd10d481a3.rmeta: crates/pesto-ilp/tests/optimality.rs
+
+crates/pesto-ilp/tests/optimality.rs:

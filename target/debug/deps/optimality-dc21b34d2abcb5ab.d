@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/optimality-dc21b34d2abcb5ab.d: crates/pesto-ilp/tests/optimality.rs
+
+/root/repo/target/debug/deps/optimality-dc21b34d2abcb5ab: crates/pesto-ilp/tests/optimality.rs
+
+crates/pesto-ilp/tests/optimality.rs:

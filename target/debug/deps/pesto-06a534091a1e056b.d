@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pesto-06a534091a1e056b.d: crates/pesto/src/bin/pesto.rs
+
+/root/repo/target/debug/deps/libpesto-06a534091a1e056b.rmeta: crates/pesto/src/bin/pesto.rs
+
+crates/pesto/src/bin/pesto.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pesto-077ec3a66528e6be.d: crates/pesto/src/bin/pesto.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpesto-077ec3a66528e6be.rmeta: crates/pesto/src/bin/pesto.rs Cargo.toml
+
+crates/pesto/src/bin/pesto.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pesto-19c7ce63bb9b743b.d: crates/pesto/src/bin/pesto.rs
+
+/root/repo/target/debug/deps/pesto-19c7ce63bb9b743b: crates/pesto/src/bin/pesto.rs
+
+crates/pesto/src/bin/pesto.rs:

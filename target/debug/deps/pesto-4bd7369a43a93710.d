@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pesto-4bd7369a43a93710.d: crates/pesto/src/lib.rs crates/pesto/src/eval.rs crates/pesto/src/pipeline.rs crates/pesto/src/robust.rs
+
+/root/repo/target/debug/deps/libpesto-4bd7369a43a93710.rmeta: crates/pesto/src/lib.rs crates/pesto/src/eval.rs crates/pesto/src/pipeline.rs crates/pesto/src/robust.rs
+
+crates/pesto/src/lib.rs:
+crates/pesto/src/eval.rs:
+crates/pesto/src/pipeline.rs:
+crates/pesto/src/robust.rs:

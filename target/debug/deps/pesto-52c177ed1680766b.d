@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pesto-52c177ed1680766b.d: crates/pesto/src/lib.rs crates/pesto/src/eval.rs crates/pesto/src/pipeline.rs crates/pesto/src/robust.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpesto-52c177ed1680766b.rmeta: crates/pesto/src/lib.rs crates/pesto/src/eval.rs crates/pesto/src/pipeline.rs crates/pesto/src/robust.rs Cargo.toml
+
+crates/pesto/src/lib.rs:
+crates/pesto/src/eval.rs:
+crates/pesto/src/pipeline.rs:
+crates/pesto/src/robust.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

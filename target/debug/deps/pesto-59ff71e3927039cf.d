@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pesto-59ff71e3927039cf.d: crates/pesto/src/lib.rs crates/pesto/src/eval.rs crates/pesto/src/pipeline.rs crates/pesto/src/robust.rs
+
+/root/repo/target/debug/deps/libpesto-59ff71e3927039cf.rlib: crates/pesto/src/lib.rs crates/pesto/src/eval.rs crates/pesto/src/pipeline.rs crates/pesto/src/robust.rs
+
+/root/repo/target/debug/deps/libpesto-59ff71e3927039cf.rmeta: crates/pesto/src/lib.rs crates/pesto/src/eval.rs crates/pesto/src/pipeline.rs crates/pesto/src/robust.rs
+
+crates/pesto/src/lib.rs:
+crates/pesto/src/eval.rs:
+crates/pesto/src/pipeline.rs:
+crates/pesto/src/robust.rs:

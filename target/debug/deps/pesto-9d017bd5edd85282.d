@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pesto-9d017bd5edd85282.d: crates/pesto/src/lib.rs crates/pesto/src/eval.rs crates/pesto/src/pipeline.rs crates/pesto/src/robust.rs
+
+/root/repo/target/debug/deps/pesto-9d017bd5edd85282: crates/pesto/src/lib.rs crates/pesto/src/eval.rs crates/pesto/src/pipeline.rs crates/pesto/src/robust.rs
+
+crates/pesto/src/lib.rs:
+crates/pesto/src/eval.rs:
+crates/pesto/src/pipeline.rs:
+crates/pesto/src/robust.rs:

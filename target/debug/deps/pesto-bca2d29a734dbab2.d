@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pesto-bca2d29a734dbab2.d: crates/pesto/src/bin/pesto.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpesto-bca2d29a734dbab2.rmeta: crates/pesto/src/bin/pesto.rs Cargo.toml
+
+crates/pesto/src/bin/pesto.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pesto-cde2853cd8d69992.d: crates/pesto/src/bin/pesto.rs
+
+/root/repo/target/debug/deps/pesto-cde2853cd8d69992: crates/pesto/src/bin/pesto.rs
+
+crates/pesto/src/bin/pesto.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pesto-de8f2630a01ca323.d: crates/pesto/src/bin/pesto.rs
+
+/root/repo/target/debug/deps/libpesto-de8f2630a01ca323.rmeta: crates/pesto/src/bin/pesto.rs
+
+crates/pesto/src/bin/pesto.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pesto_baselines-75d3dc1728dc192f.d: crates/pesto-baselines/src/lib.rs crates/pesto-baselines/src/baechi.rs crates/pesto-baselines/src/expert.rs crates/pesto-baselines/src/naive.rs crates/pesto-baselines/src/random.rs
+
+/root/repo/target/debug/deps/libpesto_baselines-75d3dc1728dc192f.rmeta: crates/pesto-baselines/src/lib.rs crates/pesto-baselines/src/baechi.rs crates/pesto-baselines/src/expert.rs crates/pesto-baselines/src/naive.rs crates/pesto-baselines/src/random.rs
+
+crates/pesto-baselines/src/lib.rs:
+crates/pesto-baselines/src/baechi.rs:
+crates/pesto-baselines/src/expert.rs:
+crates/pesto-baselines/src/naive.rs:
+crates/pesto-baselines/src/random.rs:

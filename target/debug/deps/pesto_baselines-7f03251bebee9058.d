@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pesto_baselines-7f03251bebee9058.d: crates/pesto-baselines/src/lib.rs crates/pesto-baselines/src/baechi.rs crates/pesto-baselines/src/expert.rs crates/pesto-baselines/src/naive.rs crates/pesto-baselines/src/random.rs
+
+/root/repo/target/debug/deps/libpesto_baselines-7f03251bebee9058.rmeta: crates/pesto-baselines/src/lib.rs crates/pesto-baselines/src/baechi.rs crates/pesto-baselines/src/expert.rs crates/pesto-baselines/src/naive.rs crates/pesto-baselines/src/random.rs
+
+crates/pesto-baselines/src/lib.rs:
+crates/pesto-baselines/src/baechi.rs:
+crates/pesto-baselines/src/expert.rs:
+crates/pesto-baselines/src/naive.rs:
+crates/pesto-baselines/src/random.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pesto_baselines-9116dd0dde322ac9.d: crates/pesto-baselines/src/lib.rs crates/pesto-baselines/src/baechi.rs crates/pesto-baselines/src/expert.rs crates/pesto-baselines/src/naive.rs crates/pesto-baselines/src/random.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpesto_baselines-9116dd0dde322ac9.rmeta: crates/pesto-baselines/src/lib.rs crates/pesto-baselines/src/baechi.rs crates/pesto-baselines/src/expert.rs crates/pesto-baselines/src/naive.rs crates/pesto-baselines/src/random.rs Cargo.toml
+
+crates/pesto-baselines/src/lib.rs:
+crates/pesto-baselines/src/baechi.rs:
+crates/pesto-baselines/src/expert.rs:
+crates/pesto-baselines/src/naive.rs:
+crates/pesto-baselines/src/random.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pesto_baselines-9a534e3ce7f82347.d: crates/pesto-baselines/src/lib.rs crates/pesto-baselines/src/baechi.rs crates/pesto-baselines/src/expert.rs crates/pesto-baselines/src/naive.rs crates/pesto-baselines/src/random.rs
+
+/root/repo/target/debug/deps/libpesto_baselines-9a534e3ce7f82347.rlib: crates/pesto-baselines/src/lib.rs crates/pesto-baselines/src/baechi.rs crates/pesto-baselines/src/expert.rs crates/pesto-baselines/src/naive.rs crates/pesto-baselines/src/random.rs
+
+/root/repo/target/debug/deps/libpesto_baselines-9a534e3ce7f82347.rmeta: crates/pesto-baselines/src/lib.rs crates/pesto-baselines/src/baechi.rs crates/pesto-baselines/src/expert.rs crates/pesto-baselines/src/naive.rs crates/pesto-baselines/src/random.rs
+
+crates/pesto-baselines/src/lib.rs:
+crates/pesto-baselines/src/baechi.rs:
+crates/pesto-baselines/src/expert.rs:
+crates/pesto-baselines/src/naive.rs:
+crates/pesto-baselines/src/random.rs:

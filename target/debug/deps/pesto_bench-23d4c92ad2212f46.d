@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pesto_bench-23d4c92ad2212f46.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/pesto_bench-23d4c92ad2212f46: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pesto_bench-27bb47b1f9a29354.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpesto_bench-27bb47b1f9a29354.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pesto_bench-9f8ffc82fd4280df.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpesto_bench-9f8ffc82fd4280df.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpesto_bench-9f8ffc82fd4280df.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pesto_bench-acb4faf9ee4a9d50.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpesto_bench-acb4faf9ee4a9d50.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

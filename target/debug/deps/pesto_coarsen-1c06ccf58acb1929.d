@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pesto_coarsen-1c06ccf58acb1929.d: crates/pesto-coarsen/src/lib.rs crates/pesto-coarsen/src/batch.rs crates/pesto-coarsen/src/mapping.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpesto_coarsen-1c06ccf58acb1929.rmeta: crates/pesto-coarsen/src/lib.rs crates/pesto-coarsen/src/batch.rs crates/pesto-coarsen/src/mapping.rs Cargo.toml
+
+crates/pesto-coarsen/src/lib.rs:
+crates/pesto-coarsen/src/batch.rs:
+crates/pesto-coarsen/src/mapping.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

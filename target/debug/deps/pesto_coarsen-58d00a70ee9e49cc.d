@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pesto_coarsen-58d00a70ee9e49cc.d: crates/pesto-coarsen/src/lib.rs crates/pesto-coarsen/src/batch.rs crates/pesto-coarsen/src/mapping.rs
+
+/root/repo/target/debug/deps/pesto_coarsen-58d00a70ee9e49cc: crates/pesto-coarsen/src/lib.rs crates/pesto-coarsen/src/batch.rs crates/pesto-coarsen/src/mapping.rs
+
+crates/pesto-coarsen/src/lib.rs:
+crates/pesto-coarsen/src/batch.rs:
+crates/pesto-coarsen/src/mapping.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pesto_coarsen-5a0b2f0cf46cf066.d: crates/pesto-coarsen/src/lib.rs crates/pesto-coarsen/src/batch.rs crates/pesto-coarsen/src/mapping.rs
+
+/root/repo/target/debug/deps/libpesto_coarsen-5a0b2f0cf46cf066.rmeta: crates/pesto-coarsen/src/lib.rs crates/pesto-coarsen/src/batch.rs crates/pesto-coarsen/src/mapping.rs
+
+crates/pesto-coarsen/src/lib.rs:
+crates/pesto-coarsen/src/batch.rs:
+crates/pesto-coarsen/src/mapping.rs:

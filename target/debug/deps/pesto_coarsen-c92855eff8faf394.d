@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pesto_coarsen-c92855eff8faf394.d: crates/pesto-coarsen/src/lib.rs crates/pesto-coarsen/src/batch.rs crates/pesto-coarsen/src/mapping.rs
+
+/root/repo/target/debug/deps/libpesto_coarsen-c92855eff8faf394.rlib: crates/pesto-coarsen/src/lib.rs crates/pesto-coarsen/src/batch.rs crates/pesto-coarsen/src/mapping.rs
+
+/root/repo/target/debug/deps/libpesto_coarsen-c92855eff8faf394.rmeta: crates/pesto-coarsen/src/lib.rs crates/pesto-coarsen/src/batch.rs crates/pesto-coarsen/src/mapping.rs
+
+crates/pesto-coarsen/src/lib.rs:
+crates/pesto-coarsen/src/batch.rs:
+crates/pesto-coarsen/src/mapping.rs:

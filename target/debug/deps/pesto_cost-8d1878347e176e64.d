@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pesto_cost-8d1878347e176e64.d: crates/pesto-cost/src/lib.rs crates/pesto-cost/src/comm.rs crates/pesto-cost/src/profiler.rs crates/pesto-cost/src/regression.rs crates/pesto-cost/src/scale.rs
+
+/root/repo/target/debug/deps/libpesto_cost-8d1878347e176e64.rlib: crates/pesto-cost/src/lib.rs crates/pesto-cost/src/comm.rs crates/pesto-cost/src/profiler.rs crates/pesto-cost/src/regression.rs crates/pesto-cost/src/scale.rs
+
+/root/repo/target/debug/deps/libpesto_cost-8d1878347e176e64.rmeta: crates/pesto-cost/src/lib.rs crates/pesto-cost/src/comm.rs crates/pesto-cost/src/profiler.rs crates/pesto-cost/src/regression.rs crates/pesto-cost/src/scale.rs
+
+crates/pesto-cost/src/lib.rs:
+crates/pesto-cost/src/comm.rs:
+crates/pesto-cost/src/profiler.rs:
+crates/pesto-cost/src/regression.rs:
+crates/pesto-cost/src/scale.rs:

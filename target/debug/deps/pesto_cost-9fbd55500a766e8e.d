@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pesto_cost-9fbd55500a766e8e.d: crates/pesto-cost/src/lib.rs crates/pesto-cost/src/comm.rs crates/pesto-cost/src/profiler.rs crates/pesto-cost/src/regression.rs crates/pesto-cost/src/scale.rs
+
+/root/repo/target/debug/deps/libpesto_cost-9fbd55500a766e8e.rmeta: crates/pesto-cost/src/lib.rs crates/pesto-cost/src/comm.rs crates/pesto-cost/src/profiler.rs crates/pesto-cost/src/regression.rs crates/pesto-cost/src/scale.rs
+
+crates/pesto-cost/src/lib.rs:
+crates/pesto-cost/src/comm.rs:
+crates/pesto-cost/src/profiler.rs:
+crates/pesto-cost/src/regression.rs:
+crates/pesto-cost/src/scale.rs:

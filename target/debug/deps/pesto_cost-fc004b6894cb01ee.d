@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pesto_cost-fc004b6894cb01ee.d: crates/pesto-cost/src/lib.rs crates/pesto-cost/src/comm.rs crates/pesto-cost/src/profiler.rs crates/pesto-cost/src/regression.rs crates/pesto-cost/src/scale.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpesto_cost-fc004b6894cb01ee.rmeta: crates/pesto-cost/src/lib.rs crates/pesto-cost/src/comm.rs crates/pesto-cost/src/profiler.rs crates/pesto-cost/src/regression.rs crates/pesto-cost/src/scale.rs Cargo.toml
+
+crates/pesto-cost/src/lib.rs:
+crates/pesto-cost/src/comm.rs:
+crates/pesto-cost/src/profiler.rs:
+crates/pesto-cost/src/regression.rs:
+crates/pesto-cost/src/scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pesto_cost-fc25745f74fdbd96.d: crates/pesto-cost/src/lib.rs crates/pesto-cost/src/comm.rs crates/pesto-cost/src/profiler.rs crates/pesto-cost/src/regression.rs crates/pesto-cost/src/scale.rs
+
+/root/repo/target/debug/deps/pesto_cost-fc25745f74fdbd96: crates/pesto-cost/src/lib.rs crates/pesto-cost/src/comm.rs crates/pesto-cost/src/profiler.rs crates/pesto-cost/src/regression.rs crates/pesto-cost/src/scale.rs
+
+crates/pesto-cost/src/lib.rs:
+crates/pesto-cost/src/comm.rs:
+crates/pesto-cost/src/profiler.rs:
+crates/pesto-cost/src/regression.rs:
+crates/pesto-cost/src/scale.rs:

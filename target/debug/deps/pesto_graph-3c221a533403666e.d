@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pesto_graph-3c221a533403666e.d: crates/pesto-graph/src/lib.rs crates/pesto-graph/src/analysis.rs crates/pesto-graph/src/cluster.rs crates/pesto-graph/src/error.rs crates/pesto-graph/src/export.rs crates/pesto-graph/src/graph.rs crates/pesto-graph/src/op.rs crates/pesto-graph/src/plan.rs
+
+/root/repo/target/debug/deps/libpesto_graph-3c221a533403666e.rmeta: crates/pesto-graph/src/lib.rs crates/pesto-graph/src/analysis.rs crates/pesto-graph/src/cluster.rs crates/pesto-graph/src/error.rs crates/pesto-graph/src/export.rs crates/pesto-graph/src/graph.rs crates/pesto-graph/src/op.rs crates/pesto-graph/src/plan.rs
+
+crates/pesto-graph/src/lib.rs:
+crates/pesto-graph/src/analysis.rs:
+crates/pesto-graph/src/cluster.rs:
+crates/pesto-graph/src/error.rs:
+crates/pesto-graph/src/export.rs:
+crates/pesto-graph/src/graph.rs:
+crates/pesto-graph/src/op.rs:
+crates/pesto-graph/src/plan.rs:

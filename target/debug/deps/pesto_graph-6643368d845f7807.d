@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/pesto_graph-6643368d845f7807.d: crates/pesto-graph/src/lib.rs crates/pesto-graph/src/analysis.rs crates/pesto-graph/src/cluster.rs crates/pesto-graph/src/error.rs crates/pesto-graph/src/export.rs crates/pesto-graph/src/graph.rs crates/pesto-graph/src/op.rs crates/pesto-graph/src/plan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpesto_graph-6643368d845f7807.rmeta: crates/pesto-graph/src/lib.rs crates/pesto-graph/src/analysis.rs crates/pesto-graph/src/cluster.rs crates/pesto-graph/src/error.rs crates/pesto-graph/src/export.rs crates/pesto-graph/src/graph.rs crates/pesto-graph/src/op.rs crates/pesto-graph/src/plan.rs Cargo.toml
+
+crates/pesto-graph/src/lib.rs:
+crates/pesto-graph/src/analysis.rs:
+crates/pesto-graph/src/cluster.rs:
+crates/pesto-graph/src/error.rs:
+crates/pesto-graph/src/export.rs:
+crates/pesto-graph/src/graph.rs:
+crates/pesto-graph/src/op.rs:
+crates/pesto-graph/src/plan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

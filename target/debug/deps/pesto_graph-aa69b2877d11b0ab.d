@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pesto_graph-aa69b2877d11b0ab.d: crates/pesto-graph/src/lib.rs crates/pesto-graph/src/analysis.rs crates/pesto-graph/src/cluster.rs crates/pesto-graph/src/error.rs crates/pesto-graph/src/export.rs crates/pesto-graph/src/graph.rs crates/pesto-graph/src/op.rs crates/pesto-graph/src/plan.rs
+
+/root/repo/target/debug/deps/libpesto_graph-aa69b2877d11b0ab.rlib: crates/pesto-graph/src/lib.rs crates/pesto-graph/src/analysis.rs crates/pesto-graph/src/cluster.rs crates/pesto-graph/src/error.rs crates/pesto-graph/src/export.rs crates/pesto-graph/src/graph.rs crates/pesto-graph/src/op.rs crates/pesto-graph/src/plan.rs
+
+/root/repo/target/debug/deps/libpesto_graph-aa69b2877d11b0ab.rmeta: crates/pesto-graph/src/lib.rs crates/pesto-graph/src/analysis.rs crates/pesto-graph/src/cluster.rs crates/pesto-graph/src/error.rs crates/pesto-graph/src/export.rs crates/pesto-graph/src/graph.rs crates/pesto-graph/src/op.rs crates/pesto-graph/src/plan.rs
+
+crates/pesto-graph/src/lib.rs:
+crates/pesto-graph/src/analysis.rs:
+crates/pesto-graph/src/cluster.rs:
+crates/pesto-graph/src/error.rs:
+crates/pesto-graph/src/export.rs:
+crates/pesto-graph/src/graph.rs:
+crates/pesto-graph/src/op.rs:
+crates/pesto-graph/src/plan.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pesto_graph-dd9358cfb14ca444.d: crates/pesto-graph/src/lib.rs crates/pesto-graph/src/analysis.rs crates/pesto-graph/src/cluster.rs crates/pesto-graph/src/error.rs crates/pesto-graph/src/export.rs crates/pesto-graph/src/graph.rs crates/pesto-graph/src/op.rs crates/pesto-graph/src/plan.rs
+
+/root/repo/target/debug/deps/libpesto_graph-dd9358cfb14ca444.rmeta: crates/pesto-graph/src/lib.rs crates/pesto-graph/src/analysis.rs crates/pesto-graph/src/cluster.rs crates/pesto-graph/src/error.rs crates/pesto-graph/src/export.rs crates/pesto-graph/src/graph.rs crates/pesto-graph/src/op.rs crates/pesto-graph/src/plan.rs
+
+crates/pesto-graph/src/lib.rs:
+crates/pesto-graph/src/analysis.rs:
+crates/pesto-graph/src/cluster.rs:
+crates/pesto-graph/src/error.rs:
+crates/pesto-graph/src/export.rs:
+crates/pesto-graph/src/graph.rs:
+crates/pesto-graph/src/op.rs:
+crates/pesto-graph/src/plan.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/pesto_ilp-5f3d2dc00290f16c.d: crates/pesto-ilp/src/lib.rs crates/pesto-ilp/src/augment.rs crates/pesto-ilp/src/bounds.rs crates/pesto-ilp/src/error.rs crates/pesto-ilp/src/multi.rs crates/pesto-ilp/src/formulation.rs crates/pesto-ilp/src/hybrid.rs crates/pesto-ilp/src/listsched.rs crates/pesto-ilp/src/placer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpesto_ilp-5f3d2dc00290f16c.rmeta: crates/pesto-ilp/src/lib.rs crates/pesto-ilp/src/augment.rs crates/pesto-ilp/src/bounds.rs crates/pesto-ilp/src/error.rs crates/pesto-ilp/src/multi.rs crates/pesto-ilp/src/formulation.rs crates/pesto-ilp/src/hybrid.rs crates/pesto-ilp/src/listsched.rs crates/pesto-ilp/src/placer.rs Cargo.toml
+
+crates/pesto-ilp/src/lib.rs:
+crates/pesto-ilp/src/augment.rs:
+crates/pesto-ilp/src/bounds.rs:
+crates/pesto-ilp/src/error.rs:
+crates/pesto-ilp/src/multi.rs:
+crates/pesto-ilp/src/formulation.rs:
+crates/pesto-ilp/src/hybrid.rs:
+crates/pesto-ilp/src/listsched.rs:
+crates/pesto-ilp/src/placer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

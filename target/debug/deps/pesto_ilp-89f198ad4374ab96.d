@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pesto_ilp-89f198ad4374ab96.d: crates/pesto-ilp/src/lib.rs crates/pesto-ilp/src/augment.rs crates/pesto-ilp/src/bounds.rs crates/pesto-ilp/src/error.rs crates/pesto-ilp/src/multi.rs crates/pesto-ilp/src/formulation.rs crates/pesto-ilp/src/hybrid.rs crates/pesto-ilp/src/listsched.rs crates/pesto-ilp/src/placer.rs
+
+/root/repo/target/debug/deps/libpesto_ilp-89f198ad4374ab96.rmeta: crates/pesto-ilp/src/lib.rs crates/pesto-ilp/src/augment.rs crates/pesto-ilp/src/bounds.rs crates/pesto-ilp/src/error.rs crates/pesto-ilp/src/multi.rs crates/pesto-ilp/src/formulation.rs crates/pesto-ilp/src/hybrid.rs crates/pesto-ilp/src/listsched.rs crates/pesto-ilp/src/placer.rs
+
+crates/pesto-ilp/src/lib.rs:
+crates/pesto-ilp/src/augment.rs:
+crates/pesto-ilp/src/bounds.rs:
+crates/pesto-ilp/src/error.rs:
+crates/pesto-ilp/src/multi.rs:
+crates/pesto-ilp/src/formulation.rs:
+crates/pesto-ilp/src/hybrid.rs:
+crates/pesto-ilp/src/listsched.rs:
+crates/pesto-ilp/src/placer.rs:

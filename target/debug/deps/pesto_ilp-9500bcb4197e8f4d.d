@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pesto_ilp-9500bcb4197e8f4d.d: crates/pesto-ilp/src/lib.rs crates/pesto-ilp/src/augment.rs crates/pesto-ilp/src/bounds.rs crates/pesto-ilp/src/error.rs crates/pesto-ilp/src/multi.rs crates/pesto-ilp/src/formulation.rs crates/pesto-ilp/src/hybrid.rs crates/pesto-ilp/src/listsched.rs crates/pesto-ilp/src/placer.rs
+
+/root/repo/target/debug/deps/libpesto_ilp-9500bcb4197e8f4d.rmeta: crates/pesto-ilp/src/lib.rs crates/pesto-ilp/src/augment.rs crates/pesto-ilp/src/bounds.rs crates/pesto-ilp/src/error.rs crates/pesto-ilp/src/multi.rs crates/pesto-ilp/src/formulation.rs crates/pesto-ilp/src/hybrid.rs crates/pesto-ilp/src/listsched.rs crates/pesto-ilp/src/placer.rs
+
+crates/pesto-ilp/src/lib.rs:
+crates/pesto-ilp/src/augment.rs:
+crates/pesto-ilp/src/bounds.rs:
+crates/pesto-ilp/src/error.rs:
+crates/pesto-ilp/src/multi.rs:
+crates/pesto-ilp/src/formulation.rs:
+crates/pesto-ilp/src/hybrid.rs:
+crates/pesto-ilp/src/listsched.rs:
+crates/pesto-ilp/src/placer.rs:

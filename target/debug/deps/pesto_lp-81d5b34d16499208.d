@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pesto_lp-81d5b34d16499208.d: crates/pesto-lp/src/lib.rs crates/pesto-lp/src/problem.rs crates/pesto-lp/src/simplex.rs
+
+/root/repo/target/debug/deps/pesto_lp-81d5b34d16499208: crates/pesto-lp/src/lib.rs crates/pesto-lp/src/problem.rs crates/pesto-lp/src/simplex.rs
+
+crates/pesto-lp/src/lib.rs:
+crates/pesto-lp/src/problem.rs:
+crates/pesto-lp/src/simplex.rs:

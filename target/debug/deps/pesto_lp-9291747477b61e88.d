@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pesto_lp-9291747477b61e88.d: crates/pesto-lp/src/lib.rs crates/pesto-lp/src/problem.rs crates/pesto-lp/src/simplex.rs
+
+/root/repo/target/debug/deps/libpesto_lp-9291747477b61e88.rmeta: crates/pesto-lp/src/lib.rs crates/pesto-lp/src/problem.rs crates/pesto-lp/src/simplex.rs
+
+crates/pesto-lp/src/lib.rs:
+crates/pesto-lp/src/problem.rs:
+crates/pesto-lp/src/simplex.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pesto_lp-ee0ddb578e64bf51.d: crates/pesto-lp/src/lib.rs crates/pesto-lp/src/problem.rs crates/pesto-lp/src/simplex.rs
+
+/root/repo/target/debug/deps/libpesto_lp-ee0ddb578e64bf51.rmeta: crates/pesto-lp/src/lib.rs crates/pesto-lp/src/problem.rs crates/pesto-lp/src/simplex.rs
+
+crates/pesto-lp/src/lib.rs:
+crates/pesto-lp/src/problem.rs:
+crates/pesto-lp/src/simplex.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pesto_lp-fb2b5e7268eace73.d: crates/pesto-lp/src/lib.rs crates/pesto-lp/src/problem.rs crates/pesto-lp/src/simplex.rs
+
+/root/repo/target/debug/deps/libpesto_lp-fb2b5e7268eace73.rlib: crates/pesto-lp/src/lib.rs crates/pesto-lp/src/problem.rs crates/pesto-lp/src/simplex.rs
+
+/root/repo/target/debug/deps/libpesto_lp-fb2b5e7268eace73.rmeta: crates/pesto-lp/src/lib.rs crates/pesto-lp/src/problem.rs crates/pesto-lp/src/simplex.rs
+
+crates/pesto-lp/src/lib.rs:
+crates/pesto-lp/src/problem.rs:
+crates/pesto-lp/src/simplex.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pesto_lp-fd848365159914f3.d: crates/pesto-lp/src/lib.rs crates/pesto-lp/src/problem.rs crates/pesto-lp/src/simplex.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpesto_lp-fd848365159914f3.rmeta: crates/pesto-lp/src/lib.rs crates/pesto-lp/src/problem.rs crates/pesto-lp/src/simplex.rs Cargo.toml
+
+crates/pesto-lp/src/lib.rs:
+crates/pesto-lp/src/problem.rs:
+crates/pesto-lp/src/simplex.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/pesto_milp-0337809b802f731e.d: crates/pesto-milp/src/lib.rs crates/pesto-milp/src/solver.rs
+
+/root/repo/target/debug/deps/libpesto_milp-0337809b802f731e.rmeta: crates/pesto-milp/src/lib.rs crates/pesto-milp/src/solver.rs
+
+crates/pesto-milp/src/lib.rs:
+crates/pesto-milp/src/solver.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pesto_milp-1e7870b108d96138.d: crates/pesto-milp/src/lib.rs crates/pesto-milp/src/solver.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpesto_milp-1e7870b108d96138.rmeta: crates/pesto-milp/src/lib.rs crates/pesto-milp/src/solver.rs Cargo.toml
+
+crates/pesto-milp/src/lib.rs:
+crates/pesto-milp/src/solver.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/pesto_milp-6c52a9893b97c3e7.d: crates/pesto-milp/src/lib.rs crates/pesto-milp/src/solver.rs
+
+/root/repo/target/debug/deps/libpesto_milp-6c52a9893b97c3e7.rmeta: crates/pesto-milp/src/lib.rs crates/pesto-milp/src/solver.rs
+
+crates/pesto-milp/src/lib.rs:
+crates/pesto-milp/src/solver.rs:

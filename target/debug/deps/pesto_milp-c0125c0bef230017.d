@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/pesto_milp-c0125c0bef230017.d: crates/pesto-milp/src/lib.rs crates/pesto-milp/src/solver.rs
+
+/root/repo/target/debug/deps/pesto_milp-c0125c0bef230017: crates/pesto-milp/src/lib.rs crates/pesto-milp/src/solver.rs
+
+crates/pesto-milp/src/lib.rs:
+crates/pesto-milp/src/solver.rs:

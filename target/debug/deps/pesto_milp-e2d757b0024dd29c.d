@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pesto_milp-e2d757b0024dd29c.d: crates/pesto-milp/src/lib.rs crates/pesto-milp/src/solver.rs
+
+/root/repo/target/debug/deps/libpesto_milp-e2d757b0024dd29c.rlib: crates/pesto-milp/src/lib.rs crates/pesto-milp/src/solver.rs
+
+/root/repo/target/debug/deps/libpesto_milp-e2d757b0024dd29c.rmeta: crates/pesto-milp/src/lib.rs crates/pesto-milp/src/solver.rs
+
+crates/pesto-milp/src/lib.rs:
+crates/pesto-milp/src/solver.rs:

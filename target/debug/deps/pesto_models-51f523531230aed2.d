@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pesto_models-51f523531230aed2.d: crates/pesto-models/src/lib.rs crates/pesto-models/src/common.rs crates/pesto-models/src/nasnet.rs crates/pesto-models/src/rnnlm.rs crates/pesto-models/src/spec.rs crates/pesto-models/src/toy.rs crates/pesto-models/src/transformer.rs
+
+/root/repo/target/debug/deps/libpesto_models-51f523531230aed2.rlib: crates/pesto-models/src/lib.rs crates/pesto-models/src/common.rs crates/pesto-models/src/nasnet.rs crates/pesto-models/src/rnnlm.rs crates/pesto-models/src/spec.rs crates/pesto-models/src/toy.rs crates/pesto-models/src/transformer.rs
+
+/root/repo/target/debug/deps/libpesto_models-51f523531230aed2.rmeta: crates/pesto-models/src/lib.rs crates/pesto-models/src/common.rs crates/pesto-models/src/nasnet.rs crates/pesto-models/src/rnnlm.rs crates/pesto-models/src/spec.rs crates/pesto-models/src/toy.rs crates/pesto-models/src/transformer.rs
+
+crates/pesto-models/src/lib.rs:
+crates/pesto-models/src/common.rs:
+crates/pesto-models/src/nasnet.rs:
+crates/pesto-models/src/rnnlm.rs:
+crates/pesto-models/src/spec.rs:
+crates/pesto-models/src/toy.rs:
+crates/pesto-models/src/transformer.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pesto_models-5473e7f64055b41f.d: crates/pesto-models/src/lib.rs crates/pesto-models/src/common.rs crates/pesto-models/src/nasnet.rs crates/pesto-models/src/rnnlm.rs crates/pesto-models/src/spec.rs crates/pesto-models/src/toy.rs crates/pesto-models/src/transformer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpesto_models-5473e7f64055b41f.rmeta: crates/pesto-models/src/lib.rs crates/pesto-models/src/common.rs crates/pesto-models/src/nasnet.rs crates/pesto-models/src/rnnlm.rs crates/pesto-models/src/spec.rs crates/pesto-models/src/toy.rs crates/pesto-models/src/transformer.rs Cargo.toml
+
+crates/pesto-models/src/lib.rs:
+crates/pesto-models/src/common.rs:
+crates/pesto-models/src/nasnet.rs:
+crates/pesto-models/src/rnnlm.rs:
+crates/pesto-models/src/spec.rs:
+crates/pesto-models/src/toy.rs:
+crates/pesto-models/src/transformer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

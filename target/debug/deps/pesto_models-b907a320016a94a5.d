@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pesto_models-b907a320016a94a5.d: crates/pesto-models/src/lib.rs crates/pesto-models/src/common.rs crates/pesto-models/src/nasnet.rs crates/pesto-models/src/rnnlm.rs crates/pesto-models/src/spec.rs crates/pesto-models/src/toy.rs crates/pesto-models/src/transformer.rs
+
+/root/repo/target/debug/deps/pesto_models-b907a320016a94a5: crates/pesto-models/src/lib.rs crates/pesto-models/src/common.rs crates/pesto-models/src/nasnet.rs crates/pesto-models/src/rnnlm.rs crates/pesto-models/src/spec.rs crates/pesto-models/src/toy.rs crates/pesto-models/src/transformer.rs
+
+crates/pesto-models/src/lib.rs:
+crates/pesto-models/src/common.rs:
+crates/pesto-models/src/nasnet.rs:
+crates/pesto-models/src/rnnlm.rs:
+crates/pesto-models/src/spec.rs:
+crates/pesto-models/src/toy.rs:
+crates/pesto-models/src/transformer.rs:

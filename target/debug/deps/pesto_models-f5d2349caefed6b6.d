@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pesto_models-f5d2349caefed6b6.d: crates/pesto-models/src/lib.rs crates/pesto-models/src/common.rs crates/pesto-models/src/nasnet.rs crates/pesto-models/src/rnnlm.rs crates/pesto-models/src/spec.rs crates/pesto-models/src/toy.rs crates/pesto-models/src/transformer.rs
+
+/root/repo/target/debug/deps/libpesto_models-f5d2349caefed6b6.rmeta: crates/pesto-models/src/lib.rs crates/pesto-models/src/common.rs crates/pesto-models/src/nasnet.rs crates/pesto-models/src/rnnlm.rs crates/pesto-models/src/spec.rs crates/pesto-models/src/toy.rs crates/pesto-models/src/transformer.rs
+
+crates/pesto-models/src/lib.rs:
+crates/pesto-models/src/common.rs:
+crates/pesto-models/src/nasnet.rs:
+crates/pesto-models/src/rnnlm.rs:
+crates/pesto-models/src/spec.rs:
+crates/pesto-models/src/toy.rs:
+crates/pesto-models/src/transformer.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pesto_sim-31e3be75941bf93e.d: crates/pesto-sim/src/lib.rs crates/pesto-sim/src/engine.rs crates/pesto-sim/src/error.rs crates/pesto-sim/src/faults.rs crates/pesto-sim/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpesto_sim-31e3be75941bf93e.rmeta: crates/pesto-sim/src/lib.rs crates/pesto-sim/src/engine.rs crates/pesto-sim/src/error.rs crates/pesto-sim/src/faults.rs crates/pesto-sim/src/report.rs Cargo.toml
+
+crates/pesto-sim/src/lib.rs:
+crates/pesto-sim/src/engine.rs:
+crates/pesto-sim/src/error.rs:
+crates/pesto-sim/src/faults.rs:
+crates/pesto-sim/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

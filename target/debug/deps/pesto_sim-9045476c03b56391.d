@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pesto_sim-9045476c03b56391.d: crates/pesto-sim/src/lib.rs crates/pesto-sim/src/engine.rs crates/pesto-sim/src/error.rs crates/pesto-sim/src/faults.rs crates/pesto-sim/src/report.rs
+
+/root/repo/target/debug/deps/libpesto_sim-9045476c03b56391.rmeta: crates/pesto-sim/src/lib.rs crates/pesto-sim/src/engine.rs crates/pesto-sim/src/error.rs crates/pesto-sim/src/faults.rs crates/pesto-sim/src/report.rs
+
+crates/pesto-sim/src/lib.rs:
+crates/pesto-sim/src/engine.rs:
+crates/pesto-sim/src/error.rs:
+crates/pesto-sim/src/faults.rs:
+crates/pesto-sim/src/report.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pesto_sim-d7bdefe258330491.d: crates/pesto-sim/src/lib.rs crates/pesto-sim/src/engine.rs crates/pesto-sim/src/error.rs crates/pesto-sim/src/faults.rs crates/pesto-sim/src/report.rs
+
+/root/repo/target/debug/deps/pesto_sim-d7bdefe258330491: crates/pesto-sim/src/lib.rs crates/pesto-sim/src/engine.rs crates/pesto-sim/src/error.rs crates/pesto-sim/src/faults.rs crates/pesto-sim/src/report.rs
+
+crates/pesto-sim/src/lib.rs:
+crates/pesto-sim/src/engine.rs:
+crates/pesto-sim/src/error.rs:
+crates/pesto-sim/src/faults.rs:
+crates/pesto-sim/src/report.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pesto_sim-dd36fa8b1f97eae9.d: crates/pesto-sim/src/lib.rs crates/pesto-sim/src/engine.rs crates/pesto-sim/src/error.rs crates/pesto-sim/src/faults.rs crates/pesto-sim/src/report.rs
+
+/root/repo/target/debug/deps/libpesto_sim-dd36fa8b1f97eae9.rlib: crates/pesto-sim/src/lib.rs crates/pesto-sim/src/engine.rs crates/pesto-sim/src/error.rs crates/pesto-sim/src/faults.rs crates/pesto-sim/src/report.rs
+
+/root/repo/target/debug/deps/libpesto_sim-dd36fa8b1f97eae9.rmeta: crates/pesto-sim/src/lib.rs crates/pesto-sim/src/engine.rs crates/pesto-sim/src/error.rs crates/pesto-sim/src/faults.rs crates/pesto-sim/src/report.rs
+
+crates/pesto-sim/src/lib.rs:
+crates/pesto-sim/src/engine.rs:
+crates/pesto-sim/src/error.rs:
+crates/pesto-sim/src/faults.rs:
+crates/pesto-sim/src/report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-02103bad12d93d99.d: crates/pesto-coarsen/tests/props.rs
+
+/root/repo/target/debug/deps/libprops-02103bad12d93d99.rmeta: crates/pesto-coarsen/tests/props.rs
+
+crates/pesto-coarsen/tests/props.rs:

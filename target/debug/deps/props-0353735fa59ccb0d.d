@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-0353735fa59ccb0d.d: crates/pesto-baselines/tests/props.rs
+
+/root/repo/target/debug/deps/props-0353735fa59ccb0d: crates/pesto-baselines/tests/props.rs
+
+crates/pesto-baselines/tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-07508f94ca636143.d: crates/pesto-sim/tests/props.rs
+
+/root/repo/target/debug/deps/libprops-07508f94ca636143.rmeta: crates/pesto-sim/tests/props.rs
+
+crates/pesto-sim/tests/props.rs:

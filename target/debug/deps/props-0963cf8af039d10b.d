@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-0963cf8af039d10b.d: crates/pesto-lp/tests/props.rs
+
+/root/repo/target/debug/deps/libprops-0963cf8af039d10b.rmeta: crates/pesto-lp/tests/props.rs
+
+crates/pesto-lp/tests/props.rs:

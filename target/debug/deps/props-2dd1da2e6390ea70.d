@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-2dd1da2e6390ea70.d: crates/pesto-sim/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-2dd1da2e6390ea70.rmeta: crates/pesto-sim/tests/props.rs Cargo.toml
+
+crates/pesto-sim/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

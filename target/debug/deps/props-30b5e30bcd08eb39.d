@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-30b5e30bcd08eb39.d: crates/pesto-coarsen/tests/props.rs
+
+/root/repo/target/debug/deps/props-30b5e30bcd08eb39: crates/pesto-coarsen/tests/props.rs
+
+crates/pesto-coarsen/tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-45046dfd11b7789e.d: crates/pesto-lp/tests/props.rs
+
+/root/repo/target/debug/deps/props-45046dfd11b7789e: crates/pesto-lp/tests/props.rs
+
+crates/pesto-lp/tests/props.rs:

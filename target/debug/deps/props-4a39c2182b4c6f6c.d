@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-4a39c2182b4c6f6c.d: crates/pesto-graph/tests/props.rs
+
+/root/repo/target/debug/deps/libprops-4a39c2182b4c6f6c.rmeta: crates/pesto-graph/tests/props.rs
+
+crates/pesto-graph/tests/props.rs:

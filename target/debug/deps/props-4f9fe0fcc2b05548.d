@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-4f9fe0fcc2b05548.d: crates/pesto-graph/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-4f9fe0fcc2b05548.rmeta: crates/pesto-graph/tests/props.rs Cargo.toml
+
+crates/pesto-graph/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-51416c03d55cf65b.d: crates/pesto-graph/tests/props.rs
+
+/root/repo/target/debug/deps/props-51416c03d55cf65b: crates/pesto-graph/tests/props.rs
+
+crates/pesto-graph/tests/props.rs:

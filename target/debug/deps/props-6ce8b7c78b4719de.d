@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-6ce8b7c78b4719de.d: crates/pesto-milp/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-6ce8b7c78b4719de.rmeta: crates/pesto-milp/tests/props.rs Cargo.toml
+
+crates/pesto-milp/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

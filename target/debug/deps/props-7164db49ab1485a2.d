@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-7164db49ab1485a2.d: crates/pesto-cost/tests/props.rs
+
+/root/repo/target/debug/deps/libprops-7164db49ab1485a2.rmeta: crates/pesto-cost/tests/props.rs
+
+crates/pesto-cost/tests/props.rs:

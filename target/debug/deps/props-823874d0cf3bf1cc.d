@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-823874d0cf3bf1cc.d: crates/pesto-baselines/tests/props.rs
+
+/root/repo/target/debug/deps/libprops-823874d0cf3bf1cc.rmeta: crates/pesto-baselines/tests/props.rs
+
+crates/pesto-baselines/tests/props.rs:

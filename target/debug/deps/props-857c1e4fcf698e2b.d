@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-857c1e4fcf698e2b.d: crates/pesto-milp/tests/props.rs
+
+/root/repo/target/debug/deps/props-857c1e4fcf698e2b: crates/pesto-milp/tests/props.rs
+
+crates/pesto-milp/tests/props.rs:

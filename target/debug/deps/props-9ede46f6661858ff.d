@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-9ede46f6661858ff.d: crates/pesto-coarsen/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-9ede46f6661858ff.rmeta: crates/pesto-coarsen/tests/props.rs Cargo.toml
+
+crates/pesto-coarsen/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

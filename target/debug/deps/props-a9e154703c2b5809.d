@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-a9e154703c2b5809.d: crates/pesto-sim/tests/props.rs
+
+/root/repo/target/debug/deps/props-a9e154703c2b5809: crates/pesto-sim/tests/props.rs
+
+crates/pesto-sim/tests/props.rs:

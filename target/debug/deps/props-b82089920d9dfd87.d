@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-b82089920d9dfd87.d: crates/pesto-cost/tests/props.rs
+
+/root/repo/target/debug/deps/props-b82089920d9dfd87: crates/pesto-cost/tests/props.rs
+
+crates/pesto-cost/tests/props.rs:

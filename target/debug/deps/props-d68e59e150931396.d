@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-d68e59e150931396.d: crates/pesto-baselines/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-d68e59e150931396.rmeta: crates/pesto-baselines/tests/props.rs Cargo.toml
+
+crates/pesto-baselines/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

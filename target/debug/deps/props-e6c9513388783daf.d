@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-e6c9513388783daf.d: crates/pesto-lp/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-e6c9513388783daf.rmeta: crates/pesto-lp/tests/props.rs Cargo.toml
+
+crates/pesto-lp/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

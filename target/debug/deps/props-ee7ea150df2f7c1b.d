@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-ee7ea150df2f7c1b.d: crates/pesto-cost/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-ee7ea150df2f7c1b.rmeta: crates/pesto-cost/tests/props.rs Cargo.toml
+
+crates/pesto-cost/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

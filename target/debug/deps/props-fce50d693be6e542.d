@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-fce50d693be6e542.d: crates/pesto-milp/tests/props.rs
+
+/root/repo/target/debug/deps/libprops-fce50d693be6e542.rmeta: crates/pesto-milp/tests/props.rs
+
+crates/pesto-milp/tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-556f28da0225b6a6.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-556f28da0225b6a6.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

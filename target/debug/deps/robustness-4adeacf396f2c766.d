@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/robustness-4adeacf396f2c766.d: crates/pesto/../../tests/robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobustness-4adeacf396f2c766.rmeta: crates/pesto/../../tests/robustness.rs Cargo.toml
+
+crates/pesto/../../tests/robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

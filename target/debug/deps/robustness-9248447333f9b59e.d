@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-9248447333f9b59e.d: crates/pesto/../../tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-9248447333f9b59e: crates/pesto/../../tests/robustness.rs
+
+crates/pesto/../../tests/robustness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-e9e3aef50e0156dd.d: crates/pesto/../../tests/robustness.rs
+
+/root/repo/target/debug/deps/librobustness-e9e3aef50e0156dd.rmeta: crates/pesto/../../tests/robustness.rs
+
+crates/pesto/../../tests/robustness.rs:

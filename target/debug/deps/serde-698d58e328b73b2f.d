@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-698d58e328b73b2f.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-698d58e328b73b2f.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

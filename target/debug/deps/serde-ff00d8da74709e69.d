@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-ff00d8da74709e69.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-ff00d8da74709e69.rlib: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-ff00d8da74709e69.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-d8c027b4f1e78359.d: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-d8c027b4f1e78359.rmeta: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/stubs/serde_json/src/lib.rs:

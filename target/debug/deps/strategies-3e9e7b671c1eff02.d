@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/strategies-3e9e7b671c1eff02.d: crates/bench/benches/strategies.rs
+
+/root/repo/target/debug/deps/libstrategies-3e9e7b671c1eff02.rmeta: crates/bench/benches/strategies.rs
+
+crates/bench/benches/strategies.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/strategies-e9bf04767b6bf9f7.d: crates/bench/benches/strategies.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstrategies-e9bf04767b6bf9f7.rmeta: crates/bench/benches/strategies.rs Cargo.toml
+
+crates/bench/benches/strategies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/strategy_shape-8c75e16d40012ba1.d: crates/pesto/../../tests/strategy_shape.rs
+
+/root/repo/target/debug/deps/strategy_shape-8c75e16d40012ba1: crates/pesto/../../tests/strategy_shape.rs
+
+crates/pesto/../../tests/strategy_shape.rs:

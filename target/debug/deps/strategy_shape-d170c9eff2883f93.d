@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/strategy_shape-d170c9eff2883f93.d: crates/pesto/../../tests/strategy_shape.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstrategy_shape-d170c9eff2883f93.rmeta: crates/pesto/../../tests/strategy_shape.rs Cargo.toml
+
+crates/pesto/../../tests/strategy_shape.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

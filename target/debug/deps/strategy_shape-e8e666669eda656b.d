@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/strategy_shape-e8e666669eda656b.d: crates/pesto/../../tests/strategy_shape.rs
+
+/root/repo/target/debug/deps/libstrategy_shape-e8e666669eda656b.rmeta: crates/pesto/../../tests/strategy_shape.rs
+
+crates/pesto/../../tests/strategy_shape.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrates-0529ea15f188dd7f.d: crates/bench/benches/substrates.rs
+
+/root/repo/target/debug/deps/libsubstrates-0529ea15f188dd7f.rmeta: crates/bench/benches/substrates.rs
+
+crates/bench/benches/substrates.rs:

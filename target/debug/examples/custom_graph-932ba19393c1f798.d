@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_graph-932ba19393c1f798.d: crates/pesto/../../examples/custom_graph.rs
+
+/root/repo/target/debug/examples/custom_graph-932ba19393c1f798: crates/pesto/../../examples/custom_graph.rs
+
+crates/pesto/../../examples/custom_graph.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_graph-f353b3f09ee8c0ce.d: crates/pesto/../../examples/custom_graph.rs
+
+/root/repo/target/debug/examples/libcustom_graph-f353b3f09ee8c0ce.rmeta: crates/pesto/../../examples/custom_graph.rs
+
+crates/pesto/../../examples/custom_graph.rs:

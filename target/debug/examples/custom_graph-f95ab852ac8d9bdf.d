@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_graph-f95ab852ac8d9bdf.d: crates/pesto/../../examples/custom_graph.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_graph-f95ab852ac8d9bdf.rmeta: crates/pesto/../../examples/custom_graph.rs Cargo.toml
+
+crates/pesto/../../examples/custom_graph.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

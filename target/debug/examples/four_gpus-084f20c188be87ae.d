@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/four_gpus-084f20c188be87ae.d: crates/pesto/../../examples/four_gpus.rs
+
+/root/repo/target/debug/examples/four_gpus-084f20c188be87ae: crates/pesto/../../examples/four_gpus.rs
+
+crates/pesto/../../examples/four_gpus.rs:

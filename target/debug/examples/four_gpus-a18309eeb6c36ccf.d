@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/four_gpus-a18309eeb6c36ccf.d: crates/pesto/../../examples/four_gpus.rs
+
+/root/repo/target/debug/examples/libfour_gpus-a18309eeb6c36ccf.rmeta: crates/pesto/../../examples/four_gpus.rs
+
+crates/pesto/../../examples/four_gpus.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/four_gpus-fa2cb04f5305a6c8.d: crates/pesto/../../examples/four_gpus.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfour_gpus-fa2cb04f5305a6c8.rmeta: crates/pesto/../../examples/four_gpus.rs Cargo.toml
+
+crates/pesto/../../examples/four_gpus.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hardware_whatif-4252ce060c0a968d.d: crates/pesto/../../examples/hardware_whatif.rs
+
+/root/repo/target/debug/examples/libhardware_whatif-4252ce060c0a968d.rmeta: crates/pesto/../../examples/hardware_whatif.rs
+
+crates/pesto/../../examples/hardware_whatif.rs:

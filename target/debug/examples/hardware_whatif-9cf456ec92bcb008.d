@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hardware_whatif-9cf456ec92bcb008.d: crates/pesto/../../examples/hardware_whatif.rs
+
+/root/repo/target/debug/examples/hardware_whatif-9cf456ec92bcb008: crates/pesto/../../examples/hardware_whatif.rs
+
+crates/pesto/../../examples/hardware_whatif.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hardware_whatif-c86638fb85a5def7.d: crates/pesto/../../examples/hardware_whatif.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhardware_whatif-c86638fb85a5def7.rmeta: crates/pesto/../../examples/hardware_whatif.rs Cargo.toml
+
+crates/pesto/../../examples/hardware_whatif.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

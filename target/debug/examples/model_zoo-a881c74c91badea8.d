@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/model_zoo-a881c74c91badea8.d: crates/pesto/../../examples/model_zoo.rs
+
+/root/repo/target/debug/examples/model_zoo-a881c74c91badea8: crates/pesto/../../examples/model_zoo.rs
+
+crates/pesto/../../examples/model_zoo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/model_zoo-ab8ad06adc899b13.d: crates/pesto/../../examples/model_zoo.rs
+
+/root/repo/target/debug/examples/libmodel_zoo-ab8ad06adc899b13.rmeta: crates/pesto/../../examples/model_zoo.rs
+
+crates/pesto/../../examples/model_zoo.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/model_zoo-dda301ed21c84e93.d: crates/pesto/../../examples/model_zoo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmodel_zoo-dda301ed21c84e93.rmeta: crates/pesto/../../examples/model_zoo.rs Cargo.toml
+
+crates/pesto/../../examples/model_zoo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

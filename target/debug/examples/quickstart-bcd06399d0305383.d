@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-bcd06399d0305383.d: crates/pesto/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-bcd06399d0305383.rmeta: crates/pesto/../../examples/quickstart.rs
+
+crates/pesto/../../examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-c6c03d113ddc92ae.d: crates/pesto/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-c6c03d113ddc92ae.rmeta: crates/pesto/../../examples/quickstart.rs Cargo.toml
+
+crates/pesto/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

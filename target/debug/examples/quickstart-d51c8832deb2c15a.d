@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d51c8832deb2c15a.d: crates/pesto/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d51c8832deb2c15a: crates/pesto/../../examples/quickstart.rs
+
+crates/pesto/../../examples/quickstart.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-79751cc4310d41fe.d: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-79751cc4310d41fe.rlib: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-79751cc4310d41fe.rmeta: /tmp/stubs/crossbeam/src/lib.rs
+
+/tmp/stubs/crossbeam/src/lib.rs:

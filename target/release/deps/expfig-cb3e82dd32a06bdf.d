@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/expfig-cb3e82dd32a06bdf.d: crates/bench/src/bin/expfig.rs
+
+/root/repo/target/release/deps/expfig-cb3e82dd32a06bdf: crates/bench/src/bin/expfig.rs
+
+crates/bench/src/bin/expfig.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-866e44a6db3392fc.d: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-866e44a6db3392fc.rlib: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-866e44a6db3392fc.rmeta: /tmp/stubs/parking_lot/src/lib.rs
+
+/tmp/stubs/parking_lot/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/pesto-863862f13f1cb8c3.d: crates/pesto/src/lib.rs crates/pesto/src/eval.rs crates/pesto/src/pipeline.rs crates/pesto/src/robust.rs
+
+/root/repo/target/release/deps/libpesto-863862f13f1cb8c3.rlib: crates/pesto/src/lib.rs crates/pesto/src/eval.rs crates/pesto/src/pipeline.rs crates/pesto/src/robust.rs
+
+/root/repo/target/release/deps/libpesto-863862f13f1cb8c3.rmeta: crates/pesto/src/lib.rs crates/pesto/src/eval.rs crates/pesto/src/pipeline.rs crates/pesto/src/robust.rs
+
+crates/pesto/src/lib.rs:
+crates/pesto/src/eval.rs:
+crates/pesto/src/pipeline.rs:
+crates/pesto/src/robust.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pesto-9c3b186be8511403.d: crates/pesto/src/bin/pesto.rs
+
+/root/repo/target/release/deps/pesto-9c3b186be8511403: crates/pesto/src/bin/pesto.rs
+
+crates/pesto/src/bin/pesto.rs:

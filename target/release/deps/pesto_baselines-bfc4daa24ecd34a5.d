@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pesto_baselines-bfc4daa24ecd34a5.d: crates/pesto-baselines/src/lib.rs crates/pesto-baselines/src/baechi.rs crates/pesto-baselines/src/expert.rs crates/pesto-baselines/src/naive.rs crates/pesto-baselines/src/random.rs
+
+/root/repo/target/release/deps/libpesto_baselines-bfc4daa24ecd34a5.rlib: crates/pesto-baselines/src/lib.rs crates/pesto-baselines/src/baechi.rs crates/pesto-baselines/src/expert.rs crates/pesto-baselines/src/naive.rs crates/pesto-baselines/src/random.rs
+
+/root/repo/target/release/deps/libpesto_baselines-bfc4daa24ecd34a5.rmeta: crates/pesto-baselines/src/lib.rs crates/pesto-baselines/src/baechi.rs crates/pesto-baselines/src/expert.rs crates/pesto-baselines/src/naive.rs crates/pesto-baselines/src/random.rs
+
+crates/pesto-baselines/src/lib.rs:
+crates/pesto-baselines/src/baechi.rs:
+crates/pesto-baselines/src/expert.rs:
+crates/pesto-baselines/src/naive.rs:
+crates/pesto-baselines/src/random.rs:

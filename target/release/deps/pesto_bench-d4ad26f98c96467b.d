@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pesto_bench-d4ad26f98c96467b.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libpesto_bench-d4ad26f98c96467b.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libpesto_bench-d4ad26f98c96467b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

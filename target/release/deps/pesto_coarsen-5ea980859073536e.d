@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pesto_coarsen-5ea980859073536e.d: crates/pesto-coarsen/src/lib.rs crates/pesto-coarsen/src/batch.rs crates/pesto-coarsen/src/mapping.rs
+
+/root/repo/target/release/deps/libpesto_coarsen-5ea980859073536e.rlib: crates/pesto-coarsen/src/lib.rs crates/pesto-coarsen/src/batch.rs crates/pesto-coarsen/src/mapping.rs
+
+/root/repo/target/release/deps/libpesto_coarsen-5ea980859073536e.rmeta: crates/pesto-coarsen/src/lib.rs crates/pesto-coarsen/src/batch.rs crates/pesto-coarsen/src/mapping.rs
+
+crates/pesto-coarsen/src/lib.rs:
+crates/pesto-coarsen/src/batch.rs:
+crates/pesto-coarsen/src/mapping.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pesto_cost-72d678e00375426f.d: crates/pesto-cost/src/lib.rs crates/pesto-cost/src/comm.rs crates/pesto-cost/src/profiler.rs crates/pesto-cost/src/regression.rs crates/pesto-cost/src/scale.rs
+
+/root/repo/target/release/deps/libpesto_cost-72d678e00375426f.rlib: crates/pesto-cost/src/lib.rs crates/pesto-cost/src/comm.rs crates/pesto-cost/src/profiler.rs crates/pesto-cost/src/regression.rs crates/pesto-cost/src/scale.rs
+
+/root/repo/target/release/deps/libpesto_cost-72d678e00375426f.rmeta: crates/pesto-cost/src/lib.rs crates/pesto-cost/src/comm.rs crates/pesto-cost/src/profiler.rs crates/pesto-cost/src/regression.rs crates/pesto-cost/src/scale.rs
+
+crates/pesto-cost/src/lib.rs:
+crates/pesto-cost/src/comm.rs:
+crates/pesto-cost/src/profiler.rs:
+crates/pesto-cost/src/regression.rs:
+crates/pesto-cost/src/scale.rs:

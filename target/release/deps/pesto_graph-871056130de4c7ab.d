@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/pesto_graph-871056130de4c7ab.d: crates/pesto-graph/src/lib.rs crates/pesto-graph/src/analysis.rs crates/pesto-graph/src/cluster.rs crates/pesto-graph/src/error.rs crates/pesto-graph/src/export.rs crates/pesto-graph/src/graph.rs crates/pesto-graph/src/op.rs crates/pesto-graph/src/plan.rs
+
+/root/repo/target/release/deps/libpesto_graph-871056130de4c7ab.rlib: crates/pesto-graph/src/lib.rs crates/pesto-graph/src/analysis.rs crates/pesto-graph/src/cluster.rs crates/pesto-graph/src/error.rs crates/pesto-graph/src/export.rs crates/pesto-graph/src/graph.rs crates/pesto-graph/src/op.rs crates/pesto-graph/src/plan.rs
+
+/root/repo/target/release/deps/libpesto_graph-871056130de4c7ab.rmeta: crates/pesto-graph/src/lib.rs crates/pesto-graph/src/analysis.rs crates/pesto-graph/src/cluster.rs crates/pesto-graph/src/error.rs crates/pesto-graph/src/export.rs crates/pesto-graph/src/graph.rs crates/pesto-graph/src/op.rs crates/pesto-graph/src/plan.rs
+
+crates/pesto-graph/src/lib.rs:
+crates/pesto-graph/src/analysis.rs:
+crates/pesto-graph/src/cluster.rs:
+crates/pesto-graph/src/error.rs:
+crates/pesto-graph/src/export.rs:
+crates/pesto-graph/src/graph.rs:
+crates/pesto-graph/src/op.rs:
+crates/pesto-graph/src/plan.rs:

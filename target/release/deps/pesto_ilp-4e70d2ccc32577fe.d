@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/pesto_ilp-4e70d2ccc32577fe.d: crates/pesto-ilp/src/lib.rs crates/pesto-ilp/src/augment.rs crates/pesto-ilp/src/bounds.rs crates/pesto-ilp/src/error.rs crates/pesto-ilp/src/multi.rs crates/pesto-ilp/src/formulation.rs crates/pesto-ilp/src/hybrid.rs crates/pesto-ilp/src/listsched.rs crates/pesto-ilp/src/placer.rs
+
+/root/repo/target/release/deps/libpesto_ilp-4e70d2ccc32577fe.rlib: crates/pesto-ilp/src/lib.rs crates/pesto-ilp/src/augment.rs crates/pesto-ilp/src/bounds.rs crates/pesto-ilp/src/error.rs crates/pesto-ilp/src/multi.rs crates/pesto-ilp/src/formulation.rs crates/pesto-ilp/src/hybrid.rs crates/pesto-ilp/src/listsched.rs crates/pesto-ilp/src/placer.rs
+
+/root/repo/target/release/deps/libpesto_ilp-4e70d2ccc32577fe.rmeta: crates/pesto-ilp/src/lib.rs crates/pesto-ilp/src/augment.rs crates/pesto-ilp/src/bounds.rs crates/pesto-ilp/src/error.rs crates/pesto-ilp/src/multi.rs crates/pesto-ilp/src/formulation.rs crates/pesto-ilp/src/hybrid.rs crates/pesto-ilp/src/listsched.rs crates/pesto-ilp/src/placer.rs
+
+crates/pesto-ilp/src/lib.rs:
+crates/pesto-ilp/src/augment.rs:
+crates/pesto-ilp/src/bounds.rs:
+crates/pesto-ilp/src/error.rs:
+crates/pesto-ilp/src/multi.rs:
+crates/pesto-ilp/src/formulation.rs:
+crates/pesto-ilp/src/hybrid.rs:
+crates/pesto-ilp/src/listsched.rs:
+crates/pesto-ilp/src/placer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pesto_lp-a84c67a4b4db300f.d: crates/pesto-lp/src/lib.rs crates/pesto-lp/src/problem.rs crates/pesto-lp/src/simplex.rs
+
+/root/repo/target/release/deps/libpesto_lp-a84c67a4b4db300f.rlib: crates/pesto-lp/src/lib.rs crates/pesto-lp/src/problem.rs crates/pesto-lp/src/simplex.rs
+
+/root/repo/target/release/deps/libpesto_lp-a84c67a4b4db300f.rmeta: crates/pesto-lp/src/lib.rs crates/pesto-lp/src/problem.rs crates/pesto-lp/src/simplex.rs
+
+crates/pesto-lp/src/lib.rs:
+crates/pesto-lp/src/problem.rs:
+crates/pesto-lp/src/simplex.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/pesto_milp-8d36c22b22238e30.d: crates/pesto-milp/src/lib.rs crates/pesto-milp/src/solver.rs
+
+/root/repo/target/release/deps/libpesto_milp-8d36c22b22238e30.rlib: crates/pesto-milp/src/lib.rs crates/pesto-milp/src/solver.rs
+
+/root/repo/target/release/deps/libpesto_milp-8d36c22b22238e30.rmeta: crates/pesto-milp/src/lib.rs crates/pesto-milp/src/solver.rs
+
+crates/pesto-milp/src/lib.rs:
+crates/pesto-milp/src/solver.rs:

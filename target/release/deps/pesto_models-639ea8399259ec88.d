@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/pesto_models-639ea8399259ec88.d: crates/pesto-models/src/lib.rs crates/pesto-models/src/common.rs crates/pesto-models/src/nasnet.rs crates/pesto-models/src/rnnlm.rs crates/pesto-models/src/spec.rs crates/pesto-models/src/toy.rs crates/pesto-models/src/transformer.rs
+
+/root/repo/target/release/deps/libpesto_models-639ea8399259ec88.rlib: crates/pesto-models/src/lib.rs crates/pesto-models/src/common.rs crates/pesto-models/src/nasnet.rs crates/pesto-models/src/rnnlm.rs crates/pesto-models/src/spec.rs crates/pesto-models/src/toy.rs crates/pesto-models/src/transformer.rs
+
+/root/repo/target/release/deps/libpesto_models-639ea8399259ec88.rmeta: crates/pesto-models/src/lib.rs crates/pesto-models/src/common.rs crates/pesto-models/src/nasnet.rs crates/pesto-models/src/rnnlm.rs crates/pesto-models/src/spec.rs crates/pesto-models/src/toy.rs crates/pesto-models/src/transformer.rs
+
+crates/pesto-models/src/lib.rs:
+crates/pesto-models/src/common.rs:
+crates/pesto-models/src/nasnet.rs:
+crates/pesto-models/src/rnnlm.rs:
+crates/pesto-models/src/spec.rs:
+crates/pesto-models/src/toy.rs:
+crates/pesto-models/src/transformer.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pesto_sim-7902cbade92434c9.d: crates/pesto-sim/src/lib.rs crates/pesto-sim/src/engine.rs crates/pesto-sim/src/error.rs crates/pesto-sim/src/faults.rs crates/pesto-sim/src/report.rs
+
+/root/repo/target/release/deps/libpesto_sim-7902cbade92434c9.rlib: crates/pesto-sim/src/lib.rs crates/pesto-sim/src/engine.rs crates/pesto-sim/src/error.rs crates/pesto-sim/src/faults.rs crates/pesto-sim/src/report.rs
+
+/root/repo/target/release/deps/libpesto_sim-7902cbade92434c9.rmeta: crates/pesto-sim/src/lib.rs crates/pesto-sim/src/engine.rs crates/pesto-sim/src/error.rs crates/pesto-sim/src/faults.rs crates/pesto-sim/src/report.rs
+
+crates/pesto-sim/src/lib.rs:
+crates/pesto-sim/src/engine.rs:
+crates/pesto-sim/src/error.rs:
+crates/pesto-sim/src/faults.rs:
+crates/pesto-sim/src/report.rs:

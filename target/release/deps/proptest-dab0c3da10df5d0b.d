@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-dab0c3da10df5d0b.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-dab0c3da10df5d0b.rlib: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-dab0c3da10df5d0b.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

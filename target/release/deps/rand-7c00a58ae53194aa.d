@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-7c00a58ae53194aa.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-7c00a58ae53194aa.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-7c00a58ae53194aa.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

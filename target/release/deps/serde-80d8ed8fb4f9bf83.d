@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-80d8ed8fb4f9bf83.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-80d8ed8fb4f9bf83.rlib: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-80d8ed8fb4f9bf83.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-7a07339492f43ae4.d: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-7a07339492f43ae4.rlib: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-7a07339492f43ae4.rmeta: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/stubs/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/custom_graph-8913a9120d62ba04.d: crates/pesto/../../examples/custom_graph.rs
+
+/root/repo/target/release/examples/custom_graph-8913a9120d62ba04: crates/pesto/../../examples/custom_graph.rs
+
+crates/pesto/../../examples/custom_graph.rs:

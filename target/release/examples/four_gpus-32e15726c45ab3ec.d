@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/four_gpus-32e15726c45ab3ec.d: crates/pesto/../../examples/four_gpus.rs
+
+/root/repo/target/release/examples/four_gpus-32e15726c45ab3ec: crates/pesto/../../examples/four_gpus.rs
+
+crates/pesto/../../examples/four_gpus.rs:

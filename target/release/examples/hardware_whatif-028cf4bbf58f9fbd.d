@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/hardware_whatif-028cf4bbf58f9fbd.d: crates/pesto/../../examples/hardware_whatif.rs
+
+/root/repo/target/release/examples/hardware_whatif-028cf4bbf58f9fbd: crates/pesto/../../examples/hardware_whatif.rs
+
+crates/pesto/../../examples/hardware_whatif.rs:

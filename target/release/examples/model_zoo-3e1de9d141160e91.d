@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/model_zoo-3e1de9d141160e91.d: crates/pesto/../../examples/model_zoo.rs
+
+/root/repo/target/release/examples/model_zoo-3e1de9d141160e91: crates/pesto/../../examples/model_zoo.rs
+
+crates/pesto/../../examples/model_zoo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-5196772ba64b94da.d: crates/pesto/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-5196772ba64b94da: crates/pesto/../../examples/quickstart.rs
+
+crates/pesto/../../examples/quickstart.rs:
