@@ -1,9 +1,15 @@
 //! `expfig` — regenerates every table and figure of the Pesto paper's
 //! evaluation (see DESIGN.md's experiment index).
 //!
-//! Usage: `expfig <experiment> [--quick]` where experiment is one of
-//! `fig2 fig4a fig4b table1 fig5 fig7 table2 table3 fig8a fig8b
-//! coarsen-sweep budget-sweep robustness all`.
+//! Usage: `expfig <experiment> [--quick] [--steps K]` where experiment is
+//! one of `fig2 fig4a fig4b table1 fig5 fig7 table2 table3 fig8a fig8b
+//! coarsen-sweep budget-sweep robustness pipeline all`.
+//!
+//! `--steps K` selects the number of pipelined training steps per
+//! simulation: the `robustness` sweep then ranks plans by steady-state
+//! step time (default 1 = single-step makespans), and the `pipeline`
+//! experiment compares strategies' fill/steady/drain breakdowns
+//! (default 4 steps).
 
 use pesto::baselines::{expert, naive_critical_path, random_placement};
 use pesto::coarsen::{coarsen, CoarsenConfig};
@@ -23,6 +29,12 @@ use std::time::{Duration, Instant};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let steps: Option<usize> = args
+        .iter()
+        .position(|a| a == "--steps")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .filter(|&k| k >= 1);
     let which = args.first().map(String::as_str).unwrap_or("all");
     let cluster = Cluster::two_gpus();
     let comm = CommModel::default_v100();
@@ -65,7 +77,10 @@ fn main() {
         budget_sweep(&cluster, &comm);
     }
     if run("robustness") {
-        robustness(&cluster, &comm, quick);
+        robustness(&cluster, &comm, quick, steps.unwrap_or(1));
+    }
+    if run("pipeline") {
+        pipeline(&cluster, &comm, quick, steps.unwrap_or(4));
     }
 }
 
@@ -599,9 +614,13 @@ fn budget_sweep(cluster: &Cluster, comm: &CommModel) {
 /// sweep comparing how Pesto's, Expert's, and mSCT's plans degrade under
 /// stragglers, compute jitter, and degraded links. All strategies face the
 /// exact same seeded fault draws, so the distributions are comparable.
-fn robustness(cluster: &Cluster, comm: &CommModel, quick: bool) {
+fn robustness(cluster: &Cluster, comm: &CommModel, quick: bool, steps: usize) {
     use pesto::{evaluate_robustness, RobustnessConfig};
-    println!("\n== robustness: perturbed per-step time distribution ==");
+    if steps > 1 {
+        println!("\n== robustness: perturbed steady-state step time ({steps} pipelined steps) ==");
+    } else {
+        println!("\n== robustness: perturbed per-step time distribution ==");
+    }
     let specs = if quick {
         vec![ModelSpec::nmt(2, 256), ModelSpec::transformer(2, 4, 256)]
     } else {
@@ -609,6 +628,7 @@ fn robustness(cluster: &Cluster, comm: &CommModel, quick: bool) {
     };
     let config = RobustnessConfig {
         draws: if quick { 16 } else { 64 },
+        steps,
         ..RobustnessConfig::default()
     };
 
@@ -616,6 +636,7 @@ fn robustness(cluster: &Cluster, comm: &CommModel, quick: bool) {
     struct Row {
         model: String,
         strategy: String,
+        steps: usize,
         clean_ms: f64,
         p50_ms: f64,
         p95_ms: f64,
@@ -665,6 +686,7 @@ fn robustness(cluster: &Cluster, comm: &CommModel, quick: bool) {
                     rows.push(Row {
                         model: spec.label(),
                         strategy: name.to_string(),
+                        steps: r.steps,
                         clean_ms: r.clean_makespan_us / 1e3,
                         p50_ms: r.p50_us / 1e3,
                         p95_ms: r.p95_us / 1e3,
@@ -680,6 +702,88 @@ fn robustness(cluster: &Cluster, comm: &CommModel, quick: bool) {
     }
     println!("(lower p95/clean = plan keeps its advantage when the cluster misbehaves)");
     record_json("robustness", &rows);
+}
+
+/// Pipelined-throughput experiment (beyond the paper): run each strategy's
+/// plan for `steps` consecutive training steps with double-buffered
+/// weights and compare sustained throughput (steady-state step time)
+/// against one-shot latency (the single-step makespan). Plans that spread
+/// work across devices can overlap adjacent steps and close part of their
+/// latency gap — or overtake a latency-optimal plan outright.
+fn pipeline(cluster: &Cluster, comm: &CommModel, quick: bool, steps: usize) {
+    use pesto::evaluate_plan_pipelined;
+    println!("\n== pipeline: steady-state step time over {steps} pipelined steps ==");
+    let specs = if quick {
+        vec![ModelSpec::nmt(2, 256), ModelSpec::transformer(2, 4, 256)]
+    } else {
+        vec![ModelSpec::nmt(2, 1024), ModelSpec::transformer(6, 8, 512)]
+    };
+
+    #[derive(Serialize)]
+    struct Row {
+        model: String,
+        strategy: String,
+        steps: usize,
+        single_step_ms: Option<f64>,
+        steady_step_ms: Option<f64>,
+        fill_ms: Option<f64>,
+        drain_ms: Option<f64>,
+        overlap_gain_pct: Option<f64>,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    println!(
+        "{:<20} {:<8} {:>10} {:>10} {:>10} {:>10} {:>8}",
+        "model", "strategy", "1-step ms", "steady ms", "fill ms", "drain ms", "gain%"
+    );
+    for spec in specs {
+        let batch = if quick { 4 } else { spec.paper_batch() };
+        let graph = spec.generate(batch, 1);
+        let pesto_plan = Pesto::with_comm(*comm, pesto_config(quick))
+            .place(&graph, cluster)
+            .map(|o| o.plan);
+        let plans = [
+            ("pesto", pesto_plan.ok()),
+            ("expert", Some(expert(&graph, cluster))),
+            ("m_sct", Some(pesto::baselines::m_sct(&graph, cluster, comm))),
+        ];
+        for (name, plan) in plans {
+            let Some(plan) = plan else {
+                println!("{:<20} {:<8} no plan (solver failed)", spec.label(), name);
+                continue;
+            };
+            let single = evaluate_plan(&graph, cluster, comm, &plan, EVAL_SEED);
+            let multi = evaluate_plan_pipelined(&graph, cluster, comm, &plan, EVAL_SEED, steps);
+            let stats = multi.pipeline.as_ref();
+            let steady = multi.step_time_us();
+            let gain = match (single.makespan_us(), steady) {
+                (Some(one), Some(s)) if one > 0.0 => Some((1.0 - s / one) * 100.0),
+                _ => None,
+            };
+            let ms = |v: Option<f64>| v.map_or("-".into(), |u| format!("{:.1}", u / 1e3));
+            println!(
+                "{:<20} {:<8} {:>10} {:>10} {:>10} {:>10} {:>8}",
+                spec.label(),
+                name,
+                ms(single.makespan_us()),
+                ms(steady),
+                ms(stats.map(|s| s.fill_us)),
+                ms(stats.map(|s| s.drain_us)),
+                gain.map_or("-".into(), |g| format!("{g:.1}")),
+            );
+            rows.push(Row {
+                model: spec.label(),
+                strategy: name.to_string(),
+                steps,
+                single_step_ms: single.makespan_us().map(|u| u / 1e3),
+                steady_step_ms: steady.map(|u| u / 1e3),
+                fill_ms: stats.map(|s| s.fill_us / 1e3),
+                drain_ms: stats.map(|s| s.drain_us / 1e3),
+                overlap_gain_pct: gain,
+            });
+        }
+    }
+    println!("(gain% = how much of the one-step latency pipelining hides at steady state)");
+    record_json("pipeline", &rows);
 }
 
 /// Quick sanity check for the §3.3 claim that a DAG can always be coarsened

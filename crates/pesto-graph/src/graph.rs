@@ -407,6 +407,56 @@ impl FrozenGraph {
         finish.iter().copied().fold(0.0, f64::max)
     }
 
+    /// Operations that apply weight updates (optimizer steps).
+    ///
+    /// An op qualifies if its [`Operation::is_weight_update`] flag is set,
+    /// or — so that graphs serialized before the flag existed keep working —
+    /// if its name starts with `update_`, the convention used by the
+    /// generated training graphs in `pesto-models`.
+    pub fn weight_update_ops(&self) -> Vec<OpId> {
+        self.op_ids()
+            .filter(|&v| {
+                let op = self.op(v);
+                op.is_weight_update() || op.name().starts_with("update_")
+            })
+            .collect()
+    }
+
+    /// Operations whose *next-step* instance must wait for this step's
+    /// `update` op — the per-step barrier set of a weight update.
+    ///
+    /// The gated set is, in order of preference:
+    ///
+    /// 1. the direct successors of `update` (ops that explicitly read the
+    ///    updated weight in the graph);
+    /// 2. if `update` is a sink (the common shape for generated training
+    ///    graphs, where `grad_x -> update_x` ends the DAG), the
+    ///    predecessors-of-predecessors of `update` — for `update_x` those
+    ///    are the ops feeding `grad_x`, i.e. the forward op `x` itself and
+    ///    downstream gradients, which are exactly the weight readers;
+    /// 3. if neither exists, every graph root, degrading gracefully to a
+    ///    full step barrier.
+    ///
+    /// The returned list is deduplicated, excludes `update` itself, and is
+    /// sorted by op index for determinism.
+    pub fn step_barrier_targets(&self, update: OpId) -> Vec<OpId> {
+        let mut targets: Vec<OpId> = self.succs(update).to_vec();
+        if targets.is_empty() {
+            targets = self
+                .preds(update)
+                .iter()
+                .flat_map(|&p| self.preds(p).iter().copied())
+                .collect();
+        }
+        if targets.is_empty() {
+            targets = self.roots();
+        }
+        targets.sort_unstable();
+        targets.dedup();
+        targets.retain(|&v| v != update);
+        targets
+    }
+
     /// Converts back into a mutable builder, e.g. to rescale compute times
     /// for the Figure 8 hardware sweeps.
     pub fn thaw(self) -> OpGraph {
@@ -566,6 +616,58 @@ mod tests {
         let g = diamond();
         // a(1) -> c(3) -> d(4) = 8 beats a -> b(2) -> d = 7.
         assert!((g.critical_path_us() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weight_update_ops_by_flag_and_name() {
+        let mut g = OpGraph::new("wu");
+        let f = g.add_op("fwd", DeviceKind::Gpu, 1.0, 0);
+        let gr = g.add_op("grad_fwd", DeviceKind::Gpu, 1.0, 0);
+        let by_name = g.add_op("update_fwd", DeviceKind::Gpu, 1.0, 0);
+        let by_flag = g.add_op("sgd_apply", DeviceKind::Gpu, 1.0, 0);
+        g.op_mut(by_flag).set_weight_update(true);
+        g.add_edge(f, gr, 1).unwrap();
+        g.add_edge(gr, by_name, 1).unwrap();
+        g.add_edge(gr, by_flag, 1).unwrap();
+        let g = g.freeze().unwrap();
+        assert_eq!(g.weight_update_ops(), vec![by_name, by_flag]);
+    }
+
+    #[test]
+    fn barrier_targets_prefer_successors() {
+        // update -> reader: the explicit consumer is the gated op.
+        let mut g = OpGraph::new("succ");
+        let u = g.add_op("update_w", DeviceKind::Gpu, 1.0, 0);
+        let r = g.add_op("reader", DeviceKind::Gpu, 1.0, 0);
+        g.add_edge(u, r, 1).unwrap();
+        let g = g.freeze().unwrap();
+        assert_eq!(g.step_barrier_targets(u), vec![r]);
+    }
+
+    #[test]
+    fn barrier_targets_fall_back_to_grandpredecessors_for_sinks() {
+        // fwd -> grad -> update (sink): the gated op is fwd, the weight
+        // reader feeding the gradient.
+        let mut g = OpGraph::new("sink");
+        let f = g.add_op("fwd", DeviceKind::Gpu, 1.0, 0);
+        let gr = g.add_op("grad_fwd", DeviceKind::Gpu, 1.0, 0);
+        let u = g.add_op("update_fwd", DeviceKind::Gpu, 1.0, 0);
+        g.add_edge(f, gr, 1).unwrap();
+        g.add_edge(gr, u, 1).unwrap();
+        let g = g.freeze().unwrap();
+        assert_eq!(g.step_barrier_targets(u), vec![f]);
+    }
+
+    #[test]
+    fn barrier_targets_fall_back_to_roots_for_isolated_updates() {
+        let mut g = OpGraph::new("iso");
+        let a = g.add_op("a", DeviceKind::Gpu, 1.0, 0);
+        let b = g.add_op("b", DeviceKind::Gpu, 1.0, 0);
+        let u = g.add_op("update_w", DeviceKind::Gpu, 1.0, 0);
+        g.add_edge(a, b, 1).unwrap();
+        let g = g.freeze().unwrap();
+        // u has no succs, no preds: every root except u itself is gated.
+        assert_eq!(g.step_barrier_targets(u), vec![a]);
     }
 
     #[test]

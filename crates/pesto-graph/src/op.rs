@@ -79,6 +79,11 @@ pub struct Operation {
     compute_us: f64,
     memory_bytes: u64,
     colocation_group: Option<u32>,
+    /// Whether this op applies a weight update (optimizer step). Weight
+    /// updates order consecutive training steps: in multi-step simulation,
+    /// step s+1 may not read a weight before step s has updated it.
+    #[serde(default)]
+    weight_update: bool,
 }
 
 impl Operation {
@@ -99,6 +104,7 @@ impl Operation {
             compute_us,
             memory_bytes,
             colocation_group: None,
+            weight_update: false,
         }
     }
 
@@ -132,6 +138,21 @@ impl Operation {
     /// Assigns the op to a colocation group.
     pub fn set_colocation_group(&mut self, group: Option<u32>) {
         self.colocation_group = group;
+    }
+
+    /// Whether this op is a weight update (optimizer step). See
+    /// [`Operation::set_weight_update`].
+    pub fn is_weight_update(&self) -> bool {
+        self.weight_update
+    }
+
+    /// Marks (or unmarks) this op as a weight update. Multi-step simulation
+    /// uses the flag to serialize reads of a weight in step s+1 behind its
+    /// update in step s; graphs loaded from JSON written before the flag
+    /// existed default to `false` and fall back to a name heuristic (see
+    /// `FrozenGraph::weight_update_ops`).
+    pub fn set_weight_update(&mut self, weight_update: bool) {
+        self.weight_update = weight_update;
     }
 
     /// Replaces the compute-time estimate (used when re-profiling or when

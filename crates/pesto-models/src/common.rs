@@ -228,6 +228,7 @@ impl NetBuilder {
             let t = (w as f64 / ELEMENTWISE_BYTES_PER_US).max(LAUNCH_FLOOR_US);
             let name = format!("update_{}", self.g.op(OpId::from_index(i)).name());
             let id = self.g.add_op(name, DeviceKind::Gpu, t, 0);
+            self.g.op_mut(id).set_weight_update(true);
             self.out_bytes.push(0);
             self.weight_bytes.push(0);
             self.g.add_edge(grad, id, w).expect("update edge");

@@ -2,7 +2,7 @@
 
 use crate::error::SimError;
 use crate::faults::{FaultAttribution, FaultPlan};
-use crate::report::{OpSpan, SimReport, TransferSpan};
+use crate::report::{OpSpan, PipelineStats, SimReport, TransferSpan};
 use pesto_cost::CommModel;
 use pesto_graph::{Cluster, DeviceId, FrozenGraph, LinkId, OpId, Plan};
 use rand::rngs::StdRng;
@@ -10,10 +10,12 @@ use rand::{Rng, SeedableRng};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 
-/// Discrete-event simulator of one training step under a [`Plan`].
+/// Discrete-event simulator of one or more training steps under a [`Plan`].
 ///
-/// See the [crate-level documentation](crate) for the execution model and
-/// an example.
+/// By default one step is simulated; [`Simulator::with_steps`] turns the
+/// run into a K-step pipeline where consecutive steps overlap wherever
+/// resources allow. See the [crate-level documentation](crate) for the
+/// execution model and an example.
 #[derive(Debug, Clone)]
 pub struct Simulator<'a> {
     graph: &'a FrozenGraph,
@@ -23,12 +25,15 @@ pub struct Simulator<'a> {
     check_memory: bool,
     infinite_links: bool,
     faults: Option<FaultPlan>,
+    steps: usize,
 }
 
+/// Events carry *instance* indices: with K steps every op (and every edge)
+/// is instantiated K times, instance `s * n + i` being op `i` in step `s`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum EventKind {
-    OpFinish { op: OpId },
-    TransferFinish { link: LinkId, edge: usize },
+    OpFinish { inst: usize },
+    TransferFinish { link: LinkId, einst: usize },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -61,7 +66,7 @@ impl Ord for Event {
 
 #[derive(Debug, Clone, Copy)]
 struct QueuedTransfer {
-    edge: usize,
+    einst: usize,
     queued_us: f64,
 }
 
@@ -77,6 +82,7 @@ impl<'a> Simulator<'a> {
             check_memory: true,
             infinite_links: false,
             faults: None,
+            steps: 1,
         }
     }
 
@@ -95,11 +101,42 @@ impl<'a> Simulator<'a> {
         self
     }
 
+    /// Simulates `steps` consecutive training steps as a pipeline.
+    ///
+    /// Every op is instantiated once per step. An op's step-`s+1` instance
+    /// waits for its own step-`s` instance to finish, and every weight-update
+    /// op acts as a per-step barrier: the ops it gates
+    /// ([`FrozenGraph::step_barrier_targets`]) may not start step `s+1`
+    /// before the update has finished step `s` — step `s+1` must not read a
+    /// weight step `s` has yet to write. Devices stay non-preemptive and
+    /// links FCFS across step boundaries, so step `s+1`'s forward work
+    /// overlaps step `s`'s backward work wherever resources allow; the
+    /// result measures steady-state training throughput instead of one-step
+    /// latency. Explicit schedule orders are replayed cyclically, once per
+    /// step.
+    ///
+    /// Memory is accounted as double-buffered: with `steps > 1` each device
+    /// must hold two steps' buffers at once (the draining and the filling
+    /// step), so the OOM precheck doubles per-device usage.
+    ///
+    /// `steps = 1` (the default) is exactly the single-step simulator;
+    /// values below 1 are treated as 1. With `steps > 1` the report carries
+    /// [`SimReport::pipeline`] with the per-step breakdown.
+    #[must_use]
+    pub fn with_steps(mut self, steps: usize) -> Self {
+        self.steps = steps.max(1);
+        self
+    }
+
     /// Models links with *infinite* capacity: transfers start the moment
     /// they are enqueued and never queue behind each other. This is the
     /// congestion-free assumption most prior DAG-scheduling work makes
     /// (paper §3.2.2) and exists to reproduce the Figure 5 ablation; the
     /// default FCFS behaviour is the faithful model.
+    ///
+    /// Reported [`SimReport::link_busy_us`] is wall-clock link occupancy —
+    /// the union of concurrent transfer intervals, not their sum — so link
+    /// utilization never exceeds 100% even when transfers overlap.
     #[must_use]
     pub fn with_infinite_links(mut self, infinite: bool) -> Self {
         self.infinite_links = infinite;
@@ -110,19 +147,30 @@ impl<'a> Simulator<'a> {
     /// jitter stretch op durations, degraded links and stall windows stretch
     /// transfers, and outages kill devices mid-step. The resulting
     /// [`SimReport::faults`] attributes the injected delay per fault class.
+    ///
+    /// Outage semantics: a device with an outage at time `t` is dead **at
+    /// and after** `t` — it dispatches nothing from `t` on, and an op that
+    /// would finish at or after `t` is lost ([`SimError::DeviceLost`]).
+    ///
+    /// Fault windows are expressed in absolute simulation time, so under
+    /// [`Simulator::with_steps`] they naturally span step boundaries (a
+    /// link stall can straddle the end of step `s` and the start of step
+    /// `s+1`). Compute jitter is drawn independently per op *instance*, so
+    /// each step sees fresh jitter from the same seeded stream.
     #[must_use]
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = Some(faults);
         self
     }
 
-    /// Simulates one training step.
+    /// Simulates the configured number of training steps (one by default).
     ///
     /// # Errors
     ///
     /// * [`SimError::InvalidPlan`] if the plan fails validation;
     /// * [`SimError::OutOfMemory`] if any device's memory capacity is
-    ///   exceeded (and checking is enabled);
+    ///   exceeded (and checking is enabled) — double-buffered when
+    ///   pipelining, see [`Simulator::with_steps`];
     /// * [`SimError::Deadlock`] if an explicit schedule order makes some op
     ///   permanently unready;
     /// * [`SimError::DeviceLost`] if an injected outage kills a device
@@ -131,8 +179,21 @@ impl<'a> Simulator<'a> {
     ///   devices the cluster does not connect.
     pub fn run(&self, plan: &Plan) -> Result<SimReport, SimError> {
         plan.validate(self.graph, self.cluster)?;
+        let steps = self.steps.max(1);
         if self.check_memory {
-            let oom = plan.placement.oom_devices(self.graph, self.cluster);
+            // Pipelined steps are double-buffered: the draining and the
+            // filling step both hold their buffers.
+            let buffers: u64 = if steps > 1 { 2 } else { 1 };
+            let oom: Vec<DeviceId> = plan
+                .placement
+                .memory_per_device(self.graph, self.cluster)
+                .iter()
+                .enumerate()
+                .filter(|&(d, &used)| {
+                    used.saturating_mul(buffers) > self.cluster.devices()[d].memory_bytes()
+                })
+                .map(|(d, _)| DeviceId::from_index(d))
+                .collect();
             if !oom.is_empty() {
                 return Err(SimError::OutOfMemory(oom));
             }
@@ -142,18 +203,50 @@ impl<'a> Simulator<'a> {
         let n_dev = self.cluster.device_count();
         let n_link = self.cluster.link_count();
         let edges = self.graph.edges();
+        let n_edge = edges.len();
+        // Instance counts: op instance `s * n + i`, edge instance
+        // `s * n_edge + e`.
+        let n_inst = n * steps;
 
-        let mut pending_inputs: Vec<usize> = (0..n)
-            .map(|i| self.graph.in_degree(OpId::from_index(i)))
+        // Inter-step barriers: each weight update gates a set of next-step
+        // ops. `extra_pending[i]` counts the barriers gating op `i`.
+        let barrier_targets: Vec<(usize, Vec<OpId>)> = if steps > 1 {
+            self.graph
+                .weight_update_ops()
+                .into_iter()
+                .map(|w| (w.index(), self.graph.step_barrier_targets(w)))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let mut extra_pending = vec![0usize; n];
+        for (_, targets) in &barrier_targets {
+            for t in targets {
+                extra_pending[t.index()] += 1;
+            }
+        }
+        let mut barrier_of: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (w, targets) in &barrier_targets {
+            barrier_of[*w] = targets.iter().map(|t| t.index()).collect();
+        }
+
+        // A step-s+1 instance additionally waits on its own step-s instance
+        // (+1) and on every barrier gating it.
+        let mut pending_inputs: Vec<usize> = (0..n_inst)
+            .map(|inst| {
+                let i = inst % n;
+                let base = self.graph.in_degree(OpId::from_index(i));
+                if inst < n { base } else { base + 1 + extra_pending[i] }
+            })
             .collect();
-        let mut ready = vec![false; n];
-        let mut started = vec![false; n];
+        let mut ready = vec![false; n_inst];
+        let mut started = vec![false; n_inst];
         let mut completed = 0usize;
 
         // Scheduling state.
         let ordered = plan.order.as_ref();
         let mut order_ptr = vec![0usize; n_dev];
-        let mut ready_pool: Vec<Vec<OpId>> = vec![Vec::new(); n_dev];
+        let mut ready_pool: Vec<Vec<usize>> = vec![Vec::new(); n_dev];
         let mut rng = StdRng::seed_from_u64(self.seed);
 
         let mut device_busy = vec![false; n_dev];
@@ -171,39 +264,49 @@ impl<'a> Simulator<'a> {
             out_edges[u.index()].push(idx);
         }
 
-        // Fault state, all neutral when no plan is injected.
+        // Fault state, all neutral when no plan is injected. Jitter is per
+        // op *instance*: each pipelined step draws fresh jitter.
         let faults = self.faults.as_ref().filter(|f| !f.is_empty());
         let (jitter, slowdown, degradation, outage): (Vec<f64>, Vec<f64>, Vec<f64>, Vec<Option<f64>>) =
             match faults {
                 Some(f) => (
-                    f.jitter_factors(n),
+                    f.jitter_factors(n_inst),
                     (0..n_dev).map(|d| f.slowdown(DeviceId::from_index(d))).collect(),
                     (0..n_link).map(|l| f.degradation(LinkId::from_index(l))).collect(),
                     (0..n_dev).map(|d| f.outage_at(DeviceId::from_index(d))).collect(),
                 ),
                 None => (
-                    vec![1.0; n],
+                    vec![1.0; n_inst],
                     vec![1.0; n_dev],
                     vec![1.0; n_link],
                     vec![None; n_dev],
                 ),
             };
+        // Single definition of outage death: a device is dead at and after
+        // its outage instant. Dispatch and op completion both use it.
+        let device_dead = |d: usize, t: f64| outage[d].is_some_and(|o| t >= o);
         let mut attribution = FaultAttribution::default();
 
-        let mut op_start = vec![f64::NAN; n];
-        let mut op_spans: Vec<OpSpan> = Vec::with_capacity(n);
+        let mut op_start = vec![f64::NAN; n_inst];
+        let mut op_spans: Vec<OpSpan> = Vec::with_capacity(n_inst);
         let mut transfer_spans: Vec<TransferSpan> = Vec::new();
-        let mut transfer_start = vec![f64::NAN; edges.len()];
-        let mut transfer_queued = vec![f64::NAN; edges.len()];
+        let mut transfer_start = vec![f64::NAN; n_edge * steps];
+        let mut transfer_queued = vec![f64::NAN; n_edge * steps];
         let mut device_busy_us = vec![0.0; n_dev];
         let mut link_busy_us = vec![0.0; n_link];
+        // With infinite links transfers overlap, so busy time must be the
+        // union of intervals, not the sum of durations (the FCFS path never
+        // overlaps and keeps the exact accumulation).
+        let mut link_intervals: Vec<Vec<(f64, f64)>> = vec![Vec::new(); n_link];
+        // Completion time of the last op of each step.
+        let mut step_finish = vec![0.0f64; steps];
 
-        // Initially ready ops.
-        for i in 0..n {
-            if pending_inputs[i] == 0 {
-                ready[i] = true;
-                ready_pool[plan.placement.device(OpId::from_index(i)).index()]
-                    .push(OpId::from_index(i));
+        // Initially ready ops: only step-0 instances can have zero pending.
+        for inst in 0..n_inst {
+            if pending_inputs[inst] == 0 {
+                ready[inst] = true;
+                ready_pool[plan.placement.device(OpId::from_index(inst % n)).index()]
+                    .push(inst);
             }
         }
 
@@ -211,17 +314,23 @@ impl<'a> Simulator<'a> {
         macro_rules! try_dispatch {
             ($dev:expr, $now:expr) => {{
                 let d: usize = $dev;
-                let dead = outage[d].is_some_and(|t| $now >= t);
-                if !device_busy[d] && !dead {
-                    let next: Option<OpId> = match ordered {
+                if !device_busy[d] && !device_dead(d, $now) {
+                    let next: Option<usize> = match ordered {
                         Some(order) => {
+                            // The per-device list replays cyclically, once
+                            // per step.
                             let list = order.on_device(DeviceId::from_index(d));
-                            if order_ptr[d] < list.len() && ready[list[order_ptr[d]].index()] {
-                                let op = list[order_ptr[d]];
-                                order_ptr[d] += 1;
-                                Some(op)
-                            } else {
+                            if list.is_empty() || order_ptr[d] >= list.len() * steps {
                                 None
+                            } else {
+                                let ptr = order_ptr[d];
+                                let inst = (ptr / list.len()) * n + list[ptr % list.len()].index();
+                                if ready[inst] {
+                                    order_ptr[d] += 1;
+                                    Some(inst)
+                                } else {
+                                    None
+                                }
                             }
                         }
                         None => {
@@ -235,23 +344,23 @@ impl<'a> Simulator<'a> {
                             }
                         }
                     };
-                    if let Some(op) = next {
-                        debug_assert!(!started[op.index()]);
-                        started[op.index()] = true;
+                    if let Some(inst) = next {
+                        debug_assert!(!started[inst]);
+                        started[inst] = true;
                         device_busy[d] = true;
-                        let base = self.graph.op(op).compute_us();
+                        let base = self.graph.op(OpId::from_index(inst % n)).compute_us();
                         let s = slowdown[d];
-                        let j = jitter[op.index()];
+                        let j = jitter[inst];
                         let dur = base * s * j;
                         attribution.straggler_extra_us += base * j * (s - 1.0);
                         attribution.jitter_extra_us += base * (j - 1.0);
-                        op_start[op.index()] = $now;
+                        op_start[inst] = $now;
                         device_busy_us[d] += dur;
                         seq += 1;
                         heap.push(Event {
                             time: $now + dur,
                             seq,
-                            kind: EventKind::OpFinish { op },
+                            kind: EventKind::OpFinish { inst },
                         });
                     }
                 }
@@ -264,7 +373,7 @@ impl<'a> Simulator<'a> {
                 while self.infinite_links || !link_busy[l] {
                     let Some(qt) = link_queue[l].pop_front() else { break };
                     {
-                        let (_, _, bytes) = edges[qt.edge];
+                        let (_, _, bytes) = edges[qt.einst % n_edge];
                         let link_info = self.cluster.link(LinkId::from_index(l));
                         let begin = match faults {
                             Some(f) => f.stall_clear_time(LinkId::from_index(l), $now),
@@ -276,16 +385,20 @@ impl<'a> Simulator<'a> {
                         let dur = nominal / degradation[l];
                         attribution.degraded_transfer_extra_us += dur - nominal;
                         link_busy[l] = !self.infinite_links;
-                        transfer_start[qt.edge] = begin;
-                        transfer_queued[qt.edge] = qt.queued_us;
-                        link_busy_us[l] += dur;
+                        transfer_start[qt.einst] = begin;
+                        transfer_queued[qt.einst] = qt.queued_us;
+                        if self.infinite_links {
+                            link_intervals[l].push((begin, begin + dur));
+                        } else {
+                            link_busy_us[l] += dur;
+                        }
                         seq += 1;
                         heap.push(Event {
                             time: begin + dur,
                             seq,
                             kind: EventKind::TransferFinish {
                                 link: LinkId::from_index(l),
-                                edge: qt.edge,
+                                einst: qt.einst,
                             },
                         });
                     }
@@ -294,13 +407,13 @@ impl<'a> Simulator<'a> {
         }
 
         macro_rules! arrive {
-            ($op:expr, $now:expr) => {{
-                let v: OpId = $op;
-                pending_inputs[v.index()] -= 1;
-                if pending_inputs[v.index()] == 0 {
-                    ready[v.index()] = true;
-                    let d = plan.placement.device(v).index();
-                    ready_pool[d].push(v);
+            ($inst:expr, $now:expr) => {{
+                let vi: usize = $inst;
+                pending_inputs[vi] -= 1;
+                if pending_inputs[vi] == 0 {
+                    ready[vi] = true;
+                    let d = plan.placement.device(OpId::from_index(vi % n)).index();
+                    ready_pool[d].push(vi);
                     try_dispatch!(d, $now);
                 }
             }};
@@ -315,71 +428,87 @@ impl<'a> Simulator<'a> {
             let now = ev.time;
             makespan = makespan.max(now);
             match ev.kind {
-                EventKind::OpFinish { op } => {
+                EventKind::OpFinish { inst } => {
+                    let op = OpId::from_index(inst % n);
+                    let step = inst / n;
                     let dev = plan.placement.device(op);
-                    if let Some(t) = outage[dev.index()] {
-                        if now > t {
-                            return Err(SimError::DeviceLost {
-                                device: dev,
-                                at_us: t,
-                                op,
-                            });
-                        }
+                    // Dead at and after the outage instant: work completing
+                    // exactly at t is already lost.
+                    if device_dead(dev.index(), now) {
+                        return Err(SimError::DeviceLost {
+                            device: dev,
+                            at_us: outage[dev.index()].expect("dead implies outage"),
+                            op,
+                        });
                     }
                     device_busy[dev.index()] = false;
                     completed += 1;
+                    step_finish[step] = step_finish[step].max(now);
                     op_spans.push(OpSpan {
                         op,
                         device: dev,
-                        start_us: op_start[op.index()],
+                        start_us: op_start[inst],
                         finish_us: now,
+                        step: step as u32,
                     });
                     for &edge_idx in &out_edges[op.index()] {
                         let (_, v, _) = edges[edge_idx];
                         let vdev = plan.placement.device(v);
                         if vdev == dev {
-                            arrive!(v, now);
+                            arrive!(step * n + v.index(), now);
                         } else {
                             let Some(link) = self.cluster.link_between(dev, vdev) else {
                                 return Err(SimError::MissingLink { src: dev, dst: vdev });
                             };
                             link_queue[link.index()].push_back(QueuedTransfer {
-                                edge: edge_idx,
+                                einst: step * n_edge + edge_idx,
                                 queued_us: now,
                             });
                             try_start_link!(link.index(), now);
                         }
                     }
+                    if step + 1 < steps {
+                        // The op's own next-step instance may now start…
+                        arrive!(inst + n, now);
+                        // …and a finished weight update releases its barrier
+                        // on the next step's gated ops.
+                        for &target in &barrier_of[op.index()] {
+                            arrive!((step + 1) * n + target, now);
+                        }
+                    }
                     try_dispatch!(dev.index(), now);
                 }
-                EventKind::TransferFinish { link, edge } => {
+                EventKind::TransferFinish { link, einst } => {
                     link_busy[link.index()] = false;
-                    let (u, v, bytes) = edges[edge];
+                    let step = einst / n_edge;
+                    let (u, v, bytes) = edges[einst % n_edge];
                     transfer_spans.push(TransferSpan {
                         link,
                         src: u,
                         dst: v,
                         bytes,
-                        queued_us: transfer_queued[edge],
-                        start_us: transfer_start[edge],
+                        queued_us: transfer_queued[einst],
+                        start_us: transfer_start[einst],
                         finish_us: now,
+                        step: step as u32,
                     });
                     try_start_link!(link.index(), now);
-                    arrive!(v, now);
+                    arrive!(step * n + v.index(), now);
                 }
             }
         }
 
-        if completed < n {
+        if completed < n_inst {
             // An injected outage that stranded unstarted ops is a device
             // loss, not a scheduling deadlock.
-            for (i, _) in started.iter().enumerate().filter(|&(_, &s)| !s) {
-                let dev = plan.placement.device(OpId::from_index(i));
+            for (inst, _) in started.iter().enumerate().filter(|&(_, &s)| !s) {
+                let op = OpId::from_index(inst % n);
+                let dev = plan.placement.device(op);
                 if let Some(t) = outage[dev.index()] {
                     return Err(SimError::DeviceLost {
                         device: dev,
                         at_us: t,
-                        op: OpId::from_index(i),
+                        op,
                     });
                 }
             }
@@ -389,13 +518,37 @@ impl<'a> Simulator<'a> {
                 .and_then(|order| {
                     (0..n_dev).find_map(|d| {
                         let list = order.on_device(DeviceId::from_index(d));
-                        list.get(order_ptr[d]).copied().filter(|op| !started[op.index()])
+                        if list.is_empty() || order_ptr[d] >= list.len() * steps {
+                            return None;
+                        }
+                        let ptr = order_ptr[d];
+                        let op = list[ptr % list.len()];
+                        let inst = (ptr / list.len()) * n + op.index();
+                        (!started[inst]).then_some(op)
                     })
                 })
-                .or_else(|| (0..n).find(|&i| !started[i]).map(OpId::from_index))
+                .or_else(|| {
+                    (0..n_inst)
+                        .find(|&inst| !started[inst])
+                        .map(|inst| OpId::from_index(inst % n))
+                })
                 .expect("unfinished implies an unstarted op");
             return Err(SimError::Deadlock(blocked));
         }
+
+        if self.infinite_links {
+            for (l, intervals) in link_intervals.iter_mut().enumerate() {
+                link_busy_us[l] = interval_union_us(intervals);
+            }
+        }
+
+        let pipeline = (steps > 1).then(|| PipelineStats {
+            steps,
+            fill_us: step_finish[0],
+            steady_step_us: median_gap(&step_finish),
+            drain_us: makespan - step_finish[steps - 2],
+            step_finish_us: step_finish,
+        });
 
         Ok(SimReport {
             makespan_us: makespan,
@@ -404,7 +557,45 @@ impl<'a> Simulator<'a> {
             device_busy_us,
             link_busy_us,
             faults: attribution,
+            pipeline,
         })
+    }
+}
+
+/// Total length of the union of (possibly overlapping) intervals.
+fn interval_union_us(intervals: &mut [(f64, f64)]) -> f64 {
+    intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut total = 0.0;
+    let mut current: Option<(f64, f64)> = None;
+    for &(s, f) in intervals.iter() {
+        match current {
+            Some((cs, cf)) if s <= cf => current = Some((cs, cf.max(f))),
+            Some((cs, cf)) => {
+                total += cf - cs;
+                current = Some((s, f));
+            }
+            None => current = Some((s, f)),
+        }
+    }
+    if let Some((cs, cf)) = current {
+        total += cf - cs;
+    }
+    total
+}
+
+/// Median gap between consecutive step completion times — the steady-state
+/// step time of the pipeline.
+fn median_gap(step_finish: &[f64]) -> f64 {
+    let mut gaps: Vec<f64> = step_finish.windows(2).map(|w| w[1] - w[0]).collect();
+    if gaps.is_empty() {
+        return step_finish.first().copied().unwrap_or(0.0);
+    }
+    gaps.sort_by(f64::total_cmp);
+    let m = gaps.len();
+    if m % 2 == 1 {
+        gaps[m / 2]
+    } else {
+        (gaps[m / 2 - 1] + gaps[m / 2]) / 2.0
     }
 }
 
@@ -570,6 +761,22 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_memory_is_double_buffered() {
+        // 10 GiB fits a 16 GiB GPU once but not double-buffered.
+        let mut g = OpGraph::new("big");
+        g.add_op("big", DeviceKind::Gpu, 1.0, 10 * (1u64 << 30));
+        let g = g.freeze().unwrap();
+        let cluster = Cluster::two_gpus();
+        let plan = Plan::placement_only(Placement::affinity_default(&g, &cluster));
+        assert!(Simulator::new(&g, &cluster, comm()).run(&plan).is_ok());
+        let err = Simulator::new(&g, &cluster, comm())
+            .with_steps(2)
+            .run(&plan)
+            .unwrap_err();
+        assert_eq!(err, SimError::OutOfMemory(vec![cluster.gpu(0)]));
+    }
+
+    #[test]
     fn random_policy_is_deterministic_per_seed() {
         let mut g = OpGraph::new("many");
         for i in 0..20 {
@@ -731,6 +938,27 @@ mod tests {
     }
 
     #[test]
+    fn op_finishing_exactly_at_outage_instant_is_lost() {
+        // Chain runs [0,30] on gpu0; op b finishes exactly at 20. The
+        // device is dead at and after t, so b's work is lost.
+        let g = chain3();
+        let cluster = Cluster::two_gpus();
+        let plan = Plan::placement_only(Placement::affinity_default(&g, &cluster));
+        let err = Simulator::new(&g, &cluster, comm())
+            .with_faults(FaultPlan::new(0).with_outage(cluster.gpu(0), 20.0))
+            .run(&plan)
+            .unwrap_err();
+        match err {
+            SimError::DeviceLost { device, at_us, op } => {
+                assert_eq!(device, cluster.gpu(0));
+                assert!((at_us - 20.0).abs() < 1e-12);
+                assert_eq!(op, OpId::from_index(1), "op b dies at its own finish instant");
+            }
+            other => panic!("expected DeviceLost, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn outage_before_start_strands_unstarted_ops() {
         let g = chain3();
         let cluster = Cluster::two_gpus();
@@ -740,6 +968,43 @@ mod tests {
             .run(&plan)
             .unwrap_err();
         assert!(matches!(err, SimError::DeviceLost { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn infinite_links_busy_time_is_interval_union() {
+        // Two producers run serially on gpu0 (10 µs each, finishing at 10
+        // and 20) and feed consumers on gpu1. With infinite links both
+        // transfers start the moment they are produced, so if a transfer
+        // takes longer than 10 µs the two overlap on the link and busy time
+        // must be the union of the intervals, not the sum of durations.
+        let mut g = OpGraph::new("par");
+        let p1 = g.add_op("p1", DeviceKind::Gpu, 10.0, 0);
+        let p2 = g.add_op("p2", DeviceKind::Gpu, 10.0, 0);
+        let c1 = g.add_op("c1", DeviceKind::Gpu, 1.0, 0);
+        let c2 = g.add_op("c2", DeviceKind::Gpu, 1.0, 0);
+        g.add_edge(p1, c1, 4 << 20).unwrap();
+        g.add_edge(p2, c2, 4 << 20).unwrap();
+        let g = g.freeze().unwrap();
+        let cluster = Cluster::two_gpus();
+        let mut placement = Placement::affinity_default(&g, &cluster);
+        placement.set_device(OpId::from_index(2), cluster.gpu(1));
+        placement.set_device(OpId::from_index(3), cluster.gpu(1));
+        let t = comm().transfer_us(pesto_graph::LinkType::GpuToGpu, 4 << 20);
+        assert!(t > 10.0, "test premise: transfers overlap");
+        let r = Simulator::new(&g, &cluster, comm())
+            .with_infinite_links(true)
+            .run(&Plan::placement_only(placement))
+            .unwrap();
+        let link = cluster.link_between(cluster.gpu(0), cluster.gpu(1)).unwrap();
+        let busy = r.link_busy_us[link.index()];
+        // Union of [10, 10+t] and [20, 20+t] is 10 + t, strictly less than
+        // the 2t a duration sum would report.
+        assert!((busy - (10.0 + t)).abs() < 1e-6, "busy {busy} vs union {}", 10.0 + t);
+        assert!(
+            busy <= r.makespan_us + 1e-9,
+            "occupancy {busy} must not exceed makespan {}",
+            r.makespan_us
+        );
     }
 
     #[test]
@@ -768,5 +1033,23 @@ mod tests {
         let r = Simulator::new(&g, &cluster, comm()).run(&plan).unwrap();
         let total_busy: f64 = r.device_busy_us.iter().sum();
         assert!((total_busy - g.total_compute_us()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interval_union_merges_overlaps() {
+        let mut iv = vec![(0.0, 10.0), (5.0, 15.0), (20.0, 25.0)];
+        assert!((interval_union_us(&mut iv) - 20.0).abs() < 1e-12);
+        let mut empty: Vec<(f64, f64)> = vec![];
+        assert_eq!(interval_union_us(&mut empty), 0.0);
+    }
+
+    #[test]
+    fn median_gap_of_step_finishes() {
+        // Gaps 10, 20, 30 -> median 20.
+        assert!((median_gap(&[10.0, 20.0, 40.0, 70.0]) - 20.0).abs() < 1e-12);
+        // Even count averages the middles: gaps 10, 30 -> 20.
+        assert!((median_gap(&[0.0, 10.0, 40.0]) - 20.0).abs() < 1e-12);
+        // Single step: no gaps, fall back to the only completion time.
+        assert!((median_gap(&[30.0]) - 30.0).abs() < 1e-12);
     }
 }

@@ -97,8 +97,10 @@ impl FaultPlan {
         self
     }
 
-    /// Fails `device` at `at_us`: ops that have not finished by then are
-    /// lost and the simulation reports [`SimError::DeviceLost`].
+    /// Fails `device` at `at_us`. The device is dead *at and after* `at_us`:
+    /// it dispatches nothing from that instant on, and any op that would
+    /// finish at or after it — including exactly at it — is lost, making the
+    /// simulation report [`SimError::DeviceLost`].
     ///
     /// [`SimError::DeviceLost`]: crate::SimError::DeviceLost
     #[must_use]

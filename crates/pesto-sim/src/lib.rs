@@ -30,6 +30,23 @@
 //! robustness sweeps can ask "how fragile is this schedule?" (see the
 //! [`faults`](FaultPlan) module types).
 //!
+//! # Multi-step pipelined simulation
+//!
+//! [`Simulator::with_steps`] simulates K consecutive training steps as a
+//! pipeline: every op is instantiated once per step, an op's step-`s+1`
+//! instance waits on its step-`s` instance, and weight-update ops act as
+//! per-step barriers for the ops that read the updated weights
+//! ([`pesto_graph::FrozenGraph::step_barrier_targets`]). Devices stay
+//! non-preemptive and links FCFS across step boundaries, so step `s+1`'s
+//! forward pass overlaps step `s`'s backward pass wherever the placement
+//! allows — the overlap GPipe/PipeDream exploit. Memory is accounted as
+//! double-buffered across the in-flight steps. The resulting
+//! [`SimReport::pipeline`] ([`PipelineStats`]) breaks the run into fill /
+//! steady-state / drain phases; [`SimReport::steady_state_step_us`] is the
+//! sustained per-step time, the metric placements should be ranked by when
+//! training for many steps. `with_steps(1)` is exactly the single-step
+//! simulator.
+//!
 //! # Example
 //!
 //! ```
@@ -62,4 +79,4 @@ mod report;
 pub use engine::Simulator;
 pub use error::SimError;
 pub use faults::{FaultAttribution, FaultPlan, LinkStall, PerturbationSpec};
-pub use report::{MemoryProfile, OpSpan, SimReport, TransferSpan};
+pub use report::{MemoryProfile, OpSpan, PipelineStats, SimReport, TransferSpan};

@@ -16,6 +16,9 @@ pub struct OpSpan {
     pub start_us: f64,
     /// Finish time, µs.
     pub finish_us: f64,
+    /// Training step this instance belongs to (0 for single-step runs).
+    #[serde(default)]
+    pub step: u32,
 }
 
 /// One data transfer over a link.
@@ -36,6 +39,9 @@ pub struct TransferSpan {
     pub start_us: f64,
     /// Transfer completion, µs.
     pub finish_us: f64,
+    /// Training step this transfer belongs to (0 for single-step runs).
+    #[serde(default)]
+    pub step: u32,
 }
 
 impl TransferSpan {
@@ -46,22 +52,51 @@ impl TransferSpan {
     }
 }
 
-/// Full result of simulating one training step.
+/// Per-step breakdown of a multi-step (pipelined) simulation.
+///
+/// A K-step run passes through three phases, named after the GPipe /
+/// PipeDream pipeline stages: *fill* (time until the first step completes),
+/// *steady state* (the sustained per-step throughput once the pipeline is
+/// full — measured as the median gap between consecutive step completion
+/// times), and *drain* (the gap the final step needs to complete after the
+/// pipeline stops refilling).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineStats {
+    /// Number of simulated training steps (K ≥ 2).
+    pub steps: usize,
+    /// Completion time of each step's last op, µs, indexed by step.
+    pub step_finish_us: Vec<f64>,
+    /// Time until step 0 completes (pipeline fill), µs.
+    pub fill_us: f64,
+    /// Median gap between consecutive step completions, µs — the
+    /// steady-state step time, i.e. the reciprocal throughput.
+    pub steady_step_us: f64,
+    /// Gap between the last two step completions (pipeline drain), µs.
+    pub drain_us: f64,
+}
+
+/// Full result of simulating one or more training steps.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimReport {
-    /// Completion time of the last operation (per-step training time), µs.
+    /// Completion time of the last operation across all simulated steps, µs.
     pub makespan_us: f64,
-    /// One span per op, in completion order.
+    /// One span per op instance, in completion order.
     pub op_spans: Vec<OpSpan>,
     /// One span per cross-device transfer, in completion order.
     pub transfer_spans: Vec<TransferSpan>,
     /// Busy time per device, indexed by [`DeviceId::index`].
     pub device_busy_us: Vec<f64>,
-    /// Busy time per link, indexed by [`LinkId::index`].
+    /// Wall-clock busy time per link, indexed by [`LinkId::index`]. Under
+    /// infinite-capacity links this is the union of overlapping transfer
+    /// intervals, so it never exceeds the makespan.
     pub link_busy_us: Vec<f64>,
     /// Injected-fault attribution; all zeros for a clean run.
     #[serde(default)]
     pub faults: FaultAttribution,
+    /// Per-step pipeline breakdown; present only for multi-step runs
+    /// (`Simulator::with_steps(k)` with `k > 1`).
+    #[serde(default)]
+    pub pipeline: Option<PipelineStats>,
 }
 
 /// Temporal peak-memory profile of an executed step (the paper's §3.2.2
@@ -87,6 +122,15 @@ impl SimReport {
         } else {
             self.device_busy_us[device.index()] / self.makespan_us
         }
+    }
+
+    /// The effective per-step training time for ranking placements by
+    /// sustained throughput: the steady-state step time for multi-step
+    /// runs, the makespan otherwise.
+    pub fn steady_state_step_us(&self) -> f64 {
+        self.pipeline
+            .as_ref()
+            .map_or(self.makespan_us, |p| p.steady_step_us)
     }
 
     /// Total time transfers spent queued behind other transfers, summed
@@ -363,12 +407,14 @@ mod tests {
                     device: DeviceId::from_index(1),
                     start_us: 0.0,
                     finish_us: 40.0,
+                    step: 0,
                 },
                 OpSpan {
                     op: OpId::from_index(1),
                     device: DeviceId::from_index(2),
                     start_us: 60.0,
                     finish_us: 100.0,
+                    step: 0,
                 },
             ],
             transfer_spans: vec![TransferSpan {
@@ -379,10 +425,12 @@ mod tests {
                 queued_us: 40.0,
                 start_us: 45.0,
                 finish_us: 60.0,
+                step: 0,
             }],
             device_busy_us: vec![0.0, 40.0, 40.0],
             link_busy_us: vec![0.0, 0.0, 0.0, 0.0, 15.0, 0.0],
             faults: FaultAttribution::default(),
+            pipeline: None,
         }
     }
 
@@ -433,14 +481,15 @@ mod tests {
         let report = SimReport {
             makespan_us: 30.0,
             op_spans: vec![
-                OpSpan { op: a, device: cluster.gpu(0), start_us: 0.0, finish_us: 10.0 },
-                OpSpan { op: b, device: cluster.gpu(0), start_us: 10.0, finish_us: 20.0 },
-                OpSpan { op: c, device: cluster.gpu(0), start_us: 20.0, finish_us: 30.0 },
+                OpSpan { op: a, device: cluster.gpu(0), start_us: 0.0, finish_us: 10.0, step: 0 },
+                OpSpan { op: b, device: cluster.gpu(0), start_us: 10.0, finish_us: 20.0, step: 0 },
+                OpSpan { op: c, device: cluster.gpu(0), start_us: 20.0, finish_us: 30.0, step: 0 },
             ],
             transfer_spans: vec![],
             device_busy_us: vec![0.0, 30.0, 0.0],
             link_busy_us: vec![0.0; 6],
             faults: FaultAttribution::default(),
+            pipeline: None,
         };
         let profile = report.peak_memory(&g, &placement, cluster.device_count());
         // Peak: during b, a's 1 MiB + b's 0.5 MiB are both live.
@@ -491,6 +540,7 @@ mod tests {
             device_busy_us: vec![0.0; 3],
             link_busy_us: vec![0.0; 6],
             faults: FaultAttribution::default(),
+            pipeline: None,
         };
         assert_eq!(r.device_utilization(DeviceId::from_index(0)), 0.0);
     }

@@ -1,0 +1,278 @@
+//! Multi-step pipelined simulation: conservation properties (K=1 identity,
+//! single-device K-scaling), overlap (steady-state beats makespan for
+//! cross-device plans), weight-update barriers, determinism under faults,
+//! and fault windows spanning step boundaries.
+
+use pesto_cost::CommModel;
+use pesto_graph::{Cluster, DeviceKind, FrozenGraph, OpGraph, OpId, Placement, Plan};
+use pesto_sim::{FaultPlan, Simulator};
+
+fn comm() -> CommModel {
+    CommModel::default_v100()
+}
+
+/// a -> b -> c chain of GPU ops, 10 µs each.
+fn chain3() -> FrozenGraph {
+    let mut g = OpGraph::new("chain3");
+    let a = g.add_op("a", DeviceKind::Gpu, 10.0, 1024);
+    let b = g.add_op("b", DeviceKind::Gpu, 10.0, 1024);
+    let c = g.add_op("c", DeviceKind::Gpu, 10.0, 1024);
+    g.add_edge(a, b, 1 << 20).unwrap();
+    g.add_edge(b, c, 1 << 20).unwrap();
+    g.freeze().unwrap()
+}
+
+/// a -> b with a and b on different GPUs: the minimal pipeline-parallel
+/// plan, where step s+1's `a` overlaps step s's transfer and `b`.
+fn split_pair() -> (FrozenGraph, Cluster, Plan) {
+    let mut g = OpGraph::new("pair");
+    let a = g.add_op("a", DeviceKind::Gpu, 10.0, 16);
+    let b = g.add_op("b", DeviceKind::Gpu, 10.0, 16);
+    g.add_edge(a, b, 1 << 20).unwrap();
+    let g = g.freeze().unwrap();
+    let cluster = Cluster::two_gpus();
+    let mut p = Placement::affinity_default(&g, &cluster);
+    p.set_device(OpId::from_index(1), cluster.gpu(1));
+    let plan = Plan::placement_only(p);
+    (g, cluster, plan)
+}
+
+#[test]
+fn k1_is_bit_identical_to_single_step_engine() {
+    let g = chain3();
+    let cluster = Cluster::two_gpus();
+    let plan = Plan::placement_only(Placement::affinity_default(&g, &cluster));
+    let single = Simulator::new(&g, &cluster, comm()).with_seed(3).run(&plan).unwrap();
+    let k1 = Simulator::new(&g, &cluster, comm())
+        .with_seed(3)
+        .with_steps(1)
+        .run(&plan)
+        .unwrap();
+    assert_eq!(single, k1);
+    assert!(k1.pipeline.is_none(), "K=1 carries no pipeline stats");
+}
+
+#[test]
+fn k1_is_bit_identical_under_faults() {
+    let g = chain3();
+    let cluster = Cluster::two_gpus();
+    let plan = Plan::placement_only(Placement::affinity_default(&g, &cluster));
+    let faults = || FaultPlan::new(7).with_compute_jitter(0.2);
+    let single = Simulator::new(&g, &cluster, comm())
+        .with_faults(faults())
+        .run(&plan)
+        .unwrap();
+    let k1 = Simulator::new(&g, &cluster, comm())
+        .with_faults(faults())
+        .with_steps(1)
+        .run(&plan)
+        .unwrap();
+    assert_eq!(single, k1);
+}
+
+#[test]
+fn single_device_makespan_scales_linearly_with_steps() {
+    // All ops on one device: no overlap opportunity, so K steps take
+    // exactly K times the single-step makespan.
+    let g = chain3();
+    let cluster = Cluster::two_gpus();
+    let plan = Plan::placement_only(Placement::affinity_default(&g, &cluster));
+    let one = Simulator::new(&g, &cluster, comm()).run(&plan).unwrap();
+    for k in [2usize, 4, 7] {
+        let multi = Simulator::new(&g, &cluster, comm())
+            .with_steps(k)
+            .run(&plan)
+            .unwrap();
+        assert!(
+            (multi.makespan_us - k as f64 * one.makespan_us).abs() < 1e-6,
+            "K={k}: {} vs {}",
+            multi.makespan_us,
+            k as f64 * one.makespan_us
+        );
+        assert_eq!(multi.op_spans.len(), k * g.op_count());
+        let stats = multi.pipeline.as_ref().expect("multi-step stats");
+        assert_eq!(stats.steps, k);
+    }
+
+    // Under an explicit (topological) order the steps run back to back,
+    // so every pipeline phase equals the single-step time exactly.
+    use pesto_graph::ScheduleOrder;
+    let placement = Placement::affinity_default(&g, &cluster);
+    let order = ScheduleOrder::from_global_order(
+        &placement,
+        g.topo_order(),
+        cluster.device_count(),
+    );
+    let ordered = Simulator::new(&g, &cluster, comm())
+        .with_steps(4)
+        .run(&Plan::with_order(placement, order))
+        .unwrap();
+    let stats = ordered.pipeline.as_ref().expect("multi-step stats");
+    assert!((stats.fill_us - one.makespan_us).abs() < 1e-6);
+    assert!((stats.steady_step_us - one.makespan_us).abs() < 1e-6);
+    assert!((stats.drain_us - one.makespan_us).abs() < 1e-6);
+}
+
+#[test]
+fn cross_device_pipeline_overlaps_steps() {
+    let (g, cluster, plan) = split_pair();
+    let one = Simulator::new(&g, &cluster, comm()).run(&plan).unwrap();
+    let multi = Simulator::new(&g, &cluster, comm())
+        .with_steps(6)
+        .run(&plan)
+        .unwrap();
+    let stats = multi.pipeline.as_ref().expect("multi-step stats");
+    // The acceptance property: sustained step time strictly beats the
+    // one-step latency because step s+1's `a` overlaps step s's tail.
+    assert!(
+        stats.steady_step_us < one.makespan_us - 1e-9,
+        "steady {} must beat single-step makespan {}",
+        stats.steady_step_us,
+        one.makespan_us
+    );
+    assert!((multi.steady_state_step_us() - stats.steady_step_us).abs() < 1e-12);
+    assert!((one.steady_state_step_us() - one.makespan_us).abs() < 1e-12);
+    // And the whole pipeline is consistent: monotone step finishes ending
+    // at the makespan, fill equal to the one-step latency.
+    assert!((stats.fill_us - one.makespan_us).abs() < 1e-6);
+    assert!(stats
+        .step_finish_us
+        .windows(2)
+        .all(|w| w[0] < w[1] + 1e-12));
+    assert!((stats.step_finish_us[5] - multi.makespan_us).abs() < 1e-9);
+}
+
+#[test]
+fn multi_step_runs_are_deterministic_per_seed_with_faults() {
+    let (g, cluster, plan) = split_pair();
+    let run = |seed: u64| {
+        Simulator::new(&g, &cluster, comm())
+            .with_seed(seed)
+            .with_steps(4)
+            .with_faults(FaultPlan::new(seed).with_compute_jitter(0.3))
+            .run(&plan)
+            .unwrap()
+    };
+    assert_eq!(run(5), run(5));
+    assert!((run(5).makespan_us - run(6).makespan_us).abs() > 1e-9);
+}
+
+#[test]
+fn weight_update_barrier_gates_next_step() {
+    // fwd(10) on gpu0; grad(10) and update_fwd(10) on gpu1. Without the
+    // barrier, step 1's fwd could start at t=10 right after step 0's fwd;
+    // the barrier makes it wait for step 0's update_fwd.
+    let mut g = OpGraph::new("train");
+    let f = g.add_op("fwd", DeviceKind::Gpu, 10.0, 16);
+    let gr = g.add_op("grad_fwd", DeviceKind::Gpu, 10.0, 16);
+    let u = g.add_op("update_fwd", DeviceKind::Gpu, 10.0, 0);
+    g.add_edge(f, gr, 1 << 20).unwrap();
+    g.add_edge(gr, u, 1 << 20).unwrap();
+    let g = g.freeze().unwrap();
+    assert_eq!(g.weight_update_ops(), vec![u]);
+    assert_eq!(g.step_barrier_targets(u), vec![f]);
+
+    let cluster = Cluster::two_gpus();
+    let mut p = Placement::affinity_default(&g, &cluster);
+    p.set_device(gr, cluster.gpu(1));
+    p.set_device(u, cluster.gpu(1));
+    let plan = Plan::placement_only(p);
+
+    let r = Simulator::new(&g, &cluster, comm())
+        .with_steps(2)
+        .run(&plan)
+        .unwrap();
+    let update_finish_step0 = r
+        .op_spans
+        .iter()
+        .find(|s| s.op == u && s.step == 0)
+        .expect("update ran in step 0")
+        .finish_us;
+    let fwd_start_step1 = r
+        .op_spans
+        .iter()
+        .find(|s| s.op == f && s.step == 1)
+        .expect("fwd ran in step 1")
+        .start_us;
+    assert!(
+        fwd_start_step1 >= update_finish_step0 - 1e-9,
+        "step 1 fwd at {fwd_start_step1} must wait for step 0 update at {update_finish_step0}"
+    );
+    assert!(
+        update_finish_step0 > 10.0,
+        "premise: the update finishes well after fwd's own step-0 instance"
+    );
+}
+
+#[test]
+fn fault_windows_span_step_boundaries() {
+    // A link stall window opening after the single-step makespan can only
+    // hit transfers of later steps — which it must, under pipelining.
+    let (g, cluster, plan) = split_pair();
+    let link = cluster.link_between(cluster.gpu(0), cluster.gpu(1)).unwrap();
+    let one = Simulator::new(&g, &cluster, comm()).run(&plan).unwrap();
+    let stall_from = one.makespan_us + 1.0;
+    let faults = FaultPlan::new(0).with_link_stall(link, stall_from, 40.0);
+
+    let still_one = Simulator::new(&g, &cluster, comm())
+        .with_faults(faults.clone())
+        .run(&plan)
+        .unwrap();
+    assert_eq!(
+        still_one.faults.stall_delay_us, 0.0,
+        "window opens after the single step ends"
+    );
+
+    let multi = Simulator::new(&g, &cluster, comm())
+        .with_faults(faults)
+        .with_steps(8)
+        .run(&plan)
+        .unwrap();
+    assert!(
+        multi.faults.stall_delay_us > 0.0,
+        "later steps' transfers must hit the stall window"
+    );
+    let delayed = multi
+        .transfer_spans
+        .iter()
+        .find(|t| t.queue_delay_us() > 0.0)
+        .expect("some transfer was stalled");
+    assert!(delayed.step > 0, "only later-step transfers can be affected");
+}
+
+#[test]
+fn explicit_order_replays_cyclically_across_steps() {
+    use pesto_graph::ScheduleOrder;
+    let g = chain3();
+    let cluster = Cluster::two_gpus();
+    let placement = Placement::affinity_default(&g, &cluster);
+    let order = ScheduleOrder::from_global_order(
+        &placement,
+        g.topo_order(),
+        cluster.device_count(),
+    );
+    let r = Simulator::new(&g, &cluster, comm())
+        .with_steps(3)
+        .run(&Plan::with_order(placement, order))
+        .unwrap();
+    assert_eq!(r.op_spans.len(), 9);
+    assert!((r.makespan_us - 90.0).abs() < 1e-9);
+    // Completion order interleaves nothing on a single device: step s
+    // finishes entirely before step s+1 starts.
+    for w in r.op_spans.windows(2) {
+        assert!(w[0].step <= w[1].step);
+    }
+}
+
+#[test]
+fn transfers_carry_step_indices() {
+    let (g, cluster, plan) = split_pair();
+    let r = Simulator::new(&g, &cluster, comm())
+        .with_steps(3)
+        .run(&plan)
+        .unwrap();
+    assert_eq!(r.transfer_spans.len(), 3);
+    let mut steps: Vec<u32> = r.transfer_spans.iter().map(|t| t.step).collect();
+    steps.sort_unstable();
+    assert_eq!(steps, vec![0, 1, 2]);
+}

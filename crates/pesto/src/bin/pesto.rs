@@ -3,7 +3,7 @@
 //! ```text
 //! pesto generate <rnnlm|nmt|transformer|nasnet> [ARGS..]  > graph.json
 //! pesto place    <graph.json> [--gpus N] [--quick]        > plan.json
-//! pesto simulate <graph.json> <plan.json> [--svg out.svg] [--gpus N]
+//! pesto simulate <graph.json> <plan.json> [--svg out.svg] [--gpus N] [--steps K]
 //! pesto baseline <expert|m_topo|m_etf|m_sct> <graph.json> [--gpus N] > plan.json
 //! pesto info     <graph.json>
 //! ```
@@ -30,7 +30,9 @@ fn main() -> ExitCode {
             eprintln!("usage:");
             eprintln!("  pesto generate <rnnlm|nmt|transformer|nasnet> [dims..]");
             eprintln!("  pesto place <graph.json> [--gpus N] [--quick]");
-            eprintln!("  pesto simulate <graph.json> <plan.json> [--svg out.svg] [--gpus N]");
+            eprintln!(
+                "  pesto simulate <graph.json> <plan.json> [--svg out.svg] [--gpus N] [--steps K]"
+            );
             eprintln!("  pesto baseline <expert|m_topo|m_etf|m_sct> <graph.json> [--gpus N]");
             eprintln!("  pesto info <graph.json>");
             ExitCode::FAILURE
@@ -134,10 +136,29 @@ fn run(args: &[String]) -> Result<(), String> {
                 &fs::read_to_string(ppath).map_err(|e| format!("cannot read {ppath}: {e}"))?,
             )
             .map_err(|e| format!("cannot parse {ppath}: {e}"))?;
+            let steps: usize = flag_value(args, "--steps")
+                .map(|v| v.parse().map_err(|_| format!("bad --steps value {v}")))
+                .transpose()?
+                .unwrap_or(1);
+            if steps == 0 {
+                return Err("--steps must be at least 1".into());
+            }
             let report = Simulator::new(&graph, &cluster, CommModel::default_v100())
+                .with_steps(steps)
                 .run(&plan)
                 .map_err(|e| e.to_string())?;
-            println!("per-step time: {:.2} ms", report.makespan_us / 1000.0);
+            if let Some(stats) = &report.pipeline {
+                println!(
+                    "{} pipelined steps in {:.2} ms",
+                    stats.steps,
+                    report.makespan_us / 1000.0
+                );
+                println!("fill:         {:.2} ms", stats.fill_us / 1000.0);
+                println!("steady step:  {:.2} ms", stats.steady_step_us / 1000.0);
+                println!("drain:        {:.2} ms", stats.drain_us / 1000.0);
+            } else {
+                println!("per-step time: {:.2} ms", report.makespan_us / 1000.0);
+            }
             println!(
                 "queueing delay: {:.2} ms over {} transfers",
                 report.total_queue_delay_us() / 1000.0,

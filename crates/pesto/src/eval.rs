@@ -5,7 +5,7 @@
 
 use pesto_cost::CommModel;
 use pesto_graph::{Cluster, DeviceId, FrozenGraph, Plan};
-use pesto_sim::{SimError, Simulator};
+use pesto_sim::{PipelineStats, SimError, Simulator};
 use serde::{Deserialize, Serialize};
 
 /// Outcome of running one training step under a plan.
@@ -79,6 +79,65 @@ pub fn evaluate_plan(
     }
 }
 
+/// Outcome of a multi-step pipelined evaluation: the classified result
+/// plus, when the run succeeded with more than one step, the per-step
+/// pipeline breakdown.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelinedOutcome {
+    /// Classified result; `Ok.makespan_us` is the *full K-step* makespan.
+    pub outcome: StepOutcome,
+    /// Fill/steady-state/drain breakdown; `None` for `steps <= 1` or
+    /// failed runs.
+    pub pipeline: Option<PipelineStats>,
+}
+
+impl PipelinedOutcome {
+    /// The effective per-step time for ranking placements by sustained
+    /// throughput: the steady-state step time when pipelining, the
+    /// makespan otherwise; `None` if the run failed.
+    pub fn step_time_us(&self) -> Option<f64> {
+        match (&self.outcome, &self.pipeline) {
+            (StepOutcome::Ok { .. }, Some(p)) => Some(p.steady_step_us),
+            (StepOutcome::Ok { makespan_us }, None) => Some(*makespan_us),
+            _ => None,
+        }
+    }
+}
+
+/// Simulates `steps` pipelined training steps of `plan` and classifies
+/// the outcome. With `steps = 1` this is [`evaluate_plan`] plus an empty
+/// pipeline breakdown; with more steps, consecutive steps overlap and
+/// [`PipelinedOutcome::step_time_us`] reports the sustained step time
+/// (see [`pesto_sim::Simulator::with_steps`]).
+pub fn evaluate_plan_pipelined(
+    graph: &FrozenGraph,
+    cluster: &Cluster,
+    comm: &CommModel,
+    plan: &Plan,
+    seed: u64,
+    steps: usize,
+) -> PipelinedOutcome {
+    let sim = Simulator::new(graph, cluster, *comm).with_seed(seed).with_steps(steps);
+    match sim.run(plan) {
+        Ok(report) => PipelinedOutcome {
+            outcome: StepOutcome::Ok {
+                makespan_us: report.makespan_us,
+            },
+            pipeline: report.pipeline,
+        },
+        Err(SimError::OutOfMemory(devices)) => PipelinedOutcome {
+            outcome: StepOutcome::Oom { devices },
+            pipeline: None,
+        },
+        Err(e) => PipelinedOutcome {
+            outcome: StepOutcome::Failed {
+                reason: e.to_string(),
+            },
+            pipeline: None,
+        },
+    }
+}
+
 /// Simulates `plan` under `seeds` different TensorFlow-default scheduling
 /// seeds and averages the per-step times. Plans with explicit orders are
 /// deterministic, so one run suffices and the average equals
@@ -139,6 +198,34 @@ mod tests {
         let tiny = Cluster::homogeneous(2, 1);
         let p2 = Plan::placement_only(Placement::affinity_default(&g, &tiny));
         assert!(evaluate_plan_avg(&g, &tiny, &comm, &p2, 3).is_none());
+    }
+
+    #[test]
+    fn pipelined_evaluation_reports_steady_state() {
+        use pesto_graph::OpId;
+        // a -> b split across two GPUs: pipelining overlaps steps.
+        let mut g = OpGraph::new("pair");
+        let _a = g.add_op("a", DeviceKind::Gpu, 10.0, 16);
+        let b = g.add_op("b", DeviceKind::Gpu, 10.0, 16);
+        g.add_edge(OpId::from_index(0), b, 1 << 20).unwrap();
+        let g = g.freeze().unwrap();
+        let cluster = Cluster::two_gpus();
+        let comm = CommModel::default_v100();
+        let mut p = Placement::affinity_default(&g, &cluster);
+        p.set_device(b, cluster.gpu(1));
+        let plan = Plan::placement_only(p);
+
+        let one = evaluate_plan_pipelined(&g, &cluster, &comm, &plan, 0, 1);
+        assert!(one.pipeline.is_none());
+        assert_eq!(one.step_time_us(), one.outcome.makespan_us());
+
+        let multi = evaluate_plan_pipelined(&g, &cluster, &comm, &plan, 0, 6);
+        let steady = multi.step_time_us().unwrap();
+        assert!(
+            steady < one.step_time_us().unwrap(),
+            "pipelining must beat single-step latency on a split plan"
+        );
+        assert!(multi.outcome.makespan_us().unwrap() > one.outcome.makespan_us().unwrap());
     }
 
     #[test]

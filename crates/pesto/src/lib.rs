@@ -26,6 +26,14 @@
 //! into a deadline-aware degradation ladder (recorded in
 //! [`PestoOutcome::degradation`]).
 //!
+//! The simulator can also pipeline *K* consecutive training steps
+//! (double-buffered memory, weight updates as per-step barriers) to
+//! measure sustained throughput instead of one-step latency:
+//! [`evaluate_plan_pipelined`] reports the fill / steady-state / drain
+//! breakdown, [`PestoConfig::pipeline_steps`] records it on
+//! [`PestoOutcome::pipeline`], and [`RobustnessConfig::steps`] makes the
+//! fault sweep rank plans by steady-state step time.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -57,7 +65,9 @@ mod eval;
 mod pipeline;
 mod robust;
 
-pub use eval::{evaluate_plan, evaluate_plan_avg, StepOutcome};
+pub use eval::{
+    evaluate_plan, evaluate_plan_avg, evaluate_plan_pipelined, PipelinedOutcome, StepOutcome,
+};
 pub use pipeline::{DegradationReason, Pesto, PestoConfig, PestoError, PestoOutcome};
 pub use robust::{
     evaluate_robustness, repair_after_outage, RepairOutcome, RobustnessConfig, RobustnessReport,

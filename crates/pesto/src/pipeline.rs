@@ -4,7 +4,7 @@ use pesto_coarsen::{coarsen, CoarsenConfig};
 use pesto_cost::{CommModel, Profiler};
 use pesto_graph::{Cluster, FrozenGraph, GraphError, Plan};
 use pesto_ilp::{IlpError, PestoPlacer, PlacerConfig, SolvePath};
-use pesto_sim::{SimError, Simulator};
+use pesto_sim::{PipelineStats, SimError, Simulator};
 use std::error::Error;
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -41,6 +41,13 @@ pub struct PestoConfig {
     /// [`PestoOutcome::degradation`] instead of erroring out. `None` (the
     /// default) means run to completion.
     pub time_budget: Option<Duration>,
+    /// When greater than 1, the final honest evaluation additionally runs
+    /// the plan for this many *pipelined* training steps (see
+    /// [`pesto_sim::Simulator::with_steps`]) and records the fill /
+    /// steady-state / drain breakdown in [`PestoOutcome::pipeline`].
+    /// [`PestoOutcome::makespan_us`] stays the single-step time either
+    /// way. Defaults to 1 (no pipelined evaluation).
+    pub pipeline_steps: usize,
 }
 
 impl Default for PestoConfig {
@@ -54,6 +61,7 @@ impl Default for PestoConfig {
             refinement_passes: 2,
             congestion_aware: true,
             time_budget: None,
+            pipeline_steps: 1,
         }
     }
 }
@@ -197,6 +205,10 @@ pub struct PestoOutcome {
     /// Why (if at all) the pipeline fell back from its preferred path.
     /// `None` means the full search ran to completion.
     pub degradation: Option<DegradationReason>,
+    /// Fill / steady-state / drain breakdown of a
+    /// [`PestoConfig::pipeline_steps`]-step pipelined run of the plan.
+    /// `None` when `pipeline_steps <= 1`.
+    pub pipeline: Option<PipelineStats>,
 }
 
 /// Hill climbing on the fine graph at merged-group granularity: for each
@@ -311,6 +323,25 @@ impl Pesto {
         &self.comm
     }
 
+    /// Runs the plan for [`PestoConfig::pipeline_steps`] pipelined steps
+    /// on the true op times and returns the per-step breakdown. `None`
+    /// when `pipeline_steps <= 1`.
+    fn pipelined_stats(
+        &self,
+        graph: &FrozenGraph,
+        cluster: &Cluster,
+        plan: &Plan,
+    ) -> Result<Option<PipelineStats>, PestoError> {
+        if self.config.pipeline_steps <= 1 {
+            return Ok(None);
+        }
+        let report = Simulator::new(graph, cluster, self.comm)
+            .with_seed(self.config.seed)
+            .with_steps(self.config.pipeline_steps)
+            .run(plan)?;
+        Ok(report.pipeline)
+    }
+
     /// Builds a degraded-but-valid outcome for the lower rungs of the
     /// fallback ladder: a constructive mSCT plan, or (last resort) every
     /// op on a single device. Honestly simulated on the true op times.
@@ -334,6 +365,7 @@ impl Pesto {
         let report = Simulator::new(graph, cluster, self.comm)
             .with_seed(self.config.seed)
             .run(&plan)?;
+        let pipeline = self.pipelined_stats(graph, cluster, &plan)?;
         Ok(PestoOutcome {
             plan,
             makespan_us: report.makespan_us,
@@ -343,6 +375,7 @@ impl Pesto {
             path,
             explicit_schedule,
             degradation: Some(reason),
+            pipeline,
         })
     }
 
@@ -524,6 +557,7 @@ impl Pesto {
         // 5. Honest evaluation on the true op times.
         let sim = Simulator::new(graph, cluster, self.comm).with_seed(self.config.seed);
         let report = sim.run(&plan)?;
+        let pipeline = self.pipelined_stats(graph, cluster, &plan)?;
 
         Ok(PestoOutcome {
             plan,
@@ -534,6 +568,7 @@ impl Pesto {
             path: outcome.path,
             explicit_schedule,
             degradation,
+            pipeline,
         })
     }
 }
@@ -605,6 +640,23 @@ mod tests {
         let outcome = Pesto::new(config).place(&graph, &cluster).unwrap();
         assert!(!outcome.explicit_schedule);
         assert!(outcome.plan.order.is_none());
+    }
+
+    #[test]
+    fn pipeline_steps_config_yields_a_breakdown() {
+        let graph = ModelSpec::transformer(1, 2, 64).generate(4, 1);
+        let cluster = Cluster::two_gpus();
+        let base = Pesto::new(PestoConfig::fast()).place(&graph, &cluster).unwrap();
+        assert!(base.pipeline.is_none(), "default config is single-step");
+
+        let config = PestoConfig { pipeline_steps: 4, ..PestoConfig::fast() };
+        let outcome = Pesto::new(config).place(&graph, &cluster).unwrap();
+        let stats = outcome.pipeline.as_ref().expect("4-step breakdown");
+        assert_eq!(stats.steps, 4);
+        // The single-step makespan is unaffected by the extra evaluation,
+        // and the sustained step time can never exceed it.
+        assert_eq!(outcome.makespan_us, base.makespan_us);
+        assert!(stats.steady_step_us <= outcome.makespan_us + 1e-9);
     }
 
     #[test]
