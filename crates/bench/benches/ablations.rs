@@ -53,20 +53,24 @@ fn ablate_coarsen_target(c: &mut Criterion) {
     let cluster = Cluster::two_gpus();
     let mut group = c.benchmark_group("ablate_coarsen_target");
     for target in [32usize, 128, 512] {
-        group.bench_with_input(BenchmarkId::from_parameter(target), &target, |b, &target| {
-            let config = PestoConfig {
-                coarsen_target: target,
-                ..small_config()
-            };
-            b.iter(|| {
-                black_box(
-                    Pesto::new(config.clone())
-                        .place(&graph, &cluster)
-                        .unwrap()
-                        .makespan_us,
-                )
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(target),
+            &target,
+            |b, &target| {
+                let config = PestoConfig {
+                    coarsen_target: target,
+                    ..small_config()
+                };
+                b.iter(|| {
+                    black_box(
+                        Pesto::new(config.clone())
+                            .place(&graph, &cluster)
+                            .unwrap()
+                            .makespan_us,
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -76,20 +80,24 @@ fn ablate_refinement(c: &mut Criterion) {
     let cluster = Cluster::two_gpus();
     let mut group = c.benchmark_group("ablate_refinement");
     for passes in [0usize, 2] {
-        group.bench_with_input(BenchmarkId::from_parameter(passes), &passes, |b, &passes| {
-            let config = PestoConfig {
-                refinement_passes: passes,
-                ..small_config()
-            };
-            b.iter(|| {
-                black_box(
-                    Pesto::new(config.clone())
-                        .place(&graph, &cluster)
-                        .unwrap()
-                        .makespan_us,
-                )
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(passes),
+            &passes,
+            |b, &passes| {
+                let config = PestoConfig {
+                    refinement_passes: passes,
+                    ..small_config()
+                };
+                b.iter(|| {
+                    black_box(
+                        Pesto::new(config.clone())
+                            .place(&graph, &cluster)
+                            .unwrap()
+                            .makespan_us,
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }

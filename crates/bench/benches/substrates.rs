@@ -17,7 +17,8 @@ fn bench_simulator(c: &mut Criterion) {
     let cluster = Cluster::two_gpus();
     let comm = CommModel::default_v100();
     let placement = Placement::affinity_default(&graph, &cluster);
-    let order = ScheduleOrder::from_global_order(&placement, graph.topo_order(), cluster.device_count());
+    let order =
+        ScheduleOrder::from_global_order(&placement, graph.topo_order(), cluster.device_count());
     let plan = Plan::with_order(placement, order);
     let sim = Simulator::new(&graph, &cluster, comm).with_memory_check(false);
     c.bench_function("sim/rnnlm-1-64 ordered step", |b| {
@@ -32,7 +33,13 @@ fn bench_simulator(c: &mut Criterion) {
 fn bench_coarsening(c: &mut Criterion) {
     let graph = ModelSpec::rnnlm(2, 128).generate_scaled(16, 1, 0.5);
     c.bench_function("coarsen/rnnlm-2-128 to 200", |b| {
-        b.iter(|| black_box(coarsen(&graph, &CoarsenConfig::to_target(200)).coarse().op_count()))
+        b.iter(|| {
+            black_box(
+                coarsen(&graph, &CoarsenConfig::to_target(200))
+                    .coarse()
+                    .op_count(),
+            )
+        })
     });
 }
 
@@ -56,7 +63,9 @@ fn bench_etf(c: &mut Criterion) {
 fn bench_lp(c: &mut Criterion) {
     // A mid-size LP: 40 vars, 60 rows.
     let mut p = Problem::new(Sense::Maximize);
-    let vars: Vec<_> = (0..40).map(|i| p.add_var(format!("x{i}"), 0.0, 10.0, (i % 7 + 1) as f64)).collect();
+    let vars: Vec<_> = (0..40)
+        .map(|i| p.add_var(format!("x{i}"), 0.0, 10.0, (i % 7 + 1) as f64))
+        .collect();
     for r in 0..60 {
         let terms: Vec<_> = vars
             .iter()
@@ -74,8 +83,14 @@ fn bench_lp(c: &mut Criterion) {
 fn bench_milp(c: &mut Criterion) {
     // A 14-item knapsack.
     let mut lp = Problem::new(Sense::Maximize);
-    let vars: Vec<_> = (0..14).map(|i| lp.add_var(format!("b{i}"), 0.0, 1.0, ((i * 7) % 13 + 1) as f64)).collect();
-    let terms: Vec<_> = vars.iter().enumerate().map(|(i, &v)| (v, ((i * 5) % 9 + 1) as f64)).collect();
+    let vars: Vec<_> = (0..14)
+        .map(|i| lp.add_var(format!("b{i}"), 0.0, 1.0, ((i * 7) % 13 + 1) as f64))
+        .collect();
+    let terms: Vec<_> = vars
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, ((i * 5) % 9 + 1) as f64))
+        .collect();
     lp.add_constraint(terms, Relation::Le, 20.0);
     let milp = MilpProblem::new(lp, vars);
     c.bench_function("milp/knapsack-14", |b| {

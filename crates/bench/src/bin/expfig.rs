@@ -3,7 +3,11 @@
 //!
 //! Usage: `expfig <experiment> [--quick] [--steps K]` where experiment is
 //! one of `fig2 fig4a fig4b table1 fig5 fig7 table2 table3 fig8a fig8b
-//! coarsen-sweep budget-sweep robustness pipeline all`.
+//! coarsen-sweep budget-sweep robustness pipeline gap all`.
+//!
+//! `gap` prints the branch-and-bound gap-over-time column set per warm-up
+//! strategy (cold vs. hybrid-warm-started), from the telemetry event
+//! stream in `pesto-obs`.
 //!
 //! `--steps K` selects the number of pipelined training steps per
 //! simulation: the `robustness` sweep then ranks plans by steady-state
@@ -82,6 +86,92 @@ fn main() {
     if run("pipeline") {
         pipeline(&cluster, &comm, quick, steps.unwrap_or(4));
     }
+    if run("gap") {
+        gap(&cluster, &comm);
+    }
+}
+
+/// Solver gap over time: how fast branch-and-bound closes the
+/// incumbent-vs-bound gap on the exactly solvable toy instance, per
+/// warm-up strategy — a cold start vs. the production configuration that
+/// warm-starts from the hybrid annealer's incumbent. Columns come from
+/// the `pesto-obs` gap event stream the MILP emits while solving.
+fn gap(cluster: &Cluster, comm: &CommModel) {
+    use pesto::ilp::{HybridConfig, HybridSolver};
+    use pesto::obs::{Obs, SolverEventKind};
+
+    println!("\n== Solver gap over time (exact MILP, per strategy) ==");
+    let g = figure2();
+    let config = IlpConfig {
+        memory: MemoryRule::Off,
+        milp: MilpConfig::with_time_limit(Duration::from_secs(60)),
+        ..IlpConfig::default()
+    };
+    let model = IlpModel::build(&g, cluster, comm, &config).expect("2-GPU toy instance");
+
+    #[derive(Serialize)]
+    struct GapRow {
+        strategy: &'static str,
+        t_us: f64,
+        incumbent_us: Option<f64>,
+        best_bound_us: f64,
+        relative_gap: Option<f64>,
+        nodes_explored: u64,
+    }
+    let finite = |v: f64| v.is_finite().then_some(v);
+    let mut rows: Vec<GapRow> = Vec::new();
+
+    for (strategy, warm) in [("cold", false), ("warm", true)] {
+        let obs = Obs::enabled();
+        let mut milp_cfg = MilpConfig {
+            obs: obs.clone(),
+            ..config.milp.clone()
+        };
+        if warm {
+            let hybrid = HybridSolver::new(HybridConfig::quick())
+                .solve(&g, cluster, comm)
+                .expect("hybrid solves the toy instance");
+            milp_cfg.warm_start = model.warm_start_from(&hybrid.plan, comm);
+        }
+        let outcome = model.solve(&milp_cfg).expect("toy ILP solves");
+        println!(
+            "\n{strategy}: cmax {:.1} µs, {} nodes, proven optimal: {}",
+            outcome.cmax_us, outcome.nodes_explored, outcome.proven_optimal
+        );
+        println!(
+            "  {:>10} {:>12} {:>12} {:>10} {:>7}",
+            "t_us", "incumbent", "best_bound", "gap", "nodes"
+        );
+        for event in obs.solver_events() {
+            let SolverEventKind::Gap {
+                incumbent,
+                best_bound,
+                relative_gap,
+                nodes_explored,
+            } = event.kind
+            else {
+                continue;
+            };
+            let show = |v: Option<f64>| v.map_or("-".to_string(), |v| format!("{v:.1}"));
+            println!(
+                "  {:>10.1} {:>12} {:>12.1} {:>10} {:>7}",
+                event.t_us,
+                show(finite(incumbent)),
+                best_bound,
+                finite(relative_gap).map_or("-".to_string(), |v| format!("{:.2}%", v * 100.0)),
+                nodes_explored,
+            );
+            rows.push(GapRow {
+                strategy,
+                t_us: event.t_us,
+                incumbent_us: finite(incumbent),
+                best_bound_us: best_bound,
+                relative_gap: finite(relative_gap),
+                nodes_explored,
+            });
+        }
+    }
+    record_json("gap_over_time", &rows);
 }
 
 /// Figure 2: the toy DAG under (b) naive scheduling, (c) naive placement,
@@ -127,8 +217,14 @@ fn fig2(cluster: &Cluster, comm: &CommModel) {
         optimal_cmax_us: ilp.cmax_us,
         proven_optimal: ilp.proven_optimal,
     };
-    println!("(b) naive scheduling:       {:>8.1} us", rec.naive_schedule_us.unwrap_or(f64::NAN));
-    println!("(c) naive placement:        {:>8.1} us", rec.naive_placement_us.unwrap_or(f64::NAN));
+    println!(
+        "(b) naive scheduling:       {:>8.1} us",
+        rec.naive_schedule_us.unwrap_or(f64::NAN)
+    );
+    println!(
+        "(c) naive placement:        {:>8.1} us",
+        rec.naive_placement_us.unwrap_or(f64::NAN)
+    );
     println!(
         "(d) Pesto ILP (optimal):    {:>8.1} us (model C_max {:.1}, proven={})",
         rec.optimal_us.unwrap_or(f64::NAN),
@@ -136,7 +232,12 @@ fn fig2(cluster: &Cluster, comm: &CommModel) {
         rec.proven_optimal
     );
     let sim = Simulator::new(&g, cluster, *comm);
-    println!("\nOptimal timeline:\n{}", sim.run(&ilp.plan).map(|r| r.timeline(cluster, 64)).unwrap_or_default());
+    println!(
+        "\nOptimal timeline:\n{}",
+        sim.run(&ilp.plan)
+            .map(|r| r.timeline(cluster, 64))
+            .unwrap_or_default()
+    );
     record_json("fig2", &rec);
 }
 
@@ -216,7 +317,10 @@ fn fig4b(truth: &CommModel) {
 /// Table 1: op execution-time buckets per model.
 fn table1() {
     println!("\n== Table 1: op compute-time distribution ==");
-    println!("{:<24} {:>9} {:>10} {:>9}", "model", "<10us", "10-100us", ">100us");
+    println!(
+        "{:<24} {:>9} {:>10} {:>9}",
+        "model", "<10us", "10-100us", ">100us"
+    );
     #[derive(Serialize)]
     struct T1 {
         model: String,
@@ -330,7 +434,10 @@ fn fig7(cluster: &Cluster, comm: &CommModel, quick: bool) {
     for spec in paper_variants() {
         let t0 = Instant::now();
         let row = run_variant(spec, cluster, comm, quick);
-        let disp = |s: &str| row.get(s).map_or("-".into(), pesto_bench::StrategyResult::display_ms);
+        let disp = |s: &str| {
+            row.get(s)
+                .map_or("-".into(), pesto_bench::StrategyResult::display_ms)
+        };
         println!(
             "{:<24} {:>6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>8} ({:.0}s)",
             row.variant,
@@ -340,13 +447,17 @@ fn fig7(cluster: &Cluster, comm: &CommModel, quick: bool) {
             disp("m_etf"),
             disp("m_sct"),
             disp("pesto"),
-            row.pesto_reduction_pct().map_or("-".into(), |r| format!("{r:.1}")),
+            row.pesto_reduction_pct()
+                .map_or("-".into(), |r| format!("{r:.1}")),
             t0.elapsed().as_secs_f64(),
         );
         rows.push(row);
     }
     let avg: f64 = {
-        let reds: Vec<f64> = rows.iter().filter_map(VariantRow::pesto_reduction_pct).collect();
+        let reds: Vec<f64> = rows
+            .iter()
+            .filter_map(VariantRow::pesto_reduction_pct)
+            .collect();
         reds.iter().sum::<f64>() / reds.len().max(1) as f64
     };
     println!("average reduction vs best alternative: {avg:.1}% (paper: ~14%)");
@@ -458,7 +569,9 @@ fn table3(cluster: &Cluster, comm: &CommModel, quick: bool) {
             pesto_rel,
         });
     }
-    println!("(paper: Baechi 0.94-1.08x, Pesto 0.7-0.89x of Expert for NMT; 0.97x / 0.81x for NASNet)");
+    println!(
+        "(paper: Baechi 0.94-1.08x, Pesto 0.7-0.89x of Expert for NMT; 0.97x / 0.81x for NASNet)"
+    );
     record_json("table3", &recs);
 }
 
@@ -659,7 +772,10 @@ fn robustness(cluster: &Cluster, comm: &CommModel, quick: bool, steps: usize) {
         let plans = [
             ("pesto", pesto_plan.ok()),
             ("expert", Some(expert(&graph, cluster))),
-            ("m_sct", Some(pesto::baselines::m_sct(&graph, cluster, comm))),
+            (
+                "m_sct",
+                Some(pesto::baselines::m_sct(&graph, cluster, comm)),
+            ),
         ];
         for (name, plan) in plans {
             let Some(plan) = plan else {
@@ -744,7 +860,10 @@ fn pipeline(cluster: &Cluster, comm: &CommModel, quick: bool, steps: usize) {
         let plans = [
             ("pesto", pesto_plan.ok()),
             ("expert", Some(expert(&graph, cluster))),
-            ("m_sct", Some(pesto::baselines::m_sct(&graph, cluster, comm))),
+            (
+                "m_sct",
+                Some(pesto::baselines::m_sct(&graph, cluster, comm)),
+            ),
         ];
         for (name, plan) in plans {
             let Some(plan) = plan else {

@@ -124,7 +124,12 @@ pub fn pesto_config_for(quick: bool, ops: usize) -> PestoConfig {
 
 /// Runs the full head-to-head (Expert, mTOPO, mETF, mSCT, Pesto) on one
 /// variant.
-pub fn run_variant(spec: ModelSpec, cluster: &Cluster, comm: &CommModel, quick: bool) -> VariantRow {
+pub fn run_variant(
+    spec: ModelSpec,
+    cluster: &Cluster,
+    comm: &CommModel,
+    quick: bool,
+) -> VariantRow {
     let graph = spec.generate(spec.paper_batch(), 1);
     let mut results = Vec::new();
 
@@ -145,19 +150,34 @@ pub fn run_variant(spec: ModelSpec, cluster: &Cluster, comm: &CommModel, quick: 
         evaluate_plan(&graph, cluster, comm, &m_topo(&graph, cluster), EVAL_SEED)
     });
     timed("m_etf", &mut || {
-        evaluate_plan(&graph, cluster, comm, &m_etf(&graph, cluster, comm), EVAL_SEED)
+        evaluate_plan(
+            &graph,
+            cluster,
+            comm,
+            &m_etf(&graph, cluster, comm),
+            EVAL_SEED,
+        )
     });
     timed("m_sct", &mut || {
-        evaluate_plan(&graph, cluster, comm, &m_sct(&graph, cluster, comm), EVAL_SEED)
+        evaluate_plan(
+            &graph,
+            cluster,
+            comm,
+            &m_sct(&graph, cluster, comm),
+            EVAL_SEED,
+        )
     });
-    timed("pesto", &mut || {
-        match Pesto::with_comm(*comm, pesto_config_for(quick, graph.op_count())).place(&graph, cluster) {
+    timed(
+        "pesto",
+        &mut || match Pesto::with_comm(*comm, pesto_config_for(quick, graph.op_count()))
+            .place(&graph, cluster)
+        {
             Ok(outcome) => evaluate_plan(&graph, cluster, comm, &outcome.plan, EVAL_SEED),
             Err(e) => StepOutcome::Failed {
                 reason: e.to_string(),
             },
-        }
-    });
+        },
+    );
 
     VariantRow {
         variant: spec.label(),
@@ -175,7 +195,9 @@ pub fn expert_vs_pesto(
     quick: bool,
 ) -> (StepOutcome, StepOutcome) {
     let e = evaluate_plan(graph, cluster, comm, &expert(graph, cluster), EVAL_SEED);
-    let p = match Pesto::with_comm(*comm, pesto_config_for(quick, graph.op_count())).place(graph, cluster) {
+    let p = match Pesto::with_comm(*comm, pesto_config_for(quick, graph.op_count()))
+        .place(graph, cluster)
+    {
         Ok(outcome) => evaluate_plan(graph, cluster, comm, &outcome.plan, EVAL_SEED),
         Err(e) => StepOutcome::Failed {
             reason: e.to_string(),
@@ -193,7 +215,8 @@ pub fn pesto_timed(
     quick: bool,
 ) -> (Duration, StepOutcome) {
     let graph = spec.generate(spec.paper_batch(), 1);
-    match Pesto::with_comm(*comm, pesto_config_for(quick, graph.op_count())).place(&graph, cluster) {
+    match Pesto::with_comm(*comm, pesto_config_for(quick, graph.op_count())).place(&graph, cluster)
+    {
         Ok(outcome) => {
             let step = evaluate_plan(&graph, cluster, comm, &outcome.plan, EVAL_SEED);
             (outcome.placement_time, step)
@@ -230,12 +253,16 @@ mod tests {
             results: vec![
                 StrategyResult {
                     strategy: "expert".into(),
-                    outcome: StepOutcome::Ok { makespan_us: 2000.0 },
+                    outcome: StepOutcome::Ok {
+                        makespan_us: 2000.0,
+                    },
                     placement_secs: 0.0,
                 },
                 StrategyResult {
                     strategy: "m_sct".into(),
-                    outcome: StepOutcome::Ok { makespan_us: 1500.0 },
+                    outcome: StepOutcome::Ok {
+                        makespan_us: 1500.0,
+                    },
                     placement_secs: 0.1,
                 },
                 StrategyResult {
@@ -245,7 +272,9 @@ mod tests {
                 },
                 StrategyResult {
                     strategy: "pesto".into(),
-                    outcome: StepOutcome::Ok { makespan_us: 1200.0 },
+                    outcome: StepOutcome::Ok {
+                        makespan_us: 1200.0,
+                    },
                     placement_secs: 1.0,
                 },
             ],

@@ -72,7 +72,9 @@ fn etf_like(graph: &FrozenGraph, cluster: &Cluster, comm: &CommModel, favorite_b
     let mut device_free = vec![0.0f64; cluster.device_count()];
     let mut link_free = vec![0.0f64; cluster.link_count()];
     let mut finish = vec![0.0f64; n];
-    let mut remaining: Vec<usize> = (0..n).map(|i| graph.in_degree(OpId::from_index(i))).collect();
+    let mut remaining: Vec<usize> = (0..n)
+        .map(|i| graph.in_degree(OpId::from_index(i)))
+        .collect();
     let mut ready: Vec<OpId> = (0..n)
         .filter(|&i| remaining[i] == 0)
         .map(OpId::from_index)
@@ -193,7 +195,8 @@ fn etf_like(graph: &FrozenGraph, cluster: &Cluster, comm: &CommModel, favorite_b
             } else {
                 let link = cluster.link_between(pdev, dev).expect("connected");
                 let t0 = finish[p.index()].max(link_free[link.index()]);
-                let t1 = t0 + comm.transfer_us(cluster.link(link).link_type(), bytes)
+                let t1 = t0
+                    + comm.transfer_us(cluster.link(link).link_type(), bytes)
                         / cluster.link(link).speed();
                 link_free[link.index()] = t1;
                 t1

@@ -36,10 +36,7 @@ pub fn naive_critical_path(graph: &FrozenGraph, cluster: &Cluster, placement: Pl
         let next = global
             .iter()
             .copied()
-            .find(|&op| {
-                !emitted[op.index()]
-                    && graph.preds(op).iter().all(|p| emitted[p.index()])
-            })
+            .find(|&op| !emitted[op.index()] && graph.preds(op).iter().all(|p| emitted[p.index()]))
             .expect("a DAG always has an emittable op");
         emitted[next.index()] = true;
         result.push(next);

@@ -67,8 +67,7 @@ fn merged_kind(a: DeviceKind, b: DeviceKind) -> DeviceKind {
 /// mergeable") if `(u, v)` is not an edge that forms the unique path from
 /// `u` to `v`, or if the endpoint device classes cannot be colocated.
 pub fn merge_edge(graph: &FrozenGraph, u: OpId, v: OpId) -> Result<FrozenGraph, GraphError> {
-    if !graph.edge_is_unique_path(u, v)
-        || !kinds_mergeable(graph.op(u).kind(), graph.op(v).kind())
+    if !graph.edge_is_unique_path(u, v) || !kinds_mergeable(graph.op(u).kind(), graph.op(v).kind())
     {
         return Err(GraphError::DuplicateEdge(u, v));
     }
@@ -134,8 +133,7 @@ fn select_batch(g: &FrozenGraph, limit: usize, max_d: i64, compute_cap: f64) -> 
         let cond_ii = g.out_degree(u) == 1
             || g.in_degree(v) == 1
             || hv == hu + 1
-            || g
-                .succs(u)
+            || g.succs(u)
                 .iter()
                 .all(|&w| w == v || i64::from(g.height(w)) > hu + d);
         if !cond_ii {
@@ -242,9 +240,7 @@ fn try_apply(
         let compute: f64 = members.iter().map(|&m| g.op(m).compute_us()).sum();
         let memory: u64 = members.iter().map(|&m| g.op(m).memory_bytes()).sum();
         let id = builder.add_op(name, kind, compute, memory);
-        let group = members
-            .iter()
-            .find_map(|&m| g.op(m).colocation_group());
+        let group = members.iter().find_map(|&m| g.op(m).colocation_group());
         builder.op_mut(id).set_colocation_group(group);
     }
 
@@ -330,9 +326,7 @@ fn coarsen_impl(graph: &FrozenGraph, config: &CoarsenConfig) -> (Coarsening, Vec
     // weight so no single coarse vertex can serialize a large share of the
     // step (weight balance, as in multilevel graph partitioning).
     let mut max_d: i64 = 1;
-    let height_bound = i64::from(
-        graph.heights().iter().copied().max().unwrap_or(1),
-    );
+    let height_bound = i64::from(graph.heights().iter().copied().max().unwrap_or(1));
     let compute_cap =
         (4.0 * graph.total_compute_us() / config.target_vertices.max(1) as f64).max(1.0);
     let mut rounds: Vec<CoarsenRound> = Vec::new();
@@ -351,7 +345,8 @@ fn coarsen_impl(graph: &FrozenGraph, config: &CoarsenConfig) -> (Coarsening, Vec
             max_d *= 2;
             continue;
         }
-        let Some((merged, groups)) = apply_safe(coarse, &matching, config.parallel_edge_penalty_bytes)
+        let Some((merged, groups)) =
+            apply_safe(coarse, &matching, config.parallel_edge_penalty_bytes)
         else {
             break;
         };
@@ -556,6 +551,10 @@ mod tests {
         let c = coarsen(&g, &CoarsenConfig::to_target(40));
         // Per-round limit caps merges so we never go far below target.
         assert!(c.coarse().op_count() <= 40);
-        assert!(c.coarse().op_count() >= 20, "overshoot: {}", c.coarse().op_count());
+        assert!(
+            c.coarse().op_count() >= 20,
+            "overshoot: {}",
+            c.coarse().op_count()
+        );
     }
 }

@@ -133,10 +133,12 @@ mod tests {
         let m = CommModel::default_v100();
         let fast = m.scaled(2.0);
         let bytes = 1 << 20;
-        let ratio = m.transfer_us(LinkType::GpuToGpu, bytes) / fast.transfer_us(LinkType::GpuToGpu, bytes);
+        let ratio =
+            m.transfer_us(LinkType::GpuToGpu, bytes) / fast.transfer_us(LinkType::GpuToGpu, bytes);
         assert!((ratio - 2.0).abs() < 1e-9);
         let slow = m.scaled(0.1);
-        let ratio = slow.transfer_us(LinkType::GpuToGpu, bytes) / m.transfer_us(LinkType::GpuToGpu, bytes);
+        let ratio =
+            slow.transfer_us(LinkType::GpuToGpu, bytes) / m.transfer_us(LinkType::GpuToGpu, bytes);
         assert!((ratio - 10.0).abs() < 1e-9);
     }
 

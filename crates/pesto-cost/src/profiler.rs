@@ -133,7 +133,9 @@ impl ProfileReport {
                     .set_compute_us(self.mean_us[i]);
             }
         }
-        builder.freeze().expect("re-freezing a frozen graph cannot fail")
+        builder
+            .freeze()
+            .expect("re-freezing a frozen graph cannot fail")
     }
 }
 
@@ -250,7 +252,11 @@ mod tests {
         let report = Profiler::paper_default(7).profile(&g);
         for (i, &truth) in [5.0, 50.0, 500.0].iter().enumerate() {
             let rel = (report.mean_us[i] - truth).abs() / truth;
-            assert!(rel < 0.15, "op{i}: estimate {} vs truth {truth}", report.mean_us[i]);
+            assert!(
+                rel < 0.15,
+                "op{i}: estimate {} vs truth {truth}",
+                report.mean_us[i]
+            );
         }
     }
 
@@ -352,6 +358,9 @@ mod tests {
     fn fit_needs_varied_sizes() {
         let bench = TransferBench::new(CommModel::default_v100(), 0.0, 1);
         let same = bench.measure(LinkType::GpuToGpu, &[2048], 10);
-        assert_eq!(TransferBench::fit(&same).unwrap_err(), FitError::DegenerateX);
+        assert_eq!(
+            TransferBench::fit(&same).unwrap_err(),
+            FitError::DegenerateX
+        );
     }
 }

@@ -47,7 +47,9 @@ pub enum FitError {
 impl fmt::Display for FitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FitError::NotEnoughData => write!(f, "need at least two (x, y) samples of equal length"),
+            FitError::NotEnoughData => {
+                write!(f, "need at least two (x, y) samples of equal length")
+            }
             FitError::DegenerateX => write!(f, "all x values are identical; slope undetermined"),
         }
     }
@@ -133,7 +135,10 @@ mod tests {
 
     #[test]
     fn too_few_samples() {
-        assert_eq!(fit_linear(&[1.0], &[2.0]).unwrap_err(), FitError::NotEnoughData);
+        assert_eq!(
+            fit_linear(&[1.0], &[2.0]).unwrap_err(),
+            FitError::NotEnoughData
+        );
         assert_eq!(fit_linear(&[], &[]).unwrap_err(), FitError::NotEnoughData);
     }
 

@@ -108,7 +108,8 @@ mod tests {
     fn comm_scaling_delegates() {
         let m = CommModel::default_v100();
         let s = HardwareScaling::new(1.0, 10.0).scale_comm(&m);
-        let ratio = m.transfer_us(LinkType::GpuToGpu, 1 << 20) / s.transfer_us(LinkType::GpuToGpu, 1 << 20);
+        let ratio =
+            m.transfer_us(LinkType::GpuToGpu, 1 << 20) / s.transfer_us(LinkType::GpuToGpu, 1 << 20);
         assert!((ratio - 10.0).abs() < 1e-9);
     }
 

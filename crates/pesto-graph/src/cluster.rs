@@ -396,7 +396,10 @@ mod tests {
         assert_eq!(c.gpu_count(), 2);
         assert!(!c.device(c.cpu()).unwrap().is_gpu());
         assert!(c.device(c.gpu(0)).unwrap().is_gpu());
-        assert_eq!(c.device(c.gpu(0)).unwrap().memory_bytes(), DEFAULT_GPU_MEMORY);
+        assert_eq!(
+            c.device(c.gpu(0)).unwrap().memory_bytes(),
+            DEFAULT_GPU_MEMORY
+        );
         // 3 devices, fully connected minus self-loops minus CPU-CPU: 6 links.
         assert_eq!(c.link_count(), 6);
     }
@@ -498,8 +501,11 @@ mod tests {
             assert!(l.dst().index() < survived.device_count());
         }
         // gpu1/gpu2 became gpu(0)/gpu(1); their configured speed survives.
-        let fwd = survived
-            .link(survived.link_between(survived.gpu(0), survived.gpu(1)).unwrap());
+        let fwd = survived.link(
+            survived
+                .link_between(survived.gpu(0), survived.gpu(1))
+                .unwrap(),
+        );
         assert!((fwd.speed() - 0.5).abs() < 1e-12);
         assert_eq!(survived.device(survived.gpu(0)).unwrap().name(), "gpu1");
     }

@@ -53,7 +53,10 @@ mod tests {
                 GraphError::DuplicateEdge(OpId(1), OpId(2)),
                 "duplicate edge op1 -> op2",
             ),
-            (GraphError::Cycle(OpId(0)), "graph contains a cycle through op0"),
+            (
+                GraphError::Cycle(OpId(0)),
+                "graph contains a cycle through op0",
+            ),
             (GraphError::Empty, "graph has no operations"),
             (GraphError::UnknownDevice(9), "unknown device 9"),
         ];

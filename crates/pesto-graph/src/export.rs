@@ -45,7 +45,13 @@ pub fn to_dot(graph: &FrozenGraph) -> String {
         );
     }
     for &(u, v, bytes) in graph.edges() {
-        let _ = writeln!(out, "  {} -> {} [label=\"{}B\"];", u.index(), v.index(), bytes);
+        let _ = writeln!(
+            out,
+            "  {} -> {} [label=\"{}B\"];",
+            u.index(),
+            v.index(),
+            bytes
+        );
     }
     out.push_str("}\n");
     out

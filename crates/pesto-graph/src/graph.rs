@@ -569,7 +569,10 @@ mod tests {
         assert!(g.reachable(a, b));
         assert!(!g.reachable(b, c));
         assert!(!g.reachable(d, a));
-        assert!(!g.reachable(a, a), "reachability requires at least one edge");
+        assert!(
+            !g.reachable(a, a),
+            "reachability requires at least one edge"
+        );
     }
 
     #[test]
@@ -683,7 +686,10 @@ mod tests {
     #[test]
     fn edge_bytes_lookup() {
         let g = diamond();
-        assert_eq!(g.edge_bytes(OpId::from_index(0), OpId::from_index(1)), Some(100));
+        assert_eq!(
+            g.edge_bytes(OpId::from_index(0), OpId::from_index(1)),
+            Some(100)
+        );
         assert_eq!(g.edge_bytes(OpId::from_index(1), OpId::from_index(0)), None);
     }
 }

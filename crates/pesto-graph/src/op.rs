@@ -93,7 +93,12 @@ impl Operation {
     ///
     /// Panics if `compute_us` is negative or not finite — compute times come
     /// from profiling and must be physical.
-    pub fn new(name: impl Into<String>, kind: DeviceKind, compute_us: f64, memory_bytes: u64) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        kind: DeviceKind,
+        compute_us: f64,
+        memory_bytes: u64,
+    ) -> Self {
         assert!(
             compute_us.is_finite() && compute_us >= 0.0,
             "compute time must be finite and non-negative, got {compute_us}"

@@ -115,9 +115,7 @@ impl Placement {
         self.memory_per_device(graph, cluster)
             .iter()
             .enumerate()
-            .filter(|&(d, &used)| {
-                used > cluster.devices()[d].memory_bytes()
-            })
+            .filter(|&(d, &used)| used > cluster.devices()[d].memory_bytes())
             .map(|(d, _)| DeviceId::from_index(d))
             .collect()
     }
@@ -393,7 +391,11 @@ mod tests {
         let p = Placement::affinity_default(&g, &c);
         let s = ScheduleOrder::from_vecs(vec![
             vec![OpId::from_index(0)],
-            vec![OpId::from_index(1), OpId::from_index(1), OpId::from_index(2)],
+            vec![
+                OpId::from_index(1),
+                OpId::from_index(1),
+                OpId::from_index(2),
+            ],
             vec![],
         ]);
         assert!(s.validate(&g, &p).is_err());

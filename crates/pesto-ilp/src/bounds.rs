@@ -117,7 +117,11 @@ mod tests {
         // Check several placements.
         for mask in 0u32..8 {
             let mut p = Placement::affinity_default(&g, &cluster);
-            for (bit, id) in g.op_ids().filter(|&i| g.op(i).kind() == DeviceKind::Gpu).enumerate() {
+            for (bit, id) in g
+                .op_ids()
+                .filter(|&i| g.op(i).kind() == DeviceKind::Gpu)
+                .enumerate()
+            {
                 if (mask >> bit) & 1 == 1 {
                     p.set_device(id, cluster.gpu(1));
                 }

@@ -421,7 +421,10 @@ impl<'a> IlpModel<'a> {
         // observed start order (δ=1 ⇔ a starts first ⇒ S_b >= C_a branch).
         for vi in 0..lp.var_count() {
             let name = lp.var_name(VarId::from_index(vi)).to_string();
-            if let Some(rest) = name.strip_prefix("dC_").or_else(|| name.strip_prefix("dG_")) {
+            if let Some(rest) = name
+                .strip_prefix("dC_")
+                .or_else(|| name.strip_prefix("dG_"))
+            {
                 let mut parts = rest.split('_');
                 let a: usize = parts.next()?.parse().ok()?;
                 let b: usize = parts.next()?.parse().ok()?;
@@ -489,7 +492,8 @@ impl<'a> IlpModel<'a> {
             list.sort_by(|&a, &b| {
                 let sa = solution.value(self.start_vars[self.aug.node_of_op(a)]);
                 let sb = solution.value(self.start_vars[self.aug.node_of_op(b)]);
-                sa.total_cmp(&sb).then(topo_pos[a.index()].cmp(&topo_pos[b.index()]))
+                sa.total_cmp(&sb)
+                    .then(topo_pos[a.index()].cmp(&topo_pos[b.index()]))
             });
         }
         let plan = Plan::with_order(placement, ScheduleOrder::from_vecs(per_device));
@@ -815,7 +819,8 @@ mod tests {
         let model = IlpModel::build(&g, &cluster, &comm(), &cfg()).unwrap();
         // Simple plan: everything on gpu0, topo order.
         let placement = Placement::uniform(3, cluster.gpu(0));
-        let order = ScheduleOrder::from_global_order(&placement, g.topo_order(), cluster.device_count());
+        let order =
+            ScheduleOrder::from_global_order(&placement, g.topo_order(), cluster.device_count());
         let plan = Plan::with_order(placement, order);
         let ws = model.warm_start_from(&plan, &comm());
         assert!(ws.is_some(), "a valid simulated plan must warm-start");

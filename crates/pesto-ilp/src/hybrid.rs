@@ -17,6 +17,7 @@ use crate::error::IlpError;
 use crate::listsched::etf_schedule;
 use pesto_cost::CommModel;
 use pesto_graph::{Cluster, DeviceKind, FrozenGraph, OpId, Placement, Plan};
+use pesto_obs::{Obs, SolverEventKind};
 use pesto_sim::Simulator;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -46,6 +47,11 @@ pub struct HybridConfig {
     /// search still produces a valid plan (the best seen so far);
     /// [`HybridOutcome::deadline_hit`] records the truncation.
     pub deadline: Option<Instant>,
+    /// Telemetry sink. An enabled handle receives a `hybrid.solve` span,
+    /// one `hybrid.restart` span per restart, and sampled `anneal` solver
+    /// events (temperature, accept rate, best cost); the default disabled
+    /// handle keeps the annealing loop free of recording.
+    pub obs: Obs,
 }
 
 impl Default for HybridConfig {
@@ -58,6 +64,7 @@ impl Default for HybridConfig {
             initial_placements: Vec::new(),
             infinite_links: false,
             deadline: None,
+            obs: Obs::disabled(),
         }
     }
 }
@@ -133,7 +140,8 @@ impl HybridSolver {
         // Move units: colocation groups move as a whole (paper §3.2.2:
         // colocated ops share one placement variable); ungrouped GPU ops
         // are singleton units.
-        let mut groups: std::collections::HashMap<u32, Vec<OpId>> = std::collections::HashMap::new();
+        let mut groups: std::collections::HashMap<u32, Vec<OpId>> =
+            std::collections::HashMap::new();
         let mut units: Vec<Vec<OpId>> = Vec::new();
         for id in graph.op_ids() {
             if graph.op(id).kind() != DeviceKind::Gpu {
@@ -154,6 +162,10 @@ impl HybridSolver {
             .filter(|p| p.op_count() == graph.op_count())
             .collect();
         let restarts = self.config.restarts.max(1) + seeds.len();
+        let mut span = self.config.obs.span("hybrid.solve");
+        span.set_attr("units", units.len());
+        span.set_attr("restarts", restarts);
+        span.set_attr("iterations", self.config.iterations);
 
         let results: Vec<Result<(Plan, f64, bool), IlpError>> = crossbeam::thread::scope(|scope| {
             let mut handles = Vec::new();
@@ -175,7 +187,10 @@ impl HybridSolver {
                     )
                 }));
             }
-            handles.into_iter().map(|h| h.join().expect("restart panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("restart panicked"))
+                .collect()
         })
         .expect("annealing scope panicked");
 
@@ -292,6 +307,11 @@ fn anneal_once(
         }
     }
 
+    let obs = &config.obs;
+    let mut restart_span = obs.span("hybrid.restart");
+    restart_span.set_attr("restart", restart);
+    restart_span.set_attr("seeded", seed_placement.is_some());
+
     let (mut cur_plan, mut cur_cost) = evaluate(graph, cluster, comm, &placement, &sim, horizon)?;
     let mut best = (cur_plan.clone(), cur_cost);
     let mut truncated = false;
@@ -305,8 +325,11 @@ fn anneal_once(
     let steps = config.iterations.max(1);
     let cooling = (t_end / t0).powf(1.0 / steps as f64);
     let mut temp = t0;
+    // ~64 anneal events per restart, with a windowed accept rate.
+    let sample_every = (steps / 64).max(1);
+    let mut window_accepts = 0usize;
 
-    for _ in 0..steps {
+    for it in 0..steps {
         // Cooperative deadline: keep the incumbent, stop searching.
         if config.deadline.is_some_and(|d| Instant::now() >= d) {
             truncated = true;
@@ -352,7 +375,8 @@ fn anneal_once(
             let cur_dev = cand.device(unit[0]);
             let mut next = gpus[rng.gen_range(0..gpus.len())];
             if next == cur_dev {
-                next = gpus[(gpus.iter().position(|&g| g == cur_dev).expect("gpu") + 1) % gpus.len()];
+                next =
+                    gpus[(gpus.iter().position(|&g| g == cur_dev).expect("gpu") + 1) % gpus.len()];
             }
             move_unit(&mut cand, unit, next);
         }
@@ -360,6 +384,7 @@ fn anneal_once(
         let accept = cand_cost < cur_cost
             || rng.gen_bool(((cur_cost - cand_cost) / temp).exp().clamp(0.0, 1.0));
         if accept {
+            window_accepts += 1;
             placement = cand;
             cur_plan = cand_plan;
             cur_cost = cand_cost;
@@ -368,6 +393,19 @@ fn anneal_once(
             }
         }
         temp *= cooling;
+        if obs.is_enabled() && (it + 1) % sample_every == 0 {
+            obs.solver_event(
+                "hybrid",
+                SolverEventKind::Anneal {
+                    restart,
+                    iteration: (it + 1) as u64,
+                    temperature: temp,
+                    accept_rate: window_accepts as f64 / sample_every as f64,
+                    best_cost: best.1,
+                },
+            );
+            window_accepts = 0;
+        }
     }
     Ok((best.0, best.1, truncated))
 }
@@ -418,7 +456,11 @@ mod tests {
             .solve(&g, &cluster, &comm())
             .unwrap();
         // Serial on one GPU is 60; any split pays >5000 in transfers.
-        assert!((out.makespan_us - 60.0).abs() < 1e-6, "makespan {}", out.makespan_us);
+        assert!(
+            (out.makespan_us - 60.0).abs() < 1e-6,
+            "makespan {}",
+            out.makespan_us
+        );
         assert_eq!(out.plan.placement.cut_edges(&g), 0);
     }
 
@@ -492,7 +534,11 @@ mod tests {
         );
         // Optimal with the group intact: {a,b} on one GPU, {c,d} on the
         // other = 200.
-        assert!((out.makespan_us - 200.0).abs() < 1e-6, "got {}", out.makespan_us);
+        assert!(
+            (out.makespan_us - 200.0).abs() < 1e-6,
+            "got {}",
+            out.makespan_us
+        );
     }
 
     #[test]
@@ -514,6 +560,53 @@ mod tests {
         assert!(out.deadline_hit, "deadline in the past must truncate");
         assert!(t0.elapsed().as_secs() < 30, "search must stop early");
         out.plan.validate(&g, &cluster).unwrap();
+    }
+
+    #[test]
+    fn anneal_telemetry_samples_temperature_and_accept_rate() {
+        let mut g = OpGraph::new("telemetry");
+        for i in 0..8 {
+            g.add_op(format!("op{i}"), DeviceKind::Gpu, 100.0, 16);
+        }
+        let g = g.freeze().unwrap();
+        let obs = Obs::enabled();
+        let cfg = HybridConfig {
+            obs: obs.clone(),
+            ..HybridConfig::quick()
+        };
+        HybridSolver::new(cfg)
+            .solve(&g, &Cluster::two_gpus(), &comm())
+            .unwrap();
+        let anneals: Vec<_> = obs
+            .solver_events()
+            .into_iter()
+            .filter_map(|e| match e.kind {
+                SolverEventKind::Anneal {
+                    restart,
+                    temperature,
+                    accept_rate,
+                    best_cost,
+                    ..
+                } => Some((restart, temperature, accept_rate, best_cost)),
+                _ => None,
+            })
+            .collect();
+        assert!(!anneals.is_empty());
+        for &(_, temperature, accept_rate, best_cost) in &anneals {
+            assert!(temperature > 0.0);
+            assert!((0.0..=1.0).contains(&accept_rate));
+            assert!(best_cost.is_finite());
+        }
+        // Within one restart the temperature must cool monotonically.
+        let r0: Vec<f64> = anneals
+            .iter()
+            .filter(|(r, ..)| *r == 0)
+            .map(|&(_, t, ..)| t)
+            .collect();
+        assert!(r0.windows(2).all(|w| w[1] < w[0]));
+        let span_names: Vec<String> = obs.spans().iter().map(|s| s.name.clone()).collect();
+        assert!(span_names.contains(&"hybrid.solve".to_string()));
+        assert!(span_names.contains(&"hybrid.restart".to_string()));
     }
 
     #[test]

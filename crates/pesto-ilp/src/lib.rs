@@ -54,17 +54,17 @@
 pub mod augment;
 mod bounds;
 mod error;
-mod multi;
 mod formulation;
 mod hybrid;
 mod listsched;
+mod multi;
 mod placer;
 
-pub use augment::{AugmentedGraph, AugNode, CommClass};
+pub use augment::{AugNode, AugmentedGraph, CommClass};
 pub use bounds::{makespan_lower_bound, path_lower_bound_us, work_lower_bound_us};
 pub use error::IlpError;
 pub use formulation::{IlpConfig, IlpModel, IlpOutcome, MemoryRule};
 pub use hybrid::{HybridConfig, HybridSolver};
 pub use listsched::{etf_schedule, ListScheduleResult};
 pub use multi::{MultiGpuIlp, MultiGpuOutcome};
-pub use placer::{PestoPlacer, PlacerConfig, PlaceOutcome, SolvePath};
+pub use placer::{PestoPlacer, PlaceOutcome, PlacerConfig, SolvePath};

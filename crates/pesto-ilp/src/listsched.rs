@@ -132,7 +132,10 @@ pub fn etf_schedule(
                     finish[p.index()]
                 } else {
                     let Some(link) = cluster.link_between(pdev, dev) else {
-                        return Err(SimError::MissingLink { src: pdev, dst: dev });
+                        return Err(SimError::MissingLink {
+                            src: pdev,
+                            dst: dev,
+                        });
                     };
                     let start = finish[p.index()].max(link_free[link.index()]);
                     start
@@ -164,10 +167,14 @@ pub fn etf_schedule(
                 finish[p.index()]
             } else {
                 let Some(link) = cluster.link_between(pdev, dev) else {
-                    return Err(SimError::MissingLink { src: pdev, dst: dev });
+                    return Err(SimError::MissingLink {
+                        src: pdev,
+                        dst: dev,
+                    });
                 };
                 let t0 = finish[p.index()].max(link_free[link.index()]);
-                let t1 = t0 + comm.transfer_us(cluster.link(link).link_type(), bytes)
+                let t1 = t0
+                    + comm.transfer_us(cluster.link(link).link_type(), bytes)
                         / cluster.link(link).speed();
                 link_free[link.index()] = t1;
                 t1
@@ -264,7 +271,9 @@ mod tests {
         let sim = sim_for(&g, &cluster);
 
         let serial = Placement::uniform(8, cluster.gpu(0));
-        let serial_ms = etf_schedule(&g, &cluster, &comm, serial, &sim).unwrap().makespan_us();
+        let serial_ms = etf_schedule(&g, &cluster, &comm, serial, &sim)
+            .unwrap()
+            .makespan_us();
 
         let mut spread = Placement::uniform(8, cluster.gpu(0));
         for (i, &id) in ids.iter().enumerate() {
@@ -272,7 +281,9 @@ mod tests {
                 spread.set_device(id, cluster.gpu(1));
             }
         }
-        let spread_ms = etf_schedule(&g, &cluster, &comm, spread, &sim).unwrap().makespan_us();
+        let spread_ms = etf_schedule(&g, &cluster, &comm, spread, &sim)
+            .unwrap()
+            .makespan_us();
         assert!((serial_ms - 800.0).abs() < 1e-9);
         assert!((spread_ms - 400.0).abs() < 1e-9);
     }

@@ -388,7 +388,8 @@ impl<'a> MultiGpuIlp<'a> {
             list.sort_by(|&a, &b| {
                 let sa = solution.value(self.start_vars[self.aug.node_of_op(a)]);
                 let sb = solution.value(self.start_vars[self.aug.node_of_op(b)]);
-                sa.total_cmp(&sb).then(topo_pos[a.index()].cmp(&topo_pos[b.index()]))
+                sa.total_cmp(&sb)
+                    .then(topo_pos[a.index()].cmp(&topo_pos[b.index()]))
             });
         }
         MultiGpuOutcome {

@@ -7,6 +7,7 @@ use crate::hybrid::{HybridConfig, HybridSolver};
 use pesto_cost::CommModel;
 use pesto_graph::{Cluster, FrozenGraph, Plan};
 use pesto_milp::MilpConfig;
+use pesto_obs::Obs;
 use pesto_sim::Simulator;
 use std::time::{Duration, Instant};
 
@@ -43,6 +44,9 @@ pub struct PlacerConfig {
     /// whatever time remains; an exact solve is skipped entirely when less
     /// than ~50 ms remain.
     pub deadline: Option<Instant>,
+    /// Telemetry sink, propagated to the hybrid and MILP sub-solvers
+    /// (unless those configs carry their own enabled handle).
+    pub obs: Obs,
 }
 
 impl Default for PlacerConfig {
@@ -52,6 +56,7 @@ impl Default for PlacerConfig {
             ilp: IlpConfig::default(),
             hybrid: HybridConfig::default(),
             deadline: None,
+            obs: Obs::disabled(),
         }
     }
 }
@@ -119,10 +124,16 @@ impl PestoPlacer {
     ///   path's B&B;
     /// * [`IlpError::Graph`] for malformed inputs.
     pub fn place(&self, graph: &FrozenGraph, cluster: &Cluster) -> Result<PlaceOutcome, IlpError> {
+        let obs = &self.config.obs;
+        let mut span = obs.span("placer.place");
+        span.set_attr("ops", graph.op_count());
+        span.set_attr("gpus", cluster.gpu_count());
         let mut use_exact =
             cluster.gpu_count() == 2 && graph.op_count() <= self.config.exact_max_ops;
-        let remaining =
-            |d: Instant| d.checked_duration_since(Instant::now()).unwrap_or(Duration::ZERO);
+        let remaining = |d: Instant| {
+            d.checked_duration_since(Instant::now())
+                .unwrap_or(Duration::ZERO)
+        };
         let mut deadline_hit = false;
 
         // Hybrid always runs: it is the fallback and the warm start.
@@ -133,6 +144,9 @@ impl PestoPlacer {
         };
         if hybrid_cfg.deadline.is_none() {
             hybrid_cfg.deadline = self.config.deadline;
+        }
+        if !hybrid_cfg.obs.is_enabled() {
+            hybrid_cfg.obs = obs.clone();
         }
         let hybrid = HybridSolver::new(hybrid_cfg).solve(graph, cluster, &self.comm)?;
         deadline_hit |= hybrid.deadline_hit;
@@ -156,12 +170,18 @@ impl PestoPlacer {
         }
 
         if use_exact {
-            let model = IlpModel::build(graph, cluster, &self.comm, &self.config.ilp)?;
+            let model = {
+                let _formulate = obs.span("ilp.formulate");
+                IlpModel::build(graph, cluster, &self.comm, &self.config.ilp)?
+            };
             let warm = model.warm_start_from(&best_plan, &self.comm);
             let mut milp_cfg = MilpConfig {
                 warm_start: warm,
                 ..self.config.ilp.milp.clone()
             };
+            if !milp_cfg.obs.is_enabled() {
+                milp_cfg.obs = obs.clone();
+            }
             if let Some(d) = self.config.deadline {
                 milp_cfg.time_limit = milp_cfg.time_limit.min(remaining(d));
             }
@@ -191,6 +211,7 @@ impl PestoPlacer {
             return Err(IlpError::Sim(pesto_sim::SimError::OutOfMemory(oom)));
         }
 
+        span.set_attr("path", format!("{path:?}"));
         Ok(PlaceOutcome {
             plan: best_plan,
             makespan_us: best_makespan,
@@ -237,7 +258,9 @@ mod tests {
             hybrid: crate::HybridConfig::quick(),
             ..PlacerConfig::default()
         };
-        let out = PestoPlacer::with_config(comm(), cfg).place(&g, &cluster).unwrap();
+        let out = PestoPlacer::with_config(comm(), cfg)
+            .place(&g, &cluster)
+            .unwrap();
         assert_eq!(out.path, SolvePath::Hybrid);
         assert!(out.cmax_model_us.is_none());
         assert!(out.makespan_us <= 260.0, "got {}", out.makespan_us);
@@ -254,7 +277,9 @@ mod tests {
             deadline: Some(Instant::now()),
             ..PlacerConfig::default()
         };
-        let out = PestoPlacer::with_config(comm(), cfg).place(&g, &cluster).unwrap();
+        let out = PestoPlacer::with_config(comm(), cfg)
+            .place(&g, &cluster)
+            .unwrap();
         assert_eq!(out.path, SolvePath::Hybrid, "exact must be skipped");
         assert!(out.deadline_hit);
         out.plan.validate(&g, &cluster).unwrap();
@@ -267,7 +292,10 @@ mod tests {
         let g = g.freeze().unwrap();
         let cluster = Cluster::homogeneous(2, 1000);
         let err = PestoPlacer::new(comm()).place(&g, &cluster).unwrap_err();
-        assert!(matches!(err, IlpError::Sim(pesto_sim::SimError::OutOfMemory(_))));
+        assert!(matches!(
+            err,
+            IlpError::Sim(pesto_sim::SimError::OutOfMemory(_))
+        ));
     }
 
     #[test]
@@ -282,7 +310,9 @@ mod tests {
             hybrid: crate::HybridConfig::quick(),
             ..PlacerConfig::default()
         };
-        let out = PestoPlacer::with_config(comm(), cfg).place(&g, &cluster).unwrap();
+        let out = PestoPlacer::with_config(comm(), cfg)
+            .place(&g, &cluster)
+            .unwrap();
         assert_eq!(out.path, SolvePath::Hybrid);
         assert!(out.makespan_us <= 150.0, "got {}", out.makespan_us);
     }

@@ -110,6 +110,10 @@ pub struct Solution {
     pub objective: f64,
     /// Optimal variable values, indexed by [`VarId::index`].
     pub values: Vec<f64>,
+    /// Simplex pivots spent across both phases; the per-solve cost unit
+    /// the MILP layer aggregates for telemetry.
+    #[serde(default)]
+    pub pivots: u64,
 }
 
 impl Solution {
@@ -151,7 +155,13 @@ impl Problem {
     /// `upper` may be `f64::INFINITY`. Lower bounds may be any finite value
     /// (they are shifted internally); `-INFINITY` lower bounds are not
     /// supported because Pesto's formulation never needs free variables.
-    pub fn add_var(&mut self, name: impl Into<String>, lower: f64, upper: f64, objective: f64) -> VarId {
+    pub fn add_var(
+        &mut self,
+        name: impl Into<String>,
+        lower: f64,
+        upper: f64,
+        objective: f64,
+    ) -> VarId {
         let id = VarId(self.vars.len() as u32);
         self.vars.push(Variable {
             name: name.into(),
@@ -270,7 +280,9 @@ impl Problem {
                 )));
             }
             if v.upper.is_nan() {
-                return Err(LpError::InvalidModel(format!("variable {i} has NaN upper bound")));
+                return Err(LpError::InvalidModel(format!(
+                    "variable {i} has NaN upper bound"
+                )));
             }
             if v.lower > v.upper {
                 return Err(LpError::Infeasible);
@@ -283,7 +295,9 @@ impl Problem {
         }
         for (i, c) in self.constraints.iter().enumerate() {
             if !c.rhs.is_finite() {
-                return Err(LpError::InvalidModel(format!("constraint {i} has non-finite rhs")));
+                return Err(LpError::InvalidModel(format!(
+                    "constraint {i} has non-finite rhs"
+                )));
             }
             for &(v, a) in &c.terms {
                 if v.index() >= self.vars.len() {

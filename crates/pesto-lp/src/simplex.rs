@@ -138,6 +138,7 @@ pub(crate) fn solve(p: &Problem) -> Result<Solution, LpError> {
     let iter_limit = (1000 + 10 * (m + total)).min(30_000);
 
     // --- 3. Phase 1.
+    let mut pivots = 0u64;
     if n_art > 0 {
         let mut phase1_costs = vec![0.0; total];
         for (j, flag) in is_artificial.iter().enumerate() {
@@ -146,7 +147,7 @@ pub(crate) fn solve(p: &Problem) -> Result<Solution, LpError> {
             }
         }
         let mut obj = build_objective(&phase1_costs, &tableau, &basis, total);
-        run_simplex(
+        pivots += run_simplex(
             &mut tableau,
             &mut obj,
             &mut basis,
@@ -172,7 +173,14 @@ pub(crate) fn solve(p: &Problem) -> Result<Solution, LpError> {
     }
     let mut obj = build_objective(&phase2_costs, &tableau, &basis, total);
     let allowed = |j: usize| !is_artificial[j];
-    run_simplex(&mut tableau, &mut obj, &mut basis, total, &allowed, iter_limit)?;
+    pivots += run_simplex(
+        &mut tableau,
+        &mut obj,
+        &mut basis,
+        total,
+        &allowed,
+        iter_limit,
+    )?;
 
     // --- Extract.
     let mut values = lower;
@@ -182,7 +190,11 @@ pub(crate) fn solve(p: &Problem) -> Result<Solution, LpError> {
         }
     }
     let objective = p.objective_value(&values);
-    Ok(Solution { objective, values })
+    Ok(Solution {
+        objective,
+        values,
+        pivots,
+    })
 }
 
 /// Builds the reduced-cost row `d_j = c_j - c_B^T B^{-1} A_j` for the
@@ -201,8 +213,9 @@ fn build_objective(costs: &[f64], tableau: &[Vec<f64>], basis: &[usize], total: 
     obj
 }
 
-/// Runs simplex pivots until optimality. `allowed` filters entering columns
-/// (used to keep artificials out in phase 2).
+/// Runs simplex pivots until optimality, returning the pivot count.
+/// `allowed` filters entering columns (used to keep artificials out in
+/// phase 2).
 fn run_simplex(
     tableau: &mut [Vec<f64>],
     obj: &mut [f64],
@@ -210,10 +223,10 @@ fn run_simplex(
     total: usize,
     allowed: &dyn Fn(usize) -> bool,
     iter_limit: usize,
-) -> Result<(), LpError> {
+) -> Result<u64, LpError> {
     let m = tableau.len();
     let mut degenerate_streak = 0usize;
-    for _ in 0..iter_limit {
+    for done in 0..iter_limit {
         let bland = degenerate_streak >= DEGENERATE_SWITCH;
         // Entering column.
         let mut entering = None;
@@ -234,7 +247,7 @@ fn run_simplex(
             }
         }
         let Some(e) = entering else {
-            return Ok(()); // optimal
+            return Ok(done as u64); // optimal
         };
         // Ratio test.
         let mut leave: Option<usize> = None;
@@ -244,8 +257,7 @@ fn run_simplex(
             if a > PIVOT_EPS {
                 let ratio = row[total] / a;
                 let better = ratio < best_ratio - EPS
-                    || (ratio < best_ratio + EPS
-                        && leave.is_some_and(|l| basis[i] < basis[l]));
+                    || (ratio < best_ratio + EPS && leave.is_some_and(|l| basis[i] < basis[l]));
                 if better {
                     best_ratio = ratio;
                     leave = Some(i);
@@ -435,8 +447,16 @@ mod tests {
         let y = p.add_var("y", 0.0, f64::INFINITY, -150.0);
         let z = p.add_var("z", 0.0, f64::INFINITY, 0.02);
         let w = p.add_var("w", 0.0, f64::INFINITY, -6.0);
-        p.add_constraint(vec![(x, 0.25), (y, -60.0), (z, -0.04), (w, 9.0)], Relation::Le, 0.0);
-        p.add_constraint(vec![(x, 0.5), (y, -90.0), (z, -0.02), (w, 3.0)], Relation::Le, 0.0);
+        p.add_constraint(
+            vec![(x, 0.25), (y, -60.0), (z, -0.04), (w, 9.0)],
+            Relation::Le,
+            0.0,
+        );
+        p.add_constraint(
+            vec![(x, 0.5), (y, -90.0), (z, -0.02), (w, 3.0)],
+            Relation::Le,
+            0.0,
+        );
         p.add_constraint(vec![(z, 1.0)], Relation::Le, 1.0);
         let s = p.solve().unwrap();
         approx(s.objective, 0.05); // Beale's cycling example optimum

@@ -56,9 +56,9 @@ fn brute_force_optimum(
         let a: Vec<Vec<f64>> = idx.iter().map(|&i| all[i].0.clone()).collect();
         let b: Vec<f64> = idx.iter().map(|&i| all[i].1).collect();
         if let Some(x) = gauss_solve(a, b) {
-            let feasible = all
-                .iter()
-                .all(|(arow, brhs)| arow.iter().zip(&x).map(|(ai, xi)| ai * xi).sum::<f64>() <= brhs + 1e-6);
+            let feasible = all.iter().all(|(arow, brhs)| {
+                arow.iter().zip(&x).map(|(ai, xi)| ai * xi).sum::<f64>() <= brhs + 1e-6
+            });
             if feasible {
                 let z: f64 = costs.iter().zip(&x).map(|(c, xi)| c * xi).sum();
                 best = Some(best.map_or(z, |cur: f64| cur.max(z)));

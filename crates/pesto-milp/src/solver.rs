@@ -1,6 +1,7 @@
 //! Best-first branch-and-bound for 0-1 MILPs.
 
 use pesto_lp::{LpError, Problem, Sense, VarId};
+use pesto_obs::{Obs, SolverEventKind};
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -33,7 +34,10 @@ impl fmt::Display for MilpError {
             MilpError::Unbounded => write!(f, "problem is unbounded"),
             MilpError::InvalidModel(m) => write!(f, "invalid model: {m}"),
             MilpError::NoSolutionFound => {
-                write!(f, "search limit reached before any feasible solution was found")
+                write!(
+                    f,
+                    "search limit reached before any feasible solution was found"
+                )
             }
         }
     }
@@ -64,6 +68,11 @@ pub struct MilpConfig {
     /// A known feasible assignment (all variables) used as the initial
     /// incumbent for pruning.
     pub warm_start: Option<Vec<f64>>,
+    /// Telemetry sink. The default (disabled) handle keeps the per-node
+    /// hot path free of recording; an enabled handle receives a
+    /// `milp.solve` span, node/prune/pivot counters, and incumbent/gap
+    /// solver events.
+    pub obs: Obs,
 }
 
 impl Default for MilpConfig {
@@ -73,6 +82,7 @@ impl Default for MilpConfig {
             node_limit: 200_000,
             gap_tolerance: 1e-6,
             warm_start: None,
+            obs: Obs::disabled(),
         }
     }
 }
@@ -198,21 +208,38 @@ impl MilpProblem {
     /// * [`MilpError::InvalidModel`] for malformed input.
     pub fn solve(&self, config: &MilpConfig) -> Result<MilpSolution, MilpError> {
         let start = Instant::now();
+        let obs = &config.obs;
+        let mut span = obs.span("milp.solve");
+        span.set_attr("vars", self.lp.var_count());
+        span.set_attr("constraints", self.lp.constraint_count());
+        span.set_attr("binaries", self.binaries.len());
         let maximize = matches!(self.lp.sense(), Sense::Maximize);
         // `better(a, b)`: is objective a strictly better than b?
-        let better = |a: f64, b: f64| if maximize { a > b + 1e-12 } else { a < b - 1e-12 };
+        let better = |a: f64, b: f64| {
+            if maximize {
+                a > b + 1e-12
+            } else {
+                a < b - 1e-12
+            }
+        };
 
         let mut incumbent: Option<(f64, Vec<f64>)> = None;
         if let Some(ws) = &config.warm_start {
             if self.is_integer_feasible(ws, 1e-6) {
-                incumbent = Some((self.lp.objective_value(ws), ws.clone()));
+                let obj = self.lp.objective_value(ws);
+                obs.solver_event("milp", SolverEventKind::Incumbent { objective: obj });
+                incumbent = Some((obj, ws.clone()));
             }
         }
 
         let mut heap: BinaryHeap<OrderedNode> = BinaryHeap::new();
         let root = Node {
             fixings: Vec::new(),
-            bound: if maximize { f64::INFINITY } else { f64::NEG_INFINITY },
+            bound: if maximize {
+                f64::INFINITY
+            } else {
+                f64::NEG_INFINITY
+            },
             depth: 0,
         };
         heap.push(OrderedNode {
@@ -221,9 +248,29 @@ impl MilpProblem {
         });
 
         let mut nodes_explored = 0usize;
-        let mut best_bound = if maximize { f64::NEG_INFINITY } else { f64::INFINITY };
+        let mut best_bound = if maximize {
+            f64::NEG_INFINITY
+        } else {
+            f64::INFINITY
+        };
         let mut saw_root = false;
         let mut limits_hit = false;
+
+        /// Node interval between sampled gap events (incumbent updates
+        /// always emit, so the stream stays small but never misses the
+        /// trajectory's corners).
+        const GAP_SAMPLE_EVERY: usize = 64;
+        let emit_gap = |incumbent: Option<f64>, bound: f64, nodes: usize| {
+            obs.solver_event(
+                "milp",
+                SolverEventKind::Gap {
+                    incumbent: incumbent.unwrap_or(f64::INFINITY),
+                    best_bound: bound,
+                    relative_gap: incumbent.map_or(f64::INFINITY, |inc| relative_gap(inc, bound)),
+                    nodes_explored: nodes as u64,
+                },
+            );
+        };
 
         // Best-first with plunging: pop the most promising open node, then
         // dive depth-first along the LP-preferred branch until the subtree
@@ -237,10 +284,19 @@ impl MilpProblem {
                     break 'outer;
                 }
                 nodes_explored += 1;
+                obs.counter_add("milp.nodes", 1);
+                if obs.is_enabled() && nodes_explored.is_multiple_of(GAP_SAMPLE_EVERY) {
+                    emit_gap(
+                        incumbent.as_ref().map(|(inc, _)| *inc),
+                        best_bound,
+                        nodes_explored,
+                    );
+                }
 
                 // Prune by parent bound against incumbent.
                 if let Some((inc, _)) = &incumbent {
                     if !better(node.bound, *inc) && node.depth > 0 {
+                        obs.counter_add("milp.prune.parent_bound", 1);
                         continue;
                     }
                 }
@@ -256,27 +312,40 @@ impl MilpProblem {
                         if node.depth == 0 {
                             return Err(MilpError::Infeasible);
                         }
+                        obs.counter_add("milp.prune.infeasible", 1);
                         continue;
                     }
                     Err(LpError::Unbounded) => {
                         if node.depth == 0 {
                             return Err(MilpError::Unbounded);
                         }
+                        obs.counter_add("milp.prune.infeasible", 1);
                         continue;
                     }
-                    Err(LpError::IterationLimit) => continue, // treat as pruned
+                    Err(LpError::IterationLimit) => {
+                        // Treat as pruned.
+                        obs.counter_add("milp.prune.iteration_limit", 1);
+                        continue;
+                    }
                     Err(LpError::InvalidModel(m)) => return Err(MilpError::InvalidModel(m)),
                     // LpError is non-exhaustive; treat future variants as fatal.
                     Err(other) => return Err(MilpError::InvalidModel(other.to_string())),
                 };
+                obs.counter_add("milp.lp_pivots", relax.pivots);
                 if node.depth == 0 {
                     best_bound = relax.objective;
                     saw_root = true;
+                    emit_gap(
+                        incumbent.as_ref().map(|(inc, _)| *inc),
+                        best_bound,
+                        nodes_explored,
+                    );
                 }
 
                 // Prune by this node's own bound.
                 if let Some((inc, _)) = &incumbent {
                     if !better(relax.objective, *inc) {
+                        obs.counter_add("milp.prune.bound", 1);
                         continue;
                     }
                 }
@@ -297,6 +366,8 @@ impl MilpProblem {
                         let obj = relax.objective;
                         let accept = incumbent.as_ref().is_none_or(|(inc, _)| better(obj, *inc));
                         if accept {
+                            obs.solver_event("milp", SolverEventKind::Incumbent { objective: obj });
+                            emit_gap(Some(obj), best_bound, nodes_explored);
                             incumbent = Some((obj, round_binaries(&relax.values, &self.binaries)));
                         }
                     }
@@ -308,18 +379,28 @@ impl MilpProblem {
                             let accept =
                                 incumbent.as_ref().is_none_or(|(inc, _)| better(obj, *inc));
                             if accept {
+                                obs.solver_event(
+                                    "milp",
+                                    SolverEventKind::Incumbent { objective: obj },
+                                );
+                                emit_gap(Some(obj), best_bound, nodes_explored);
                                 incumbent = Some((obj, rounded));
                             }
                         }
                         // Branch: dive into the side the LP leans toward;
                         // the other child goes to the best-first heap.
                         let lean1 = relax.values[v.index()];
-                        let (dive_val, other_val) = if lean1 >= 0.5 { (1.0, 0.0) } else { (0.0, 1.0) };
+                        let (dive_val, other_val) =
+                            if lean1 >= 0.5 { (1.0, 0.0) } else { (0.0, 1.0) };
                         let mut dive_fixings = node.fixings.clone();
                         dive_fixings.push((v, dive_val));
                         let mut other_fixings = node.fixings;
                         other_fixings.push((v, other_val));
-                        let base = if maximize { relax.objective } else { -relax.objective };
+                        let base = if maximize {
+                            relax.objective
+                        } else {
+                            -relax.objective
+                        };
                         heap.push(OrderedNode {
                             key: base,
                             node: Node {
@@ -338,14 +419,19 @@ impl MilpProblem {
 
                 // Global bound from open nodes (heap + in-hand) ⇒ early stop.
                 if let Some((inc, _)) = &incumbent {
-                    let neutral = if maximize { f64::NEG_INFINITY } else { f64::INFINITY };
-                    let mut open_best = heap.iter().map(|n| n.node.bound).fold(neutral, |acc, b| {
-                        if maximize {
-                            acc.max(b)
-                        } else {
-                            acc.min(b)
-                        }
-                    });
+                    let neutral = if maximize {
+                        f64::NEG_INFINITY
+                    } else {
+                        f64::INFINITY
+                    };
+                    let mut open_best =
+                        heap.iter().map(|n| n.node.bound).fold(neutral, |acc, b| {
+                            if maximize {
+                                acc.max(b)
+                            } else {
+                                acc.min(b)
+                            }
+                        });
                     if let Some(cur) = &current {
                         open_best = if maximize {
                             open_best.max(cur.bound)
@@ -353,7 +439,11 @@ impl MilpProblem {
                             open_best.min(cur.bound)
                         };
                     }
-                    let bound = if open_best == neutral { *inc } else { open_best };
+                    let bound = if open_best == neutral {
+                        *inc
+                    } else {
+                        open_best
+                    };
                     best_bound = bound;
                     let gap = relative_gap(*inc, bound);
                     if gap <= config.gap_tolerance {
@@ -362,6 +452,7 @@ impl MilpProblem {
                             incumbent.expect("checked"),
                             bound,
                             nodes_explored,
+                            obs,
                         ));
                     }
                 }
@@ -377,7 +468,11 @@ impl MilpProblem {
                 // close a gap with — a warm-start incumbent under a ~zero
                 // deadline is Feasible, not Optimal.
                 let exhausted = heap.is_empty() && !limits_hit;
-                let bound = if exhausted || !saw_root { inc } else { best_bound };
+                let bound = if exhausted || !saw_root {
+                    inc
+                } else {
+                    best_bound
+                };
                 let status = if exhausted
                     || (saw_root && relative_gap(inc, bound) <= config.gap_tolerance)
                 {
@@ -385,7 +480,7 @@ impl MilpProblem {
                 } else {
                     MilpStatus::Feasible
                 };
-                Ok(self.finish(status, (inc, values), bound, nodes_explored))
+                Ok(self.finish(status, (inc, values), bound, nodes_explored, obs))
             }
             // An exhausted tree with no incumbent is a proof of
             // infeasibility; only a limit-terminated search is inconclusive.
@@ -400,14 +495,25 @@ impl MilpProblem {
         incumbent: (f64, Vec<f64>),
         best_bound: f64,
         nodes_explored: usize,
+        obs: &Obs,
     ) -> MilpSolution {
         let (objective, values) = incumbent;
+        let gap = relative_gap(objective, best_bound);
+        obs.solver_event(
+            "milp",
+            SolverEventKind::Gap {
+                incumbent: objective,
+                best_bound,
+                relative_gap: gap,
+                nodes_explored: nodes_explored as u64,
+            },
+        );
         MilpSolution {
             status,
             objective,
             values,
             best_bound,
-            gap: relative_gap(objective, best_bound),
+            gap,
             nodes_explored,
         }
     }
@@ -425,6 +531,20 @@ fn round_binaries(values: &[f64], binaries: &[VarId]) -> Vec<f64> {
     out
 }
 
+/// The solver's relative-gap convention, reported as [`MilpSolution::gap`]
+/// and in every `gap` solver event:
+///
+/// ```text
+/// gap = |incumbent - best_bound| / max(1, |incumbent|)
+/// ```
+///
+/// The `max(1, ·)` denominator keeps the gap well-defined for objectives
+/// near zero (plain `|inc - bound| / |inc|` blows up there), at the cost of
+/// behaving absolutely rather than relatively for `|incumbent| < 1`. This
+/// matches the CPLEX/Gurobi "mipgap" style normalized on the incumbent,
+/// *not* on the bound. A solution with `gap <= gap_tolerance` is reported
+/// as [`MilpStatus::Optimal`]; anything larger terminates as
+/// [`MilpStatus::Feasible`].
 fn relative_gap(incumbent: f64, bound: f64) -> f64 {
     (incumbent - bound).abs() / incumbent.abs().max(1.0)
 }
@@ -446,7 +566,9 @@ mod tests {
         let b = lp.add_var("b", 0.0, 1.0, 6.0);
         let c = lp.add_var("c", 0.0, 1.0, 4.0);
         lp.add_constraint(vec![(a, 1.0), (b, 1.0), (c, 1.0)], Relation::Le, 2.0);
-        let sol = MilpProblem::new(lp, vec![a, b, c]).solve(&MilpConfig::default()).unwrap();
+        let sol = MilpProblem::new(lp, vec![a, b, c])
+            .solve(&MilpConfig::default())
+            .unwrap();
         assert_eq!(sol.status, MilpStatus::Optimal);
         approx(sol.objective, 16.0);
         approx(sol.value(a), 1.0);
@@ -476,7 +598,9 @@ mod tests {
         let x = lp.add_var("x", 0.0, 1.0, 0.0);
         lp.add_constraint(vec![(t, 1.0), (x, -5.0)], Relation::Ge, 0.0);
         lp.add_constraint(vec![(t, 1.0), (x, 3.0)], Relation::Ge, 3.0);
-        let sol = MilpProblem::new(lp, vec![x]).solve(&MilpConfig::default()).unwrap();
+        let sol = MilpProblem::new(lp, vec![x])
+            .solve(&MilpConfig::default())
+            .unwrap();
         assert_eq!(sol.status, MilpStatus::Optimal);
         approx(sol.objective, 3.0);
         approx(sol.value(x), 0.0);
@@ -489,7 +613,9 @@ mod tests {
         let b = lp.add_var("b", 0.0, 1.0, 1.0);
         lp.add_constraint(vec![(a, 1.0), (b, 1.0)], Relation::Ge, 3.0);
         assert_eq!(
-            MilpProblem::new(lp, vec![a, b]).solve(&MilpConfig::default()).unwrap_err(),
+            MilpProblem::new(lp, vec![a, b])
+                .solve(&MilpConfig::default())
+                .unwrap_err(),
             MilpError::Infeasible
         );
     }
@@ -502,7 +628,9 @@ mod tests {
         let b = lp.add_var("b", 0.0, 1.0, 2.0);
         let c = lp.add_var("c", 0.0, 1.0, 1.0);
         lp.add_constraint(vec![(a, 2.0), (b, 2.0), (c, 2.0)], Relation::Eq, 4.0);
-        let sol = MilpProblem::new(lp, vec![a, b, c]).solve(&MilpConfig::default()).unwrap();
+        let sol = MilpProblem::new(lp, vec![a, b, c])
+            .solve(&MilpConfig::default())
+            .unwrap();
         approx(sol.objective, 5.0);
     }
 
@@ -551,7 +679,9 @@ mod tests {
         // S1 >= S2 + 1 - M*d ; S2 >= S1 + 1 - M*(1-d).
         lp.add_constraint(vec![(s1, 1.0), (s2, -1.0), (d, m)], Relation::Ge, 1.0);
         lp.add_constraint(vec![(s2, 1.0), (s1, -1.0), (d, -m)], Relation::Ge, 1.0 - m);
-        let sol = MilpProblem::new(lp, vec![d]).solve(&MilpConfig::default()).unwrap();
+        let sol = MilpProblem::new(lp, vec![d])
+            .solve(&MilpConfig::default())
+            .unwrap();
         approx(sol.objective, 2.0);
     }
 
@@ -566,12 +696,57 @@ mod tests {
     }
 
     #[test]
-    fn reports_gap_and_nodes() {
+    fn telemetry_records_nodes_and_gap_trajectory() {
         let mut lp = Problem::new(Sense::Maximize);
-        let vars: Vec<_> = (0..6).map(|i| lp.add_var(format!("v{i}"), 0.0, 1.0, (i + 1) as f64)).collect();
+        let vars: Vec<_> = (0..6)
+            .map(|i| lp.add_var(format!("v{i}"), 0.0, 1.0, (i + 1) as f64))
+            .collect();
         let terms: Vec<_> = vars.iter().map(|&v| (v, 2.0)).collect();
         lp.add_constraint(terms, Relation::Le, 7.0);
-        let sol = MilpProblem::new(lp, vars).solve(&MilpConfig::default()).unwrap();
+        let obs = Obs::enabled();
+        let cfg = MilpConfig {
+            obs: obs.clone(),
+            ..MilpConfig::default()
+        };
+        let sol = MilpProblem::new(lp, vars).solve(&cfg).unwrap();
+        assert_eq!(obs.counter("milp.nodes"), sol.nodes_explored as u64);
+        assert!(obs.counter("milp.lp_pivots") > 0);
+        let events = obs.solver_events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, SolverEventKind::Incumbent { .. })));
+        // The final gap event must agree with the returned solution.
+        let last_gap = events
+            .iter()
+            .rev()
+            .find_map(|e| match &e.kind {
+                SolverEventKind::Gap {
+                    incumbent,
+                    best_bound,
+                    relative_gap,
+                    ..
+                } => Some((*incumbent, *best_bound, *relative_gap)),
+                _ => None,
+            })
+            .expect("at least one gap event");
+        assert!((last_gap.0 - sol.objective).abs() < 1e-9);
+        assert!((last_gap.1 - sol.best_bound).abs() < 1e-9);
+        assert!((last_gap.2 - sol.gap).abs() < 1e-9);
+        let span_names: Vec<String> = obs.spans().iter().map(|s| s.name.clone()).collect();
+        assert!(span_names.contains(&"milp.solve".to_string()));
+    }
+
+    #[test]
+    fn reports_gap_and_nodes() {
+        let mut lp = Problem::new(Sense::Maximize);
+        let vars: Vec<_> = (0..6)
+            .map(|i| lp.add_var(format!("v{i}"), 0.0, 1.0, (i + 1) as f64))
+            .collect();
+        let terms: Vec<_> = vars.iter().map(|&v| (v, 2.0)).collect();
+        lp.add_constraint(terms, Relation::Le, 7.0);
+        let sol = MilpProblem::new(lp, vars)
+            .solve(&MilpConfig::default())
+            .unwrap();
         assert!(sol.nodes_explored >= 1);
         assert!(sol.gap <= 1e-6);
         assert_eq!(sol.status, MilpStatus::Optimal);

@@ -12,7 +12,9 @@ fn hard_partition(n: usize) -> MilpProblem {
     let t = lp.add_var("t", 0.0, f64::INFINITY, 1.0);
     let weights: Vec<f64> = (0..n).map(|i| 13.0 + ((i * 29) % 7) as f64).collect();
     let total: f64 = weights.iter().sum();
-    let xs: Vec<_> = (0..n).map(|j| lp.add_var(format!("x{j}"), 0.0, 1.0, 0.0)).collect();
+    let xs: Vec<_> = (0..n)
+        .map(|j| lp.add_var(format!("x{j}"), 0.0, 1.0, 0.0))
+        .collect();
     let mut t1 = vec![(t, 1.0)];
     let mut t2 = vec![(t, 1.0)];
     for (j, &x) in xs.iter().enumerate() {
@@ -32,7 +34,9 @@ fn node_limit_yields_feasible_with_gap() {
         gap_tolerance: 0.0,
         ..MilpConfig::default()
     };
-    let sol = milp.solve(&cfg).expect("diving finds an incumbent in 50 nodes");
+    let sol = milp
+        .solve(&cfg)
+        .expect("diving finds an incumbent in 50 nodes");
     // 50 nodes cannot prove optimality on this instance; the status and
     // gap must say so honestly.
     if sol.status == MilpStatus::Feasible {
@@ -118,5 +122,8 @@ fn infeasible_binary_program_diagnosed_quickly() {
     let b = lp.add_var("b", 0.0, 1.0, 1.0);
     lp.add_constraint(vec![(a, 1.0), (b, 1.0)], Relation::Ge, 3.0);
     let milp = MilpProblem::new(lp, vec![a, b]);
-    assert_eq!(milp.solve(&MilpConfig::default()).unwrap_err(), MilpError::Infeasible);
+    assert_eq!(
+        milp.solve(&MilpConfig::default()).unwrap_err(),
+        MilpError::Infeasible
+    );
 }

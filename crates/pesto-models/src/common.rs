@@ -98,7 +98,11 @@ impl NetBuilder {
         let flops = 2.0 * rows as f64 * k as f64 * n as f64;
         let t = (flops / MATMUL_FLOPS_PER_US).max(LAUNCH_FLOOR_US) * self.jitter();
         let out = (rows * n) as u64 * F32;
-        let weights = if count_weights { (k * n) as u64 * F32 } else { 0 };
+        let weights = if count_weights {
+            (k * n) as u64 * F32
+        } else {
+            0
+        };
         self.raw(name, DeviceKind::Gpu, t, out, weights, inputs)
     }
 
@@ -131,7 +135,13 @@ impl NetBuilder {
     }
 
     /// A CPU-resident op (input pipeline, summaries).
-    pub fn cpu(&mut self, name: impl Into<String>, compute_us: f64, out_bytes: u64, inputs: &[OpId]) -> OpId {
+    pub fn cpu(
+        &mut self,
+        name: impl Into<String>,
+        compute_us: f64,
+        out_bytes: u64,
+        inputs: &[OpId],
+    ) -> OpId {
         self.raw(name, DeviceKind::Cpu, compute_us, out_bytes, 0, inputs)
     }
 
@@ -169,7 +179,9 @@ impl NetBuilder {
 
         let loss = {
             let scalar = F32;
-            let id = self.g.add_op("loss", DeviceKind::Gpu, LAUNCH_FLOOR_US, scalar);
+            let id = self
+                .g
+                .add_op("loss", DeviceKind::Gpu, LAUNCH_FLOOR_US, scalar);
             self.out_bytes.push(scalar);
             self.weight_bytes.push(0);
             for s in sinks {
@@ -209,9 +221,7 @@ impl NetBuilder {
                 }
             }
             if !has_upstream {
-                self.g
-                    .add_edge(loss, id, F32)
-                    .expect("loss-to-grad edge");
+                self.g.add_edge(loss, id, F32).expect("loss-to-grad edge");
             }
             // Activation edge: grad needs the forward op's saved output.
             self.g.add_edge(f, id, out).expect("activation edge");

@@ -28,8 +28,26 @@ fn sep_conv(
     // Depthwise: one kk×kk filter per input channel (multiplier 1). Passing
     // `cin = 1, cout = channels` gives the right FLOPs (2·B·h·w·kk²·C),
     // weights (kk²·C), and output shape (B·h·w·C).
-    let dw = b.conv(format!("{tag}/depthwise"), BATCH, hw, hw, 1, cin, kk, &[input]);
-    let pw = b.conv(format!("{tag}/pointwise"), BATCH, hw, hw, cin, cout, 1, &[dw]);
+    let dw = b.conv(
+        format!("{tag}/depthwise"),
+        BATCH,
+        hw,
+        hw,
+        1,
+        cin,
+        kk,
+        &[input],
+    );
+    let pw = b.conv(
+        format!("{tag}/pointwise"),
+        BATCH,
+        hw,
+        hw,
+        cin,
+        cout,
+        1,
+        &[dw],
+    );
     let bn = b.elementwise(format!("{tag}/bn"), BATCH * hw * hw * cout, &[pw]);
     b.elementwise(format!("{tag}/relu"), BATCH * hw * hw * cout, &[bn])
 }
@@ -47,9 +65,29 @@ fn nas_block(
     left: OpId,
     right: OpId,
 ) -> OpId {
-    let l1 = sep_conv(b, &format!("{tag}/branch_l/sep1"), hw, channels, channels, 3, left);
-    let l = sep_conv(b, &format!("{tag}/branch_l/sep2"), hw, channels, channels, 5, l1);
-    let r = b.elementwise(format!("{tag}/branch_r_pool"), BATCH * hw * hw * channels, &[right]);
+    let l1 = sep_conv(
+        b,
+        &format!("{tag}/branch_l/sep1"),
+        hw,
+        channels,
+        channels,
+        3,
+        left,
+    );
+    let l = sep_conv(
+        b,
+        &format!("{tag}/branch_l/sep2"),
+        hw,
+        channels,
+        channels,
+        5,
+        l1,
+    );
+    let r = b.elementwise(
+        format!("{tag}/branch_r_pool"),
+        BATCH * hw * hw * channels,
+        &[right],
+    );
     b.elementwise(format!("{tag}/add"), BATCH * hw * hw * channels, &[l, r])
 }
 
@@ -73,7 +111,11 @@ fn nas_cell(
         outs.push(nas_block(b, &format!("{tag}/b{blk}"), hw, channels, l, r));
     }
     let all: Vec<OpId> = outs;
-    b.elementwise(format!("{tag}/concat"), BATCH * hw * hw * channels * 5, &all)
+    b.elementwise(
+        format!("{tag}/concat"),
+        BATCH * hw * hw * channels * 5,
+        &all,
+    )
 }
 
 /// Generates the NASNet training DAG: stem, `cells` cells across three

@@ -34,8 +34,22 @@ fn lstm_cell(
     let gates = 4 * hidden;
     // Weight matrices are shared across the unrolled time steps; only the
     // t = 0 cell accounts for them.
-    let mx = b.matmul_shared(format!("{tag}/x_gates"), batch, hidden, gates, count_weights, &[x]);
-    let mh = b.matmul_shared(format!("{tag}/h_gates"), batch, hidden, gates, count_weights, &[h_prev]);
+    let mx = b.matmul_shared(
+        format!("{tag}/x_gates"),
+        batch,
+        hidden,
+        gates,
+        count_weights,
+        &[x],
+    );
+    let mh = b.matmul_shared(
+        format!("{tag}/h_gates"),
+        batch,
+        hidden,
+        gates,
+        count_weights,
+        &[h_prev],
+    );
     let sum = b.elementwise(format!("{tag}/bias_add"), batch * gates, &[mx, mh]);
     let i = b.elementwise(format!("{tag}/sigmoid_i"), batch * hidden, &[sum]);
     let f = b.elementwise(format!("{tag}/sigmoid_f"), batch * hidden, &[sum]);
@@ -106,7 +120,11 @@ pub(crate) fn rnnlm_steps(
     let mut embeds = Vec::with_capacity(steps);
     for t in 0..steps {
         let k = b.kernel(format!("embed_lookup_launch/t{t}"), &[input]);
-        let weight = if t == 0 { (VOCAB * hidden) as u64 * F32 } else { 0 };
+        let weight = if t == 0 {
+            (VOCAB * hidden) as u64 * F32
+        } else {
+            0
+        };
         let e = b.raw(
             format!("embed/t{t}"),
             pesto_graph::DeviceKind::Gpu,
@@ -149,7 +167,11 @@ pub(crate) fn nmt_steps(
     let mk_embeds = |b: &mut NetBuilder, side: &str| -> Vec<OpId> {
         (0..steps)
             .map(|t| {
-                let weight = if t == 0 { (NMT_VOCAB * hidden) as u64 * F32 } else { 0 };
+                let weight = if t == 0 {
+                    (NMT_VOCAB * hidden) as u64 * F32
+                } else {
+                    0
+                };
                 b.raw(
                     format!("{side}_embed/t{t}"),
                     pesto_graph::DeviceKind::Gpu,
@@ -164,21 +186,67 @@ pub(crate) fn nmt_steps(
     let src_embeds = mk_embeds(&mut b, "src");
     let tgt_embeds = mk_embeds(&mut b, "tgt");
 
-    let enc_tops = lstm_grid(&mut b, "enc", batch, hidden, layers, steps, &src_embeds, init);
+    let enc_tops = lstm_grid(
+        &mut b,
+        "enc",
+        batch,
+        hidden,
+        layers,
+        steps,
+        &src_embeds,
+        init,
+    );
 
     // Decoder with Bahdanau-style attention: each step's input is the
     // target embedding; its output attends over all encoder outputs.
-    let dec_tops = lstm_grid(&mut b, "dec", batch, hidden, layers, steps, &tgt_embeds, init);
+    let dec_tops = lstm_grid(
+        &mut b,
+        "dec",
+        batch,
+        hidden,
+        layers,
+        steps,
+        &tgt_embeds,
+        init,
+    );
     for (t, &d) in dec_tops.iter().enumerate() {
         // Scores against every encoder step (one fused matmul), softmax,
         // context, and the attentional projection.
         let mut attn_inputs = vec![d];
         attn_inputs.extend_from_slice(&enc_tops);
-        let scores = b.matmul_shared(format!("attn_scores/t{t}"), batch, hidden, steps, t == 0, &attn_inputs);
+        let scores = b.matmul_shared(
+            format!("attn_scores/t{t}"),
+            batch,
+            hidden,
+            steps,
+            t == 0,
+            &attn_inputs,
+        );
         let weights = b.elementwise(format!("attn_softmax/t{t}"), batch * steps, &[scores]);
-        let context = b.matmul_shared(format!("attn_context/t{t}"), batch, steps, hidden, t == 0, &[weights]);
-        let merged = b.matmul_shared(format!("attn_proj/t{t}"), batch, 2 * hidden, hidden, t == 0, &[d, context]);
-        let logits = b.matmul_shared(format!("softmax/t{t}"), batch, hidden, NMT_VOCAB, t == 0, &[merged]);
+        let context = b.matmul_shared(
+            format!("attn_context/t{t}"),
+            batch,
+            steps,
+            hidden,
+            t == 0,
+            &[weights],
+        );
+        let merged = b.matmul_shared(
+            format!("attn_proj/t{t}"),
+            batch,
+            2 * hidden,
+            hidden,
+            t == 0,
+            &[d, context],
+        );
+        let logits = b.matmul_shared(
+            format!("softmax/t{t}"),
+            batch,
+            hidden,
+            NMT_VOCAB,
+            t == 0,
+            &[merged],
+        );
         let _nll = b.elementwise(format!("nll/t{t}"), batch * 64, &[logits]);
     }
 
@@ -217,8 +285,14 @@ mod tests {
     #[test]
     fn rnnlm_has_backward_and_updates() {
         let g = rnnlm_steps(1, 64, 4, 0, RNNLM_STEPS);
-        let grads = g.op_ids().filter(|&i| g.op(i).name().starts_with("grad_")).count();
-        let updates = g.op_ids().filter(|&i| g.op(i).name().starts_with("update_")).count();
+        let grads = g
+            .op_ids()
+            .filter(|&i| g.op(i).name().starts_with("grad_"))
+            .count();
+        let updates = g
+            .op_ids()
+            .filter(|&i| g.op(i).name().starts_with("update_"))
+            .count();
         assert!(grads > 100);
         // Weights are shared across the unrolled steps, so there is one
         // update per weight table: x/h gate matmuls per layer + embedding
@@ -229,8 +303,7 @@ mod tests {
     #[test]
     fn rnnlm_mixes_device_kinds() {
         let g = rnnlm_steps(1, 64, 4, 0, RNNLM_STEPS);
-        let kinds: std::collections::HashSet<_> =
-            g.op_ids().map(|i| g.op(i).kind()).collect();
+        let kinds: std::collections::HashSet<_> = g.op_ids().map(|i| g.op(i).kind()).collect();
         assert!(kinds.contains(&DeviceKind::Cpu));
         assert!(kinds.contains(&DeviceKind::Gpu));
         assert!(kinds.contains(&DeviceKind::Kernel));
@@ -242,7 +315,10 @@ mod tests {
         let find = |name: &str| g.op_ids().find(|&i| g.op(i).name() == name).unwrap();
         let enc_last = find(&format!("enc/t{}/l0/h_new", NMT_STEPS - 1));
         let attn_first = find("attn_scores/t0");
-        assert!(g.reachable(enc_last, attn_first), "attention sees all encoder steps");
+        assert!(
+            g.reachable(enc_last, attn_first),
+            "attention sees all encoder steps"
+        );
     }
 
     #[test]

@@ -180,7 +180,10 @@ mod tests {
     #[test]
     fn labels_match_paper_naming() {
         assert_eq!(ModelSpec::rnnlm(2, 2048).label(), "RNNLM-2-2048");
-        assert_eq!(ModelSpec::transformer(6, 16, 2048).label(), "Transformer-6-16-2048");
+        assert_eq!(
+            ModelSpec::transformer(6, 16, 2048).label(),
+            "Transformer-6-16-2048"
+        );
         assert_eq!(ModelSpec::nasnet(6, 148).label(), "NASNet-6-148");
         assert_eq!(ModelSpec::nmt(4, 1024).label(), "NMT-4-1024");
     }
@@ -207,8 +210,7 @@ mod tests {
     fn family_parallelism_profiles_match_the_paper_story() {
         // §5.3: LSTM grids expose wide parallelism, Transformers little.
         let rnnlm = pesto_graph::summarize(&ModelSpec::rnnlm(2, 64).generate(4, 0));
-        let transformer =
-            pesto_graph::summarize(&ModelSpec::transformer(4, 2, 64).generate(4, 0));
+        let transformer = pesto_graph::summarize(&ModelSpec::transformer(4, 2, 64).generate(4, 0));
         let nasnet = pesto_graph::summarize(&ModelSpec::nasnet(4, 16).generate(32, 0));
         assert!(
             rnnlm.avg_width > 1.5 * transformer.avg_width,
@@ -217,7 +219,11 @@ mod tests {
             transformer.avg_width
         );
         // NASNet's branch structure gives compute parallelism > 1.5.
-        assert!(nasnet.compute_parallelism() > 1.5, "{}", nasnet.compute_parallelism());
+        assert!(
+            nasnet.compute_parallelism() > 1.5,
+            "{}",
+            nasnet.compute_parallelism()
+        );
     }
 
     #[test]

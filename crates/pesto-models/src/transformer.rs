@@ -43,7 +43,11 @@ fn block(
     }
     let concat = b.elementwise(format!("{tag}/concat"), TOKENS * hidden, &head_outs);
     let attn_out = b.matmul(format!("{tag}/out_proj"), TOKENS, hidden, hidden, &[concat]);
-    let res1 = b.elementwise(format!("{tag}/residual1"), TOKENS * hidden, &[input, attn_out]);
+    let res1 = b.elementwise(
+        format!("{tag}/residual1"),
+        TOKENS * hidden,
+        &[input, attn_out],
+    );
 
     let ln2 = b.elementwise(format!("{tag}/ln2"), TOKENS * hidden, &[res1]);
     let ff1 = b.matmul(format!("{tag}/ffn1"), TOKENS, hidden, filters, &[ln2]);
@@ -83,7 +87,11 @@ pub(crate) fn transformer(
         y = block(&mut b, &format!("dec{l}"), hidden, heads, filters, y);
         // Cross-attention link to the encoder output (summarized as the
         // residual dependency that makes the decoder wait for the encoder).
-        y = b.elementwise(format!("dec{l}/cross_merge"), TOKENS * hidden, &[y, enc_out]);
+        y = b.elementwise(
+            format!("dec{l}/cross_merge"),
+            TOKENS * hidden,
+            &[y, enc_out],
+        );
     }
 
     let logits = b.matmul("softmax_logits", TOKENS, hidden, VOCAB, &[y]);

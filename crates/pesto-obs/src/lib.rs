@@ -1,0 +1,327 @@
+//! # pesto-obs: tracing, metrics, and solver-progress telemetry
+//!
+//! The placement pipeline (profiling → coarsening → ILP formulation → MILP
+//! branch-and-bound → hybrid annealing → simulation) historically ran dark:
+//! only the final `SimReport` was observable. This crate provides the three
+//! primitives every stage now reports through:
+//!
+//! * **Spans** — hierarchical timed sections with key/value attributes
+//!   ([`Obs::span`], or the [`span!`] macro). Nesting is implicit: spans
+//!   carry a thread lane and wall-clock interval, which is exactly what the
+//!   Chrome trace viewer uses to reconstruct the hierarchy.
+//! * **Metrics** — counters, gauges, and histograms (p50/p95/p99 at export
+//!   time) in a registry shared by cheap [`Obs`] handles.
+//! * **Solver-progress events** — a timestamped stream of incumbent /
+//!   best-bound / relative-gap samples from branch-and-bound, annealing
+//!   temperature and accept-rate from the hybrid solver, and degradation
+//!   events from the deadline ladder ([`Obs::solver_event`]).
+//!
+//! ## The no-op contract
+//!
+//! [`Obs::disabled`] (also [`Obs::default`]) is a handle with **no backing
+//! storage**: every recording method is a single branch on an `Option` and
+//! every span is guaranteed not to allocate or read the clock. Instrumented
+//! hot paths (per-B&B-node, per-annealing-iteration) therefore cost nothing
+//! measurable unless a sink was explicitly enabled — see the
+//! `obs_overhead` benchmark in the `pesto-bench` crate.
+//!
+//! ## Exporters
+//!
+//! * [`Obs::chrome_trace`] — Chrome trace-event JSON for the *pipeline
+//!   itself* (open in `chrome://tracing` or <https://ui.perfetto.dev>),
+//!   complementing the simulator's per-plan trace
+//!   (`pesto_sim::SimReport::to_chrome_trace`).
+//! * [`Obs::metrics_json`] — flat JSON dump of counters, gauges, histogram
+//!   percentiles, per-span wall-time totals, and the solver event stream.
+//! * [`Obs::text_summary`] — a human-readable digest for `--verbose`.
+//!
+//! ```
+//! use pesto_obs::{Obs, SolverEventKind};
+//!
+//! let obs = Obs::enabled();
+//! {
+//!     let mut span = obs.span("milp.solve");
+//!     span.set_attr("vars", 42);
+//!     obs.counter_add("milp.nodes", 1);
+//!     obs.solver_event(
+//!         "milp",
+//!         SolverEventKind::Gap {
+//!             incumbent: 10.0,
+//!             best_bound: 9.5,
+//!             relative_gap: 0.05,
+//!             nodes_explored: 1,
+//!         },
+//!     );
+//! }
+//! assert!(obs.chrome_trace().contains("milp.solve"));
+//! assert!(obs.metrics_json().contains("milp.nodes"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod events;
+mod export;
+mod metrics;
+mod span;
+
+pub use events::{SolverEvent, SolverEventKind};
+pub use export::{HistogramStats, MetricsSnapshot, SpanTotal};
+pub use metrics::Registry;
+pub use span::{SpanGuard, SpanRecord};
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Process-wide thread-lane allocator: each OS thread gets a stable small
+/// integer used as the `tid` of the spans it records.
+static NEXT_LANE: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static LANE: u64 = NEXT_LANE.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn current_lane() -> u64 {
+    LANE.with(|l| *l)
+}
+
+/// Shared storage behind an enabled [`Obs`] handle.
+pub(crate) struct Inner {
+    pub(crate) epoch: Instant,
+    pub(crate) spans: Mutex<Vec<SpanRecord>>,
+    pub(crate) registry: Mutex<Registry>,
+    pub(crate) events: Mutex<Vec<SolverEvent>>,
+}
+
+/// A cheap, clonable observability handle.
+///
+/// The default handle is a **no-op sink**: recording costs one branch and
+/// exporters return empty documents. [`Obs::enabled`] allocates shared
+/// storage; clones of an enabled handle all feed the same sink, so a single
+/// `Obs` can be threaded through the whole pipeline (including across the
+/// hybrid solver's worker threads — all methods take `&self` and the
+/// storage is mutex-protected).
+#[derive(Clone, Default)]
+pub struct Obs {
+    pub(crate) inner: Option<Arc<Inner>>,
+}
+
+impl fmt::Debug for Obs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Obs")
+            .field("enabled", &self.inner.is_some())
+            .finish()
+    }
+}
+
+impl Obs {
+    /// An enabled handle with fresh storage; its epoch (t=0 of every
+    /// exported timestamp) is the moment of this call.
+    pub fn enabled() -> Obs {
+        Obs {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                spans: Mutex::new(Vec::new()),
+                registry: Mutex::new(Registry::default()),
+                events: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// The no-op handle (same as [`Obs::default`]).
+    pub fn disabled() -> Obs {
+        Obs { inner: None }
+    }
+
+    /// Whether this handle records anything. Use to skip *preparing*
+    /// expensive attribute values; the recording methods already no-op.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Microseconds since the handle was enabled (0 when disabled).
+    pub fn elapsed_us(&self) -> f64 {
+        self.inner
+            .as_ref()
+            .map_or(0.0, |i| i.epoch.elapsed().as_secs_f64() * 1e6)
+    }
+
+    /// Opens a timed span; it records itself when dropped. Prefer the
+    /// [`span!`] macro when also setting attributes.
+    pub fn span(&self, name: impl Into<String>) -> SpanGuard {
+        match &self.inner {
+            None => SpanGuard::noop(),
+            Some(inner) => SpanGuard::start(Arc::clone(inner), name.into()),
+        }
+    }
+
+    /// Adds `delta` to the named monotonic counter.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.lock().unwrap().counter_add(name, delta);
+        }
+    }
+
+    /// Sets the named gauge to its latest value.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.lock().unwrap().gauge_set(name, value);
+        }
+    }
+
+    /// Records one sample into the named histogram (percentiles are
+    /// computed at export time).
+    pub fn observe(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.lock().unwrap().observe(name, value);
+        }
+    }
+
+    /// Appends a timestamped solver-progress event from `source` (e.g.
+    /// `"milp"`, `"hybrid"`, `"pipeline"`).
+    pub fn solver_event(&self, source: &str, kind: SolverEventKind) {
+        if let Some(inner) = &self.inner {
+            let event = SolverEvent {
+                t_us: inner.epoch.elapsed().as_secs_f64() * 1e6,
+                source: source.to_string(),
+                kind,
+            };
+            inner.events.lock().unwrap().push(event);
+        }
+    }
+
+    /// Snapshot of the solver-progress event stream so far.
+    pub fn solver_events(&self) -> Vec<SolverEvent> {
+        self.inner
+            .as_ref()
+            .map_or_else(Vec::new, |i| i.events.lock().unwrap().clone())
+    }
+
+    /// Snapshot of all recorded spans so far.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.inner
+            .as_ref()
+            .map_or_else(Vec::new, |i| i.spans.lock().unwrap().clone())
+    }
+
+    /// Current value of a counter (0 when absent or disabled). Mostly for
+    /// tests and the text summary.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.registry.lock().unwrap().counter(name))
+    }
+
+    /// Latest value of a gauge, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.inner
+            .as_ref()
+            .and_then(|i| i.registry.lock().unwrap().gauge(name))
+    }
+}
+
+/// Opens a span on an [`Obs`] handle, optionally setting attributes:
+///
+/// ```
+/// use pesto_obs::{span, Obs};
+/// let obs = Obs::enabled();
+/// let _guard = span!(obs, "coarsen", ops_before = 100, ops_after = 10);
+/// ```
+///
+/// Attribute values are only formatted when the handle is enabled.
+#[macro_export]
+macro_rules! span {
+    ($obs:expr, $name:expr) => {
+        $obs.span($name)
+    };
+    ($obs:expr, $name:expr, $($key:ident = $value:expr),+ $(,)?) => {{
+        let mut guard = $obs.span($name);
+        $(guard.set_attr(stringify!($key), $value);)+
+        guard
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let obs = Obs::disabled();
+        {
+            let mut s = obs.span("x");
+            s.set_attr("k", 1);
+        }
+        obs.counter_add("c", 5);
+        obs.gauge_set("g", 1.0);
+        obs.observe("h", 2.0);
+        obs.solver_event("s", SolverEventKind::Incumbent { objective: 1.0 });
+        assert!(!obs.is_enabled());
+        assert!(obs.spans().is_empty());
+        assert!(obs.solver_events().is_empty());
+        assert_eq!(obs.counter("c"), 0);
+        assert_eq!(obs.gauge("g"), None);
+        assert_eq!(obs.elapsed_us(), 0.0);
+    }
+
+    #[test]
+    fn clones_share_one_sink() {
+        let obs = Obs::enabled();
+        let clone = obs.clone();
+        clone.counter_add("shared", 2);
+        obs.counter_add("shared", 3);
+        assert_eq!(obs.counter("shared"), 5);
+        drop(clone.span("from-clone"));
+        assert_eq!(obs.spans().len(), 1);
+    }
+
+    #[test]
+    fn span_records_duration_and_attrs() {
+        let obs = Obs::enabled();
+        {
+            let mut s = span!(obs, "work", items = 3);
+            s.set_attr("phase", "late");
+        }
+        let spans = obs.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "work");
+        assert!(spans[0].dur_us >= 0.0);
+        assert!(spans[0].start_us >= 0.0);
+        assert_eq!(
+            spans[0].attrs,
+            vec![
+                ("items".to_string(), "3".to_string()),
+                ("phase".to_string(), "late".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn events_are_timestamped_and_ordered() {
+        let obs = Obs::enabled();
+        obs.solver_event("milp", SolverEventKind::Incumbent { objective: 12.0 });
+        obs.solver_event(
+            "milp",
+            SolverEventKind::Gap {
+                incumbent: 12.0,
+                best_bound: 11.0,
+                relative_gap: 1.0 / 12.0,
+                nodes_explored: 9,
+            },
+        );
+        let events = obs.solver_events();
+        assert_eq!(events.len(), 2);
+        assert!(events[0].t_us <= events[1].t_us);
+        assert_eq!(events[0].source, "milp");
+    }
+
+    #[test]
+    fn gauges_keep_latest_value() {
+        let obs = Obs::enabled();
+        obs.gauge_set("temp", 10.0);
+        obs.gauge_set("temp", 4.0);
+        assert_eq!(obs.gauge("temp"), Some(4.0));
+    }
+}

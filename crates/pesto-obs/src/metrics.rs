@@ -1,0 +1,41 @@
+//! Counter / gauge / histogram registry.
+//!
+//! `BTreeMap`s keep export order deterministic. Histograms store raw
+//! samples; percentiles are computed once at export time
+//! ([`crate::HistogramStats::from_samples`]), which keeps the record path
+//! to a push.
+
+use std::collections::BTreeMap;
+
+/// The metric store behind an enabled [`crate::Obs`] handle.
+#[derive(Debug, Default)]
+pub struct Registry {
+    pub(crate) counters: BTreeMap<String, u64>,
+    pub(crate) gauges: BTreeMap<String, f64>,
+    pub(crate) histograms: BTreeMap<String, Vec<f64>>,
+}
+
+impl Registry {
+    pub(crate) fn counter_add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    pub(crate) fn gauge_set(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    pub(crate) fn observe(&mut self, name: &str, value: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .push(value);
+    }
+
+    pub(crate) fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    pub(crate) fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+}

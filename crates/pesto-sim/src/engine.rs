@@ -5,6 +5,7 @@ use crate::faults::{FaultAttribution, FaultPlan};
 use crate::report::{OpSpan, PipelineStats, SimReport, TransferSpan};
 use pesto_cost::CommModel;
 use pesto_graph::{Cluster, DeviceId, FrozenGraph, LinkId, OpId, Plan};
+use pesto_obs::Obs;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Ordering;
@@ -26,6 +27,7 @@ pub struct Simulator<'a> {
     infinite_links: bool,
     faults: Option<FaultPlan>,
     steps: usize,
+    obs: Obs,
 }
 
 /// Events carry *instance* indices: with K steps every op (and every edge)
@@ -83,6 +85,7 @@ impl<'a> Simulator<'a> {
             infinite_links: false,
             faults: None,
             steps: 1,
+            obs: Obs::disabled(),
         }
     }
 
@@ -163,6 +166,16 @@ impl<'a> Simulator<'a> {
         self
     }
 
+    /// Attaches a telemetry sink. An enabled handle receives a `sim.run`
+    /// span, `sim.op_us` / `sim.queue_delay_us` / `sim.link_queue_depth`
+    /// histograms, and per-device busy-time gauges; the default disabled
+    /// handle keeps the event loop free of recording.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// Simulates the configured number of training steps (one by default).
     ///
     /// # Errors
@@ -180,6 +193,9 @@ impl<'a> Simulator<'a> {
     pub fn run(&self, plan: &Plan) -> Result<SimReport, SimError> {
         plan.validate(self.graph, self.cluster)?;
         let steps = self.steps.max(1);
+        let mut sim_span = self.obs.span("sim.run");
+        sim_span.set_attr("ops", self.graph.op_count());
+        sim_span.set_attr("steps", steps);
         if self.check_memory {
             // Pipelined steps are double-buffered: the draining and the
             // filling step both hold their buffers.
@@ -236,7 +252,11 @@ impl<'a> Simulator<'a> {
             .map(|inst| {
                 let i = inst % n;
                 let base = self.graph.in_degree(OpId::from_index(i));
-                if inst < n { base } else { base + 1 + extra_pending[i] }
+                if inst < n {
+                    base
+                } else {
+                    base + 1 + extra_pending[i]
+                }
             })
             .collect();
         let mut ready = vec![false; n_inst];
@@ -251,8 +271,7 @@ impl<'a> Simulator<'a> {
 
         let mut device_busy = vec![false; n_dev];
         let mut link_busy = vec![false; n_link];
-        let mut link_queue: Vec<VecDeque<QueuedTransfer>> =
-            vec![VecDeque::new(); n_link];
+        let mut link_queue: Vec<VecDeque<QueuedTransfer>> = vec![VecDeque::new(); n_link];
 
         let mut heap: BinaryHeap<Event> = BinaryHeap::new();
         let mut seq = 0u64;
@@ -267,21 +286,31 @@ impl<'a> Simulator<'a> {
         // Fault state, all neutral when no plan is injected. Jitter is per
         // op *instance*: each pipelined step draws fresh jitter.
         let faults = self.faults.as_ref().filter(|f| !f.is_empty());
-        let (jitter, slowdown, degradation, outage): (Vec<f64>, Vec<f64>, Vec<f64>, Vec<Option<f64>>) =
-            match faults {
-                Some(f) => (
-                    f.jitter_factors(n_inst),
-                    (0..n_dev).map(|d| f.slowdown(DeviceId::from_index(d))).collect(),
-                    (0..n_link).map(|l| f.degradation(LinkId::from_index(l))).collect(),
-                    (0..n_dev).map(|d| f.outage_at(DeviceId::from_index(d))).collect(),
-                ),
-                None => (
-                    vec![1.0; n_inst],
-                    vec![1.0; n_dev],
-                    vec![1.0; n_link],
-                    vec![None; n_dev],
-                ),
-            };
+        let (jitter, slowdown, degradation, outage): (
+            Vec<f64>,
+            Vec<f64>,
+            Vec<f64>,
+            Vec<Option<f64>>,
+        ) = match faults {
+            Some(f) => (
+                f.jitter_factors(n_inst),
+                (0..n_dev)
+                    .map(|d| f.slowdown(DeviceId::from_index(d)))
+                    .collect(),
+                (0..n_link)
+                    .map(|l| f.degradation(LinkId::from_index(l)))
+                    .collect(),
+                (0..n_dev)
+                    .map(|d| f.outage_at(DeviceId::from_index(d)))
+                    .collect(),
+            ),
+            None => (
+                vec![1.0; n_inst],
+                vec![1.0; n_dev],
+                vec![1.0; n_link],
+                vec![None; n_dev],
+            ),
+        };
         // Single definition of outage death: a device is dead at and after
         // its outage instant. Dispatch and op completion both use it.
         let device_dead = |d: usize, t: f64| outage[d].is_some_and(|o| t >= o);
@@ -305,8 +334,7 @@ impl<'a> Simulator<'a> {
         for inst in 0..n_inst {
             if pending_inputs[inst] == 0 {
                 ready[inst] = true;
-                ready_pool[plan.placement.device(OpId::from_index(inst % n)).index()]
-                    .push(inst);
+                ready_pool[plan.placement.device(OpId::from_index(inst % n)).index()].push(inst);
             }
         }
 
@@ -371,7 +399,9 @@ impl<'a> Simulator<'a> {
             ($link:expr, $now:expr) => {{
                 let l: usize = $link;
                 while self.infinite_links || !link_busy[l] {
-                    let Some(qt) = link_queue[l].pop_front() else { break };
+                    let Some(qt) = link_queue[l].pop_front() else {
+                        break;
+                    };
                     {
                         let (_, _, bytes) = edges[qt.einst % n_edge];
                         let link_info = self.cluster.link(LinkId::from_index(l));
@@ -380,8 +410,8 @@ impl<'a> Simulator<'a> {
                             None => $now,
                         };
                         attribution.stall_delay_us += begin - $now;
-                        let nominal = self.comm.transfer_us(link_info.link_type(), bytes)
-                            / link_info.speed();
+                        let nominal =
+                            self.comm.transfer_us(link_info.link_type(), bytes) / link_info.speed();
                         let dur = nominal / degradation[l];
                         attribution.degraded_transfer_extra_us += dur - nominal;
                         link_busy[l] = !self.infinite_links;
@@ -458,12 +488,21 @@ impl<'a> Simulator<'a> {
                             arrive!(step * n + v.index(), now);
                         } else {
                             let Some(link) = self.cluster.link_between(dev, vdev) else {
-                                return Err(SimError::MissingLink { src: dev, dst: vdev });
+                                return Err(SimError::MissingLink {
+                                    src: dev,
+                                    dst: vdev,
+                                });
                             };
                             link_queue[link.index()].push_back(QueuedTransfer {
                                 einst: step * n_edge + edge_idx,
                                 queued_us: now,
                             });
+                            if self.obs.is_enabled() {
+                                self.obs.observe(
+                                    "sim.link_queue_depth",
+                                    link_queue[link.index()].len() as f64,
+                                );
+                            }
                             try_start_link!(link.index(), now);
                         }
                     }
@@ -539,6 +578,24 @@ impl<'a> Simulator<'a> {
         if self.infinite_links {
             for (l, intervals) in link_intervals.iter_mut().enumerate() {
                 link_busy_us[l] = interval_union_us(intervals);
+            }
+        }
+
+        if self.obs.is_enabled() {
+            sim_span.set_attr("makespan_us", format!("{makespan:.3}"));
+            for span in &op_spans {
+                self.obs
+                    .observe("sim.op_us", span.finish_us - span.start_us);
+            }
+            for t in &transfer_spans {
+                self.obs.observe("sim.queue_delay_us", t.queue_delay_us());
+            }
+            for (d, &busy) in device_busy_us.iter().enumerate() {
+                self.obs
+                    .gauge_set(&format!("sim.device_busy_us.d{d}"), busy);
+            }
+            for (l, &busy) in link_busy_us.iter().enumerate() {
+                self.obs.gauge_set(&format!("sim.link_busy_us.l{l}"), busy);
             }
         }
 
@@ -661,7 +718,8 @@ mod tests {
         placement.set_device(OpId::from_index(2), cluster.gpu(1));
         placement.set_device(OpId::from_index(3), cluster.gpu(1));
         // Explicit order so p1, p2 run serially on gpu0 in that order.
-        let order = ScheduleOrder::from_global_order(&placement, g.topo_order(), cluster.device_count());
+        let order =
+            ScheduleOrder::from_global_order(&placement, g.topo_order(), cluster.device_count());
         let r = Simulator::new(&g, &cluster, comm())
             .run(&Plan::with_order(placement, order))
             .unwrap();
@@ -694,7 +752,10 @@ mod tests {
         let cluster = Cluster::two_gpus();
 
         let serial = Plan::placement_only(Placement::affinity_default(&g, &cluster));
-        let serial_time = Simulator::new(&g, &cluster, comm()).run(&serial).unwrap().makespan_us;
+        let serial_time = Simulator::new(&g, &cluster, comm())
+            .run(&serial)
+            .unwrap()
+            .makespan_us;
 
         let mut spread = Placement::affinity_default(&g, &cluster);
         spread.set_device(OpId::from_index(2), cluster.gpu(1));
@@ -888,7 +949,9 @@ mod tests {
         let mut p = Placement::affinity_default(&g, &cluster);
         p.set_device(OpId::from_index(2), cluster.gpu(1));
         let plan = Plan::placement_only(p);
-        let link = cluster.link_between(cluster.gpu(0), cluster.gpu(1)).unwrap();
+        let link = cluster
+            .link_between(cluster.gpu(0), cluster.gpu(1))
+            .unwrap();
         let clean = Simulator::new(&g, &cluster, comm()).run(&plan).unwrap();
         // b finishes at 20; stall the link over [10, 60).
         let stalled = Simulator::new(&g, &cluster, comm())
@@ -907,7 +970,9 @@ mod tests {
         let mut p = Placement::affinity_default(&g, &cluster);
         p.set_device(OpId::from_index(2), cluster.gpu(1));
         let plan = Plan::placement_only(p);
-        let link = cluster.link_between(cluster.gpu(0), cluster.gpu(1)).unwrap();
+        let link = cluster
+            .link_between(cluster.gpu(0), cluster.gpu(1))
+            .unwrap();
         let clean = Simulator::new(&g, &cluster, comm()).run(&plan).unwrap();
         let degraded = Simulator::new(&g, &cluster, comm())
             .with_faults(FaultPlan::new(0).with_link_degradation(link, 0.5))
@@ -952,7 +1017,11 @@ mod tests {
             SimError::DeviceLost { device, at_us, op } => {
                 assert_eq!(device, cluster.gpu(0));
                 assert!((at_us - 20.0).abs() < 1e-12);
-                assert_eq!(op, OpId::from_index(1), "op b dies at its own finish instant");
+                assert_eq!(
+                    op,
+                    OpId::from_index(1),
+                    "op b dies at its own finish instant"
+                );
             }
             other => panic!("expected DeviceLost, got {other:?}"),
         }
@@ -995,11 +1064,17 @@ mod tests {
             .with_infinite_links(true)
             .run(&Plan::placement_only(placement))
             .unwrap();
-        let link = cluster.link_between(cluster.gpu(0), cluster.gpu(1)).unwrap();
+        let link = cluster
+            .link_between(cluster.gpu(0), cluster.gpu(1))
+            .unwrap();
         let busy = r.link_busy_us[link.index()];
         // Union of [10, 10+t] and [20, 20+t] is 10 + t, strictly less than
         // the 2t a duration sum would report.
-        assert!((busy - (10.0 + t)).abs() < 1e-6, "busy {busy} vs union {}", 10.0 + t);
+        assert!(
+            (busy - (10.0 + t)).abs() < 1e-6,
+            "busy {busy} vs union {}",
+            10.0 + t
+        );
         assert!(
             busy <= r.makespan_us + 1e-9,
             "occupancy {busy} must not exceed makespan {}",

@@ -50,10 +50,16 @@ impl fmt::Display for SimError {
             }
             SimError::Deadlock(op) => write!(f, "schedule deadlock; {op} can never start"),
             SimError::DeviceLost { device, at_us, op } => {
-                write!(f, "device {device} lost at {at_us:.1} us; {op} cannot complete")
+                write!(
+                    f,
+                    "device {device} lost at {at_us:.1} us; {op} cannot complete"
+                )
             }
             SimError::MissingLink { src, dst } => {
-                write!(f, "cluster has no link {src} -> {dst} for a required transfer")
+                write!(
+                    f,
+                    "cluster has no link {src} -> {dst} for a required transfer"
+                )
             }
         }
     }

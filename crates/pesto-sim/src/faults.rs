@@ -61,7 +61,10 @@ impl FaultPlan {
     /// profiled time. Factors compound if a device is named twice.
     #[must_use]
     pub fn with_straggler(mut self, device: DeviceId, factor: f64) -> Self {
-        assert!(factor.is_finite() && factor > 0.0, "slowdown factor must be positive");
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "slowdown factor must be positive"
+        );
         self.device_slowdown.push((device, factor));
         self
     }
@@ -71,7 +74,10 @@ impl FaultPlan {
     /// from the plan's seed.
     #[must_use]
     pub fn with_compute_jitter(mut self, sigma: f64) -> Self {
-        assert!(sigma.is_finite() && sigma >= 0.0, "jitter sigma must be non-negative");
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "jitter sigma must be non-negative"
+        );
         self.jitter_sigma = sigma;
         self
     }
@@ -80,7 +86,10 @@ impl FaultPlan {
     /// transfer times divide by `factor`. Factors compound.
     #[must_use]
     pub fn with_link_degradation(mut self, link: LinkId, factor: f64) -> Self {
-        assert!(factor > 0.0 && factor <= 1.0, "bandwidth factor must be in (0, 1]");
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "bandwidth factor must be in (0, 1]"
+        );
         self.link_degradation.push((link, factor));
         self
     }
@@ -311,9 +320,15 @@ mod tests {
 
     #[test]
     fn jitter_is_deterministic_per_seed_and_positive() {
-        let a = FaultPlan::new(9).with_compute_jitter(0.2).jitter_factors(64);
-        let b = FaultPlan::new(9).with_compute_jitter(0.2).jitter_factors(64);
-        let c = FaultPlan::new(10).with_compute_jitter(0.2).jitter_factors(64);
+        let a = FaultPlan::new(9)
+            .with_compute_jitter(0.2)
+            .jitter_factors(64);
+        let b = FaultPlan::new(9)
+            .with_compute_jitter(0.2)
+            .jitter_factors(64);
+        let c = FaultPlan::new(10)
+            .with_compute_jitter(0.2)
+            .jitter_factors(64);
         assert_eq!(a, b);
         assert_ne!(a, c);
         assert!(a.iter().all(|&f| f > 0.0 && f.is_finite()));

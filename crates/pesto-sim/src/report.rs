@@ -136,7 +136,10 @@ impl SimReport {
     /// Total time transfers spent queued behind other transfers, summed
     /// over all links — the aggregate congestion delay.
     pub fn total_queue_delay_us(&self) -> f64 {
-        self.transfer_spans.iter().map(TransferSpan::queue_delay_us).sum()
+        self.transfer_spans
+            .iter()
+            .map(TransferSpan::queue_delay_us)
+            .sum()
     }
 
     /// Total bytes moved across devices.
@@ -146,12 +149,18 @@ impl SimReport {
 
     /// Start time of a specific op, if it ran.
     pub fn op_start_us(&self, op: OpId) -> Option<f64> {
-        self.op_spans.iter().find(|s| s.op == op).map(|s| s.start_us)
+        self.op_spans
+            .iter()
+            .find(|s| s.op == op)
+            .map(|s| s.start_us)
     }
 
     /// Finish time of a specific op, if it ran.
     pub fn op_finish_us(&self, op: OpId) -> Option<f64> {
-        self.op_spans.iter().find(|s| s.op == op).map(|s| s.finish_us)
+        self.op_spans
+            .iter()
+            .find(|s| s.op == op)
+            .map(|s| s.finish_us)
     }
 
     /// Renders an ASCII Gantt timeline with one row per device and per
@@ -338,14 +347,14 @@ impl SimReport {
         use std::fmt::Write as _;
         let mut out = String::from("[");
         let mut first = true;
-        let mut emit = |name: &str, cat: &str, pid: usize, ts: f64, dur: f64| {
+        let mut emit = |name: &str, cat: &str, pid: usize, ts: f64, dur: f64, step: u32| {
             // serde_json handles all JSON string escaping (quotes, control
             // characters) in user-provided op names.
             let name = serde_json::to_string(name).unwrap_or_else(|_| "\"?\"".into());
             let sep = if std::mem::take(&mut first) { "" } else { "," };
             let _ = write!(
                 out,
-                "{sep}{{\"name\":{name},\"cat\":\"{cat}\",\"ph\":\"X\",\"pid\":{pid},\"tid\":0,\"ts\":{ts:.3},\"dur\":{dur:.3}}}"
+                "{sep}{{\"name\":{name},\"cat\":\"{cat}\",\"ph\":\"X\",\"pid\":{pid},\"tid\":0,\"ts\":{ts:.3},\"dur\":{dur:.3},\"args\":{{\"step\":{step}}}}}"
             );
         };
         for s in &self.op_spans {
@@ -355,6 +364,7 @@ impl SimReport {
                 s.device.index(),
                 s.start_us,
                 s.finish_us - s.start_us,
+                s.step,
             );
         }
         for t in &self.transfer_spans {
@@ -366,9 +376,23 @@ impl SimReport {
             );
             let pid = cluster.device_count() + t.link.index();
             if t.start_us > t.queued_us {
-                emit(&format!("queued: {name}"), "queueing", pid, t.queued_us, t.start_us - t.queued_us);
+                emit(
+                    &format!("queued: {name}"),
+                    "queueing",
+                    pid,
+                    t.queued_us,
+                    t.start_us - t.queued_us,
+                    t.step,
+                );
             }
-            emit(&name, "transfer", pid, t.start_us, t.finish_us - t.start_us);
+            emit(
+                &name,
+                "transfer",
+                pid,
+                t.start_us,
+                t.finish_us - t.start_us,
+                t.step,
+            );
         }
         // Process-name metadata rows.
         for (d, dev) in cluster.devices().iter().enumerate() {
@@ -481,9 +505,27 @@ mod tests {
         let report = SimReport {
             makespan_us: 30.0,
             op_spans: vec![
-                OpSpan { op: a, device: cluster.gpu(0), start_us: 0.0, finish_us: 10.0, step: 0 },
-                OpSpan { op: b, device: cluster.gpu(0), start_us: 10.0, finish_us: 20.0, step: 0 },
-                OpSpan { op: c, device: cluster.gpu(0), start_us: 20.0, finish_us: 30.0, step: 0 },
+                OpSpan {
+                    op: a,
+                    device: cluster.gpu(0),
+                    start_us: 0.0,
+                    finish_us: 10.0,
+                    step: 0,
+                },
+                OpSpan {
+                    op: b,
+                    device: cluster.gpu(0),
+                    start_us: 10.0,
+                    finish_us: 20.0,
+                    step: 0,
+                },
+                OpSpan {
+                    op: c,
+                    device: cluster.gpu(0),
+                    start_us: 20.0,
+                    finish_us: 30.0,
+                    step: 0,
+                },
             ],
             transfer_spans: vec![],
             device_busy_us: vec![0.0, 30.0, 0.0],
@@ -493,8 +535,70 @@ mod tests {
         };
         let profile = report.peak_memory(&g, &placement, cluster.device_count());
         // Peak: during b, a's 1 MiB + b's 0.5 MiB are both live.
-        assert_eq!(profile.peak_transient_bytes[cluster.gpu(0).index()], (1 << 20) + (1 << 19));
+        assert_eq!(
+            profile.peak_transient_bytes[cluster.gpu(0).index()],
+            (1 << 20) + (1 << 19)
+        );
         assert_eq!(profile.peak_transient_bytes[cluster.gpu(1).index()], 0);
+    }
+
+    #[test]
+    fn pipelined_chrome_trace_tags_steps_and_lanes() {
+        use crate::Simulator;
+        let mut g = pesto_graph::OpGraph::new("p");
+        let a = g.add_op("alpha", pesto_graph::DeviceKind::Gpu, 40.0, 0);
+        let b = g.add_op("beta", pesto_graph::DeviceKind::Gpu, 40.0, 0);
+        g.add_edge(a, b, 1 << 20).unwrap();
+        let g = g.freeze().unwrap();
+        let cluster = pesto_graph::Cluster::two_gpus();
+        // Split the two ops so every step pays a cross-GPU transfer.
+        let mut placement = pesto_graph::Placement::affinity_default(&g, &cluster);
+        placement.set_device(b, cluster.gpu(1));
+        let plan = pesto_graph::Plan::placement_only(placement);
+        let report = Simulator::new(&g, &cluster, pesto_cost::CommModel::default_v100())
+            .with_steps(3)
+            .run(&plan)
+            .unwrap();
+        assert!(
+            report.transfer_spans.iter().any(|t| t.step > 0),
+            "later steps' transfers carry their step index"
+        );
+
+        let trace = report.to_chrome_trace(&cluster, &g);
+        let parsed: serde_json::Value = serde_json::from_str(&trace).expect("valid JSON");
+        let events = parsed.as_array().unwrap();
+
+        // Every compute span lands in its device's lane (pid = device
+        // index) tagged with the step it belongs to.
+        for s in &report.op_spans {
+            let name = g.op(s.op).name();
+            assert!(
+                events.iter().any(|e| {
+                    e["ph"] == "X"
+                        && e["name"] == name
+                        && e["pid"].as_u64() == Some(s.device.index() as u64)
+                        && e["args"]["step"].as_u64() == Some(u64::from(s.step))
+                }),
+                "missing lane/step-tagged event for {name} step {}",
+                s.step
+            );
+        }
+
+        // Transfer events live in the link lanes past the device rows and
+        // collectively cover all three steps.
+        let link_pid_base = cluster.device_count() as u64;
+        let steps_seen: std::collections::BTreeSet<u64> = events
+            .iter()
+            .filter(|e| e["ph"] == "X" && e["cat"] == "transfer")
+            .map(|e| {
+                assert!(
+                    e["pid"].as_u64().unwrap() >= link_pid_base,
+                    "transfer outside link lanes"
+                );
+                e["args"]["step"].as_u64().unwrap()
+            })
+            .collect();
+        assert_eq!(steps_seen, (0..3).collect());
     }
 
     #[test]

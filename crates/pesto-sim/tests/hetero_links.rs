@@ -19,9 +19,7 @@ fn pair_graph(bytes: u64) -> pesto_graph::FrozenGraph {
 fn slow_link_slows_only_its_direction() {
     let g = pair_graph(8 << 20);
     let base = Cluster::two_gpus();
-    let slow = base
-        .clone()
-        .with_link_speed(base.gpu(0), base.gpu(1), 0.25);
+    let slow = base.clone().with_link_speed(base.gpu(0), base.gpu(1), 0.25);
     let comm = CommModel::default_v100();
 
     // a on gpu0, b on gpu1: uses the slowed gpu0 -> gpu1 direction.
@@ -47,8 +45,14 @@ fn slow_link_slows_only_its_direction() {
 
     let transfer = comm.transfer_us(pesto_graph::LinkType::GpuToGpu, 8 << 20);
     assert!((base_fwd - (20.0 + transfer)).abs() < 1e-6);
-    assert!((slow_fwd - (20.0 + 4.0 * transfer)).abs() < 1e-6, "4x slower forward");
-    assert!((slow_back - base_fwd).abs() < 1e-6, "reverse direction untouched");
+    assert!(
+        (slow_fwd - (20.0 + 4.0 * transfer)).abs() < 1e-6,
+        "4x slower forward"
+    );
+    assert!(
+        (slow_back - base_fwd).abs() < 1e-6,
+        "reverse direction untouched"
+    );
 }
 
 #[test]

@@ -42,7 +42,10 @@ fn k1_is_bit_identical_to_single_step_engine() {
     let g = chain3();
     let cluster = Cluster::two_gpus();
     let plan = Plan::placement_only(Placement::affinity_default(&g, &cluster));
-    let single = Simulator::new(&g, &cluster, comm()).with_seed(3).run(&plan).unwrap();
+    let single = Simulator::new(&g, &cluster, comm())
+        .with_seed(3)
+        .run(&plan)
+        .unwrap();
     let k1 = Simulator::new(&g, &cluster, comm())
         .with_seed(3)
         .with_steps(1)
@@ -98,11 +101,8 @@ fn single_device_makespan_scales_linearly_with_steps() {
     // so every pipeline phase equals the single-step time exactly.
     use pesto_graph::ScheduleOrder;
     let placement = Placement::affinity_default(&g, &cluster);
-    let order = ScheduleOrder::from_global_order(
-        &placement,
-        g.topo_order(),
-        cluster.device_count(),
-    );
+    let order =
+        ScheduleOrder::from_global_order(&placement, g.topo_order(), cluster.device_count());
     let ordered = Simulator::new(&g, &cluster, comm())
         .with_steps(4)
         .run(&Plan::with_order(placement, order))
@@ -135,10 +135,7 @@ fn cross_device_pipeline_overlaps_steps() {
     // And the whole pipeline is consistent: monotone step finishes ending
     // at the makespan, fill equal to the one-step latency.
     assert!((stats.fill_us - one.makespan_us).abs() < 1e-6);
-    assert!(stats
-        .step_finish_us
-        .windows(2)
-        .all(|w| w[0] < w[1] + 1e-12));
+    assert!(stats.step_finish_us.windows(2).all(|w| w[0] < w[1] + 1e-12));
     assert!((stats.step_finish_us[5] - multi.makespan_us).abs() < 1e-9);
 }
 
@@ -209,7 +206,9 @@ fn fault_windows_span_step_boundaries() {
     // A link stall window opening after the single-step makespan can only
     // hit transfers of later steps — which it must, under pipelining.
     let (g, cluster, plan) = split_pair();
-    let link = cluster.link_between(cluster.gpu(0), cluster.gpu(1)).unwrap();
+    let link = cluster
+        .link_between(cluster.gpu(0), cluster.gpu(1))
+        .unwrap();
     let one = Simulator::new(&g, &cluster, comm()).run(&plan).unwrap();
     let stall_from = one.makespan_us + 1.0;
     let faults = FaultPlan::new(0).with_link_stall(link, stall_from, 40.0);
@@ -237,7 +236,10 @@ fn fault_windows_span_step_boundaries() {
         .iter()
         .find(|t| t.queue_delay_us() > 0.0)
         .expect("some transfer was stalled");
-    assert!(delayed.step > 0, "only later-step transfers can be affected");
+    assert!(
+        delayed.step > 0,
+        "only later-step transfers can be affected"
+    );
 }
 
 #[test]
@@ -246,11 +248,8 @@ fn explicit_order_replays_cyclically_across_steps() {
     let g = chain3();
     let cluster = Cluster::two_gpus();
     let placement = Placement::affinity_default(&g, &cluster);
-    let order = ScheduleOrder::from_global_order(
-        &placement,
-        g.topo_order(),
-        cluster.device_count(),
-    );
+    let order =
+        ScheduleOrder::from_global_order(&placement, g.topo_order(), cluster.device_count());
     let r = Simulator::new(&g, &cluster, comm())
         .with_steps(3)
         .run(&Plan::with_order(placement, order))

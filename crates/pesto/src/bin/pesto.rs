@@ -2,23 +2,90 @@
 //!
 //! ```text
 //! pesto generate <rnnlm|nmt|transformer|nasnet> [ARGS..]  > graph.json
-//! pesto place    <graph.json> [--gpus N] [--quick]        > plan.json
+//! pesto place    <graph.json> [--gpus N] [--quick]
+//!                [--trace-out FILE] [--metrics-out FILE] [--verbose] > plan.json
 //! pesto simulate <graph.json> <plan.json> [--svg out.svg] [--gpus N] [--steps K]
 //! pesto baseline <expert|m_topo|m_etf|m_sct> <graph.json> [--gpus N] > plan.json
 //! pesto info     <graph.json>
+//! pesto help
 //! ```
 //!
 //! Graphs and plans are JSON; `generate` writes to stdout so pipelines
 //! compose: `pesto generate rnnlm 2 256 | tee g.json | pesto info /dev/stdin`.
+//! `--trace-out` writes a Chrome-trace JSON of the pipeline's own stages
+//! (open it in `chrome://tracing` or <https://ui.perfetto.dev>);
+//! `--metrics-out` writes the flat metrics/event dump.
 
 use pesto::baselines::{expert, m_etf, m_sct, m_topo};
 use pesto::cost::CommModel;
 use pesto::graph::{from_json, to_json, Cluster, FrozenGraph, Plan};
 use pesto::models::ModelSpec;
+use pesto::obs::Obs;
 use pesto::sim::Simulator;
 use pesto::{Pesto, PestoConfig};
 use std::fs;
 use std::process::ExitCode;
+
+/// Every subcommand: name, positional-argument template, and the complete
+/// set of flags its parser accepts (`(flag, value-placeholder)`, empty
+/// placeholder = boolean flag). This table is the single source of truth:
+/// `usage()` renders it, and `flag_value`/`has_flag` assert (in debug
+/// builds, which is what `cargo test` exercises) that every flag the
+/// parser consults is declared here — so help text and parser cannot
+/// drift apart.
+type CommandSpec = (
+    &'static str,
+    &'static str,
+    &'static [(&'static str, &'static str)],
+);
+
+const COMMANDS: &[CommandSpec] = &[
+    ("generate", "<rnnlm|nmt|transformer|nasnet> [dims..]", &[]),
+    (
+        "place",
+        "<graph.json>",
+        &[
+            ("--gpus", "N"),
+            ("--quick", ""),
+            ("--trace-out", "FILE"),
+            ("--metrics-out", "FILE"),
+            ("--verbose", ""),
+        ],
+    ),
+    (
+        "simulate",
+        "<graph.json> <plan.json>",
+        &[("--gpus", "N"), ("--steps", "K"), ("--svg", "FILE")],
+    ),
+    (
+        "baseline",
+        "<expert|m_topo|m_etf|m_sct> <graph.json>",
+        &[("--gpus", "N")],
+    ),
+    ("info", "<graph.json>", &[]),
+    ("help", "", &[]),
+];
+
+fn usage() -> String {
+    let mut s = String::from("usage:\n");
+    for (name, positionals, flags) in COMMANDS {
+        let mut line = format!("  pesto {name}");
+        if !positionals.is_empty() {
+            line.push(' ');
+            line.push_str(positionals);
+        }
+        for (flag, value) in *flags {
+            if value.is_empty() {
+                line.push_str(&format!(" [{flag}]"));
+            } else {
+                line.push_str(&format!(" [{flag} {value}]"));
+            }
+        }
+        s.push_str(&line);
+        s.push('\n');
+    }
+    s
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,28 +94,40 @@ fn main() -> ExitCode {
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!();
-            eprintln!("usage:");
-            eprintln!("  pesto generate <rnnlm|nmt|transformer|nasnet> [dims..]");
-            eprintln!("  pesto place <graph.json> [--gpus N] [--quick]");
-            eprintln!(
-                "  pesto simulate <graph.json> <plan.json> [--svg out.svg] [--gpus N] [--steps K]"
-            );
-            eprintln!("  pesto baseline <expert|m_topo|m_etf|m_sct> <graph.json> [--gpus N]");
-            eprintln!("  pesto info <graph.json>");
+            eprint!("{}", usage());
             ExitCode::FAILURE
         }
     }
 }
 
-fn flag_value(args: &[String], name: &str) -> Option<String> {
+fn declared(cmd: &str, name: &str) -> bool {
+    COMMANDS
+        .iter()
+        .find(|(c, _, _)| *c == cmd)
+        .is_some_and(|(_, _, flags)| flags.iter().any(|(f, _)| *f == name))
+}
+
+fn flag_value(args: &[String], cmd: &str, name: &str) -> Option<String> {
+    debug_assert!(
+        declared(cmd, name),
+        "flag {name} is not declared for `{cmd}` in COMMANDS"
+    );
     args.iter()
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .cloned()
 }
 
-fn cluster_from(args: &[String]) -> Result<Cluster, String> {
-    let gpus: usize = flag_value(args, "--gpus")
+fn has_flag(args: &[String], cmd: &str, name: &str) -> bool {
+    debug_assert!(
+        declared(cmd, name),
+        "flag {name} is not declared for `{cmd}` in COMMANDS"
+    );
+    args.iter().any(|a| a == name)
+}
+
+fn cluster_from(args: &[String], cmd: &str) -> Result<Cluster, String> {
+    let gpus: usize = flag_value(args, cmd, "--gpus")
         .map(|v| v.parse().map_err(|_| format!("bad --gpus value {v}")))
         .transpose()?
         .unwrap_or(2);
@@ -67,7 +146,10 @@ fn run(args: &[String]) -> Result<(), String> {
     let cmd = args.first().map(String::as_str).ok_or("missing command")?;
     match cmd {
         "generate" => {
-            let family = args.get(1).map(String::as_str).ok_or("missing model family")?;
+            let family = args
+                .get(1)
+                .map(String::as_str)
+                .ok_or("missing model family")?;
             let num = |i: usize, default: usize| -> usize {
                 args.get(i).and_then(|v| v.parse().ok()).unwrap_or(default)
             };
@@ -90,13 +172,20 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "place" => {
             let path = args.get(1).ok_or("missing graph path")?;
-            let cluster = cluster_from(args)?;
+            let cluster = cluster_from(args, "place")?;
             let graph = load_graph(path)?;
-            let config = if args.iter().any(|a| a == "--quick") {
+            let trace_out = flag_value(args, "place", "--trace-out");
+            let metrics_out = flag_value(args, "place", "--metrics-out");
+            let verbose = has_flag(args, "place", "--verbose");
+            let mut config = if has_flag(args, "place", "--quick") {
                 PestoConfig::fast()
             } else {
                 PestoConfig::default()
             };
+            if trace_out.is_some() || metrics_out.is_some() || verbose {
+                config.obs = Obs::enabled();
+            }
+            let obs = config.obs.clone();
             let outcome = Pesto::new(config)
                 .place(&graph, &cluster)
                 .map_err(|e| e.to_string())?;
@@ -109,12 +198,29 @@ fn run(args: &[String]) -> Result<(), String> {
                 outcome.placement_time,
                 outcome.makespan_us / 1000.0
             );
+            for t in &outcome.stage_timings {
+                eprintln!("  stage {:<9} {:>10.1} µs", t.stage, t.wall_us);
+            }
+            if let Some(p) = trace_out {
+                fs::write(&p, obs.chrome_trace()).map_err(|e| format!("cannot write {p}: {e}"))?;
+                eprintln!("wrote {p} (open in chrome://tracing or ui.perfetto.dev)");
+            }
+            if let Some(p) = metrics_out {
+                fs::write(&p, obs.metrics_json()).map_err(|e| format!("cannot write {p}: {e}"))?;
+                eprintln!("wrote {p}");
+            }
+            if verbose {
+                eprint!("{}", obs.text_summary());
+            }
             Ok(())
         }
         "baseline" => {
-            let name = args.get(1).map(String::as_str).ok_or("missing baseline name")?;
+            let name = args
+                .get(1)
+                .map(String::as_str)
+                .ok_or("missing baseline name")?;
             let path = args.get(2).ok_or("missing graph path")?;
-            let cluster = cluster_from(args)?;
+            let cluster = cluster_from(args, "baseline")?;
             let graph = load_graph(path)?;
             let comm = CommModel::default_v100();
             let plan = match name {
@@ -124,19 +230,22 @@ fn run(args: &[String]) -> Result<(), String> {
                 "m_sct" => m_sct(&graph, &cluster, &comm),
                 other => return Err(format!("unknown baseline {other}")),
             };
-            println!("{}", serde_json::to_string(&plan).map_err(|e| e.to_string())?);
+            println!(
+                "{}",
+                serde_json::to_string(&plan).map_err(|e| e.to_string())?
+            );
             Ok(())
         }
         "simulate" => {
             let gpath = args.get(1).ok_or("missing graph path")?;
             let ppath = args.get(2).ok_or("missing plan path")?;
-            let cluster = cluster_from(args)?;
+            let cluster = cluster_from(args, "simulate")?;
             let graph = load_graph(gpath)?;
             let plan: Plan = serde_json::from_str(
                 &fs::read_to_string(ppath).map_err(|e| format!("cannot read {ppath}: {e}"))?,
             )
             .map_err(|e| format!("cannot parse {ppath}: {e}"))?;
-            let steps: usize = flag_value(args, "--steps")
+            let steps: usize = flag_value(args, "simulate", "--steps")
                 .map(|v| v.parse().map_err(|_| format!("bad --steps value {v}")))
                 .transpose()?
                 .unwrap_or(1);
@@ -165,7 +274,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 report.transfer_spans.len()
             );
             print!("{}", report.timeline(&cluster, 72));
-            if let Some(svg_path) = flag_value(args, "--svg") {
+            if let Some(svg_path) = flag_value(args, "simulate", "--svg") {
                 fs::write(&svg_path, report.to_svg(&cluster, 900))
                     .map_err(|e| format!("cannot write {svg_path}: {e}"))?;
                 eprintln!("wrote {svg_path}");
@@ -187,6 +296,19 @@ fn run(args: &[String]) -> Result<(), String> {
                 graph.total_compute_us() / 1000.0,
                 graph.critical_path_us() / 1000.0
             );
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            print!("{}", usage());
+            Ok(())
+        }
+        // Hidden: machine-readable dump of COMMANDS for the help-audit
+        // test (`tests/cli.rs`), one `<command> <flag>...` line each.
+        "__flags" => {
+            for (name, _, flags) in COMMANDS {
+                let flags: Vec<&str> = flags.iter().map(|(f, _)| *f).collect();
+                println!("{name} {}", flags.join(" "));
+            }
             Ok(())
         }
         other => Err(format!("unknown command {other}")),

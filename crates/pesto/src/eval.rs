@@ -117,7 +117,9 @@ pub fn evaluate_plan_pipelined(
     seed: u64,
     steps: usize,
 ) -> PipelinedOutcome {
-    let sim = Simulator::new(graph, cluster, *comm).with_seed(seed).with_steps(steps);
+    let sim = Simulator::new(graph, cluster, *comm)
+        .with_seed(seed)
+        .with_steps(steps);
     match sim.run(plan) {
         Ok(report) => PipelinedOutcome {
             outcome: StepOutcome::Ok {
@@ -153,7 +155,11 @@ pub fn evaluate_plan_avg(
     plan: &Plan,
     seeds: u64,
 ) -> Option<f64> {
-    let runs = if plan.order.is_some() { 1 } else { seeds.max(1) };
+    let runs = if plan.order.is_some() {
+        1
+    } else {
+        seeds.max(1)
+    };
     let mut total = 0.0;
     for seed in 0..runs {
         total += evaluate_plan(graph, cluster, comm, plan, seed).makespan_us()?;

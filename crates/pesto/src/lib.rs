@@ -68,7 +68,7 @@ mod robust;
 pub use eval::{
     evaluate_plan, evaluate_plan_avg, evaluate_plan_pipelined, PipelinedOutcome, StepOutcome,
 };
-pub use pipeline::{DegradationReason, Pesto, PestoConfig, PestoError, PestoOutcome};
+pub use pipeline::{DegradationReason, Pesto, PestoConfig, PestoError, PestoOutcome, StageTiming};
 pub use robust::{
     evaluate_robustness, repair_after_outage, RepairOutcome, RobustnessConfig, RobustnessReport,
 };
@@ -108,4 +108,8 @@ pub mod baselines {
 /// Re-export: synthetic DNN model generators.
 pub mod models {
     pub use pesto_models::*;
+}
+/// Re-export: spans, metrics, and solver-progress telemetry.
+pub mod obs {
+    pub use pesto_obs::*;
 }

@@ -1,9 +1,10 @@
 //! The end-to-end Pesto pipeline: profile → coarsen → solve → expand.
 
-use pesto_coarsen::{coarsen, CoarsenConfig};
+use pesto_coarsen::{coarsen_with_stats, CoarsenConfig};
 use pesto_cost::{CommModel, Profiler};
 use pesto_graph::{Cluster, FrozenGraph, GraphError, Plan};
 use pesto_ilp::{IlpError, PestoPlacer, PlacerConfig, SolvePath};
+use pesto_obs::{Obs, SolverEventKind};
 use pesto_sim::{PipelineStats, SimError, Simulator};
 use std::error::Error;
 use std::fmt;
@@ -48,6 +49,14 @@ pub struct PestoConfig {
     /// [`PestoOutcome::makespan_us`] stays the single-step time either
     /// way. Defaults to 1 (no pipelined evaluation).
     pub pipeline_steps: usize,
+    /// Telemetry sink. With [`Obs::enabled`] the pipeline records a span
+    /// per stage (`pipeline.profile`, `pipeline.coarsen`, `pipeline.solve`,
+    /// `pipeline.refine`, `pipeline.schedule`, `pipeline.simulate`),
+    /// profiling/coarsening metrics, and the solver-progress event stream;
+    /// the handle is propagated to the placer, the MILP/hybrid solvers and
+    /// the final simulation. The default [`Obs::disabled`] sink makes every
+    /// instrumentation site a no-op.
+    pub obs: Obs,
 }
 
 impl Default for PestoConfig {
@@ -62,6 +71,7 @@ impl Default for PestoConfig {
             congestion_aware: true,
             time_budget: None,
             pipeline_steps: 1,
+            obs: Obs::disabled(),
         }
     }
 }
@@ -106,7 +116,10 @@ impl fmt::Display for PestoError {
             PestoError::Solve(e) => write!(f, "solver error: {e}"),
             PestoError::Sim(e) => write!(f, "simulation error: {e}"),
             PestoError::NoGpus => {
-                write!(f, "cluster has no GPUs; Pesto needs at least one GPU device")
+                write!(
+                    f,
+                    "cluster has no GPUs; Pesto needs at least one GPU device"
+                )
             }
             PestoError::Repair(msg) => write!(f, "plan repair failed: {msg}"),
         }
@@ -163,6 +176,20 @@ pub enum DegradationReason {
     SolverFailed(String),
 }
 
+impl DegradationReason {
+    /// Stable machine-readable tag for this variant, used as the `reason`
+    /// field of the telemetry `Degradation` event (the human-readable
+    /// `Display` form may change; this tag will not).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            DegradationReason::DeadlineDuringSearch => "deadline_during_search",
+            DegradationReason::BudgetTooSmallForSearch => "budget_too_small_for_search",
+            DegradationReason::BudgetExhausted => "budget_exhausted",
+            DegradationReason::SolverFailed(_) => "solver_failed",
+        }
+    }
+}
+
 impl fmt::Display for DegradationReason {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -180,6 +207,37 @@ impl fmt::Display for DegradationReason {
             }
         }
     }
+}
+
+/// Wall-clock time of one pipeline stage. Always populated in
+/// [`PestoOutcome::stage_timings`], even with observability disabled: per
+/// stage it costs two clock reads and one `Vec` push.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageTiming {
+    /// Stage name: one of `profile`, `coarsen`, `solve`, `refine`,
+    /// `schedule`, `simulate` (degraded runs skip the middle stages).
+    pub stage: &'static str,
+    /// Wall-clock duration of the stage, µs.
+    pub wall_us: f64,
+}
+
+/// Runs one pipeline stage under a `pipeline.<stage>` span and appends its
+/// wall time to `timings` (timing happens even with observability off).
+fn timed_stage<T>(
+    obs: &Obs,
+    timings: &mut Vec<StageTiming>,
+    stage: &'static str,
+    f: impl FnOnce() -> T,
+) -> T {
+    let t0 = Instant::now();
+    let span = obs.span(format!("pipeline.{stage}"));
+    let out = f();
+    drop(span);
+    timings.push(StageTiming {
+        stage,
+        wall_us: t0.elapsed().as_secs_f64() * 1e6,
+    });
+    out
 }
 
 /// Result of the full pipeline.
@@ -209,6 +267,10 @@ pub struct PestoOutcome {
     /// [`PestoConfig::pipeline_steps`]-step pipelined run of the plan.
     /// `None` when `pipeline_steps <= 1`.
     pub pipeline: Option<PipelineStats>,
+    /// Per-stage wall time of this run, in execution order. Populated on
+    /// every run — including degraded ones, which skip the search stages —
+    /// regardless of whether [`PestoConfig::obs`] is enabled.
+    pub stage_timings: Vec<StageTiming>,
 }
 
 /// Hill climbing on the fine graph at merged-group granularity: for each
@@ -237,14 +299,15 @@ fn refine_by_group_flips(
         return Ok((placement, true));
     }
     let cost_of = |p: pesto_graph::Placement| -> Result<(f64, pesto_graph::Placement), PestoError> {
-        let sched = pesto_ilp::etf_schedule(estimated, cluster, comm, p, sim)
-            .map_err(IlpError::from)?;
+        let sched =
+            pesto_ilp::etf_schedule(estimated, cluster, comm, p, sim).map_err(IlpError::from)?;
         let mut cost = sched.report.makespan_us;
         let usage = sched.plan.placement.memory_per_device(estimated, cluster);
         for (d, &used) in usage.iter().enumerate() {
             let cap = cluster.devices()[d].memory_bytes();
             if used > cap {
-                cost += estimated.total_compute_us() * (1.0 + (used - cap) as f64 / cap.max(1) as f64);
+                cost +=
+                    estimated.total_compute_us() * (1.0 + (used - cap) as f64 / cap.max(1) as f64);
             }
         }
         Ok((cost, sched.plan.placement))
@@ -342,9 +405,36 @@ impl Pesto {
         Ok(report.pipeline)
     }
 
+    /// Emits the telemetry `Degradation` event for `reason`, tagged with
+    /// how much of the [`PestoConfig::time_budget`] deadline remained at
+    /// the moment the pipeline gave up (negative-or-zero budgets and
+    /// already-expired deadlines report `0`; no budget reports infinity,
+    /// which exports as JSON `null`).
+    fn emit_degradation(&self, start: Instant, reason: &DegradationReason) {
+        let obs = &self.config.obs;
+        if !obs.is_enabled() {
+            return;
+        }
+        let remaining_deadline_us = self.config.time_budget.map_or(f64::INFINITY, |b| {
+            (start + b)
+                .checked_duration_since(Instant::now())
+                .unwrap_or(Duration::ZERO)
+                .as_secs_f64()
+                * 1e6
+        });
+        obs.solver_event(
+            "pipeline",
+            SolverEventKind::Degradation {
+                reason: reason.tag().to_string(),
+                remaining_deadline_us,
+            },
+        );
+    }
+
     /// Builds a degraded-but-valid outcome for the lower rungs of the
     /// fallback ladder: a constructive mSCT plan, or (last resort) every
     /// op on a single device. Honestly simulated on the true op times.
+    #[allow(clippy::too_many_arguments)]
     fn degraded_outcome(
         &self,
         graph: &FrozenGraph,
@@ -353,18 +443,24 @@ impl Pesto {
         start: Instant,
         path: SolvePath,
         reason: DegradationReason,
+        mut stage_timings: Vec<StageTiming>,
     ) -> Result<PestoOutcome, PestoError> {
+        self.emit_degradation(start, &reason);
+        let obs = &self.config.obs;
         let plan = match path {
-            SolvePath::SingleDevice => Plan::placement_only(
-                pesto_graph::Placement::affinity_default(graph, cluster),
-            ),
+            SolvePath::SingleDevice => {
+                Plan::placement_only(pesto_graph::Placement::affinity_default(graph, cluster))
+            }
             _ => pesto_baselines::m_sct(estimated, cluster, &self.comm),
         };
         let placement_time = start.elapsed();
         let explicit_schedule = plan.order.is_some();
-        let report = Simulator::new(graph, cluster, self.comm)
-            .with_seed(self.config.seed)
-            .run(&plan)?;
+        let report = timed_stage(obs, &mut stage_timings, "simulate", || {
+            Simulator::new(graph, cluster, self.comm)
+                .with_seed(self.config.seed)
+                .with_obs(obs.clone())
+                .run(&plan)
+        })?;
         let pipeline = self.pipelined_stats(graph, cluster, &plan)?;
         Ok(PestoOutcome {
             plan,
@@ -376,6 +472,7 @@ impl Pesto {
             explicit_schedule,
             degradation: Some(reason),
             pipeline,
+            stage_timings,
         })
     }
 
@@ -394,20 +491,51 @@ impl Pesto {
     /// * [`PestoError::NoGpus`] if the cluster has no GPU devices;
     /// * solver errors — notably an out-of-memory verdict when no
     ///   memory-feasible placement exists — and simulation failures.
-    pub fn place(&self, graph: &FrozenGraph, cluster: &Cluster) -> Result<PestoOutcome, PestoError> {
+    pub fn place(
+        &self,
+        graph: &FrozenGraph,
+        cluster: &Cluster,
+    ) -> Result<PestoOutcome, PestoError> {
         let start = Instant::now();
         if cluster.gpu_count() == 0 {
             return Err(PestoError::NoGpus);
         }
         let deadline = self.config.time_budget.map(|b| start + b);
+        let obs = self.config.obs.clone();
+        let mut pipe_span = obs.span("pesto.place");
+        pipe_span.set_attr("ops", graph.op_count());
+        pipe_span.set_attr("gpus", cluster.gpu_count());
+        let mut stage_timings = Vec::new();
 
         // 1. Profile: placement decisions use *estimated* times (§3.1).
-        let estimated = match self.config.profiler_iterations {
-            Some(iters) => Profiler::new(iters.max(2), self.config.seed)
-                .profile(graph)
-                .apply_to(graph.clone()),
-            None => graph.clone(),
-        };
+        let estimated = timed_stage(&obs, &mut stage_timings, "profile", || {
+            match self.config.profiler_iterations {
+                Some(iters) => {
+                    let report = Profiler::new(iters.max(2), self.config.seed).profile(graph);
+                    if obs.is_enabled() {
+                        // Profile-quality telemetry: the per-op measurement
+                        // noise (relative std-dev across iterations) and the
+                        // R² of the linear transfer-time fits the placement
+                        // will trust.
+                        for s in report.normalized_std() {
+                            obs.observe("profile.normalized_std", s);
+                        }
+                        for (link, name) in [
+                            (pesto_graph::LinkType::CpuToGpu, "cpu_gpu"),
+                            (pesto_graph::LinkType::GpuToCpu, "gpu_cpu"),
+                            (pesto_graph::LinkType::GpuToGpu, "gpu_gpu"),
+                        ] {
+                            obs.gauge_set(
+                                &format!("profile.comm_r2.{name}"),
+                                self.comm.fit(link).r2,
+                            );
+                        }
+                    }
+                    report.apply_to(graph.clone())
+                }
+                None => graph.clone(),
+            }
+        });
 
         // 2. Coarsen (§3.3). Parallel fine edges that collapse into one
         //    coarse edge still pay one fixed transfer latency each on the
@@ -428,7 +556,21 @@ impl Pesto {
             },
             ..CoarsenConfig::to_target(target)
         };
-        let coarsening = coarsen(&estimated, &coarsen_config);
+        let (coarsening, rounds) = timed_stage(&obs, &mut stage_timings, "coarsen", || {
+            coarsen_with_stats(&estimated, &coarsen_config)
+        });
+        if obs.is_enabled() {
+            obs.gauge_set("coarsen.ops_before", estimated.op_count() as f64);
+            obs.gauge_set("coarsen.ops_after", coarsening.coarse().op_count() as f64);
+            obs.gauge_set("coarsen.rounds", rounds.len() as f64);
+            obs.gauge_set(
+                "coarsen.max_member_count",
+                coarsening.max_member_count() as f64,
+            );
+            for r in &rounds {
+                obs.observe("coarsen.edge_removal_frac", r.edge_removal_frac());
+            }
+        }
         let coarse = coarsening.coarse();
 
         // Degradation ladder, lower rungs: if profiling + coarsening ate
@@ -445,6 +587,7 @@ impl Pesto {
                     start,
                     SolvePath::SingleDevice,
                     DegradationReason::BudgetExhausted,
+                    stage_timings,
                 );
             }
             if budget - elapsed < budget.mul_f64(0.125) {
@@ -455,6 +598,7 @@ impl Pesto {
                     start,
                     SolvePath::Constructive,
                     DegradationReason::BudgetTooSmallForSearch,
+                    stage_timings,
                 );
             }
         }
@@ -496,8 +640,14 @@ impl Pesto {
         if placer_config.deadline.is_none() {
             placer_config.deadline = self.config.time_budget.map(|b| start + b.mul_f64(0.8));
         }
+        if !placer_config.obs.is_enabled() {
+            placer_config.obs = obs.clone();
+        }
         let placer = PestoPlacer::with_config(self.comm, placer_config);
-        let outcome = match placer.place(coarse, cluster) {
+        let solve_result = timed_stage(&obs, &mut stage_timings, "solve", || {
+            placer.place(coarse, cluster)
+        });
+        let outcome = match solve_result {
             Ok(outcome) => outcome,
             // OOM is not recoverable by falling down the ladder: no rung
             // can shrink the model's memory footprint.
@@ -510,6 +660,7 @@ impl Pesto {
                     start,
                     SolvePath::Constructive,
                     DegradationReason::SolverFailed(e.to_string()),
+                    stage_timings,
                 )
             }
         };
@@ -524,19 +675,24 @@ impl Pesto {
         let sim_est = Simulator::new(&estimated, cluster, self.comm)
             .with_memory_check(false)
             .with_infinite_links(!self.config.congestion_aware);
-        let (refined, refine_truncated) = refine_by_group_flips(
-            &estimated,
-            cluster,
-            &self.comm,
-            &coarsening,
-            fine_placement,
-            &sim_est,
-            self.config.refinement_passes,
-            deadline,
-        )?;
+        let (refined, refine_truncated) = timed_stage(&obs, &mut stage_timings, "refine", || {
+            refine_by_group_flips(
+                &estimated,
+                cluster,
+                &self.comm,
+                &coarsening,
+                fine_placement,
+                &sim_est,
+                self.config.refinement_passes,
+                deadline,
+            )
+        })?;
         fine_placement = refined;
         if refine_truncated && degradation.is_none() {
             degradation = Some(DegradationReason::DeadlineDuringSearch);
+        }
+        if let Some(reason) = &degradation {
+            self.emit_degradation(start, reason);
         }
 
         //    Drop explicit scheduling when merged vertices are too large
@@ -545,20 +701,34 @@ impl Pesto {
         //    TensorFlow, §4).
         let explicit_schedule =
             coarsening.max_member_count() <= self.config.max_members_for_scheduling;
-        let plan = if explicit_schedule {
-            pesto_ilp::etf_schedule(&estimated, cluster, &self.comm, fine_placement, &sim_est)
+        let plan = timed_stage(&obs, &mut stage_timings, "schedule", || {
+            if explicit_schedule {
+                Ok(pesto_ilp::etf_schedule(
+                    &estimated,
+                    cluster,
+                    &self.comm,
+                    fine_placement,
+                    &sim_est,
+                )
                 .map_err(IlpError::from)?
-                .plan
-        } else {
-            Plan::placement_only(fine_placement)
-        };
+                .plan)
+            } else {
+                Ok::<_, PestoError>(Plan::placement_only(fine_placement))
+            }
+        })?;
         let placement_time = start.elapsed();
 
         // 5. Honest evaluation on the true op times.
-        let sim = Simulator::new(graph, cluster, self.comm).with_seed(self.config.seed);
-        let report = sim.run(&plan)?;
+        let report = timed_stage(&obs, &mut stage_timings, "simulate", || {
+            Simulator::new(graph, cluster, self.comm)
+                .with_seed(self.config.seed)
+                .with_obs(obs.clone())
+                .run(&plan)
+        })?;
         let pipeline = self.pipelined_stats(graph, cluster, &plan)?;
 
+        pipe_span.set_attr("path", format!("{:?}", outcome.path));
+        pipe_span.set_attr("degraded", degradation.is_some());
         Ok(PestoOutcome {
             plan,
             makespan_us: report.makespan_us,
@@ -569,6 +739,7 @@ impl Pesto {
             explicit_schedule,
             degradation,
             pipeline,
+            stage_timings,
         })
     }
 }
@@ -582,7 +753,9 @@ mod tests {
     fn pipeline_runs_end_to_end_on_a_small_model() {
         let graph = ModelSpec::nasnet(3, 16).generate(32, 1);
         let cluster = Cluster::two_gpus();
-        let outcome = Pesto::new(PestoConfig::fast()).place(&graph, &cluster).unwrap();
+        let outcome = Pesto::new(PestoConfig::fast())
+            .place(&graph, &cluster)
+            .unwrap();
         assert!(outcome.makespan_us > 0.0);
         // Scale-aware floor: small graphs coarsen to at most max(200, n/4).
         assert!(outcome.coarse_op_count <= graph.op_count());
@@ -595,7 +768,9 @@ mod tests {
         let graph = ModelSpec::transformer(1, 2, 64).generate(4, 1);
         let full = Cluster::homogeneous(1, 1 << 34);
         let cpu_only = full.without_gpu(full.gpus()[0]).unwrap();
-        let err = Pesto::new(PestoConfig::fast()).place(&graph, &cpu_only).unwrap_err();
+        let err = Pesto::new(PestoConfig::fast())
+            .place(&graph, &cpu_only)
+            .unwrap_err();
         assert_eq!(err, PestoError::NoGpus);
     }
 
@@ -609,7 +784,10 @@ mod tests {
         };
         let outcome = Pesto::new(config).place(&graph, &cluster).unwrap();
         assert_eq!(outcome.path, SolvePath::SingleDevice);
-        assert_eq!(outcome.degradation, Some(DegradationReason::BudgetExhausted));
+        assert_eq!(
+            outcome.degradation,
+            Some(DegradationReason::BudgetExhausted)
+        );
         assert!(outcome.plan.validate(&graph, &cluster).is_ok());
         // Everything sits on one GPU.
         let gpu0 = cluster.gpus()[0];
@@ -623,7 +801,9 @@ mod tests {
     fn single_gpu_cluster_runs_end_to_end() {
         let graph = ModelSpec::transformer(1, 2, 64).generate(4, 1);
         let cluster = Cluster::homogeneous(1, 1 << 34);
-        let outcome = Pesto::new(PestoConfig::fast()).place(&graph, &cluster).unwrap();
+        let outcome = Pesto::new(PestoConfig::fast())
+            .place(&graph, &cluster)
+            .unwrap();
         assert!(outcome.makespan_us > 0.0);
         assert!(outcome.plan.validate(&graph, &cluster).is_ok());
     }
@@ -646,10 +826,15 @@ mod tests {
     fn pipeline_steps_config_yields_a_breakdown() {
         let graph = ModelSpec::transformer(1, 2, 64).generate(4, 1);
         let cluster = Cluster::two_gpus();
-        let base = Pesto::new(PestoConfig::fast()).place(&graph, &cluster).unwrap();
+        let base = Pesto::new(PestoConfig::fast())
+            .place(&graph, &cluster)
+            .unwrap();
         assert!(base.pipeline.is_none(), "default config is single-step");
 
-        let config = PestoConfig { pipeline_steps: 4, ..PestoConfig::fast() };
+        let config = PestoConfig {
+            pipeline_steps: 4,
+            ..PestoConfig::fast()
+        };
         let outcome = Pesto::new(config).place(&graph, &cluster).unwrap();
         let stats = outcome.pipeline.as_ref().expect("4-step breakdown");
         assert_eq!(stats.steps, 4);
@@ -657,6 +842,128 @@ mod tests {
         // and the sustained step time can never exceed it.
         assert_eq!(outcome.makespan_us, base.makespan_us);
         assert!(stats.steady_step_us <= outcome.makespan_us + 1e-9);
+    }
+
+    #[test]
+    fn stage_timings_cover_every_stage_even_with_obs_disabled() {
+        let graph = ModelSpec::transformer(1, 2, 64).generate(4, 1);
+        let cluster = Cluster::two_gpus();
+        let outcome = Pesto::new(PestoConfig::fast())
+            .place(&graph, &cluster)
+            .unwrap();
+        let stages: Vec<&str> = outcome.stage_timings.iter().map(|t| t.stage).collect();
+        assert_eq!(
+            stages,
+            ["profile", "coarsen", "solve", "refine", "schedule", "simulate"],
+            "full run visits every stage in order"
+        );
+        for t in &outcome.stage_timings {
+            assert!(t.wall_us >= 0.0, "{}: negative wall time", t.stage);
+        }
+    }
+
+    #[test]
+    fn enabled_obs_records_pipeline_spans_and_metrics() {
+        let graph = ModelSpec::transformer(1, 2, 64).generate(4, 1);
+        let cluster = Cluster::two_gpus();
+        let config = PestoConfig {
+            obs: Obs::enabled(),
+            ..PestoConfig::fast()
+        };
+        let obs = config.obs.clone();
+        Pesto::new(config).place(&graph, &cluster).unwrap();
+
+        let spans = obs.spans();
+        for want in [
+            "pesto.place",
+            "pipeline.profile",
+            "pipeline.coarsen",
+            "pipeline.solve",
+            "pipeline.refine",
+            "pipeline.schedule",
+            "pipeline.simulate",
+        ] {
+            assert!(spans.iter().any(|s| s.name == want), "missing span {want}");
+        }
+        // Coarsening and profiling quality metrics are recorded.
+        assert!(
+            obs.gauge("coarsen.ops_before").unwrap() >= obs.gauge("coarsen.ops_after").unwrap()
+        );
+        assert!(obs.gauge("profile.comm_r2.gpu_gpu").is_some());
+        // The placer inherited the handle: the solver stack left evidence.
+        assert!(spans.iter().any(|s| s.name == "placer.place"));
+    }
+
+    #[test]
+    fn degradation_events_carry_tag_and_remaining_deadline() {
+        let graph = ModelSpec::transformer(1, 2, 64).generate(4, 1);
+        let cluster = Cluster::two_gpus();
+        let config = PestoConfig {
+            time_budget: Some(Duration::ZERO),
+            obs: Obs::enabled(),
+            ..PestoConfig::fast()
+        };
+        let obs = config.obs.clone();
+        let outcome = Pesto::new(config).place(&graph, &cluster).unwrap();
+        assert_eq!(
+            outcome.degradation,
+            Some(DegradationReason::BudgetExhausted)
+        );
+        // Degraded runs skip the search stages but still time what ran.
+        let stages: Vec<&str> = outcome.stage_timings.iter().map(|t| t.stage).collect();
+        assert_eq!(stages, ["profile", "coarsen", "simulate"]);
+
+        let events = obs.solver_events();
+        let deg: Vec<_> = events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                SolverEventKind::Degradation {
+                    reason,
+                    remaining_deadline_us,
+                } => Some((reason.clone(), *remaining_deadline_us)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(deg.len(), 1, "exactly one degradation event");
+        assert_eq!(deg[0].0, "budget_exhausted");
+        assert_eq!(deg[0].1, 0.0, "zero budget leaves zero deadline slack");
+    }
+
+    #[test]
+    fn every_degradation_variant_emits_a_matching_event() {
+        let config = PestoConfig {
+            obs: Obs::enabled(),
+            ..PestoConfig::fast()
+        };
+        let obs = config.obs.clone();
+        let pesto = Pesto::new(config);
+        let start = Instant::now();
+        let reasons = [
+            DegradationReason::DeadlineDuringSearch,
+            DegradationReason::BudgetTooSmallForSearch,
+            DegradationReason::BudgetExhausted,
+            DegradationReason::SolverFailed("lp blew up".into()),
+        ];
+        for r in &reasons {
+            pesto.emit_degradation(start, r);
+        }
+        let events = obs.solver_events();
+        assert_eq!(events.len(), reasons.len());
+        for (event, reason) in events.iter().zip(&reasons) {
+            assert_eq!(event.source, "pipeline");
+            match &event.kind {
+                SolverEventKind::Degradation {
+                    reason: tag,
+                    remaining_deadline_us,
+                } => {
+                    assert_eq!(tag, reason.tag());
+                    // No time_budget configured: infinite slack (exported
+                    // as JSON null, never a bogus finite number).
+                    assert!(remaining_deadline_us.is_infinite());
+                }
+                other => panic!("expected degradation event, got {other:?}"),
+            }
+        }
     }
 
     #[test]

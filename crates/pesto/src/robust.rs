@@ -122,7 +122,9 @@ pub fn evaluate_robustness(
 
     let mut samples = Vec::with_capacity(config.draws);
     for i in 0..config.draws {
-        let faults = config.spec.draw(cluster, config.seed.wrapping_add(i as u64));
+        let faults = config
+            .spec
+            .draw(cluster, config.seed.wrapping_add(i as u64));
         let report = Simulator::new(graph, cluster, comm)
             .with_faults(faults)
             .with_steps(steps)
@@ -238,7 +240,8 @@ pub fn repair_after_outage(
         placement.set_device(op, new);
         placed[op.index()] = true;
         load_us[new.index()] += graph.op(op).compute_us();
-        used_bytes[new.index()] = used_bytes[new.index()].saturating_add(graph.op(op).memory_bytes());
+        used_bytes[new.index()] =
+            used_bytes[new.index()].saturating_add(graph.op(op).memory_bytes());
     }
     let moved_ops = stranded.len();
 
@@ -296,7 +299,9 @@ pub fn repair_after_outage(
     repaired
         .validate(graph, &survivors)
         .map_err(|e| PestoError::Repair(format!("repaired plan is invalid: {e}")))?;
-    let makespan_us = Simulator::new(graph, &survivors, comm).run(&repaired)?.makespan_us;
+    let makespan_us = Simulator::new(graph, &survivors, comm)
+        .run(&repaired)?
+        .makespan_us;
 
     Ok(RepairOutcome {
         cluster: survivors,
@@ -320,14 +325,22 @@ mod tests {
     fn robustness_sweep_is_deterministic_and_ordered() {
         let graph = ModelSpec::transformer(1, 2, 64).generate(4, 1);
         let cluster = Cluster::two_gpus();
-        let outcome = Pesto::new(PestoConfig::fast()).place(&graph, &cluster).unwrap();
-        let config = RobustnessConfig { draws: 16, ..RobustnessConfig::default() };
+        let outcome = Pesto::new(PestoConfig::fast())
+            .place(&graph, &cluster)
+            .unwrap();
+        let config = RobustnessConfig {
+            draws: 16,
+            ..RobustnessConfig::default()
+        };
         let a = evaluate_robustness(&graph, &cluster, comm(), &outcome.plan, &config).unwrap();
         let b = evaluate_robustness(&graph, &cluster, comm(), &outcome.plan, &config).unwrap();
         assert_eq!(a.p50_us, b.p50_us);
         assert_eq!(a.p95_us, b.p95_us);
         assert_eq!(a.p99_us, b.p99_us);
-        assert!(a.clean_makespan_us <= a.p50_us + 1e-9, "faults only slow things down");
+        assert!(
+            a.clean_makespan_us <= a.p50_us + 1e-9,
+            "faults only slow things down"
+        );
         assert!(a.p50_us <= a.p95_us && a.p95_us <= a.p99_us && a.p99_us <= a.worst_us);
         assert_eq!(a.device_sensitivity_us.len(), cluster.gpu_count());
     }
@@ -336,13 +349,18 @@ mod tests {
     fn pipelined_robustness_measures_steady_state_step_time() {
         let graph = ModelSpec::transformer(1, 2, 64).generate(4, 1);
         let cluster = Cluster::two_gpus();
-        let outcome = Pesto::new(PestoConfig::fast()).place(&graph, &cluster).unwrap();
+        let outcome = Pesto::new(PestoConfig::fast())
+            .place(&graph, &cluster)
+            .unwrap();
         let single = evaluate_robustness(
             &graph,
             &cluster,
             comm(),
             &outcome.plan,
-            &RobustnessConfig { draws: 8, ..RobustnessConfig::default() },
+            &RobustnessConfig {
+                draws: 8,
+                ..RobustnessConfig::default()
+            },
         )
         .unwrap();
         let piped = evaluate_robustness(
@@ -350,7 +368,11 @@ mod tests {
             &cluster,
             comm(),
             &outcome.plan,
-            &RobustnessConfig { draws: 8, steps: 4, ..RobustnessConfig::default() },
+            &RobustnessConfig {
+                draws: 8,
+                steps: 4,
+                ..RobustnessConfig::default()
+            },
         )
         .unwrap();
         assert_eq!(single.steps, 1);
@@ -365,13 +387,18 @@ mod tests {
     fn sensitivity_identifies_a_loaded_device() {
         let graph = ModelSpec::transformer(1, 2, 64).generate(4, 1);
         let cluster = Cluster::two_gpus();
-        let outcome = Pesto::new(PestoConfig::fast()).place(&graph, &cluster).unwrap();
+        let outcome = Pesto::new(PestoConfig::fast())
+            .place(&graph, &cluster)
+            .unwrap();
         let report = evaluate_robustness(
             &graph,
             &cluster,
             comm(),
             &outcome.plan,
-            &RobustnessConfig { draws: 4, ..RobustnessConfig::default() },
+            &RobustnessConfig {
+                draws: 4,
+                ..RobustnessConfig::default()
+            },
         )
         .unwrap();
         // Some GPU carries critical-path work, so slowing it must hurt.
@@ -382,14 +409,15 @@ mod tests {
     fn repair_moves_only_stranded_ops_and_validates() {
         let graph = ModelSpec::transformer(1, 2, 64).generate(4, 1);
         let cluster = Cluster::homogeneous(3, 1 << 34);
-        let outcome = Pesto::new(PestoConfig::fast()).place(&graph, &cluster).unwrap();
+        let outcome = Pesto::new(PestoConfig::fast())
+            .place(&graph, &cluster)
+            .unwrap();
         let failed = cluster.gpus()[1];
         let stranded: Vec<OpId> = graph
             .op_ids()
             .filter(|&op| outcome.plan.placement.device(op) == failed)
             .collect();
-        let repair =
-            repair_after_outage(&graph, &cluster, comm(), &outcome.plan, failed).unwrap();
+        let repair = repair_after_outage(&graph, &cluster, comm(), &outcome.plan, failed).unwrap();
         assert_eq!(repair.moved_ops, stranded.len());
         assert_eq!(repair.cluster.gpu_count(), cluster.gpu_count() - 1);
         assert!(repair.makespan_us > 0.0);
@@ -400,9 +428,8 @@ mod tests {
             if old == failed {
                 continue;
             }
-            let expect = DeviceId::from_index(
-                old.index() - usize::from(old.index() > failed.index()),
-            );
+            let expect =
+                DeviceId::from_index(old.index() - usize::from(old.index() > failed.index()));
             assert_eq!(repair.plan.placement.device(op), expect);
         }
     }
@@ -411,7 +438,9 @@ mod tests {
     fn repair_with_no_survivors_is_no_gpus() {
         let graph = ModelSpec::transformer(1, 2, 64).generate(4, 1);
         let cluster = Cluster::homogeneous(1, 1 << 34);
-        let outcome = Pesto::new(PestoConfig::fast()).place(&graph, &cluster).unwrap();
+        let outcome = Pesto::new(PestoConfig::fast())
+            .place(&graph, &cluster)
+            .unwrap();
         let err = repair_after_outage(&graph, &cluster, comm(), &outcome.plan, cluster.gpus()[0])
             .unwrap_err();
         assert_eq!(err, PestoError::NoGpus);
@@ -421,7 +450,9 @@ mod tests {
     fn repair_rejects_a_non_gpu_device() {
         let graph = ModelSpec::transformer(1, 2, 64).generate(4, 1);
         let cluster = Cluster::two_gpus();
-        let outcome = Pesto::new(PestoConfig::fast()).place(&graph, &cluster).unwrap();
+        let outcome = Pesto::new(PestoConfig::fast())
+            .place(&graph, &cluster)
+            .unwrap();
         let err = repair_after_outage(&graph, &cluster, comm(), &outcome.plan, cluster.cpu())
             .unwrap_err();
         assert!(matches!(err, PestoError::Repair(_)));

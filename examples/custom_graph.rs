@@ -63,6 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let report = Simulator::new(&graph, &cluster, comm).run(&outcome.plan)?;
-    println!("\nsimulated: {:.1} us\n{}", report.makespan_us, report.timeline(&cluster, 72));
+    println!(
+        "\nsimulated: {:.1} us\n{}",
+        report.makespan_us,
+        report.timeline(&cluster, 72)
+    );
     Ok(())
 }

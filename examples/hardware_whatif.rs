@@ -38,8 +38,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== interconnect-speed sweep (1x = NVlink, 0.1x ~ PCIe) ==");
     for speed in [0.1, 1.0, 2.0] {
         let comm = HardwareScaling::new(1.0, speed).scale_comm(&base_comm);
-        let expert_step =
-            evaluate_plan(&base_graph, &cluster, &comm, &expert(&base_graph, &cluster), 1);
+        let expert_step = evaluate_plan(
+            &base_graph,
+            &cluster,
+            &comm,
+            &expert(&base_graph, &cluster),
+            1,
+        );
         let pesto = Pesto::with_comm(comm, PestoConfig::fast()).place(&base_graph, &cluster)?;
         let pesto_step = evaluate_plan(&base_graph, &cluster, &comm, &pesto.plan, 1);
         println!(

@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         outcome.path,
         outcome.placement_time,
     );
-    println!("per-step training time: {:.2} ms", outcome.makespan_us / 1000.0);
+    println!(
+        "per-step training time: {:.2} ms",
+        outcome.makespan_us / 1000.0
+    );
 
     // 4. Inspect the schedule on the simulator.
     let report = Simulator::new(&graph, &cluster, CommModel::default_v100()).run(&outcome.plan)?;

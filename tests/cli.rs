@@ -22,7 +22,11 @@ fn generate_info_baseline_simulate_round_trip() {
         .args(["generate", "nasnet", "3", "16"])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let graph_path = tmp("graph.json");
     std::fs::write(&graph_path, &out.stdout).unwrap();
 
@@ -41,7 +45,11 @@ fn generate_info_baseline_simulate_round_trip() {
         .args(["baseline", "m_sct", graph_path.to_str().unwrap()])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let plan_path = tmp("plan.json");
     std::fs::write(&plan_path, &out.stdout).unwrap();
 
@@ -57,7 +65,11 @@ fn generate_info_baseline_simulate_round_trip() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let sim = String::from_utf8_lossy(&out.stdout);
     assert!(sim.contains("per-step time:"), "{sim}");
     let svg = std::fs::read_to_string(&svg_path).unwrap();
@@ -85,6 +97,133 @@ fn missing_file_is_a_clean_error() {
     assert!(!out.status.success());
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("cannot read"), "{err}");
+}
+
+#[test]
+fn help_text_and_arg_parser_agree_on_every_flag() {
+    let out = pesto_bin().args(["help"]).output().unwrap();
+    assert!(out.status.success());
+    let help = String::from_utf8_lossy(&out.stdout).to_string();
+
+    // `__flags` dumps the parser's declared flag table, one
+    // `<command> <flag>...` line per subcommand.
+    let out = pesto_bin().args(["__flags"]).output().unwrap();
+    assert!(out.status.success());
+    let declared = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(!declared.trim().is_empty());
+
+    // Every flag the parser accepts appears on its command's usage line.
+    for line in declared.lines() {
+        let mut parts = line.split_whitespace();
+        let cmd = parts.next().unwrap();
+        let usage_line = help
+            .lines()
+            .find(|l| l.trim_start().starts_with(&format!("pesto {cmd}")))
+            .unwrap_or_else(|| panic!("no usage line for `{cmd}` in:\n{help}"));
+        for flag in parts {
+            assert!(
+                usage_line.contains(flag),
+                "usage for `{cmd}` is missing {flag}: {usage_line}"
+            );
+        }
+    }
+
+    // ... and the help text advertises no flag the parser rejects.
+    let known: std::collections::HashSet<&str> = declared
+        .split_whitespace()
+        .filter(|w| w.starts_with("--"))
+        .collect();
+    for token in help.split(|c: char| c.is_whitespace() || c == '[' || c == ']') {
+        if token.starts_with("--") {
+            assert!(
+                known.contains(token),
+                "help advertises undeclared flag {token}"
+            );
+        }
+    }
+}
+
+#[test]
+fn place_writes_trace_and_metrics_files() {
+    // A 2-op graph takes the exact-MILP path, so the metrics dump carries
+    // branch-and-bound gap samples, not just annealing events.
+    let mut g = pesto::graph::OpGraph::new("tiny");
+    let a = g.add_op("a", pesto::graph::DeviceKind::Gpu, 100.0, 16);
+    let b = g.add_op("b", pesto::graph::DeviceKind::Gpu, 100.0, 16);
+    g.add_edge(a, b, 1024).unwrap();
+    let graph_path = tmp("tiny.json");
+    std::fs::write(&graph_path, pesto::graph::to_json(&g.freeze().unwrap())).unwrap();
+
+    let trace_path = tmp("trace.json");
+    let metrics_path = tmp("metrics.json");
+    let out = pesto_bin()
+        .args([
+            "place",
+            graph_path.to_str().unwrap(),
+            "--quick",
+            "--trace-out",
+            trace_path.to_str().unwrap(),
+            "--metrics-out",
+            metrics_path.to_str().unwrap(),
+            "--verbose",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // stdout stays a parseable plan even with telemetry flags on.
+    let plan: serde_json::Value = serde_json::from_slice(&out.stdout).expect("plan JSON");
+    assert!(plan.is_object());
+
+    let trace = std::fs::read_to_string(&trace_path).unwrap();
+    let parsed: serde_json::Value = serde_json::from_str(&trace).expect("valid trace JSON");
+    let events = parsed["traceEvents"].as_array().expect("traceEvents array");
+    assert!(!events.is_empty());
+    for span in [
+        "pesto.place",
+        "pipeline.profile",
+        "pipeline.coarsen",
+        "ilp.formulate",
+        "pipeline.solve",
+        "milp.solve",
+        "pipeline.simulate",
+    ] {
+        assert!(
+            events.iter().any(|e| e["name"] == span),
+            "trace is missing span {span}"
+        );
+    }
+    // Solver-progress counter track for Perfetto.
+    assert!(events.iter().any(|e| {
+        e["ph"] == "C"
+            && e["name"]
+                .as_str()
+                .is_some_and(|n| n.starts_with("solver gap"))
+    }));
+
+    let metrics = std::fs::read_to_string(&metrics_path).unwrap();
+    let parsed: serde_json::Value = serde_json::from_str(&metrics).expect("valid metrics JSON");
+    assert!(
+        parsed["counters"]["milp.nodes"].as_u64().unwrap_or(0) > 0,
+        "{metrics}"
+    );
+    let events = parsed["solver_events"].as_array().expect("solver_events");
+    assert!(
+        events.iter().any(|e| e["kind"] == "gap"),
+        "no MILP gap samples: {metrics}"
+    );
+    assert!(parsed["spans"].get("pipeline.solve").is_some());
+
+    // --verbose printed the text summary and per-stage wall times.
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("stage"), "{err}");
+
+    for p in [graph_path, trace_path, metrics_path] {
+        let _ = std::fs::remove_file(p);
+    }
 }
 
 #[test]

@@ -11,7 +11,9 @@ use pesto::{Pesto, PestoConfig};
 fn pipeline_spreads_work_over_four_gpus() {
     let cluster = Cluster::homogeneous(4, 16 << 30);
     let graph = ModelSpec::nasnet(4, 24).generate(32, 3);
-    let outcome = Pesto::new(PestoConfig::fast()).place(&graph, &cluster).unwrap();
+    let outcome = Pesto::new(PestoConfig::fast())
+        .place(&graph, &cluster)
+        .unwrap();
     outcome.plan.validate(&graph, &cluster).unwrap();
 
     // At least three GPUs carry compute on this branch-parallel model.
@@ -46,7 +48,9 @@ fn pipeline_avoids_a_degraded_link() {
         .with_link_speed(base.gpu(1), base.gpu(0), 0.02);
     let graph = ModelSpec::rnnlm(1, 64).generate_scaled(4, 3, 0.25);
 
-    let outcome = Pesto::new(PestoConfig::fast()).place(&graph, &degraded).unwrap();
+    let outcome = Pesto::new(PestoConfig::fast())
+        .place(&graph, &degraded)
+        .unwrap();
     let serial = graph.total_compute_us();
     assert!(
         outcome.makespan_us <= serial * 1.02,
@@ -69,7 +73,9 @@ fn peak_memory_is_bounded_by_resident_accounting() {
     // the paper's simple rule is conservative, as claimed.
     let cluster = Cluster::two_gpus();
     let graph = ModelSpec::transformer(2, 2, 64).generate(4, 3);
-    let outcome = Pesto::new(PestoConfig::fast()).place(&graph, &cluster).unwrap();
+    let outcome = Pesto::new(PestoConfig::fast())
+        .place(&graph, &cluster)
+        .unwrap();
     let report = Simulator::new(&graph, &cluster, CommModel::default_v100())
         .with_seed(0xbe57)
         .run(&outcome.plan)

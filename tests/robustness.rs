@@ -3,9 +3,7 @@
 //! degenerate inputs (empty graphs, deadlocked schedules, dead clusters).
 
 use pesto::cost::CommModel;
-use pesto::graph::{
-    Cluster, DeviceKind, GraphError, OpGraph, Placement, Plan, ScheduleOrder,
-};
+use pesto::graph::{Cluster, DeviceKind, GraphError, OpGraph, Placement, Plan, ScheduleOrder};
 use pesto::ilp::{HybridConfig, PlacerConfig, SolvePath};
 use pesto::models::ModelSpec;
 use pesto::sim::{FaultPlan, SimError, Simulator};
@@ -74,7 +72,9 @@ fn zero_budget_lands_on_the_bottom_rung() {
 fn outage_kills_the_plan_and_repair_revives_it() {
     let graph = ModelSpec::transformer(2, 2, 64).generate(4, 1);
     let cluster = Cluster::homogeneous(3, 1 << 34);
-    let outcome = Pesto::new(PestoConfig::fast()).place(&graph, &cluster).unwrap();
+    let outcome = Pesto::new(PestoConfig::fast())
+        .place(&graph, &cluster)
+        .unwrap();
 
     // Fail a GPU that actually hosts work.
     let failed = graph
@@ -98,7 +98,9 @@ fn outage_kills_the_plan_and_repair_revives_it() {
     assert!(repair.moved_ops > 0, "the failed device hosted ops");
     assert_eq!(repair.cluster.gpu_count(), cluster.gpu_count() - 1);
     assert!(repair.plan.validate(&graph, &repair.cluster).is_ok());
-    let report = Simulator::new(&graph, &repair.cluster, comm()).run(&repair.plan).unwrap();
+    let report = Simulator::new(&graph, &repair.cluster, comm())
+        .run(&repair.plan)
+        .unwrap();
     assert!((report.makespan_us - repair.makespan_us).abs() < 1e-9);
 }
 
@@ -106,7 +108,9 @@ fn outage_kills_the_plan_and_repair_revives_it() {
 fn perturbation_sweep_is_reproducible_end_to_end() {
     let graph = ModelSpec::nmt(1, 64).generate(4, 1);
     let cluster = Cluster::two_gpus();
-    let outcome = Pesto::new(PestoConfig::fast()).place(&graph, &cluster).unwrap();
+    let outcome = Pesto::new(PestoConfig::fast())
+        .place(&graph, &cluster)
+        .unwrap();
     let config = RobustnessConfig {
         draws: 24,
         ..RobustnessConfig::default()
@@ -132,7 +136,9 @@ fn cpu_only_cluster_is_rejected_not_panicked() {
     let graph = ModelSpec::rnnlm(1, 64).generate(4, 1);
     let full = Cluster::homogeneous(1, 1 << 34);
     let cpu_only = full.without_gpu(full.gpus()[0]).unwrap();
-    let err = Pesto::new(PestoConfig::fast()).place(&graph, &cpu_only).unwrap_err();
+    let err = Pesto::new(PestoConfig::fast())
+        .place(&graph, &cpu_only)
+        .unwrap_err();
     assert_eq!(err, PestoError::NoGpus);
 }
 

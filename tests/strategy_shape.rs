@@ -37,19 +37,43 @@ fn head_to_head(spec: ModelSpec) -> Vec<(String, f64)> {
     vec![
         (
             "expert".into(),
-            ms(&evaluate_plan(&graph, &cluster, &comm, &expert(&graph, &cluster), 7)),
+            ms(&evaluate_plan(
+                &graph,
+                &cluster,
+                &comm,
+                &expert(&graph, &cluster),
+                7,
+            )),
         ),
         (
             "m_topo".into(),
-            ms(&evaluate_plan(&graph, &cluster, &comm, &m_topo(&graph, &cluster), 7)),
+            ms(&evaluate_plan(
+                &graph,
+                &cluster,
+                &comm,
+                &m_topo(&graph, &cluster),
+                7,
+            )),
         ),
         (
             "m_etf".into(),
-            ms(&evaluate_plan(&graph, &cluster, &comm, &m_etf(&graph, &cluster, &comm), 7)),
+            ms(&evaluate_plan(
+                &graph,
+                &cluster,
+                &comm,
+                &m_etf(&graph, &cluster, &comm),
+                7,
+            )),
         ),
         (
             "m_sct".into(),
-            ms(&evaluate_plan(&graph, &cluster, &comm, &m_sct(&graph, &cluster, &comm), 7)),
+            ms(&evaluate_plan(
+                &graph,
+                &cluster,
+                &comm,
+                &m_sct(&graph, &cluster, &comm),
+                7,
+            )),
         ),
         (
             "pesto".into(),
@@ -92,7 +116,9 @@ fn random_placement_is_worse_than_pesto() {
     let cluster = Cluster::two_gpus();
     let comm = CommModel::default_v100();
     let graph = ModelSpec::transformer(2, 2, 128).generate(4, 1);
-    let pesto = Pesto::new(PestoConfig::fast()).place(&graph, &cluster).unwrap();
+    let pesto = Pesto::new(PestoConfig::fast())
+        .place(&graph, &cluster)
+        .unwrap();
     let pesto_ms = ms(&evaluate_plan(&graph, &cluster, &comm, &pesto.plan, 7));
     // Average a few random placements; individually one could get lucky,
     // on average they pay heavy communication on the sequential stack.
