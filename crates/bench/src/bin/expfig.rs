@@ -3,7 +3,15 @@
 //!
 //! Usage: `expfig <experiment> [--quick] [--steps K]` where experiment is
 //! one of `fig2 fig4a fig4b table1 fig5 fig7 table2 table3 fig8a fig8b
-//! coarsen-sweep budget-sweep robustness pipeline gap all`.
+//! coarsen-sweep budget-sweep robustness pipeline kill-resume
+//! drift-recovery gap all`.
+//!
+//! `kill-resume` truncates a checkpointed placement run at its deadline,
+//! resumes it from the checkpoint file, and compares against a cold
+//! restart given the same total budget. `drift-recovery` slows the
+//! hottest ops past the profile's dispersion threshold and compares an
+//! incremental re-solve (healthy ops pinned) against a from-scratch
+//! re-solve under the same deadline.
 //!
 //! `gap` prints the branch-and-bound gap-over-time column set per warm-up
 //! strategy (cold vs. hybrid-warm-started), from the telemetry event
@@ -85,6 +93,12 @@ fn main() {
     }
     if run("pipeline") {
         pipeline(&cluster, &comm, quick, steps.unwrap_or(4));
+    }
+    if run("kill-resume") {
+        kill_resume(&cluster, &comm, quick);
+    }
+    if run("drift-recovery") {
+        drift_recovery(&cluster, &comm, quick);
     }
     if run("gap") {
         gap(&cluster, &comm);
@@ -903,6 +917,221 @@ fn pipeline(cluster: &Cluster, comm: &CommModel, quick: bool, steps: usize) {
     }
     println!("(gain% = how much of the one-step latency pipelining hides at steady state)");
     record_json("pipeline", &rows);
+}
+
+/// Crash-safety experiment (beyond the paper): a deadline-truncated,
+/// checkpointed placement run is resumed from its checkpoint file with
+/// the remaining budget, and compared against a cold restart granted the
+/// same *total* budget. The resumed run keeps the checkpointed incumbent
+/// (the pipeline's never-worse guard), so the interesting column is how
+/// close resume-after-kill gets to the uninterrupted cold run — i.e. how
+/// little of the first phase's work the crash throws away.
+fn kill_resume(cluster: &Cluster, comm: &CommModel, quick: bool) {
+    use pesto::CheckpointConfig;
+
+    println!("\n== kill-resume: checkpointed search vs cold restart ==");
+    let spec = if quick {
+        ModelSpec::transformer(2, 4, 256)
+    } else {
+        ModelSpec::transformer(6, 8, 512)
+    };
+    let batch = if quick { 4 } else { spec.paper_batch() };
+    let graph = spec.generate(batch, 1);
+    let half = if quick {
+        Duration::from_millis(400)
+    } else {
+        Duration::from_secs(2)
+    };
+    let path = std::env::temp_dir().join(format!(
+        "expfig-kill-resume-{}.ckpt.json",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+
+    let budgeted = |budget: Duration, checkpoint: Option<CheckpointConfig>| {
+        let mut config = pesto_config(quick);
+        // Far more annealing than any of the budgets below afford, so the
+        // deadline (not iteration exhaustion) always ends the search.
+        config.placer.hybrid.iterations = 2_000_000;
+        config.time_budget = Some(budget);
+        config.checkpoint = checkpoint;
+        Pesto::with_comm(*comm, config).place(&graph, cluster)
+    };
+
+    #[derive(Serialize)]
+    struct Row {
+        phase: String,
+        budget_ms: f64,
+        step_ms: f64,
+        resumed: bool,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    let mut record = |phase: &str, budget: Duration, step_us: f64, resumed: bool| {
+        println!(
+            "{:<22} {:>7.0} ms budget   step {:>9.1} ms{}",
+            phase,
+            budget.as_secs_f64() * 1e3,
+            step_us / 1e3,
+            if resumed { "   (resumed)" } else { "" },
+        );
+        rows.push(Row {
+            phase: phase.to_string(),
+            budget_ms: budget.as_secs_f64() * 1e3,
+            step_ms: step_us / 1e3,
+            resumed,
+        });
+    };
+
+    let mut checkpointed = CheckpointConfig::new(path.clone());
+    checkpointed.every_iters = 50;
+    match budgeted(half, Some(checkpointed)) {
+        Ok(o) => record("truncated (killed)", half, o.makespan_us, o.resumed),
+        Err(e) => println!("truncated run failed: {e}"),
+    }
+    match budgeted(half, Some(CheckpointConfig::resume(path.clone()))) {
+        Ok(o) => record("resumed", half, o.makespan_us, o.resumed),
+        Err(e) => println!("resume unavailable: {e}"),
+    }
+    match budgeted(half * 2, None) {
+        Ok(o) => record("cold restart", half * 2, o.makespan_us, o.resumed),
+        Err(e) => println!("cold restart failed: {e}"),
+    }
+    let _ = std::fs::remove_file(&path);
+    println!("(resume keeps the checkpointed incumbent, so the crash costs at most the time, never the plan)");
+    record_json("kill_resume", &rows);
+}
+
+/// Drift-recovery experiment (beyond the paper): the hottest GPU ops run
+/// 2.5x slower than their fitted profile (contention, thermal
+/// throttling), the drift detector flags them, and the incremental
+/// re-solve — every healthy op pinned, search warm-started from the
+/// running plan — races a from-scratch re-solve under the same deadline.
+/// A `slowdown` of 1.0 is the control: clean observations must flag
+/// nothing and leave the plan alone.
+fn drift_recovery(cluster: &Cluster, comm: &CommModel, quick: bool) {
+    use pesto::cost::DriftConfig;
+    use pesto::graph::DeviceKind;
+    use pesto::ilp::{HybridConfig, HybridSolver};
+    use pesto::obs::Obs;
+    use pesto::replace_after_drift;
+
+    println!("\n== drift-recovery: incremental re-solve vs from-scratch under one deadline ==");
+    let spec = if quick {
+        ModelSpec::nmt(2, 256)
+    } else {
+        ModelSpec::nmt(2, 1024)
+    };
+    let batch = if quick { 4 } else { spec.paper_batch() };
+    let graph = spec.generate(batch, 1);
+    let outcome = match Pesto::with_comm(*comm, pesto_config(quick)).place(&graph, cluster) {
+        Ok(o) => o,
+        Err(e) => {
+            println!("baseline placement failed: {e}");
+            return;
+        }
+    };
+    let expected: Vec<f64> = graph.op_ids().map(|id| graph.op(id).compute_us()).collect();
+    let budget = if quick {
+        Duration::from_millis(250)
+    } else {
+        Duration::from_secs(1)
+    };
+    let search = |deadline: Instant| HybridConfig {
+        iterations: 2_000_000,
+        restarts: 2,
+        deadline: Some(deadline),
+        ..HybridConfig::default()
+    };
+
+    #[derive(Serialize)]
+    struct Row {
+        slowdown: f64,
+        drifted_ops: usize,
+        max_drift_frac: f64,
+        budget_ms: f64,
+        stale_ms: f64,
+        incremental_ms: f64,
+        scratch_ms: Option<f64>,
+        incremental_wins: bool,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    println!(
+        "{:<9} {:>8} {:>10} {:>10} {:>10} {:>8}",
+        "slowdown", "flagged", "stale ms", "incr ms", "scratch ms", "winner"
+    );
+    for slowdown in [1.0f64, 2.5] {
+        // Reality shifts: the heaviest GPU ops now run `slowdown` times
+        // their profiled cost.
+        let observed = if slowdown == 1.0 {
+            graph.clone()
+        } else {
+            let mut heavy: Vec<OpId> = graph
+                .op_ids()
+                .filter(|&id| graph.op(id).kind() == DeviceKind::Gpu)
+                .collect();
+            heavy.sort_by(|&a, &b| {
+                graph
+                    .op(b)
+                    .compute_us()
+                    .total_cmp(&graph.op(a).compute_us())
+            });
+            let hot = (heavy.len() / 20).max(3);
+            let mut thawed = graph.clone().thaw();
+            for &id in heavy.iter().take(hot) {
+                let t = thawed.op(id).compute_us();
+                thawed.op_mut(id).set_compute_us(t * slowdown);
+            }
+            thawed.freeze().expect("perturbed graph stays a DAG")
+        };
+
+        let inc = match replace_after_drift(
+            &observed,
+            &expected,
+            cluster,
+            *comm,
+            &outcome.plan,
+            &DriftConfig::default(),
+            search(Instant::now() + budget),
+            &Obs::disabled(),
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                println!("{slowdown:<9} incremental re-solve failed: {e}");
+                continue;
+            }
+        };
+        // The competitor: forget the running plan, re-solve the observed
+        // graph from nothing under the very same deadline.
+        let scratch_ms = HybridSolver::new(search(Instant::now() + budget))
+            .solve(&observed, cluster, comm)
+            .ok()
+            .and_then(|o| Simulator::new(&observed, cluster, *comm).run(&o.plan).ok())
+            .map(|r| r.makespan_us / 1e3);
+
+        let incremental_ms = inc.makespan_us / 1e3;
+        let incremental_wins = scratch_ms.is_none_or(|s| incremental_ms <= s);
+        println!(
+            "{:<9} {:>8} {:>10.1} {:>10.1} {:>10} {:>8}",
+            slowdown,
+            inc.report.drifted.len(),
+            inc.old_makespan_us / 1e3,
+            incremental_ms,
+            scratch_ms.map_or("-".into(), |s| format!("{s:.1}")),
+            if incremental_wins { "incr" } else { "scratch" },
+        );
+        rows.push(Row {
+            slowdown,
+            drifted_ops: inc.report.drifted.len(),
+            max_drift_frac: inc.report.max_drift_frac,
+            budget_ms: budget.as_secs_f64() * 1e3,
+            stale_ms: inc.old_makespan_us / 1e3,
+            incremental_ms,
+            scratch_ms,
+            incremental_wins,
+        });
+    }
+    println!("(pinning the healthy ops spends the whole deadline on the drifted region)");
+    record_json("drift_recovery", &rows);
 }
 
 /// Quick sanity check for the §3.3 claim that a DAG can always be coarsened

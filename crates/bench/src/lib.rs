@@ -230,20 +230,121 @@ pub fn pesto_timed(
     }
 }
 
-/// Writes an experiment's JSON record under `results/`.
+/// Schema version of the `results/` record envelope, as `major.minor`.
+/// Every record written by [`record_json`] is wrapped in
+/// `{schema_version, name, data}`; [`load_record_json`] refuses majors it
+/// does not understand.
+pub const RESULTS_SCHEMA_VERSION: &str = "1.0";
+
+#[derive(Serialize)]
+struct RecordEnvelope<'a, T: Serialize> {
+    schema_version: &'a str,
+    name: &'a str,
+    data: &'a T,
+}
+
+/// Writes an experiment's JSON record under `results/`, wrapped in the
+/// versioned envelope and written atomically (temp file + rename) so a
+/// crash mid-experiment never leaves a torn record behind.
 pub fn record_json<T: Serialize>(name: &str, value: &T) {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
     if fs::create_dir_all(&dir).is_ok() {
         let path = dir.join(format!("{name}.json"));
-        if let Ok(json) = serde_json::to_string_pretty(value) {
-            let _ = fs::write(path, json);
+        let envelope = RecordEnvelope {
+            schema_version: RESULTS_SCHEMA_VERSION,
+            name,
+            data: value,
+        };
+        if let Ok(json) = serde_json::to_string_pretty(&envelope) {
+            let tmp = dir.join(format!("{name}.json.tmp"));
+            if fs::write(&tmp, json).is_ok() {
+                let _ = fs::rename(&tmp, path);
+            }
         }
     }
+}
+
+/// Loads a record written by [`record_json`], returning the raw envelope
+/// JSON after checking its schema version.
+///
+/// # Errors
+///
+/// A message naming the problem: unreadable file, missing
+/// `schema_version`, a major this build does not understand, or
+/// unparseable JSON. The version gate runs *before* the parse, so a
+/// future-format record fails cleanly.
+pub fn load_record_json(path: &std::path::Path) -> Result<serde_json::Value, String> {
+    let raw =
+        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let version = extract_schema_version(&raw)
+        .ok_or_else(|| format!("{}: no schema_version field", path.display()))?;
+    let ours: u64 = RESULTS_SCHEMA_VERSION
+        .split('.')
+        .next()
+        .and_then(|m| m.parse().ok())
+        .expect("our own version parses");
+    match version
+        .split('.')
+        .next()
+        .and_then(|m| m.parse::<u64>().ok())
+    {
+        Some(major) if major == ours => {}
+        _ => {
+            return Err(format!(
+                "{}: unsupported schema version {version:?} (this build reads major {ours})",
+                path.display()
+            ))
+        }
+    }
+    serde_json::from_str(&raw).map_err(|e| format!("cannot parse {}: {e}", path.display()))
+}
+
+/// Pulls the `schema_version` string out of raw record JSON without a
+/// full parse (the writer emits it as a plain, escape-free string).
+fn extract_schema_version(json: &str) -> Option<String> {
+    let key = "\"schema_version\"";
+    let at = json.find(key)? + key.len();
+    let rest = json[at..].trim_start().strip_prefix(':')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn record_loader_checks_versions_before_parsing() {
+        let path =
+            std::env::temp_dir().join(format!("bench-record-test-{}.json", std::process::id()));
+        std::fs::write(
+            &path,
+            r#"{"schema_version": "1.3", "name": "x", "data": [1, 2]}"#,
+        )
+        .unwrap();
+        // Same major, newer minor: accepted (full parse needs a real
+        // serde_json; the offline stub cannot parse, so only the version
+        // gate is asserted there).
+        let serde_json_real = serde_json::to_string(&1u8)
+            .map(|s| !s.is_empty())
+            .unwrap_or(false);
+        if serde_json_real {
+            load_record_json(&path).expect("minor bumps are compatible");
+        }
+        // Future major: rejected before any parse, stub or not.
+        std::fs::write(
+            &path,
+            r#"{"schema_version": "2.0", "name": "x", "data": []}"#,
+        )
+        .unwrap();
+        let err = load_record_json(&path).unwrap_err();
+        assert!(err.contains("unsupported schema version"), "{err}");
+        // No version field at all: also a clean error.
+        std::fs::write(&path, r#"{"name": "x"}"#).unwrap();
+        let err = load_record_json(&path).unwrap_err();
+        assert!(err.contains("no schema_version"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
 
     #[test]
     fn variant_row_helpers() {

@@ -40,11 +40,13 @@
 #![warn(missing_docs)]
 
 mod comm;
+mod drift;
 mod profiler;
 mod regression;
 mod scale;
 
 pub use comm::CommModel;
+pub use drift::{detect_drift, expected_dispersion, DriftConfig, DriftReport};
 pub use profiler::{ProfileReport, Profiler, TransferBench, TransferSample};
 pub use regression::{fit_linear, FitError, LinearFit};
 pub use scale::HardwareScaling;

@@ -23,7 +23,7 @@ use crate::error::IlpError;
 use pesto_cost::CommModel;
 use pesto_graph::{Cluster, DeviceKind, FrozenGraph, OpId, Placement, Plan, ScheduleOrder};
 use pesto_lp::{Problem, Relation, Sense, VarId};
-use pesto_milp::{MilpConfig, MilpProblem, MilpSolution, MilpStatus};
+use pesto_milp::{MilpCheckpoint, MilpConfig, MilpProblem, MilpSolution, MilpStatus};
 use pesto_sim::Simulator;
 
 /// Memory-constraint mode (paper constraint (8)).
@@ -76,6 +76,9 @@ pub struct IlpOutcome {
     pub gap: f64,
     /// Branch-and-bound nodes explored.
     pub nodes_explored: usize,
+    /// Resumable snapshot of the B&B state (incumbent + bound), for
+    /// crash-safe placement jobs.
+    pub milp_checkpoint: MilpCheckpoint,
 }
 
 /// The assembled ILP for one `(graph, cluster, comm)` instance.
@@ -503,6 +506,7 @@ impl<'a> IlpModel<'a> {
             proven_optimal: solution.status == MilpStatus::Optimal,
             gap: solution.gap,
             nodes_explored: solution.nodes_explored,
+            milp_checkpoint: solution.checkpoint(),
         }
     }
 }

@@ -59,12 +59,16 @@ mod hybrid;
 mod listsched;
 mod multi;
 mod placer;
+mod rng;
 
 pub use augment::{AugNode, AugmentedGraph, CommClass};
 pub use bounds::{makespan_lower_bound, path_lower_bound_us, work_lower_bound_us};
 pub use error::IlpError;
 pub use formulation::{IlpConfig, IlpModel, IlpOutcome, MemoryRule};
-pub use hybrid::{HybridConfig, HybridSolver};
+pub use hybrid::{
+    CheckpointSink, HybridConfig, HybridOutcome, HybridSearchState, HybridSolver, RestartState,
+};
 pub use listsched::{etf_schedule, ListScheduleResult};
 pub use multi::{MultiGpuIlp, MultiGpuOutcome};
 pub use placer::{PestoPlacer, PlaceOutcome, PlacerConfig, SolvePath};
+pub use rng::SearchRng;

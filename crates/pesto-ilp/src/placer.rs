@@ -3,10 +3,10 @@
 
 use crate::error::IlpError;
 use crate::formulation::{IlpConfig, IlpModel};
-use crate::hybrid::{HybridConfig, HybridSolver};
+use crate::hybrid::{HybridConfig, HybridSearchState, HybridSolver};
 use pesto_cost::CommModel;
 use pesto_graph::{Cluster, FrozenGraph, Plan};
-use pesto_milp::MilpConfig;
+use pesto_milp::MilpCheckpoint;
 use pesto_obs::Obs;
 use pesto_sim::Simulator;
 use std::time::{Duration, Instant};
@@ -78,6 +78,11 @@ pub struct PlaceOutcome {
     /// hybrid search returned its incumbent early, or the exact ILP was
     /// skipped/cut short).
     pub deadline_hit: bool,
+    /// Terminal state of the hybrid search, resumable via
+    /// [`HybridConfig::resume_from`].
+    pub hybrid_state: Option<HybridSearchState>,
+    /// Resumable B&B snapshot, when the exact path ran.
+    pub milp_checkpoint: Option<MilpCheckpoint>,
 }
 
 /// Pesto's placement engine: profile-estimated graph in, plan out.
@@ -136,9 +141,19 @@ impl PestoPlacer {
         };
         let mut deadline_hit = false;
 
-        // Hybrid always runs: it is the fallback and the warm start.
+        // Hybrid always runs: it is the fallback and the warm start. The
+        // exact path swaps in the quick profile but must keep the
+        // crash-safety fields (checkpoint cadence/sink, resume state,
+        // pins) the caller configured.
         let mut hybrid_cfg = if use_exact {
-            HybridConfig::quick()
+            HybridConfig {
+                checkpoint_every: self.config.hybrid.checkpoint_every,
+                checkpoint_sink: self.config.hybrid.checkpoint_sink.clone(),
+                resume_from: self.config.hybrid.resume_from.clone(),
+                pinned: self.config.hybrid.pinned.clone(),
+                initial_placements: self.config.hybrid.initial_placements.clone(),
+                ..HybridConfig::quick()
+            }
         } else {
             self.config.hybrid.clone()
         };
@@ -151,6 +166,8 @@ impl PestoPlacer {
         let hybrid = HybridSolver::new(hybrid_cfg).solve(graph, cluster, &self.comm)?;
         deadline_hit |= hybrid.deadline_hit;
 
+        let hybrid_state = hybrid.search_state;
+        let mut milp_checkpoint = None;
         let mut best_plan = hybrid.plan;
         let mut best_makespan = hybrid.makespan_us;
         let mut cmax_model = None;
@@ -174,11 +191,13 @@ impl PestoPlacer {
                 let _formulate = obs.span("ilp.formulate");
                 IlpModel::build(graph, cluster, &self.comm, &self.config.ilp)?
             };
-            let warm = model.warm_start_from(&best_plan, &self.comm);
-            let mut milp_cfg = MilpConfig {
-                warm_start: warm,
-                ..self.config.ilp.milp.clone()
-            };
+            // An explicitly configured warm start (e.g. a resumed job's
+            // MILP checkpoint) wins; otherwise derive one from the hybrid
+            // incumbent.
+            let mut milp_cfg = self.config.ilp.milp.clone();
+            if milp_cfg.warm_start.is_none() {
+                milp_cfg.warm_start = model.warm_start_from(&best_plan, &self.comm);
+            }
             if !milp_cfg.obs.is_enabled() {
                 milp_cfg.obs = obs.clone();
             }
@@ -192,6 +211,7 @@ impl PestoPlacer {
                 let sim = Simulator::new(graph, cluster, self.comm).with_memory_check(false);
                 let simulated = sim.run(&outcome.plan)?.makespan_us;
                 cmax_model = Some(outcome.cmax_us);
+                milp_checkpoint = Some(outcome.milp_checkpoint.clone());
                 proven = outcome.proven_optimal;
                 deadline_hit |= !outcome.proven_optimal
                     && self.config.deadline.is_some_and(|d| remaining(d).is_zero());
@@ -219,6 +239,8 @@ impl PestoPlacer {
             proven_optimal: proven,
             path,
             deadline_hit,
+            hybrid_state,
+            milp_checkpoint,
         })
     }
 }

@@ -40,4 +40,4 @@
 
 mod solver;
 
-pub use solver::{MilpConfig, MilpError, MilpProblem, MilpSolution, MilpStatus};
+pub use solver::{MilpCheckpoint, MilpConfig, MilpError, MilpProblem, MilpSolution, MilpStatus};

@@ -148,6 +148,15 @@ fn event_fields(kind: &SolverEventKind) -> Vec<(&'static str, String)> {
             ("reason", format!("\"{}\"", json_escape(reason))),
             ("remaining_deadline_us", json_f64(*remaining_deadline_us)),
         ],
+        SolverEventKind::Drift {
+            ops_flagged,
+            max_drift_frac,
+            threshold_frac,
+        } => vec![
+            ("ops_flagged", format!("{ops_flagged}")),
+            ("max_drift_frac", json_f64(*max_drift_frac)),
+            ("threshold_frac", json_f64(*threshold_frac)),
+        ],
     }
 }
 

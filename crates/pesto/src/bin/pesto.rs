@@ -2,10 +2,12 @@
 //!
 //! ```text
 //! pesto generate <rnnlm|nmt|transformer|nasnet> [ARGS..]  > graph.json
-//! pesto place    <graph.json> [--gpus N] [--quick]
+//! pesto place    <graph.json> [--gpus N] [--quick] [--iters N]
+//!                [--checkpoint FILE] [--resume] [--checkpoint-every N]
 //!                [--trace-out FILE] [--metrics-out FILE] [--verbose] > plan.json
 //! pesto simulate <graph.json> <plan.json> [--svg out.svg] [--gpus N] [--steps K]
 //! pesto baseline <expert|m_topo|m_etf|m_sct> <graph.json> [--gpus N] > plan.json
+//! pesto repair   <graph.json> <plan.json> --failed N [--gpus N] [--budget-ms N] > plan.json
 //! pesto info     <graph.json>
 //! pesto help
 //! ```
@@ -15,6 +17,12 @@
 //! `--trace-out` writes a Chrome-trace JSON of the pipeline's own stages
 //! (open it in `chrome://tracing` or <https://ui.perfetto.dev>);
 //! `--metrics-out` writes the flat metrics/event dump.
+//!
+//! Crash safety: `place --checkpoint FILE` snapshots the search state
+//! atomically as it runs; re-running the same command with `--resume`
+//! after a crash (or SIGKILL) continues from the snapshot instead of
+//! starting over. `repair` re-places the ops stranded by a dead GPU —
+//! greedily with `--budget-ms 0`, with a bounded local search otherwise.
 
 use pesto::baselines::{expert, m_etf, m_sct, m_topo};
 use pesto::cost::CommModel;
@@ -22,9 +30,10 @@ use pesto::graph::{from_json, to_json, Cluster, FrozenGraph, Plan};
 use pesto::models::ModelSpec;
 use pesto::obs::Obs;
 use pesto::sim::Simulator;
-use pesto::{Pesto, PestoConfig};
+use pesto::{repair_after_outage, CheckpointConfig, Pesto, PestoConfig};
 use std::fs;
 use std::process::ExitCode;
+use std::time::Duration;
 
 /// Every subcommand: name, positional-argument template, and the complete
 /// set of flags its parser accepts (`(flag, value-placeholder)`, empty
@@ -47,6 +56,10 @@ const COMMANDS: &[CommandSpec] = &[
         &[
             ("--gpus", "N"),
             ("--quick", ""),
+            ("--iters", "N"),
+            ("--checkpoint", "FILE"),
+            ("--resume", ""),
+            ("--checkpoint-every", "N"),
             ("--trace-out", "FILE"),
             ("--metrics-out", "FILE"),
             ("--verbose", ""),
@@ -61,6 +74,11 @@ const COMMANDS: &[CommandSpec] = &[
         "baseline",
         "<expert|m_topo|m_etf|m_sct> <graph.json>",
         &[("--gpus", "N")],
+    ),
+    (
+        "repair",
+        "<graph.json> <plan.json>",
+        &[("--failed", "N"), ("--gpus", "N"), ("--budget-ms", "N")],
     ),
     ("info", "<graph.json>", &[]),
     ("help", "", &[]),
@@ -185,6 +203,32 @@ fn run(args: &[String]) -> Result<(), String> {
             if trace_out.is_some() || metrics_out.is_some() || verbose {
                 config.obs = Obs::enabled();
             }
+            if let Some(iters) = flag_value(args, "place", "--iters") {
+                config.placer.hybrid.iterations = iters
+                    .parse()
+                    .map_err(|_| format!("bad --iters value {iters}"))?;
+            }
+            let resume = has_flag(args, "place", "--resume");
+            match flag_value(args, "place", "--checkpoint") {
+                Some(path) => {
+                    let every = flag_value(args, "place", "--checkpoint-every")
+                        .map(|v| {
+                            v.parse()
+                                .map_err(|_| format!("bad --checkpoint-every value {v}"))
+                        })
+                        .transpose()?
+                        .unwrap_or(200);
+                    config.checkpoint = Some(CheckpointConfig {
+                        every_iters: every,
+                        resume,
+                        ..CheckpointConfig::new(path)
+                    });
+                }
+                None if resume => {
+                    return Err("--resume requires --checkpoint FILE".into());
+                }
+                None => {}
+            }
             let obs = config.obs.clone();
             let outcome = Pesto::new(config)
                 .place(&graph, &cluster)
@@ -194,9 +238,14 @@ fn run(args: &[String]) -> Result<(), String> {
                 serde_json::to_string(&outcome.plan).map_err(|e| e.to_string())?
             );
             eprintln!(
-                "placed in {:?}; simulated per-step time {:.2} ms",
+                "placed in {:?}; simulated per-step time {:.2} ms{}",
                 outcome.placement_time,
-                outcome.makespan_us / 1000.0
+                outcome.makespan_us / 1000.0,
+                if outcome.resumed {
+                    " (resumed from checkpoint)"
+                } else {
+                    ""
+                }
             );
             for t in &outcome.stage_timings {
                 eprintln!("  stage {:<9} {:>10.1} µs", t.stage, t.wall_us);
@@ -279,6 +328,54 @@ fn run(args: &[String]) -> Result<(), String> {
                     .map_err(|e| format!("cannot write {svg_path}: {e}"))?;
                 eprintln!("wrote {svg_path}");
             }
+            Ok(())
+        }
+        "repair" => {
+            let gpath = args.get(1).ok_or("missing graph path")?;
+            let ppath = args.get(2).ok_or("missing plan path")?;
+            let cluster = cluster_from(args, "repair")?;
+            let graph = load_graph(gpath)?;
+            let plan: Plan = serde_json::from_str(
+                &fs::read_to_string(ppath).map_err(|e| format!("cannot read {ppath}: {e}"))?,
+            )
+            .map_err(|e| format!("cannot parse {ppath}: {e}"))?;
+            let failed_idx: usize = flag_value(args, "repair", "--failed")
+                .ok_or("missing --failed N (index of the dead GPU)")?
+                .parse()
+                .map_err(|_| "bad --failed value".to_string())?;
+            let failed = *cluster.gpus().get(failed_idx).ok_or(format!(
+                "--failed {failed_idx} out of range: cluster has {} GPUs",
+                cluster.gpu_count()
+            ))?;
+            let budget_ms: u64 = flag_value(args, "repair", "--budget-ms")
+                .map(|v| v.parse().map_err(|_| format!("bad --budget-ms value {v}")))
+                .transpose()?
+                .unwrap_or(0);
+            let out = repair_after_outage(
+                &graph,
+                &cluster,
+                CommModel::default_v100(),
+                &plan,
+                failed,
+                Duration::from_millis(budget_ms),
+            )
+            .map_err(|e| e.to_string())?;
+            println!(
+                "{}",
+                serde_json::to_string(&out.plan).map_err(|e| e.to_string())?
+            );
+            eprintln!(
+                "repaired after GPU{failed_idx} outage: moved {} ops, per-step time \
+                 {:.2} ms on {} surviving GPUs ({})",
+                out.moved_ops,
+                out.makespan_us / 1000.0,
+                out.cluster.gpu_count(),
+                if budget_ms == 0 {
+                    "greedy".to_string()
+                } else {
+                    format!("local search, {budget_ms} ms budget")
+                }
+            );
             Ok(())
         }
         "info" => {

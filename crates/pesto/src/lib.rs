@@ -61,16 +61,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod eval;
 mod pipeline;
 mod robust;
 
+pub use checkpoint::{
+    graph_fingerprint, load_checkpoint, save_checkpoint, CheckpointConfig, CheckpointError,
+    CheckpointIncumbent, SearchCheckpoint, CHECKPOINT_SCHEMA_VERSION,
+};
 pub use eval::{
     evaluate_plan, evaluate_plan_avg, evaluate_plan_pipelined, PipelinedOutcome, StepOutcome,
 };
 pub use pipeline::{DegradationReason, Pesto, PestoConfig, PestoError, PestoOutcome, StageTiming};
 pub use robust::{
-    evaluate_robustness, repair_after_outage, RepairOutcome, RobustnessConfig, RobustnessReport,
+    evaluate_robustness, repair_after_outage, replace_after_drift, DriftReplaceOutcome,
+    RepairOutcome, RobustnessConfig, RobustnessReport, ROBUSTNESS_SCHEMA_VERSION,
 };
 
 /// Re-export: operation DAGs, clusters, and plans.

@@ -1,13 +1,17 @@
 //! The end-to-end Pesto pipeline: profile → coarsen → solve → expand.
 
+use crate::checkpoint::{
+    self, CheckpointConfig, CheckpointError, CheckpointIncumbent, SearchCheckpoint,
+};
 use pesto_coarsen::{coarsen_with_stats, CoarsenConfig};
 use pesto_cost::{CommModel, Profiler};
 use pesto_graph::{Cluster, FrozenGraph, GraphError, Plan};
-use pesto_ilp::{IlpError, PestoPlacer, PlacerConfig, SolvePath};
+use pesto_ilp::{CheckpointSink, IlpError, PestoPlacer, PlacerConfig, SolvePath};
 use pesto_obs::{Obs, SolverEventKind};
 use pesto_sim::{PipelineStats, SimError, Simulator};
 use std::error::Error;
 use std::fmt;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Pipeline configuration.
@@ -49,6 +53,14 @@ pub struct PestoConfig {
     /// [`PestoOutcome::makespan_us`] stays the single-step time either
     /// way. Defaults to 1 (no pipelined evaluation).
     pub pipeline_steps: usize,
+    /// Crash safety: when set, the search state is checkpointed to
+    /// [`CheckpointConfig::path`] on the configured cadence (atomic
+    /// temp-file + rename writes) and, with [`CheckpointConfig::resume`],
+    /// a previous checkpoint warm-starts the hybrid search and the MILP.
+    /// A resumed run never finishes worse than the checkpointed incumbent
+    /// (the pipeline falls back to it if the continued search somehow
+    /// regresses). Defaults to `None` (no checkpointing).
+    pub checkpoint: Option<CheckpointConfig>,
     /// Telemetry sink. With [`Obs::enabled`] the pipeline records a span
     /// per stage (`pipeline.profile`, `pipeline.coarsen`, `pipeline.solve`,
     /// `pipeline.refine`, `pipeline.schedule`, `pipeline.simulate`),
@@ -71,6 +83,7 @@ impl Default for PestoConfig {
             congestion_aware: true,
             time_budget: None,
             pipeline_steps: 1,
+            checkpoint: None,
             obs: Obs::disabled(),
         }
     }
@@ -107,6 +120,11 @@ pub enum PestoError {
     /// Post-outage plan repair failed (e.g. the failed device was not a
     /// GPU of the cluster).
     Repair(String),
+    /// Checkpoint I/O, parsing, versioning, or job-identity failure.
+    Checkpoint(CheckpointError),
+    /// A configuration value makes the requested computation meaningless
+    /// (e.g. a robustness sweep over zero draws).
+    InvalidConfig(String),
 }
 
 impl fmt::Display for PestoError {
@@ -122,6 +140,8 @@ impl fmt::Display for PestoError {
                 )
             }
             PestoError::Repair(msg) => write!(f, "plan repair failed: {msg}"),
+            PestoError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+            PestoError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
         }
     }
 }
@@ -132,8 +152,15 @@ impl Error for PestoError {
             PestoError::Graph(e) => Some(e),
             PestoError::Solve(e) => Some(e),
             PestoError::Sim(e) => Some(e),
-            PestoError::NoGpus | PestoError::Repair(_) => None,
+            PestoError::Checkpoint(e) => Some(e),
+            PestoError::NoGpus | PestoError::Repair(_) | PestoError::InvalidConfig(_) => None,
         }
+    }
+}
+
+impl From<CheckpointError> for PestoError {
+    fn from(e: CheckpointError) -> Self {
+        PestoError::Checkpoint(e)
     }
 }
 
@@ -263,6 +290,9 @@ pub struct PestoOutcome {
     /// Why (if at all) the pipeline fell back from its preferred path.
     /// `None` means the full search ran to completion.
     pub degradation: Option<DegradationReason>,
+    /// Whether this run warm-started from a [`PestoConfig::checkpoint`]
+    /// file (as opposed to searching from scratch).
+    pub resumed: bool,
     /// Fill / steady-state / drain breakdown of a
     /// [`PestoConfig::pipeline_steps`]-step pipelined run of the plan.
     /// `None` when `pipeline_steps <= 1`.
@@ -471,6 +501,7 @@ impl Pesto {
             path,
             explicit_schedule,
             degradation: Some(reason),
+            resumed: false,
             pipeline,
             stage_timings,
         })
@@ -500,6 +531,23 @@ impl Pesto {
         if cluster.gpu_count() == 0 {
             return Err(PestoError::NoGpus);
         }
+        // Crash safety: identify the job (graph fingerprint + seed) and
+        // load any prior checkpoint *before* spending budget on profiling,
+        // so an invalid resume fails fast and typed.
+        let fingerprint = self
+            .config
+            .checkpoint
+            .as_ref()
+            .map(|_| checkpoint::graph_fingerprint(graph));
+        let mut resume_state: Option<SearchCheckpoint> = None;
+        if let Some(ck) = &self.config.checkpoint {
+            if ck.resume && ck.path.exists() {
+                let loaded = checkpoint::load_checkpoint(&ck.path)?;
+                loaded.verify(fingerprint.expect("fingerprint computed"), self.config.seed)?;
+                resume_state = Some(loaded);
+            }
+        }
+        let resumed = resume_state.is_some();
         let deadline = self.config.time_budget.map(|b| start + b);
         let obs = self.config.obs.clone();
         let mut pipe_span = obs.span("pesto.place");
@@ -643,6 +691,42 @@ impl Pesto {
         if !placer_config.obs.is_enabled() {
             placer_config.obs = obs.clone();
         }
+        // Crash safety: warm-start the search from the loaded checkpoint
+        // and install the periodic snapshot sink. The sink expands the
+        // coarse incumbent to a fine placement-only plan so the file is
+        // useful even to a reader with no solver at hand.
+        if let Some(loaded) = &resume_state {
+            if let Some(hybrid) = &loaded.hybrid {
+                placer_config.hybrid.resume_from = Some(hybrid.clone());
+            }
+            if let Some(milp) = &loaded.milp {
+                placer_config.ilp.milp = placer_config.ilp.milp.clone().resume_from(milp);
+            }
+        }
+        if let Some(ck) = &self.config.checkpoint {
+            let fp = fingerprint.expect("fingerprint computed");
+            let seed = self.config.seed;
+            let sink_path = ck.path.clone();
+            let sink_coarsening = coarsening.clone();
+            let carried_milp = resume_state.as_ref().and_then(|l| l.milp.clone());
+            // Snapshots may fire from concurrent restart threads; the
+            // temp-file protocol needs them serialized.
+            let write_lock = Mutex::new(());
+            placer_config.hybrid.checkpoint_every = ck.every_iters;
+            placer_config.hybrid.checkpoint_sink = Some(CheckpointSink::new(move |state| {
+                let _guard = write_lock.lock().unwrap_or_else(|p| p.into_inner());
+                let mut ckpt = SearchCheckpoint::new(fp, seed);
+                ckpt.hybrid = Some(state.clone());
+                ckpt.milp = carried_milp.clone();
+                ckpt.incumbent = state.incumbent().map(|(p, _)| CheckpointIncumbent {
+                    plan: Plan::placement_only(sink_coarsening.expand_placement(p)),
+                    makespan_us: None,
+                });
+                // A failed mid-run snapshot must not kill the search; the
+                // next cadence tick (or the final write) retries.
+                let _ = checkpoint::save_checkpoint(&sink_path, &ckpt);
+            }));
+        }
         let placer = PestoPlacer::with_config(self.comm, placer_config);
         let solve_result = timed_stage(&obs, &mut stage_timings, "solve", || {
             placer.place(coarse, cluster)
@@ -719,13 +803,53 @@ impl Pesto {
         let placement_time = start.elapsed();
 
         // 5. Honest evaluation on the true op times.
-        let report = timed_stage(&obs, &mut stage_timings, "simulate", || {
+        let mut plan = plan;
+        let mut report = timed_stage(&obs, &mut stage_timings, "simulate", || {
             Simulator::new(graph, cluster, self.comm)
                 .with_seed(self.config.seed)
                 .with_obs(obs.clone())
                 .run(&plan)
         })?;
+
+        // Never-worse guarantee: a resumed run must not finish behind the
+        // incumbent its checkpoint already held. If the continued search
+        // regressed (different refinement trajectory, tighter deadline),
+        // fall back to the checkpointed plan, honestly re-simulated under
+        // the same seed.
+        if let Some(inc) = resume_state.as_ref().and_then(|l| l.incumbent.as_ref()) {
+            if inc.plan.placement.op_count() == graph.op_count() {
+                if let Ok(inc_report) = Simulator::new(graph, cluster, self.comm)
+                    .with_seed(self.config.seed)
+                    .run(&inc.plan)
+                {
+                    if inc_report.makespan_us < report.makespan_us {
+                        plan = inc.plan.clone();
+                        report = inc_report;
+                    }
+                }
+            }
+        }
         let pipeline = self.pipelined_stats(graph, cluster, &plan)?;
+
+        // The final checkpoint records the finished job: full search
+        // state for further warm-starts plus the fine plan with its
+        // honest makespan. Unlike mid-run snapshots, a failure here is
+        // surfaced — the user asked for a durable artifact and did not
+        // get one.
+        if let Some(ck) = &self.config.checkpoint {
+            let mut final_ckpt =
+                SearchCheckpoint::new(fingerprint.expect("fingerprint computed"), self.config.seed);
+            final_ckpt.hybrid = outcome.hybrid_state.clone();
+            final_ckpt.milp = outcome
+                .milp_checkpoint
+                .clone()
+                .or_else(|| resume_state.as_ref().and_then(|l| l.milp.clone()));
+            final_ckpt.incumbent = Some(CheckpointIncumbent {
+                plan: plan.clone(),
+                makespan_us: Some(report.makespan_us),
+            });
+            checkpoint::save_checkpoint(&ck.path, &final_ckpt)?;
+        }
 
         pipe_span.set_attr("path", format!("{:?}", outcome.path));
         pipe_span.set_attr("degraded", degradation.is_some());
@@ -738,6 +862,7 @@ impl Pesto {
             path: outcome.path,
             explicit_schedule,
             degradation,
+            resumed,
             pipeline,
             stage_timings,
         })
@@ -964,6 +1089,104 @@ mod tests {
                 other => panic!("expected degradation event, got {other:?}"),
             }
         }
+    }
+
+    /// The offline stub `serde_json` serializes to `""` and cannot parse;
+    /// resume paths need the real crate.
+    fn serde_json_available() -> bool {
+        serde_json::to_string(&1u8)
+            .map(|s| !s.is_empty())
+            .unwrap_or(false)
+    }
+
+    fn ckpt_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "pesto-pipeline-ckpt-{}-{name}.json",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn checkpointed_run_writes_a_file_and_resume_never_regresses() {
+        let path = ckpt_path("resume");
+        let _ = std::fs::remove_file(&path);
+        let graph = ModelSpec::transformer(1, 2, 64).generate(4, 1);
+        let cluster = Cluster::two_gpus();
+        let config = PestoConfig {
+            checkpoint: Some(CheckpointConfig {
+                every_iters: 50,
+                ..CheckpointConfig::new(&path)
+            }),
+            ..PestoConfig::fast()
+        };
+        let a = Pesto::new(config.clone()).place(&graph, &cluster).unwrap();
+        assert!(!a.resumed, "fresh run must not claim to have resumed");
+        assert!(path.exists(), "final checkpoint must be written");
+
+        if serde_json_available() {
+            // Resuming a *finished* job replays every chain's terminal
+            // state: the search adds nothing, and the never-worse guard
+            // keeps the incumbent, so the makespan cannot regress.
+            let resume_config = PestoConfig {
+                checkpoint: Some(CheckpointConfig::resume(&path)),
+                ..config
+            };
+            let b = Pesto::new(resume_config).place(&graph, &cluster).unwrap();
+            assert!(b.resumed);
+            assert!(
+                b.makespan_us <= a.makespan_us + 1e-6,
+                "resume regressed: {} > {}",
+                b.makespan_us,
+                a.makespan_us
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resuming_against_a_different_graph_is_a_typed_error() {
+        if !serde_json_available() {
+            return; // load path needs real serde_json
+        }
+        let path = ckpt_path("mismatch");
+        let _ = std::fs::remove_file(&path);
+        let graph = ModelSpec::transformer(1, 2, 64).generate(4, 1);
+        let cluster = Cluster::two_gpus();
+        let config = PestoConfig {
+            checkpoint: Some(CheckpointConfig::new(&path)),
+            ..PestoConfig::fast()
+        };
+        Pesto::new(config).place(&graph, &cluster).unwrap();
+
+        let other = ModelSpec::transformer(1, 2, 128).generate(4, 1);
+        let err = Pesto::new(PestoConfig {
+            checkpoint: Some(CheckpointConfig::resume(&path)),
+            ..PestoConfig::fast()
+        })
+        .place(&other, &cluster)
+        .unwrap_err();
+        assert!(
+            matches!(err, PestoError::Checkpoint(CheckpointError::Mismatch(_))),
+            "got {err:?}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_checkpoint_file_starts_fresh_not_an_error() {
+        let path = ckpt_path("fresh");
+        let _ = std::fs::remove_file(&path);
+        let graph = ModelSpec::transformer(1, 2, 64).generate(4, 1);
+        let cluster = Cluster::two_gpus();
+        let outcome = Pesto::new(PestoConfig {
+            checkpoint: Some(CheckpointConfig::resume(&path)),
+            ..PestoConfig::fast()
+        })
+        .place(&graph, &cluster)
+        .unwrap();
+        assert!(!outcome.resumed, "nothing to resume from");
+        assert!(path.exists(), "the fresh run still checkpoints");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

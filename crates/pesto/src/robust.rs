@@ -12,15 +12,30 @@
 //!    when it straggles.
 //! 2. **Can it survive an outage?** [`repair_after_outage`] removes a
 //!    failed GPU from the cluster, keeps every placement on the
-//!    survivors, re-places only the stranded operations greedily, and
-//!    re-derives an ETF schedule on the surviving cluster.
+//!    survivors, re-places only the stranded operations (greedily, then —
+//!    given a time budget — by bounded local search over the stranded
+//!    ops and their neighbors), and re-derives an ETF schedule on the
+//!    surviving cluster.
+//! 3. **Is its profile still true?** [`replace_after_drift`] compares
+//!    observed per-op times against the fitted profile
+//!    ([`detect_drift`][pesto_cost::detect_drift]) and, when ops have
+//!    drifted past their dispersion threshold, re-solves incrementally:
+//!    every *non*-drifted group is pinned, so the search warm-started
+//!    from the current placement only reconsiders what actually changed.
 
 use crate::pipeline::PestoError;
-use pesto_cost::CommModel;
-use pesto_graph::{Cluster, DeviceId, LinkType, OpId, Placement, Plan};
-use pesto_ilp::etf_schedule;
-use pesto_sim::{FaultPlan, PerturbationSpec, SimError, Simulator};
+use pesto_cost::{detect_drift, CommModel, DriftConfig, DriftReport};
+use pesto_graph::{Cluster, DeviceId, DeviceKind, LinkType, OpId, Placement, Plan};
+use pesto_ilp::{etf_schedule, HybridConfig, HybridSolver, IlpError};
+use pesto_obs::{Obs, SolverEventKind};
+use pesto_sim::{FaultPlan, PerturbationSpec, Simulator};
 use serde::Serialize;
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+/// Schema version stamped into every serialized [`RobustnessReport`], as
+/// `major.minor`. Readers should refuse majors they do not understand.
+pub const ROBUSTNESS_SCHEMA_VERSION: &str = "1.0";
 
 /// Configuration for [`evaluate_robustness`].
 #[derive(Debug, Clone)]
@@ -63,6 +78,8 @@ impl Default for RobustnessConfig {
 /// rather than a single-step makespan.
 #[derive(Debug, Clone, Serialize)]
 pub struct RobustnessReport {
+    /// Serialization format version ([`ROBUSTNESS_SCHEMA_VERSION`]).
+    pub schema_version: String,
     /// Pipelined steps per simulation ([`RobustnessConfig::steps`]).
     pub steps: usize,
     /// Makespan under clean (fault-free) conditions, µs.
@@ -104,16 +121,28 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
 ///
 /// # Errors
 ///
-/// Propagates simulation failures. A plan that runs clean cannot fail
-/// under the sweep's faults (stragglers, jitter, and degraded links only
-/// slow things down; the sweep injects no outages).
+/// * [`PestoError::InvalidConfig`] for a zero-draw sweep — percentiles
+///   of an empty sample would be lies, not statistics;
+/// * [`PestoError::NoGpus`] for a cluster with no surviving GPU;
+/// * simulation failures, propagated as [`PestoError::Sim`]. A plan that
+///   runs clean cannot fail under the sweep's faults (stragglers, jitter,
+///   and degraded links only slow things down; the sweep injects no
+///   outages).
 pub fn evaluate_robustness(
     graph: &pesto_graph::FrozenGraph,
     cluster: &Cluster,
     comm: CommModel,
     plan: &Plan,
     config: &RobustnessConfig,
-) -> Result<RobustnessReport, SimError> {
+) -> Result<RobustnessReport, PestoError> {
+    if config.draws == 0 {
+        return Err(PestoError::InvalidConfig(
+            "robustness sweep needs at least one fault draw (draws == 0)".into(),
+        ));
+    }
+    if cluster.gpu_count() == 0 {
+        return Err(PestoError::NoGpus);
+    }
     let steps = config.steps.max(1);
     let clean = Simulator::new(graph, cluster, comm)
         .with_steps(steps)
@@ -133,17 +162,15 @@ pub fn evaluate_robustness(
     }
     samples.sort_by(f64::total_cmp);
 
-    let (mean, p50, p95, p99, worst) = if samples.is_empty() {
-        (clean, clean, clean, clean, clean)
-    } else {
-        (
-            samples.iter().sum::<f64>() / samples.len() as f64,
-            percentile(&samples, 0.50),
-            percentile(&samples, 0.95),
-            percentile(&samples, 0.99),
-            *samples.last().expect("non-empty"),
-        )
-    };
+    // `draws >= 1` is enforced above, so the sample set is never empty
+    // and every percentile is backed by a real observation.
+    let (mean, p50, p95, p99, worst) = (
+        samples.iter().sum::<f64>() / samples.len() as f64,
+        percentile(&samples, 0.50),
+        percentile(&samples, 0.95),
+        percentile(&samples, 0.99),
+        *samples.last().expect("non-empty"),
+    );
 
     // Sensitivity probes: one straggler at a time, everything else clean.
     let mut sensitivity = Vec::with_capacity(cluster.gpu_count());
@@ -163,6 +190,7 @@ pub fn evaluate_robustness(
         .map(|(i, _)| cluster.gpus()[i]);
 
     Ok(RobustnessReport {
+        schema_version: ROBUSTNESS_SCHEMA_VERSION.to_string(),
         steps,
         clean_makespan_us: clean,
         draws: config.draws,
@@ -197,9 +225,14 @@ pub struct RepairOutcome {
 /// subject to device memory — and the schedule is re-derived by ETF on
 /// the surviving cluster.
 ///
-/// This is deliberately cheap (no new search): the point is a valid plan
-/// *now*, not an optimal one. Re-run the full pipeline when there is
-/// time.
+/// With `budget == Duration::ZERO` the greedy placement is the answer: a
+/// valid plan *now*, nothing re-searched. A positive `budget` buys a
+/// bounded local search on top: hill climbing restricted to the stranded
+/// ops and their direct neighbors (the only region the outage disturbed),
+/// each flip scored by a full ETF re-schedule, stopping at the first
+/// whole pass without improvement or when the budget expires — whichever
+/// comes first. The search only ever replaces the greedy placement with
+/// something that schedules strictly better, so any budget is safe.
 ///
 /// # Errors
 ///
@@ -213,7 +246,9 @@ pub fn repair_after_outage(
     comm: CommModel,
     plan: &Plan,
     failed: DeviceId,
+    budget: Duration,
 ) -> Result<RepairOutcome, PestoError> {
+    let search_deadline = Instant::now() + budget;
     let survivors = cluster
         .without_gpu(failed)
         .map_err(|e| PestoError::Repair(format!("cannot remove {failed:?}: {e}")))?;
@@ -255,7 +290,7 @@ pub fn repair_after_outage(
             LinkType::GpuToGpu
         }
     };
-    for op in stranded {
+    for &op in &stranded {
         let mem = graph.op(op).memory_bytes();
         let mut best: Option<(f64, DeviceId)> = None;
         for gpu in survivors.gpus() {
@@ -290,6 +325,71 @@ pub fn repair_after_outage(
         used_bytes[gpu.index()] = used_bytes[gpu.index()].saturating_add(mem);
     }
 
+    // Bounded local search on top of greedy (zero budget skips it): the
+    // outage only disturbed the stranded ops and the neighbors they now
+    // talk to, so flips are restricted to that region. Each flip is
+    // scored by a full ETF re-schedule on the survivors; first-improvement
+    // hill climbing repeats until a pass yields nothing or the budget
+    // expires. Greedy is only ever replaced by something strictly better.
+    if budget > Duration::ZERO && survivors.gpu_count() >= 2 && !stranded.is_empty() {
+        let mut region: Vec<OpId> = Vec::new();
+        let mut in_region = vec![false; graph.op_count()];
+        for &op in &stranded {
+            for cand in std::iter::once(op)
+                .chain(graph.preds(op).iter().copied())
+                .chain(graph.succs(op).iter().copied())
+            {
+                if !in_region[cand.index()] && graph.op(cand).kind() == DeviceKind::Gpu {
+                    in_region[cand.index()] = true;
+                    region.push(cand);
+                }
+            }
+        }
+        let sim = Simulator::new(graph, &survivors, comm).with_memory_check(false);
+        let score_of = |p: Placement| -> Result<f64, PestoError> {
+            Ok(etf_schedule(graph, &survivors, &comm, p, &sim)
+                .map_err(IlpError::from)?
+                .report
+                .makespan_us)
+        };
+        let mut best_score = score_of(placement.clone())?;
+        let expired = || Instant::now() >= search_deadline;
+        'passes: loop {
+            let mut improved = false;
+            for &op in &region {
+                if expired() {
+                    break 'passes;
+                }
+                let current = placement.device(op);
+                let mem = graph.op(op).memory_bytes();
+                for gpu in survivors.gpus() {
+                    if gpu == current {
+                        continue;
+                    }
+                    let cap = survivors.devices()[gpu.index()].memory_bytes();
+                    if used_bytes[gpu.index()].saturating_add(mem) > cap {
+                        continue;
+                    }
+                    let mut cand = placement.clone();
+                    cand.set_device(op, gpu);
+                    let score = score_of(cand.clone())?;
+                    if score < best_score - 1e-9 {
+                        best_score = score;
+                        used_bytes[current.index()] =
+                            used_bytes[current.index()].saturating_sub(mem);
+                        used_bytes[gpu.index()] = used_bytes[gpu.index()].saturating_add(mem);
+                        placement = cand;
+                        improved = true;
+                        break;
+                    }
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+    }
+
     let repaired = {
         let sim = Simulator::new(graph, &survivors, comm).with_memory_check(false);
         etf_schedule(graph, &survivors, &comm, placement, &sim)
@@ -309,6 +409,142 @@ pub fn repair_after_outage(
         makespan_us,
         moved_ops,
     })
+}
+
+/// Outcome of a drift-triggered incremental re-placement.
+#[derive(Debug, Clone)]
+pub struct DriftReplaceOutcome {
+    /// What drifted and by how much.
+    pub report: DriftReport,
+    /// The plan to run from here on: the incrementally re-solved one if
+    /// drift was found *and* the re-solve beat the old plan under the
+    /// observed times, otherwise the old plan unchanged.
+    pub plan: Plan,
+    /// Simulated per-step time of [`DriftReplaceOutcome::plan`] under the
+    /// observed op times, µs.
+    pub makespan_us: f64,
+    /// Simulated per-step time of the *old* plan under the observed op
+    /// times, µs — the baseline the re-solve had to beat.
+    pub old_makespan_us: f64,
+    /// Whether the returned plan is the re-solved one.
+    pub replaced: bool,
+}
+
+/// Incremental re-placement after profile drift: compares the observed
+/// per-op times baked into `graph` against the profiled expectations
+/// `expected_us` and, where ops drifted past their dispersion threshold
+/// (see [`detect_drift`]), re-solves *only around them* — every op
+/// outside a drifted colocation group is pinned, and the hybrid search
+/// is warm-started from the current placement. Flagging emits a `drift`
+/// solver event on `obs` whether or not a re-solve follows.
+///
+/// The re-solved plan only wins if it actually beats the old plan under
+/// the observed times ([`DriftReplaceOutcome::replaced`]); drift
+/// handling never makes things worse.
+///
+/// `search` bounds the incremental effort (iterations, restarts,
+/// [`HybridConfig::deadline`]); pinning and warm-start fields on it are
+/// overwritten.
+///
+/// # Errors
+///
+/// * [`PestoError::InvalidConfig`] if `expected_us` is not one
+///   expectation per op of `graph`;
+/// * [`PestoError::NoGpus`] for a GPU-less cluster;
+/// * solver and simulation failures.
+#[allow(clippy::too_many_arguments)]
+pub fn replace_after_drift(
+    graph: &pesto_graph::FrozenGraph,
+    expected_us: &[f64],
+    cluster: &Cluster,
+    comm: CommModel,
+    plan: &Plan,
+    drift: &DriftConfig,
+    mut search: HybridConfig,
+    obs: &Obs,
+) -> Result<DriftReplaceOutcome, PestoError> {
+    if expected_us.len() != graph.op_count() {
+        return Err(PestoError::InvalidConfig(format!(
+            "expected_us has {} entries for a {}-op graph",
+            expected_us.len(),
+            graph.op_count()
+        )));
+    }
+    if cluster.gpu_count() == 0 {
+        return Err(PestoError::NoGpus);
+    }
+    let observed: Vec<Option<f64>> = graph
+        .op_ids()
+        .map(|id| Some(graph.op(id).compute_us()))
+        .collect();
+    let report = detect_drift(expected_us, &observed, drift);
+    if obs.is_enabled() {
+        obs.solver_event(
+            "robust.drift",
+            SolverEventKind::Drift {
+                ops_flagged: report.drifted.len() as u64,
+                max_drift_frac: report.max_drift_frac,
+                threshold_frac: report.threshold_frac,
+            },
+        );
+    }
+    let old_makespan_us = Simulator::new(graph, cluster, comm).run(plan)?.makespan_us;
+    if !report.any() {
+        return Ok(DriftReplaceOutcome {
+            report,
+            plan: plan.clone(),
+            makespan_us: old_makespan_us,
+            old_makespan_us,
+            replaced: false,
+        });
+    }
+
+    // Unfreeze exactly the drifted region: a drifted op unpins its whole
+    // colocation group (groups move as one unit in the search), every
+    // other op stays pinned to its current device.
+    let mut pinned = vec![true; graph.op_count()];
+    let mut drifted_groups: HashSet<u32> = HashSet::new();
+    for &i in &report.drifted {
+        pinned[i] = false;
+        if let Some(gid) = graph.op(OpId::from_index(i)).colocation_group() {
+            drifted_groups.insert(gid);
+        }
+    }
+    for id in graph.op_ids() {
+        if let Some(gid) = graph.op(id).colocation_group() {
+            if drifted_groups.contains(&gid) {
+                pinned[id.index()] = false;
+            }
+        }
+    }
+    search.pinned = Some(pinned);
+    search.resume_from = None;
+    search.initial_placements.insert(0, plan.placement.clone());
+    if !search.obs.is_enabled() {
+        search.obs = obs.clone();
+    }
+    let outcome = HybridSolver::new(search).solve(graph, cluster, &comm)?;
+    let new_makespan_us = Simulator::new(graph, cluster, comm)
+        .run(&outcome.plan)?
+        .makespan_us;
+
+    if new_makespan_us < old_makespan_us {
+        Ok(DriftReplaceOutcome {
+            report,
+            plan: outcome.plan,
+            makespan_us: new_makespan_us,
+            old_makespan_us,
+            replaced: true,
+        })
+    } else {
+        Ok(DriftReplaceOutcome {
+            report,
+            plan: plan.clone(),
+            makespan_us: old_makespan_us,
+            old_makespan_us,
+            replaced: false,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -417,7 +653,15 @@ mod tests {
             .op_ids()
             .filter(|&op| outcome.plan.placement.device(op) == failed)
             .collect();
-        let repair = repair_after_outage(&graph, &cluster, comm(), &outcome.plan, failed).unwrap();
+        let repair = repair_after_outage(
+            &graph,
+            &cluster,
+            comm(),
+            &outcome.plan,
+            failed,
+            Duration::ZERO,
+        )
+        .unwrap();
         assert_eq!(repair.moved_ops, stranded.len());
         assert_eq!(repair.cluster.gpu_count(), cluster.gpu_count() - 1);
         assert!(repair.makespan_us > 0.0);
@@ -435,14 +679,224 @@ mod tests {
     }
 
     #[test]
+    fn zero_draw_sweep_is_a_typed_error() {
+        let graph = ModelSpec::transformer(1, 2, 64).generate(4, 1);
+        let cluster = Cluster::two_gpus();
+        let outcome = Pesto::new(PestoConfig::fast())
+            .place(&graph, &cluster)
+            .unwrap();
+        let err = evaluate_robustness(
+            &graph,
+            &cluster,
+            comm(),
+            &outcome.plan,
+            &RobustnessConfig {
+                draws: 0,
+                ..RobustnessConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, PestoError::InvalidConfig(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn sweeping_an_all_dead_cluster_is_a_typed_error() {
+        let graph = ModelSpec::transformer(1, 2, 64).generate(4, 1);
+        let full = Cluster::homogeneous(1, 1 << 34);
+        let outcome = Pesto::new(PestoConfig::fast())
+            .place(&graph, &full)
+            .unwrap();
+        let dead = full.without_gpu(full.gpus()[0]).unwrap();
+        let err = evaluate_robustness(
+            &graph,
+            &dead,
+            comm(),
+            &outcome.plan,
+            &RobustnessConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, PestoError::NoGpus);
+    }
+
+    #[test]
+    fn reports_carry_the_schema_version() {
+        let graph = ModelSpec::transformer(1, 2, 64).generate(4, 1);
+        let cluster = Cluster::two_gpus();
+        let outcome = Pesto::new(PestoConfig::fast())
+            .place(&graph, &cluster)
+            .unwrap();
+        let report = evaluate_robustness(
+            &graph,
+            &cluster,
+            comm(),
+            &outcome.plan,
+            &RobustnessConfig {
+                draws: 2,
+                ..RobustnessConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.schema_version, ROBUSTNESS_SCHEMA_VERSION);
+    }
+
+    #[test]
+    fn budgeted_repair_never_loses_to_greedy() {
+        let graph = ModelSpec::transformer(1, 2, 64).generate(4, 1);
+        let cluster = Cluster::homogeneous(3, 1 << 34);
+        let outcome = Pesto::new(PestoConfig::fast())
+            .place(&graph, &cluster)
+            .unwrap();
+        let failed = cluster.gpus()[1];
+        let greedy = repair_after_outage(
+            &graph,
+            &cluster,
+            comm(),
+            &outcome.plan,
+            failed,
+            Duration::ZERO,
+        )
+        .unwrap();
+        let budgeted = repair_after_outage(
+            &graph,
+            &cluster,
+            comm(),
+            &outcome.plan,
+            failed,
+            Duration::from_millis(500),
+        )
+        .unwrap();
+        assert_eq!(budgeted.moved_ops, greedy.moved_ops);
+        assert!(
+            budgeted.makespan_us <= greedy.makespan_us + 1e-9,
+            "local search regressed: {} > {}",
+            budgeted.makespan_us,
+            greedy.makespan_us
+        );
+        assert!(budgeted.plan.validate(&graph, &budgeted.cluster).is_ok());
+    }
+
+    #[test]
+    fn clean_observations_leave_the_plan_alone() {
+        let graph = ModelSpec::transformer(1, 2, 64).generate(4, 1);
+        let cluster = Cluster::two_gpus();
+        let outcome = Pesto::new(PestoConfig {
+            profiler_iterations: None,
+            ..PestoConfig::fast()
+        })
+        .place(&graph, &cluster)
+        .unwrap();
+        let expected: Vec<f64> = graph.op_ids().map(|id| graph.op(id).compute_us()).collect();
+        let out = replace_after_drift(
+            &graph,
+            &expected,
+            &cluster,
+            comm(),
+            &outcome.plan,
+            &pesto_cost::DriftConfig::default(),
+            HybridConfig::quick(),
+            &Obs::disabled(),
+        )
+        .unwrap();
+        assert!(!out.report.any());
+        assert!(!out.replaced);
+        assert_eq!(out.plan.placement, outcome.plan.placement);
+        assert_eq!(out.makespan_us, out.old_makespan_us);
+    }
+
+    #[test]
+    fn drift_replacement_flags_drift_and_never_loses_to_the_stale_plan() {
+        let graph = ModelSpec::transformer(1, 2, 64).generate(4, 1);
+        let cluster = Cluster::two_gpus();
+        let outcome = Pesto::new(PestoConfig {
+            profiler_iterations: None,
+            ..PestoConfig::fast()
+        })
+        .place(&graph, &cluster)
+        .unwrap();
+        let expected: Vec<f64> = graph.op_ids().map(|id| graph.op(id).compute_us()).collect();
+
+        // Reality shifts: the three heaviest GPU ops now run 2.5x slower
+        // than their profile (contention, throttling — the profile lied).
+        let mut heavy: Vec<OpId> = graph
+            .op_ids()
+            .filter(|&id| graph.op(id).kind() == DeviceKind::Gpu)
+            .collect();
+        heavy.sort_by(|&a, &b| {
+            graph
+                .op(b)
+                .compute_us()
+                .total_cmp(&graph.op(a).compute_us())
+        });
+        let mut thawed = graph.clone().thaw();
+        for &id in heavy.iter().take(3) {
+            let t = thawed.op(id).compute_us();
+            thawed.op_mut(id).set_compute_us(t * 2.5);
+        }
+        let observed = thawed.freeze().unwrap();
+
+        let obs = Obs::enabled();
+        let out = replace_after_drift(
+            &observed,
+            &expected,
+            &cluster,
+            comm(),
+            &outcome.plan,
+            &pesto_cost::DriftConfig::default(),
+            HybridConfig::quick(),
+            &obs,
+        )
+        .unwrap();
+        assert!(out.report.any(), "2.5x on heavy ops must be flagged");
+        assert!(
+            out.makespan_us <= out.old_makespan_us + 1e-9,
+            "drift handling made things worse"
+        );
+        assert!(out.plan.validate(&observed, &cluster).is_ok());
+        assert!(
+            obs.solver_events()
+                .iter()
+                .any(|e| matches!(e.kind, SolverEventKind::Drift { .. })),
+            "drift solver event missing"
+        );
+    }
+
+    #[test]
+    fn drift_replacement_rejects_a_mismatched_expectation_vector() {
+        let graph = ModelSpec::transformer(1, 2, 64).generate(4, 1);
+        let cluster = Cluster::two_gpus();
+        let outcome = Pesto::new(PestoConfig::fast())
+            .place(&graph, &cluster)
+            .unwrap();
+        let err = replace_after_drift(
+            &graph,
+            &[1.0, 2.0],
+            &cluster,
+            comm(),
+            &outcome.plan,
+            &pesto_cost::DriftConfig::default(),
+            HybridConfig::quick(),
+            &Obs::disabled(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, PestoError::InvalidConfig(_)), "got {err:?}");
+    }
+
+    #[test]
     fn repair_with_no_survivors_is_no_gpus() {
         let graph = ModelSpec::transformer(1, 2, 64).generate(4, 1);
         let cluster = Cluster::homogeneous(1, 1 << 34);
         let outcome = Pesto::new(PestoConfig::fast())
             .place(&graph, &cluster)
             .unwrap();
-        let err = repair_after_outage(&graph, &cluster, comm(), &outcome.plan, cluster.gpus()[0])
-            .unwrap_err();
+        let err = repair_after_outage(
+            &graph,
+            &cluster,
+            comm(),
+            &outcome.plan,
+            cluster.gpus()[0],
+            Duration::ZERO,
+        )
+        .unwrap_err();
         assert_eq!(err, PestoError::NoGpus);
     }
 
@@ -453,8 +907,15 @@ mod tests {
         let outcome = Pesto::new(PestoConfig::fast())
             .place(&graph, &cluster)
             .unwrap();
-        let err = repair_after_outage(&graph, &cluster, comm(), &outcome.plan, cluster.cpu())
-            .unwrap_err();
+        let err = repair_after_outage(
+            &graph,
+            &cluster,
+            comm(),
+            &outcome.plan,
+            cluster.cpu(),
+            Duration::ZERO,
+        )
+        .unwrap_err();
         assert!(matches!(err, PestoError::Repair(_)));
     }
 }

@@ -93,8 +93,17 @@ fn outage_kills_the_plan_and_repair_revives_it() {
         "expected DeviceLost for {failed:?}, got {err}"
     );
 
-    // ...but the repaired plan runs on the survivors.
-    let repair = repair_after_outage(&graph, &cluster, comm(), &outcome.plan, failed).unwrap();
+    // ...but the repaired plan runs on the survivors. A small budget buys
+    // the bounded local search on top of the greedy re-placement.
+    let repair = repair_after_outage(
+        &graph,
+        &cluster,
+        comm(),
+        &outcome.plan,
+        failed,
+        Duration::from_millis(200),
+    )
+    .unwrap();
     assert!(repair.moved_ops > 0, "the failed device hosted ops");
     assert_eq!(repair.cluster.gpu_count(), cluster.gpu_count() - 1);
     assert!(repair.plan.validate(&graph, &repair.cluster).is_ok());
