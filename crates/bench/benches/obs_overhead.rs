@@ -33,6 +33,38 @@ fn bench_primitives(c: &mut Criterion) {
     });
 }
 
+/// The bounded event ring: recording into a saturated ring (evict +
+/// push) must stay in the same cost class as appending to a growing one,
+/// and a disabled handle must stay free. This is the memory-bound knob a
+/// long-running daemon relies on (`Obs::enabled_with_event_capacity`).
+fn bench_event_ring(c: &mut Criterion) {
+    use pesto::obs::SolverEventKind;
+    let emit = |obs: &Obs| {
+        for i in 0..1000u64 {
+            obs.solver_event(
+                "bench",
+                SolverEventKind::Incumbent {
+                    objective: i as f64,
+                },
+            );
+        }
+    };
+    let disabled = Obs::disabled();
+    c.bench_function("obs/1k events disabled", |b| {
+        b.iter(|| emit(black_box(&disabled)))
+    });
+    c.bench_function("obs/1k events unsaturated ring", |b| {
+        // Fresh sink per iteration; capacity far above the event count,
+        // so this measures plain appends.
+        b.iter(|| emit(black_box(&Obs::enabled())))
+    });
+    c.bench_function("obs/1k events saturated ring cap=256", |b| {
+        // Every push past 256 evicts the oldest event: the steady state
+        // of an always-on daemon sink.
+        b.iter(|| emit(black_box(&Obs::enabled_with_event_capacity(256))))
+    });
+}
+
 fn bench_sim_step(c: &mut Criterion) {
     let graph = ModelSpec::rnnlm(1, 64).generate_scaled(8, 1, 0.25);
     let cluster = Cluster::two_gpus();
@@ -51,5 +83,5 @@ fn bench_sim_step(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_primitives, bench_sim_step);
+criterion_group!(benches, bench_primitives, bench_event_ring, bench_sim_step);
 criterion_main!(benches);

@@ -1,0 +1,384 @@
+//! Load generator for the `pesto-serve` placement service.
+//!
+//! Spins up an in-process daemon (or targets an external one with
+//! `--addr`), drives it with a pool of client threads over real HTTP,
+//! and records sustained throughput, latency percentiles, and a full
+//! terminal-state accounting to `results/serve_load.json`.
+//!
+//! The accounting is the point: every submitted job must end in exactly
+//! one of Completed / Degraded / Failed / Cancelled, and every rejected
+//! submission must have carried a retry-after hint — zero requests
+//! dropped without a response. The process exits non-zero if that
+//! invariant breaks.
+//!
+//! ```text
+//! cargo run --release -p pesto-bench --bin loadgen -- --jobs 1000 --clients 8
+//! cargo run --release -p pesto-bench --bin loadgen -- --jobs 48 --clients 4   # CI smoke scale
+//! ```
+
+use pesto::graph::to_json;
+use pesto::models::ModelSpec;
+use pesto_bench::record_json;
+use pesto_serve::http::client_request;
+use pesto_serve::{Server, ServerConfig};
+use serde::Serialize;
+use serde_json::Value;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone)]
+struct Args {
+    jobs: usize,
+    clients: usize,
+    workers: usize,
+    queue_cap: usize,
+    iterations: usize,
+    sla_ms: Option<u64>,
+    checkpoint_every: usize,
+    addr: Option<String>,
+    record: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let get = |name: &str| -> Option<&String> {
+        argv.iter()
+            .position(|a| a == name)
+            .and_then(|i| argv.get(i + 1))
+    };
+    let parse_usize = |name: &str, default: usize| -> Result<usize, String> {
+        get(name)
+            .map(|v| v.parse().map_err(|_| format!("bad {name} value {v}")))
+            .unwrap_or(Ok(default))
+    };
+    Ok(Args {
+        jobs: parse_usize("--jobs", 1000)?,
+        clients: parse_usize("--clients", 8)?,
+        workers: parse_usize("--workers", 4)?,
+        queue_cap: parse_usize("--queue-cap", 64)?,
+        iterations: parse_usize("--iterations", 300)?,
+        sla_ms: get("--sla-ms")
+            .map(|v| v.parse().map_err(|_| format!("bad --sla-ms value {v}")))
+            .transpose()?,
+        checkpoint_every: parse_usize("--checkpoint-every", 0)?,
+        addr: get("--addr").cloned(),
+        record: get("--record")
+            .cloned()
+            .unwrap_or_else(|| "serve_load".into()),
+    })
+}
+
+/// Per-job observation a client thread records.
+#[derive(Debug, Clone, Serialize)]
+struct JobObservation {
+    state: String,
+    latency_ms: u64,
+    rejections_before_admit: u64,
+}
+
+#[derive(Debug, Default)]
+struct Tally {
+    completed: AtomicUsize,
+    degraded: AtomicUsize,
+    failed: AtomicUsize,
+    cancelled: AtomicUsize,
+    lost: AtomicUsize,
+    rejections: AtomicU64,
+}
+
+#[derive(Debug, Serialize)]
+struct LoadReport {
+    jobs: usize,
+    clients: usize,
+    server_workers: usize,
+    queue_capacity: usize,
+    iterations_per_job: usize,
+    sla_ms: Option<u64>,
+    checkpoint_every: usize,
+    wall_s: f64,
+    throughput_jobs_per_s: f64,
+    p50_ms: u64,
+    p95_ms: u64,
+    p99_ms: u64,
+    completed: usize,
+    degraded: usize,
+    failed: usize,
+    cancelled: usize,
+    lost: usize,
+    rejections_with_retry_after: u64,
+    profile_cache_hits: u64,
+    profile_cache_misses: u64,
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("loadgen error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+
+    // In-process server unless pointed at an external one. The data dir
+    // is ephemeral: the load test measures serving, not durability (the
+    // integration tests own the crash-recovery path).
+    let mut owned_server = None;
+    let addr = match &args.addr {
+        Some(a) => a.clone(),
+        None => {
+            let mut dir = std::env::temp_dir();
+            dir.push(format!("pesto-loadgen-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            let server = Server::start(ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                workers: args.workers,
+                queue_capacity: args.queue_cap,
+                data_dir: PathBuf::from(&dir),
+                ..ServerConfig::default()
+            })
+            .map_err(|e| format!("cannot start in-process server: {e}"))?;
+            let addr = server.addr().to_string();
+            owned_server = Some((server, dir));
+            addr
+        }
+    };
+
+    // A small pool of distinct models, shared across jobs so the
+    // server's profile cache sees realistic reuse.
+    let graphs: Vec<String> = [
+        ModelSpec::transformer(1, 2, 64).generate(4, 1),
+        ModelSpec::transformer(1, 2, 64).generate(4, 2),
+        ModelSpec::nasnet(2, 8).generate(16, 1),
+        ModelSpec::rnnlm(1, 32).generate(8, 1),
+    ]
+    .iter()
+    .map(to_json)
+    .collect();
+
+    println!(
+        "loadgen: {} jobs, {} clients -> {addr} ({} workers, queue cap {})",
+        args.jobs, args.clients, args.workers, args.queue_cap
+    );
+
+    let tally = Arc::new(Tally::default());
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    let observations: Arc<std::sync::Mutex<Vec<JobObservation>>> =
+        Arc::new(std::sync::Mutex::new(Vec::with_capacity(args.jobs)));
+
+    for client in 0..args.clients.max(1) {
+        let jobs = job_share(args.jobs, args.clients.max(1), client);
+        let addr = addr.clone();
+        let graphs = graphs.clone();
+        let args = args.clone();
+        let tally = Arc::clone(&tally);
+        let observations = Arc::clone(&observations);
+        handles.push(thread::spawn(move || {
+            for j in jobs {
+                let obs = drive_one_job(&addr, &graphs, &args, j, &tally);
+                observations.lock().unwrap().push(obs);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().map_err(|_| "client thread panicked".to_string())?;
+    }
+    let wall = started.elapsed();
+
+    let health = client_request(&addr, "GET", "/healthz", None, Duration::from_secs(10))
+        .ok()
+        .and_then(|r| serde_json::from_str::<Value>(&r.body).ok());
+    let health_u64 = |key: &str| -> u64 {
+        health
+            .as_ref()
+            .and_then(|h| h.get(key))
+            .and_then(Value::as_u64)
+            .unwrap_or(0)
+    };
+
+    let mut latencies: Vec<u64> = observations
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|o| o.latency_ms)
+        .collect();
+    latencies.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let idx = ((latencies.len() as f64 * p).ceil() as usize).clamp(1, latencies.len());
+        latencies[idx - 1]
+    };
+
+    let report = LoadReport {
+        jobs: args.jobs,
+        clients: args.clients,
+        server_workers: args.workers,
+        queue_capacity: args.queue_cap,
+        iterations_per_job: args.iterations,
+        sla_ms: args.sla_ms,
+        checkpoint_every: args.checkpoint_every,
+        wall_s: wall.as_secs_f64(),
+        throughput_jobs_per_s: args.jobs as f64 / wall.as_secs_f64().max(1e-9),
+        p50_ms: pct(0.50),
+        p95_ms: pct(0.95),
+        p99_ms: pct(0.99),
+        completed: tally.completed.load(Ordering::Relaxed),
+        degraded: tally.degraded.load(Ordering::Relaxed),
+        failed: tally.failed.load(Ordering::Relaxed),
+        cancelled: tally.cancelled.load(Ordering::Relaxed),
+        lost: tally.lost.load(Ordering::Relaxed),
+        rejections_with_retry_after: tally.rejections.load(Ordering::Relaxed),
+        profile_cache_hits: health_u64("profile_cache_hits"),
+        profile_cache_misses: health_u64("profile_cache_misses"),
+    };
+
+    println!(
+        "loadgen: {} jobs in {:.1}s ({:.1} jobs/s) | p50 {} ms, p95 {} ms, p99 {} ms",
+        report.jobs,
+        report.wall_s,
+        report.throughput_jobs_per_s,
+        report.p50_ms,
+        report.p95_ms,
+        report.p99_ms
+    );
+    println!(
+        "loadgen: completed {} | degraded {} | failed {} | cancelled {} | lost {} | 429s {}",
+        report.completed,
+        report.degraded,
+        report.failed,
+        report.cancelled,
+        report.lost,
+        report.rejections_with_retry_after
+    );
+    record_json(&args.record, &report);
+
+    if let Some((server, dir)) = owned_server {
+        server.stop();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    // The headline invariant: nothing dropped without a response, and
+    // nothing failed outright (the workload is well-formed; failures
+    // would mean the service lost work under load).
+    let accounted = report.completed + report.degraded + report.cancelled;
+    if report.lost > 0 || report.failed > 0 || accounted != report.jobs {
+        return Err(format!(
+            "accounting violated: {} of {} jobs accounted, {} failed, {} lost",
+            accounted, report.jobs, report.failed, report.lost
+        ));
+    }
+    Ok(())
+}
+
+/// Splits `total` jobs across `clients`, giving client `i` its slice.
+fn job_share(total: usize, clients: usize, i: usize) -> std::ops::Range<usize> {
+    let base = total / clients;
+    let extra = total % clients;
+    let start = i * base + i.min(extra);
+    let len = base + usize::from(i < extra);
+    start..start + len
+}
+
+/// Submits one job (retrying typed 429 rejections with their hint) and
+/// waits for its terminal state.
+fn drive_one_job(
+    addr: &str,
+    graphs: &[String],
+    args: &Args,
+    index: usize,
+    tally: &Tally,
+) -> JobObservation {
+    let graph = &graphs[index % graphs.len()];
+    let mut knobs = format!(
+        "\"seed\":{},\"iterations\":{},\"restarts\":1,\"checkpoint_every\":{},\"profiler_iterations\":20",
+        // Jobs sharing a graph share a seed, so the profile cache gets
+        // genuine hits; different graphs still diversify the search.
+        1000 + index % graphs.len(),
+        args.iterations,
+        args.checkpoint_every
+    );
+    if let Some(sla) = args.sla_ms {
+        knobs.push_str(&format!(",\"sla_ms\":{sla}"));
+    }
+    let body = format!("{{\"graph\":{graph},{knobs}}}");
+
+    let submitted = Instant::now();
+    let mut rejections = 0u64;
+    let id = loop {
+        match pesto_serve::submit_raw(addr, &body) {
+            Ok(resp) if resp.status == 202 => {
+                let v: Value = serde_json::from_str(&resp.body).unwrap_or(Value::Null);
+                match v.get("id").and_then(Value::as_str) {
+                    Some(id) => break id.to_string(),
+                    None => {
+                        tally.lost.fetch_add(1, Ordering::Relaxed);
+                        return JobObservation {
+                            state: "lost".into(),
+                            latency_ms: 0,
+                            rejections_before_admit: rejections,
+                        };
+                    }
+                }
+            }
+            Ok(resp) if resp.status == 429 => {
+                // A typed rejection: honor the machine-readable hint
+                // (capped so an unlucky burst cannot stall a client).
+                rejections += 1;
+                tally.rejections.fetch_add(1, Ordering::Relaxed);
+                let hint_ms = serde_json::from_str::<Value>(&resp.body)
+                    .ok()
+                    .and_then(|v| v.get("retry_after_ms").and_then(Value::as_u64))
+                    .unwrap_or(200);
+                thread::sleep(Duration::from_millis(hint_ms.clamp(10, 1000)));
+            }
+            _ => {
+                tally.lost.fetch_add(1, Ordering::Relaxed);
+                return JobObservation {
+                    state: "lost".into(),
+                    latency_ms: 0,
+                    rejections_before_admit: rejections,
+                };
+            }
+        }
+    };
+
+    match pesto_serve::wait_terminal(addr, &id, Duration::from_secs(600)) {
+        Ok(v) => {
+            let state = v
+                .get("state")
+                .and_then(Value::as_str)
+                .unwrap_or("lost")
+                .to_string();
+            match state.as_str() {
+                "completed" => tally.completed.fetch_add(1, Ordering::Relaxed),
+                "degraded" => tally.degraded.fetch_add(1, Ordering::Relaxed),
+                "failed" => tally.failed.fetch_add(1, Ordering::Relaxed),
+                "cancelled" => tally.cancelled.fetch_add(1, Ordering::Relaxed),
+                _ => tally.lost.fetch_add(1, Ordering::Relaxed),
+            };
+            JobObservation {
+                state,
+                latency_ms: submitted.elapsed().as_millis() as u64,
+                rejections_before_admit: rejections,
+            }
+        }
+        Err(_) => {
+            tally.lost.fetch_add(1, Ordering::Relaxed);
+            JobObservation {
+                state: "lost".into(),
+                latency_ms: submitted.elapsed().as_millis() as u64,
+                rejections_before_admit: rejections,
+            }
+        }
+    }
+}

@@ -24,6 +24,9 @@ pub enum IlpError {
     /// Simulation of a candidate plan failed (e.g. OOM under strict memory
     /// checking in the hybrid evaluator).
     Sim(SimError),
+    /// The caller's cancellation token was raised; the solve was abandoned
+    /// without producing a plan (no further checkpoints were written).
+    Cancelled,
 }
 
 impl fmt::Display for IlpError {
@@ -34,6 +37,7 @@ impl fmt::Display for IlpError {
             IlpError::NoSolution => write!(f, "no feasible plan found within solver limits"),
             IlpError::Graph(e) => write!(f, "graph error: {e}"),
             IlpError::Sim(e) => write!(f, "simulation error: {e}"),
+            IlpError::Cancelled => write!(f, "placement solve cancelled"),
         }
     }
 }
@@ -65,6 +69,7 @@ impl From<MilpError> for IlpError {
         match e {
             MilpError::Infeasible => IlpError::Infeasible,
             MilpError::NoSolutionFound => IlpError::NoSolution,
+            MilpError::Cancelled => IlpError::Cancelled,
             other => IlpError::Unsupported(other.to_string()),
         }
     }
@@ -82,6 +87,8 @@ mod tests {
         assert_eq!(e, IlpError::Infeasible);
         let e: IlpError = MilpError::NoSolutionFound.into();
         assert_eq!(e, IlpError::NoSolution);
+        let e: IlpError = MilpError::Cancelled.into();
+        assert_eq!(e, IlpError::Cancelled);
         assert!(Error::source(&IlpError::Graph(GraphError::Empty)).is_some());
         assert!(Error::source(&IlpError::Infeasible).is_none());
     }

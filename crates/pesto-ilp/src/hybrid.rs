@@ -29,7 +29,7 @@ use crate::rng::SearchRng;
 use parking_lot::Mutex;
 use pesto_cost::CommModel;
 use pesto_graph::{Cluster, DeviceKind, FrozenGraph, OpId, Placement, Plan};
-use pesto_obs::{Obs, SolverEventKind};
+use pesto_obs::{CancelToken, Obs, SolverEventKind};
 use pesto_sim::Simulator;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -132,6 +132,12 @@ pub struct HybridConfig {
     /// search still produces a valid plan (the best seen so far);
     /// [`HybridOutcome::deadline_hit`] records the truncation.
     pub deadline: Option<Instant>,
+    /// Cooperative cancellation, polled between annealing iterations
+    /// alongside the deadline. Unlike a deadline (which keeps the
+    /// incumbent), a raised token abandons the whole solve with
+    /// [`IlpError::Cancelled`]: no result, and no further snapshots are
+    /// saved or published after the flag is observed.
+    pub cancel: Option<CancelToken>,
     /// Snapshot cadence for crash safety: every restart saves its state
     /// (and the [`HybridConfig::checkpoint_sink`] fires) whenever its
     /// iteration counter is a positive multiple of this. `0` disables the
@@ -167,6 +173,7 @@ impl Default for HybridConfig {
             initial_placements: Vec::new(),
             infinite_links: false,
             deadline: None,
+            cancel: None,
             checkpoint_every: 0,
             checkpoint_sink: None,
             resume_from: None,
@@ -269,6 +276,16 @@ impl HybridSolver {
         cluster: &Cluster,
         comm: &CommModel,
     ) -> Result<HybridOutcome, IlpError> {
+        // Fast path: a job cancelled before the search starts does no work
+        // (and writes no initial snapshots).
+        if self
+            .config
+            .cancel
+            .as_ref()
+            .is_some_and(|c| c.is_cancelled())
+        {
+            return Err(IlpError::Cancelled);
+        }
         // Move units: colocation groups move as a whole (paper §3.2.2:
         // colocated ops share one placement variable); ungrouped GPU ops
         // are singleton units.
@@ -406,6 +423,16 @@ impl HybridSolver {
                 .collect()
         })
         .expect("annealing scope panicked");
+
+        // Cancellation wins over any chains that happened to finish: the
+        // caller abandoned the job, so no terminal snapshot is published
+        // and no plan is returned.
+        if results
+            .iter()
+            .any(|r| matches!(r, Err(IlpError::Cancelled)))
+        {
+            return Err(IlpError::Cancelled);
+        }
 
         let mut best: Option<(Plan, f64)> = None;
         let mut last_err = None;
@@ -638,6 +665,11 @@ fn anneal_once(task: AnnealTask<'_>) -> Result<(Plan, f64, bool), IlpError> {
             save(&rng, it, temp, &placement, &best, false, false);
             publish();
         }
+        // Cooperative cancellation: abandon the chain *without* saving or
+        // publishing — a cancelled job must not grow new checkpoint state.
+        if config.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+            return Err(IlpError::Cancelled);
+        }
         // Cooperative deadline: keep the incumbent, stop searching — but
         // first persist the boundary state so a resume can continue.
         if config.deadline.is_some_and(|d| Instant::now() >= d) {
@@ -729,9 +761,67 @@ fn anneal_once(task: AnnealTask<'_>) -> Result<(Plan, f64, bool), IlpError> {
 mod tests {
     use super::*;
     use pesto_graph::OpGraph;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn comm() -> CommModel {
         CommModel::default_v100()
+    }
+
+    #[test]
+    fn pre_cancelled_solve_is_a_typed_error() {
+        let mut g = OpGraph::new("pre-cancel");
+        for i in 0..8 {
+            g.add_op(format!("op{i}"), DeviceKind::Gpu, 100.0, 16);
+        }
+        let g = g.freeze().unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let cfg = HybridConfig {
+            cancel: Some(token),
+            ..HybridConfig::quick()
+        };
+        let err = HybridSolver::new(cfg)
+            .solve(&g, &Cluster::two_gpus(), &comm())
+            .unwrap_err();
+        assert_eq!(err, IlpError::Cancelled);
+    }
+
+    #[test]
+    fn cancel_mid_search_stops_within_one_cadence_and_stops_publishing() {
+        let mut g = OpGraph::new("mid-cancel");
+        for i in 0..16 {
+            g.add_op(format!("op{i}"), DeviceKind::Gpu, 50.0, 16);
+        }
+        let g = g.freeze().unwrap();
+        // The sink raises the token on its first snapshot: a deterministic
+        // mid-search cancellation. Each chain then has at most one cadence
+        // window left before it observes the flag, so the publish count
+        // stays far below an uninterrupted run's ~200 cadence firings.
+        let fires = Arc::new(AtomicUsize::new(0));
+        let token = CancelToken::new();
+        let sink_fires = Arc::clone(&fires);
+        let sink_token = token.clone();
+        let cfg = HybridConfig {
+            iterations: 5000,
+            restarts: 2,
+            checkpoint_every: 25,
+            checkpoint_sink: Some(CheckpointSink::new(move |_| {
+                sink_fires.fetch_add(1, Ordering::SeqCst);
+                sink_token.cancel();
+            })),
+            cancel: Some(token),
+            ..HybridConfig::default()
+        };
+        let err = HybridSolver::new(cfg)
+            .solve(&g, &Cluster::two_gpus(), &comm())
+            .unwrap_err();
+        assert_eq!(err, IlpError::Cancelled);
+        let fired = fires.load(Ordering::SeqCst);
+        assert!(fired >= 1, "the sink fired at least once to cancel");
+        assert!(
+            fired <= 8,
+            "publishing must stop once the token is observed, got {fired}"
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@ use crate::hybrid::{HybridConfig, HybridSearchState, HybridSolver};
 use pesto_cost::CommModel;
 use pesto_graph::{Cluster, FrozenGraph, Plan};
 use pesto_milp::MilpCheckpoint;
-use pesto_obs::Obs;
+use pesto_obs::{CancelToken, Obs};
 use pesto_sim::Simulator;
 use std::time::{Duration, Instant};
 
@@ -44,6 +44,11 @@ pub struct PlacerConfig {
     /// whatever time remains; an exact solve is skipped entirely when less
     /// than ~50 ms remain.
     pub deadline: Option<Instant>,
+    /// Cooperative cancellation, propagated to the hybrid and MILP
+    /// sub-solvers (unless those configs carry their own token). A raised
+    /// token makes [`PestoPlacer::place`] return [`IlpError::Cancelled`]
+    /// instead of a plan.
+    pub cancel: Option<CancelToken>,
     /// Telemetry sink, propagated to the hybrid and MILP sub-solvers
     /// (unless those configs carry their own enabled handle).
     pub obs: Obs,
@@ -56,6 +61,7 @@ impl Default for PlacerConfig {
             ilp: IlpConfig::default(),
             hybrid: HybridConfig::default(),
             deadline: None,
+            cancel: None,
             obs: Obs::disabled(),
         }
     }
@@ -152,6 +158,7 @@ impl PestoPlacer {
                 resume_from: self.config.hybrid.resume_from.clone(),
                 pinned: self.config.hybrid.pinned.clone(),
                 initial_placements: self.config.hybrid.initial_placements.clone(),
+                cancel: self.config.hybrid.cancel.clone(),
                 ..HybridConfig::quick()
             }
         } else {
@@ -159,6 +166,9 @@ impl PestoPlacer {
         };
         if hybrid_cfg.deadline.is_none() {
             hybrid_cfg.deadline = self.config.deadline;
+        }
+        if hybrid_cfg.cancel.is_none() {
+            hybrid_cfg.cancel = self.config.cancel.clone();
         }
         if !hybrid_cfg.obs.is_enabled() {
             hybrid_cfg.obs = obs.clone();
@@ -201,27 +211,36 @@ impl PestoPlacer {
             if !milp_cfg.obs.is_enabled() {
                 milp_cfg.obs = obs.clone();
             }
+            if milp_cfg.cancel.is_none() {
+                milp_cfg.cancel = self.config.cancel.clone();
+            }
             if let Some(d) = self.config.deadline {
                 milp_cfg.time_limit = milp_cfg.time_limit.min(remaining(d));
             }
             // On infeasibility (e.g. the balance rule admits no split) or
             // solver limits, keep the hybrid plan; the final memory verdict
-            // below reports the honest failure cause if any.
-            if let Ok(outcome) = model.solve(&milp_cfg) {
-                let sim = Simulator::new(graph, cluster, self.comm).with_memory_check(false);
-                let simulated = sim.run(&outcome.plan)?.makespan_us;
-                cmax_model = Some(outcome.cmax_us);
-                milp_checkpoint = Some(outcome.milp_checkpoint.clone());
-                proven = outcome.proven_optimal;
-                deadline_hit |= !outcome.proven_optimal
-                    && self.config.deadline.is_some_and(|d| remaining(d).is_zero());
-                // Keep whichever plan actually simulates faster (the
-                // model's free transfer ordering can differ from FCFS).
-                if simulated <= best_makespan {
-                    best_plan = outcome.plan;
-                    best_makespan = simulated;
+            // below reports the honest failure cause if any. Cancellation
+            // is different: the caller abandoned the job, so the hybrid
+            // incumbent is not returned either.
+            match model.solve(&milp_cfg) {
+                Ok(outcome) => {
+                    let sim = Simulator::new(graph, cluster, self.comm).with_memory_check(false);
+                    let simulated = sim.run(&outcome.plan)?.makespan_us;
+                    cmax_model = Some(outcome.cmax_us);
+                    milp_checkpoint = Some(outcome.milp_checkpoint.clone());
+                    proven = outcome.proven_optimal;
+                    deadline_hit |= !outcome.proven_optimal
+                        && self.config.deadline.is_some_and(|d| remaining(d).is_zero());
+                    // Keep whichever plan actually simulates faster (the
+                    // model's free transfer ordering can differ from FCFS).
+                    if simulated <= best_makespan {
+                        best_plan = outcome.plan;
+                        best_makespan = simulated;
+                    }
+                    path = SolvePath::Exact;
                 }
-                path = SolvePath::Exact;
+                Err(IlpError::Cancelled) => return Err(IlpError::Cancelled),
+                Err(_) => {}
             }
         }
 

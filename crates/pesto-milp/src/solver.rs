@@ -1,7 +1,7 @@
 //! Best-first branch-and-bound for 0-1 MILPs.
 
 use pesto_lp::{LpError, Problem, Sense, VarId};
-use pesto_obs::{Obs, SolverEventKind};
+use pesto_obs::{CancelToken, Obs, SolverEventKind};
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -25,6 +25,9 @@ pub enum MilpError {
     InvalidModel(String),
     /// Search ended (time/node limit) without any feasible solution found.
     NoSolutionFound,
+    /// The caller's [`CancelToken`] was raised; the search was abandoned
+    /// without a result.
+    Cancelled,
 }
 
 impl fmt::Display for MilpError {
@@ -39,6 +42,7 @@ impl fmt::Display for MilpError {
                     "search limit reached before any feasible solution was found"
                 )
             }
+            MilpError::Cancelled => write!(f, "search cancelled"),
         }
     }
 }
@@ -68,6 +72,11 @@ pub struct MilpConfig {
     /// A known feasible assignment (all variables) used as the initial
     /// incumbent for pruning.
     pub warm_start: Option<Vec<f64>>,
+    /// Cooperative cancellation, polled between branch-and-bound nodes
+    /// alongside the time/node limits. Unlike a limit (which stops the
+    /// proof but keeps the incumbent), a raised token abandons the search
+    /// with [`MilpError::Cancelled`].
+    pub cancel: Option<CancelToken>,
     /// Telemetry sink. The default (disabled) handle keeps the per-node
     /// hot path free of recording; an enabled handle receives a
     /// `milp.solve` span, node/prune/pivot counters, and incumbent/gap
@@ -82,6 +91,7 @@ impl Default for MilpConfig {
             node_limit: 200_000,
             gap_tolerance: 1e-6,
             warm_start: None,
+            cancel: None,
             obs: Obs::disabled(),
         }
     }
@@ -319,6 +329,9 @@ impl MilpProblem {
         'outer: while let Some(OrderedNode { node, .. }) = heap.pop() {
             let mut current = Some(node);
             while let Some(node) = current.take() {
+                if config.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+                    return Err(MilpError::Cancelled);
+                }
                 if nodes_explored >= config.node_limit || start.elapsed() > config.time_limit {
                     limits_hit = true;
                     break 'outer;

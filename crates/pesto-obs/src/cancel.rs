@@ -1,0 +1,86 @@
+//! Cooperative cancellation for long-running solves.
+//!
+//! A [`CancelToken`] is a cheaply cloneable flag shared between a
+//! controller (a CLI signal handler, the `pesto-serve` job manager) and
+//! the solver threads doing the work. Solvers poll it at the same
+//! cooperative boundaries where they poll their wall-clock deadlines —
+//! between annealing iterations, between branch-and-bound nodes, between
+//! pipeline stages — and bail out with a typed `Cancelled` error.
+//!
+//! Unlike a deadline (which truncates the search but still returns the
+//! best incumbent), cancellation means the caller no longer wants *any*
+//! result: the solve returns an error, no further checkpoint snapshots
+//! are written, and nothing is published to the checkpoint sink after
+//! the flag is observed.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cooperative cancellation flag.
+///
+/// Clones observe the same flag; [`CancelToken::cancel`] is idempotent
+/// and cannot be undone. The default token is not cancelled.
+///
+/// ```
+/// use pesto_obs::CancelToken;
+///
+/// let token = CancelToken::new();
+/// let solver_side = token.clone();
+/// assert!(!solver_side.is_cancelled());
+/// token.cancel();
+/// assert!(solver_side.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, not-yet-cancelled token.
+    pub fn new() -> Self {
+        CancelToken(Arc::new(AtomicBool::new(false)))
+    }
+
+    /// Raises the flag. Every clone of this token observes it; there is
+    /// no way to lower it again.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether [`CancelToken::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled());
+        assert!(!b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled());
+        assert!(b.is_cancelled());
+    }
+
+    #[test]
+    fn default_is_not_cancelled() {
+        assert!(!CancelToken::default().is_cancelled());
+    }
+
+    #[test]
+    fn cancel_is_idempotent_and_visible_across_threads() {
+        let token = CancelToken::new();
+        let remote = token.clone();
+        std::thread::spawn(move || {
+            remote.cancel();
+            remote.cancel();
+        })
+        .join()
+        .unwrap();
+        assert!(token.is_cancelled());
+    }
+}

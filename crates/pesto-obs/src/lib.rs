@@ -60,16 +60,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cancel;
 mod events;
 mod export;
 mod metrics;
 mod span;
 
+pub use cancel::CancelToken;
 pub use events::{SolverEvent, SolverEventKind};
 pub use export::{HistogramStats, MetricsSnapshot, SpanTotal};
 pub use metrics::Registry;
 pub use span::{SpanGuard, SpanRecord};
 
+use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -87,12 +90,64 @@ pub(crate) fn current_lane() -> u64 {
     LANE.with(|l| *l)
 }
 
+/// Default cap on retained solver-progress events
+/// ([`Obs::enabled_with_event_capacity`] overrides it). Sized so a day of
+/// sampled solver telemetry fits, while bounding a long-running daemon's
+/// memory: each event is ~100 bytes, so the default ring tops out around
+/// 6 MB per enabled handle.
+pub const DEFAULT_EVENT_CAPACITY: usize = 65_536;
+
+/// Bounded solver-event stream: a ring that evicts the oldest events once
+/// `capacity` is reached, tracking how many were evicted so exporters and
+/// incremental readers can report the loss instead of hiding it.
+pub(crate) struct EventRing {
+    buf: VecDeque<SolverEvent>,
+    capacity: usize,
+    /// Events evicted so far; also the sequence number of `buf[0]`.
+    evicted: u64,
+}
+
+impl EventRing {
+    fn new(capacity: usize) -> Self {
+        EventRing {
+            // A zero capacity would make every push an immediate silent
+            // drop; retain at least one event so the stream stays usable.
+            buf: VecDeque::new(),
+            capacity: capacity.max(1),
+            evicted: 0,
+        }
+    }
+
+    fn push(&mut self, event: SolverEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.evicted += 1;
+        }
+        self.buf.push_back(event);
+    }
+
+    fn snapshot(&self) -> Vec<SolverEvent> {
+        self.buf.iter().cloned().collect()
+    }
+
+    /// Events with sequence number `>= seq`, plus the next sequence
+    /// number to poll from. Sequence numbers count every event ever
+    /// pushed, so a reader that falls behind the ring simply resumes at
+    /// the oldest retained event (the gap shows up in
+    /// [`Obs::dropped_events`]).
+    fn since(&self, seq: u64) -> (u64, Vec<SolverEvent>) {
+        let next = self.evicted + self.buf.len() as u64;
+        let skip = seq.saturating_sub(self.evicted).min(self.buf.len() as u64) as usize;
+        (next, self.buf.iter().skip(skip).cloned().collect())
+    }
+}
+
 /// Shared storage behind an enabled [`Obs`] handle.
 pub(crate) struct Inner {
     pub(crate) epoch: Instant,
     pub(crate) spans: Mutex<Vec<SpanRecord>>,
     pub(crate) registry: Mutex<Registry>,
-    pub(crate) events: Mutex<Vec<SolverEvent>>,
+    pub(crate) events: Mutex<EventRing>,
 }
 
 /// A cheap, clonable observability handle.
@@ -118,14 +173,26 @@ impl fmt::Debug for Obs {
 
 impl Obs {
     /// An enabled handle with fresh storage; its epoch (t=0 of every
-    /// exported timestamp) is the moment of this call.
+    /// exported timestamp) is the moment of this call. The solver-event
+    /// stream is bounded at [`DEFAULT_EVENT_CAPACITY`]; long-running
+    /// daemons can size it explicitly with
+    /// [`Obs::enabled_with_event_capacity`].
     pub fn enabled() -> Obs {
+        Obs::enabled_with_event_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// An enabled handle whose solver-event ring retains at most
+    /// `capacity` events (at least 1). Once full, the oldest events are
+    /// evicted — [`Obs::dropped_events`] counts the loss — so an
+    /// always-on handle in a daemon cannot grow without bound. Spans and
+    /// metrics are aggregates and stay as-is.
+    pub fn enabled_with_event_capacity(capacity: usize) -> Obs {
         Obs {
             inner: Some(Arc::new(Inner {
                 epoch: Instant::now(),
                 spans: Mutex::new(Vec::new()),
                 registry: Mutex::new(Registry::default()),
-                events: Mutex::new(Vec::new()),
+                events: Mutex::new(EventRing::new(capacity)),
             })),
         }
     }
@@ -192,11 +259,34 @@ impl Obs {
         }
     }
 
-    /// Snapshot of the solver-progress event stream so far.
+    /// Snapshot of the retained solver-progress event stream (the ring
+    /// may have evicted older events; see [`Obs::dropped_events`]).
     pub fn solver_events(&self) -> Vec<SolverEvent> {
         self.inner
             .as_ref()
-            .map_or_else(Vec::new, |i| i.events.lock().unwrap().clone())
+            .map_or_else(Vec::new, |i| i.events.lock().unwrap().snapshot())
+    }
+
+    /// Incremental read for pollers (e.g. a job-status endpoint
+    /// streaming solver progress): returns the events with sequence
+    /// number `>= seq` plus the next sequence number to poll from.
+    /// Sequence numbers count every event ever recorded on this handle,
+    /// so `solver_events_since(0)` on a fresh handle returns everything,
+    /// and a reader that falls behind the ring resumes at the oldest
+    /// retained event. Disabled handles return `(0, [])`.
+    pub fn solver_events_since(&self, seq: u64) -> (u64, Vec<SolverEvent>) {
+        self.inner
+            .as_ref()
+            .map_or_else(|| (0, Vec::new()), |i| i.events.lock().unwrap().since(seq))
+    }
+
+    /// How many solver events the bounded ring has evicted so far (0 when
+    /// disabled). Non-zero means [`Obs::solver_events`] is a suffix of
+    /// the true stream.
+    pub fn dropped_events(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.events.lock().unwrap().evicted)
     }
 
     /// Snapshot of all recorded spans so far.
@@ -315,6 +405,87 @@ mod tests {
         assert_eq!(events.len(), 2);
         assert!(events[0].t_us <= events[1].t_us);
         assert_eq!(events[0].source, "milp");
+    }
+
+    #[test]
+    fn event_ring_evicts_oldest_and_counts_drops() {
+        let obs = Obs::enabled_with_event_capacity(3);
+        for i in 0..5 {
+            obs.solver_event(
+                "hybrid",
+                SolverEventKind::Incumbent {
+                    objective: i as f64,
+                },
+            );
+        }
+        let events = obs.solver_events();
+        assert_eq!(events.len(), 3, "ring retains only the newest 3");
+        assert_eq!(obs.dropped_events(), 2);
+        // The retained suffix is the newest events, in order.
+        let objectives: Vec<f64> = events
+            .iter()
+            .map(|e| match e.kind {
+                SolverEventKind::Incumbent { objective } => objective,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(objectives, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn incremental_reads_resume_where_they_left_off() {
+        let obs = Obs::enabled_with_event_capacity(4);
+        obs.solver_event("s", SolverEventKind::Incumbent { objective: 0.0 });
+        obs.solver_event("s", SolverEventKind::Incumbent { objective: 1.0 });
+        let (next, batch) = obs.solver_events_since(0);
+        assert_eq!(next, 2);
+        assert_eq!(batch.len(), 2);
+        // No new events: empty batch, same cursor.
+        let (next2, batch2) = obs.solver_events_since(next);
+        assert_eq!(next2, 2);
+        assert!(batch2.is_empty());
+        obs.solver_event("s", SolverEventKind::Incumbent { objective: 2.0 });
+        let (next3, batch3) = obs.solver_events_since(next2);
+        assert_eq!(next3, 3);
+        assert_eq!(batch3.len(), 1);
+    }
+
+    #[test]
+    fn a_lagging_reader_resumes_at_the_oldest_retained_event() {
+        let obs = Obs::enabled_with_event_capacity(2);
+        for i in 0..6 {
+            obs.solver_event(
+                "s",
+                SolverEventKind::Incumbent {
+                    objective: i as f64,
+                },
+            );
+        }
+        // Reader last saw seq 1, but events 0..=3 were evicted.
+        let (next, batch) = obs.solver_events_since(1);
+        assert_eq!(next, 6);
+        assert_eq!(batch.len(), 2, "only the retained suffix is available");
+        assert_eq!(obs.dropped_events(), 4);
+        // A cursor ahead of the stream returns nothing (and stays put).
+        let (next_ahead, empty) = obs.solver_events_since(100);
+        assert_eq!(next_ahead, 6);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let obs = Obs::enabled_with_event_capacity(0);
+        obs.solver_event("s", SolverEventKind::Incumbent { objective: 1.0 });
+        obs.solver_event("s", SolverEventKind::Incumbent { objective: 2.0 });
+        assert_eq!(obs.solver_events().len(), 1);
+        assert_eq!(obs.dropped_events(), 1);
+    }
+
+    #[test]
+    fn disabled_handle_event_ring_costs_nothing() {
+        let obs = Obs::disabled();
+        assert_eq!(obs.solver_events_since(0), (0, Vec::new()));
+        assert_eq!(obs.dropped_events(), 0);
     }
 
     #[test]

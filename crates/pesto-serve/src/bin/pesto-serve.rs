@@ -1,0 +1,85 @@
+//! The `pesto-serve` daemon: binds the placement service and runs until
+//! killed. All state worth keeping lives in `--data-dir`, so `kill -9`
+//! followed by a restart is a supported (and tested) operation.
+
+use pesto_serve::{Server, ServerConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn usage() -> &'static str {
+    "pesto-serve: placement-as-a-service daemon\n\
+     \n\
+     USAGE:\n\
+     \x20   pesto-serve [--addr HOST:PORT] [--data-dir DIR] [--workers N]\n\
+     \x20               [--queue-cap N] [--gpus N] [--keep-generations N]\n\
+     \n\
+     OPTIONS:\n\
+     \x20   --addr HOST:PORT       bind address (default 127.0.0.1:7437; port 0 = ephemeral)\n\
+     \x20   --data-dir DIR         durable job state root (default pesto-serve-data)\n\
+     \x20   --workers N            concurrent placement workers (default 4)\n\
+     \x20   --queue-cap N          admission queue bound (default 256)\n\
+     \x20   --gpus N               GPUs in the placement cluster (default 2)\n\
+     \x20   --keep-generations N   checkpoint generations kept per job (default 2)\n\
+     \n\
+     The bound address is printed on stdout and written to\n\
+     <data-dir>/serve.addr for supervisors that start with port 0.\n"
+}
+
+fn flag_value(args: &[String], name: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == name) {
+        Some(i) => args
+            .get(i + 1)
+            .cloned()
+            .map(Some)
+            .ok_or_else(|| format!("{name} needs a value")),
+        None => Ok(None),
+    }
+}
+
+fn parse<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match flag_value(args, name)? {
+        Some(v) => v.parse().map_err(|_| format!("bad {name} value {v}")),
+        None => Ok(default),
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{}", usage());
+        return Ok(());
+    }
+    let defaults = ServerConfig::default();
+    let config = ServerConfig {
+        addr: flag_value(args, "--addr")?.unwrap_or_else(|| "127.0.0.1:7437".to_string()),
+        data_dir: flag_value(args, "--data-dir")?
+            .map(PathBuf::from)
+            .unwrap_or(defaults.data_dir),
+        workers: parse(args, "--workers", defaults.workers)?,
+        queue_capacity: parse(args, "--queue-cap", defaults.queue_capacity)?,
+        gpus: parse(args, "--gpus", defaults.gpus)?,
+        keep_generations: parse(args, "--keep-generations", defaults.keep_generations)?,
+        ..defaults
+    };
+    let server = Server::start(config).map_err(|e| format!("cannot start server: {e}"))?;
+    println!("pesto-serve listening on {}", server.addr());
+    // The daemon runs until killed; the acceptor and workers own all the
+    // work. Park the main thread instead of joining so a SIGKILL test
+    // sees a single process to kill.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprint!("{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,1050 @@
+//! The placement service: admission control, a bounded worker pool,
+//! durable job state, cooperative cancellation, retry with backoff, and
+//! crash recovery.
+//!
+//! ## Durability layout
+//!
+//! Every admitted job owns a directory under the data dir:
+//!
+//! ```text
+//! <data_dir>/<job_id>/spec.json          job spec, written at admission
+//! <data_dir>/<job_id>/search.gen-<A>.json  checkpoint of attempt A
+//! <data_dir>/<job_id>/result.json        terminal record, written once
+//! ```
+//!
+//! `spec.json` without `result.json` means the job was in flight when
+//! the daemon died: startup re-enqueues it, and attempt `A` (recovered
+//! from the newest checkpoint generation) resumes from its own
+//! checkpoint bit-identically. Checkpoint generations are pruned on
+//! startup and after every terminal write ([`pesto::prune`]), so a
+//! long-lived data dir cannot accumulate superseded state or orphaned
+//! `*.tmp` files.
+
+use crate::http::{client_request, read_request, ClientResponse, Request, RequestError, Response};
+use crate::job::{JobSpec, JobState, TerminalRecord};
+use pesto::cost::Profiler;
+use pesto::graph::{Cluster, FrozenGraph};
+use pesto::obs::{Obs, SolverEvent, SolverEventKind};
+use pesto::{
+    generation_path, graph_fingerprint, latest_generation, load_checkpoint, prune, CancelToken,
+    CheckpointConfig, Pesto, PestoConfig, PestoError,
+};
+use serde_json::Value;
+use std::collections::{HashMap, VecDeque};
+use std::fs;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port `0` picks an ephemeral port (tests).
+    pub addr: String,
+    /// Placement worker threads (concurrent jobs).
+    pub workers: usize,
+    /// Admission bound: jobs allowed to *wait*. Submissions beyond it
+    /// are rejected with `429` and a retry-after hint.
+    pub queue_capacity: usize,
+    /// Root of the durable per-job state.
+    pub data_dir: PathBuf,
+    /// Checkpoint generations kept per job after a terminal write.
+    pub keep_generations: usize,
+    /// GPUs of the service's placement cluster.
+    pub gpus: usize,
+    /// GPU memory, bytes, for the placement cluster.
+    pub gpu_memory_bytes: u64,
+    /// Per-job telemetry ring capacity ([`Obs::enabled_with_event_capacity`]).
+    pub event_capacity: usize,
+    /// First retry backoff; attempt `k` waits `base * 2^k` plus jitter.
+    pub retry_base: Duration,
+    /// Upper bound on a single backoff wait.
+    pub retry_cap: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_capacity: 256,
+            data_dir: PathBuf::from("pesto-serve-data"),
+            keep_generations: 2,
+            gpus: 2,
+            gpu_memory_bytes: 16 * 1024 * 1024 * 1024,
+            event_capacity: 4096,
+            retry_base: Duration::from_millis(100),
+            retry_cap: Duration::from_secs(5),
+        }
+    }
+}
+
+/// In-memory view of one admitted job.
+struct JobEntry {
+    spec: JobSpec,
+    state: JobState,
+    attempts: u32,
+    resumed: bool,
+    degradation: Option<String>,
+    makespan_us: Option<f64>,
+    error: Option<String>,
+    retryable: bool,
+    submitted: Instant,
+    duration_ms: Option<u64>,
+    cancel: CancelToken,
+    obs: Obs,
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    degraded: AtomicU64,
+    failed: AtomicU64,
+    cancelled: AtomicU64,
+    retries: AtomicU64,
+    recovered: AtomicU64,
+    profile_cache_hits: AtomicU64,
+    profile_cache_misses: AtomicU64,
+    /// EWMA of terminal job duration, milliseconds (drives retry-after).
+    avg_job_ms: AtomicU64,
+}
+
+struct ServerState {
+    config: ServerConfig,
+    cluster: Cluster,
+    jobs: Mutex<HashMap<String, JobEntry>>,
+    queue: Mutex<VecDeque<String>>,
+    queue_cv: Condvar,
+    shutdown: AtomicBool,
+    next_id: AtomicU64,
+    counters: Counters,
+    /// `(graph fingerprint, seed, iterations)` → profiled graph, shared
+    /// across jobs so concurrent submissions of the same model profile
+    /// once.
+    profile_cache: Mutex<HashMap<(u64, u64, usize), Arc<FrozenGraph>>>,
+}
+
+/// A running service instance. Dropping it does *not* stop the daemon;
+/// call [`Server::stop`] for an orderly shutdown (tests) or just
+/// SIGKILL the process (the crash-recovery path owns that case).
+pub struct Server {
+    state: Arc<ServerState>,
+    addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts the service: recovers durable jobs from `data_dir`, spawns
+    /// the worker pool, binds the listener, and begins accepting.
+    pub fn start(config: ServerConfig) -> io::Result<Server> {
+        fs::create_dir_all(&config.data_dir)?;
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let cluster = Cluster::homogeneous(config.gpus.max(1), config.gpu_memory_bytes);
+        let state = Arc::new(ServerState {
+            cluster,
+            jobs: Mutex::new(HashMap::new()),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            next_id: AtomicU64::new(1),
+            counters: Counters::default(),
+            profile_cache: Mutex::new(HashMap::new()),
+            config,
+        });
+
+        recover_jobs(&state)?;
+
+        // The bound address is written into the data dir so an external
+        // supervisor (or the kill/restart integration test) can find a
+        // daemon started with port 0.
+        fs::write(state.config.data_dir.join("serve.addr"), addr.to_string())?;
+
+        let workers = (0..state.config.workers.max(1))
+            .map(|i| {
+                let state = Arc::clone(&state);
+                thread::Builder::new()
+                    .name(format!("pesto-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&state))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let accept_state = Arc::clone(&state);
+        let accept_thread = thread::Builder::new()
+            .name("pesto-serve-accept".to_string())
+            .spawn(move || accept_loop(listener, &accept_state))
+            .expect("spawn acceptor");
+
+        Ok(Server {
+            state,
+            addr,
+            accept_thread: Some(accept_thread),
+            workers,
+        })
+    }
+
+    /// The bound address (useful with port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Orderly shutdown: stop accepting, let workers finish their
+    /// current job, leave still-queued jobs durable on disk (they
+    /// recover on the next start, exactly like a crash).
+    pub fn stop(mut self) {
+        self.state.shutdown.store(true, Ordering::Release);
+        self.state.queue_cv.notify_all();
+        // Unblock the acceptor with one throwaway connection.
+        let _ = client_request(
+            &self.addr.to_string(),
+            "GET",
+            "/healthz",
+            None,
+            Duration::from_millis(500),
+        );
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Recovery
+
+/// Scans the data dir: prunes stale checkpoint state, re-registers every
+/// job with a durable spec, re-enqueues the unfinished ones. A finished
+/// job (`result.json` present) is loaded read-only so `GET /jobs/:id`
+/// keeps answering across restarts.
+fn recover_jobs(state: &Arc<ServerState>) -> io::Result<()> {
+    let mut recovered = Vec::new();
+    for entry in fs::read_dir(&state.config.data_dir)? {
+        let entry = entry?;
+        if !entry.file_type()?.is_dir() {
+            continue;
+        }
+        let dir = entry.path();
+        // Startup GC: superseded generations and orphaned *.tmp files
+        // from a crash mid-rename.
+        let _ = prune(&dir, state.config.keep_generations);
+        let spec_path = dir.join("spec.json");
+        let Ok(spec_text) = fs::read_to_string(&spec_path) else {
+            continue;
+        };
+        let Ok(spec) = serde_json::from_str::<JobSpec>(&spec_text) else {
+            continue;
+        };
+        let id = entry.file_name().to_string_lossy().into_owned();
+        if let Some(n) = id.strip_prefix("job-").and_then(|n| n.parse::<u64>().ok()) {
+            // Keep ids monotonic across restarts.
+            let next = state.next_id.load(Ordering::Relaxed).max(n + 1);
+            state.next_id.store(next, Ordering::Relaxed);
+        }
+
+        let mut entry_rec = JobEntry {
+            spec,
+            state: JobState::Queued,
+            attempts: 0,
+            resumed: false,
+            degradation: None,
+            makespan_us: None,
+            error: None,
+            retryable: false,
+            submitted: Instant::now(),
+            duration_ms: None,
+            cancel: CancelToken::new(),
+            obs: Obs::enabled_with_event_capacity(state.config.event_capacity),
+        };
+
+        if let Ok(result_text) = fs::read_to_string(dir.join("result.json")) {
+            if let Ok(rec) = serde_json::from_str::<TerminalRecord>(&result_text) {
+                if let Some(s) = JobState::from_tag(&rec.state) {
+                    entry_rec.state = s;
+                    entry_rec.attempts = rec.attempts;
+                    entry_rec.resumed = rec.resumed;
+                    entry_rec.degradation = rec.degradation;
+                    entry_rec.makespan_us = rec.makespan_us;
+                    entry_rec.error = rec.error;
+                    entry_rec.retryable = rec.retryable;
+                    entry_rec.duration_ms = Some(rec.duration_ms);
+                    state.jobs.lock().unwrap().insert(id, entry_rec);
+                    continue;
+                }
+            }
+        }
+
+        // Unfinished: this job was queued or mid-search when the daemon
+        // died. Its checkpoint (if any) is re-verified against the spec
+        // before the worker is allowed to warm-start from it.
+        entry_rec.resumed = verify_or_discard_checkpoint(&dir, &entry_rec.spec, state);
+        state.counters.recovered.fetch_add(1, Ordering::Relaxed);
+        state.jobs.lock().unwrap().insert(id.clone(), entry_rec);
+        recovered.push(id);
+    }
+    recovered.sort();
+    let mut queue = state.queue.lock().unwrap();
+    queue.extend(recovered);
+    drop(queue);
+    state.queue_cv.notify_all();
+    Ok(())
+}
+
+/// Loads the newest checkpoint generation and verifies its fingerprint
+/// and seed against what the spec would produce. A checkpoint that fails
+/// verification is deleted (the attempt restarts fresh rather than
+/// resuming someone else's search). Returns whether a valid checkpoint
+/// is available to resume from.
+fn verify_or_discard_checkpoint(dir: &Path, spec: &JobSpec, state: &Arc<ServerState>) -> bool {
+    let Ok(Some((generation, path))) = latest_generation(dir, "search") else {
+        return false;
+    };
+    let expected = match placement_graph(state, spec) {
+        Ok(g) => graph_fingerprint(&g),
+        Err(_) => return false,
+    };
+    let seed = attempt_seed(spec, generation as u32);
+    match load_checkpoint(&path).and_then(|c| c.verify(expected, seed).map(|_| ())) {
+        Ok(()) => true,
+        Err(_) => {
+            let _ = fs::remove_file(&path);
+            false
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Accept / routing
+
+fn accept_loop(listener: TcpListener, state: &Arc<ServerState>) {
+    for stream in listener.incoming() {
+        if state.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let state = Arc::clone(state);
+        // One short-lived thread per connection: requests are small and
+        // close immediately, so the thread count tracks in-flight
+        // requests, not total traffic.
+        let _ = thread::Builder::new()
+            .name("pesto-serve-conn".to_string())
+            .spawn(move || handle_connection(stream, &state));
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let response = match read_request(&mut stream) {
+        Ok(req) => route(&req, state),
+        Err(RequestError::BodyTooLarge(n)) => Response::json(
+            413,
+            format!("{{\"error\":\"body of {n} bytes exceeds the limit\"}}"),
+        ),
+        Err(RequestError::Malformed(msg)) => {
+            Response::json(400, format!("{{\"error\":{}}}", json_string(&msg)))
+        }
+        Err(RequestError::Io(_)) => return,
+    };
+    let _ = response.write_to(&mut stream);
+}
+
+fn route(req: &Request, state: &Arc<ServerState>) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => healthz(state),
+        ("POST", "/jobs") => submit(req, state),
+        ("GET", "/jobs") => list_jobs(state),
+        (method, path) => {
+            if let Some(id) = path.strip_prefix("/jobs/") {
+                match method {
+                    "GET" => job_status(id, req, state),
+                    "DELETE" => cancel_job(id, state),
+                    _ => Response::json(405, "{\"error\":\"method not allowed\"}"),
+                }
+            } else {
+                Response::json(404, "{\"error\":\"no such route\"}")
+            }
+        }
+    }
+}
+
+fn healthz(state: &Arc<ServerState>) -> Response {
+    let queued = state.queue.lock().unwrap().len();
+    let jobs = state.jobs.lock().unwrap();
+    let running = jobs
+        .values()
+        .filter(|j| j.state == JobState::Running)
+        .count();
+    let total = jobs.len();
+    drop(jobs);
+    let c = &state.counters;
+    let body = format!(
+        "{{\"status\":\"ok\",\"queued\":{queued},\"running\":{running},\"jobs\":{total},\
+         \"workers\":{},\"queue_capacity\":{},\"submitted\":{},\"rejected\":{},\
+         \"completed\":{},\"degraded\":{},\"failed\":{},\"cancelled\":{},\"retries\":{},\
+         \"recovered\":{},\"profile_cache_hits\":{},\"profile_cache_misses\":{},\
+         \"avg_job_ms\":{}}}",
+        state.config.workers,
+        state.config.queue_capacity,
+        c.submitted.load(Ordering::Relaxed),
+        c.rejected.load(Ordering::Relaxed),
+        c.completed.load(Ordering::Relaxed),
+        c.degraded.load(Ordering::Relaxed),
+        c.failed.load(Ordering::Relaxed),
+        c.cancelled.load(Ordering::Relaxed),
+        c.retries.load(Ordering::Relaxed),
+        c.recovered.load(Ordering::Relaxed),
+        c.profile_cache_hits.load(Ordering::Relaxed),
+        c.profile_cache_misses.load(Ordering::Relaxed),
+        c.avg_job_ms.load(Ordering::Relaxed),
+    );
+    Response::json(200, body)
+}
+
+fn submit(req: &Request, state: &Arc<ServerState>) -> Response {
+    let body = String::from_utf8_lossy(&req.body);
+    let spec = match JobSpec::from_request_json(&body) {
+        Ok(s) => s,
+        Err(msg) => return Response::json(400, format!("{{\"error\":{}}}", json_string(&msg))),
+    };
+
+    // Admission control: the queue is the only unbounded resource a
+    // client could grow, so it is the thing we bound. Rejection is
+    // typed — a 429 with both a Retry-After header (seconds) and a
+    // machine-readable retry_after_ms — and the job leaves no state.
+    {
+        let queue = state.queue.lock().unwrap();
+        if queue.len() >= state.config.queue_capacity {
+            let hint_ms = retry_after_hint_ms(state, queue.len());
+            state.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            return Response::json(
+                429,
+                format!(
+                    "{{\"error\":\"queue full\",\"queued\":{},\"retry_after_ms\":{hint_ms}}}",
+                    queue.len()
+                ),
+            )
+            .with_header("Retry-After", hint_ms.div_ceil(1000).max(1).to_string());
+        }
+    }
+
+    let id = format!("job-{}", state.next_id.fetch_add(1, Ordering::Relaxed));
+    let dir = state.config.data_dir.join(&id);
+    if let Err(e) = fs::create_dir_all(&dir).and_then(|_| {
+        let text = serde_json::to_string(&spec)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}")))?;
+        atomic_write(&dir.join("spec.json"), text.as_bytes())
+    }) {
+        return Response::json(
+            500,
+            format!(
+                "{{\"error\":{}}}",
+                json_string(&format!("cannot persist job spec: {e}"))
+            ),
+        );
+    }
+
+    let entry = JobEntry {
+        spec,
+        state: JobState::Queued,
+        attempts: 0,
+        resumed: false,
+        degradation: None,
+        makespan_us: None,
+        error: None,
+        retryable: false,
+        submitted: Instant::now(),
+        duration_ms: None,
+        cancel: CancelToken::new(),
+        obs: Obs::enabled_with_event_capacity(state.config.event_capacity),
+    };
+    state.jobs.lock().unwrap().insert(id.clone(), entry);
+    state.queue.lock().unwrap().push_back(id.clone());
+    state.queue_cv.notify_one();
+    state.counters.submitted.fetch_add(1, Ordering::Relaxed);
+    Response::json(
+        202,
+        format!("{{\"id\":{},\"state\":\"queued\"}}", json_string(&id)),
+    )
+}
+
+/// How long a rejected client should wait: enough for the backlog ahead
+/// of it to drain at the observed service rate.
+fn retry_after_hint_ms(state: &Arc<ServerState>, queue_len: usize) -> u64 {
+    let avg = state.counters.avg_job_ms.load(Ordering::Relaxed).max(50);
+    let workers = state.config.workers.max(1) as u64;
+    (avg * (queue_len as u64 + 1)).div_ceil(workers).max(100)
+}
+
+fn list_jobs(state: &Arc<ServerState>) -> Response {
+    let jobs = state.jobs.lock().unwrap();
+    let mut ids: Vec<&String> = jobs.keys().collect();
+    ids.sort();
+    let items: Vec<String> = ids
+        .iter()
+        .map(|id| {
+            let j = &jobs[*id];
+            format!(
+                "{{\"id\":{},\"state\":\"{}\"}}",
+                json_string(id),
+                j.state.tag()
+            )
+        })
+        .collect();
+    Response::json(200, format!("{{\"jobs\":[{}]}}", items.join(",")))
+}
+
+fn job_status(id: &str, req: &Request, state: &Arc<ServerState>) -> Response {
+    let events_since: u64 = req
+        .query_value("events_since")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let (summary, obs) = {
+        let jobs = state.jobs.lock().unwrap();
+        let Some(j) = jobs.get(id) else {
+            return Response::json(404, "{\"error\":\"no such job\"}");
+        };
+        (job_summary_json(id, j), j.obs.clone())
+    };
+    let (next, events) = obs.solver_events_since(events_since);
+    let dropped = obs.dropped_events();
+    let events_json: Vec<String> = events.iter().map(event_json).collect();
+    Response::json(
+        200,
+        format!(
+            "{{{summary},\"events_next\":{next},\"events_dropped\":{dropped},\"events\":[{}]}}",
+            events_json.join(",")
+        ),
+    )
+}
+
+fn job_summary_json(id: &str, j: &JobEntry) -> String {
+    let mut out = format!(
+        "\"id\":{},\"state\":\"{}\",\"attempts\":{},\"resumed\":{}",
+        json_string(id),
+        j.state.tag(),
+        j.attempts,
+        j.resumed
+    );
+    if let Some(ms) = &j.makespan_us {
+        out.push_str(&format!(",\"makespan_us\":{ms}"));
+    }
+    if let Some(d) = &j.degradation {
+        out.push_str(&format!(",\"degradation\":{}", json_string(d)));
+    }
+    if let Some(e) = &j.error {
+        out.push_str(&format!(
+            ",\"error\":{},\"retryable\":{}",
+            json_string(e),
+            j.retryable
+        ));
+    }
+    if let Some(ms) = j.duration_ms {
+        out.push_str(&format!(",\"duration_ms\":{ms}"));
+    }
+    out
+}
+
+fn event_json(e: &SolverEvent) -> String {
+    let mut fields = format!(
+        "\"t_us\":{},\"source\":{},\"kind\":\"{}\"",
+        e.t_us,
+        json_string(&e.source),
+        e.kind.tag()
+    );
+    match &e.kind {
+        SolverEventKind::Incumbent { objective } => {
+            fields.push_str(&format!(",\"objective\":{}", json_f64(*objective)));
+        }
+        SolverEventKind::Gap {
+            incumbent,
+            best_bound,
+            relative_gap,
+            nodes_explored,
+        } => {
+            fields.push_str(&format!(
+                ",\"incumbent\":{},\"best_bound\":{},\"relative_gap\":{},\"nodes_explored\":{nodes_explored}",
+                json_f64(*incumbent),
+                json_f64(*best_bound),
+                json_f64(*relative_gap)
+            ));
+        }
+        SolverEventKind::Anneal {
+            restart,
+            iteration,
+            temperature,
+            accept_rate,
+            best_cost,
+        } => {
+            fields.push_str(&format!(
+                ",\"restart\":{restart},\"iteration\":{iteration},\"temperature\":{},\"accept_rate\":{},\"best_cost\":{}",
+                json_f64(*temperature),
+                json_f64(*accept_rate),
+                json_f64(*best_cost)
+            ));
+        }
+        SolverEventKind::Degradation {
+            reason,
+            remaining_deadline_us,
+        } => {
+            fields.push_str(&format!(
+                ",\"reason\":{},\"remaining_deadline_us\":{}",
+                json_string(reason),
+                json_f64(*remaining_deadline_us)
+            ));
+        }
+        SolverEventKind::Drift {
+            ops_flagged,
+            max_drift_frac,
+            threshold_frac,
+        } => {
+            fields.push_str(&format!(
+                ",\"ops_flagged\":{ops_flagged},\"max_drift_frac\":{},\"threshold_frac\":{}",
+                json_f64(*max_drift_frac),
+                json_f64(*threshold_frac)
+            ));
+        }
+    }
+    format!("{{{fields}}}")
+}
+
+fn cancel_job(id: &str, state: &Arc<ServerState>) -> Response {
+    let mut jobs = state.jobs.lock().unwrap();
+    let Some(j) = jobs.get_mut(id) else {
+        return Response::json(404, "{\"error\":\"no such job\"}");
+    };
+    if j.state.is_terminal() {
+        // Idempotent: cancelling a finished job reports its final state.
+        return Response::json(
+            200,
+            format!(
+                "{{\"id\":{},\"state\":\"{}\"}}",
+                json_string(id),
+                j.state.tag()
+            ),
+        );
+    }
+    j.cancel.cancel();
+    let was_queued = j.state == JobState::Queued;
+    drop(jobs);
+    if was_queued {
+        // Don't wait for a worker to pop it: settle queued jobs now so
+        // the client sees a terminal state immediately, and drop the
+        // queue entry lazily (the worker skips cancelled jobs).
+        finalize(state, id, JobState::Cancelled, |_| {});
+    }
+    Response::json(
+        202,
+        format!("{{\"id\":{},\"state\":\"cancelling\"}}", json_string(id)),
+    )
+}
+
+// ---------------------------------------------------------------------
+// Workers
+
+fn worker_loop(state: &Arc<ServerState>) {
+    loop {
+        let id = {
+            let mut queue = state.queue.lock().unwrap();
+            loop {
+                if state.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                if let Some(id) = queue.pop_front() {
+                    break id;
+                }
+                queue = state.queue_cv.wait(queue).unwrap();
+            }
+        };
+        run_job(state, &id);
+    }
+}
+
+/// The per-job seed: retries shift the stream so a stochastic
+/// `NoSolution` genuinely re-rolls, while attempt numbers recovered
+/// from checkpoint generations keep crash-resume on the same stream.
+fn attempt_seed(spec: &JobSpec, attempt: u32) -> u64 {
+    spec.seed.wrapping_add(attempt as u64)
+}
+
+fn run_job(state: &Arc<ServerState>, id: &str) {
+    let (spec, cancel, obs, resumed_hint) = {
+        let mut jobs = state.jobs.lock().unwrap();
+        let Some(j) = jobs.get_mut(id) else { return };
+        if j.state.is_terminal() {
+            return; // cancelled while queued
+        }
+        j.state = JobState::Running;
+        (j.spec.clone(), j.cancel.clone(), j.obs.clone(), j.resumed)
+    };
+    if cancel.is_cancelled() {
+        finalize_cancelled(state, id);
+        return;
+    }
+
+    let dir = state.config.data_dir.join(id);
+    let graph = match placement_graph(state, &spec) {
+        Ok(g) => g,
+        Err(msg) => {
+            finalize(state, id, JobState::Failed, |j| {
+                j.error = Some(msg.clone());
+                j.retryable = false;
+            });
+            return;
+        }
+    };
+
+    // A recovered job resumes the attempt its newest checkpoint
+    // generation belongs to; a fresh job starts at attempt 0.
+    let mut attempt: u32 = if resumed_hint {
+        latest_generation(&dir, "search")
+            .ok()
+            .flatten()
+            .map(|(g, _)| g as u32)
+            .unwrap_or(0)
+    } else {
+        0
+    };
+    let first_attempt = attempt;
+
+    loop {
+        {
+            let mut jobs = state.jobs.lock().unwrap();
+            if let Some(j) = jobs.get_mut(id) {
+                j.attempts = attempt - first_attempt + 1;
+            }
+        }
+        let config = job_config(state, &spec, attempt, &dir, &cancel, &obs);
+        let result = Pesto::new(config).place(&graph, &state.cluster);
+        match result {
+            Ok(outcome) => {
+                let placement: Vec<u32> = outcome
+                    .plan
+                    .placement
+                    .as_slice()
+                    .iter()
+                    .map(|d| d.index() as u32)
+                    .collect();
+                let terminal = if let Some(reason) = &outcome.degradation {
+                    let tag = reason.tag().to_string();
+                    finalize(state, id, JobState::Degraded, |j| {
+                        j.degradation = Some(tag.clone());
+                        j.makespan_us = Some(outcome.makespan_us);
+                        j.resumed = j.resumed || outcome.resumed;
+                    });
+                    JobState::Degraded
+                } else {
+                    finalize(state, id, JobState::Completed, |j| {
+                        j.makespan_us = Some(outcome.makespan_us);
+                        j.resumed = j.resumed || outcome.resumed;
+                    });
+                    JobState::Completed
+                };
+                write_terminal(state, id, terminal, Some(placement));
+                // GC after success: superseded generations and any tmp
+                // litter go now, not at the next restart.
+                let _ = prune(&dir, state.config.keep_generations);
+                return;
+            }
+            Err(PestoError::Cancelled) => {
+                finalize_cancelled(state, id);
+                return;
+            }
+            Err(e) if e.is_retryable() && attempt - first_attempt < spec.max_retries => {
+                state.counters.retries.fetch_add(1, Ordering::Relaxed);
+                backoff_wait(state, &spec, attempt, &cancel);
+                if cancel.is_cancelled() {
+                    finalize_cancelled(state, id);
+                    return;
+                }
+                attempt += 1;
+                continue;
+            }
+            Err(e) => {
+                let retryable = e.is_retryable();
+                let msg = e.to_string();
+                finalize(state, id, JobState::Failed, |j| {
+                    j.error = Some(msg.clone());
+                    j.retryable = retryable;
+                });
+                write_terminal(state, id, JobState::Failed, None);
+                return;
+            }
+        }
+    }
+}
+
+/// Builds the pipeline config for one attempt. The SLA budget applies
+/// per attempt (a retry gets a fresh budget); the checkpoint rides in
+/// the job's own generation file so attempts never clobber each other.
+fn job_config(
+    _state: &Arc<ServerState>,
+    spec: &JobSpec,
+    attempt: u32,
+    dir: &Path,
+    cancel: &CancelToken,
+    obs: &Obs,
+) -> PestoConfig {
+    let mut config = PestoConfig::fast();
+    config.seed = attempt_seed(spec, attempt);
+    // Profiling happened (cached) before the pipeline; see
+    // `placement_graph`.
+    config.profiler_iterations = None;
+    config.time_budget = spec.sla_ms.map(Duration::from_millis);
+    config.cancel = Some(cancel.clone());
+    config.obs = obs.clone();
+    if let Some(iters) = spec.iterations {
+        config.placer.hybrid.iterations = iters;
+    }
+    if let Some(restarts) = spec.restarts {
+        config.placer.hybrid.restarts = restarts;
+    }
+    if spec.checkpoint_every > 0 {
+        config.checkpoint = Some(CheckpointConfig {
+            path: generation_path(dir, "search", attempt as u64),
+            every_iters: spec.checkpoint_every,
+            resume: true,
+        });
+    }
+    config
+}
+
+/// Resolves the graph a job actually places: profiled op-time estimates
+/// are computed once per `(graph, seed, iterations)` and shared across
+/// every job that submits the same model — the service-level profiler
+/// cache the worker pool runs over.
+fn placement_graph(state: &Arc<ServerState>, spec: &JobSpec) -> Result<FrozenGraph, String> {
+    let graph = spec.graph()?;
+    let Some(iters) = spec.profiler_iterations else {
+        return Ok(graph);
+    };
+    let key = (graph_fingerprint(&graph), spec.seed, iters);
+    if let Some(cached) = state.profile_cache.lock().unwrap().get(&key) {
+        state
+            .counters
+            .profile_cache_hits
+            .fetch_add(1, Ordering::Relaxed);
+        return Ok((**cached).clone());
+    }
+    state
+        .counters
+        .profile_cache_misses
+        .fetch_add(1, Ordering::Relaxed);
+    let estimated = Profiler::new(iters, spec.seed)
+        .profile(&graph)
+        .apply_to(graph);
+    let estimated = Arc::new(estimated);
+    state
+        .profile_cache
+        .lock()
+        .unwrap()
+        .entry(key)
+        .or_insert_with(|| Arc::clone(&estimated));
+    Ok((*estimated).clone())
+}
+
+/// Exponential backoff with deterministic jitter, polled against the
+/// cancel token so a `DELETE` during a backoff wait still lands within
+/// ~50 ms.
+fn backoff_wait(state: &Arc<ServerState>, spec: &JobSpec, attempt: u32, cancel: &CancelToken) {
+    let base = state.config.retry_base.as_millis() as u64;
+    let cap = state.config.retry_cap.as_millis() as u64;
+    let exp = base.saturating_mul(1u64 << attempt.min(16)).min(cap);
+    // splitmix64 on (seed, attempt): deterministic per job, decorrelated
+    // across jobs, no RNG state to carry.
+    let mut z = spec
+        .seed
+        .wrapping_add(attempt as u64)
+        .wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    let jitter = (z ^ (z >> 31)) % base.max(1);
+    let total = Duration::from_millis(exp + jitter);
+    let deadline = Instant::now() + total;
+    while Instant::now() < deadline {
+        if cancel.is_cancelled() {
+            return;
+        }
+        thread::sleep(Duration::from_millis(50).min(deadline - Instant::now()));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Terminal bookkeeping
+
+fn finalize_cancelled(state: &Arc<ServerState>, id: &str) {
+    // A cancelled job must leave no partial checkpoint behind: sweep
+    // every search generation (the pipeline stopped writing the moment
+    // it observed the flag, so nothing is mid-rename here).
+    let dir = state.config.data_dir.join(id);
+    remove_search_generations(&dir);
+    finalize(state, id, JobState::Cancelled, |_| {});
+    write_terminal(state, id, JobState::Cancelled, None);
+}
+
+fn remove_search_generations(dir: &Path) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if (name.starts_with("search.gen-") && name.ends_with(".json")) || name.ends_with(".tmp") {
+            let _ = fs::remove_file(entry.path());
+        }
+    }
+}
+
+/// Moves a job to `terminal` in the registry and folds its duration into
+/// the retry-after estimate.
+fn finalize(
+    state: &Arc<ServerState>,
+    id: &str,
+    terminal: JobState,
+    update: impl FnOnce(&mut JobEntry),
+) {
+    let mut jobs = state.jobs.lock().unwrap();
+    let Some(j) = jobs.get_mut(id) else { return };
+    if j.state.is_terminal() {
+        return;
+    }
+    j.state = terminal;
+    let elapsed_ms = j.submitted.elapsed().as_millis() as u64;
+    j.duration_ms = Some(elapsed_ms);
+    update(j);
+    drop(jobs);
+    let counter = match terminal {
+        JobState::Completed => &state.counters.completed,
+        JobState::Degraded => &state.counters.degraded,
+        JobState::Failed => &state.counters.failed,
+        JobState::Cancelled => &state.counters.cancelled,
+        JobState::Queued | JobState::Running => return,
+    };
+    counter.fetch_add(1, Ordering::Relaxed);
+    // EWMA with alpha 1/4, integer arithmetic.
+    let avg = &state.counters.avg_job_ms;
+    let old = avg.load(Ordering::Relaxed);
+    let new = if old == 0 {
+        elapsed_ms
+    } else {
+        (old * 3 + elapsed_ms) / 4
+    };
+    avg.store(new.max(1), Ordering::Relaxed);
+}
+
+/// Durably records the terminal state (atomic write), so a crash after
+/// this point never re-runs the job.
+fn write_terminal(
+    state: &Arc<ServerState>,
+    id: &str,
+    terminal: JobState,
+    placement: Option<Vec<u32>>,
+) {
+    let record = {
+        let jobs = state.jobs.lock().unwrap();
+        let Some(j) = jobs.get(id) else { return };
+        TerminalRecord {
+            id: id.to_string(),
+            state: terminal.tag().to_string(),
+            degradation: j.degradation.clone(),
+            makespan_us: j.makespan_us,
+            placement,
+            error: j.error.clone(),
+            retryable: j.retryable,
+            attempts: j.attempts,
+            resumed: j.resumed,
+            duration_ms: j.duration_ms.unwrap_or(0),
+        }
+    };
+    let dir = state.config.data_dir.join(id);
+    if let Ok(text) = serde_json::to_string(&record) {
+        let _ = atomic_write(&dir.join("result.json"), text.as_bytes());
+    }
+}
+
+/// Temp-file + rename, same discipline as the checkpoint writer.
+fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension("json.tmp");
+    fs::write(&tmp, bytes)?;
+    fs::rename(&tmp, path)
+}
+
+// ---------------------------------------------------------------------
+// JSON helpers (emitting; parsing goes through serde_json)
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        // JSON has no Infinity/NaN; large sentinels keep parsers happy.
+        "1e308".to_string()
+    }
+}
+
+/// Client-side helper shared by the load generator and the tests: polls
+/// `GET /jobs/:id` until the job reaches a terminal state or `timeout`
+/// passes. Returns the last status body.
+pub fn wait_terminal(addr: &str, id: &str, timeout: Duration) -> Result<Value, String> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let resp = client_request(
+            addr,
+            "GET",
+            &format!("/jobs/{id}"),
+            None,
+            Duration::from_secs(10),
+        )
+        .map_err(|e| format!("status poll failed: {e}"))?;
+        if resp.status != 200 {
+            return Err(format!(
+                "status poll got HTTP {}: {}",
+                resp.status, resp.body
+            ));
+        }
+        let v: Value = serde_json::from_str(&resp.body)
+            .map_err(|e| format!("unparseable status body: {e:?}"))?;
+        let st = v.get("state").and_then(Value::as_str).unwrap_or("");
+        if JobState::from_tag(st).is_some_and(JobState::is_terminal) {
+            return Ok(v);
+        }
+        if Instant::now() > deadline {
+            return Err(format!(
+                "job {id} not terminal after {timeout:?} (state {st})"
+            ));
+        }
+        thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Client-side submit helper: posts `body` and returns `(status, body)`.
+pub fn submit_raw(addr: &str, body: &str) -> Result<ClientResponse, String> {
+    client_request(addr, "POST", "/jobs", Some(body), Duration::from_secs(10))
+        .map_err(|e| format!("submit failed: {e}"))
+}

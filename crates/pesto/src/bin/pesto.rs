@@ -30,7 +30,7 @@ use pesto::graph::{from_json, to_json, Cluster, FrozenGraph, Plan};
 use pesto::models::ModelSpec;
 use pesto::obs::Obs;
 use pesto::sim::Simulator;
-use pesto::{repair_after_outage, CheckpointConfig, Pesto, PestoConfig};
+use pesto::{repair_after_outage, CheckpointConfig, Pesto, PestoConfig, PestoError};
 use std::fs;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -105,12 +105,56 @@ fn usage() -> String {
     s
 }
 
+/// A CLI failure: the message plus the shared retryable classification
+/// (see [`PestoError::is_retryable`]). Retryable failures exit with `75`
+/// (BSD `EX_TEMPFAIL`) so scripts and schedulers can re-run the identical
+/// command; permanent failures exit `1`. The `pesto-serve` backoff policy
+/// uses the same classification.
+struct CliError {
+    msg: String,
+    retryable: bool,
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError {
+            msg,
+            retryable: false,
+        }
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(msg: &str) -> Self {
+        CliError {
+            msg: msg.to_string(),
+            retryable: false,
+        }
+    }
+}
+
+impl From<PestoError> for CliError {
+    fn from(e: PestoError) -> Self {
+        CliError {
+            retryable: e.is_retryable(),
+            msg: e.to_string(),
+        }
+    }
+}
+
+/// Exit code for retryable failures (BSD sysexits `EX_TEMPFAIL`).
+const EXIT_TEMPFAIL: u8 = 75;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
+        Err(e) if e.retryable => {
+            eprintln!("error: {} (transient; safe to retry)", e.msg);
+            ExitCode::from(EXIT_TEMPFAIL)
+        }
+        Err(e) => {
+            eprintln!("error: {}", e.msg);
             eprintln!();
             eprint!("{}", usage());
             ExitCode::FAILURE
@@ -160,7 +204,7 @@ fn load_graph(path: &str) -> Result<FrozenGraph, String> {
     from_json(&text).map_err(|e| format!("cannot parse {path}: {e}"))
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<(), CliError> {
     let cmd = args.first().map(String::as_str).ok_or("missing command")?;
     match cmd {
         "generate" => {
@@ -176,7 +220,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 "nmt" => ModelSpec::nmt(num(2, 2), num(3, 1024)),
                 "transformer" => ModelSpec::transformer(num(2, 6), num(3, 8), num(4, 1024)),
                 "nasnet" => ModelSpec::nasnet(num(2, 4), num(3, 148)),
-                other => return Err(format!("unknown model family {other}")),
+                other => return Err(format!("unknown model family {other}").into()),
             };
             let graph = spec.generate(spec.paper_batch(), 1);
             println!("{}", to_json(&graph));
@@ -232,7 +276,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let obs = config.obs.clone();
             let outcome = Pesto::new(config)
                 .place(&graph, &cluster)
-                .map_err(|e| e.to_string())?;
+                .map_err(CliError::from)?;
             println!(
                 "{}",
                 serde_json::to_string(&outcome.plan).map_err(|e| e.to_string())?
@@ -277,7 +321,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 "m_topo" => m_topo(&graph, &cluster),
                 "m_etf" => m_etf(&graph, &cluster, &comm),
                 "m_sct" => m_sct(&graph, &cluster, &comm),
-                other => return Err(format!("unknown baseline {other}")),
+                other => return Err(format!("unknown baseline {other}").into()),
             };
             println!(
                 "{}",
@@ -359,7 +403,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 failed,
                 Duration::from_millis(budget_ms),
             )
-            .map_err(|e| e.to_string())?;
+            .map_err(CliError::from)?;
             println!(
                 "{}",
                 serde_json::to_string(&out.plan).map_err(|e| e.to_string())?
@@ -408,6 +452,6 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             Ok(())
         }
-        other => Err(format!("unknown command {other}")),
+        other => Err(format!("unknown command {other}").into()),
     }
 }

@@ -275,6 +275,129 @@ pub fn save_checkpoint(path: &Path, checkpoint: &SearchCheckpoint) -> Result<(),
     Ok(())
 }
 
+/// File path for generation `generation` of job `stem` under `dir`:
+/// `<dir>/<stem>.gen-<N>.json`. Writing successive generations to
+/// distinct files (each atomically, via [`save_checkpoint`]) means the
+/// previous generation survives until the new one is durably in place;
+/// [`prune`] then garbage-collects the superseded ones.
+pub fn generation_path(dir: &Path, stem: &str, generation: u64) -> PathBuf {
+    dir.join(format!("{stem}.gen-{generation}.json"))
+}
+
+/// Parses a generational checkpoint file name back into `(stem, N)`.
+/// Returns `None` for anything that is not `<stem>.gen-<N>.json`.
+fn parse_generation(name: &str) -> Option<(&str, u64)> {
+    let base = name.strip_suffix(".json")?;
+    let at = base.rfind(".gen-")?;
+    let generation: u64 = base[at + ".gen-".len()..].parse().ok()?;
+    Some((&base[..at], generation))
+}
+
+/// Finds the newest checkpoint generation of `stem` under `dir`.
+/// A missing directory (or no matching files) is `Ok(None)`: restart
+/// scans treat "nothing to resume" as a fresh start, not an error.
+///
+/// # Errors
+///
+/// [`CheckpointError::Io`] if the directory exists but cannot be listed.
+pub fn latest_generation(
+    dir: &Path,
+    stem: &str,
+) -> Result<Option<(u64, PathBuf)>, CheckpointError> {
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(CheckpointError::Io(format!("list {}: {e}", dir.display()))),
+    };
+    let mut newest: Option<(u64, PathBuf)> = None;
+    for entry in entries {
+        let entry =
+            entry.map_err(|e| CheckpointError::Io(format!("list {}: {e}", dir.display())))?;
+        let path = entry.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if let Some((s, generation)) = parse_generation(name) {
+            if s == stem && newest.as_ref().is_none_or(|(g, _)| generation > *g) {
+                newest = Some((generation, path));
+            }
+        }
+    }
+    Ok(newest)
+}
+
+/// What [`prune`] deleted.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PruneReport {
+    /// Superseded generation files removed.
+    pub removed_generations: usize,
+    /// Orphaned `*.tmp` files (from a crash between write and rename)
+    /// swept.
+    pub removed_tmp: usize,
+}
+
+/// Rotation/GC for a checkpoint directory: keeps the newest `keep_n`
+/// generations of every job stem (at least one is always kept, even with
+/// `keep_n == 0` — pruning must never delete a job's only checkpoint)
+/// and sweeps orphaned `*.tmp` files left by a crash between the temp
+/// write and the rename.
+///
+/// A missing directory is a no-op `Ok` — calling this unconditionally on
+/// daemon startup is safe before any checkpoint was ever written. The
+/// caller must ensure no write is in flight in `dir` while pruning (the
+/// `pesto-serve` daemon prunes per-job directories from the job's own
+/// worker, and globally only at startup, before workers exist), otherwise
+/// the sweep could race a live temp file.
+///
+/// # Errors
+///
+/// [`CheckpointError::Io`] if listing the directory or deleting a file
+/// fails; deletions already performed are not rolled back.
+pub fn prune(dir: &Path, keep_n: usize) -> Result<PruneReport, CheckpointError> {
+    let keep_n = keep_n.max(1);
+    let mut report = PruneReport::default();
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(report),
+        Err(e) => return Err(CheckpointError::Io(format!("list {}: {e}", dir.display()))),
+    };
+    let mut generations: std::collections::BTreeMap<String, Vec<(u64, PathBuf)>> =
+        std::collections::BTreeMap::new();
+    for entry in entries {
+        let entry =
+            entry.map_err(|e| CheckpointError::Io(format!("list {}: {e}", dir.display())))?;
+        let path = entry.path();
+        if !entry.file_type().map(|t| t.is_file()).unwrap_or(false) {
+            continue;
+        }
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if name.ends_with(".tmp") {
+            fs::remove_file(&path)
+                .map_err(|e| CheckpointError::Io(format!("remove {}: {e}", path.display())))?;
+            report.removed_tmp += 1;
+            continue;
+        }
+        if let Some((stem, generation)) = parse_generation(name) {
+            generations
+                .entry(stem.to_string())
+                .or_default()
+                .push((generation, path));
+        }
+    }
+    for (_, mut gens) in generations {
+        gens.sort_by_key(|(g, _)| *g);
+        let cut = gens.len().saturating_sub(keep_n);
+        for (_, path) in gens.drain(..cut) {
+            fs::remove_file(&path)
+                .map_err(|e| CheckpointError::Io(format!("remove {}: {e}", path.display())))?;
+            report.removed_generations += 1;
+        }
+    }
+    Ok(report)
+}
+
 /// Loads and validates a checkpoint from `path`.
 ///
 /// The schema major version is checked *before* the full parse, so a
@@ -325,6 +448,95 @@ mod tests {
             std::process::id()
         ));
         p
+    }
+
+    #[test]
+    fn prune_keeps_newest_generations_and_sweeps_tmp() {
+        let dir = tmp_path("prune-dir");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        for g in 0..5u64 {
+            fs::write(generation_path(&dir, "job-a", g), b"{}").unwrap();
+        }
+        for g in 3..5u64 {
+            fs::write(generation_path(&dir, "job-b", g), b"{}").unwrap();
+        }
+        // Orphaned atomic-write leftovers and unrelated files.
+        fs::write(dir.join("job-a.gen-9.json.tmp"), b"torn").unwrap();
+        fs::write(dir.join("notes.txt"), b"keep me").unwrap();
+        let report = prune(&dir, 2).unwrap();
+        assert_eq!(report.removed_generations, 3, "job-a generations 0..=2");
+        assert_eq!(report.removed_tmp, 1);
+        assert!(generation_path(&dir, "job-a", 3).exists());
+        assert!(generation_path(&dir, "job-a", 4).exists());
+        assert!(!generation_path(&dir, "job-a", 0).exists());
+        assert!(generation_path(&dir, "job-b", 3).exists());
+        assert!(generation_path(&dir, "job-b", 4).exists());
+        assert!(!dir.join("job-a.gen-9.json.tmp").exists());
+        assert!(dir.join("notes.txt").exists(), "non-checkpoint files stay");
+        // Idempotent: a second prune finds nothing left to do.
+        assert_eq!(prune(&dir, 2).unwrap(), PruneReport::default());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn prune_missing_dir_is_a_noop() {
+        let dir = tmp_path("prune-missing");
+        let _ = fs::remove_dir_all(&dir);
+        assert_eq!(prune(&dir, 3).unwrap(), PruneReport::default());
+    }
+
+    #[test]
+    fn prune_never_deletes_the_only_checkpoint() {
+        let dir = tmp_path("prune-keep-one");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(generation_path(&dir, "solo", 7), b"{}").unwrap();
+        // keep_n == 0 is clamped: a job's only checkpoint must survive.
+        assert_eq!(prune(&dir, 0).unwrap(), PruneReport::default());
+        assert!(generation_path(&dir, "solo", 7).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn latest_generation_finds_the_newest_of_the_right_stem() {
+        let dir = tmp_path("latest-gen");
+        let _ = fs::remove_dir_all(&dir);
+        assert_eq!(latest_generation(&dir, "job").unwrap(), None);
+        fs::create_dir_all(&dir).unwrap();
+        assert_eq!(latest_generation(&dir, "job").unwrap(), None);
+        for g in [2u64, 10, 5] {
+            fs::write(generation_path(&dir, "job", g), b"{}").unwrap();
+        }
+        fs::write(generation_path(&dir, "other", 99), b"{}").unwrap();
+        let (generation, path) = latest_generation(&dir, "job").unwrap().unwrap();
+        assert_eq!(generation, 10);
+        assert_eq!(path, generation_path(&dir, "job", 10));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn generation_files_roundtrip_through_the_atomic_writer() {
+        if !serde_json_available() {
+            return;
+        }
+        let dir = tmp_path("gen-roundtrip");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let ckpt = SearchCheckpoint::new(0xfeed, 3);
+        save_checkpoint(&generation_path(&dir, "job", 0), &ckpt).unwrap();
+        let mut newer = SearchCheckpoint::new(0xfeed, 3);
+        newer.incumbent = None;
+        save_checkpoint(&generation_path(&dir, "job", 1), &newer).unwrap();
+        let (generation, path) = latest_generation(&dir, "job").unwrap().unwrap();
+        assert_eq!(generation, 1);
+        let loaded = load_checkpoint(&path).unwrap();
+        assert_eq!(loaded.verify(0xfeed, 3), Ok(()));
+        // Rotation leaves exactly the newest file.
+        prune(&dir, 1).unwrap();
+        assert!(!generation_path(&dir, "job", 0).exists());
+        assert!(generation_path(&dir, "job", 1).exists());
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

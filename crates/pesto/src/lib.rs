@@ -67,12 +67,14 @@ mod pipeline;
 mod robust;
 
 pub use checkpoint::{
-    graph_fingerprint, load_checkpoint, save_checkpoint, CheckpointConfig, CheckpointError,
-    CheckpointIncumbent, SearchCheckpoint, CHECKPOINT_SCHEMA_VERSION,
+    generation_path, graph_fingerprint, latest_generation, load_checkpoint, prune, save_checkpoint,
+    CheckpointConfig, CheckpointError, CheckpointIncumbent, PruneReport, SearchCheckpoint,
+    CHECKPOINT_SCHEMA_VERSION,
 };
 pub use eval::{
     evaluate_plan, evaluate_plan_avg, evaluate_plan_pipelined, PipelinedOutcome, StepOutcome,
 };
+pub use pesto_obs::CancelToken;
 pub use pipeline::{DegradationReason, Pesto, PestoConfig, PestoError, PestoOutcome, StageTiming};
 pub use robust::{
     evaluate_robustness, repair_after_outage, replace_after_drift, DriftReplaceOutcome,

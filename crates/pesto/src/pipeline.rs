@@ -7,7 +7,7 @@ use pesto_coarsen::{coarsen_with_stats, CoarsenConfig};
 use pesto_cost::{CommModel, Profiler};
 use pesto_graph::{Cluster, FrozenGraph, GraphError, Plan};
 use pesto_ilp::{CheckpointSink, IlpError, PestoPlacer, PlacerConfig, SolvePath};
-use pesto_obs::{Obs, SolverEventKind};
+use pesto_obs::{CancelToken, Obs, SolverEventKind};
 use pesto_sim::{PipelineStats, SimError, Simulator};
 use std::error::Error;
 use std::fmt;
@@ -61,6 +61,13 @@ pub struct PestoConfig {
     /// (the pipeline falls back to it if the continued search somehow
     /// regresses). Defaults to `None` (no checkpointing).
     pub checkpoint: Option<CheckpointConfig>,
+    /// Cooperative cancellation: the pipeline polls the token between
+    /// stages and the solvers poll it between annealing iterations /
+    /// branch-and-bound nodes (alongside their deadlines). A raised token
+    /// makes [`Pesto::place`] return [`PestoError::Cancelled`] — it never
+    /// degrades into a fallback plan, and no checkpoint is written after
+    /// the flag is observed. Defaults to `None` (not cancellable).
+    pub cancel: Option<CancelToken>,
     /// Telemetry sink. With [`Obs::enabled`] the pipeline records a span
     /// per stage (`pipeline.profile`, `pipeline.coarsen`, `pipeline.solve`,
     /// `pipeline.refine`, `pipeline.schedule`, `pipeline.simulate`),
@@ -84,6 +91,7 @@ impl Default for PestoConfig {
             time_budget: None,
             pipeline_steps: 1,
             checkpoint: None,
+            cancel: None,
             obs: Obs::disabled(),
         }
     }
@@ -125,6 +133,10 @@ pub enum PestoError {
     /// A configuration value makes the requested computation meaningless
     /// (e.g. a robustness sweep over zero draws).
     InvalidConfig(String),
+    /// The job's [`PestoConfig::cancel`] token was raised; the pipeline
+    /// stopped cooperatively without producing a plan, and wrote no
+    /// checkpoint after the flag was observed.
+    Cancelled,
 }
 
 impl fmt::Display for PestoError {
@@ -142,7 +154,38 @@ impl fmt::Display for PestoError {
             PestoError::Repair(msg) => write!(f, "plan repair failed: {msg}"),
             PestoError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
             PestoError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            PestoError::Cancelled => write!(f, "placement job cancelled"),
         }
+    }
+}
+
+impl PestoError {
+    /// Whether retrying the same job can plausibly succeed.
+    ///
+    /// This single classification drives both the `pesto-serve` retry
+    /// policy (retryable failures get exponential backoff; permanent ones
+    /// fail the job immediately) and the CLI's exit code (`75`,
+    /// `EX_TEMPFAIL`, for retryable vs `1` for permanent), so operators
+    /// and scripts see the same verdict the server acts on.
+    ///
+    /// Retryable:
+    ///
+    /// * transient checkpoint I/O failures ([`CheckpointError::Io`]) — the
+    ///   filesystem may recover;
+    /// * [`IlpError::NoSolution`] — the stochastic search ran out of
+    ///   limits before finding a feasible plan; a retry (typically with a
+    ///   fresh seed or a larger budget) can find one.
+    ///
+    /// Everything else is permanent: malformed inputs, proven
+    /// infeasibility (including out-of-memory verdicts — retrying cannot
+    /// shrink the model), checkpoint/job mismatches, and explicit
+    /// cancellation.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            PestoError::Checkpoint(CheckpointError::Io(_))
+                | PestoError::Solve(IlpError::NoSolution)
+        )
     }
 }
 
@@ -153,7 +196,10 @@ impl Error for PestoError {
             PestoError::Solve(e) => Some(e),
             PestoError::Sim(e) => Some(e),
             PestoError::Checkpoint(e) => Some(e),
-            PestoError::NoGpus | PestoError::Repair(_) | PestoError::InvalidConfig(_) => None,
+            PestoError::NoGpus
+            | PestoError::Repair(_)
+            | PestoError::InvalidConfig(_)
+            | PestoError::Cancelled => None,
         }
     }
 }
@@ -171,7 +217,10 @@ impl From<GraphError> for PestoError {
 }
 impl From<IlpError> for PestoError {
     fn from(e: IlpError) -> Self {
-        PestoError::Solve(e)
+        match e {
+            IlpError::Cancelled => PestoError::Cancelled,
+            other => PestoError::Solve(other),
+        }
     }
 }
 impl From<SimError> for PestoError {
@@ -461,6 +510,20 @@ impl Pesto {
         );
     }
 
+    /// Typed early-out for [`PestoConfig::cancel`], polled between
+    /// pipeline stages (the solvers poll the same token at finer grain).
+    fn check_cancel(&self) -> Result<(), PestoError> {
+        if self
+            .config
+            .cancel
+            .as_ref()
+            .is_some_and(|c| c.is_cancelled())
+        {
+            return Err(PestoError::Cancelled);
+        }
+        Ok(())
+    }
+
     /// Builds a degraded-but-valid outcome for the lower rungs of the
     /// fallback ladder: a constructive mSCT plan, or (last resort) every
     /// op on a single device. Honestly simulated on the true op times.
@@ -475,6 +538,8 @@ impl Pesto {
         reason: DegradationReason,
         mut stage_timings: Vec<StageTiming>,
     ) -> Result<PestoOutcome, PestoError> {
+        // A cancelled job never degrades: the caller wants no plan at all.
+        self.check_cancel()?;
         self.emit_degradation(start, &reason);
         let obs = &self.config.obs;
         let plan = match path {
@@ -531,6 +596,7 @@ impl Pesto {
         if cluster.gpu_count() == 0 {
             return Err(PestoError::NoGpus);
         }
+        self.check_cancel()?;
         // Crash safety: identify the job (graph fingerprint + seed) and
         // load any prior checkpoint *before* spending budget on profiling,
         // so an invalid resume fails fast and typed.
@@ -604,6 +670,7 @@ impl Pesto {
             },
             ..CoarsenConfig::to_target(target)
         };
+        self.check_cancel()?;
         let (coarsening, rounds) = timed_stage(&obs, &mut stage_timings, "coarsen", || {
             coarsen_with_stats(&estimated, &coarsen_config)
         });
@@ -655,7 +722,11 @@ impl Pesto {
         //    hybrid search is seeded with constructive placements (the
         //    Baechi heuristics run on the coarse graph), so its result can
         //    only improve on them.
+        self.check_cancel()?;
         let mut placer_config = self.config.placer.clone();
+        if placer_config.cancel.is_none() {
+            placer_config.cancel = self.config.cancel.clone();
+        }
         // Seeds: constructive heuristics on the coarse graph, plus the
         // fine-grained mSCT placement projected onto the coarse vertices by
         // member-compute-weighted majority vote.
@@ -736,6 +807,9 @@ impl Pesto {
             // OOM is not recoverable by falling down the ladder: no rung
             // can shrink the model's memory footprint.
             Err(e @ IlpError::Sim(SimError::OutOfMemory(_))) => return Err(e.into()),
+            // Cancellation is not a solver failure; it propagates typed
+            // instead of degrading into a fallback plan.
+            Err(IlpError::Cancelled) => return Err(PestoError::Cancelled),
             Err(e) => {
                 return self.degraded_outcome(
                     graph,
@@ -755,6 +829,7 @@ impl Pesto {
         // 4. Expand to the fine graph and refine: group-flip hill climbing
         //    evaluated on the fine graph closes the residual gap between
         //    the coarse model and fine-grained reality.
+        self.check_cancel()?;
         let mut fine_placement = coarsening.expand_placement(&outcome.plan.placement);
         let sim_est = Simulator::new(&estimated, cluster, self.comm)
             .with_memory_check(false)
@@ -803,6 +878,7 @@ impl Pesto {
         let placement_time = start.elapsed();
 
         // 5. Honest evaluation on the true op times.
+        self.check_cancel()?;
         let mut plan = plan;
         let mut report = timed_stage(&obs, &mut stage_timings, "simulate", || {
             Simulator::new(graph, cluster, self.comm)
@@ -836,6 +912,7 @@ impl Pesto {
         // honest makespan. Unlike mid-run snapshots, a failure here is
         // surfaced — the user asked for a durable artifact and did not
         // get one.
+        self.check_cancel()?;
         if let Some(ck) = &self.config.checkpoint {
             let mut final_ckpt =
                 SearchCheckpoint::new(fingerprint.expect("fingerprint computed"), self.config.seed);
@@ -873,6 +950,61 @@ impl Pesto {
 mod tests {
     use super::*;
     use pesto_models::ModelSpec;
+
+    #[test]
+    fn retryable_classification_is_shared_and_stable() {
+        // Retryable: transient I/O and search-limit exhaustion.
+        assert!(PestoError::Checkpoint(CheckpointError::Io("disk full".into())).is_retryable());
+        assert!(PestoError::Solve(IlpError::NoSolution).is_retryable());
+        // Permanent: bad inputs, proven infeasibility, wrong-job
+        // checkpoints, cancellation.
+        assert!(!PestoError::NoGpus.is_retryable());
+        assert!(!PestoError::Cancelled.is_retryable());
+        assert!(!PestoError::Graph(GraphError::Empty).is_retryable());
+        assert!(!PestoError::Solve(IlpError::Infeasible).is_retryable());
+        assert!(!PestoError::InvalidConfig("zero draws".into()).is_retryable());
+        assert!(!PestoError::Repair("not a gpu".into()).is_retryable());
+        assert!(
+            !PestoError::Checkpoint(CheckpointError::Mismatch("other job".into())).is_retryable()
+        );
+        assert!(!PestoError::Checkpoint(CheckpointError::Parse("garbage".into())).is_retryable());
+        assert!(!PestoError::Sim(SimError::OutOfMemory(Vec::new())).is_retryable());
+    }
+
+    #[test]
+    fn pre_cancelled_place_returns_cancelled_not_a_degraded_plan() {
+        let graph = ModelSpec::nasnet(2, 8).generate(16, 1);
+        let cluster = Cluster::two_gpus();
+        let token = CancelToken::new();
+        token.cancel();
+        let cfg = PestoConfig {
+            cancel: Some(token),
+            // A budget would normally trigger the degradation ladder;
+            // cancellation must win over it.
+            time_budget: Some(Duration::from_millis(1)),
+            ..PestoConfig::fast()
+        };
+        let err = Pesto::new(cfg).place(&graph, &cluster).unwrap_err();
+        assert_eq!(err, PestoError::Cancelled);
+        assert!(!err.is_retryable());
+    }
+
+    #[test]
+    fn cancel_mid_search_propagates_through_the_pipeline() {
+        let graph = ModelSpec::nasnet(3, 16).generate(32, 1);
+        let cluster = Cluster::two_gpus();
+        let token = CancelToken::new();
+        let mut cfg = PestoConfig::fast();
+        // Raise the flag from the search's own checkpoint sink: the first
+        // cadence snapshot fires early in the solve, deterministically
+        // mid-search.
+        cfg.cancel = Some(token.clone());
+        cfg.placer.hybrid.checkpoint_every = 10;
+        cfg.placer.hybrid.checkpoint_sink =
+            Some(pesto_ilp::CheckpointSink::new(move |_| token.cancel()));
+        let err = Pesto::new(cfg).place(&graph, &cluster).unwrap_err();
+        assert_eq!(err, PestoError::Cancelled);
+    }
 
     #[test]
     fn pipeline_runs_end_to_end_on_a_small_model() {

@@ -1,0 +1,563 @@
+//! Offline substitute for `serde`.
+//!
+//! The real serde decouples data structures from formats through a visitor
+//! API. This substitute collapses that: both traits convert through a
+//! single JSON-shaped [`Content`] tree, which is exactly sufficient for the
+//! one format this workspace uses (`serde_json`) while keeping the same
+//! user-facing trait and derive-macro names. Numbers preserve their
+//! u64/i64/f64 identity so checkpoint round-trips are bit-identical.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The JSON-shaped interchange tree all (de)serialization goes through.
+/// `serde_json::Value` is an alias for this type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer (kept distinct from `F64` for exactness).
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Content>),
+    /// Object; insertion-ordered key/value pairs.
+    Map(Vec<(String, Content)>),
+}
+
+static NULL: Content = Content::Null;
+
+impl Content {
+    /// String accessor.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Unsigned-integer accessor (accepts non-negative `I64` too).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Content::U64(v) => Some(*v),
+            Content::I64(v) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// Signed-integer accessor.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Content::I64(v) => Some(*v),
+            Content::U64(v) if *v <= i64::MAX as u64 => Some(*v as i64),
+            _ => None,
+        }
+    }
+
+    /// Float accessor (any numeric variant widens to `f64`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Content::F64(v) => Some(*v),
+            Content::U64(v) => Some(*v as f64),
+            Content::I64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Boolean accessor.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Content::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array accessor.
+    pub fn as_array(&self) -> Option<&Vec<Content>> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Object accessor (ordered key/value pairs).
+    pub fn as_object(&self) -> Option<&Vec<(String, Content)>> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Is this value a JSON object?
+    pub fn is_object(&self) -> bool {
+        matches!(self, Content::Map(_))
+    }
+
+    /// Is this value a JSON array?
+    pub fn is_array(&self) -> bool {
+        matches!(self, Content::Seq(_))
+    }
+
+    /// Is this value `null`?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Content::Null)
+    }
+
+    /// Is this value a string?
+    pub fn is_string(&self) -> bool {
+        matches!(self, Content::Str(_))
+    }
+
+    /// Is this value a number?
+    pub fn is_number(&self) -> bool {
+        matches!(self, Content::U64(_) | Content::I64(_) | Content::F64(_))
+    }
+
+    /// Non-panicking lookup: object key or array index.
+    pub fn get<I: ContentIndex>(&self, index: I) -> Option<&Content> {
+        index.index_into(self)
+    }
+}
+
+/// Index types usable with [`Content::get`] and `value[...]`.
+pub trait ContentIndex {
+    /// Look `self` up in `c`.
+    fn index_into<'a>(&self, c: &'a Content) -> Option<&'a Content>;
+}
+
+impl ContentIndex for str {
+    fn index_into<'a>(&self, c: &'a Content) -> Option<&'a Content> {
+        match c {
+            Content::Map(m) => m.iter().find(|(k, _)| k == self).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+impl ContentIndex for &str {
+    fn index_into<'a>(&self, c: &'a Content) -> Option<&'a Content> {
+        (**self).index_into(c)
+    }
+}
+
+impl ContentIndex for String {
+    fn index_into<'a>(&self, c: &'a Content) -> Option<&'a Content> {
+        self.as_str().index_into(c)
+    }
+}
+
+impl ContentIndex for usize {
+    fn index_into<'a>(&self, c: &'a Content) -> Option<&'a Content> {
+        match c {
+            Content::Seq(s) => s.get(*self),
+            _ => None,
+        }
+    }
+}
+
+impl<I: ContentIndex> std::ops::Index<I> for Content {
+    type Output = Content;
+
+    /// Missing keys/indices yield `Null` (as in `serde_json`), so lookups
+    /// chain: `v["args"]["step"]`.
+    fn index(&self, index: I) -> &Content {
+        index.index_into(self).unwrap_or(&NULL)
+    }
+}
+
+impl PartialEq<str> for Content {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+impl PartialEq<&str> for Content {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+impl PartialEq<String> for Content {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+impl PartialEq<Content> for str {
+    fn eq(&self, other: &Content) -> bool {
+        other == self
+    }
+}
+impl PartialEq<Content> for &str {
+    fn eq(&self, other: &Content) -> bool {
+        other == self
+    }
+}
+impl PartialEq<Content> for String {
+    fn eq(&self, other: &Content) -> bool {
+        other == self
+    }
+}
+
+/// Deserialization error (also re-exported as `serde_json::Error`).
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Construct an error from a message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A type convertible into the [`Content`] tree.
+pub trait Serialize {
+    /// Convert `self` into the interchange tree.
+    fn to_content(&self) -> Content;
+}
+
+/// A type reconstructible from the [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstruct from the interchange tree.
+    fn from_content(c: &Content) -> Result<Self, DeError>;
+
+    /// Value to use when a struct field is absent from the input. Only
+    /// `Option<T>` admits one (−> `None`), mirroring serde_derive.
+    fn from_missing() -> Result<Self, DeError> {
+        Err(DeError::custom("missing field"))
+    }
+}
+
+/// Module aliases mirroring serde's layout (`serde::ser::Serialize`, …).
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+/// Module aliases mirroring serde's layout (`serde::de::DeserializeOwned`).
+pub mod de {
+    pub use crate::DeError;
+    pub use crate::Deserialize;
+    pub use crate::Deserialize as DeserializeOwned;
+}
+
+/// Derive-internal helper: ordered-map key lookup.
+pub fn __find<'a>(map: &'a [(String, Content)], key: &str) -> Option<&'a Content> {
+    map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        Ok(c.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_bool()
+            .ok_or_else(|| DeError::custom("expected boolean"))
+    }
+}
+
+macro_rules! uint_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let v = c
+                    .as_u64()
+                    .ok_or_else(|| DeError::custom("expected unsigned integer"))?;
+                <$t>::try_from(v)
+                    .map_err(|_| DeError::custom("unsigned integer out of range"))
+            }
+        }
+    )*};
+}
+uint_impl!(u8, u16, u32, u64, usize);
+
+macro_rules! sint_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 {
+                    Content::U64(v as u64)
+                } else {
+                    Content::I64(v)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let v = c
+                    .as_i64()
+                    .ok_or_else(|| DeError::custom("expected signed integer"))?;
+                <$t>::try_from(v)
+                    .map_err(|_| DeError::custom("signed integer out of range"))
+            }
+        }
+    )*};
+}
+sint_impl!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            // Real serde_json writes non-finite floats as null; accept the
+            // round-trip back as NaN so such fields still deserialize.
+            Content::Null => Ok(f64::NAN),
+            _ => c.as_f64().ok_or_else(|| DeError::custom("expected number")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        f64::from_content(c).map(|v| v as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::custom("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let s = c.as_str().ok_or_else(|| DeError::custom("expected char"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(ch), None) => Ok(ch),
+            _ => Err(DeError::custom("expected single-char string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        T::from_content(c).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+
+    fn from_missing() -> Result<Self, DeError> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_array()
+            .ok_or_else(|| DeError::custom("expected array"))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let items = c
+            .as_array()
+            .ok_or_else(|| DeError::custom("expected array"))?;
+        if items.len() != N {
+            return Err(DeError::custom(format!(
+                "expected array of length {N}, got {}",
+                items.len()
+            )));
+        }
+        let vec: Vec<T> = items.iter().map(T::from_content).collect::<Result<_, _>>()?;
+        vec.try_into()
+            .map_err(|_| DeError::custom("array length mismatch"))
+    }
+}
+
+macro_rules! tuple_impl {
+    ($len:expr => $($idx:tt : $name:ident),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let items = c
+                    .as_array()
+                    .ok_or_else(|| DeError::custom("expected tuple array"))?;
+                if items.len() != $len {
+                    return Err(DeError::custom(format!(
+                        "expected tuple of length {}, got {}",
+                        $len,
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_content(&items[$idx])?,)+))
+            }
+        }
+    };
+}
+tuple_impl!(1 => 0: A);
+tuple_impl!(2 => 0: A, 1: B);
+tuple_impl!(3 => 0: A, 1: B, 2: C);
+tuple_impl!(4 => 0: A, 1: B, 2: C, 3: D);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_chaining_returns_null_for_missing() {
+        let v = Content::Map(vec![(
+            "args".to_string(),
+            Content::Map(vec![("step".to_string(), Content::U64(3))]),
+        )]);
+        assert_eq!(v["args"]["step"].as_u64(), Some(3));
+        assert!(v["missing"]["deeper"].is_null());
+    }
+
+    #[test]
+    fn string_equality_both_directions() {
+        let v = Content::Str("X".to_string());
+        assert!(v == "X");
+        assert!("X" == v);
+        assert!(v != "Y");
+    }
+
+    #[test]
+    fn numeric_accessors_preserve_identity() {
+        assert_eq!(Content::U64(7).as_f64(), Some(7.0));
+        assert_eq!(Content::I64(-7).as_u64(), None);
+        assert_eq!(Content::U64(7).as_i64(), Some(7));
+        assert_eq!(Content::F64(1.5).as_u64(), None);
+    }
+
+    #[test]
+    fn option_handles_missing_and_null() {
+        assert_eq!(Option::<u32>::from_missing().unwrap(), None);
+        assert_eq!(
+            Option::<u32>::from_content(&Content::Null).unwrap(),
+            None
+        );
+        assert_eq!(
+            Option::<u32>::from_content(&Content::U64(5)).unwrap(),
+            Some(5)
+        );
+        assert!(u32::from_missing().is_err());
+    }
+
+    #[test]
+    fn array_round_trip() {
+        let a: [u64; 4] = [1, 2, u64::MAX, 0];
+        let c = a.to_content();
+        assert_eq!(<[u64; 4]>::from_content(&c).unwrap(), a);
+    }
+}

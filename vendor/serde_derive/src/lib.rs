@@ -1,0 +1,547 @@
+//! Offline substitute for `serde_derive`: hand-rolled `#[derive(Serialize)]`
+//! and `#[derive(Deserialize)]` working directly on the token stream (no
+//! `syn`/`quote` available offline).
+//!
+//! Supported shapes — exactly what the workspace derives on:
+//! named structs, tuple structs (newtype flattening like real serde), unit
+//! structs, enums with unit/tuple/struct variants (externally tagged), the
+//! `#[serde(default)]` / `#[serde(default = "path")]` field attributes, and
+//! generic parameters copied verbatim (bounds as written on the type).
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+#[derive(Clone)]
+struct Field {
+    name: String,
+    /// `None`: required. `Some(None)`: `#[serde(default)]`.
+    /// `Some(Some(path))`: `#[serde(default = "path")]`.
+    default: Option<Option<String>>,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Kind {
+    UnitStruct,
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    /// Generic parameter list as written, e.g. `<'a, T: Serialize>`.
+    impl_generics: String,
+    /// Bare argument list for the type, e.g. `<'a, T>`.
+    ty_args: String,
+    kind: Kind,
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Skip leading attributes, returning their bracket groups for inspection.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> Vec<Group> {
+    let mut groups = Vec::new();
+    while *i < tokens.len() && is_punct(&tokens[*i], '#') {
+        *i += 1;
+        match tokens.get(*i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                groups.push(g.clone());
+                *i += 1;
+            }
+            other => panic!("serde_derive: expected attribute brackets, got {other:?}"),
+        }
+    }
+    groups
+}
+
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive: expected identifier, got {other:?}"),
+    }
+}
+
+/// Extract a `#[serde(default)]` / `#[serde(default = "path")]` marker.
+fn serde_default(attr_groups: &[Group]) -> Option<Option<String>> {
+    for g in attr_groups {
+        let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+        let [TokenTree::Ident(id), TokenTree::Group(inner)] = &toks[..] else {
+            continue;
+        };
+        if id.to_string() != "serde" || inner.delimiter() != Delimiter::Parenthesis {
+            continue;
+        }
+        let inner_toks: Vec<TokenTree> = inner.stream().into_iter().collect();
+        let mut j = 0;
+        while j < inner_toks.len() {
+            if matches!(&inner_toks[j], TokenTree::Ident(w) if w.to_string() == "default") {
+                if let Some(p) = inner_toks.get(j + 1) {
+                    if is_punct(p, '=') {
+                        if let Some(TokenTree::Literal(lit)) = inner_toks.get(j + 2) {
+                            let raw = lit.to_string();
+                            let path = raw.trim_matches('"').to_string();
+                            return Some(Some(path));
+                        }
+                    }
+                }
+                return Some(None);
+            }
+            j += 1;
+        }
+    }
+    None
+}
+
+/// Parse `<...>` generics if present; returns (as-written, bare-args).
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> (String, String) {
+    if !matches!(tokens.get(*i), Some(t) if is_punct(t, '<')) {
+        return (String::new(), String::new());
+    }
+    let mut depth = 0usize;
+    let mut collected: Vec<TokenTree> = Vec::new();
+    loop {
+        let t = tokens
+            .get(*i)
+            .unwrap_or_else(|| panic!("serde_derive: unterminated generics"))
+            .clone();
+        if is_punct(&t, '<') {
+            depth += 1;
+        } else if is_punct(&t, '>') {
+            depth -= 1;
+        }
+        collected.push(t);
+        *i += 1;
+        if depth == 0 {
+            break;
+        }
+    }
+    let impl_generics = tokens_to_string(&collected);
+    // Bare args: walk the params (without outer <>), keep each param's
+    // leading lifetime or identifier, drop bounds and defaults.
+    let params = &collected[1..collected.len() - 1];
+    let mut args: Vec<String> = Vec::new();
+    let mut depth = 0usize;
+    let mut at_param_start = true;
+    let mut j = 0;
+    while j < params.len() {
+        let t = &params[j];
+        if is_punct(t, '<') {
+            depth += 1;
+        } else if is_punct(t, '>') {
+            depth -= 1;
+        } else if is_punct(t, ',') && depth == 0 {
+            at_param_start = true;
+            j += 1;
+            continue;
+        } else if at_param_start {
+            if is_punct(t, '\'') {
+                if let Some(TokenTree::Ident(id)) = params.get(j + 1) {
+                    args.push(format!("'{id}"));
+                    j += 2;
+                    at_param_start = false;
+                    continue;
+                }
+            } else if let TokenTree::Ident(id) = t {
+                args.push(id.to_string());
+            }
+            at_param_start = false;
+        }
+        j += 1;
+    }
+    (impl_generics, format!("<{}>", args.join(", ")))
+}
+
+fn tokens_to_string(tokens: &[TokenTree]) -> String {
+    tokens
+        .iter()
+        .cloned()
+        .collect::<TokenStream>()
+        .to_string()
+}
+
+/// Parse `name: Type, ...` fields from a brace group's stream.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let attrs = skip_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_vis(&toks, &mut i);
+        let name = expect_ident(&toks, &mut i);
+        assert!(
+            matches!(toks.get(i), Some(t) if is_punct(t, ':')),
+            "serde_derive: expected ':' after field `{name}`"
+        );
+        i += 1;
+        // Skip the type up to the next top-level comma ('<' depth-aware).
+        let mut depth = 0isize;
+        while i < toks.len() {
+            let t = &toks[i];
+            if is_punct(t, '<') {
+                depth += 1;
+            } else if is_punct(t, '>') {
+                depth -= 1;
+            } else if is_punct(t, ',') && depth == 0 {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        fields.push(Field {
+            name,
+            default: serde_default(&attrs),
+        });
+    }
+    fields
+}
+
+/// Count comma-separated fields in a paren group's stream.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut count = 0;
+    let mut depth = 0isize;
+    let mut seg_nonempty = false;
+    for t in &toks {
+        if is_punct(t, '<') {
+            depth += 1;
+        } else if is_punct(t, '>') {
+            depth -= 1;
+        } else if is_punct(t, ',') && depth == 0 {
+            if seg_nonempty {
+                count += 1;
+            }
+            seg_nonempty = false;
+            continue;
+        }
+        seg_nonempty = true;
+    }
+    if seg_nonempty {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        let _attrs = skip_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, &mut i);
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip anything up to the separating comma (e.g. a discriminant).
+        while i < toks.len() && !is_punct(&toks[i], ',') {
+            i += 1;
+        }
+        if i < toks.len() {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&tokens, &mut i);
+    skip_vis(&tokens, &mut i);
+    let kw = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    let (impl_generics, ty_args) = parse_generics(&tokens, &mut i);
+    let kind = match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(t) if is_punct(t, ';') => Kind::UnitStruct,
+            other => panic!("serde_derive: unsupported struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: expected enum body, got {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+    Input {
+        name,
+        impl_generics,
+        ty_args,
+        kind,
+    }
+}
+
+fn seq_of(exprs: impl Iterator<Item = String>) -> String {
+    format!(
+        "::serde::Content::Seq(::std::vec![{}])",
+        exprs.collect::<Vec<_>>().join(", ")
+    )
+}
+
+/// `#[derive(Serialize)]` — converts the item into a `serde::Content` tree.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let inp = parse_input(input);
+    let body = match &inp.kind {
+        Kind::UnitStruct => "::serde::Content::Null".to_string(),
+        Kind::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_content(&self.{0}))",
+                        f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Kind::TupleStruct(n) => seq_of(
+            (0..*n).map(|k| format!("::serde::Serialize::to_content(&self.{k})")),
+        ),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "Self::{vn} => ::serde::Content::Str(::std::string::String::from(\"{vn}\")),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "Self::{vn}(__f0) => ::serde::Content::Map(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Serialize::to_content(__f0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binders: Vec<String> =
+                                (0..*n).map(|k| format!("__f{k}")).collect();
+                            let inner = seq_of(
+                                binders
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_content({b})")),
+                            );
+                            format!(
+                                "Self::{vn}({}) => ::serde::Content::Map(::std::vec![(::std::string::String::from(\"{vn}\"), {inner})]),",
+                                binders.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binders: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_content({0}))",
+                                        f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "Self::{vn} {{ {} }} => ::serde::Content::Map(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Content::Map(::std::vec![{}]))]),",
+                                binders.join(", "),
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    let out = format!(
+        "impl{ig} ::serde::Serialize for {name}{ty} {{\n\
+             fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}",
+        ig = inp.impl_generics,
+        name = inp.name,
+        ty = inp.ty_args,
+    );
+    out.parse().expect("serde_derive: generated invalid Serialize impl")
+}
+
+/// Expression extracting field `f` out of the bindable `__m` map.
+fn named_field_expr(owner: &str, f: &Field) -> String {
+    let missing = match &f.default {
+        None => format!(
+            "::serde::Deserialize::from_missing().map_err(|_| ::serde::DeError::custom(\"{owner}: missing field `{0}`\"))?",
+            f.name
+        ),
+        Some(None) => "::std::default::Default::default()".to_string(),
+        Some(Some(path)) => format!("{path}()"),
+    };
+    format!(
+        "{0}: match ::serde::__find(__m, \"{0}\") {{\n\
+             ::std::option::Option::Some(__v) => ::serde::Deserialize::from_content(__v).map_err(|__e| ::serde::DeError::custom(::std::format!(\"{owner}.{0}: {{}}\", __e)))?,\n\
+             ::std::option::Option::None => {missing},\n\
+         }}",
+        f.name
+    )
+}
+
+/// `#[derive(Deserialize)]` — reconstructs the item from a `serde::Content`
+/// tree, with serde's externally-tagged enum representation.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let inp = parse_input(input);
+    let name = &inp.name;
+    let body = match &inp.kind {
+        Kind::UnitStruct => {
+            "let _ = __c; ::std::result::Result::Ok(Self)".to_string()
+        }
+        Kind::NamedStruct(fields) => {
+            let field_exprs: Vec<String> = fields
+                .iter()
+                .map(|f| named_field_expr(name, f))
+                .collect();
+            format!(
+                "match __c {{\n\
+                     ::serde::Content::Map(__m) => ::std::result::Result::Ok(Self {{ {} }}),\n\
+                     _ => ::std::result::Result::Err(::serde::DeError::custom(\"{name}: expected object\")),\n\
+                 }}",
+                field_exprs.join(", ")
+            )
+        }
+        Kind::TupleStruct(1) => format!(
+            "::std::result::Result::Ok(Self(::serde::Deserialize::from_content(__c).map_err(|__e| ::serde::DeError::custom(::std::format!(\"{name}: {{}}\", __e)))?))"
+        ),
+        Kind::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_content(&__s[{k}])?"))
+                .collect();
+            format!(
+                "match __c {{\n\
+                     ::serde::Content::Seq(__s) if __s.len() == {n} => ::std::result::Result::Ok(Self({})),\n\
+                     _ => ::std::result::Result::Err(::serde::DeError::custom(\"{name}: expected {n}-element array\")),\n\
+                 }}",
+                elems.join(", ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{0}\" => return ::std::result::Result::Ok(Self::{0}),",
+                        v.name
+                    )
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vn}\" => return ::std::result::Result::Ok(Self::{vn}(::serde::Deserialize::from_content(__v).map_err(|__e| ::serde::DeError::custom(::std::format!(\"{name}::{vn}: {{}}\", __e)))?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|k| {
+                                    format!("::serde::Deserialize::from_content(&__s[{k}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => return match __v {{\n\
+                                     ::serde::Content::Seq(__s) if __s.len() == {n} => ::std::result::Result::Ok(Self::{vn}({})),\n\
+                                     _ => ::std::result::Result::Err(::serde::DeError::custom(\"{name}::{vn}: expected {n}-element array\")),\n\
+                                 }},",
+                                elems.join(", ")
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let owner = format!("{name}::{vn}");
+                            let field_exprs: Vec<String> = fields
+                                .iter()
+                                .map(|f| named_field_expr(&owner, f))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => return match __v {{\n\
+                                     ::serde::Content::Map(__m) => ::std::result::Result::Ok(Self::{vn} {{ {} }}),\n\
+                                     _ => ::std::result::Result::Err(::serde::DeError::custom(\"{name}::{vn}: expected object\")),\n\
+                                 }},",
+                                field_exprs.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "if let ::serde::Content::Str(__s) = __c {{\n\
+                     match __s.as_str() {{\n\
+                         {unit}\n\
+                         _ => return ::std::result::Result::Err(::serde::DeError::custom(::std::format!(\"{name}: unknown variant `{{}}`\", __s))),\n\
+                     }}\n\
+                 }}\n\
+                 if let ::serde::Content::Map(__outer) = __c {{\n\
+                     if __outer.len() == 1 {{\n\
+                         let (__k, __v) = &__outer[0];\n\
+                         match __k.as_str() {{\n\
+                             {tagged}\n\
+                             _ => return ::std::result::Result::Err(::serde::DeError::custom(::std::format!(\"{name}: unknown variant `{{}}`\", __k))),\n\
+                         }}\n\
+                     }}\n\
+                 }}\n\
+                 ::std::result::Result::Err(::serde::DeError::custom(\"{name}: expected externally tagged variant\"))",
+                unit = unit_arms.join("\n"),
+                tagged = tagged_arms.join("\n"),
+            )
+        }
+    };
+    let out = format!(
+        "impl{ig} ::serde::Deserialize for {name}{ty} {{\n\
+             fn from_content(__c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}",
+        ig = inp.impl_generics,
+        name = inp.name,
+        ty = inp.ty_args,
+    );
+    out.parse().expect("serde_derive: generated invalid Deserialize impl")
+}
