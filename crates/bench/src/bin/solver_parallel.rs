@@ -1,0 +1,311 @@
+//! `solver_parallel` — honest serial-vs-parallel timings for the three
+//! parallelized solver hot paths, recorded to
+//! `results/solver_parallel.json`:
+//!
+//! 1. **Simplex kernels** (pesto-lp): Dantzig pricing, ratio test, and
+//!    pivot elimination on a dense random LP, with the parallel kernels
+//!    forced off vs. on via [`pesto::lp::set_parallel_override`]. The
+//!    objective must be bit-identical either way — that is the kernels'
+//!    determinism contract, and this bench asserts it.
+//! 2. **Branch and bound** (pesto-milp): the same branchy knapsack at
+//!    `threads = 1` (the deterministic serial search) vs. `threads = 2`
+//!    (shared-incumbent workers). Objectives must agree exactly; node
+//!    counts may differ and both are recorded.
+//! 3. **Hybrid annealing** (pesto-ilp): independent restart chains
+//!    (`exchange_every = 0`) vs. lockstep incumbent exchange. The
+//!    exchanged run may find a better makespan; it must never be worse.
+//!
+//! Timings are the minimum over `--reps` runs (default 3) of each
+//! configuration. The report records `host_cores` so a reader can judge
+//! the numbers: on a single-core host the parallel configurations pay
+//! thread overhead with no hardware to amortize it, and no speedup is
+//! expected — the bench is then a correctness-and-overhead probe, not a
+//! scaling demonstration.
+//!
+//! Usage: `solver_parallel [--quick] [--reps N] [--threads N]`.
+
+use pesto::cost::CommModel;
+use pesto::graph::Cluster;
+use pesto::ilp::{HybridConfig, HybridSolver};
+use pesto::lp::{set_parallel_override, Problem, Relation, Sense, VarId};
+use pesto::milp::{MilpConfig, MilpProblem};
+use pesto::models::ModelSpec;
+use pesto_bench::record_json;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct SimplexRow {
+    vars: usize,
+    constraints: usize,
+    serial_ms: f64,
+    parallel_ms: f64,
+    speedup: f64,
+    pivots: u64,
+    objective: f64,
+    bit_identical: bool,
+}
+
+#[derive(Serialize)]
+struct MilpRow {
+    binaries: usize,
+    serial_ms: f64,
+    parallel_ms: f64,
+    speedup: f64,
+    serial_nodes: usize,
+    parallel_nodes: usize,
+    objective_serial: f64,
+    objective_parallel: f64,
+    objectives_equal: bool,
+}
+
+#[derive(Serialize)]
+struct HybridRow {
+    ops: usize,
+    iterations: usize,
+    restarts: usize,
+    exchange_every: usize,
+    independent_ms: f64,
+    exchange_ms: f64,
+    makespan_independent_us: f64,
+    makespan_exchange_us: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    host_cores: usize,
+    pool_threads: usize,
+    reps: usize,
+    note: String,
+    simplex: SimplexRow,
+    milp: MilpRow,
+    hybrid: HybridRow,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+    };
+    let reps = flag("--reps").unwrap_or(if quick { 2 } else { 3 });
+    let pool_threads = flag("--threads").unwrap_or(2);
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // The LP kernel pool is sized once per process; every parallel
+    // configuration below shares it.
+    pesto::lp::configure_threads(pool_threads);
+
+    println!(
+        "== solver_parallel: host_cores={host_cores} pool_threads={pool_threads} reps={reps} =="
+    );
+    let simplex = bench_simplex(quick, reps);
+    let milp = bench_milp(quick, reps);
+    let hybrid = bench_hybrid(quick, reps);
+
+    let note = if host_cores < 2 {
+        format!(
+            "host has {host_cores} core(s): parallel runs measure thread overhead, \
+             not speedup; re-run on a multi-core host for scaling numbers"
+        )
+    } else {
+        format!("host has {host_cores} cores; pool sized to {pool_threads} threads")
+    };
+    let report = Report {
+        host_cores,
+        pool_threads,
+        reps,
+        note,
+        simplex,
+        milp,
+        hybrid,
+    };
+    record_json("solver_parallel", &report);
+    println!("note: {}", report.note);
+    println!("wrote results/solver_parallel.json");
+}
+
+/// Minimum wall time in milliseconds over `reps` runs of `f`.
+fn best_of_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let out = f();
+        best = best.min(t.elapsed().as_secs_f64() * 1000.0);
+        last = Some(out);
+    }
+    (best, last.expect("reps >= 1"))
+}
+
+/// Deterministic xorshift64* stream for reproducible dense instances.
+fn rng_stream(mut state: u64) -> impl FnMut() -> f64 {
+    move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A dense feasible-and-bounded random LP big enough to clear the
+/// parallel-kernel size thresholds (pricing scans vars + slacks).
+fn dense_lp(vars: usize, constraints: usize, seed: u64) -> Problem {
+    let mut next = rng_stream(seed);
+    let mut lp = Problem::new(Sense::Maximize);
+    let ids: Vec<VarId> = (0..vars)
+        .map(|j| lp.add_var(format!("x{j}"), 0.0, f64::INFINITY, 1.0 + next()))
+        .collect();
+    for _ in 0..constraints {
+        // Strictly positive coefficients keep the maximization bounded.
+        let terms: Vec<(VarId, f64)> = ids.iter().map(|&v| (v, 0.05 + next())).collect();
+        let rhs = 0.3 * terms.iter().map(|(_, a)| a).sum::<f64>();
+        lp.add_constraint(terms, Relation::Le, rhs);
+    }
+    lp
+}
+
+fn bench_simplex(quick: bool, reps: usize) -> SimplexRow {
+    let (vars, constraints) = if quick { (260, 160) } else { (420, 280) };
+    let lp = dense_lp(vars, constraints, 0x0005_e570);
+
+    set_parallel_override(Some(false));
+    let (serial_ms, serial) = best_of_ms(reps, || lp.solve().expect("dense LP solves"));
+    set_parallel_override(Some(true));
+    let (parallel_ms, parallel) = best_of_ms(reps, || lp.solve().expect("dense LP solves"));
+    set_parallel_override(None);
+
+    let bit_identical = serial.objective.to_bits() == parallel.objective.to_bits()
+        && serial.values.len() == parallel.values.len()
+        && serial
+            .values
+            .iter()
+            .zip(&parallel.values)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    assert!(
+        bit_identical,
+        "parallel simplex kernels must be bit-identical to serial"
+    );
+    println!(
+        "simplex {vars}x{constraints}: serial {serial_ms:.1} ms, parallel {parallel_ms:.1} ms, \
+         obj {:.4} ({} pivots), bit-identical",
+        serial.objective, serial.pivots
+    );
+    SimplexRow {
+        vars,
+        constraints,
+        serial_ms,
+        parallel_ms,
+        speedup: serial_ms / parallel_ms,
+        pivots: serial.pivots,
+        objective: serial.objective,
+        bit_identical,
+    }
+}
+
+/// The branchy two-row knapsack family the MILP regression tests use:
+/// fractional LP optima nearly everywhere, so the tree actually branches.
+fn branchy_milp(n: usize) -> MilpProblem {
+    let mut lp = Problem::new(Sense::Maximize);
+    let vars: Vec<VarId> = (0..n)
+        .map(|i| lp.add_var(format!("v{i}"), 0.0, 1.0, (3 * i % 7 + 1) as f64))
+        .collect();
+    let t1: Vec<(VarId, f64)> = vars
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, (2 * i % 5 + 1) as f64))
+        .collect();
+    lp.add_constraint(t1, Relation::Le, 1.3 * n as f64);
+    let t2: Vec<(VarId, f64)> = vars
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, (i % 3 + 1) as f64))
+        .collect();
+    lp.add_constraint(t2, Relation::Le, 0.9 * n as f64);
+    MilpProblem::new(lp, vars)
+}
+
+fn bench_milp(quick: bool, reps: usize) -> MilpRow {
+    let n = if quick { 14 } else { 18 };
+    let problem = branchy_milp(n);
+    let solve = |threads: usize| {
+        let config = MilpConfig {
+            threads,
+            ..MilpConfig::default()
+        };
+        problem.solve(&config).expect("branchy knapsack solves")
+    };
+    let (serial_ms, serial) = best_of_ms(reps, || solve(1));
+    let (parallel_ms, parallel) = best_of_ms(reps, || solve(2));
+
+    let objectives_equal = (serial.objective - parallel.objective).abs() < 1e-9;
+    assert!(
+        objectives_equal,
+        "parallel B&B must find the same optimum: {} vs {}",
+        serial.objective, parallel.objective
+    );
+    println!(
+        "milp n={n}: serial {serial_ms:.1} ms ({} nodes), 2 threads {parallel_ms:.1} ms \
+         ({} nodes), obj {:.1}",
+        serial.nodes_explored, parallel.nodes_explored, serial.objective
+    );
+    MilpRow {
+        binaries: n,
+        serial_ms,
+        parallel_ms,
+        speedup: serial_ms / parallel_ms,
+        serial_nodes: serial.nodes_explored,
+        parallel_nodes: parallel.nodes_explored,
+        objective_serial: serial.objective,
+        objective_parallel: parallel.objective,
+        objectives_equal,
+    }
+}
+
+fn bench_hybrid(quick: bool, reps: usize) -> HybridRow {
+    let graph = ModelSpec::rnnlm(1, 64).generate_scaled(32, 7, if quick { 0.1 } else { 0.25 });
+    let cluster = Cluster::two_gpus();
+    let comm = CommModel::default_v100();
+    let iterations = if quick { 600 } else { 1500 };
+    let restarts = 4;
+    let exchange_every = iterations / 6;
+
+    let solve = |exchange: usize| {
+        let config = HybridConfig {
+            iterations,
+            restarts,
+            exchange_every: exchange,
+            ..HybridConfig::default()
+        };
+        HybridSolver::new(config)
+            .solve(&graph, &cluster, &comm)
+            .expect("hybrid search solves")
+    };
+    let (independent_ms, independent) = best_of_ms(reps, || solve(0));
+    let (exchange_ms, exchanged) = best_of_ms(reps, || solve(exchange_every));
+    assert!(
+        exchanged.makespan_us <= independent.makespan_us + 1e-9,
+        "incumbent exchange must never end worse than independent chains"
+    );
+    println!(
+        "hybrid {} ops, {iterations} iters x {restarts} chains: independent \
+         {independent_ms:.1} ms ({:.1} us), exchange@{exchange_every} {exchange_ms:.1} ms ({:.1} us)",
+        graph.op_count(),
+        independent.makespan_us,
+        exchanged.makespan_us
+    );
+    HybridRow {
+        ops: graph.op_count(),
+        iterations,
+        restarts,
+        exchange_every,
+        independent_ms,
+        exchange_ms,
+        makespan_independent_us: independent.makespan_us,
+        makespan_exchange_us: exchanged.makespan_us,
+    }
+}

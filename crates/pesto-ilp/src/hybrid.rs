@@ -156,6 +156,20 @@ pub struct HybridConfig {
     /// whatever placement they were seeded with. `None` means everything
     /// is movable.
     pub pinned: Option<Vec<bool>>,
+    /// Incumbent-exchange cadence between the parallel restart chains, in
+    /// iterations. `0` (the default) keeps every chain fully independent —
+    /// the historical behavior, whose trajectories existing checkpoints
+    /// and goldens expect. A positive value runs the chains in lockstep
+    /// segments of this many iterations: at every segment boundary the
+    /// globally best incumbent (ties broken toward the lower restart
+    /// index) replaces the current and best placement of each lagging
+    /// chain, island-migration style. Exchange points are deterministic
+    /// iteration boundaries and each chain keeps its own RNG, so a given
+    /// configuration stays bit-reproducible, and checkpoints taken under
+    /// exchange resume bit-identically **provided the resuming config uses
+    /// the same `exchange_every`** (the cadence itself is not stored in
+    /// [`HybridSearchState`]).
+    pub exchange_every: usize,
     /// Telemetry sink. An enabled handle receives a `hybrid.solve` span,
     /// one `hybrid.restart` span per restart, and sampled `anneal` solver
     /// events (temperature, accept rate, best cost); the default disabled
@@ -178,6 +192,7 @@ impl Default for HybridConfig {
             checkpoint_sink: None,
             resume_from: None,
             pinned: None,
+            exchange_every: 0,
             obs: Obs::disabled(),
         }
     }
@@ -387,52 +402,161 @@ impl HybridSolver {
         };
         let publish: &(dyn Fn() + Sync) = &publish_impl;
 
-        let results: Vec<Result<(Plan, f64, bool), IlpError>> = crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for slot_idx in 0..restarts {
-                let units = &units;
-                let movable = &movable;
-                let slots = &slots;
-                let resume = resume_states.map(|states| &states[slot_idx]);
-                let seed_placement = if resume.is_some() {
-                    None
-                } else {
-                    seeds.get(slot_idx).copied()
-                };
-                let first_unseeded = resume.is_none() && slot_idx == seeds.len();
-                handles.push(scope.spawn(move |_| {
-                    anneal_once(AnnealTask {
-                        graph,
-                        cluster,
-                        comm,
-                        units,
-                        movable,
-                        config,
-                        slot_idx,
-                        resume,
-                        seed_placement,
-                        first_unseeded,
-                        slots,
-                        publish,
-                    })
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("restart panicked"))
-                .collect()
-        })
-        .expect("annealing scope panicked");
+        // Segment length of the lockstep driver. With exchange off (or a
+        // single chain) the whole search is one segment, so each chain runs
+        // in a single `anneal_once` call — exactly the historical
+        // trajectory.
+        let seg = if config.exchange_every > 0 && restarts >= 2 {
+            config.exchange_every
+        } else {
+            steps
+        };
 
-        // Cancellation wins over any chains that happened to finish: the
-        // caller abandoned the job, so no terminal snapshot is published
-        // and no plan is returned.
-        if results
-            .iter()
-            .any(|r| matches!(r, Err(IlpError::Cancelled)))
-        {
-            return Err(IlpError::Cancelled);
+        // Driver: run every chain to the next segment boundary, join,
+        // exchange incumbents, repeat. Chain state between rounds lives in
+        // `round_states` (RestartState is the complete chain state, so a
+        // round is just a resume); exchange mutates those states at
+        // deterministic iteration boundaries, which keeps the search
+        // bit-reproducible and checkpoint/resume-safe: injection is
+        // idempotent, so resuming either the pre- or post-exchange boundary
+        // snapshot replays identically.
+        let mut outcomes: Vec<Option<ChainOutcome>> = (0..restarts).map(|_| None).collect();
+        let mut round_states: Vec<Option<RestartState>> = match resume_states {
+            Some(states) => states.iter().map(|s| Some(s.clone())).collect(),
+            None => (0..restarts).map(|_| None).collect(),
+        };
+        loop {
+            // Chains that still need to run: never invoked (even a chain
+            // resumed as finished runs once, to produce its outcome plan),
+            // or mid-search.
+            let running: Vec<usize> = (0..restarts)
+                .filter(|&i| match (&outcomes[i], &round_states[i]) {
+                    (Some(Err(_)), _) => false,
+                    (None, _) => true,
+                    (_, Some(st)) => !st.finished && !st.truncated && st.next_iter < steps,
+                    (_, None) => true,
+                })
+                .collect();
+            if running.is_empty() {
+                break;
+            }
+
+            // Incumbent exchange: fires when every running chain sits at
+            // the same positive mid-search segment boundary.
+            if seg < steps {
+                let boundary = running
+                    .iter()
+                    .map(|&i| round_states[i].as_ref().map(|st| st.next_iter))
+                    .reduce(|a, b| if a == b { a } else { None })
+                    .flatten()
+                    .filter(|&n| n > 0 && n < steps && n % seg == 0);
+                if boundary.is_some() {
+                    let global_best = round_states
+                        .iter()
+                        .flatten()
+                        .min_by(|a, b| {
+                            a.best_cost
+                                .total_cmp(&b.best_cost)
+                                .then_with(|| a.restart.cmp(&b.restart))
+                        })
+                        .map(|r| (r.best_placement.clone(), r.best_cost));
+                    if let Some((gb_placement, gb_cost)) = global_best {
+                        let mut migrated = 0u64;
+                        for &i in &running {
+                            let st = round_states[i].as_mut().expect("boundary state");
+                            if st.best_cost > gb_cost {
+                                st.placement = gb_placement.clone();
+                                st.best_placement = gb_placement.clone();
+                                st.best_cost = gb_cost;
+                                migrated += 1;
+                            }
+                        }
+                        config.obs.counter_add("hybrid.exchanges", 1);
+                        config
+                            .obs
+                            .counter_add("hybrid.exchange.migrations", migrated);
+                        config.obs.solver_event(
+                            "hybrid",
+                            SolverEventKind::Incumbent { objective: gb_cost },
+                        );
+                        // Mirror the post-exchange states into the snapshot
+                        // slots so a crash here resumes past the exchange.
+                        {
+                            let mut guard = slots.lock();
+                            for &i in &running {
+                                guard[i] = round_states[i].clone();
+                            }
+                        }
+                        publish_impl();
+                    }
+                }
+            }
+
+            // Next lockstep boundary past the least-advanced running chain.
+            // Chains already at it run zero iterations (state untouched).
+            let target = {
+                let m = running
+                    .iter()
+                    .map(|&i| round_states[i].as_ref().map_or(0, |st| st.next_iter))
+                    .min()
+                    .expect("running is non-empty");
+                ((m / seg) + 1).saturating_mul(seg).min(steps)
+            };
+
+            let round: Vec<ChainOutcome> = crossbeam::thread::scope(|scope| {
+                let round_states = &round_states;
+                let mut handles = Vec::new();
+                for &slot_idx in &running {
+                    let units = &units;
+                    let movable = &movable;
+                    let slots = &slots;
+                    let resume = round_states[slot_idx].as_ref();
+                    let seed_placement = if resume.is_some() {
+                        None
+                    } else {
+                        seeds.get(slot_idx).copied()
+                    };
+                    let first_unseeded = resume.is_none() && slot_idx == seeds.len();
+                    handles.push(scope.spawn(move |_| {
+                        anneal_once(AnnealTask {
+                            graph,
+                            cluster,
+                            comm,
+                            units,
+                            movable,
+                            config,
+                            slot_idx,
+                            resume,
+                            seed_placement,
+                            first_unseeded,
+                            end: target,
+                            slots,
+                            publish,
+                        })
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("restart panicked"))
+                    .collect()
+            })
+            .expect("annealing scope panicked");
+
+            // Cancellation wins over any chains that happened to finish:
+            // the caller abandoned the job, so no terminal snapshot is
+            // published, no plan is returned, and no further segments run.
+            if round.iter().any(|r| matches!(r, Err(IlpError::Cancelled))) {
+                return Err(IlpError::Cancelled);
+            }
+            for (res, &slot_idx) in round.into_iter().zip(&running) {
+                outcomes[slot_idx] = Some(res);
+                round_states[slot_idx] = slots.lock()[slot_idx].clone();
+            }
         }
+        let results: Vec<ChainOutcome> = outcomes
+            .into_iter()
+            .map(|o| o.expect("every chain ran at least once"))
+            .collect();
 
         let mut best: Option<(Plan, f64)> = None;
         let mut last_err = None;
@@ -493,6 +617,10 @@ fn evaluate(
     Ok((sched.plan, cost))
 }
 
+/// What one restart chain produces: its best plan, that plan's cost,
+/// and whether a deadline truncated the chain.
+type ChainOutcome = Result<(Plan, f64, bool), IlpError>;
+
 /// Everything one restart chain needs (bundled to keep `anneal_once`'s
 /// signature manageable).
 struct AnnealTask<'a> {
@@ -506,11 +634,15 @@ struct AnnealTask<'a> {
     resume: Option<&'a RestartState>,
     seed_placement: Option<&'a Placement>,
     first_unseeded: bool,
+    /// Absolute iteration this invocation runs to (exclusive); the
+    /// lockstep-exchange driver passes segment boundaries, and a plain
+    /// search passes `iterations` so the whole chain runs in one call.
+    end: usize,
     slots: &'a Mutex<Vec<Option<RestartState>>>,
     publish: &'a (dyn Fn() + Sync),
 }
 
-fn anneal_once(task: AnnealTask<'_>) -> Result<(Plan, f64, bool), IlpError> {
+fn anneal_once(task: AnnealTask<'_>) -> ChainOutcome {
     let AnnealTask {
         graph,
         cluster,
@@ -522,6 +654,7 @@ fn anneal_once(task: AnnealTask<'_>) -> Result<(Plan, f64, bool), IlpError> {
         resume,
         seed_placement,
         first_unseeded,
+        end,
         slots,
         publish,
     } = task;
@@ -610,7 +743,8 @@ fn anneal_once(task: AnnealTask<'_>) -> Result<(Plan, f64, bool), IlpError> {
     let mut truncated = false;
 
     let steps = config.iterations.max(1);
-    let start_iter = resume.map_or(0, |r| r.next_iter.min(steps));
+    let end = end.min(steps);
+    let start_iter = resume.map_or(0, |r| r.next_iter.min(end));
     let t0 = resume.map_or_else(|| (cur_cost * config.initial_temp_frac).max(1e-6), |r| r.t0);
     let t_end = t0 / 1000.0;
     let cooling = (t_end / t0).powf(1.0 / steps as f64);
@@ -658,7 +792,7 @@ fn anneal_once(task: AnnealTask<'_>) -> Result<(Plan, f64, bool), IlpError> {
     let sample_every = (steps / 64).max(1);
     let mut window_accepts = 0usize;
 
-    for it in start_iter..steps {
+    for it in start_iter..end {
         // Checkpoint cadence on absolute iteration numbers, so a resumed
         // chain keeps the same snapshot boundaries as the original run.
         if config.checkpoint_every > 0 && it > start_iter && it % config.checkpoint_every == 0 {
@@ -751,7 +885,7 @@ fn anneal_once(task: AnnealTask<'_>) -> Result<(Plan, f64, bool), IlpError> {
         }
     }
     if !truncated {
-        save(&rng, steps, temp, &placement, &best, true, false);
+        save(&rng, end, temp, &placement, &best, end >= steps, false);
     }
     let _ = cur_plan; // last accepted plan; the incumbent is what we return
     Ok((best.0, best.1, truncated))
@@ -1190,6 +1324,115 @@ mod tests {
             "got {}",
             out.makespan_us
         );
+    }
+
+    #[test]
+    fn exchange_off_matches_legacy_trajectory() {
+        // `exchange_every: 0` must be byte-for-byte the historical search,
+        // and a cadence longer than the whole search never fires an
+        // exchange, so it must match too.
+        let g = search_graph(12);
+        let cluster = Cluster::two_gpus();
+        let legacy = HybridSolver::new(HybridConfig::quick())
+            .solve(&g, &cluster, &comm())
+            .unwrap();
+        let long_cadence = HybridSolver::new(HybridConfig {
+            exchange_every: 10_000,
+            ..HybridConfig::quick()
+        })
+        .solve(&g, &cluster, &comm())
+        .unwrap();
+        assert_eq!(legacy.plan, long_cadence.plan);
+        assert_eq!(
+            legacy.search_state.unwrap(),
+            long_cadence.search_state.unwrap()
+        );
+    }
+
+    #[test]
+    fn exchange_is_deterministic_and_shares_the_incumbent() {
+        let g = search_graph(12);
+        let cluster = Cluster::two_gpus();
+        let obs = Obs::enabled();
+        let cfg = HybridConfig {
+            exchange_every: 100,
+            obs: obs.clone(),
+            ..HybridConfig::quick() // 400 iterations, 2 restarts
+        };
+        let a = HybridSolver::new(cfg.clone())
+            .solve(&g, &cluster, &comm())
+            .unwrap();
+        // 400 iterations / cadence 100 ⇒ boundaries at 100, 200, 300.
+        assert_eq!(obs.counter("hybrid.exchanges"), 3);
+        let b = HybridSolver::new(HybridConfig {
+            obs: Obs::disabled(),
+            ..cfg
+        })
+        .solve(&g, &cluster, &comm())
+        .unwrap();
+        assert_eq!(a.plan, b.plan, "exchange must stay deterministic");
+        assert_eq!(a.search_state, b.search_state);
+        // After the final exchange every chain's incumbent cost is within
+        // one segment of the global best: chains that lagged at the last
+        // boundary were injected with it and can only have improved since.
+        let state = a.search_state.unwrap();
+        let best = state.incumbent().unwrap().1;
+        let worst = state
+            .restarts
+            .iter()
+            .map(|r| r.best_cost)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let unshared = HybridSolver::new(HybridConfig::quick())
+            .solve(&g, &cluster, &comm())
+            .unwrap();
+        let unshared_best = unshared.search_state.unwrap().incumbent().unwrap().1;
+        assert!(
+            best <= unshared_best + 1e-9,
+            "sharing incumbents must not lose quality: {best} vs {unshared_best}"
+        );
+        assert!(worst.is_finite());
+    }
+
+    #[test]
+    fn resume_with_exchange_on_matches_uninterrupted_run() {
+        // The checkpoint/resume contract must survive incumbent exchange:
+        // a mid-run snapshot (whose chains sit at assorted iterations
+        // inside a segment) replays to the same final state, because
+        // exchange points are absolute iteration boundaries and injection
+        // is idempotent.
+        let g = search_graph(12);
+        let cluster = Cluster::two_gpus();
+        let seen: Arc<Mutex<Vec<HybridSearchState>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink_seen = seen.clone();
+        let cfg = HybridConfig {
+            exchange_every: 100,
+            checkpoint_every: 30, // deliberately not aligned with exchanges
+            checkpoint_sink: Some(CheckpointSink::new(move |s| {
+                sink_seen.lock().push(s.clone())
+            })),
+            ..HybridConfig::quick()
+        };
+        let full = HybridSolver::new(cfg.clone())
+            .solve(&g, &cluster, &comm())
+            .unwrap();
+        let states = seen.lock().clone();
+        assert!(states.len() > 2, "cadence snapshots were published");
+        // Replay every published snapshot — mid-segment, at boundaries
+        // (pre- and post-exchange), and terminal — through a resuming
+        // config with the same cadence.
+        for (i, mid) in states.iter().enumerate() {
+            let resumed = HybridSolver::new(HybridConfig {
+                exchange_every: 100,
+                ..HybridConfig::quick()
+            })
+            .resume(&g, &cluster, &comm(), mid.clone())
+            .unwrap();
+            assert_eq!(
+                resumed.plan, full.plan,
+                "snapshot {i} must resume bit-identically"
+            );
+            assert!((resumed.makespan_us - full.makespan_us).abs() < 1e-12);
+        }
     }
 
     #[test]

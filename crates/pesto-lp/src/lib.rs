@@ -39,3 +39,22 @@ mod problem;
 mod simplex;
 
 pub use problem::{LpError, Problem, Relation, Sense, Solution, VarId};
+pub use simplex::set_parallel_override;
+
+/// Installs the process-global worker-thread count used by the parallel
+/// simplex kernels (and anything else built on the same rayon pool).
+///
+/// The first caller wins, like rayon's `build_global`; re-asserting the
+/// value already in effect also succeeds. Returns whether `n` is now the
+/// active thread count. `n = 0` is ignored (returns `false`); `n = 1`
+/// pins the kernels to their serial paths, which are bit-identical to the
+/// parallel ones but skip the fork/join machinery entirely.
+pub fn configure_threads(n: usize) -> bool {
+    if n == 0 {
+        return false;
+    }
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build_global()
+        .is_ok()
+}

@@ -7,6 +7,8 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering as AtomicOrder};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Integrality tolerance: an LP value within this of an integer counts as
@@ -82,6 +84,14 @@ pub struct MilpConfig {
     /// `milp.solve` span, node/prune/pivot counters, and incumbent/gap
     /// solver events.
     pub obs: Obs,
+    /// Number of branch-and-bound worker threads. `1` (the default) runs
+    /// the serial best-first search, which is fully deterministic —
+    /// node-for-node identical across runs — and is the path the
+    /// checkpoint/resume contract is stated against. Values `> 1` explore
+    /// open nodes concurrently against a shared incumbent: the returned
+    /// objective is still optimal within `gap_tolerance`, but node counts
+    /// and tie-broken solution vectors may vary between runs.
+    pub threads: usize,
 }
 
 impl Default for MilpConfig {
@@ -93,6 +103,7 @@ impl Default for MilpConfig {
             warm_start: None,
             cancel: None,
             obs: Obs::disabled(),
+            threads: 1,
         }
     }
 }
@@ -257,6 +268,9 @@ impl MilpProblem {
     ///   integer-feasible point is found;
     /// * [`MilpError::InvalidModel`] for malformed input.
     pub fn solve(&self, config: &MilpConfig) -> Result<MilpSolution, MilpError> {
+        if config.threads > 1 {
+            return self.solve_parallel(config);
+        }
         let start = Instant::now();
         let obs = &config.obs;
         let mut span = obs.span("milp.solve");
@@ -537,6 +551,417 @@ impl MilpProblem {
             }
             // An exhausted tree with no incumbent is a proof of
             // infeasibility; only a limit-terminated search is inconclusive.
+            None if limits_hit => Err(MilpError::NoSolutionFound),
+            None => Err(MilpError::Infeasible),
+        }
+    }
+
+    /// Concurrent best-first branch and bound (`config.threads > 1`).
+    ///
+    /// Workers pop open nodes from a shared heap and dive them exactly like
+    /// the serial search, pruning against a shared incumbent. The incumbent
+    /// lives behind a mutex (objective + values) with its objective
+    /// mirrored in an `AtomicU64` of bit-cast `f64` so the per-node prune
+    /// checks never take the lock; a stale read only makes a prune test
+    /// conservative (the node is explored and pruned at its own bound),
+    /// never unsound. `NO_OBJ` (`u64::MAX`, a NaN bit pattern no feasible
+    /// objective produces) marks "no value yet" — an explicit sentinel
+    /// rather than NaN comparison semantics, which would silently invert
+    /// the prune test.
+    ///
+    /// Termination: a worker that stops mid-dive (limits, cancel, gap met)
+    /// pushes its in-hand node back into the heap, so at join time the
+    /// heap holds *every* open node and the final dual bound is an exact
+    /// scan of it. Idle workers exit once the heap is empty and no worker
+    /// is mid-dive (`active == 0`); `active` is incremented under the heap
+    /// lock at pop and decremented only after a dive's children are
+    /// pushed, so the check cannot race with work being created.
+    fn solve_parallel(&self, config: &MilpConfig) -> Result<MilpSolution, MilpError> {
+        /// Sentinel for "no objective stored" in the atomic f64 mirrors.
+        const NO_OBJ: u64 = u64::MAX;
+        /// Node interval between sampled gap events (mirrors the serial
+        /// path's sampling).
+        const GAP_SAMPLE_EVERY: usize = 64;
+
+        let start = Instant::now();
+        let obs = &config.obs;
+        let mut span = obs.span("milp.solve");
+        span.set_attr("vars", self.lp.var_count());
+        span.set_attr("constraints", self.lp.constraint_count());
+        span.set_attr("binaries", self.binaries.len());
+        span.set_attr("threads", config.threads);
+        let maximize = matches!(self.lp.sense(), Sense::Maximize);
+        let better = |a: f64, b: f64| {
+            if maximize {
+                a > b + 1e-12
+            } else {
+                a < b - 1e-12
+            }
+        };
+        // Heap key: larger = more promising regardless of sense.
+        let node_key = |bound: f64| if maximize { bound } else { -bound };
+
+        let incumbent: Mutex<Option<(f64, Vec<f64>)>> = Mutex::new(None);
+        let incumbent_bits = AtomicU64::new(NO_OBJ);
+        let read_inc = || {
+            let bits = incumbent_bits.load(AtomicOrder::SeqCst);
+            (bits != NO_OBJ).then(|| f64::from_bits(bits))
+        };
+        if let Some(ws) = &config.warm_start {
+            if self.is_integer_feasible(ws, 1e-6) {
+                let obj = self.lp.objective_value(ws);
+                obs.solver_event("milp", SolverEventKind::Incumbent { objective: obj });
+                incumbent_bits.store(obj.to_bits(), AtomicOrder::SeqCst);
+                *incumbent.lock().expect("incumbent lock") = Some((obj, ws.clone()));
+            }
+        }
+
+        let heap: Mutex<BinaryHeap<OrderedNode>> = Mutex::new(BinaryHeap::new());
+        heap.lock().expect("heap lock").push(OrderedNode {
+            key: f64::INFINITY,
+            node: Node {
+                fixings: Vec::new(),
+                bound: if maximize {
+                    f64::INFINITY
+                } else {
+                    f64::NEG_INFINITY
+                },
+                depth: 0,
+            },
+        });
+
+        let nodes = AtomicUsize::new(0);
+        let active = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        let limits_hit = AtomicBool::new(false);
+        let saw_root = AtomicBool::new(false);
+        // Last globally computed dual bound (root relaxation, then each
+        // gap check), used when the heap drains exactly as limits fire.
+        let tracked_bound = AtomicU64::new(NO_OBJ);
+        let error: Mutex<Option<MilpError>> = Mutex::new(None);
+        let fail = |e: MilpError| {
+            let mut slot = error.lock().expect("error lock");
+            if slot.is_none() {
+                *slot = Some(e);
+            }
+            stop.store(true, AtomicOrder::SeqCst);
+        };
+        // Bound of the node each worker holds in hand while diving
+        // (NO_OBJ when idle): the global dual bound must cover nodes that
+        // are neither in the heap nor finished.
+        let dive_bits: Vec<AtomicU64> = (0..config.threads)
+            .map(|_| AtomicU64::new(NO_OBJ))
+            .collect();
+
+        let emit_gap = |incumbent: Option<f64>, bound: f64, n: usize| {
+            obs.solver_event(
+                "milp",
+                SolverEventKind::Gap {
+                    incumbent: incumbent.unwrap_or(f64::INFINITY),
+                    best_bound: bound,
+                    relative_gap: incumbent.map_or(f64::INFINITY, |inc| relative_gap(inc, bound)),
+                    nodes_explored: n as u64,
+                },
+            );
+        };
+        let try_improve = |obj: f64, values: Vec<f64>| {
+            if let Some(inc) = read_inc() {
+                if !better(obj, inc) {
+                    return;
+                }
+            }
+            let mut guard = incumbent.lock().expect("incumbent lock");
+            if guard.as_ref().is_none_or(|(inc, _)| better(obj, *inc)) {
+                incumbent_bits.store(obj.to_bits(), AtomicOrder::SeqCst);
+                obs.solver_event("milp", SolverEventKind::Incumbent { objective: obj });
+                *guard = Some((obj, values));
+            }
+        };
+        // Best bound over all open work: the heap plus every in-flight
+        // dive. `None` when nothing is open.
+        let open_bound = |heap: &BinaryHeap<OrderedNode>| -> Option<f64> {
+            let mut best: Option<f64> = None;
+            let mut fold = |b: f64| {
+                best = Some(match best {
+                    None => b,
+                    Some(acc) if maximize => acc.max(b),
+                    Some(acc) => acc.min(b),
+                });
+            };
+            for n in heap.iter() {
+                fold(n.node.bound);
+            }
+            for d in &dive_bits {
+                let bits = d.load(AtomicOrder::SeqCst);
+                if bits != NO_OBJ {
+                    fold(f64::from_bits(bits));
+                }
+            }
+            best
+        };
+
+        std::thread::scope(|s| {
+            // Workers share everything by reference; only the worker index
+            // is captured by value.
+            let (heap, nodes, active, stop, limits_hit) =
+                (&heap, &nodes, &active, &stop, &limits_hit);
+            let (saw_root, tracked_bound, dive_bits) = (&saw_root, &tracked_bound, &dive_bits);
+            let (fail, try_improve, read_inc, emit_gap, open_bound) =
+                (&fail, &try_improve, &read_inc, &emit_gap, &open_bound);
+            let (node_key, better) = (&node_key, &better);
+            for (w, my_bits) in dive_bits.iter().enumerate() {
+                let worker = move || {
+                    let mut wspan = obs.span("milp.worker");
+                    wspan.set_attr("worker", w);
+                    loop {
+                        if stop.load(AtomicOrder::SeqCst) {
+                            break;
+                        }
+                        let node = {
+                            let mut h = heap.lock().expect("heap lock");
+                            match h.pop() {
+                                Some(on) => {
+                                    active.fetch_add(1, AtomicOrder::SeqCst);
+                                    my_bits.store(on.node.bound.to_bits(), AtomicOrder::SeqCst);
+                                    on.node
+                                }
+                                None => {
+                                    drop(h);
+                                    if active.load(AtomicOrder::SeqCst) == 0 {
+                                        break;
+                                    }
+                                    std::thread::yield_now();
+                                    std::thread::sleep(Duration::from_micros(100));
+                                    continue;
+                                }
+                            }
+                        };
+                        let mut current = Some(node);
+                        while let Some(node) = current.take() {
+                            let push_back = |node: Node| {
+                                heap.lock().expect("heap lock").push(OrderedNode {
+                                    key: node_key(node.bound),
+                                    node,
+                                });
+                            };
+                            if stop.load(AtomicOrder::SeqCst) {
+                                push_back(node);
+                                break;
+                            }
+                            if config.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+                                fail(MilpError::Cancelled);
+                                push_back(node);
+                                break;
+                            }
+                            if nodes.load(AtomicOrder::SeqCst) >= config.node_limit
+                                || start.elapsed() > config.time_limit
+                            {
+                                limits_hit.store(true, AtomicOrder::SeqCst);
+                                stop.store(true, AtomicOrder::SeqCst);
+                                push_back(node);
+                                break;
+                            }
+                            let n_now = nodes.fetch_add(1, AtomicOrder::SeqCst) + 1;
+                            obs.counter_add("milp.nodes", 1);
+                            my_bits.store(node.bound.to_bits(), AtomicOrder::SeqCst);
+                            if obs.is_enabled() && n_now.is_multiple_of(GAP_SAMPLE_EVERY) {
+                                let bits = tracked_bound.load(AtomicOrder::SeqCst);
+                                if bits != NO_OBJ {
+                                    emit_gap(read_inc(), f64::from_bits(bits), n_now);
+                                }
+                            }
+
+                            // Prune by parent bound against incumbent.
+                            if node.depth > 0 {
+                                if let Some(inc) = read_inc() {
+                                    if !better(node.bound, inc) {
+                                        obs.counter_add("milp.prune.parent_bound", 1);
+                                        continue;
+                                    }
+                                }
+                            }
+
+                            // Solve this node's relaxation.
+                            let mut lp = self.lp.clone();
+                            for &(v, val) in &node.fixings {
+                                lp.set_var_bounds(v, val, val);
+                            }
+                            let relax = match lp.solve() {
+                                Ok(sol) => sol,
+                                Err(LpError::Infeasible) => {
+                                    if node.depth == 0 {
+                                        fail(MilpError::Infeasible);
+                                        break;
+                                    }
+                                    obs.counter_add("milp.prune.infeasible", 1);
+                                    continue;
+                                }
+                                Err(LpError::Unbounded) => {
+                                    if node.depth == 0 {
+                                        fail(MilpError::Unbounded);
+                                        break;
+                                    }
+                                    obs.counter_add("milp.prune.infeasible", 1);
+                                    continue;
+                                }
+                                Err(LpError::IterationLimit) => {
+                                    obs.counter_add("milp.prune.iteration_limit", 1);
+                                    continue;
+                                }
+                                Err(LpError::InvalidModel(m)) => {
+                                    fail(MilpError::InvalidModel(m));
+                                    break;
+                                }
+                                Err(other) => {
+                                    fail(MilpError::InvalidModel(other.to_string()));
+                                    break;
+                                }
+                            };
+                            obs.counter_add("milp.lp_pivots", relax.pivots);
+                            if node.depth == 0 {
+                                tracked_bound.store(relax.objective.to_bits(), AtomicOrder::SeqCst);
+                                saw_root.store(true, AtomicOrder::SeqCst);
+                                emit_gap(read_inc(), relax.objective, n_now);
+                            }
+
+                            // Prune by this node's own bound.
+                            if let Some(inc) = read_inc() {
+                                if !better(relax.objective, inc) {
+                                    obs.counter_add("milp.prune.bound", 1);
+                                    continue;
+                                }
+                            }
+
+                            // Find most fractional binary.
+                            let branch_var = self
+                                .binaries
+                                .iter()
+                                .copied()
+                                .map(|v| (v, frac(relax.values[v.index()])))
+                                .filter(|&(_, f)| f > INT_TOL)
+                                .max_by(|a, b| a.1.total_cmp(&b.1))
+                                .map(|(v, _)| v);
+
+                            match branch_var {
+                                None => {
+                                    try_improve(
+                                        relax.objective,
+                                        round_binaries(&relax.values, &self.binaries),
+                                    );
+                                }
+                                Some(v) => {
+                                    // Rounding heuristic: snap all binaries, re-check.
+                                    let rounded = round_binaries(&relax.values, &self.binaries);
+                                    if self.lp.is_feasible(&rounded, 1e-7) {
+                                        try_improve(self.lp.objective_value(&rounded), rounded);
+                                    }
+                                    // Branch: dive into the LP-preferred side;
+                                    // the other child goes to the shared heap.
+                                    let lean1 = relax.values[v.index()];
+                                    let (dive_val, other_val) =
+                                        if lean1 >= 0.5 { (1.0, 0.0) } else { (0.0, 1.0) };
+                                    let mut dive_fixings = node.fixings.clone();
+                                    dive_fixings.push((v, dive_val));
+                                    let mut other_fixings = node.fixings;
+                                    other_fixings.push((v, other_val));
+                                    heap.lock().expect("heap lock").push(OrderedNode {
+                                        key: node_key(relax.objective),
+                                        node: Node {
+                                            fixings: other_fixings,
+                                            bound: relax.objective,
+                                            depth: node.depth + 1,
+                                        },
+                                    });
+                                    let dive = Node {
+                                        fixings: dive_fixings,
+                                        bound: relax.objective,
+                                        depth: node.depth + 1,
+                                    };
+                                    my_bits.store(dive.bound.to_bits(), AtomicOrder::SeqCst);
+                                    current = Some(dive);
+                                }
+                            }
+
+                            // Global bound across open work ⇒ gap early stop.
+                            if let Some(inc) = read_inc() {
+                                let open = {
+                                    let h = heap.lock().expect("heap lock");
+                                    open_bound(&h)
+                                };
+                                // The in-hand dive node is covered by this
+                                // worker's own dive_bits entry.
+                                let bound = open.unwrap_or(inc);
+                                tracked_bound.store(bound.to_bits(), AtomicOrder::SeqCst);
+                                if relative_gap(inc, bound) <= config.gap_tolerance {
+                                    stop.store(true, AtomicOrder::SeqCst);
+                                    if let Some(cur) = current.take() {
+                                        push_back(cur);
+                                    }
+                                    break;
+                                }
+                            }
+                        }
+                        my_bits.store(NO_OBJ, AtomicOrder::SeqCst);
+                        active.fetch_sub(1, AtomicOrder::SeqCst);
+                    }
+                };
+                s.spawn(worker);
+            }
+        });
+
+        if let Some(e) = error.into_inner().expect("error lock") {
+            return Err(e);
+        }
+        let incumbent = incumbent.into_inner().expect("incumbent lock");
+        let heap = heap.into_inner().expect("heap lock");
+        let nodes_explored = nodes.into_inner();
+        let limits_hit = limits_hit.into_inner();
+        let saw_root = saw_root.into_inner();
+        match incumbent {
+            Some((inc, values)) => {
+                // After the join every open node is back in the heap, so
+                // an empty heap without a limits break is an exhausted
+                // tree (same reasoning as the serial path).
+                let exhausted = heap.is_empty() && !limits_hit;
+                let bound = if exhausted || !saw_root {
+                    inc
+                } else {
+                    // Exact bound over the surviving open nodes; when the
+                    // heap drained exactly as limits fired, fall back to
+                    // the last globally computed bound.
+                    let open = {
+                        let mut best: Option<f64> = None;
+                        for n in heap.iter() {
+                            let b = n.node.bound;
+                            best = Some(match best {
+                                None => b,
+                                Some(acc) if maximize => acc.max(b),
+                                Some(acc) => acc.min(b),
+                            });
+                        }
+                        best
+                    };
+                    match open {
+                        Some(b) => b,
+                        None => {
+                            let bits = tracked_bound.load(AtomicOrder::SeqCst);
+                            if bits != NO_OBJ {
+                                f64::from_bits(bits)
+                            } else {
+                                inc
+                            }
+                        }
+                    }
+                };
+                let status = if exhausted
+                    || (saw_root && relative_gap(inc, bound) <= config.gap_tolerance)
+                {
+                    MilpStatus::Optimal
+                } else {
+                    MilpStatus::Feasible
+                };
+                Ok(self.finish(status, (inc, values), bound, nodes_explored, obs))
+            }
             None if limits_hit => Err(MilpError::NoSolutionFound),
             None => Err(MilpError::Infeasible),
         }
@@ -837,6 +1262,145 @@ mod tests {
         // The checkpointed incumbent prunes what the cold run had to
         // discover, so the resumed tree is never larger.
         assert!(resumed.nodes_explored <= cold.nodes_explored);
+    }
+
+    /// A wider knapsack (two rows) that produces a few hundred B&B nodes —
+    /// enough for threads to genuinely overlap.
+    fn branchy_problem_wide(n: usize) -> MilpProblem {
+        let mut lp = Problem::new(Sense::Maximize);
+        let vars: Vec<_> = (0..n)
+            .map(|i| lp.add_var(format!("v{i}"), 0.0, 1.0, (3 * i % 7 + 1) as f64))
+            .collect();
+        let t1: Vec<_> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, (2 * i % 5 + 1) as f64))
+            .collect();
+        lp.add_constraint(t1, Relation::Le, 1.3 * n as f64);
+        let t2: Vec<_> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, (i % 3 + 1) as f64))
+            .collect();
+        lp.add_constraint(t2, Relation::Le, 0.9 * n as f64);
+        MilpProblem::new(lp, vars)
+    }
+
+    #[test]
+    fn parallel_matches_serial_objective() {
+        for n in [8, 12, 14] {
+            let milp = branchy_problem_wide(n);
+            let serial = milp.solve(&MilpConfig::default()).unwrap();
+            for threads in [2, 4] {
+                let cfg = MilpConfig {
+                    threads,
+                    ..MilpConfig::default()
+                };
+                let par = milp.solve(&cfg).unwrap();
+                assert_eq!(par.status, MilpStatus::Optimal, "n={n} threads={threads}");
+                approx(par.objective, serial.objective);
+                assert!(milp.is_integer_feasible(&par.values, 1e-6));
+                assert!(par.gap <= cfg.gap_tolerance + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn threads_one_is_the_serial_path() {
+        // threads=1 must route through the legacy deterministic search:
+        // node counts are exactly reproducible run to run.
+        let milp = branchy_problem_wide(12);
+        let a = milp.solve(&MilpConfig::default()).unwrap();
+        let b = milp
+            .solve(&MilpConfig {
+                threads: 1,
+                ..MilpConfig::default()
+            })
+            .unwrap();
+        assert_eq!(a.nodes_explored, b.nodes_explored);
+        assert_eq!(a.values, b.values);
+        assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+        assert_eq!(a.best_bound.to_bits(), b.best_bound.to_bits());
+    }
+
+    #[test]
+    fn parallel_incumbent_stress() {
+        // Hammer the shared-incumbent path: many short parallel solves with
+        // more workers than cores, every one of which must still land on
+        // the proven optimum. Races in the incumbent cell (lost updates,
+        // pruning against a torn objective) show up as a wrong objective
+        // or a non-Optimal status.
+        let milp = branchy_problem_wide(10);
+        let want = milp.solve(&MilpConfig::default()).unwrap().objective;
+        for round in 0..20 {
+            let cfg = MilpConfig {
+                threads: 2 + round % 3, // 2..=4
+                ..MilpConfig::default()
+            };
+            let sol = milp.solve(&cfg).unwrap();
+            assert_eq!(sol.status, MilpStatus::Optimal, "round={round}");
+            approx(sol.objective, want);
+        }
+    }
+
+    #[test]
+    fn parallel_warm_start_and_telemetry() {
+        let milp = branchy_problem_wide(10);
+        let serial = milp.solve(&MilpConfig::default()).unwrap();
+        let obs = Obs::enabled();
+        let cfg = MilpConfig {
+            threads: 2,
+            warm_start: Some(serial.values.clone()),
+            obs: obs.clone(),
+            ..MilpConfig::default()
+        };
+        let sol = milp.solve(&cfg).unwrap();
+        approx(sol.objective, serial.objective);
+        assert_eq!(obs.counter("milp.nodes"), sol.nodes_explored as u64);
+        let span_names: Vec<String> = obs.spans().iter().map(|s| s.name.clone()).collect();
+        assert!(span_names.contains(&"milp.solve".to_string()));
+        assert!(span_names.contains(&"milp.worker".to_string()));
+        assert!(obs
+            .solver_events()
+            .iter()
+            .any(|e| matches!(e.kind, SolverEventKind::Incumbent { .. })));
+    }
+
+    #[test]
+    fn parallel_infeasible_and_cancel() {
+        let mut lp = Problem::new(Sense::Minimize);
+        let a = lp.add_var("a", 0.0, 1.0, 1.0);
+        let b = lp.add_var("b", 0.0, 1.0, 1.0);
+        lp.add_constraint(vec![(a, 1.0), (b, 1.0)], Relation::Ge, 3.0);
+        let cfg = MilpConfig {
+            threads: 3,
+            ..MilpConfig::default()
+        };
+        assert_eq!(
+            MilpProblem::new(lp, vec![a, b]).solve(&cfg).unwrap_err(),
+            MilpError::Infeasible
+        );
+
+        let milp = branchy_problem_wide(12);
+        let token = CancelToken::new();
+        token.cancel();
+        let cfg = MilpConfig {
+            threads: 3,
+            cancel: Some(token),
+            ..MilpConfig::default()
+        };
+        assert_eq!(milp.solve(&cfg).unwrap_err(), MilpError::Cancelled);
+    }
+
+    #[test]
+    fn parallel_zero_node_budget_reports_no_solution() {
+        let milp = branchy_problem_wide(10);
+        let cfg = MilpConfig {
+            threads: 2,
+            node_limit: 0,
+            ..MilpConfig::default()
+        };
+        assert_eq!(milp.solve(&cfg).unwrap_err(), MilpError::NoSolutionFound);
     }
 
     #[test]

@@ -50,6 +50,11 @@ pub struct JobSpec {
     /// Profiling iterations for op-time estimation. `None` trusts the
     /// graph's compute times as-is (and skips the shared profile cache).
     pub profiler_iterations: Option<usize>,
+    /// Solver worker threads, mapped onto
+    /// [`pesto::PestoConfig::solver_threads`]: `None` (and `1`) keep the
+    /// deterministic serial solvers; larger values parallelize the LP
+    /// kernels and the MILP branch-and-bound for this job.
+    pub threads: Option<usize>,
 }
 
 impl JobSpec {
@@ -76,6 +81,7 @@ impl JobSpec {
             iterations: get_u64("iterations").map(|n| n as usize),
             restarts: get_u64("restarts").map(|n| n as usize),
             profiler_iterations: get_u64("profiler_iterations").map(|n| n as usize),
+            threads: get_u64("threads").map(|n| (n as usize).max(1)),
         })
     }
 

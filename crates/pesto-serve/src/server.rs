@@ -424,7 +424,7 @@ fn submit(req: &Request, state: &Arc<ServerState>) -> Response {
     {
         let queue = state.queue.lock().unwrap();
         if queue.len() >= state.config.queue_capacity {
-            let hint_ms = retry_after_hint_ms(state, queue.len());
+            let hint_ms = retry_after_hint_ms(state, queue.len(), spec.sla_ms);
             state.counters.rejected.fetch_add(1, Ordering::Relaxed);
             return Response::json(
                 429,
@@ -478,11 +478,33 @@ fn submit(req: &Request, state: &Arc<ServerState>) -> Response {
 }
 
 /// How long a rejected client should wait: enough for the backlog ahead
-/// of it to drain at the observed service rate.
-fn retry_after_hint_ms(state: &Arc<ServerState>, queue_len: usize) -> u64 {
-    let avg = state.counters.avg_job_ms.load(Ordering::Relaxed).max(50);
-    let workers = state.config.workers.max(1) as u64;
-    (avg * (queue_len as u64 + 1)).div_ceil(workers).max(100)
+/// of it to drain at the observed service rate, clamped to the job's own
+/// SLA when it has one.
+fn retry_after_hint_ms(state: &Arc<ServerState>, queue_len: usize, sla_ms: Option<u64>) -> u64 {
+    retry_hint_from(
+        state.counters.avg_job_ms.load(Ordering::Relaxed),
+        state.config.workers,
+        queue_len,
+        sla_ms,
+    )
+}
+
+/// The pure hint computation behind [`retry_after_hint_ms`].
+///
+/// A client with a deadline cannot usefully wait longer than its own SLA:
+/// a retry after that would blow the job's time budget the moment it was
+/// admitted. Clamping the drain estimate to `sla_ms` keeps the hint
+/// actionable — retry while the job can still meet its SLA, or give up
+/// immediately — instead of reporting a backlog estimate the deadline
+/// makes irrelevant.
+fn retry_hint_from(avg_job_ms: u64, workers: usize, queue_len: usize, sla_ms: Option<u64>) -> u64 {
+    let avg = avg_job_ms.max(50);
+    let workers = workers.max(1) as u64;
+    let drain = (avg * (queue_len as u64 + 1)).div_ceil(workers).max(100);
+    match sla_ms {
+        Some(sla) => drain.min(sla.max(1)),
+        None => drain,
+    }
 }
 
 fn list_jobs(state: &Arc<ServerState>) -> Response {
@@ -808,6 +830,9 @@ fn job_config(
     if let Some(restarts) = spec.restarts {
         config.placer.hybrid.restarts = restarts;
     }
+    if let Some(threads) = spec.threads {
+        config.solver_threads = threads.max(1);
+    }
     if spec.checkpoint_every > 0 {
         config.checkpoint = Some(CheckpointConfig {
             path: generation_path(dir, "search", attempt as u64),
@@ -1047,4 +1072,33 @@ pub fn wait_terminal(addr: &str, id: &str, timeout: Duration) -> Result<Value, S
 pub fn submit_raw(addr: &str, body: &str) -> Result<ClientResponse, String> {
     client_request(addr, "POST", "/jobs", Some(body), Duration::from_secs(10))
         .map_err(|e| format!("submit failed: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::retry_hint_from;
+
+    #[test]
+    fn retry_hint_scales_with_backlog_and_floors_at_100ms() {
+        // Empty-ish queue: one job ahead at the 50ms floor rate.
+        assert_eq!(retry_hint_from(0, 1, 0, None), 100);
+        // Ten jobs ahead at 400ms each, two workers: 2200ms drain.
+        assert_eq!(retry_hint_from(400, 2, 10, None), 2200);
+        // Zero workers is treated as one.
+        assert_eq!(retry_hint_from(400, 0, 1, None), 800);
+    }
+
+    #[test]
+    fn retry_hint_is_clamped_to_the_jobs_own_sla() {
+        // The drain estimate says 2200ms, but the job's SLA is 1500ms:
+        // waiting longer than its own budget is never useful advice.
+        assert_eq!(retry_hint_from(400, 2, 10, Some(1500)), 1500);
+        // An SLA tighter than the 100ms floor wins too (the clamp is the
+        // outermost bound), and a zero SLA still yields a positive hint.
+        assert_eq!(retry_hint_from(400, 2, 10, Some(30)), 30);
+        assert_eq!(retry_hint_from(400, 2, 10, Some(0)), 1);
+        // A generous SLA leaves the estimate untouched.
+        assert_eq!(retry_hint_from(400, 2, 10, Some(60_000)), 2200);
+        assert_eq!(retry_hint_from(400, 2, 10, None), 2200);
+    }
 }

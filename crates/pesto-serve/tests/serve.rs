@@ -155,6 +155,15 @@ fn overload_is_a_typed_429_with_retry_after() {
     let v: Value = serde_json::from_str(&rejected.body).unwrap();
     assert!(v.get("retry_after_ms").and_then(Value::as_u64).unwrap() >= 100);
 
+    // A rejected job with its own SLA gets a hint clamped to that budget:
+    // the drain estimate is at least the 100ms floor, so a 30ms SLA
+    // forces the clamp to be what comes back.
+    let sla_knobs = format!("{long},\"sla_ms\":30");
+    let rejected_sla = submit_raw(&addr, &body_with(&graph, &sla_knobs)).unwrap();
+    assert_eq!(rejected_sla.status, 429);
+    let v: Value = serde_json::from_str(&rejected_sla.body).unwrap();
+    assert_eq!(v.get("retry_after_ms").and_then(Value::as_u64), Some(30));
+
     // Cancel both admitted jobs: the running one stops cooperatively,
     // the queued one settles immediately without ever running.
     for id in [&a, &b] {
@@ -175,7 +184,7 @@ fn overload_is_a_typed_429_with_retry_after() {
     assert_eq!(vb.get("attempts").and_then(Value::as_u64), Some(0));
 
     let health = get_json(&addr, "/healthz");
-    assert_eq!(health.get("rejected").and_then(Value::as_u64), Some(1));
+    assert_eq!(health.get("rejected").and_then(Value::as_u64), Some(2));
     assert_eq!(health.get("cancelled").and_then(Value::as_u64), Some(2));
     server.stop();
 }

@@ -57,6 +57,7 @@ const COMMANDS: &[CommandSpec] = &[
             ("--gpus", "N"),
             ("--quick", ""),
             ("--iters", "N"),
+            ("--threads", "N"),
             ("--checkpoint", "FILE"),
             ("--resume", ""),
             ("--checkpoint-every", "N"),
@@ -251,6 +252,13 @@ fn run(args: &[String]) -> Result<(), CliError> {
                 config.placer.hybrid.iterations = iters
                     .parse()
                     .map_err(|_| format!("bad --iters value {iters}"))?;
+            }
+            if let Some(threads) = flag_value(args, "place", "--threads") {
+                config.solver_threads = threads
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("bad --threads value {threads}"))?;
             }
             let resume = has_flag(args, "place", "--resume");
             match flag_value(args, "place", "--checkpoint") {

@@ -30,6 +30,15 @@ pub struct PestoConfig {
     pub max_members_for_scheduling: usize,
     /// Placement solver configuration.
     pub placer: PlacerConfig,
+    /// Worker threads for the placement solvers. `1` (the default) keeps
+    /// every solver on its deterministic serial path. Values `> 1` are
+    /// applied in two places: the LP simplex kernels' global pool (via
+    /// [`pesto_lp::configure_threads`]; bit-identical results at any
+    /// thread count) and the MILP branch-and-bound
+    /// ([`pesto_milp::MilpConfig::threads`]; still optimal, but node
+    /// counts may vary run to run). An explicit
+    /// `placer.ilp.milp.threads` larger than this value wins.
+    pub solver_threads: usize,
     /// Deterministic seed (profiling noise + final evaluation tie-breaks).
     pub seed: u64,
     /// Hill-climbing passes of the fine-grained group-flip refinement that
@@ -85,6 +94,7 @@ impl Default for PestoConfig {
             profiler_iterations: Some(100),
             max_members_for_scheduling: 200,
             placer: PlacerConfig::default(),
+            solver_threads: 1,
             seed: 0xbe57,
             refinement_passes: 2,
             congestion_aware: true,
@@ -727,6 +737,16 @@ impl Pesto {
         if placer_config.cancel.is_none() {
             placer_config.cancel = self.config.cancel.clone();
         }
+        // Parallel solvers: install the LP-kernel pool size (process-global,
+        // first caller wins) and hand the B&B its worker count.
+        if self.config.solver_threads > 1 {
+            pesto_lp::configure_threads(self.config.solver_threads);
+        }
+        placer_config.ilp.milp.threads = placer_config
+            .ilp
+            .milp
+            .threads
+            .max(self.config.solver_threads.max(1));
         // Seeds: constructive heuristics on the coarse graph, plus the
         // fine-grained mSCT placement projected onto the coarse vertices by
         // member-compute-weighted majority vote.

@@ -1,0 +1,504 @@
+//! The data-parallel iterator subset.
+//!
+//! Internally every parallel iterator is a *fold over an index range*: the
+//! base sources (ranges, slices) own an index space `0..len`, and
+//! combinators (`map`, `filter`, `enumerate`, …) adapt the per-item fold
+//! without changing that index space. Drivers (`reduce`, `for_each`, …)
+//! split the index space into one contiguous chunk per thread, fold each
+//! chunk sequentially, and combine chunk results in chunk order — so any
+//! associative combine yields the same answer at every thread count.
+
+use crate::current_num_threads;
+use std::cmp::Ordering as CmpOrdering;
+use std::ops::Range;
+
+fn effective_threads(n: usize) -> usize {
+    current_num_threads().min(n).max(1)
+}
+
+/// The core parallel-iterator trait (a strict subset of the real crate's).
+///
+/// The `reduce`/`reduce_with` operators must be associative for the result
+/// to be thread-count independent — the same contract the real rayon
+/// documents.
+pub trait ParallelIterator: Sized + Send + Sync {
+    /// Item type produced by the iterator.
+    type Item: Send;
+
+    #[doc(hidden)]
+    fn index_len(&self) -> usize;
+
+    #[doc(hidden)]
+    fn fold_range<T, F>(&self, range: Range<usize>, init: T, f: &mut F) -> T
+    where
+        F: FnMut(T, Self::Item) -> T;
+
+    /// Maps each item through `f`.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Send + Sync,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only items for which `f` returns true.
+    fn filter<F>(self, f: F) -> Filter<Self, F>
+    where
+        F: Fn(&Self::Item) -> bool + Send + Sync,
+    {
+        Filter { inner: self, f }
+    }
+
+    /// Maps and filters in one pass.
+    fn filter_map<R, F>(self, f: F) -> FilterMap<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> Option<R> + Send + Sync,
+    {
+        FilterMap { inner: self, f }
+    }
+
+    /// Reduces all items with `op`, seeding each chunk with `identity()`.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Send + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Send + Sync,
+    {
+        let n = self.index_len();
+        let threads = effective_threads(n);
+        if threads <= 1 {
+            return self.fold_range(0..n, identity(), &mut |a, b| op(a, b));
+        }
+        let chunk = n.div_ceil(threads);
+        let parts: Vec<Self::Item> = std::thread::scope(|s| {
+            let this = &self;
+            let identity = &identity;
+            let op = &op;
+            let handles: Vec<_> = (0..threads)
+                .map(|k| {
+                    let lo = k * chunk;
+                    let hi = ((k + 1) * chunk).min(n);
+                    s.spawn(move || this.fold_range(lo..hi, identity(), &mut |a, b| op(a, b)))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel fold panicked"))
+                .collect()
+        });
+        parts
+            .into_iter()
+            .reduce(|a, b| op(a, b))
+            .unwrap_or_else(identity)
+    }
+
+    /// Reduces items with `op`; `None` for an empty iterator.
+    fn reduce_with<OP>(self, op: OP) -> Option<Self::Item>
+    where
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Send + Sync,
+    {
+        let n = self.index_len();
+        let threads = effective_threads(n);
+        let fold_opt = |this: &Self, range: Range<usize>, op: &OP| -> Option<Self::Item> {
+            this.fold_range(range, None, &mut |acc: Option<Self::Item>, item| match acc {
+                None => Some(item),
+                Some(prev) => Some(op(prev, item)),
+            })
+        };
+        if threads <= 1 {
+            return fold_opt(&self, 0..n, &op);
+        }
+        let chunk = n.div_ceil(threads);
+        let parts: Vec<Option<Self::Item>> = std::thread::scope(|s| {
+            let this = &self;
+            let op = &op;
+            let handles: Vec<_> = (0..threads)
+                .map(|k| {
+                    let lo = k * chunk;
+                    let hi = ((k + 1) * chunk).min(n);
+                    s.spawn(move || fold_opt(this, lo..hi, op))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel fold panicked"))
+                .collect()
+        });
+        parts
+            .into_iter()
+            .flatten()
+            .reduce(|a, b| op(a, b))
+    }
+
+    /// The minimum item under `cmp`; the **first** of equal minima (chunk
+    /// order = index order, so this matches a sequential scan that only
+    /// replaces the incumbent on a strict improvement).
+    fn min_by<F>(self, cmp: F) -> Option<Self::Item>
+    where
+        F: Fn(&Self::Item, &Self::Item) -> CmpOrdering + Send + Sync,
+    {
+        self.reduce_with(|a, b| {
+            if cmp(&b, &a) == CmpOrdering::Less {
+                b
+            } else {
+                a
+            }
+        })
+    }
+
+    /// Runs `f` on every item.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        let n = self.index_len();
+        let threads = effective_threads(n);
+        if threads <= 1 {
+            self.fold_range(0..n, (), &mut |(), item| f(item));
+            return;
+        }
+        let chunk = n.div_ceil(threads);
+        std::thread::scope(|s| {
+            let this = &self;
+            let f = &f;
+            for k in 0..threads {
+                let lo = k * chunk;
+                let hi = ((k + 1) * chunk).min(n);
+                s.spawn(move || this.fold_range(lo..hi, (), &mut |(), item| f(item)));
+            }
+        });
+    }
+
+    /// Number of items (after filtering).
+    fn count(self) -> usize {
+        self.map(|_| 1usize).reduce(|| 0, |a, b| a + b)
+    }
+}
+
+/// Parallel iterators that yield exactly one item per base index, in index
+/// order — the prerequisite for `enumerate`. (`filter` forfeits this,
+/// exactly like the real crate's `IndexedParallelIterator`.)
+pub trait IndexedParallelIterator: ParallelIterator {
+    /// Pairs each item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { inner: self }
+    }
+}
+
+/// Converts a value into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// The resulting iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type.
+    type Item: Send;
+    /// Performs the conversion.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `.par_iter()` on shared references.
+pub trait IntoParallelRefIterator<'d> {
+    /// The resulting iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type (a shared reference).
+    type Item: Send + 'd;
+    /// Performs the conversion.
+    fn par_iter(&'d self) -> Self::Iter;
+}
+
+/// `.par_iter_mut()` on mutable slices / vectors.
+pub trait IntoParallelRefMutIterator<'d> {
+    /// Element type.
+    type Elem: Send + 'd;
+    /// Performs the conversion.
+    fn par_iter_mut(&'d mut self) -> SliceIterMut<'d, Self::Elem>;
+}
+
+// --- Sources -----------------------------------------------------------
+
+/// Parallel iterator over `Range<usize>`.
+#[derive(Clone)]
+pub struct RangeIter {
+    range: Range<usize>,
+}
+
+impl ParallelIterator for RangeIter {
+    type Item = usize;
+
+    fn index_len(&self) -> usize {
+        self.range.len()
+    }
+
+    fn fold_range<T, F>(&self, range: Range<usize>, init: T, f: &mut F) -> T
+    where
+        F: FnMut(T, usize) -> T,
+    {
+        let mut acc = init;
+        for i in range {
+            acc = f(acc, self.range.start + i);
+        }
+        acc
+    }
+}
+
+impl IndexedParallelIterator for RangeIter {}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = RangeIter;
+    type Item = usize;
+
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter { range: self }
+    }
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct SliceIter<'d, T> {
+    slice: &'d [T],
+}
+
+impl<'d, T: Sync> ParallelIterator for SliceIter<'d, T> {
+    type Item = &'d T;
+
+    fn index_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn fold_range<A, F>(&self, range: Range<usize>, init: A, f: &mut F) -> A
+    where
+        F: FnMut(A, &'d T) -> A,
+    {
+        let mut acc = init;
+        for item in &self.slice[range] {
+            acc = f(acc, item);
+        }
+        acc
+    }
+}
+
+impl<'d, T: Sync> IndexedParallelIterator for SliceIter<'d, T> {}
+
+impl<'d, T: Sync + 'd> IntoParallelRefIterator<'d> for [T] {
+    type Iter = SliceIter<'d, T>;
+    type Item = &'d T;
+
+    fn par_iter(&'d self) -> SliceIter<'d, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'d, T: Sync + 'd> IntoParallelRefIterator<'d> for Vec<T> {
+    type Iter = SliceIter<'d, T>;
+    type Item = &'d T;
+
+    fn par_iter(&'d self) -> SliceIter<'d, T> {
+        SliceIter { slice: self }
+    }
+}
+
+// --- Combinators -------------------------------------------------------
+
+/// See [`ParallelIterator::map`].
+pub struct Map<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Send + Sync,
+{
+    type Item = R;
+
+    fn index_len(&self) -> usize {
+        self.inner.index_len()
+    }
+
+    fn fold_range<T, G>(&self, range: Range<usize>, init: T, g: &mut G) -> T
+    where
+        G: FnMut(T, R) -> T,
+    {
+        self.inner
+            .fold_range(range, init, &mut |acc, item| g(acc, (self.f)(item)))
+    }
+}
+
+impl<I, R, F> IndexedParallelIterator for Map<I, F>
+where
+    I: IndexedParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Send + Sync,
+{
+}
+
+/// See [`ParallelIterator::filter`].
+pub struct Filter<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I, F> ParallelIterator for Filter<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(&I::Item) -> bool + Send + Sync,
+{
+    type Item = I::Item;
+
+    fn index_len(&self) -> usize {
+        self.inner.index_len()
+    }
+
+    fn fold_range<T, G>(&self, range: Range<usize>, init: T, g: &mut G) -> T
+    where
+        G: FnMut(T, I::Item) -> T,
+    {
+        self.inner.fold_range(range, init, &mut |acc, item| {
+            if (self.f)(&item) {
+                g(acc, item)
+            } else {
+                acc
+            }
+        })
+    }
+}
+
+/// See [`ParallelIterator::filter_map`].
+pub struct FilterMap<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for FilterMap<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> Option<R> + Send + Sync,
+{
+    type Item = R;
+
+    fn index_len(&self) -> usize {
+        self.inner.index_len()
+    }
+
+    fn fold_range<T, G>(&self, range: Range<usize>, init: T, g: &mut G) -> T
+    where
+        G: FnMut(T, R) -> T,
+    {
+        self.inner
+            .fold_range(range, init, &mut |acc, item| match (self.f)(item) {
+                Some(mapped) => g(acc, mapped),
+                None => acc,
+            })
+    }
+}
+
+/// See [`IndexedParallelIterator::enumerate`].
+pub struct Enumerate<I> {
+    inner: I,
+}
+
+impl<I> ParallelIterator for Enumerate<I>
+where
+    I: IndexedParallelIterator,
+{
+    type Item = (usize, I::Item);
+
+    fn index_len(&self) -> usize {
+        self.inner.index_len()
+    }
+
+    fn fold_range<T, G>(&self, range: Range<usize>, init: T, g: &mut G) -> T
+    where
+        G: FnMut(T, (usize, I::Item)) -> T,
+    {
+        let mut next = range.start;
+        self.inner.fold_range(range, init, &mut |acc, item| {
+            let i = next;
+            next += 1;
+            g(acc, (i, item))
+        })
+    }
+}
+
+impl<I> IndexedParallelIterator for Enumerate<I> where I: IndexedParallelIterator {}
+
+// --- Mutable slices ----------------------------------------------------
+
+/// Parallel iterator over `&mut [T]` (a dedicated type: the mutable
+/// drivers hand out disjoint chunks rather than folding an index space).
+pub struct SliceIterMut<'d, T> {
+    slice: &'d mut [T],
+}
+
+impl<'d, T: Send> SliceIterMut<'d, T> {
+    /// Pairs each element with its index.
+    pub fn enumerate(self) -> EnumerateSliceMut<'d, T> {
+        EnumerateSliceMut { slice: self.slice }
+    }
+
+    /// Runs `f` on every element.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Send + Sync,
+    {
+        for_each_mut(self.slice, |_, x| f(x));
+    }
+}
+
+/// Enumerated variant of [`SliceIterMut`].
+pub struct EnumerateSliceMut<'d, T> {
+    slice: &'d mut [T],
+}
+
+impl<'d, T: Send> EnumerateSliceMut<'d, T> {
+    /// Runs `f` on every `(index, element)` pair.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut T)) + Send + Sync,
+    {
+        for_each_mut(self.slice, |i, x| f((i, x)));
+    }
+}
+
+fn for_each_mut<T: Send, F>(slice: &mut [T], f: F)
+where
+    F: Fn(usize, &mut T) + Send + Sync,
+{
+    let n = slice.len();
+    let threads = effective_threads(n);
+    if threads <= 1 {
+        for (i, x) in slice.iter_mut().enumerate() {
+            f(i, x);
+        }
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|s| {
+        let f = &f;
+        for (k, part) in slice.chunks_mut(chunk).enumerate() {
+            s.spawn(move || {
+                for (off, x) in part.iter_mut().enumerate() {
+                    f(k * chunk + off, x);
+                }
+            });
+        }
+    });
+}
+
+impl<'d, T: Send + 'd> IntoParallelRefMutIterator<'d> for [T] {
+    type Elem = T;
+
+    fn par_iter_mut(&'d mut self) -> SliceIterMut<'d, T> {
+        SliceIterMut { slice: self }
+    }
+}
+
+impl<'d, T: Send + 'd> IntoParallelRefMutIterator<'d> for Vec<T> {
+    type Elem = T;
+
+    fn par_iter_mut(&'d mut self) -> SliceIterMut<'d, T> {
+        SliceIterMut { slice: self }
+    }
+}

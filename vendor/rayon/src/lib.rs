@@ -1,0 +1,197 @@
+//! Offline substitute for `rayon`, covering the API surface the workspace
+//! uses: `join`, a global thread-count knob (`ThreadPoolBuilder` /
+//! `current_num_threads`), and a small data-parallel iterator library
+//! (`par_iter` / `par_iter_mut` / `into_par_iter` with `map`, `filter`,
+//! `filter_map`, `enumerate`, `reduce`, `reduce_with`, `min_by`,
+//! `for_each`).
+//!
+//! Unlike the real crate there is no work-stealing pool: each parallel
+//! driver splits its index space into one contiguous chunk per thread and
+//! runs them on `std::thread::scope` threads, then combines the per-chunk
+//! results **in chunk order**. For associative reduction operators the
+//! result is therefore identical for every thread count — the property the
+//! solver kernels rely on for their `threads=1` bit-identicality contract.
+//!
+//! With a configured (or detected) thread count of 1 every driver runs
+//! inline on the calling thread with no spawning at all, so the serial
+//! path is exactly the sequential fold.
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// 0 = not yet configured (use `RAYON_NUM_THREADS` or
+/// [`available_parallelism`]).
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Default thread count when `build_global` was never called: the
+/// `RAYON_NUM_THREADS` environment variable (like the real crate), else
+/// the detected CPU count. Cached after the first read.
+fn env_or_detected_threads() -> usize {
+    static CACHED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CACHED.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(available_parallelism)
+    })
+}
+
+/// Number of threads parallel drivers will use.
+pub fn current_num_threads() -> usize {
+    match GLOBAL_THREADS.load(Ordering::Relaxed) {
+        0 => env_or_detected_threads(),
+        n => n,
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build_global`] (the global pool was
+/// already initialized), mirroring the real crate's behavior.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("the global thread pool has already been initialized")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for the (process-global) thread count.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder; `num_threads(0)` means "detect".
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the thread count the global drivers use.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Installs the thread count globally. Like the real crate, a second
+    /// initialization fails — except that re-asserting the value already
+    /// installed is accepted (the workspace configures the count once per
+    /// process but may route through this call more than once).
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        let wanted = if self.num_threads == 0 {
+            available_parallelism()
+        } else {
+            self.num_threads
+        };
+        match GLOBAL_THREADS.compare_exchange(0, wanted, Ordering::SeqCst, Ordering::SeqCst) {
+            Ok(_) => Ok(()),
+            Err(current) if current == wanted => Ok(()),
+            Err(_) => Err(ThreadPoolBuildError(())),
+        }
+    }
+}
+
+/// Runs both closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        (ra, rb)
+    } else {
+        std::thread::scope(|s| {
+            let hb = s.spawn(b);
+            let ra = a();
+            (ra, hb.join().expect("rayon::join closure panicked"))
+        })
+    }
+}
+
+pub mod iter;
+
+pub mod prelude {
+    pub use crate::iter::{
+        IndexedParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+        IntoParallelRefMutIterator, ParallelIterator,
+    };
+}
+
+pub mod slice {
+    pub use crate::iter::{SliceIter, SliceIterMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn range_map_reduce() {
+        let s = (0..1000usize)
+            .into_par_iter()
+            .map(|i| i as u64)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(s, 499_500);
+    }
+
+    #[test]
+    fn slice_filter_min_by() {
+        let v: Vec<i64> = (0..512).map(|i| (i * 37) % 101 - 50).collect();
+        let expect = v.iter().copied().filter(|&x| x % 2 == 0).min();
+        let got = v
+            .par_iter()
+            .map(|&x| x)
+            .filter(|&x| x % 2 == 0)
+            .min_by(|a, b| a.cmp(b));
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn enumerate_matches_serial() {
+        let v: Vec<u32> = (0..300).map(|i| (i * 7) % 31).collect();
+        let got = v
+            .par_iter()
+            .enumerate()
+            .filter(|&(_, &x)| x > 15)
+            .map(|(i, &x)| (i, x))
+            .reduce_with(|a, b| if b.1 < a.1 || (b.1 == a.1 && b.0 < a.0) { b } else { a });
+        let expect = v
+            .iter()
+            .enumerate()
+            .filter(|&(_, &x)| x > 15)
+            .map(|(i, &x)| (i, x))
+            .min_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn par_iter_mut_for_each_touches_every_element() {
+        let mut v = vec![1u64; 257];
+        v.par_iter_mut()
+            .enumerate()
+            .for_each(|(i, x)| *x += i as u64);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, 1 + i as u64);
+        }
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = crate::join(|| 2 + 2, || "ok");
+        assert_eq!((a, b), (4, "ok"));
+    }
+}
