@@ -4,7 +4,7 @@
 //! Usage: `expfig <experiment> [--quick] [--steps K]` where experiment is
 //! one of `fig2 fig4a fig4b table1 fig5 fig7 table2 table3 fig8a fig8b
 //! coarsen-sweep budget-sweep robustness pipeline kill-resume
-//! drift-recovery gap all`.
+//! drift-recovery gap shard all`.
 //!
 //! `kill-resume` truncates a checkpointed placement run at its deadline,
 //! resumes it from the checkpoint file, and compares against a cold
@@ -103,6 +103,131 @@ fn main() {
     if run("gap") {
         gap(&cluster, &comm);
     }
+    if run("shard") {
+        shard(&cluster, &comm, quick);
+    }
+}
+
+/// Sharded-placement scaling experiment (beyond the paper's solver, same
+/// goal as its §5.4 scalability discussion): on sizes where the
+/// monolithic pipeline is still tractable, run both paths and compare
+/// plan quality head-to-head; then push the sharded path alone to a
+/// paper-scale graph (~19k ops full mode) under a minutes-level budget.
+/// Records `results/shard_scale.json`.
+fn shard(cluster: &Cluster, comm: &CommModel, quick: bool) {
+    use pesto::shard::ShardConfig;
+    use pesto::PestoConfig;
+
+    println!("\n== shard: hierarchical sharded placement vs monolithic ==");
+    #[derive(Serialize)]
+    struct Row {
+        label: String,
+        ops: usize,
+        edges: usize,
+        region_cap: usize,
+        regions: Option<usize>,
+        budget_secs: Option<f64>,
+        shard_place_secs: f64,
+        shard_step_ms: Option<f64>,
+        mono_place_secs: Option<f64>,
+        mono_step_ms: Option<f64>,
+        shard_over_mono: Option<f64>,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+
+    // Overlap sizes run both paths; the last, paper-scale size runs the
+    // sharded path only (the monolithic pipeline would take hours there).
+    let region_cap = if quick { 400 } else { 1200 };
+    let overlap: Vec<(ModelSpec, f64)> = if quick {
+        vec![(ModelSpec::rnnlm(2, 512), 0.2), (ModelSpec::rnnlm(2, 512), 0.4)]
+    } else {
+        vec![(ModelSpec::rnnlm(2, 2048), 0.35), (ModelSpec::rnnlm(2, 2048), 0.7)]
+    };
+    let big: (ModelSpec, f64) = if quick {
+        (ModelSpec::rnnlm(4, 512), 0.5)
+    } else {
+        (ModelSpec::rnnlm(16, 1024), 0.62)
+    };
+    let budget = if quick {
+        Duration::from_secs(30)
+    } else {
+        Duration::from_secs(300)
+    };
+
+    let base_config = |ops: usize| pesto_bench::pesto_config_for(true, ops);
+    let place = |graph: &pesto::graph::FrozenGraph, config: PestoConfig| {
+        let t0 = Instant::now();
+        let result = Pesto::with_comm(*comm, config).place(graph, cluster);
+        let secs = t0.elapsed().as_secs_f64();
+        let (step_ms, regions) = match &result {
+            Ok(o) => (
+                evaluate_plan(graph, cluster, comm, &o.plan, EVAL_SEED)
+                    .makespan_us()
+                    .map(|u| u / 1e3),
+                o.shard.as_ref().map(|r| r.regions.len()),
+            ),
+            Err(_) => (None, None),
+        };
+        (secs, step_ms, regions)
+    };
+
+    println!(
+        "{:<20} {:>7} {:>8} {:>11} {:>11} {:>10} {:>10} {:>8}",
+        "graph", "ops", "regions", "shard s", "mono s", "shard ms", "mono ms", "ratio"
+    );
+    for (i, &(ref spec, scale)) in overlap.iter().chain(std::iter::once(&big)).enumerate() {
+        let is_big = i == overlap.len();
+        let graph = spec.generate_scaled(spec.paper_batch(), 1, scale);
+        let label = format!("{}@{scale}", spec.label());
+
+        let mut shard_cfg = base_config(graph.op_count());
+        shard_cfg.shard = Some(ShardConfig {
+            region_cap,
+            ..ShardConfig::default()
+        });
+        if is_big {
+            shard_cfg.time_budget = Some(budget);
+        }
+        let (shard_secs, shard_ms, regions) = place(&graph, shard_cfg);
+
+        let (mono_secs, mono_ms) = if is_big {
+            (None, None)
+        } else {
+            let (s, m, _) = place(&graph, base_config(graph.op_count()));
+            (Some(s), m)
+        };
+        let ratio = match (shard_ms, mono_ms) {
+            (Some(s), Some(m)) if m > 0.0 => Some(s / m),
+            _ => None,
+        };
+        let opt = |v: Option<f64>| v.map_or("-".into(), |x| format!("{x:.1}"));
+        println!(
+            "{:<20} {:>7} {:>8} {:>11.1} {:>11} {:>10} {:>10} {:>8}",
+            label,
+            graph.op_count(),
+            regions.map_or("-".into(), |r| r.to_string()),
+            shard_secs,
+            opt(mono_secs),
+            opt(shard_ms),
+            opt(mono_ms),
+            ratio.map_or("-".into(), |r| format!("{r:.3}")),
+        );
+        rows.push(Row {
+            label,
+            ops: graph.op_count(),
+            edges: graph.edge_count(),
+            region_cap,
+            regions,
+            budget_secs: is_big.then(|| budget.as_secs_f64()),
+            shard_place_secs: shard_secs,
+            shard_step_ms: shard_ms,
+            mono_place_secs: mono_secs,
+            mono_step_ms: mono_ms,
+            shard_over_mono: ratio,
+        });
+    }
+    println!("(ratio <= 1.10 = sharding keeps plan quality while scaling past the monolithic solver)");
+    record_json("shard_scale", &rows);
 }
 
 /// Solver gap over time: how fast branch-and-bound closes the

@@ -108,6 +108,39 @@ proptest! {
         prop_assert!(report.is_ok(), "expanded plan deadlocked: {report:?}");
     }
 
+    /// The colocation mapping is a true partition of the fine op set: every
+    /// group is non-empty, every fine op appears in exactly one group, and
+    /// the mapping round-trips both ways (`coarse_of` inverts `members`,
+    /// and walking the groups reconstructs the whole fine id space). This
+    /// is the invariant the sharded placer's partitioner builds on — its
+    /// regions are unions of these groups, so a hole or an overlap here
+    /// would silently drop or double-place ops.
+    #[test]
+    fn colocation_mapping_is_a_partition(g in arb_dag(), target in 1usize..40) {
+        let c = coarsen(&g, &CoarsenConfig::to_target(target));
+        let coarse = c.coarse();
+
+        let mut owner: Vec<Option<OpId>> = vec![None; g.op_count()];
+        for cv in coarse.op_ids() {
+            prop_assert!(!c.members(cv).is_empty(), "group {cv:?} is empty");
+            for &f in c.members(cv) {
+                prop_assert!(
+                    owner[f.index()].is_none(),
+                    "fine op {f:?} in both {:?} and {cv:?}",
+                    owner[f.index()]
+                );
+                owner[f.index()] = Some(cv);
+                // Round-trip: the reverse map agrees with the group list.
+                prop_assert_eq!(c.coarse_of(f), cv);
+            }
+        }
+        // Every fine op landed in exactly one group.
+        prop_assert!(owner.iter().all(Option::is_some));
+        // Group sizes sum to the fine op count (no phantom members).
+        let total: usize = coarse.op_ids().map(|cv| c.members(cv).len()).sum();
+        prop_assert_eq!(total, g.op_count());
+    }
+
     /// Identity coarsening is a fixed point of expansion.
     #[test]
     fn identity_expansion_fixed_point(g in arb_dag()) {

@@ -98,6 +98,44 @@ pub fn summarize(graph: &FrozenGraph) -> GraphSummary {
     }
 }
 
+/// Per-op *criticality*: the compute time of the longest root-to-sink path
+/// that passes through each op, in µs (`criticality[op.index()]`).
+///
+/// An op with criticality equal to [`FrozenGraph::critical_path_us`] lies
+/// on a critical path; lower values mean the op has slack. The sharder
+/// uses this to rank regions — a region's share of the critical path is
+/// the right signal for how much solver budget it deserves (Mayer et al.,
+/// PAPERS.md).
+///
+/// Computed by two linear DP sweeps (forward earliest-finish, backward
+/// longest-tail), so it costs O(V + E).
+pub fn criticality_us(graph: &FrozenGraph) -> Vec<f64> {
+    let n = graph.op_count();
+    // finish[v]: longest compute path from any root ending at v, inclusive.
+    let mut finish = vec![0.0f64; n];
+    for &v in graph.topo_order() {
+        let ready = graph
+            .preds(v)
+            .iter()
+            .map(|p| finish[p.index()])
+            .fold(0.0, f64::max);
+        finish[v.index()] = ready + graph.op(v).compute_us();
+    }
+    // tail[v]: longest compute path starting at v, inclusive.
+    let mut tail = vec![0.0f64; n];
+    for &v in graph.topo_order().iter().rev() {
+        let after = graph
+            .succs(v)
+            .iter()
+            .map(|s| tail[s.index()])
+            .fold(0.0, f64::max);
+        tail[v.index()] = after + graph.op(v).compute_us();
+    }
+    (0..n)
+        .map(|i| finish[i] + tail[i] - graph.op(crate::op::OpId::from_index(i)).compute_us())
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,6 +174,31 @@ mod tests {
         assert_eq!(s.ops_by_kind, [1, 6, 0]);
         // 305 total / 55 critical path ≈ 5.5x parallelism.
         assert!(s.compute_parallelism() > 5.0);
+    }
+
+    #[test]
+    fn criticality_matches_critical_path_on_diamond() {
+        // a(1) -> b(2) -> d(4) and a -> c(3) -> d: CP is a-c-d = 8.
+        let mut g = OpGraph::new("diamond");
+        let a = g.add_op("a", DeviceKind::Gpu, 1.0, 0);
+        let b = g.add_op("b", DeviceKind::Gpu, 2.0, 0);
+        let c = g.add_op("c", DeviceKind::Gpu, 3.0, 0);
+        let d = g.add_op("d", DeviceKind::Gpu, 4.0, 0);
+        g.add_edge(a, b, 1).unwrap();
+        g.add_edge(a, c, 1).unwrap();
+        g.add_edge(b, d, 1).unwrap();
+        g.add_edge(c, d, 1).unwrap();
+        let g = g.freeze().unwrap();
+        let crit = criticality_us(&g);
+        let cp = g.critical_path_us();
+        // a, c, d are on the critical path; b's best path is a-b-d = 7.
+        assert!((crit[a.index()] - cp).abs() < 1e-9);
+        assert!((crit[c.index()] - cp).abs() < 1e-9);
+        assert!((crit[d.index()] - cp).abs() < 1e-9);
+        assert!((crit[b.index()] - 7.0).abs() < 1e-9);
+        // The max criticality is exactly the critical path.
+        let max = crit.iter().copied().fold(0.0, f64::max);
+        assert!((max - cp).abs() < 1e-9);
     }
 
     #[test]

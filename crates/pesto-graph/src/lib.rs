@@ -49,11 +49,13 @@ mod export;
 mod graph;
 mod op;
 mod plan;
+mod subgraph;
 
-pub use analysis::{summarize, width_profile, GraphSummary};
+pub use analysis::{criticality_us, summarize, width_profile, GraphSummary};
 pub use cluster::{Cluster, Device, DeviceId, Link, LinkId, LinkType};
 pub use error::GraphError;
 pub use export::{from_json, to_dot, to_json};
 pub use graph::{FrozenGraph, OpGraph};
 pub use op::{DeviceKind, OpId, Operation};
 pub use plan::{Placement, Plan, ScheduleOrder};
+pub use subgraph::{BoundaryEdge, SubgraphExtract, SubgraphMapping};

@@ -1,0 +1,284 @@
+//! Induced-subgraph extraction with parent↔sub id mapping and boundary
+//! edges — the foundation the hierarchical sharder builds on.
+//!
+//! A *region* of a frozen DAG is any subset of its operations. Extracting
+//! the induced subgraph keeps every edge whose endpoints are both in the
+//! region, renumbers the surviving ops densely (in ascending parent-index
+//! order, so extraction is deterministic), and reports every *boundary*
+//! edge — an edge with exactly one endpoint inside the region — in parent
+//! ids. Boundary edges are what the sharder's stitch phase turns into
+//! congestion terms, and what a region's solver cannot see.
+
+use crate::error::GraphError;
+use crate::graph::{FrozenGraph, OpGraph};
+use crate::op::OpId;
+
+/// Bidirectional id mapping between a parent graph and one of its induced
+/// subgraphs. Sub ids are dense and assigned in ascending parent-index
+/// order, so the mapping (and hence extraction) is deterministic for a
+/// given op set regardless of the order the ops were listed in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubgraphMapping {
+    /// `to_parent[sub.index()]` is the parent id of sub op `sub`.
+    to_parent: Vec<OpId>,
+    /// `from_parent[parent.index()]` is the sub id, if the op was kept.
+    from_parent: Vec<Option<OpId>>,
+}
+
+impl SubgraphMapping {
+    /// Parent id of a subgraph op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sub` is out of range for the subgraph.
+    pub fn to_parent(&self, sub: OpId) -> OpId {
+        self.to_parent[sub.index()]
+    }
+
+    /// Subgraph id of a parent op, or `None` if the op was not extracted.
+    /// Returns `None` (rather than panicking) for out-of-range parent ids.
+    pub fn to_sub(&self, parent: OpId) -> Option<OpId> {
+        self.from_parent.get(parent.index()).copied().flatten()
+    }
+
+    /// Number of ops in the subgraph.
+    pub fn sub_op_count(&self) -> usize {
+        self.to_parent.len()
+    }
+
+    /// Parent ids of all subgraph ops, indexable by sub-op index.
+    pub fn parents(&self) -> &[OpId] {
+        &self.to_parent
+    }
+}
+
+/// A boundary edge: an edge of the parent graph with exactly one endpoint
+/// inside the extracted region. All ids are *parent* ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundaryEdge {
+    /// Edge source in the parent graph.
+    pub src: OpId,
+    /// Edge destination in the parent graph.
+    pub dst: OpId,
+    /// Tensor bytes carried by the edge.
+    pub bytes: u64,
+}
+
+/// The result of [`FrozenGraph::subgraph`]: the induced subgraph, the id
+/// mapping back to the parent, and the boundary edges the extraction cut.
+#[derive(Debug, Clone)]
+pub struct SubgraphExtract {
+    /// The induced subgraph, frozen (validated, topo-ordered).
+    pub graph: FrozenGraph,
+    /// Parent↔sub id mapping.
+    pub mapping: SubgraphMapping,
+    /// Edges entering the region (source outside, destination inside),
+    /// in parent-edge insertion order.
+    pub boundary_in: Vec<BoundaryEdge>,
+    /// Edges leaving the region (source inside, destination outside),
+    /// in parent-edge insertion order.
+    pub boundary_out: Vec<BoundaryEdge>,
+}
+
+impl SubgraphExtract {
+    /// Total number of boundary edges (both directions).
+    pub fn boundary_edge_count(&self) -> usize {
+        self.boundary_in.len() + self.boundary_out.len()
+    }
+
+    /// Total bytes crossing the region boundary (both directions).
+    pub fn boundary_bytes(&self) -> u64 {
+        self.boundary_in
+            .iter()
+            .chain(self.boundary_out.iter())
+            .map(|e| e.bytes)
+            .sum()
+    }
+}
+
+impl FrozenGraph {
+    /// Extracts the subgraph induced by `ops`, with the id mapping back to
+    /// `self` and the boundary edges the cut severed.
+    ///
+    /// Duplicate ids in `ops` are tolerated (the op is extracted once).
+    /// The induced subgraph of a DAG is always acyclic, so extraction of a
+    /// non-empty valid op set cannot fail for structural reasons.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Empty`] if `ops` is empty and
+    /// [`GraphError::UnknownOp`] if any id is out of range for this graph.
+    pub fn subgraph(&self, ops: &[OpId]) -> Result<SubgraphExtract, GraphError> {
+        if ops.is_empty() {
+            return Err(GraphError::Empty);
+        }
+        let n = self.op_count();
+        let mut keep = vec![false; n];
+        for &id in ops {
+            if id.index() >= n {
+                return Err(GraphError::UnknownOp(id));
+            }
+            keep[id.index()] = true;
+        }
+
+        // Dense renumbering in ascending parent-index order.
+        let mut to_parent = Vec::new();
+        let mut from_parent: Vec<Option<OpId>> = vec![None; n];
+        for i in 0..n {
+            if keep[i] {
+                from_parent[i] = Some(OpId::from_index(to_parent.len()));
+                to_parent.push(OpId::from_index(i));
+            }
+        }
+
+        let mut sub = OpGraph::new(format!("{}[{} ops]", self.name(), to_parent.len()));
+        for &parent in &to_parent {
+            sub.add_operation(self.op(parent).clone());
+        }
+        let mut boundary_in = Vec::new();
+        let mut boundary_out = Vec::new();
+        for &(u, v, bytes) in self.edges() {
+            match (from_parent[u.index()], from_parent[v.index()]) {
+                (Some(su), Some(sv)) => {
+                    sub.add_edge(su, sv, bytes)
+                        .expect("induced edge endpoints exist and parent had no duplicates");
+                }
+                (None, Some(_)) => boundary_in.push(BoundaryEdge { src: u, dst: v, bytes }),
+                (Some(_), None) => boundary_out.push(BoundaryEdge { src: u, dst: v, bytes }),
+                (None, None) => {}
+            }
+        }
+        let graph = sub
+            .freeze()
+            .expect("induced subgraph of a DAG is a non-empty DAG");
+        Ok(SubgraphExtract {
+            graph,
+            mapping: SubgraphMapping {
+                to_parent,
+                from_parent,
+            },
+            boundary_in,
+            boundary_out,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::DeviceKind;
+
+    /// a -> b -> d, a -> c -> d, d -> e
+    fn wide_diamond() -> FrozenGraph {
+        let mut g = OpGraph::new("wd");
+        let a = g.add_op("a", DeviceKind::Gpu, 1.0, 10);
+        let b = g.add_op("b", DeviceKind::Gpu, 2.0, 20);
+        let c = g.add_op("c", DeviceKind::Gpu, 3.0, 30);
+        let d = g.add_op("d", DeviceKind::Gpu, 4.0, 40);
+        let e = g.add_op("e", DeviceKind::Gpu, 5.0, 50);
+        g.add_edge(a, b, 100).unwrap();
+        g.add_edge(a, c, 200).unwrap();
+        g.add_edge(b, d, 300).unwrap();
+        g.add_edge(c, d, 400).unwrap();
+        g.add_edge(d, e, 500).unwrap();
+        g.freeze().unwrap()
+    }
+
+    #[test]
+    fn extracts_induced_edges_and_ops() {
+        let g = wide_diamond();
+        let b = OpId::from_index(1);
+        let c = OpId::from_index(2);
+        let d = OpId::from_index(3);
+        let ex = g.subgraph(&[d, b, c]).unwrap();
+        assert_eq!(ex.graph.op_count(), 3);
+        // Only b->d and c->d survive; b and c are now unconnected roots.
+        assert_eq!(ex.graph.edge_count(), 2);
+        let sd = ex.mapping.to_sub(d).unwrap();
+        assert_eq!(ex.graph.in_degree(sd), 2);
+        assert_eq!(ex.graph.op(sd).name(), "d");
+    }
+
+    #[test]
+    fn mapping_round_trips_regardless_of_input_order() {
+        let g = wide_diamond();
+        let ops = [OpId::from_index(3), OpId::from_index(0), OpId::from_index(2)];
+        let ex = g.subgraph(&ops).unwrap();
+        assert_eq!(ex.mapping.sub_op_count(), 3);
+        for sub in ex.graph.op_ids() {
+            let parent = ex.mapping.to_parent(sub);
+            assert_eq!(ex.mapping.to_sub(parent), Some(sub));
+            assert_eq!(ex.graph.op(sub).name(), g.op(parent).name());
+        }
+        // Dense renumbering follows ascending parent index: a, c, d.
+        assert_eq!(
+            ex.mapping.parents(),
+            &[OpId::from_index(0), OpId::from_index(2), OpId::from_index(3)]
+        );
+    }
+
+    #[test]
+    fn boundary_edges_report_both_directions() {
+        let g = wide_diamond();
+        let b = OpId::from_index(1);
+        let d = OpId::from_index(3);
+        let ex = g.subgraph(&[b, d]).unwrap();
+        // In: a->b (100) and c->d (400). Out: d->e (500). Kept: b->d.
+        assert_eq!(ex.graph.edge_count(), 1);
+        assert_eq!(
+            ex.boundary_in
+                .iter()
+                .map(|e| (e.src.index(), e.dst.index(), e.bytes))
+                .collect::<Vec<_>>(),
+            vec![(0, 1, 100), (2, 3, 400)]
+        );
+        assert_eq!(
+            ex.boundary_out
+                .iter()
+                .map(|e| (e.src.index(), e.dst.index(), e.bytes))
+                .collect::<Vec<_>>(),
+            vec![(3, 4, 500)]
+        );
+        assert_eq!(ex.boundary_edge_count(), 3);
+        assert_eq!(ex.boundary_bytes(), 1000);
+    }
+
+    #[test]
+    fn full_extraction_has_no_boundary() {
+        let g = wide_diamond();
+        let all: Vec<OpId> = g.op_ids().collect();
+        let ex = g.subgraph(&all).unwrap();
+        assert_eq!(ex.graph.op_count(), g.op_count());
+        assert_eq!(ex.graph.edge_count(), g.edge_count());
+        assert_eq!(ex.boundary_edge_count(), 0);
+    }
+
+    #[test]
+    fn duplicates_are_tolerated() {
+        let g = wide_diamond();
+        let a = OpId::from_index(0);
+        let ex = g.subgraph(&[a, a, a]).unwrap();
+        assert_eq!(ex.graph.op_count(), 1);
+        assert_eq!(ex.boundary_out.len(), 2);
+    }
+
+    #[test]
+    fn empty_and_unknown_ops_error() {
+        let g = wide_diamond();
+        assert_eq!(g.subgraph(&[]).unwrap_err(), GraphError::Empty);
+        let ghost = OpId::from_index(99);
+        assert_eq!(
+            g.subgraph(&[ghost]).unwrap_err(),
+            GraphError::UnknownOp(ghost)
+        );
+    }
+
+    #[test]
+    fn subgraph_topo_is_valid_and_heights_recomputed() {
+        let g = wide_diamond();
+        // Extract {b, d, e}: chain b -> d -> e with fresh heights 1, 2, 3.
+        let ops = [OpId::from_index(1), OpId::from_index(3), OpId::from_index(4)];
+        let ex = g.subgraph(&ops).unwrap();
+        assert_eq!(ex.graph.heights(), &[1, 2, 3]);
+    }
+}

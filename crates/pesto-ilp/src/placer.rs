@@ -26,6 +26,11 @@ pub enum SolvePath {
     Constructive,
     /// Everything on one device (last-resort fallback).
     SingleDevice,
+    /// Hierarchical sharded placement: the graph was partitioned into
+    /// regions, each solved independently, and the results stitched (see
+    /// the `pesto-shard` crate). Only the `pesto` pipeline produces this
+    /// path; [`PestoPlacer`] itself never does.
+    Sharded,
 }
 
 /// Driver configuration.

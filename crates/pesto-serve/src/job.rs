@@ -55,6 +55,12 @@ pub struct JobSpec {
     /// deterministic serial solvers; larger values parallelize the LP
     /// kernels and the MILP branch-and-bound for this job.
     pub threads: Option<usize>,
+    /// Hierarchical sharding: when set, graphs with more ops than this
+    /// region cap take the sharded path ([`pesto::PestoConfig::shard`]),
+    /// fanning region solves over the job's `threads` workers. `None`
+    /// keeps the monolithic pipeline.
+    #[serde(default)]
+    pub shard_region_cap: Option<usize>,
 }
 
 impl JobSpec {
@@ -82,6 +88,7 @@ impl JobSpec {
             restarts: get_u64("restarts").map(|n| n as usize),
             profiler_iterations: get_u64("profiler_iterations").map(|n| n as usize),
             threads: get_u64("threads").map(|n| (n as usize).max(1)),
+            shard_region_cap: get_u64("shard_region_cap").map(|n| (n as usize).max(2)),
         })
     }
 

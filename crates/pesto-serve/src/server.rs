@@ -833,6 +833,12 @@ fn job_config(
     if let Some(threads) = spec.threads {
         config.solver_threads = threads.max(1);
     }
+    if let Some(cap) = spec.shard_region_cap {
+        config.shard = Some(pesto::shard::ShardConfig {
+            region_cap: cap,
+            ..Default::default()
+        });
+    }
     if spec.checkpoint_every > 0 {
         config.checkpoint = Some(CheckpointConfig {
             path: generation_path(dir, "search", attempt as u64),

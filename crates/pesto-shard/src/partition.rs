@@ -1,0 +1,244 @@
+//! Phase 1: split the op DAG into solver-sized regions.
+//!
+//! Regions are seeded from the coarsener's colocation groups: the graph is
+//! first coarsened into *atoms* (groups of ops that Theorem 3.5 says are
+//! safe — and profitable — to colocate), and atoms are then packed, in
+//! coarse topological order, into regions holding at most
+//! [`crate::ShardConfig::region_cap`] fine ops. Packing in topological
+//! order keeps regions contiguous bands of the DAG, which minimizes both
+//! the number of cut edges and the scheduling interleaving between
+//! regions.
+//!
+//! Each region carries a *critical-path weight*: the total compute of its
+//! members that lie on a global critical path
+//! ([`pesto_graph::analysis::criticality_us`]). The solve phase allocates
+//! the global time budget proportionally to this weight — regions the
+//! critical path runs through deserve the solver's attention, regions of
+//! pure slack do not (Mayer et al., PAPERS.md).
+
+use pesto_coarsen::{coarsen, CoarsenConfig};
+use pesto_graph::{analysis, FrozenGraph, OpId};
+
+/// One region of the partition: a set of fine ops to be solved as an
+/// independent sub-problem.
+#[derive(Debug, Clone)]
+pub struct Region {
+    /// Stable region index (0-based, in coarse topological order).
+    pub index: usize,
+    /// Member ops (parent-graph ids), ascending.
+    pub members: Vec<OpId>,
+    /// Total compute of members lying on a global critical path, µs.
+    pub cp_weight_us: f64,
+}
+
+/// The result of partitioning: regions plus cut statistics.
+#[derive(Debug, Clone)]
+pub struct PartitionResult {
+    /// Regions in coarse topological order; every op is in exactly one.
+    pub regions: Vec<Region>,
+    /// `region_of[op.index()]` is the index of the region holding `op`.
+    pub region_of: Vec<u32>,
+    /// Edges whose endpoints fall in different regions.
+    pub cut_edges: usize,
+    /// Total tensor bytes on cut edges.
+    pub cut_bytes: u64,
+}
+
+/// Relative tolerance for "this op lies on a critical path".
+const CP_REL_TOL: f64 = 1e-9;
+
+/// Partitions `graph` into regions of at most `region_cap` ops each.
+///
+/// Deterministic: depends only on the graph and the cap. A graph no
+/// larger than the cap yields a single region (the monolithic case).
+pub fn partition(graph: &FrozenGraph, region_cap: usize) -> PartitionResult {
+    let n = graph.op_count();
+    let cap = region_cap.max(1);
+    let crit = analysis::criticality_us(graph);
+    let cp = crit.iter().copied().fold(0.0, f64::max);
+    let on_cp = |i: usize| crit[i] >= cp * (1.0 - CP_REL_TOL);
+
+    let mut regions = Vec::new();
+    if n <= cap {
+        let members: Vec<OpId> = graph.op_ids().collect();
+        let cp_weight_us = members
+            .iter()
+            .filter(|&&v| on_cp(v.index()))
+            .map(|&v| graph.op(v).compute_us())
+            .sum();
+        regions.push(Region {
+            index: 0,
+            members,
+            cp_weight_us,
+        });
+        return finish(graph, regions);
+    }
+
+    // Atoms: coarsener colocation groups, sized so a region packs several.
+    // Target ~6 atoms per region so packing has granularity to respect the
+    // cap without large underfill; the coarsener may stop earlier when no
+    // safe merges remain, which only makes atoms finer.
+    let want_regions = n.div_ceil(cap);
+    let atom_target = (want_regions * 6).max(24);
+    let coarsening = coarsen(graph, &CoarsenConfig::to_target(atom_target));
+    let atoms = coarsening.coarse();
+
+    // Pack atoms into regions in coarse topological order. An oversized
+    // atom (the coarsener keeps merged groups intact) gets its own region.
+    let mut current: Vec<OpId> = Vec::new();
+    for &c in atoms.topo_order() {
+        let members = coarsening.members(c);
+        if !current.is_empty() && current.len() + members.len() > cap {
+            regions.push(make_region(graph, regions.len(), std::mem::take(&mut current), &on_cp));
+        }
+        current.extend_from_slice(members);
+    }
+    if !current.is_empty() {
+        regions.push(make_region(graph, regions.len(), current, &on_cp));
+    }
+    finish(graph, regions)
+}
+
+fn make_region(
+    graph: &FrozenGraph,
+    index: usize,
+    mut members: Vec<OpId>,
+    on_cp: &dyn Fn(usize) -> bool,
+) -> Region {
+    members.sort_unstable();
+    let cp_weight_us = members
+        .iter()
+        .filter(|&&v| on_cp(v.index()))
+        .map(|&v| graph.op(v).compute_us())
+        .sum();
+    Region {
+        index,
+        members,
+        cp_weight_us,
+    }
+}
+
+fn finish(graph: &FrozenGraph, regions: Vec<Region>) -> PartitionResult {
+    let mut region_of = vec![u32::MAX; graph.op_count()];
+    for r in &regions {
+        for &v in &r.members {
+            debug_assert_eq!(region_of[v.index()], u32::MAX, "op in two regions");
+            region_of[v.index()] = r.index as u32;
+        }
+    }
+    debug_assert!(region_of.iter().all(|&r| r != u32::MAX), "unassigned op");
+    let mut cut_edges = 0;
+    let mut cut_bytes = 0u64;
+    for &(u, v, bytes) in graph.edges() {
+        if region_of[u.index()] != region_of[v.index()] {
+            cut_edges += 1;
+            cut_bytes += bytes;
+        }
+    }
+    PartitionResult {
+        regions,
+        region_of,
+        cut_edges,
+        cut_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pesto_graph::{DeviceKind, OpGraph};
+
+    fn grid(layers: usize, width: usize) -> FrozenGraph {
+        let mut g = OpGraph::new("grid");
+        let mut prev: Vec<OpId> = Vec::new();
+        for l in 0..layers {
+            let row: Vec<OpId> = (0..width)
+                .map(|w| g.add_op(format!("l{l}w{w}"), DeviceKind::Gpu, 10.0, 64))
+                .collect();
+            for (i, &v) in row.iter().enumerate() {
+                if let Some(&p) = prev.get(i) {
+                    g.add_edge(p, v, 128).unwrap();
+                }
+                if i > 0 && l > 0 {
+                    g.add_edge(prev[i - 1], v, 64).unwrap();
+                }
+            }
+            prev = row;
+        }
+        g.freeze().unwrap()
+    }
+
+    #[test]
+    fn every_op_in_exactly_one_region() {
+        let g = grid(20, 8);
+        let p = partition(&g, 30);
+        let mut seen = vec![0usize; g.op_count()];
+        for r in &p.regions {
+            assert!(!r.members.is_empty());
+            assert!(r.members.len() <= 30 || p.regions.len() == 1);
+            for &v in &r.members {
+                seen[v.index()] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn small_graph_is_one_region() {
+        let g = grid(3, 3);
+        let p = partition(&g, 100);
+        assert_eq!(p.regions.len(), 1);
+        assert_eq!(p.cut_edges, 0);
+        assert_eq!(p.regions[0].members.len(), 9);
+    }
+
+    #[test]
+    fn partition_is_deterministic() {
+        let g = grid(20, 8);
+        let a = partition(&g, 40);
+        let b = partition(&g, 40);
+        assert_eq!(a.regions.len(), b.regions.len());
+        for (ra, rb) in a.regions.iter().zip(&b.regions) {
+            assert_eq!(ra.members, rb.members);
+        }
+        assert_eq!(a.cut_edges, b.cut_edges);
+        assert_eq!(a.cut_bytes, b.cut_bytes);
+    }
+
+    #[test]
+    fn cut_stats_match_region_map() {
+        let g = grid(12, 6);
+        let p = partition(&g, 20);
+        let mut cut = 0;
+        let mut bytes = 0;
+        for &(u, v, b) in g.edges() {
+            if p.region_of[u.index()] != p.region_of[v.index()] {
+                cut += 1;
+                bytes += b;
+            }
+        }
+        assert_eq!(p.cut_edges, cut);
+        assert_eq!(p.cut_bytes, bytes);
+        assert!(p.cut_edges > 0, "a multi-region grid must cut something");
+    }
+
+    #[test]
+    fn critical_chain_concentrates_weight() {
+        // A heavy chain with light fan-outs: the chain is the critical
+        // path, so regions containing it get all the weight.
+        let mut g = OpGraph::new("chain");
+        let mut prev = g.add_op("c0", DeviceKind::Gpu, 100.0, 8);
+        for i in 1..12 {
+            let c = g.add_op(format!("c{i}"), DeviceKind::Gpu, 100.0, 8);
+            g.add_edge(prev, c, 64).unwrap();
+            let side = g.add_op(format!("s{i}"), DeviceKind::Gpu, 1.0, 8);
+            g.add_edge(prev, side, 64).unwrap();
+            prev = c;
+        }
+        let g = g.freeze().unwrap();
+        let p = partition(&g, 8);
+        assert!(p.regions.len() > 1);
+        let total: f64 = p.regions.iter().map(|r| r.cp_weight_us).sum();
+        assert!((total - 1200.0).abs() < 1e-6, "got {total}");
+    }
+}

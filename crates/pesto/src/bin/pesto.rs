@@ -3,12 +3,14 @@
 //! ```text
 //! pesto generate <rnnlm|nmt|transformer|nasnet> [ARGS..]  > graph.json
 //! pesto place    <graph.json> [--gpus N] [--quick] [--iters N]
+//!                [--shard] [--region-cap N] [--budget-ms N]
 //!                [--checkpoint FILE] [--resume] [--checkpoint-every N]
 //!                [--trace-out FILE] [--metrics-out FILE] [--verbose] > plan.json
 //! pesto simulate <graph.json> <plan.json> [--svg out.svg] [--gpus N] [--steps K]
 //! pesto baseline <expert|m_topo|m_etf|m_sct> <graph.json> [--gpus N] > plan.json
 //! pesto repair   <graph.json> <plan.json> --failed N [--gpus N] [--budget-ms N] > plan.json
 //! pesto info     <graph.json>
+//! pesto models
 //! pesto help
 //! ```
 //!
@@ -58,6 +60,9 @@ const COMMANDS: &[CommandSpec] = &[
             ("--quick", ""),
             ("--iters", "N"),
             ("--threads", "N"),
+            ("--shard", ""),
+            ("--region-cap", "N"),
+            ("--budget-ms", "N"),
             ("--checkpoint", "FILE"),
             ("--resume", ""),
             ("--checkpoint-every", "N"),
@@ -82,6 +87,7 @@ const COMMANDS: &[CommandSpec] = &[
         &[("--failed", "N"), ("--gpus", "N"), ("--budget-ms", "N")],
     ),
     ("info", "<graph.json>", &[]),
+    ("models", "", &[]),
     ("help", "", &[]),
 ];
 
@@ -259,6 +265,25 @@ fn run(args: &[String]) -> Result<(), CliError> {
                     .ok()
                     .filter(|&n| n >= 1)
                     .ok_or_else(|| format!("bad --threads value {threads}"))?;
+            }
+            if has_flag(args, "place", "--shard") {
+                let mut shard = pesto::shard::ShardConfig::default();
+                if let Some(cap) = flag_value(args, "place", "--region-cap") {
+                    shard.region_cap = cap
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 2)
+                        .ok_or_else(|| format!("bad --region-cap value {cap}"))?;
+                }
+                config.shard = Some(shard);
+            } else if flag_value(args, "place", "--region-cap").is_some() {
+                return Err("--region-cap requires --shard".into());
+            }
+            if let Some(ms) = flag_value(args, "place", "--budget-ms") {
+                let ms: u64 = ms
+                    .parse()
+                    .map_err(|_| format!("bad --budget-ms value {ms}"))?;
+                config.time_budget = Some(Duration::from_millis(ms));
             }
             let resume = has_flag(args, "place", "--resume");
             match flag_value(args, "place", "--checkpoint") {
@@ -445,6 +470,26 @@ fn run(args: &[String]) -> Result<(), CliError> {
                 graph.total_compute_us() / 1000.0,
                 graph.critical_path_us() / 1000.0
             );
+            Ok(())
+        }
+        "models" => {
+            // The paper's eleven evaluation variants (§5.2) at their paper
+            // batch sizes, with the op/edge counts our generators produce.
+            println!(
+                "{:<24} {:>6} {:>8} {:>8} {:>10}",
+                "model", "batch", "ops", "edges", "mem GiB"
+            );
+            for spec in pesto::models::paper_variants() {
+                let graph = spec.generate(spec.paper_batch(), 1);
+                println!(
+                    "{:<24} {:>6} {:>8} {:>8} {:>10.2}",
+                    spec.label(),
+                    spec.paper_batch(),
+                    graph.op_count(),
+                    graph.edge_count(),
+                    graph.total_memory_bytes() as f64 / (1u64 << 30) as f64
+                );
+            }
             Ok(())
         }
         "help" | "--help" | "-h" => {

@@ -113,6 +113,10 @@ pub mod ilp {
 pub mod baselines {
     pub use pesto_baselines::*;
 }
+/// Re-export: hierarchical sharded placement for paper-scale graphs.
+pub mod shard {
+    pub use pesto_shard::*;
+}
 /// Re-export: synthetic DNN model generators.
 pub mod models {
     pub use pesto_models::*;

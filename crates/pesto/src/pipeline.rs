@@ -62,6 +62,19 @@ pub struct PestoConfig {
     /// [`PestoOutcome::makespan_us`] stays the single-step time either
     /// way. Defaults to 1 (no pipelined evaluation).
     pub pipeline_steps: usize,
+    /// Hierarchical sharded placement for paper-scale graphs. When set,
+    /// graphs larger than [`pesto_shard::ShardConfig::region_cap`] are
+    /// partitioned into regions, each region is solved independently
+    /// (fanned out over [`PestoConfig::solver_threads`] workers, seeded
+    /// with `seed + region_index`), and the results are stitched with a
+    /// memory rebalance plus a bounded boundary-refinement pass — see the
+    /// `pesto-shard` crate. Graphs at or under the cap fall through to
+    /// the monolithic path unchanged. Sharded runs keep the `time_budget`
+    /// contract (regions get budget shares proportional to their
+    /// critical-path weight) but ignore [`PestoConfig::checkpoint`]:
+    /// per-region solves are short enough that re-running is the recovery
+    /// story. Defaults to `None` (monolithic placement).
+    pub shard: Option<pesto_shard::ShardConfig>,
     /// Crash safety: when set, the search state is checkpointed to
     /// [`CheckpointConfig::path`] on the configured cadence (atomic
     /// temp-file + rename writes) and, with [`CheckpointConfig::resume`],
@@ -100,6 +113,7 @@ impl Default for PestoConfig {
             congestion_aware: true,
             time_budget: None,
             pipeline_steps: 1,
+            shard: None,
             checkpoint: None,
             cancel: None,
             obs: Obs::disabled(),
@@ -238,6 +252,21 @@ impl From<SimError> for PestoError {
         PestoError::Sim(e)
     }
 }
+impl From<pesto_shard::ShardError> for PestoError {
+    fn from(e: pesto_shard::ShardError) -> Self {
+        match e {
+            pesto_shard::ShardError::Graph(g) => PestoError::Graph(g),
+            pesto_shard::ShardError::Solve(s) => PestoError::Solve(s),
+            // The stitch rebalance proved the model cannot fit: the same
+            // permanent verdict as the monolithic path's OOM error.
+            pesto_shard::ShardError::Infeasible(msg) => PestoError::Repair(msg),
+            pesto_shard::ShardError::Cancelled => PestoError::Cancelled,
+            // `ShardError` is non_exhaustive; treat unknown variants as
+            // solver failures with their message.
+            other => PestoError::Repair(other.to_string()),
+        }
+    }
+}
 
 /// Why the pipeline degraded from its preferred solve path. Recorded in
 /// [`PestoOutcome::degradation`] instead of surfacing as an error: under a
@@ -301,7 +330,9 @@ impl fmt::Display for DegradationReason {
 #[derive(Debug, Clone, PartialEq)]
 pub struct StageTiming {
     /// Stage name: one of `profile`, `coarsen`, `solve`, `refine`,
-    /// `schedule`, `simulate` (degraded runs skip the middle stages).
+    /// `schedule`, `simulate` (degraded runs skip the middle stages;
+    /// sharded runs record `profile`, `partition`, `solve`, `stitch`,
+    /// `simulate`).
     pub stage: &'static str,
     /// Wall-clock duration of the stage, µs.
     pub wall_us: f64,
@@ -360,6 +391,10 @@ pub struct PestoOutcome {
     /// every run — including degraded ones, which skip the search stages —
     /// regardless of whether [`PestoConfig::obs`] is enabled.
     pub stage_timings: Vec<StageTiming>,
+    /// Shard report (partition shape, per-region solve provenance, stitch
+    /// repairs) when the run took the [`SolvePath::Sharded`] path; `None`
+    /// for monolithic runs.
+    pub shard: Option<pesto_shard::ShardReport>,
 }
 
 /// Hill climbing on the fine graph at merged-group granularity: for each
@@ -579,6 +614,154 @@ impl Pesto {
             resumed: false,
             pipeline,
             stage_timings,
+            shard: None,
+        })
+    }
+
+    /// The sharded pipeline path: partition → per-region solve → stitch →
+    /// honest simulation. Taken when [`PestoConfig::shard`] is set and the
+    /// (profiled) graph is larger than the region cap.
+    #[allow(clippy::too_many_arguments)]
+    fn place_sharded(
+        &self,
+        graph: &FrozenGraph,
+        estimated: &FrozenGraph,
+        cluster: &Cluster,
+        start: Instant,
+        shard_config: &pesto_shard::ShardConfig,
+        mut stage_timings: Vec<StageTiming>,
+    ) -> Result<PestoOutcome, PestoError> {
+        let obs = self.config.obs.clone();
+        // The shard gets ~85% of whatever budget remains after profiling;
+        // the reserve covers the honest final simulation.
+        let shard_budget = self
+            .config
+            .time_budget
+            .map(|b| b.saturating_sub(start.elapsed()).mul_f64(0.85));
+        if self.config.solver_threads > 1 {
+            pesto_lp::configure_threads(self.config.solver_threads);
+        }
+        let sharder = pesto_shard::Sharder::new(self.comm, shard_config.clone());
+        let run = pesto_shard::ShardRun {
+            seed: self.config.seed,
+            threads: self.config.solver_threads.max(1),
+            time_budget: shard_budget,
+            cancel: self.config.cancel.clone(),
+            obs: obs.clone(),
+        };
+        let outcome = {
+            let _span = obs.span("pipeline.shard");
+            sharder.place(estimated, cluster, &run)?
+        };
+        let report = outcome.report;
+        // The sharder timed its phases; surface them as pipeline stages so
+        // `stage_timings` stays the one place operators look.
+        stage_timings.push(StageTiming {
+            stage: "partition",
+            wall_us: report.partition_ms * 1e3,
+        });
+        stage_timings.push(StageTiming {
+            stage: "solve",
+            wall_us: report.solve_ms * 1e3,
+        });
+        stage_timings.push(StageTiming {
+            stage: "stitch",
+            wall_us: report.stitch_ms * 1e3,
+        });
+        let mut degradation = report
+            .deadline_hit
+            .then_some(DegradationReason::DeadlineDuringSearch);
+
+        // Seam repair at global scope: the same group-flip hill climbing
+        // the monolithic path runs, over a fresh coarsening of the whole
+        // graph, evaluated against true ETF makespans. Region solves are
+        // locally good but blind to each other; this is where cross-region
+        // placements get reconciled. Deadline-bounded, so paper-scale runs
+        // stay inside the budget.
+        self.check_cancel()?;
+        let deadline = self.config.time_budget.map(|b| start + b);
+        let mut placement = outcome.placement;
+        let sim_est = Simulator::new(estimated, cluster, self.comm)
+            .with_memory_check(false)
+            .with_infinite_links(!self.config.congestion_aware);
+        if self.config.refinement_passes > 0 {
+            let coarsening = pesto_coarsen::coarsen(
+                estimated,
+                &pesto_coarsen::CoarsenConfig::to_target(self.config.coarsen_target),
+            );
+            let (refined, refine_truncated) =
+                timed_stage(&obs, &mut stage_timings, "refine", || {
+                    refine_by_group_flips(
+                        estimated,
+                        cluster,
+                        &self.comm,
+                        &coarsening,
+                        placement,
+                        &sim_est,
+                        self.config.refinement_passes,
+                        deadline,
+                    )
+                })?;
+            placement = refined;
+            if refine_truncated && degradation.is_none() {
+                degradation = Some(DegradationReason::DeadlineDuringSearch);
+            }
+        }
+        if let Some(reason) = &degradation {
+            self.emit_degradation(start, reason);
+        }
+        // Re-derive the fine op-level schedule (the control dependencies
+        // Pesto injects into TensorFlow, §4): one ETF pass over the full
+        // graph, cheap even at paper scale, so sharded plans are not
+        // penalized with framework-default scheduling.
+        let plan = timed_stage(&obs, &mut stage_timings, "schedule", || {
+            let scheduled =
+                pesto_ilp::etf_schedule(estimated, cluster, &self.comm, placement.clone(), &sim_est)
+                    .map_err(IlpError::from)
+                    .map_err(PestoError::from)?;
+            Ok::<Plan, PestoError>(scheduled.plan)
+        })?;
+        let placement_time = start.elapsed();
+
+        self.check_cancel()?;
+        let mut plan = plan;
+        let mut sim_report = timed_stage(&obs, &mut stage_timings, "simulate", || {
+            Simulator::new(graph, cluster, self.comm)
+                .with_seed(self.config.seed)
+                .with_obs(obs.clone())
+                .run(&plan)
+        })?;
+        // mSCT safety net: a decomposed solve can, on unlucky seams, land
+        // behind the global constructive baseline. The baseline is cheap
+        // even at paper scale, so compare honestly and never ship worse
+        // than mSCT (mirrors the resume path's never-worse guard).
+        let msct_plan = pesto_baselines::m_sct(estimated, cluster, &self.comm);
+        if msct_plan.placement.oom_devices(estimated, cluster).is_empty() {
+            if let Ok(msct_report) = Simulator::new(graph, cluster, self.comm)
+                .with_seed(self.config.seed)
+                .run(&msct_plan)
+            {
+                if msct_report.makespan_us < sim_report.makespan_us {
+                    plan = msct_plan;
+                    sim_report = msct_report;
+                }
+            }
+        }
+        let pipeline = self.pipelined_stats(graph, cluster, &plan)?;
+        let max_region_ops = report.regions.iter().map(|r| r.ops).max().unwrap_or(0);
+        Ok(PestoOutcome {
+            plan,
+            makespan_us: sim_report.makespan_us,
+            placement_time,
+            coarse_op_count: report.regions.len(),
+            max_member_count: max_region_ops,
+            path: SolvePath::Sharded,
+            explicit_schedule: true,
+            degradation,
+            resumed: false,
+            pipeline,
+            stage_timings,
+            shard: Some(report),
         })
     }
 
@@ -660,6 +843,41 @@ impl Pesto {
                 None => graph.clone(),
             }
         });
+
+        // Hierarchical sharding: large graphs take the partition → solve →
+        // stitch path instead of monolithic coarsen+solve. Small graphs
+        // fall through so `--shard` is safe to leave on unconditionally.
+        if let Some(shard_config) = &self.config.shard {
+            if graph.op_count() > shard_config.region_cap {
+                self.check_cancel()?;
+                // Same lower rungs as the monolithic ladder: no budget
+                // left means no sharded search either.
+                if let Some(budget) = self.config.time_budget {
+                    let elapsed = start.elapsed();
+                    if elapsed >= budget {
+                        return self.degraded_outcome(
+                            graph,
+                            &estimated,
+                            cluster,
+                            start,
+                            SolvePath::SingleDevice,
+                            DegradationReason::BudgetExhausted,
+                            stage_timings,
+                        );
+                    }
+                }
+                let outcome = self.place_sharded(
+                    graph,
+                    &estimated,
+                    cluster,
+                    start,
+                    shard_config,
+                    stage_timings,
+                );
+                pipe_span.set_attr("path", "Sharded");
+                return outcome;
+            }
+        }
 
         // 2. Coarsen (§3.3). Parallel fine edges that collapse into one
         //    coarse edge still pay one fixed transfer latency each on the
@@ -962,6 +1180,7 @@ impl Pesto {
             resumed,
             pipeline,
             stage_timings,
+            shard: None,
         })
     }
 }

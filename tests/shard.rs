@@ -1,0 +1,124 @@
+//! End-to-end tests for the hierarchical sharded placement path: a
+//! mid-size generated graph goes through partition → per-region solve →
+//! stitch → global refine, and the result must be a valid, deterministic,
+//! competitive plan.
+
+use pesto::cost::CommModel;
+use pesto::graph::{Cluster, FrozenGraph};
+use pesto::ilp::SolvePath;
+use pesto::models::ModelSpec;
+use pesto::shard::ShardConfig;
+use pesto::{evaluate_plan, Pesto, PestoConfig};
+
+const EVAL_SEED: u64 = 7;
+
+/// A mid-size RNNLM slice (~900 ops): big enough to split into several
+/// regions under the test cap, small enough to keep the test fast.
+fn graph() -> FrozenGraph {
+    let spec = ModelSpec::rnnlm(2, 512);
+    spec.generate_scaled(spec.paper_batch(), 1, 0.2)
+}
+
+fn sharded_config(threads: usize) -> PestoConfig {
+    PestoConfig {
+        shard: Some(ShardConfig {
+            region_cap: 300,
+            region_coarsen_target: 64,
+            region_iterations: 400,
+            ..ShardConfig::default()
+        }),
+        solver_threads: threads,
+        ..PestoConfig::fast()
+    }
+}
+
+#[test]
+fn sharded_plan_is_valid_and_no_worse_than_msct() {
+    let graph = graph();
+    let cluster = Cluster::two_gpus();
+    let comm = CommModel::default_v100();
+
+    let outcome = Pesto::new(sharded_config(1))
+        .place(&graph, &cluster)
+        .expect("sharded placement succeeds");
+
+    // The large graph actually took the sharded path, and said so.
+    assert_eq!(outcome.path, SolvePath::Sharded);
+    let report = outcome.shard.as_ref().expect("sharded outcome carries report");
+    assert!(report.regions.len() > 1, "cap 300 on ~900 ops must split");
+    assert_eq!(
+        report.regions.iter().map(|r| r.ops).sum::<usize>(),
+        graph.op_count(),
+        "regions partition the op set"
+    );
+
+    // Every op is placed and the plan is memory-feasible.
+    assert_eq!(outcome.plan.placement.op_count(), graph.op_count());
+    assert!(outcome
+        .plan
+        .placement
+        .oom_devices(&graph, &cluster)
+        .is_empty());
+    assert!(outcome.makespan_us.is_finite() && outcome.makespan_us > 0.0);
+
+    // Sharded stages are surfaced in the stage timings.
+    let stages: Vec<&str> = outcome.stage_timings.iter().map(|t| t.stage).collect();
+    for stage in ["partition", "solve", "stitch", "simulate"] {
+        assert!(stages.contains(&stage), "missing stage {stage} in {stages:?}");
+    }
+
+    // Quality: the stitched+refined plan is no worse than the mSCT
+    // baseline on the same graph. Everything here is deterministic
+    // (fixed seeds, no wall-clock budget), so this is a stable bound.
+    let msct = pesto::baselines::m_sct(&graph, &cluster, &comm);
+    let msct_us = evaluate_plan(&graph, &cluster, &comm, &msct, EVAL_SEED)
+        .makespan_us()
+        .expect("mSCT simulates");
+    assert!(
+        outcome.makespan_us <= msct_us + 1e-6,
+        "sharded {:.1} µs worse than mSCT {msct_us:.1} µs",
+        outcome.makespan_us
+    );
+}
+
+#[test]
+fn sharded_solve_is_deterministic_for_fixed_seed_and_threads() {
+    let graph = graph();
+    let cluster = Cluster::two_gpus();
+
+    // Same seed, same config: bit-identical placements — and the thread
+    // count must not matter either (region results land in indexed slots;
+    // budget-free runs have no wall-clock dependence).
+    let place = |threads: usize| {
+        Pesto::new(sharded_config(threads))
+            .place(&graph, &cluster)
+            .expect("sharded placement succeeds")
+    };
+    let a = place(1);
+    let b = place(1);
+    let c = place(3);
+    assert_eq!(a.plan.placement, b.plan.placement, "same seed+threads must repeat");
+    assert_eq!(a.plan.placement, c.plan.placement, "thread count must not change the plan");
+    assert_eq!(a.makespan_us, b.makespan_us);
+    assert_eq!(a.makespan_us, c.makespan_us);
+}
+
+#[test]
+fn graphs_under_the_region_cap_stay_monolithic() {
+    let spec = ModelSpec::nasnet(3, 16);
+    let graph = spec.generate(32, 42);
+    let cluster = Cluster::two_gpus();
+
+    let config = PestoConfig {
+        shard: Some(ShardConfig {
+            region_cap: graph.op_count() + 1,
+            ..ShardConfig::default()
+        }),
+        ..PestoConfig::fast()
+    };
+    let outcome = Pesto::new(config)
+        .place(&graph, &cluster)
+        .expect("monolithic placement succeeds");
+    assert_ne!(outcome.path, SolvePath::Sharded);
+    assert!(outcome.shard.is_none());
+}
