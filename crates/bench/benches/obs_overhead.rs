@@ -83,5 +83,50 @@ fn bench_sim_step(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_primitives, bench_event_ring, bench_sim_step);
+/// The telemetry layer's enabled-path additions: saturated span-ring
+/// recording (a long-running daemon's steady state), flight-recorder
+/// snapshots, and the scrape-time Prometheus render. The disabled
+/// variants must stay in the no-op cost class.
+fn bench_telemetry(c: &mut Criterion) {
+    let spam_spans = |obs: &Obs| {
+        for i in 0..1000u64 {
+            let mut span = obs.span("hot.span");
+            span.set_attr("i", i);
+        }
+    };
+    c.bench_function("obs/1k spans saturated ring cap=256", |b| {
+        // Every span past 256 evicts the oldest: the bounded-memory
+        // steady state the flight recorder runs in.
+        b.iter(|| spam_spans(black_box(&Obs::enabled_with_capacities(4096, 256))))
+    });
+
+    let loaded = Obs::enabled();
+    for i in 0..512u64 {
+        let mut span = loaded.span("load.span");
+        span.set_attr("i", i);
+        loaded.counter_add("load.counter", 1);
+        loaded.observe("load.histogram", i as f64);
+    }
+    c.bench_function("obs/flight snapshot", |b| {
+        b.iter(|| black_box(&loaded).record_flight_snapshot())
+    });
+    c.bench_function("obs/prometheus render", |b| {
+        b.iter(|| black_box(black_box(&loaded).prometheus_text().len()))
+    });
+    let disabled = Obs::disabled();
+    c.bench_function("obs/flight snapshot disabled", |b| {
+        b.iter(|| black_box(&disabled).record_flight_snapshot())
+    });
+    c.bench_function("obs/prometheus render disabled", |b| {
+        b.iter(|| black_box(black_box(&disabled).prometheus_text().len()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_primitives,
+    bench_event_ring,
+    bench_sim_step,
+    bench_telemetry
+);
 criterion_main!(benches);

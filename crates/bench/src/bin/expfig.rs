@@ -4,7 +4,7 @@
 //! Usage: `expfig <experiment> [--quick] [--steps K]` where experiment is
 //! one of `fig2 fig4a fig4b table1 fig5 fig7 table2 table3 fig8a fig8b
 //! coarsen-sweep budget-sweep robustness pipeline kill-resume
-//! drift-recovery gap shard all`.
+//! drift-recovery gap shard obs-overhead all`.
 //!
 //! `kill-resume` truncates a checkpointed placement run at its deadline,
 //! resumes it from the checkpoint file, and compares against a cold
@@ -106,6 +106,100 @@ fn main() {
     if run("shard") {
         shard(&cluster, &comm, quick);
     }
+    if run("obs-overhead") {
+        obs_overhead(quick);
+    }
+}
+
+/// Wall-clock cost of the telemetry layer's hot paths, disabled vs
+/// enabled — a criterion-free companion to `benches/obs_overhead.rs`
+/// that runs in the offline container and records
+/// `results/obs_overhead.json`. Each case reports ns per *operation*
+/// (one span+counter+histogram record, one event push, one snapshot or
+/// render), not per batch.
+fn obs_overhead(quick: bool) {
+    use pesto::obs::{Obs, SolverEventKind};
+
+    #[derive(Serialize)]
+    struct Row {
+        case: String,
+        iters: u64,
+        ns_per_op: f64,
+    }
+
+    let reps: u64 = if quick { 20 } else { 200 };
+    let batch: u64 = 1000;
+    let mut rows: Vec<Row> = Vec::new();
+    let mut case = |name: &str, per_rep_ops: u64, f: &mut dyn FnMut()| {
+        // One warm-up rep, then the timed block.
+        f();
+        let start = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        let ns = start.elapsed().as_nanos() as f64 / (reps * per_rep_ops) as f64;
+        println!("{name:<44} {ns:>10.1} ns/op");
+        rows.push(Row {
+            case: name.to_string(),
+            iters: reps * per_rep_ops,
+            ns_per_op: ns,
+        });
+    };
+
+    let primitives = |obs: &Obs| {
+        for i in 0..batch {
+            let mut span = obs.span("hot.span");
+            span.set_attr("i", i);
+            obs.counter_add("hot.counter", 1);
+            obs.observe("hot.histogram", i as f64);
+        }
+    };
+    let disabled = Obs::disabled();
+    case("primitives disabled", batch, &mut || primitives(&disabled));
+    case("primitives enabled (fresh sink)", batch, &mut || {
+        primitives(&Obs::enabled())
+    });
+    case("span ring saturated cap=256", batch, &mut || {
+        let obs = Obs::enabled_with_capacities(4096, 256);
+        for i in 0..batch {
+            let mut span = obs.span("hot.span");
+            span.set_attr("i", i);
+        }
+    });
+    case("event ring saturated cap=256", batch, &mut || {
+        let obs = Obs::enabled_with_event_capacity(256);
+        for i in 0..batch {
+            obs.solver_event(
+                "bench",
+                SolverEventKind::Incumbent {
+                    objective: i as f64,
+                },
+            );
+        }
+    });
+
+    // A sink loaded the way a mid-run daemon's looks, for scrape costs.
+    let loaded = Obs::enabled();
+    for i in 0..512u64 {
+        let mut span = loaded.span("load.span");
+        span.set_attr("i", i);
+        loaded.counter_add("load.counter", 1);
+        loaded.observe("load.histogram", i as f64);
+    }
+    case("flight snapshot (loaded sink)", 1, &mut || {
+        loaded.record_flight_snapshot()
+    });
+    case("prometheus render (loaded sink)", 1, &mut || {
+        std::hint::black_box(loaded.prometheus_text().len());
+    });
+    case("flight snapshot disabled", 1, &mut || {
+        disabled.record_flight_snapshot()
+    });
+    case("prometheus render disabled", 1, &mut || {
+        std::hint::black_box(disabled.prometheus_text().len());
+    });
+
+    record_json("obs_overhead", &rows);
 }
 
 /// Sharded-placement scaling experiment (beyond the paper's solver, same
@@ -139,9 +233,15 @@ fn shard(cluster: &Cluster, comm: &CommModel, quick: bool) {
     // sharded path only (the monolithic pipeline would take hours there).
     let region_cap = if quick { 400 } else { 1200 };
     let overlap: Vec<(ModelSpec, f64)> = if quick {
-        vec![(ModelSpec::rnnlm(2, 512), 0.2), (ModelSpec::rnnlm(2, 512), 0.4)]
+        vec![
+            (ModelSpec::rnnlm(2, 512), 0.2),
+            (ModelSpec::rnnlm(2, 512), 0.4),
+        ]
     } else {
-        vec![(ModelSpec::rnnlm(2, 2048), 0.35), (ModelSpec::rnnlm(2, 2048), 0.7)]
+        vec![
+            (ModelSpec::rnnlm(2, 2048), 0.35),
+            (ModelSpec::rnnlm(2, 2048), 0.7),
+        ]
     };
     let big: (ModelSpec, f64) = if quick {
         (ModelSpec::rnnlm(4, 512), 0.5)
@@ -218,7 +318,7 @@ fn shard(cluster: &Cluster, comm: &CommModel, quick: bool) {
             edges: graph.edge_count(),
             region_cap,
             regions,
-            budget_secs: is_big.then(|| budget.as_secs_f64()),
+            budget_secs: is_big.then_some(budget.as_secs_f64()),
             shard_place_secs: shard_secs,
             shard_step_ms: shard_ms,
             mono_place_secs: mono_secs,
@@ -226,7 +326,9 @@ fn shard(cluster: &Cluster, comm: &CommModel, quick: bool) {
             shard_over_mono: ratio,
         });
     }
-    println!("(ratio <= 1.10 = sharding keeps plan quality while scaling past the monolithic solver)");
+    println!(
+        "(ratio <= 1.10 = sharding keeps plan quality while scaling past the monolithic solver)"
+    );
     record_json("shard_scale", &rows);
 }
 

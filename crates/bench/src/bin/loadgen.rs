@@ -11,6 +11,11 @@
 //! dropped without a response. The process exits non-zero if that
 //! invariant breaks.
 //!
+//! The run also validates the telemetry plane: `GET /metrics` is scraped
+//! *mid-load* (required Prometheus families present and parsable while
+//! the server is busy) and again after the run, when its job counters
+//! must agree exactly with `/healthz` — both read the same registry.
+//!
 //! ```text
 //! cargo run --release -p pesto-bench --bin loadgen -- --jobs 1000 --clients 8
 //! cargo run --release -p pesto-bench --bin loadgen -- --jobs 48 --clients 4   # CI smoke scale
@@ -188,10 +193,34 @@ fn run() -> Result<(), String> {
             }
         }));
     }
+    // Mid-load scrape: while the clients are hammering the queue, the
+    // exposition endpoint must stay parsable with every required family
+    // present. A failure here is a hard loadgen failure, same as lost
+    // jobs.
+    let scrape_addr = addr.clone();
+    let scraper = thread::spawn(move || -> Result<(), String> {
+        thread::sleep(Duration::from_millis(200));
+        let resp = client_request(
+            &scrape_addr,
+            "GET",
+            "/metrics",
+            None,
+            Duration::from_secs(10),
+        )
+        .map_err(|e| format!("mid-load GET /metrics: {e}"))?;
+        if resp.status != 200 {
+            return Err(format!("mid-load GET /metrics -> {}", resp.status));
+        }
+        check_prometheus(&resp.body)
+    });
+
     for h in handles {
         h.join().map_err(|_| "client thread panicked".to_string())?;
     }
     let wall = started.elapsed();
+    scraper
+        .join()
+        .map_err(|_| "metrics scraper panicked".to_string())??;
 
     let health = client_request(&addr, "GET", "/healthz", None, Duration::from_secs(10))
         .ok()
@@ -203,6 +232,41 @@ fn run() -> Result<(), String> {
             .and_then(Value::as_u64)
             .unwrap_or(0)
     };
+
+    // Post-load agreement: the Prometheus counters and /healthz read one
+    // registry, so after the load drains they must match exactly.
+    let metrics_text = client_request(&addr, "GET", "/metrics", None, Duration::from_secs(10))
+        .map_err(|e| format!("post-load GET /metrics: {e}"))?
+        .body;
+    check_prometheus(&metrics_text)?;
+    let metric_value = |name: &str| -> Option<u64> {
+        metrics_text.lines().find_map(|l| {
+            l.strip_prefix(name)
+                .and_then(|rest| rest.strip_prefix(' '))
+                .and_then(|v| v.parse::<f64>().ok())
+                .map(|v| v as u64)
+        })
+    };
+    for (health_key, family) in [
+        ("submitted", "serve_jobs_submitted_total"),
+        ("rejected", "serve_jobs_rejected_total"),
+        ("completed", "serve_jobs_completed_total"),
+        ("degraded", "serve_jobs_degraded_total"),
+        ("failed", "serve_jobs_failed_total"),
+        ("cancelled", "serve_jobs_cancelled_total"),
+        ("retries", "serve_jobs_retries_total"),
+        ("profile_cache_hits", "serve_profile_cache_hits_total"),
+        ("profile_cache_misses", "serve_profile_cache_misses_total"),
+    ] {
+        let m = metric_value(family);
+        let h = health_u64(health_key);
+        if m != Some(h) {
+            return Err(format!(
+                "/metrics {family} = {m:?} disagrees with /healthz {health_key} = {h}"
+            ));
+        }
+    }
+    println!("loadgen: /metrics agrees with /healthz on all job counters");
 
     let mut latencies: Vec<u64> = observations
         .lock()
@@ -276,6 +340,57 @@ fn run() -> Result<(), String> {
             "accounting violated: {} of {} jobs accounted, {} failed, {} lost",
             accounted, report.jobs, report.failed, report.lost
         ));
+    }
+    Ok(())
+}
+
+/// The metric families a healthy server must always expose (they are
+/// pre-registered at startup, so absence means the exposition is broken,
+/// not that nothing happened yet).
+const REQUIRED_FAMILIES: &[&str] = &[
+    "serve_jobs_submitted_total",
+    "serve_jobs_rejected_total",
+    "serve_jobs_completed_total",
+    "serve_jobs_degraded_total",
+    "serve_jobs_failed_total",
+    "serve_jobs_cancelled_total",
+    "serve_jobs_retries_total",
+    "serve_jobs_recovered_total",
+    "serve_queue_depth",
+    "serve_jobs_running",
+    "serve_solver_events_dropped",
+];
+
+/// Validates a Prometheus text-format document: every non-comment line
+/// is `name[{labels}] value`, every sample belongs to an announced
+/// `# TYPE` family, and every [`REQUIRED_FAMILIES`] entry is present.
+fn check_prometheus(text: &str) -> Result<(), String> {
+    let mut typed: Vec<&str> = Vec::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            typed.push(rest.split(' ').next().unwrap_or_default());
+        } else if !line.starts_with('#') && !line.is_empty() {
+            let (key, value) = line
+                .rsplit_once(' ')
+                .ok_or_else(|| format!("unparsable sample line {line:?}"))?;
+            if value.parse::<f64>().is_err() && !matches!(value, "+Inf" | "-Inf" | "NaN") {
+                return Err(format!("unparsable sample value in {line:?}"));
+            }
+            let bare = key.split('{').next().unwrap_or_default();
+            let family = bare
+                .strip_suffix("_bucket")
+                .or_else(|| bare.strip_suffix("_sum"))
+                .or_else(|| bare.strip_suffix("_count"))
+                .unwrap_or(bare);
+            if !typed.contains(&bare) && !typed.contains(&family) {
+                return Err(format!("sample {key} has no # TYPE line"));
+            }
+        }
+    }
+    for family in REQUIRED_FAMILIES {
+        if !typed.contains(family) {
+            return Err(format!("required metric family {family} missing"));
+        }
     }
     Ok(())
 }

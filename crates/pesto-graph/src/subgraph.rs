@@ -143,8 +143,16 @@ impl FrozenGraph {
                     sub.add_edge(su, sv, bytes)
                         .expect("induced edge endpoints exist and parent had no duplicates");
                 }
-                (None, Some(_)) => boundary_in.push(BoundaryEdge { src: u, dst: v, bytes }),
-                (Some(_), None) => boundary_out.push(BoundaryEdge { src: u, dst: v, bytes }),
+                (None, Some(_)) => boundary_in.push(BoundaryEdge {
+                    src: u,
+                    dst: v,
+                    bytes,
+                }),
+                (Some(_), None) => boundary_out.push(BoundaryEdge {
+                    src: u,
+                    dst: v,
+                    bytes,
+                }),
                 (None, None) => {}
             }
         }
@@ -202,7 +210,11 @@ mod tests {
     #[test]
     fn mapping_round_trips_regardless_of_input_order() {
         let g = wide_diamond();
-        let ops = [OpId::from_index(3), OpId::from_index(0), OpId::from_index(2)];
+        let ops = [
+            OpId::from_index(3),
+            OpId::from_index(0),
+            OpId::from_index(2),
+        ];
         let ex = g.subgraph(&ops).unwrap();
         assert_eq!(ex.mapping.sub_op_count(), 3);
         for sub in ex.graph.op_ids() {
@@ -213,7 +225,11 @@ mod tests {
         // Dense renumbering follows ascending parent index: a, c, d.
         assert_eq!(
             ex.mapping.parents(),
-            &[OpId::from_index(0), OpId::from_index(2), OpId::from_index(3)]
+            &[
+                OpId::from_index(0),
+                OpId::from_index(2),
+                OpId::from_index(3)
+            ]
         );
     }
 
@@ -277,7 +293,11 @@ mod tests {
     fn subgraph_topo_is_valid_and_heights_recomputed() {
         let g = wide_diamond();
         // Extract {b, d, e}: chain b -> d -> e with fresh heights 1, 2, 3.
-        let ops = [OpId::from_index(1), OpId::from_index(3), OpId::from_index(4)];
+        let ops = [
+            OpId::from_index(1),
+            OpId::from_index(3),
+            OpId::from_index(4),
+        ];
         let ex = g.subgraph(&ops).unwrap();
         assert_eq!(ex.graph.heights(), &[1, 2, 3]);
     }

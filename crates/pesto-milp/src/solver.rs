@@ -711,6 +711,11 @@ impl MilpProblem {
             let (node_key, better) = (&node_key, &better);
             for (w, my_bits) in dive_bits.iter().enumerate() {
                 let worker = move || {
+                    // Label this worker's lane so multi-threaded B&B runs
+                    // merge into one chrome-trace with named threads.
+                    if obs.is_enabled() {
+                        obs.name_lane(format!("milp-worker-{w}"));
+                    }
                     let mut wspan = obs.span("milp.worker");
                     wspan.set_attr("worker", w);
                     loop {

@@ -64,7 +64,7 @@ pub struct SpanTotal {
 
 /// A point-in-time copy of everything an enabled [`Obs`] recorded,
 /// with histograms reduced to percentile summaries.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct MetricsSnapshot {
     /// Monotonic counters by name.
     pub counters: BTreeMap<String, u64>,
@@ -74,6 +74,16 @@ pub struct MetricsSnapshot {
     pub histograms: BTreeMap<String, HistogramStats>,
     /// Per-span-name wall-time totals.
     pub span_totals: BTreeMap<String, SpanTotal>,
+}
+
+/// One timestamped metric snapshot retained by the flight recorder
+/// ([`Obs::record_flight_snapshot`]).
+#[derive(Debug, Clone)]
+pub struct FlightSnapshot {
+    /// When the snapshot was taken, µs since the sink epoch.
+    pub t_us: f64,
+    /// The metric state at that moment.
+    pub metrics: MetricsSnapshot,
 }
 
 fn json_escape(s: &str) -> String {
@@ -158,6 +168,55 @@ fn event_fields(kind: &SolverEventKind) -> Vec<(&'static str, String)> {
             ("threshold_frac", json_f64(*threshold_frac)),
         ],
     }
+}
+
+fn span_json(span: &SpanRecord) -> String {
+    format!(
+        "{{\"name\":\"{}\",\"tid\":{},\"start_us\":{},\"dur_us\":{},\"args\":{}}}",
+        json_escape(&span.name),
+        span.tid,
+        json_f64(span.start_us),
+        json_f64(span.dur_us),
+        span_args_json(span),
+    )
+}
+
+/// Compact one-line JSON of a [`MetricsSnapshot`] (histograms reduced to
+/// percentile summaries), shared by the flight recorder's snapshot ring
+/// and its current-state section.
+fn metrics_snapshot_json(s: &MetricsSnapshot) -> String {
+    let counters: Vec<String> = s
+        .counters
+        .iter()
+        .map(|(k, v)| format!("\"{}\":{}", json_escape(k), v))
+        .collect();
+    let gauges: Vec<String> = s
+        .gauges
+        .iter()
+        .map(|(k, v)| format!("\"{}\":{}", json_escape(k), json_f64(*v)))
+        .collect();
+    let histograms: Vec<String> = s
+        .histograms
+        .iter()
+        .map(|(k, h)| {
+            format!(
+                "\"{}\":{{\"count\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}}",
+                json_escape(k),
+                h.count,
+                json_f64(h.mean),
+                json_f64(h.p50),
+                json_f64(h.p95),
+                json_f64(h.p99),
+                json_f64(h.max),
+            )
+        })
+        .collect();
+    format!(
+        "{{\"counters\":{{{}}},\"gauges\":{{{}}},\"histograms\":{{{}}}}}",
+        counters.join(","),
+        gauges.join(","),
+        histograms.join(","),
+    )
 }
 
 fn event_json(event: &SolverEvent) -> String {
@@ -251,7 +310,27 @@ impl Obs {
              \"args\":{\"name\":\"pesto pipeline\"}}"
                 .to_string(),
         );
-        for span in self.spans() {
+        // One thread_name metadata event per lane that recorded spans, so
+        // worker pools (shard regions, B&B workers) render as named rows
+        // instead of anonymous tids. Lanes named via `Obs::name_lane` use
+        // that name; the rest fall back to `lane-<tid>`.
+        let spans = self.spans();
+        let names = self.lane_names();
+        let mut tids: Vec<u64> = spans.iter().map(|s| s.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        for tid in tids {
+            let name = names
+                .get(&tid)
+                .cloned()
+                .unwrap_or_else(|| format!("lane-{tid}"));
+            events.push(format!(
+                "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":{tid},\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                json_escape(&name),
+            ));
+        }
+        for span in spans {
             events.push(format!(
                 "{{\"ph\":\"X\",\"name\":\"{}\",\"pid\":0,\"tid\":{},\
                  \"ts\":{:.3},\"dur\":{:.3},\"args\":{}}}",
@@ -354,6 +433,61 @@ impl Obs {
 
         out.push_str("}\n");
         out
+    }
+
+    /// The flight-recorder dump: a single JSON document with the newest
+    /// retained spans and solver events (at most
+    /// [`crate::FLIGHT_DUMP_TAIL`] each), the timestamped metric-snapshot
+    /// ring, the lane-name table, eviction counts, and the current metric
+    /// state. Served by `pesto-serve` at `GET /debug/flight`, fetched by
+    /// `pesto obs dump`, and written on panic by
+    /// [`Obs::install_panic_hook`]. A disabled handle returns
+    /// `{"enabled":false}` — rendering happens only on demand, so the
+    /// steady-state cost of "having" a flight recorder is the rings'
+    /// bounded memory, nothing more.
+    pub fn flight_dump(&self) -> String {
+        if !self.is_enabled() {
+            return String::from("{\"enabled\":false}\n");
+        }
+        let lanes: Vec<String> = self
+            .lane_names()
+            .iter()
+            .map(|(tid, name)| format!("\"{tid}\":\"{}\"", json_escape(name)))
+            .collect();
+        let spans: Vec<String> = self
+            .span_tail(crate::FLIGHT_DUMP_TAIL)
+            .iter()
+            .map(span_json)
+            .collect();
+        let events: Vec<String> = self
+            .event_tail(crate::FLIGHT_DUMP_TAIL)
+            .iter()
+            .map(event_json)
+            .collect();
+        let snapshots: Vec<String> = self
+            .flight_snapshots()
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"t_us\":{},\"metrics\":{}}}",
+                    json_f64(s.t_us),
+                    metrics_snapshot_json(&s.metrics),
+                )
+            })
+            .collect();
+        format!(
+            "{{\"enabled\":true,\"captured_at_us\":{},\"dropped_spans\":{},\
+             \"dropped_events\":{},\"lanes\":{{{}}},\"recent_spans\":[{}],\
+             \"recent_events\":[{}],\"metric_snapshots\":[{}],\"metrics\":{}}}\n",
+            json_f64(self.elapsed_us()),
+            self.dropped_spans(),
+            self.dropped_events(),
+            lanes.join(","),
+            spans.join(","),
+            events.join(","),
+            snapshots.join(","),
+            metrics_snapshot_json(&self.metrics_snapshot()),
+        )
     }
 
     /// Human-readable digest for `--verbose` output: span totals, counters,

@@ -33,6 +33,13 @@
 //!   (`pesto_sim::SimReport::to_chrome_trace`).
 //! * [`Obs::metrics_json`] — flat JSON dump of counters, gauges, histogram
 //!   percentiles, per-span wall-time totals, and the solver event stream.
+//! * [`Obs::prometheus_text`] — Prometheus text-format exposition
+//!   (counters/gauges/histograms with cumulative buckets), what
+//!   `pesto-serve` serves at `GET /metrics`.
+//! * [`Obs::flight_dump`] — the flight recorder: newest retained spans and
+//!   events plus the timestamped metric-snapshot ring, for postmortems
+//!   (`GET /debug/flight`, `pesto obs dump`, and
+//!   [`Obs::install_panic_hook`]).
 //! * [`Obs::text_summary`] — a human-readable digest for `--verbose`.
 //!
 //! ```
@@ -64,16 +71,19 @@ mod cancel;
 mod events;
 mod export;
 mod metrics;
+mod prom;
 mod span;
 
 pub use cancel::CancelToken;
 pub use events::{SolverEvent, SolverEventKind};
-pub use export::{HistogramStats, MetricsSnapshot, SpanTotal};
+pub use export::{FlightSnapshot, HistogramStats, MetricsSnapshot, SpanTotal};
 pub use metrics::Registry;
+pub use prom::sanitize_prom_name;
 pub use span::{SpanGuard, SpanRecord};
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -96,6 +106,23 @@ pub(crate) fn current_lane() -> u64 {
 /// memory: each event is ~100 bytes, so the default ring tops out around
 /// 6 MB per enabled handle.
 pub const DEFAULT_EVENT_CAPACITY: usize = 65_536;
+
+/// Default cap on retained spans. Like the event ring, this bounds an
+/// always-on daemon handle: once full, the oldest spans are evicted and
+/// [`Obs::dropped_spans`] counts the loss. Aggregates
+/// ([`Obs::metrics_snapshot`] span totals) are unaffected by eviction
+/// only for the retained window — exporters report the drop count so a
+/// truncated trace is never mistaken for a complete one.
+pub const DEFAULT_SPAN_CAPACITY: usize = 65_536;
+
+/// How many timestamped metric snapshots the flight recorder retains
+/// ([`Obs::record_flight_snapshot`]).
+pub const FLIGHT_SNAPSHOT_CAPACITY: usize = 32;
+
+/// How many of the newest spans / solver events a flight-recorder dump
+/// ([`Obs::flight_dump`]) includes. The retained rings may hold far more;
+/// the dump is a postmortem digest, not an archive.
+pub const FLIGHT_DUMP_TAIL: usize = 512;
 
 /// Bounded solver-event stream: a ring that evicts the oldest events once
 /// `capacity` is reached, tracking how many were evicted so exporters and
@@ -130,6 +157,12 @@ impl EventRing {
         self.buf.iter().cloned().collect()
     }
 
+    /// The newest `n` retained events, oldest first.
+    fn tail(&self, n: usize) -> Vec<SolverEvent> {
+        let skip = self.buf.len().saturating_sub(n);
+        self.buf.iter().skip(skip).cloned().collect()
+    }
+
     /// Events with sequence number `>= seq`, plus the next sequence
     /// number to poll from. Sequence numbers count every event ever
     /// pushed, so a reader that falls behind the ring simply resumes at
@@ -142,12 +175,85 @@ impl EventRing {
     }
 }
 
+/// Bounded span store: like [`EventRing`] but for [`SpanRecord`]s, so an
+/// always-on daemon handle cannot grow without bound. Doubles as the
+/// flight recorder's "recent spans" window — the newest retained spans
+/// *are* the flight tail.
+pub(crate) struct SpanRing {
+    buf: VecDeque<SpanRecord>,
+    capacity: usize,
+    evicted: u64,
+}
+
+impl SpanRing {
+    fn new(capacity: usize) -> Self {
+        SpanRing {
+            buf: VecDeque::new(),
+            capacity: capacity.max(1),
+            evicted: 0,
+        }
+    }
+
+    pub(crate) fn push(&mut self, record: SpanRecord) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.evicted += 1;
+        }
+        self.buf.push_back(record);
+    }
+
+    fn snapshot(&self) -> Vec<SpanRecord> {
+        self.buf.iter().cloned().collect()
+    }
+
+    /// The newest `n` retained spans, oldest first.
+    fn tail(&self, n: usize) -> Vec<SpanRecord> {
+        let skip = self.buf.len().saturating_sub(n);
+        self.buf.iter().skip(skip).cloned().collect()
+    }
+
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &SpanRecord> {
+        self.buf.iter()
+    }
+}
+
+/// Bounded ring of timestamped metric snapshots — the third leg of the
+/// flight recorder (spans and solver events have their own rings).
+pub(crate) struct FlightRing {
+    buf: VecDeque<export::FlightSnapshot>,
+    capacity: usize,
+}
+
+impl FlightRing {
+    fn new(capacity: usize) -> Self {
+        FlightRing {
+            buf: VecDeque::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn push(&mut self, snapshot: export::FlightSnapshot) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(snapshot);
+    }
+
+    fn snapshot(&self) -> Vec<export::FlightSnapshot> {
+        self.buf.iter().cloned().collect()
+    }
+}
+
 /// Shared storage behind an enabled [`Obs`] handle.
 pub(crate) struct Inner {
     pub(crate) epoch: Instant,
-    pub(crate) spans: Mutex<Vec<SpanRecord>>,
+    pub(crate) spans: Mutex<SpanRing>,
     pub(crate) registry: Mutex<Registry>,
     pub(crate) events: Mutex<EventRing>,
+    /// Human-readable names for span lanes ([`Obs::name_lane`]); unnamed
+    /// lanes export as `lane-<tid>`.
+    pub(crate) lanes: Mutex<BTreeMap<u64, String>>,
+    pub(crate) flight: Mutex<FlightRing>,
 }
 
 /// A cheap, clonable observability handle.
@@ -187,12 +293,22 @@ impl Obs {
     /// always-on handle in a daemon cannot grow without bound. Spans and
     /// metrics are aggregates and stay as-is.
     pub fn enabled_with_event_capacity(capacity: usize) -> Obs {
+        Obs::enabled_with_capacities(capacity, DEFAULT_SPAN_CAPACITY)
+    }
+
+    /// An enabled handle with explicit bounds on both rings: at most
+    /// `event_capacity` solver events and `span_capacity` spans are
+    /// retained (each at least 1). Eviction counts surface through
+    /// [`Obs::dropped_events`] and [`Obs::dropped_spans`].
+    pub fn enabled_with_capacities(event_capacity: usize, span_capacity: usize) -> Obs {
         Obs {
             inner: Some(Arc::new(Inner {
                 epoch: Instant::now(),
-                spans: Mutex::new(Vec::new()),
+                spans: Mutex::new(SpanRing::new(span_capacity)),
                 registry: Mutex::new(Registry::default()),
-                events: Mutex::new(EventRing::new(capacity)),
+                events: Mutex::new(EventRing::new(event_capacity)),
+                lanes: Mutex::new(BTreeMap::new()),
+                flight: Mutex::new(FlightRing::new(FLIGHT_SNAPSHOT_CAPACITY)),
             })),
         }
     }
@@ -289,11 +405,105 @@ impl Obs {
             .map_or(0, |i| i.events.lock().unwrap().evicted)
     }
 
-    /// Snapshot of all recorded spans so far.
+    /// Snapshot of the retained spans (the bounded ring may have evicted
+    /// older ones; see [`Obs::dropped_spans`]).
     pub fn spans(&self) -> Vec<SpanRecord> {
         self.inner
             .as_ref()
-            .map_or_else(Vec::new, |i| i.spans.lock().unwrap().clone())
+            .map_or_else(Vec::new, |i| i.spans.lock().unwrap().snapshot())
+    }
+
+    /// How many spans the bounded ring has evicted so far (0 when
+    /// disabled). Non-zero means [`Obs::spans`] is a suffix of the true
+    /// stream.
+    pub fn dropped_spans(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.spans.lock().unwrap().evicted)
+    }
+
+    /// Names the *calling thread's* span lane; exported traces label the
+    /// lane with `name` instead of the default `lane-<tid>`. Worker pools
+    /// call this once at thread start (e.g. `shard-worker-3`,
+    /// `milp-worker-0`) so a multi-threaded run merges into one coherent
+    /// chrome-trace with recognizable rows. Calling again renames;
+    /// disabled handles ignore the call. Guard the `format!` with
+    /// [`Obs::is_enabled`] on hot paths.
+    pub fn name_lane(&self, name: impl Into<String>) {
+        if let Some(inner) = &self.inner {
+            inner
+                .lanes
+                .lock()
+                .unwrap()
+                .insert(current_lane(), name.into());
+        }
+    }
+
+    /// The lane-name table built by [`Obs::name_lane`] (empty when
+    /// disabled).
+    pub fn lane_names(&self) -> BTreeMap<u64, String> {
+        self.inner
+            .as_ref()
+            .map_or_else(BTreeMap::new, |i| i.lanes.lock().unwrap().clone())
+    }
+
+    /// Pushes a timestamped copy of the current metric state into the
+    /// flight recorder's bounded snapshot ring (capacity
+    /// [`FLIGHT_SNAPSHOT_CAPACITY`], oldest evicted first). The
+    /// `pesto-serve` daemon calls this on every `/metrics` scrape, so a
+    /// postmortem dump carries the recent metric history, not just the
+    /// final state. No-op when disabled.
+    pub fn record_flight_snapshot(&self) {
+        if let Some(inner) = &self.inner {
+            let snapshot = export::FlightSnapshot {
+                t_us: inner.epoch.elapsed().as_secs_f64() * 1e6,
+                metrics: self.metrics_snapshot(),
+            };
+            inner.flight.lock().unwrap().push(snapshot);
+        }
+    }
+
+    /// The retained flight-recorder metric snapshots, oldest first
+    /// (empty when disabled).
+    pub fn flight_snapshots(&self) -> Vec<export::FlightSnapshot> {
+        self.inner
+            .as_ref()
+            .map_or_else(Vec::new, |i| i.flight.lock().unwrap().snapshot())
+    }
+
+    /// The newest `n` retained spans, oldest first.
+    pub(crate) fn span_tail(&self, n: usize) -> Vec<SpanRecord> {
+        self.inner
+            .as_ref()
+            .map_or_else(Vec::new, |i| i.spans.lock().unwrap().tail(n))
+    }
+
+    /// The newest `n` retained solver events, oldest first.
+    pub(crate) fn event_tail(&self, n: usize) -> Vec<SolverEvent> {
+        self.inner
+            .as_ref()
+            .map_or_else(Vec::new, |i| i.events.lock().unwrap().tail(n))
+    }
+
+    /// Installs a process-wide panic hook that writes this handle's
+    /// flight-recorder dump ([`Obs::flight_dump`]) to `path` after the
+    /// previous hook (which keeps the default backtrace output) runs.
+    /// Gives postmortem telemetry for crashed jobs at zero steady-state
+    /// cost — the dump is only rendered inside the panic path. Disabled
+    /// handles install nothing. Installing from several handles chains
+    /// hooks; each writes its own dump.
+    pub fn install_panic_hook(&self, path: impl Into<PathBuf>) {
+        if self.inner.is_none() {
+            return;
+        }
+        let obs = self.clone();
+        let path: PathBuf = path.into();
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            prev(info);
+            obs.record_flight_snapshot();
+            let _ = std::fs::write(&path, obs.flight_dump());
+        }));
     }
 
     /// Current value of a counter (0 when absent or disabled). Mostly for
@@ -348,12 +558,108 @@ mod tests {
         obs.gauge_set("g", 1.0);
         obs.observe("h", 2.0);
         obs.solver_event("s", SolverEventKind::Incumbent { objective: 1.0 });
+        obs.name_lane("ghost");
+        obs.record_flight_snapshot();
         assert!(!obs.is_enabled());
         assert!(obs.spans().is_empty());
         assert!(obs.solver_events().is_empty());
         assert_eq!(obs.counter("c"), 0);
         assert_eq!(obs.gauge("g"), None);
         assert_eq!(obs.elapsed_us(), 0.0);
+        assert_eq!(obs.dropped_spans(), 0);
+        assert!(obs.lane_names().is_empty());
+        assert!(obs.flight_snapshots().is_empty());
+        assert_eq!(obs.flight_dump(), "{\"enabled\":false}\n");
+        assert_eq!(obs.prometheus_text(), "");
+    }
+
+    #[test]
+    fn span_ring_evicts_oldest_and_counts_drops() {
+        let obs = Obs::enabled_with_capacities(DEFAULT_EVENT_CAPACITY, 3);
+        for i in 0..5 {
+            drop(obs.span(format!("s{i}")));
+        }
+        let spans = obs.spans();
+        assert_eq!(spans.len(), 3, "ring retains only the newest 3");
+        assert_eq!(obs.dropped_spans(), 2);
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["s2", "s3", "s4"]);
+    }
+
+    #[test]
+    fn named_lanes_label_the_chrome_trace() {
+        let obs = Obs::enabled();
+        obs.name_lane("unit-test-lane");
+        drop(obs.span("work"));
+        let lane = current_lane();
+        assert_eq!(
+            obs.lane_names().get(&lane).map(String::as_str),
+            Some("unit-test-lane")
+        );
+        let trace = obs.chrome_trace();
+        assert!(trace.contains("\"thread_name\""));
+        assert!(trace.contains("unit-test-lane"));
+    }
+
+    #[test]
+    fn unnamed_lanes_fall_back_to_lane_tid() {
+        let obs = Obs::enabled();
+        drop(obs.span("work"));
+        let trace = obs.chrome_trace();
+        assert!(trace.contains(&format!("lane-{}", current_lane())));
+    }
+
+    #[test]
+    fn flight_dump_carries_rings_snapshots_and_drop_counts() {
+        let obs = Obs::enabled_with_capacities(2, 2);
+        obs.name_lane("flight-lane");
+        obs.counter_add("c", 4);
+        obs.observe("h", 2.0);
+        for i in 0..3 {
+            drop(obs.span(format!("s{i}")));
+            obs.solver_event(
+                "s",
+                SolverEventKind::Incumbent {
+                    objective: i as f64,
+                },
+            );
+        }
+        obs.record_flight_snapshot();
+        obs.counter_add("c", 1);
+        obs.record_flight_snapshot();
+        assert_eq!(obs.flight_snapshots().len(), 2);
+        let dump = obs.flight_dump();
+        assert!(dump.contains("\"enabled\":true"));
+        assert!(dump.contains("\"dropped_spans\":1"));
+        assert!(dump.contains("\"dropped_events\":1"));
+        assert!(dump.contains("flight-lane"));
+        assert!(dump.contains("\"s1\"") && dump.contains("\"s2\""));
+        assert!(!dump.contains("\"s0\""), "evicted span is gone");
+        assert!(dump.contains("\"metric_snapshots\":["));
+        assert!(dump.contains("\"c\":5"), "current metrics are included");
+        assert!(dump.contains("\"p95\""), "histogram summaries are included");
+    }
+
+    #[test]
+    fn panic_hook_writes_the_flight_dump() {
+        let obs = Obs::enabled();
+        obs.counter_add("pre.panic", 1);
+        let path = std::env::temp_dir().join(format!("pesto-obs-hook-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        obs.install_panic_hook(&path);
+        let result = std::thread::Builder::new()
+            .name("obs-panic-probe".into())
+            .spawn(|| panic!("flight recorder probe"))
+            .unwrap()
+            .join();
+        // Restore the default hook before asserting, so a failure below
+        // doesn't re-enter ours.
+        let _ = std::panic::take_hook();
+        assert!(result.is_err());
+        let dump = std::fs::read_to_string(&path).expect("hook wrote the dump");
+        assert!(dump.contains("\"enabled\":true"));
+        assert!(dump.contains("pre.panic"));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

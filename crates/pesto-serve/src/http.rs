@@ -131,9 +131,11 @@ fn parse_query(q: &str) -> Vec<(String, String)> {
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
     /// Extra headers beyond `Content-Type`/`Content-Length`/`Connection`.
     pub headers: Vec<(String, String)>,
-    /// JSON body.
+    /// Response body.
     pub body: String,
 }
 
@@ -142,6 +144,18 @@ impl Response {
     pub fn json(status: u16, body: impl Into<String>) -> Self {
         Response {
             status,
+            content_type: "application/json",
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// A Prometheus text-format response (`text/plain; version=0.0.4`,
+    /// the exposition format's content type).
+    pub fn prometheus(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; version=0.0.4",
             headers: Vec::new(),
             body: body.into(),
         }
@@ -156,9 +170,10 @@ impl Response {
     /// Serializes onto `stream`.
     pub fn write_to(&self, stream: &mut TcpStream) -> io::Result<()> {
         let mut out = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
             self.status,
             reason(self.status),
+            self.content_type,
             self.body.len()
         );
         for (name, value) in &self.headers {

@@ -27,7 +27,7 @@ use pesto::graph::{Cluster, FrozenGraph};
 use pesto::obs::{Obs, SolverEvent, SolverEventKind};
 use pesto::{
     generation_path, graph_fingerprint, latest_generation, load_checkpoint, prune, CancelToken,
-    CheckpointConfig, Pesto, PestoConfig, PestoError,
+    CheckpointConfig, Pesto, PestoConfig, PestoError, PruneReport,
 };
 use serde_json::Value;
 use std::collections::{HashMap, VecDeque};
@@ -99,21 +99,23 @@ struct JobEntry {
     obs: Obs,
 }
 
-#[derive(Default)]
-struct Counters {
-    submitted: AtomicU64,
-    rejected: AtomicU64,
-    completed: AtomicU64,
-    degraded: AtomicU64,
-    failed: AtomicU64,
-    cancelled: AtomicU64,
-    retries: AtomicU64,
-    recovered: AtomicU64,
-    profile_cache_hits: AtomicU64,
-    profile_cache_misses: AtomicU64,
-    /// EWMA of terminal job duration, milliseconds (drives retry-after).
-    avg_job_ms: AtomicU64,
-}
+/// Every monotonic counter the service maintains, pre-registered at
+/// startup so `/metrics` always exposes the full family set (a scrape
+/// before the first job must not look like a missing metric).
+const SERVE_COUNTERS: &[&str] = &[
+    "serve.jobs.submitted",
+    "serve.jobs.rejected",
+    "serve.jobs.completed",
+    "serve.jobs.degraded",
+    "serve.jobs.failed",
+    "serve.jobs.cancelled",
+    "serve.jobs.retries",
+    "serve.jobs.recovered",
+    "serve.profile_cache.hits",
+    "serve.profile_cache.misses",
+    "serve.checkpoints.pruned_generations",
+    "serve.checkpoints.pruned_tmp",
+];
 
 struct ServerState {
     config: ServerConfig,
@@ -123,7 +125,16 @@ struct ServerState {
     queue_cv: Condvar,
     shutdown: AtomicBool,
     next_id: AtomicU64,
-    counters: Counters,
+    /// The service-wide telemetry sink: every job counter, the latency
+    /// histogram, point-in-time gauges, per-job `serve.job` spans, and
+    /// the flight recorder. `/healthz` and `/metrics` both read this
+    /// registry, so the two views cannot drift apart. (Per-job solver
+    /// telemetry stays on each job's own `JobEntry::obs` ring.)
+    obs: Obs,
+    /// EWMA of terminal job duration, milliseconds (drives retry-after).
+    /// Kept atomic because the update is a read-modify-write; mirrored
+    /// into the `serve.avg_job_ms` gauge at every scrape.
+    avg_job_ms: AtomicU64,
     /// `(graph fingerprint, seed, iterations)` → profiled graph, shared
     /// across jobs so concurrent submissions of the same model profile
     /// once.
@@ -148,6 +159,14 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let cluster = Cluster::homogeneous(config.gpus.max(1), config.gpu_memory_bytes);
+        let obs = Obs::enabled_with_event_capacity(config.event_capacity);
+        for name in SERVE_COUNTERS {
+            obs.counter_add(name, 0);
+        }
+        obs.name_lane("serve-main");
+        // Postmortem telemetry: a panic anywhere in the process dumps the
+        // flight recorder next to the durable job state.
+        obs.install_panic_hook(config.data_dir.join("flight.json"));
         let state = Arc::new(ServerState {
             cluster,
             jobs: Mutex::new(HashMap::new()),
@@ -155,7 +174,8 @@ impl Server {
             queue_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             next_id: AtomicU64::new(1),
-            counters: Counters::default(),
+            obs,
+            avg_job_ms: AtomicU64::new(0),
             profile_cache: Mutex::new(HashMap::new()),
             config,
         });
@@ -236,7 +256,9 @@ fn recover_jobs(state: &Arc<ServerState>) -> io::Result<()> {
         let dir = entry.path();
         // Startup GC: superseded generations and orphaned *.tmp files
         // from a crash mid-rename.
-        let _ = prune(&dir, state.config.keep_generations);
+        if let Ok(report) = prune(&dir, state.config.keep_generations) {
+            record_prune(&state.obs, &report);
+        }
         let spec_path = dir.join("spec.json");
         let Ok(spec_text) = fs::read_to_string(&spec_path) else {
             continue;
@@ -287,7 +309,7 @@ fn recover_jobs(state: &Arc<ServerState>) -> io::Result<()> {
         // died. Its checkpoint (if any) is re-verified against the spec
         // before the worker is allowed to warm-start from it.
         entry_rec.resumed = verify_or_discard_checkpoint(&dir, &entry_rec.spec, state);
-        state.counters.recovered.fetch_add(1, Ordering::Relaxed);
+        state.obs.counter_add("serve.jobs.recovered", 1);
         state.jobs.lock().unwrap().insert(id.clone(), entry_rec);
         recovered.push(id);
     }
@@ -361,6 +383,8 @@ fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
 fn route(req: &Request, state: &Arc<ServerState>) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => healthz(state),
+        ("GET", "/metrics") => metrics(state),
+        ("GET", "/debug/flight") => debug_flight(state),
         ("POST", "/jobs") => submit(req, state),
         ("GET", "/jobs") => list_jobs(state),
         (method, path) => {
@@ -377,7 +401,13 @@ fn route(req: &Request, state: &Arc<ServerState>) -> Response {
     }
 }
 
-fn healthz(state: &Arc<ServerState>) -> Response {
+/// Refreshes the point-in-time gauges shared by `/healthz` and
+/// `/metrics` (queue depth, running/total jobs, static capacity facts,
+/// the retry-after EWMA, and the solver-event drop count aggregated
+/// across the server handle and every per-job ring), then returns
+/// `(queued, running, total, dropped)`. Both endpoints call this before
+/// rendering, so they always agree on the live numbers.
+fn refresh_gauges(state: &Arc<ServerState>) -> (usize, usize, usize, u64) {
     let queued = state.queue.lock().unwrap().len();
     let jobs = state.jobs.lock().unwrap();
     let running = jobs
@@ -385,29 +415,79 @@ fn healthz(state: &Arc<ServerState>) -> Response {
         .filter(|j| j.state == JobState::Running)
         .count();
     let total = jobs.len();
+    let dropped =
+        state.obs.dropped_events() + jobs.values().map(|j| j.obs.dropped_events()).sum::<u64>();
     drop(jobs);
-    let c = &state.counters;
+    let obs = &state.obs;
+    obs.gauge_set("serve.queue_depth", queued as f64);
+    obs.gauge_set("serve.jobs_running", running as f64);
+    obs.gauge_set("serve.jobs_total", total as f64);
+    obs.gauge_set("serve.workers", state.config.workers as f64);
+    obs.gauge_set("serve.queue_capacity", state.config.queue_capacity as f64);
+    obs.gauge_set(
+        "serve.avg_job_ms",
+        state.avg_job_ms.load(Ordering::Relaxed) as f64,
+    );
+    obs.gauge_set("serve.solver_events_dropped", dropped as f64);
+    (queued, running, total, dropped)
+}
+
+/// Folds a [`PruneReport`] into the checkpoint-GC counters, so rotation
+/// work (and tmp-file sweeps after crashes) is visible instead of silent.
+fn record_prune(obs: &Obs, report: &PruneReport) {
+    obs.counter_add(
+        "serve.checkpoints.pruned_generations",
+        report.removed_generations as u64,
+    );
+    obs.counter_add("serve.checkpoints.pruned_tmp", report.removed_tmp as u64);
+}
+
+fn healthz(state: &Arc<ServerState>) -> Response {
+    let (queued, running, total, dropped) = refresh_gauges(state);
+    let c = |name: &str| state.obs.counter(name);
     let body = format!(
         "{{\"status\":\"ok\",\"queued\":{queued},\"running\":{running},\"jobs\":{total},\
          \"workers\":{},\"queue_capacity\":{},\"submitted\":{},\"rejected\":{},\
          \"completed\":{},\"degraded\":{},\"failed\":{},\"cancelled\":{},\"retries\":{},\
          \"recovered\":{},\"profile_cache_hits\":{},\"profile_cache_misses\":{},\
-         \"avg_job_ms\":{}}}",
+         \"avg_job_ms\":{},\"events_dropped\":{dropped},\"pruned_generations\":{},\
+         \"pruned_tmp\":{}}}",
         state.config.workers,
         state.config.queue_capacity,
-        c.submitted.load(Ordering::Relaxed),
-        c.rejected.load(Ordering::Relaxed),
-        c.completed.load(Ordering::Relaxed),
-        c.degraded.load(Ordering::Relaxed),
-        c.failed.load(Ordering::Relaxed),
-        c.cancelled.load(Ordering::Relaxed),
-        c.retries.load(Ordering::Relaxed),
-        c.recovered.load(Ordering::Relaxed),
-        c.profile_cache_hits.load(Ordering::Relaxed),
-        c.profile_cache_misses.load(Ordering::Relaxed),
-        c.avg_job_ms.load(Ordering::Relaxed),
+        c("serve.jobs.submitted"),
+        c("serve.jobs.rejected"),
+        c("serve.jobs.completed"),
+        c("serve.jobs.degraded"),
+        c("serve.jobs.failed"),
+        c("serve.jobs.cancelled"),
+        c("serve.jobs.retries"),
+        c("serve.jobs.recovered"),
+        c("serve.profile_cache.hits"),
+        c("serve.profile_cache.misses"),
+        state.avg_job_ms.load(Ordering::Relaxed),
+        c("serve.checkpoints.pruned_generations"),
+        c("serve.checkpoints.pruned_tmp"),
     );
     Response::json(200, body)
+}
+
+/// Prometheus text-format exposition of the service registry. Reads the
+/// same `Obs` registry as `/healthz` (after the same gauge refresh), so
+/// scraped counters always match the health view. Each scrape also
+/// records a flight-recorder metric snapshot, giving postmortem dumps a
+/// scrape-rate metric history for free.
+fn metrics(state: &Arc<ServerState>) -> Response {
+    refresh_gauges(state);
+    state.obs.record_flight_snapshot();
+    Response::prometheus(200, state.obs.prometheus_text())
+}
+
+/// The flight recorder, on demand: recent `serve.job` spans, solver
+/// events, the metric-snapshot ring, and current metric state.
+fn debug_flight(state: &Arc<ServerState>) -> Response {
+    refresh_gauges(state);
+    state.obs.record_flight_snapshot();
+    Response::json(200, state.obs.flight_dump())
 }
 
 fn submit(req: &Request, state: &Arc<ServerState>) -> Response {
@@ -425,7 +505,7 @@ fn submit(req: &Request, state: &Arc<ServerState>) -> Response {
         let queue = state.queue.lock().unwrap();
         if queue.len() >= state.config.queue_capacity {
             let hint_ms = retry_after_hint_ms(state, queue.len(), spec.sla_ms);
-            state.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            state.obs.counter_add("serve.jobs.rejected", 1);
             return Response::json(
                 429,
                 format!(
@@ -470,7 +550,7 @@ fn submit(req: &Request, state: &Arc<ServerState>) -> Response {
     state.jobs.lock().unwrap().insert(id.clone(), entry);
     state.queue.lock().unwrap().push_back(id.clone());
     state.queue_cv.notify_one();
-    state.counters.submitted.fetch_add(1, Ordering::Relaxed);
+    state.obs.counter_add("serve.jobs.submitted", 1);
     Response::json(
         202,
         format!("{{\"id\":{},\"state\":\"queued\"}}", json_string(&id)),
@@ -482,7 +562,7 @@ fn submit(req: &Request, state: &Arc<ServerState>) -> Response {
 /// SLA when it has one.
 fn retry_after_hint_ms(state: &Arc<ServerState>, queue_len: usize, sla_ms: Option<u64>) -> u64 {
     retry_hint_from(
-        state.counters.avg_job_ms.load(Ordering::Relaxed),
+        state.avg_job_ms.load(Ordering::Relaxed),
         state.config.workers,
         queue_len,
         sla_ms,
@@ -699,6 +779,8 @@ fn attempt_seed(spec: &JobSpec, attempt: u32) -> u64 {
 }
 
 fn run_job(state: &Arc<ServerState>, id: &str) {
+    let mut job_span = state.obs.span("serve.job");
+    job_span.set_attr("id", id);
     let (spec, cancel, obs, resumed_hint) = {
         let mut jobs = state.jobs.lock().unwrap();
         let Some(j) = jobs.get_mut(id) else { return };
@@ -774,7 +856,9 @@ fn run_job(state: &Arc<ServerState>, id: &str) {
                 write_terminal(state, id, terminal, Some(placement));
                 // GC after success: superseded generations and any tmp
                 // litter go now, not at the next restart.
-                let _ = prune(&dir, state.config.keep_generations);
+                if let Ok(report) = prune(&dir, state.config.keep_generations) {
+                    record_prune(&state.obs, &report);
+                }
                 return;
             }
             Err(PestoError::Cancelled) => {
@@ -782,7 +866,7 @@ fn run_job(state: &Arc<ServerState>, id: &str) {
                 return;
             }
             Err(e) if e.is_retryable() && attempt - first_attempt < spec.max_retries => {
-                state.counters.retries.fetch_add(1, Ordering::Relaxed);
+                state.obs.counter_add("serve.jobs.retries", 1);
                 backoff_wait(state, &spec, attempt, &cancel);
                 if cancel.is_cancelled() {
                     finalize_cancelled(state, id);
@@ -860,16 +944,10 @@ fn placement_graph(state: &Arc<ServerState>, spec: &JobSpec) -> Result<FrozenGra
     };
     let key = (graph_fingerprint(&graph), spec.seed, iters);
     if let Some(cached) = state.profile_cache.lock().unwrap().get(&key) {
-        state
-            .counters
-            .profile_cache_hits
-            .fetch_add(1, Ordering::Relaxed);
+        state.obs.counter_add("serve.profile_cache.hits", 1);
         return Ok((**cached).clone());
     }
-    state
-        .counters
-        .profile_cache_misses
-        .fetch_add(1, Ordering::Relaxed);
+    state.obs.counter_add("serve.profile_cache.misses", 1);
     let estimated = Profiler::new(iters, spec.seed)
         .profile(&graph)
         .apply_to(graph);
@@ -954,15 +1032,20 @@ fn finalize(
     update(j);
     drop(jobs);
     let counter = match terminal {
-        JobState::Completed => &state.counters.completed,
-        JobState::Degraded => &state.counters.degraded,
-        JobState::Failed => &state.counters.failed,
-        JobState::Cancelled => &state.counters.cancelled,
+        JobState::Completed => "serve.jobs.completed",
+        JobState::Degraded => "serve.jobs.degraded",
+        JobState::Failed => "serve.jobs.failed",
+        JobState::Cancelled => "serve.jobs.cancelled",
         JobState::Queued | JobState::Running => return,
     };
-    counter.fetch_add(1, Ordering::Relaxed);
+    state.obs.counter_add(counter, 1);
+    // Submit-to-terminal latency; `/metrics` exposes the p50/p95/p99
+    // through the histogram buckets.
+    state
+        .obs
+        .observe("serve.job_duration_ms", elapsed_ms as f64);
     // EWMA with alpha 1/4, integer arithmetic.
-    let avg = &state.counters.avg_job_ms;
+    let avg = &state.avg_job_ms;
     let old = avg.load(Ordering::Relaxed);
     let new = if old == 0 {
         elapsed_ms

@@ -406,3 +406,112 @@ fn sigkill_and_restart_resumes_the_checkpoint_bit_identically() {
 
     let _ = fs::remove_dir_all(&data_dir);
 }
+
+// ---------------------------------------------------------------------
+// Telemetry: /metrics and /debug/flight
+
+/// Minimal Prometheus text-format reader: returns `name{labels} -> value`
+/// for every sample line, and asserts the document structure (every
+/// sample belongs to a family announced by `# HELP` + `# TYPE`).
+fn parse_prometheus(text: &str) -> std::collections::HashMap<String, f64> {
+    let mut typed = std::collections::HashSet::new();
+    let mut helped = std::collections::HashSet::new();
+    let mut samples = std::collections::HashMap::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            typed.insert(rest.split(' ').next().unwrap().to_string());
+        } else if let Some(rest) = line.strip_prefix("# HELP ") {
+            helped.insert(rest.split(' ').next().unwrap().to_string());
+        } else if !line.is_empty() {
+            let (key, value) = line.rsplit_once(' ').expect("sample line");
+            let bare = key.split('{').next().unwrap();
+            let family = bare
+                .strip_suffix("_bucket")
+                .or_else(|| bare.strip_suffix("_sum"))
+                .or_else(|| bare.strip_suffix("_count"))
+                .unwrap_or(bare);
+            assert!(
+                typed.contains(bare) || typed.contains(family),
+                "sample {key} has no # TYPE line"
+            );
+            assert!(
+                helped.contains(bare) || helped.contains(family),
+                "sample {key} has no # HELP line"
+            );
+            samples.insert(key.to_string(), value.parse::<f64>().unwrap());
+        }
+    }
+    samples
+}
+
+#[test]
+fn metrics_agrees_with_healthz_and_flight_recorder_dumps() {
+    let (server, addr, _dir) = test_server("metrics", 2, 16);
+    let graph = small_graph_json();
+    for seed in [3, 4] {
+        let id = submit_ok(
+            &addr,
+            &body_with(&graph, &format!("\"seed\":{seed},\"checkpoint_every\":0")),
+        );
+        let v = wait_terminal(&addr, &id, Duration::from_secs(120)).unwrap();
+        assert_eq!(v.get("state").and_then(Value::as_str), Some("completed"));
+    }
+
+    let health = get_json(&addr, "/healthz");
+    let resp = client_request(&addr, "GET", "/metrics", None, Duration::from_secs(10)).unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(
+        resp.header("content-type"),
+        Some("text/plain; version=0.0.4")
+    );
+    let metrics = parse_prometheus(&resp.body);
+
+    // Every job counter the health view reports must round-trip through
+    // the exposition — same registry, same numbers.
+    for (health_key, prom_key) in [
+        ("submitted", "serve_jobs_submitted_total"),
+        ("rejected", "serve_jobs_rejected_total"),
+        ("completed", "serve_jobs_completed_total"),
+        ("degraded", "serve_jobs_degraded_total"),
+        ("failed", "serve_jobs_failed_total"),
+        ("cancelled", "serve_jobs_cancelled_total"),
+        ("retries", "serve_jobs_retries_total"),
+        ("recovered", "serve_jobs_recovered_total"),
+        ("profile_cache_hits", "serve_profile_cache_hits_total"),
+        ("profile_cache_misses", "serve_profile_cache_misses_total"),
+        (
+            "pruned_generations",
+            "serve_checkpoints_pruned_generations_total",
+        ),
+        ("pruned_tmp", "serve_checkpoints_pruned_tmp_total"),
+        ("queued", "serve_queue_depth"),
+        ("jobs", "serve_jobs_total"),
+        ("workers", "serve_workers"),
+        ("queue_capacity", "serve_queue_capacity"),
+        ("events_dropped", "serve_solver_events_dropped"),
+    ] {
+        let h = health.get(health_key).and_then(Value::as_u64).unwrap() as f64;
+        assert_eq!(
+            metrics.get(prom_key).copied(),
+            Some(h),
+            "{prom_key} disagrees with /healthz {health_key}"
+        );
+    }
+    assert_eq!(metrics["serve_jobs_completed_total"], 2.0);
+    // The latency histogram saw both terminal jobs.
+    assert_eq!(metrics["serve_job_duration_ms_count"], 2.0);
+    assert!(metrics["serve_job_duration_ms_bucket{le=\"+Inf\"}"] == 2.0);
+
+    // The flight recorder carries the serve.job spans and the metric
+    // snapshot the /metrics scrape just recorded.
+    let flight = get_json(&addr, "/debug/flight");
+    assert_eq!(flight.get("enabled").and_then(Value::as_bool), Some(true));
+    let spans = serde_json::to_string(flight.get("recent_spans").unwrap()).unwrap();
+    assert!(spans.contains("serve.job"), "no serve.job span in {spans}");
+    let Some(Value::Seq(snaps)) = flight.get("metric_snapshots").cloned() else {
+        panic!("missing metric_snapshots");
+    };
+    assert!(!snaps.is_empty(), "scrapes should leave flight snapshots");
+
+    server.stop();
+}

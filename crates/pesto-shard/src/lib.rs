@@ -332,8 +332,7 @@ impl Sharder {
         )?;
         let stitch_ms = stitch_start.elapsed().as_secs_f64() * 1e3;
 
-        let deadline_hit =
-            stitched.deadline_hit || solutions.iter().any(|s| s.deadline_hit);
+        let deadline_hit = stitched.deadline_hit || solutions.iter().any(|s| s.deadline_hit);
         let regions = part
             .regions
             .iter()

@@ -89,7 +89,12 @@ pub fn partition(graph: &FrozenGraph, region_cap: usize) -> PartitionResult {
     for &c in atoms.topo_order() {
         let members = coarsening.members(c);
         if !current.is_empty() && current.len() + members.len() > cap {
-            regions.push(make_region(graph, regions.len(), std::mem::take(&mut current), &on_cp));
+            regions.push(make_region(
+                graph,
+                regions.len(),
+                std::mem::take(&mut current),
+                &on_cp,
+            ));
         }
         current.extend_from_slice(members);
     }

@@ -98,39 +98,49 @@ pub(crate) fn solve_regions(
     let failure: Mutex<Option<ShardError>> = Mutex::new(None);
     let workers = run_threads.clamp(1, regions.len().max(1));
 
+    let worker_index = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let pos = next.fetch_add(1, Ordering::Relaxed);
-                if pos >= order.len() {
-                    return;
+            scope.spawn(|| {
+                // Name this worker's lane so every region-solve span in the
+                // merged chrome-trace lands under a stable thread label.
+                let w = worker_index.fetch_add(1, Ordering::Relaxed);
+                if obs.is_enabled() {
+                    obs.name_lane(format!("shard-worker-{w}"));
                 }
-                if failure.lock().expect("failure lock").is_some() {
-                    return;
-                }
-                if cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
-                    *failure.lock().expect("failure lock") = Some(ShardError::Cancelled);
-                    return;
-                }
-                let region = &regions[order[pos]];
-                let deadline = match (&shares, global_deadline) {
-                    (Some(shares), _) => {
-                        let d = Instant::now() + shares[region.index];
-                        Some(global_deadline.map_or(d, |g| d.min(g)))
-                    }
-                    (None, g) => g,
-                };
-                match solve_one(graph, cluster, comm, region, config, seed, deadline, &cancel, obs)
-                {
-                    Ok(sol) => {
-                        slots.lock().expect("slots lock")[region.index] = Some(sol);
-                    }
-                    Err(e) => {
-                        let mut f = failure.lock().expect("failure lock");
-                        if f.is_none() {
-                            *f = Some(e);
-                        }
+                loop {
+                    let pos = next.fetch_add(1, Ordering::Relaxed);
+                    if pos >= order.len() {
                         return;
+                    }
+                    if failure.lock().expect("failure lock").is_some() {
+                        return;
+                    }
+                    if cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+                        *failure.lock().expect("failure lock") = Some(ShardError::Cancelled);
+                        return;
+                    }
+                    let region = &regions[order[pos]];
+                    let deadline = match (&shares, global_deadline) {
+                        (Some(shares), _) => {
+                            let d = Instant::now() + shares[region.index];
+                            Some(global_deadline.map_or(d, |g| d.min(g)))
+                        }
+                        (None, g) => g,
+                    };
+                    match solve_one(
+                        graph, cluster, comm, region, config, seed, deadline, &cancel, obs,
+                    ) {
+                        Ok(sol) => {
+                            slots.lock().expect("slots lock")[region.index] = Some(sol);
+                        }
+                        Err(e) => {
+                            let mut f = failure.lock().expect("failure lock");
+                            if f.is_none() {
+                                *f = Some(e);
+                            }
+                            return;
+                        }
                     }
                 }
             });
@@ -194,7 +204,7 @@ fn solve_one(
         obs: obs.clone(),
         ..PlacerConfig::default()
     };
-    let placer = PestoPlacer::with_config(comm.clone(), placer_cfg);
+    let placer = PestoPlacer::with_config(*comm, placer_cfg);
     let (coarse_placement, path, deadline_hit) = match placer.place(coarse, cluster) {
         Ok(out) => (out.plan.placement, out.path, out.deadline_hit),
         Err(pesto_ilp::IlpError::Cancelled) => return Err(ShardError::Cancelled),
@@ -250,8 +260,7 @@ mod tests {
         let total: Duration = shares.iter().sum();
         assert!(total <= Duration::from_secs(10) + Duration::from_millis(1));
         // Everyone gets at least the floor of the even share.
-        let floor = Duration::from_secs(10)
-            .mul_f64(EVEN_SHARE_FLOOR / p.regions.len() as f64);
+        let floor = Duration::from_secs(10).mul_f64(EVEN_SHARE_FLOOR / p.regions.len() as f64);
         for s in &shares {
             assert!(*s >= floor, "{s:?} < floor {floor:?}");
         }

@@ -95,7 +95,9 @@ impl<'a> Surrogate<'a> {
 
     fn transfer_us(&self, src: DeviceId, dst: DeviceId, bytes: u64) -> f64 {
         match self.cluster.link_between(src, dst) {
-            Some(l) => self.comm.transfer_us(self.cluster.link(l).link_type(), bytes),
+            Some(l) => self
+                .comm
+                .transfer_us(self.cluster.link(l).link_type(), bytes),
             None => f64::INFINITY,
         }
     }
@@ -151,6 +153,7 @@ impl<'a> Surrogate<'a> {
 }
 
 /// Assembles region solutions into a global placement and repairs it.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn stitch(
     graph: &FrozenGraph,
     cluster: &Cluster,
@@ -322,7 +325,7 @@ mod tests {
     use super::*;
     use crate::partition::partition;
     use crate::solve::solve_regions;
-    use pesto_graph::{OpGraph};
+    use pesto_graph::OpGraph;
 
     fn chain(n: usize, mem: u64) -> FrozenGraph {
         let mut g = OpGraph::new("chain");
@@ -398,12 +401,28 @@ mod tests {
         let part = partition(&g, 1);
         let cfg = ShardConfig::default();
         let sols = solve_regions(
-            &g, &cluster, &comm, &part.regions, &cfg, 3, 1, None, None, None,
+            &g,
+            &cluster,
+            &comm,
+            &part.regions,
+            &cfg,
+            3,
+            1,
+            None,
+            None,
+            None,
             &Obs::disabled(),
         )
         .unwrap();
         let err = stitch(
-            &g, &cluster, &comm, &part, &sols, &cfg, None, &Obs::disabled(),
+            &g,
+            &cluster,
+            &comm,
+            &part,
+            &sols,
+            &cfg,
+            None,
+            &Obs::disabled(),
         )
         .unwrap_err();
         assert!(matches!(err, ShardError::Infeasible(_)));

@@ -163,6 +163,29 @@ impl SimReport {
             .map(|s| s.finish_us)
     }
 
+    /// Converts the recorded [`OpSpan`]s into the per-op observation
+    /// vector the drift detector (`pesto-cost::drift`) consumes: entry
+    /// `i` is the mean observed compute time of op `i` across every step
+    /// instance in this run, or `None` if the op never executed (e.g. a
+    /// partial trace). This is the live span→drift adapter: a pipelined
+    /// run's telemetry feeds `detect_drift` directly, no hand-built
+    /// vectors needed.
+    pub fn observed_op_us(&self, op_count: usize) -> Vec<Option<f64>> {
+        let mut sum = vec![0.0f64; op_count];
+        let mut count = vec![0u32; op_count];
+        for span in &self.op_spans {
+            let i = span.op.index();
+            if i < op_count {
+                sum[i] += span.finish_us - span.start_us;
+                count[i] += 1;
+            }
+        }
+        sum.into_iter()
+            .zip(count)
+            .map(|(s, n)| if n == 0 { None } else { Some(s / n as f64) })
+            .collect()
+    }
+
     /// Renders an ASCII Gantt timeline with one row per device and per
     /// active link — the Figure 5 visualization. `width` is the number of
     /// character cells the makespan is divided into.
@@ -540,6 +563,36 @@ mod tests {
             (1 << 20) + (1 << 19)
         );
         assert_eq!(profile.peak_transient_bytes[cluster.gpu(1).index()], 0);
+    }
+
+    #[test]
+    fn observed_op_us_averages_instances_and_marks_missing_ops() {
+        use crate::Simulator;
+        let cluster = pesto_graph::Cluster::two_gpus();
+        let mut g = pesto_graph::OpGraph::new("obs");
+        let a = g.add_op("alpha", pesto_graph::DeviceKind::Gpu, 40.0, 0);
+        let b = g.add_op("beta", pesto_graph::DeviceKind::Gpu, 25.0, 0);
+        g.add_edge(a, b, 1024).unwrap();
+        let g = g.freeze().unwrap();
+        let placement = pesto_graph::Placement::affinity_default(&g, &cluster);
+        let plan = pesto_graph::Plan::placement_only(placement);
+        let report = Simulator::new(&g, &cluster, pesto_cost::CommModel::default_v100())
+            .with_steps(3)
+            .run(&plan)
+            .unwrap();
+
+        // A clean run reproduces the modeled compute times exactly, with
+        // one entry per op even though each op ran three step instances.
+        let observed = report.observed_op_us(g.op_count());
+        assert_eq!(observed.len(), 2);
+        assert!((observed[a.index()].unwrap() - 40.0).abs() < 1e-9);
+        assert!((observed[b.index()].unwrap() - 25.0).abs() < 1e-9);
+
+        // Ops beyond the recorded spans come back as None, not zero —
+        // the drift detector must skip them, not see a 100% speedup.
+        let padded = report.observed_op_us(g.op_count() + 2);
+        assert_eq!(padded.len(), 4);
+        assert!(padded[2].is_none() && padded[3].is_none());
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! pesto baseline <expert|m_topo|m_etf|m_sct> <graph.json> [--gpus N] > plan.json
 //! pesto repair   <graph.json> <plan.json> --failed N [--gpus N] [--budget-ms N] > plan.json
 //! pesto info     <graph.json>
+//! pesto obs      <dump|metrics> --addr HOST:PORT [--out FILE]
 //! pesto models
 //! pesto help
 //! ```
@@ -18,7 +19,10 @@
 //! compose: `pesto generate rnnlm 2 256 | tee g.json | pesto info /dev/stdin`.
 //! `--trace-out` writes a Chrome-trace JSON of the pipeline's own stages
 //! (open it in `chrome://tracing` or <https://ui.perfetto.dev>);
-//! `--metrics-out` writes the flat metrics/event dump.
+//! `--metrics-out` writes the flat metrics/event dump. `obs` talks to a
+//! running `pesto-serve` daemon: `obs metrics` fetches the Prometheus
+//! `/metrics` exposition, `obs dump` the `/debug/flight` flight-recorder
+//! snapshot (recent spans, solver events, metric history).
 //!
 //! Crash safety: `place --checkpoint FILE` snapshots the search state
 //! atomically as it runs; re-running the same command with `--resume`
@@ -87,6 +91,11 @@ const COMMANDS: &[CommandSpec] = &[
         &[("--failed", "N"), ("--gpus", "N"), ("--budget-ms", "N")],
     ),
     ("info", "<graph.json>", &[]),
+    (
+        "obs",
+        "<dump|metrics>",
+        &[("--addr", "HOST:PORT"), ("--out", "FILE")],
+    ),
     ("models", "", &[]),
     ("help", "", &[]),
 ];
@@ -209,6 +218,42 @@ fn cluster_from(args: &[String], cmd: &str) -> Result<Cluster, String> {
 fn load_graph(path: &str) -> Result<FrozenGraph, String> {
     let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     from_json(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+/// Minimal blocking HTTP/1.1 GET against a `pesto-serve` daemon. The
+/// server always answers `Connection: close` with a `Content-Length`, so
+/// read-to-end after the blank line is the whole body. (The CLI cannot
+/// use `pesto_serve::http` — that crate depends on this one.)
+fn http_get(addr: &str, path: &str) -> Result<String, String> {
+    use std::io::{Read as _, Write as _};
+    let mut stream = std::net::TcpStream::connect(addr).map_err(|e| e.to_string())?;
+    let timeout = Some(Duration::from_secs(10));
+    stream
+        .set_read_timeout(timeout)
+        .map_err(|e| e.to_string())?;
+    stream
+        .set_write_timeout(timeout)
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .map_err(|e| e.to_string())?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).map_err(|e| e.to_string())?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| "malformed response (no header terminator)".to_string())?;
+    let status_line = head.lines().next().unwrap_or_default();
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line {status_line:?}"))?;
+    if status != 200 {
+        return Err(format!("server answered {status}: {}", body.trim()));
+    }
+    Ok(body.to_string())
 }
 
 fn run(args: &[String]) -> Result<(), CliError> {
@@ -470,6 +515,36 @@ fn run(args: &[String]) -> Result<(), CliError> {
                 graph.total_compute_us() / 1000.0,
                 graph.critical_path_us() / 1000.0
             );
+            Ok(())
+        }
+        "obs" => {
+            let what = args
+                .get(1)
+                .map(String::as_str)
+                .ok_or("missing obs subcommand (dump|metrics)")?;
+            let path = match what {
+                "dump" => "/debug/flight",
+                "metrics" => "/metrics",
+                other => return Err(format!("unknown obs subcommand {other}").into()),
+            };
+            let addr = flag_value(args, "obs", "--addr")
+                .ok_or("missing --addr HOST:PORT (the pesto-serve address)")?;
+            let body = http_get(&addr, path).map_err(|e| CliError {
+                msg: format!("GET {addr}{path}: {e}"),
+                retryable: true,
+            })?;
+            match flag_value(args, "obs", "--out") {
+                Some(out) => {
+                    fs::write(&out, &body).map_err(|e| format!("cannot write {out}: {e}"))?;
+                    eprintln!("wrote {out}");
+                }
+                None => {
+                    print!("{body}");
+                    if !body.ends_with('\n') {
+                        println!();
+                    }
+                }
+            }
             Ok(())
         }
         "models" => {

@@ -77,8 +77,9 @@ pub use eval::{
 pub use pesto_obs::CancelToken;
 pub use pipeline::{DegradationReason, Pesto, PestoConfig, PestoError, PestoOutcome, StageTiming};
 pub use robust::{
-    evaluate_robustness, repair_after_outage, replace_after_drift, DriftReplaceOutcome,
-    RepairOutcome, RobustnessConfig, RobustnessReport, ROBUSTNESS_SCHEMA_VERSION,
+    evaluate_robustness, repair_after_outage, replace_after_drift, replace_after_drift_from_report,
+    replace_after_drift_observed, DriftReplaceOutcome, RepairOutcome, RobustnessConfig,
+    RobustnessReport, ROBUSTNESS_SCHEMA_VERSION,
 };
 
 /// Re-export: operation DAGs, clusters, and plans.

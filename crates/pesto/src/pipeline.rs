@@ -387,6 +387,12 @@ pub struct PestoOutcome {
     /// [`PestoConfig::pipeline_steps`]-step pipelined run of the plan.
     /// `None` when `pipeline_steps <= 1`.
     pub pipeline: Option<PipelineStats>,
+    /// Per-op mean observed compute times from the pipelined run's spans
+    /// (`None` entries for ops with no measurement) — ready to feed
+    /// [`crate::replace_after_drift_observed`], closing the
+    /// observe→detect→re-place loop without hand-built vectors. `None`
+    /// as a whole when `pipeline_steps <= 1`.
+    pub observed_op_us: Option<Vec<Option<f64>>>,
     /// Per-stage wall time of this run, in execution order. Populated on
     /// every run — including degraded ones, which skip the search stages —
     /// regardless of whether [`PestoConfig::obs`] is enabled.
@@ -511,14 +517,17 @@ impl Pesto {
     }
 
     /// Runs the plan for [`PestoConfig::pipeline_steps`] pipelined steps
-    /// on the true op times and returns the per-step breakdown. `None`
-    /// when `pipeline_steps <= 1`.
+    /// on the true op times and returns the per-step breakdown together
+    /// with the per-op observation vector extracted from the run's spans
+    /// ([`pesto_sim::SimReport::observed_op_us`]). `None` when
+    /// `pipeline_steps <= 1`.
+    #[allow(clippy::type_complexity)]
     fn pipelined_stats(
         &self,
         graph: &FrozenGraph,
         cluster: &Cluster,
         plan: &Plan,
-    ) -> Result<Option<PipelineStats>, PestoError> {
+    ) -> Result<Option<(PipelineStats, Vec<Option<f64>>)>, PestoError> {
         if self.config.pipeline_steps <= 1 {
             return Ok(None);
         }
@@ -526,7 +535,8 @@ impl Pesto {
             .with_seed(self.config.seed)
             .with_steps(self.config.pipeline_steps)
             .run(plan)?;
-        Ok(report.pipeline)
+        let observed = report.observed_op_us(graph.op_count());
+        Ok(report.pipeline.map(|p| (p, observed)))
     }
 
     /// Emits the telemetry `Degradation` event for `reason`, tagged with
@@ -601,7 +611,10 @@ impl Pesto {
                 .with_obs(obs.clone())
                 .run(&plan)
         })?;
-        let pipeline = self.pipelined_stats(graph, cluster, &plan)?;
+        let (pipeline, observed_op_us) = match self.pipelined_stats(graph, cluster, &plan)? {
+            Some((stats, observed)) => (Some(stats), Some(observed)),
+            None => (None, None),
+        };
         Ok(PestoOutcome {
             plan,
             makespan_us: report.makespan_us,
@@ -613,6 +626,7 @@ impl Pesto {
             degradation: Some(reason),
             resumed: false,
             pipeline,
+            observed_op_us,
             stage_timings,
             shard: None,
         })
@@ -715,10 +729,15 @@ impl Pesto {
         // graph, cheap even at paper scale, so sharded plans are not
         // penalized with framework-default scheduling.
         let plan = timed_stage(&obs, &mut stage_timings, "schedule", || {
-            let scheduled =
-                pesto_ilp::etf_schedule(estimated, cluster, &self.comm, placement.clone(), &sim_est)
-                    .map_err(IlpError::from)
-                    .map_err(PestoError::from)?;
+            let scheduled = pesto_ilp::etf_schedule(
+                estimated,
+                cluster,
+                &self.comm,
+                placement.clone(),
+                &sim_est,
+            )
+            .map_err(IlpError::from)
+            .map_err(PestoError::from)?;
             Ok::<Plan, PestoError>(scheduled.plan)
         })?;
         let placement_time = start.elapsed();
@@ -736,7 +755,11 @@ impl Pesto {
         // even at paper scale, so compare honestly and never ship worse
         // than mSCT (mirrors the resume path's never-worse guard).
         let msct_plan = pesto_baselines::m_sct(estimated, cluster, &self.comm);
-        if msct_plan.placement.oom_devices(estimated, cluster).is_empty() {
+        if msct_plan
+            .placement
+            .oom_devices(estimated, cluster)
+            .is_empty()
+        {
             if let Ok(msct_report) = Simulator::new(graph, cluster, self.comm)
                 .with_seed(self.config.seed)
                 .run(&msct_plan)
@@ -747,7 +770,10 @@ impl Pesto {
                 }
             }
         }
-        let pipeline = self.pipelined_stats(graph, cluster, &plan)?;
+        let (pipeline, observed_op_us) = match self.pipelined_stats(graph, cluster, &plan)? {
+            Some((stats, observed)) => (Some(stats), Some(observed)),
+            None => (None, None),
+        };
         let max_region_ops = report.regions.iter().map(|r| r.ops).max().unwrap_or(0);
         Ok(PestoOutcome {
             plan,
@@ -760,6 +786,7 @@ impl Pesto {
             degradation,
             resumed: false,
             pipeline,
+            observed_op_us,
             stage_timings,
             shard: Some(report),
         })
@@ -1143,7 +1170,10 @@ impl Pesto {
                 }
             }
         }
-        let pipeline = self.pipelined_stats(graph, cluster, &plan)?;
+        let (pipeline, observed_op_us) = match self.pipelined_stats(graph, cluster, &plan)? {
+            Some((stats, observed)) => (Some(stats), Some(observed)),
+            None => (None, None),
+        };
 
         // The final checkpoint records the finished job: full search
         // state for further warm-starts plus the fine plan with its
@@ -1179,6 +1209,7 @@ impl Pesto {
             degradation,
             resumed,
             pipeline,
+            observed_op_us,
             stage_timings,
             shard: None,
         })

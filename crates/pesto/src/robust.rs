@@ -460,6 +460,128 @@ pub fn replace_after_drift(
     comm: CommModel,
     plan: &Plan,
     drift: &DriftConfig,
+    search: HybridConfig,
+    obs: &Obs,
+) -> Result<DriftReplaceOutcome, PestoError> {
+    let observed: Vec<Option<f64>> = graph
+        .op_ids()
+        .map(|id| Some(graph.op(id).compute_us()))
+        .collect();
+    drift_replace_core(
+        graph,
+        expected_us,
+        &observed,
+        cluster,
+        comm,
+        plan,
+        drift,
+        search,
+        obs,
+    )
+}
+
+/// Like [`replace_after_drift`], but fed a *live* observation vector
+/// (one entry per op; `None` for ops with no measurement) instead of
+/// times baked into the graph — the shape produced by
+/// [`pesto_sim::SimReport::observed_op_us`]. A copy of `graph` with the
+/// finite positive observations substituted for the modeled compute
+/// times is what gets re-simulated and re-solved, so the "never worse"
+/// comparison runs under what was actually measured.
+///
+/// # Errors
+///
+/// As [`replace_after_drift`], plus [`PestoError::InvalidConfig`] if
+/// `observed_us` is not one entry per op.
+#[allow(clippy::too_many_arguments)]
+pub fn replace_after_drift_observed(
+    graph: &pesto_graph::FrozenGraph,
+    expected_us: &[f64],
+    observed_us: &[Option<f64>],
+    cluster: &Cluster,
+    comm: CommModel,
+    plan: &Plan,
+    drift: &DriftConfig,
+    search: HybridConfig,
+    obs: &Obs,
+) -> Result<DriftReplaceOutcome, PestoError> {
+    if observed_us.len() != graph.op_count() {
+        return Err(PestoError::InvalidConfig(format!(
+            "observed_us has {} entries for a {}-op graph",
+            observed_us.len(),
+            graph.op_count()
+        )));
+    }
+    let mut thawed = graph.clone().thaw();
+    for (i, obs_us) in observed_us.iter().enumerate() {
+        if let Some(v) = *obs_us {
+            if v.is_finite() && v > 0.0 {
+                thawed.op_mut(OpId::from_index(i)).set_compute_us(v);
+            }
+        }
+    }
+    let observed_graph = thawed
+        .freeze()
+        .map_err(|e| PestoError::InvalidConfig(format!("observed graph: {e}")))?;
+    drift_replace_core(
+        &observed_graph,
+        expected_us,
+        observed_us,
+        cluster,
+        comm,
+        plan,
+        drift,
+        search,
+        obs,
+    )
+}
+
+/// The end of the observe→act loop: feeds a simulation report's spans
+/// straight into drift detection and incremental re-placement. Sugar for
+/// [`replace_after_drift_observed`] over
+/// [`pesto_sim::SimReport::observed_op_us`].
+///
+/// # Errors
+///
+/// As [`replace_after_drift_observed`].
+#[allow(clippy::too_many_arguments)]
+pub fn replace_after_drift_from_report(
+    graph: &pesto_graph::FrozenGraph,
+    expected_us: &[f64],
+    report: &pesto_sim::SimReport,
+    cluster: &Cluster,
+    comm: CommModel,
+    plan: &Plan,
+    drift: &DriftConfig,
+    search: HybridConfig,
+    obs: &Obs,
+) -> Result<DriftReplaceOutcome, PestoError> {
+    let observed = report.observed_op_us(graph.op_count());
+    replace_after_drift_observed(
+        graph,
+        expected_us,
+        &observed,
+        cluster,
+        comm,
+        plan,
+        drift,
+        search,
+        obs,
+    )
+}
+
+/// Shared tail of the drift-replace entry points: `graph` carries the
+/// observed times (either baked in by the caller or substituted from a
+/// live observation vector), `observed` is the vector handed to
+/// [`detect_drift`].
+#[allow(clippy::too_many_arguments)]
+fn drift_replace_core(
+    graph: &pesto_graph::FrozenGraph,
+    expected_us: &[f64],
+    observed: &[Option<f64>],
+    cluster: &Cluster,
+    comm: CommModel,
+    plan: &Plan,
+    drift: &DriftConfig,
     mut search: HybridConfig,
     obs: &Obs,
 ) -> Result<DriftReplaceOutcome, PestoError> {
@@ -473,11 +595,7 @@ pub fn replace_after_drift(
     if cluster.gpu_count() == 0 {
         return Err(PestoError::NoGpus);
     }
-    let observed: Vec<Option<f64>> = graph
-        .op_ids()
-        .map(|id| Some(graph.op(id).compute_us()))
-        .collect();
-    let report = detect_drift(expected_us, &observed, drift);
+    let report = detect_drift(expected_us, observed, drift);
     if obs.is_enabled() {
         obs.solver_event(
             "robust.drift",

@@ -235,3 +235,76 @@ fn gpus_flag_is_validated() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("bad --gpus"));
 }
+
+#[test]
+fn obs_subcommand_fetches_metrics_and_flight_dumps() {
+    use std::io::{Read as _, Write as _};
+    use std::net::TcpListener;
+
+    // A one-shot stand-in for pesto-serve: answers any GET with a fixed
+    // body the way the real daemon does (Content-Length, close).
+    let serve_once = |body: &'static str| -> String {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 4096];
+            let _ = stream.read(&mut buf);
+            let resp = format!(
+                "HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\n\
+                 Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                body.len()
+            );
+            stream.write_all(resp.as_bytes()).unwrap();
+        });
+        addr
+    };
+
+    // `obs metrics` prints the exposition to stdout.
+    let addr = serve_once("serve_jobs_submitted_total 3\n");
+    let out = pesto_bin()
+        .args(["obs", "metrics", "--addr", &addr])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        "serve_jobs_submitted_total 3\n"
+    );
+
+    // `obs dump --out FILE` writes the flight dump to disk.
+    let addr = serve_once("{\"enabled\":true}\n");
+    let dump_path = tmp("flight.json");
+    let out = pesto_bin()
+        .args([
+            "obs",
+            "dump",
+            "--addr",
+            &addr,
+            "--out",
+            dump_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        std::fs::read_to_string(&dump_path).unwrap(),
+        "{\"enabled\":true}\n"
+    );
+
+    // A dead address is a *retryable* failure (exit 75), matching the
+    // shared transient classification.
+    let out = pesto_bin()
+        .args(["obs", "metrics", "--addr", "127.0.0.1:1"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(75));
+}

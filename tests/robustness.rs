@@ -175,3 +175,99 @@ fn deadlocked_schedule_names_the_blocked_op_and_fails_cleanly() {
         other => panic!("expected Failed, got {other:?}"),
     }
 }
+
+#[test]
+fn pipelined_spans_feed_the_drift_detector() {
+    use pesto::cost::DriftConfig;
+    use pesto::obs::Obs;
+    use pesto::{replace_after_drift_from_report, replace_after_drift_observed};
+
+    let graph = ModelSpec::transformer(1, 2, 64).generate(4, 1);
+    let cluster = Cluster::two_gpus();
+    let config = PestoConfig {
+        pipeline_steps: 4,
+        ..PestoConfig::fast()
+    };
+    let outcome = Pesto::new(config).place(&graph, &cluster).unwrap();
+    let expected: Vec<f64> = graph.op_ids().map(|id| graph.op(id).compute_us()).collect();
+
+    // The pipelined run surfaced its spans as a ready-made observation
+    // vector: one entry per op, every executed op measured.
+    let observed = outcome
+        .observed_op_us
+        .clone()
+        .expect("pipelined run must record observations");
+    assert_eq!(observed.len(), graph.op_count());
+    assert!(observed.iter().all(Option::is_some));
+
+    let drift = DriftConfig::default();
+    let search = HybridConfig {
+        iterations: 300,
+        restarts: 1,
+        ..HybridConfig::default()
+    };
+
+    // Clean run: the simulator reproduces the profile exactly, so the
+    // 4-sigma detector must stay quiet and the plan must come back
+    // untouched.
+    let clean = replace_after_drift_observed(
+        &graph,
+        &expected,
+        &observed,
+        &cluster,
+        comm(),
+        &outcome.plan,
+        &drift,
+        search.clone(),
+        &Obs::disabled(),
+    )
+    .unwrap();
+    assert!(
+        !clean.report.any(),
+        "clean run flagged {:?}",
+        clean.report.drifted
+    );
+    assert!(!clean.replaced);
+    assert_eq!(clean.plan.placement, outcome.plan.placement);
+
+    // Straggle the device that runs the heaviest op: every span on it
+    // stretches 3x, far past the dispersion threshold (max ~0.8 of the
+    // expectation), and the adapter must carry that from the SimReport
+    // into a firing detector.
+    let heavy = graph
+        .op_ids()
+        .max_by(|&a, &b| {
+            graph
+                .op(a)
+                .compute_us()
+                .total_cmp(&graph.op(b).compute_us())
+        })
+        .unwrap();
+    let victim = outcome.plan.placement.device(heavy);
+    let straggled = Simulator::new(&graph, &cluster, comm())
+        .with_steps(4)
+        .with_faults(FaultPlan::new(9).with_straggler(victim, 3.0))
+        .run(&outcome.plan)
+        .unwrap();
+    let drifted = replace_after_drift_from_report(
+        &graph,
+        &expected,
+        &straggled,
+        &cluster,
+        comm(),
+        &outcome.plan,
+        &drift,
+        search,
+        &Obs::disabled(),
+    )
+    .unwrap();
+    assert!(
+        drifted.report.any(),
+        "a 3x straggler must trip the detector (max drift {:.3})",
+        drifted.report.max_drift_frac
+    );
+    assert!(drifted.report.drifted.contains(&heavy.index()));
+    // Whatever the incremental search decided, the returned plan is
+    // never worse than the old one under the observed times.
+    assert!(drifted.makespan_us <= drifted.old_makespan_us + 1e-9);
+}
