@@ -273,7 +273,7 @@ impl Obs {
         let Some(inner) = &self.inner else {
             return MetricsSnapshot::default();
         };
-        let registry = inner.registry.lock().unwrap();
+        let registry = crate::lock_recover(&inner.registry);
         let mut snapshot = MetricsSnapshot {
             counters: registry.counters.clone(),
             gauges: registry.gauges.clone(),
@@ -285,7 +285,7 @@ impl Obs {
             }
         }
         drop(registry);
-        for span in inner.spans.lock().unwrap().iter() {
+        for span in crate::lock_recover(&inner.spans).iter() {
             let entry = snapshot
                 .span_totals
                 .entry(span.name.clone())

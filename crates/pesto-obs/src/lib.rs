@@ -244,6 +244,16 @@ impl FlightRing {
     }
 }
 
+/// Poison-recovering lock acquisition for the telemetry stores. The
+/// panic *hook* reads these locks, so they must be acquirable even after
+/// some thread panicked mid-record — a panicking `lock()` inside the
+/// hook would double-panic and abort the process. Every store here is a
+/// ring or map whose items are inserted whole under the lock, so a
+/// recovered guard observes at worst a missing item, never a torn one.
+pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// Shared storage behind an enabled [`Obs`] handle.
 pub(crate) struct Inner {
     pub(crate) epoch: Instant,
@@ -343,14 +353,14 @@ impl Obs {
     /// Adds `delta` to the named monotonic counter.
     pub fn counter_add(&self, name: &str, delta: u64) {
         if let Some(inner) = &self.inner {
-            inner.registry.lock().unwrap().counter_add(name, delta);
+            crate::lock_recover(&inner.registry).counter_add(name, delta);
         }
     }
 
     /// Sets the named gauge to its latest value.
     pub fn gauge_set(&self, name: &str, value: f64) {
         if let Some(inner) = &self.inner {
-            inner.registry.lock().unwrap().gauge_set(name, value);
+            crate::lock_recover(&inner.registry).gauge_set(name, value);
         }
     }
 
@@ -358,7 +368,7 @@ impl Obs {
     /// computed at export time).
     pub fn observe(&self, name: &str, value: f64) {
         if let Some(inner) = &self.inner {
-            inner.registry.lock().unwrap().observe(name, value);
+            crate::lock_recover(&inner.registry).observe(name, value);
         }
     }
 
@@ -371,7 +381,7 @@ impl Obs {
                 source: source.to_string(),
                 kind,
             };
-            inner.events.lock().unwrap().push(event);
+            crate::lock_recover(&inner.events).push(event);
         }
     }
 
@@ -380,7 +390,7 @@ impl Obs {
     pub fn solver_events(&self) -> Vec<SolverEvent> {
         self.inner
             .as_ref()
-            .map_or_else(Vec::new, |i| i.events.lock().unwrap().snapshot())
+            .map_or_else(Vec::new, |i| crate::lock_recover(&i.events).snapshot())
     }
 
     /// Incremental read for pollers (e.g. a job-status endpoint
@@ -391,9 +401,10 @@ impl Obs {
     /// and a reader that falls behind the ring resumes at the oldest
     /// retained event. Disabled handles return `(0, [])`.
     pub fn solver_events_since(&self, seq: u64) -> (u64, Vec<SolverEvent>) {
-        self.inner
-            .as_ref()
-            .map_or_else(|| (0, Vec::new()), |i| i.events.lock().unwrap().since(seq))
+        self.inner.as_ref().map_or_else(
+            || (0, Vec::new()),
+            |i| crate::lock_recover(&i.events).since(seq),
+        )
     }
 
     /// How many solver events the bounded ring has evicted so far (0 when
@@ -402,7 +413,7 @@ impl Obs {
     pub fn dropped_events(&self) -> u64 {
         self.inner
             .as_ref()
-            .map_or(0, |i| i.events.lock().unwrap().evicted)
+            .map_or(0, |i| crate::lock_recover(&i.events).evicted)
     }
 
     /// Snapshot of the retained spans (the bounded ring may have evicted
@@ -410,7 +421,7 @@ impl Obs {
     pub fn spans(&self) -> Vec<SpanRecord> {
         self.inner
             .as_ref()
-            .map_or_else(Vec::new, |i| i.spans.lock().unwrap().snapshot())
+            .map_or_else(Vec::new, |i| crate::lock_recover(&i.spans).snapshot())
     }
 
     /// How many spans the bounded ring has evicted so far (0 when
@@ -419,7 +430,7 @@ impl Obs {
     pub fn dropped_spans(&self) -> u64 {
         self.inner
             .as_ref()
-            .map_or(0, |i| i.spans.lock().unwrap().evicted)
+            .map_or(0, |i| crate::lock_recover(&i.spans).evicted)
     }
 
     /// Names the *calling thread's* span lane; exported traces label the
@@ -444,7 +455,7 @@ impl Obs {
     pub fn lane_names(&self) -> BTreeMap<u64, String> {
         self.inner
             .as_ref()
-            .map_or_else(BTreeMap::new, |i| i.lanes.lock().unwrap().clone())
+            .map_or_else(BTreeMap::new, |i| crate::lock_recover(&i.lanes).clone())
     }
 
     /// Pushes a timestamped copy of the current metric state into the
@@ -459,7 +470,7 @@ impl Obs {
                 t_us: inner.epoch.elapsed().as_secs_f64() * 1e6,
                 metrics: self.metrics_snapshot(),
             };
-            inner.flight.lock().unwrap().push(snapshot);
+            crate::lock_recover(&inner.flight).push(snapshot);
         }
     }
 
@@ -468,21 +479,21 @@ impl Obs {
     pub fn flight_snapshots(&self) -> Vec<export::FlightSnapshot> {
         self.inner
             .as_ref()
-            .map_or_else(Vec::new, |i| i.flight.lock().unwrap().snapshot())
+            .map_or_else(Vec::new, |i| crate::lock_recover(&i.flight).snapshot())
     }
 
     /// The newest `n` retained spans, oldest first.
     pub(crate) fn span_tail(&self, n: usize) -> Vec<SpanRecord> {
         self.inner
             .as_ref()
-            .map_or_else(Vec::new, |i| i.spans.lock().unwrap().tail(n))
+            .map_or_else(Vec::new, |i| crate::lock_recover(&i.spans).tail(n))
     }
 
     /// The newest `n` retained solver events, oldest first.
     pub(crate) fn event_tail(&self, n: usize) -> Vec<SolverEvent> {
         self.inner
             .as_ref()
-            .map_or_else(Vec::new, |i| i.events.lock().unwrap().tail(n))
+            .map_or_else(Vec::new, |i| crate::lock_recover(&i.events).tail(n))
     }
 
     /// Installs a process-wide panic hook that writes this handle's
@@ -490,20 +501,48 @@ impl Obs {
     /// previous hook (which keeps the default backtrace output) runs.
     /// Gives postmortem telemetry for crashed jobs at zero steady-state
     /// cost — the dump is only rendered inside the panic path. Disabled
-    /// handles install nothing. Installing from several handles chains
-    /// hooks; each writes its own dump.
-    pub fn install_panic_hook(&self, path: impl Into<PathBuf>) {
-        if self.inner.is_none() {
-            return;
+    /// handles install nothing. Installing from several handles (or one
+    /// handle with several paths) chains hooks; each writes its own dump.
+    ///
+    /// Idempotent: re-installing the *same* handle with the *same* path
+    /// is a no-op returning `false`, so restart loops (a supervisor
+    /// re-running daemon startup) cannot grow an unbounded hook chain.
+    /// Returns `true` when a hook was actually installed.
+    ///
+    /// The hook itself cannot panic: the telemetry locks recover from
+    /// poison (the panicking thread may have died mid-record) and the
+    /// dump write is best-effort — a missing directory or unwritable
+    /// path loses the dump, never the process (a panic inside a panic
+    /// hook aborts).
+    pub fn install_panic_hook(&self, path: impl Into<PathBuf>) -> bool {
+        static PANIC_SINKS: Mutex<Vec<(std::sync::Weak<Inner>, PathBuf)>> = Mutex::new(Vec::new());
+        let Some(inner) = &self.inner else {
+            return false;
+        };
+        let path: PathBuf = path.into();
+        {
+            let mut sinks = lock_recover(&PANIC_SINKS);
+            // Drop entries whose handles are gone, then refuse duplicates.
+            sinks.retain(|(weak, _)| weak.strong_count() > 0);
+            let duplicate = sinks.iter().any(|(weak, p)| {
+                *p == path
+                    && weak
+                        .upgrade()
+                        .is_some_and(|other| Arc::ptr_eq(&other, inner))
+            });
+            if duplicate {
+                return false;
+            }
+            sinks.push((Arc::downgrade(inner), path.clone()));
         }
         let obs = self.clone();
-        let path: PathBuf = path.into();
         let prev = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
             prev(info);
             obs.record_flight_snapshot();
             let _ = std::fs::write(&path, obs.flight_dump());
         }));
+        true
     }
 
     /// Current value of a counter (0 when absent or disabled). Mostly for
@@ -511,14 +550,14 @@ impl Obs {
     pub fn counter(&self, name: &str) -> u64 {
         self.inner
             .as_ref()
-            .map_or(0, |i| i.registry.lock().unwrap().counter(name))
+            .map_or(0, |i| crate::lock_recover(&i.registry).counter(name))
     }
 
     /// Latest value of a gauge, if set.
     pub fn gauge(&self, name: &str) -> Option<f64> {
         self.inner
             .as_ref()
-            .and_then(|i| i.registry.lock().unwrap().gauge(name))
+            .and_then(|i| crate::lock_recover(&i.registry).gauge(name))
     }
 }
 
@@ -660,6 +699,61 @@ mod tests {
         assert!(dump.contains("\"enabled\":true"));
         assert!(dump.contains("pre.panic"));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn panic_hook_install_is_idempotent_per_handle_and_path() {
+        let obs = Obs::enabled();
+        let path =
+            std::env::temp_dir().join(format!("pesto-obs-hook-idem-{}.json", std::process::id()));
+        assert!(obs.install_panic_hook(&path), "first install takes effect");
+        assert!(
+            !obs.install_panic_hook(&path),
+            "same handle + same path is a no-op"
+        );
+        assert!(
+            !obs.install_panic_hook(&path),
+            "still a no-op on the third try"
+        );
+        // A different path for the same handle is a genuinely new sink...
+        let other =
+            std::env::temp_dir().join(format!("pesto-obs-hook-idem-b-{}.json", std::process::id()));
+        assert!(obs.install_panic_hook(&other));
+        assert!(!obs.install_panic_hook(&other));
+        // ...as is a different handle for the same path.
+        let second = Obs::enabled();
+        assert!(second.install_panic_hook(&path));
+        assert!(!second.install_panic_hook(&path));
+        // Disabled handles never install anything.
+        assert!(!Obs::disabled().install_panic_hook(&path));
+        // Restore the default hook so other tests see a clean slate.
+        let _ = std::panic::take_hook();
+    }
+
+    #[test]
+    fn panic_hook_survives_an_unwritable_dump_path() {
+        let obs = Obs::enabled();
+        obs.counter_add("doomed", 1);
+        // A dump path in a directory that does not exist: the write must
+        // fail, and the hook must swallow that failure. A panic inside a
+        // panic hook aborts the process, so this test finishing at all is
+        // the assertion that the hook cannot panic.
+        let path = std::env::temp_dir()
+            .join(format!("pesto-obs-no-such-dir-{}", std::process::id()))
+            .join("deep")
+            .join("flight.json");
+        obs.install_panic_hook(&path);
+        let result = std::thread::Builder::new()
+            .name("obs-unwritable-probe".into())
+            .spawn(|| panic!("probe with unwritable dump path"))
+            .unwrap()
+            .join();
+        let _ = std::panic::take_hook();
+        assert!(result.is_err(), "the probe thread panicked normally");
+        assert!(!path.exists(), "nothing was written");
+        // The handle is still fully usable afterwards.
+        obs.counter_add("doomed", 1);
+        assert_eq!(obs.counter("doomed"), 2);
     }
 
     #[test]

@@ -73,7 +73,7 @@ impl Drop for SpanGuard {
                 dur_us,
                 attrs: open.attrs,
             };
-            open.inner.spans.lock().unwrap().push(record);
+            crate::lock_recover(&open.inner.spans).push(record);
         }
     }
 }

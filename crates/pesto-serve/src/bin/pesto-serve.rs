@@ -13,6 +13,7 @@ fn usage() -> &'static str {
      USAGE:\n\
      \x20   pesto-serve [--addr HOST:PORT] [--data-dir DIR] [--workers N]\n\
      \x20               [--queue-cap N] [--gpus N] [--keep-generations N]\n\
+     \x20               [--read-timeout-ms MS] [--restart-budget N]\n\
      \n\
      OPTIONS:\n\
      \x20   --addr HOST:PORT       bind address (default 127.0.0.1:7437; port 0 = ephemeral)\n\
@@ -21,6 +22,8 @@ fn usage() -> &'static str {
      \x20   --queue-cap N          admission queue bound (default 256)\n\
      \x20   --gpus N               GPUs in the placement cluster (default 2)\n\
      \x20   --keep-generations N   checkpoint generations kept per job (default 2)\n\
+     \x20   --read-timeout-ms MS   per-connection socket read/write timeout (default 30000)\n\
+     \x20   --restart-budget N     crashed-worker respawns allowed per slot (default 8)\n\
      \n\
      The bound address is printed on stdout and written to\n\
      <data-dir>/serve.addr for supervisors that start with port 0.\n"
@@ -59,6 +62,12 @@ fn run(args: &[String]) -> Result<(), String> {
         queue_capacity: parse(args, "--queue-cap", defaults.queue_capacity)?,
         gpus: parse(args, "--gpus", defaults.gpus)?,
         keep_generations: parse(args, "--keep-generations", defaults.keep_generations)?,
+        read_timeout: Duration::from_millis(parse(
+            args,
+            "--read-timeout-ms",
+            defaults.read_timeout.as_millis() as u64,
+        )?),
+        worker_restart_budget: parse(args, "--restart-budget", defaults.worker_restart_budget)?,
         ..defaults
     };
     let server = Server::start(config).map_err(|e| format!("cannot start server: {e}"))?;

@@ -16,6 +16,12 @@ use std::time::Duration;
 /// with `413` before allocation.
 pub const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
 
+/// Largest request head (request line + headers) the server will buffer,
+/// in bytes. The service's real requests have tiny heads; an unbounded
+/// header stream is a memory-exhaustion vector, so the reader is capped
+/// with [`Read::take`] and anything longer is rejected with `431`.
+pub const MAX_HEAD_BYTES: usize = 64 * 1024;
+
 /// A parsed HTTP request.
 #[derive(Debug, Clone)]
 pub struct Request {
@@ -49,6 +55,8 @@ pub enum RequestError {
     Malformed(String),
     /// `Content-Length` exceeded [`MAX_BODY_BYTES`].
     BodyTooLarge(usize),
+    /// Request line + headers exceeded [`MAX_HEAD_BYTES`].
+    HeadTooLarge,
 }
 
 impl From<io::Error> for RequestError {
@@ -61,14 +69,52 @@ impl From<io::Error> for RequestError {
 /// `Content-Length` body arrive (callers set a read timeout on the
 /// socket so a stalled client cannot pin a handler thread forever).
 pub fn read_request(stream: &mut TcpStream) -> Result<Request, RequestError> {
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    if reader.read_line(&mut line)? == 0 {
+    read_request_from(&mut BufReader::new(stream))
+}
+
+/// One line of the request head, as raw bytes from a capped reader.
+/// `None` means clean EOF before any byte of this line.
+fn read_head_line<R: BufRead>(
+    head: &mut io::Take<&mut R>,
+    buf: &mut Vec<u8>,
+) -> Result<Option<()>, RequestError> {
+    buf.clear();
+    let n = head.read_until(b'\n', buf)?;
+    if n == 0 {
+        if head.limit() == 0 {
+            return Err(RequestError::HeadTooLarge);
+        }
+        return Ok(None);
+    }
+    if buf.last() != Some(&b'\n') {
+        // `read_until` stopped without its delimiter: either the head
+        // budget ran out mid-line, or the peer closed mid-line.
+        if head.limit() == 0 {
+            return Err(RequestError::HeadTooLarge);
+        }
+        return Err(RequestError::Malformed("head truncated mid-line".into()));
+    }
+    Ok(Some(()))
+}
+
+/// Transport-agnostic request parser: the real server feeds it a
+/// `BufReader<TcpStream>`, the hardening property tests feed it
+/// in-memory cursors full of adversarial bytes. The contract either way:
+/// any byte stream produces `Ok` or a typed [`RequestError`] — never a
+/// panic, and never unbounded buffering (head capped by
+/// [`MAX_HEAD_BYTES`], body by [`MAX_BODY_BYTES`] before allocation).
+pub fn read_request_from<R: BufRead>(reader: &mut R) -> Result<Request, RequestError> {
+    let mut head = Read::take(&mut *reader, MAX_HEAD_BYTES as u64);
+    let mut raw = Vec::new();
+
+    if read_head_line(&mut head, &mut raw)?.is_none() {
         return Err(RequestError::Io(io::Error::new(
             io::ErrorKind::UnexpectedEof,
             "connection closed before request line",
         )));
     }
+    let line = std::str::from_utf8(&raw)
+        .map_err(|_| RequestError::Malformed("request line is not UTF-8".into()))?;
     let mut parts = line.split_whitespace();
     let method = parts
         .next()
@@ -79,25 +125,36 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, RequestError> {
         .ok_or_else(|| RequestError::Malformed("request line missing path".into()))?
         .to_string();
 
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     loop {
-        let mut header = String::new();
-        if reader.read_line(&mut header)? == 0 {
+        if read_head_line(&mut head, &mut raw)?.is_none() {
             return Err(RequestError::Malformed("headers truncated".into()));
         }
-        let header = header.trim_end();
+        let header = std::str::from_utf8(&raw)
+            .map_err(|_| RequestError::Malformed("header is not UTF-8".into()))?
+            .trim_end();
         if header.is_empty() {
             break;
         }
         if let Some((name, value)) = header.split_once(':') {
             if name.trim().eq_ignore_ascii_case("content-length") {
-                content_length = value
+                let parsed: usize = value
                     .trim()
                     .parse()
                     .map_err(|_| RequestError::Malformed("bad content-length".into()))?;
+                // Smuggling-adjacent ambiguity: two different lengths for
+                // one body is an attack or a broken client, not a choice
+                // the server should make.
+                if content_length.is_some_and(|prev| prev != parsed) {
+                    return Err(RequestError::Malformed(
+                        "conflicting content-length headers".into(),
+                    ));
+                }
+                content_length = Some(parsed);
             }
         }
     }
+    let content_length = content_length.unwrap_or(0);
     if content_length > MAX_BODY_BYTES {
         return Err(RequestError::BodyTooLarge(content_length));
     }
@@ -199,6 +256,7 @@ fn reason(status: u16) -> &'static str {
         409 => "Conflict",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
@@ -359,5 +417,156 @@ mod tests {
             )
             .unwrap();
         server.join().unwrap();
+    }
+
+    /// Parses an in-memory byte stream the way the server parses a
+    /// socket.
+    fn parse(bytes: &[u8]) -> Result<Request, RequestError> {
+        read_request_from(&mut io::Cursor::new(bytes))
+    }
+
+    #[test]
+    fn oversized_head_is_rejected_with_a_typed_error() {
+        // A single endless header line, well past the head cap.
+        let mut raw = b"GET /jobs HTTP/1.1\r\nX-Pad: ".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES));
+        raw.extend_from_slice(b"\r\n\r\n");
+        match parse(&raw) {
+            Err(RequestError::HeadTooLarge) => {}
+            other => panic!("expected HeadTooLarge, got {other:?}"),
+        }
+        // Many small headers hit the same cap.
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        let mut i = 0usize;
+        while raw.len() <= MAX_HEAD_BYTES {
+            raw.extend_from_slice(format!("X-{i}: v\r\n").as_bytes());
+            i += 1;
+        }
+        raw.extend_from_slice(b"\r\n");
+        match parse(&raw) {
+            Err(RequestError::HeadTooLarge) => {}
+            other => panic!("expected HeadTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn conflicting_content_lengths_are_malformed() {
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\nabc";
+        match parse(raw) {
+            Err(RequestError::Malformed(msg)) => assert!(msg.contains("conflicting")),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+        // A *repeated identical* length is tolerated.
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 3\r\n\r\nabc";
+        assert_eq!(parse(raw).unwrap().body, b"abc");
+    }
+
+    #[test]
+    fn every_truncation_of_a_canonical_request_fails_cleanly() {
+        let raw: &[u8] =
+            b"POST /jobs?a=1 HTTP/1.1\r\nHost: x\r\nContent-Length: 7\r\n\r\n{\"x\":1}";
+        for cut in 0..raw.len() {
+            match parse(&raw[..cut]) {
+                Ok(req) => panic!("prefix of {cut} bytes parsed as {req:?}"),
+                Err(RequestError::Io(_)) | Err(RequestError::Malformed(_)) => {}
+                Err(other) => panic!("prefix of {cut} bytes gave {other:?}"),
+            }
+        }
+        let full = parse(raw).unwrap();
+        assert_eq!(full.method, "POST");
+        assert_eq!(full.path, "/jobs");
+        assert_eq!(full.query_value("a"), Some("1"));
+        assert_eq!(full.body, b"{\"x\":1}");
+    }
+
+    mod hardening_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Wraps arbitrary bytes in just enough HTTP framing to reach the
+        /// deeper parsing stages (headers, content-length, body).
+        fn framed(head_noise: &[u8], claimed: usize, body: &[u8]) -> Vec<u8> {
+            let mut raw = b"POST /jobs HTTP/1.1\r\n".to_vec();
+            raw.extend_from_slice(head_noise);
+            raw.extend_from_slice(format!("Content-Length: {claimed}\r\n\r\n").as_bytes());
+            raw.extend_from_slice(body);
+            raw
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            /// The core contract: completely arbitrary bytes never panic
+            /// the parser and never produce an over-limit body.
+            #[test]
+            fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..2048usize)) {
+                match parse(&bytes) {
+                    Ok(req) => prop_assert!(req.body.len() <= MAX_BODY_BYTES),
+                    Err(RequestError::Io(_))
+                    | Err(RequestError::Malformed(_))
+                    | Err(RequestError::BodyTooLarge(_))
+                    | Err(RequestError::HeadTooLarge) => {}
+                }
+            }
+
+            /// Arbitrary bytes *inside the head* of an otherwise plausible
+            /// request also never panic; a clean CRLF-delimited UTF-8 head
+            /// must reach the body stage.
+            #[test]
+            fn noisy_heads_never_panic(
+                noise in proptest::collection::vec(any::<u8>(), 0..512usize),
+                body in proptest::collection::vec(any::<u8>(), 0..256usize),
+            ) {
+                // Keep the injected noise line-shaped so it cannot
+                // prematurely terminate the head with a bare CRLF.
+                let mut line: Vec<u8> = noise
+                    .into_iter()
+                    .filter(|&b| b != b'\r' && b != b'\n')
+                    .collect();
+                if line.is_empty() {
+                    line.extend_from_slice(b"X-Noise: 1");
+                }
+                line.extend_from_slice(b"\r\n");
+                let raw = framed(&line, body.len(), &body);
+                match parse(&raw) {
+                    Ok(req) => prop_assert_eq!(req.body, body),
+                    // Non-UTF-8 noise is a typed 400, never a crash.
+                    Err(RequestError::Malformed(_)) => {}
+                    Err(other) => {
+                        return Err(TestCaseError::fail(format!("unexpected error {other:?}")));
+                    }
+                }
+            }
+
+            /// Content-Length larger than the delivered body is a typed
+            /// EOF error; equal-or-smaller claims parse to exactly the
+            /// claimed prefix.
+            #[test]
+            fn body_length_claims_are_honored(
+                body in proptest::collection::vec(any::<u8>(), 0..512usize),
+                slack in 0..64usize,
+                shortfall in any::<bool>(),
+            ) {
+                if shortfall {
+                    let claimed = body.len() + 1 + slack;
+                    let raw = framed(b"", claimed, &body);
+                    match parse(&raw) {
+                        Err(RequestError::Io(e)) => {
+                            prop_assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof);
+                        }
+                        other => {
+                            return Err(TestCaseError::fail(format!(
+                                "expected UnexpectedEof, got {other:?}"
+                            )));
+                        }
+                    }
+                } else {
+                    let claimed = body.len().saturating_sub(slack);
+                    let raw = framed(b"", claimed, &body);
+                    let req = parse(&raw).unwrap();
+                    prop_assert_eq!(req.body, body[..claimed].to_vec());
+                }
+            }
+        }
     }
 }

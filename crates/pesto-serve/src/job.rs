@@ -61,7 +61,17 @@ pub struct JobSpec {
     /// keeps the monolithic pipeline.
     #[serde(default)]
     pub shard_region_cap: Option<usize>,
+    /// Chaos-testing hook: `"panic-solve"` makes the solve panic inside
+    /// the worker's panic sandbox (the job must become a terminal
+    /// `failed` record), `"panic-worker"` panics *outside* it (the worker
+    /// thread dies and the supervisor must respawn it). Only the chaos
+    /// suite sets this; any other value is rejected at admission.
+    #[serde(default)]
+    pub chaos: Option<String>,
 }
+
+/// The `chaos` values [`JobSpec::from_request_json`] accepts.
+pub const CHAOS_MODES: &[&str] = &["panic-solve", "panic-worker"];
 
 impl JobSpec {
     /// Parses a `POST /jobs` body. The only required field is `graph`;
@@ -78,6 +88,15 @@ impl JobSpec {
         // admission, not a Failed job discovered minutes later.
         pesto::graph::from_json(&graph_json).map_err(|e| format!("invalid graph: {e}"))?;
         let get_u64 = |key: &str| v.get(key).and_then(Value::as_u64);
+        let chaos = match v.get("chaos").and_then(Value::as_str) {
+            Some(mode) if CHAOS_MODES.contains(&mode) => Some(mode.to_string()),
+            Some(mode) => {
+                return Err(format!(
+                    "unknown chaos mode {mode:?} (expected one of {CHAOS_MODES:?})"
+                ))
+            }
+            None => None,
+        };
         Ok(JobSpec {
             graph_json,
             seed: get_u64("seed").unwrap_or(0xbe57),
@@ -89,6 +108,7 @@ impl JobSpec {
             profiler_iterations: get_u64("profiler_iterations").map(|n| n as usize),
             threads: get_u64("threads").map(|n| (n as usize).max(1)),
             shard_region_cap: get_u64("shard_region_cap").map(|n| (n as usize).max(2)),
+            chaos,
         })
     }
 
@@ -181,4 +201,9 @@ pub struct TerminalRecord {
     pub resumed: bool,
     /// Wall-clock from admission to terminal state, milliseconds.
     pub duration_ms: u64,
+    /// Whether the job's solve panicked (the panic was caught by the
+    /// worker's sandbox, or the worker died and the supervisor settled
+    /// the orphan). Always paired with `state == "failed"`.
+    #[serde(default)]
+    pub panicked: bool,
 }

@@ -35,6 +35,7 @@
 pub mod http;
 mod job;
 mod server;
+mod sync;
 
-pub use job::{JobSpec, JobState, TerminalRecord};
+pub use job::{JobSpec, JobState, TerminalRecord, CHAOS_MODES};
 pub use server::{submit_raw, wait_terminal, Server, ServerConfig};

@@ -18,25 +18,42 @@
 //! checkpoint bit-identically. Checkpoint generations are pruned on
 //! startup and after every terminal write ([`pesto::prune`]), so a
 //! long-lived data dir cannot accumulate superseded state or orphaned
-//! `*.tmp` files.
+//! `*.tmp` files. All durable writes and checkpoint reads go through the
+//! configured [`Storage`] so the chaos suite can inject disk faults;
+//! corrupt checkpoint generations are quarantined and recovery falls
+//! back to the newest *valid* one ([`pesto::latest_valid_generation_with`]).
+//!
+//! ## Failure domains
+//!
+//! A panicking solve is confined to its job: the worker runs each solve
+//! inside `catch_unwind`, turning a panic into a terminal
+//! `failed` record with `panicked: true`. If a worker thread dies anyway
+//! (a panic outside the sandbox), the supervisor thread settles the
+//! orphaned job and respawns the worker within a bounded restart budget.
+//! Shared state lives behind poison-recovering locks
+//! ([`crate::sync::RobustMutex`]), so one panic can never wedge the
+//! control plane.
 
 use crate::http::{client_request, read_request, ClientResponse, Request, RequestError, Response};
 use crate::job::{JobSpec, JobState, TerminalRecord};
+use crate::sync::{wait_robust, RobustMutex};
 use pesto::cost::Profiler;
 use pesto::graph::{Cluster, FrozenGraph};
 use pesto::obs::{Obs, SolverEvent, SolverEventKind};
 use pesto::{
-    generation_path, graph_fingerprint, latest_generation, load_checkpoint, prune, CancelToken,
-    CheckpointConfig, Pesto, PestoConfig, PestoError, PruneReport,
+    generation_path, graph_fingerprint, latest_generation, latest_valid_generation_with,
+    prune_with, CancelToken, CheckpointConfig, CheckpointError, Pesto, PestoConfig, PestoError,
+    PruneReport, SearchCheckpoint, Storage,
 };
 use serde_json::Value;
 use std::collections::{HashMap, VecDeque};
 use std::fs;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -64,6 +81,20 @@ pub struct ServerConfig {
     pub retry_base: Duration,
     /// Upper bound on a single backoff wait.
     pub retry_cap: Duration,
+    /// Per-connection socket read/write timeout: a stalled client is cut
+    /// off after this long instead of pinning a connection thread.
+    pub read_timeout: Duration,
+    /// How many times the supervisor will respawn each worker slot after
+    /// a crash before declaring the slot dead.
+    pub worker_restart_budget: u32,
+    /// Base supervisor backoff before respawning a crashed worker;
+    /// doubles per consecutive restart of the same slot (capped at 1 s).
+    pub worker_restart_backoff: Duration,
+    /// Durable-storage implementation for specs, terminal results, and
+    /// checkpoint verification reads. Production keeps the default
+    /// [`pesto::FsStorage`]; the chaos suite threads a seeded
+    /// [`pesto::ChaosStorage`] through here.
+    pub storage: Arc<dyn Storage>,
 }
 
 impl Default for ServerConfig {
@@ -79,6 +110,10 @@ impl Default for ServerConfig {
             event_capacity: 4096,
             retry_base: Duration::from_millis(100),
             retry_cap: Duration::from_secs(5),
+            read_timeout: Duration::from_secs(30),
+            worker_restart_budget: 8,
+            worker_restart_backoff: Duration::from_millis(25),
+            storage: Arc::new(pesto::FsStorage),
         }
     }
 }
@@ -97,6 +132,7 @@ struct JobEntry {
     duration_ms: Option<u64>,
     cancel: CancelToken,
     obs: Obs,
+    panicked: bool,
 }
 
 /// Every monotonic counter the service maintains, pre-registered at
@@ -115,13 +151,17 @@ const SERVE_COUNTERS: &[&str] = &[
     "serve.profile_cache.misses",
     "serve.checkpoints.pruned_generations",
     "serve.checkpoints.pruned_tmp",
+    "serve.jobs.panicked",
+    "serve.worker_restarts",
+    "serve.checkpoints.quarantined",
+    "serve.storage.faults_injected",
 ];
 
 struct ServerState {
     config: ServerConfig,
     cluster: Cluster,
-    jobs: Mutex<HashMap<String, JobEntry>>,
-    queue: Mutex<VecDeque<String>>,
+    jobs: RobustMutex<HashMap<String, JobEntry>>,
+    queue: RobustMutex<VecDeque<String>>,
     queue_cv: Condvar,
     shutdown: AtomicBool,
     next_id: AtomicU64,
@@ -138,7 +178,19 @@ struct ServerState {
     /// `(graph fingerprint, seed, iterations)` → profiled graph, shared
     /// across jobs so concurrent submissions of the same model profile
     /// once.
-    profile_cache: Mutex<HashMap<(u64, u64, usize), Arc<FrozenGraph>>>,
+    profile_cache: RobustMutex<HashMap<(u64, u64, usize), Arc<FrozenGraph>>>,
+    /// One slot per worker: the id of the job that worker is currently
+    /// running, if any. A worker registers the id before `run_job` and
+    /// clears it after; if the thread dies mid-job, the supervisor reads
+    /// the slot to settle the orphaned job.
+    worker_slots: Vec<RobustMutex<Option<String>>>,
+    /// Worker threads currently alive (spawned minus dead); exposed as
+    /// the `serve.workers_alive` gauge.
+    workers_alive: AtomicUsize,
+    /// The storage fault total already folded into the
+    /// `serve.storage.faults_injected` counter; each gauge refresh adds
+    /// the delta so the counter stays monotonic.
+    storage_faults_reported: AtomicU64,
 }
 
 /// A running service instance. Dropping it does *not* stop the daemon;
@@ -148,7 +200,7 @@ pub struct Server {
     state: Arc<ServerState>,
     addr: SocketAddr,
     accept_thread: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -167,16 +219,20 @@ impl Server {
         // Postmortem telemetry: a panic anywhere in the process dumps the
         // flight recorder next to the durable job state.
         obs.install_panic_hook(config.data_dir.join("flight.json"));
+        let worker_count = config.workers.max(1);
         let state = Arc::new(ServerState {
             cluster,
-            jobs: Mutex::new(HashMap::new()),
-            queue: Mutex::new(VecDeque::new()),
+            jobs: RobustMutex::new(HashMap::new()),
+            queue: RobustMutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             next_id: AtomicU64::new(1),
             obs,
             avg_job_ms: AtomicU64::new(0),
-            profile_cache: Mutex::new(HashMap::new()),
+            profile_cache: RobustMutex::new(HashMap::new()),
+            worker_slots: (0..worker_count).map(|_| RobustMutex::new(None)).collect(),
+            workers_alive: AtomicUsize::new(0),
+            storage_faults_reported: AtomicU64::new(0),
             config,
         });
 
@@ -187,15 +243,14 @@ impl Server {
         // daemon started with port 0.
         fs::write(state.config.data_dir.join("serve.addr"), addr.to_string())?;
 
-        let workers = (0..state.config.workers.max(1))
-            .map(|i| {
-                let state = Arc::clone(&state);
-                thread::Builder::new()
-                    .name(format!("pesto-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&state))
-                    .expect("spawn worker")
-            })
-            .collect();
+        let workers: Vec<JoinHandle<()>> =
+            (0..worker_count).map(|i| spawn_worker(&state, i)).collect();
+
+        let supervisor_state = Arc::clone(&state);
+        let supervisor = thread::Builder::new()
+            .name("pesto-serve-supervisor".to_string())
+            .spawn(move || supervise_workers(&supervisor_state, workers))
+            .expect("spawn supervisor");
 
         let accept_state = Arc::clone(&state);
         let accept_thread = thread::Builder::new()
@@ -207,7 +262,7 @@ impl Server {
             state,
             addr,
             accept_thread: Some(accept_thread),
-            workers,
+            supervisor: Some(supervisor),
         })
     }
 
@@ -233,9 +288,80 @@ impl Server {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        for t in self.workers.drain(..) {
+        // The supervisor joins the live workers before exiting.
+        if let Some(t) = self.supervisor.take() {
             let _ = t.join();
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker supervision
+
+fn spawn_worker(state: &Arc<ServerState>, slot: usize) -> JoinHandle<()> {
+    state.workers_alive.fetch_add(1, Ordering::Relaxed);
+    let state = Arc::clone(state);
+    thread::Builder::new()
+        .name(format!("pesto-serve-worker-{slot}"))
+        .spawn(move || worker_loop(&state, slot))
+        .expect("spawn worker")
+}
+
+/// The supervisor: watches each worker slot, and when a worker thread
+/// dies outside an orderly shutdown, (1) settles the job the dead worker
+/// was running — the slot registry says which — as a terminal
+/// `failed`/`panicked` record, and (2) respawns the slot after a doubling
+/// backoff, up to `worker_restart_budget` restarts per slot. A slot that
+/// exhausts its budget stays dead (visible in the `workers_alive` gauge);
+/// the rest of the pool keeps serving.
+fn supervise_workers(state: &Arc<ServerState>, mut workers: Vec<JoinHandle<()>>) {
+    let mut restarts = vec![0u32; workers.len()];
+    let mut handles: Vec<Option<JoinHandle<()>>> = workers.drain(..).map(Some).collect();
+    loop {
+        if state.shutdown.load(Ordering::Acquire) {
+            for handle in handles.iter_mut().filter_map(Option::take) {
+                let _ = handle.join();
+                state.workers_alive.fetch_sub(1, Ordering::Relaxed);
+            }
+            return;
+        }
+        for slot in 0..handles.len() {
+            let finished = handles[slot].as_ref().is_some_and(|h| h.is_finished());
+            if !finished {
+                continue;
+            }
+            let handle = handles[slot].take().expect("checked above");
+            let _ = handle.join();
+            state.workers_alive.fetch_sub(1, Ordering::Relaxed);
+            if state.shutdown.load(Ordering::Acquire) {
+                continue; // orderly exit, not a crash
+            }
+            // Settle the orphan: the worker died mid-job, so the job
+            // would otherwise stay "running" forever.
+            let orphan = state.worker_slots[slot].lock().take();
+            if let Some(id) = orphan {
+                state.obs.counter_add("serve.jobs.panicked", 1);
+                finalize(state, &id, JobState::Failed, |j| {
+                    j.error = Some("worker thread panicked outside the solve sandbox".to_string());
+                    j.retryable = false;
+                    j.panicked = true;
+                });
+                write_terminal(state, &id, JobState::Failed, None);
+            }
+            if restarts[slot] >= state.config.worker_restart_budget {
+                continue; // budget exhausted; slot stays dead
+            }
+            let backoff = state
+                .config
+                .worker_restart_backoff
+                .saturating_mul(1u32 << restarts[slot].min(10))
+                .min(Duration::from_secs(1));
+            thread::sleep(backoff);
+            restarts[slot] += 1;
+            state.obs.counter_add("serve.worker_restarts", 1);
+            handles[slot] = Some(spawn_worker(state, slot));
+        }
+        thread::sleep(Duration::from_millis(20));
     }
 }
 
@@ -256,13 +382,15 @@ fn recover_jobs(state: &Arc<ServerState>) -> io::Result<()> {
         let dir = entry.path();
         // Startup GC: superseded generations and orphaned *.tmp files
         // from a crash mid-rename.
-        if let Ok(report) = prune(&dir, state.config.keep_generations) {
+        if let Ok(report) = prune_with(&*state.config.storage, &dir, state.config.keep_generations)
+        {
             record_prune(&state.obs, &report);
         }
         let spec_path = dir.join("spec.json");
-        let Ok(spec_text) = fs::read_to_string(&spec_path) else {
+        let Ok(spec_bytes) = state.config.storage.read(&spec_path) else {
             continue;
         };
+        let spec_text = String::from_utf8_lossy(&spec_bytes).into_owned();
         let Ok(spec) = serde_json::from_str::<JobSpec>(&spec_text) else {
             continue;
         };
@@ -286,9 +414,11 @@ fn recover_jobs(state: &Arc<ServerState>) -> io::Result<()> {
             duration_ms: None,
             cancel: CancelToken::new(),
             obs: Obs::enabled_with_event_capacity(state.config.event_capacity),
+            panicked: false,
         };
 
-        if let Ok(result_text) = fs::read_to_string(dir.join("result.json")) {
+        if let Ok(result_bytes) = state.config.storage.read(&dir.join("result.json")) {
+            let result_text = String::from_utf8_lossy(&result_bytes);
             if let Ok(rec) = serde_json::from_str::<TerminalRecord>(&result_text) {
                 if let Some(s) = JobState::from_tag(&rec.state) {
                     entry_rec.state = s;
@@ -299,7 +429,8 @@ fn recover_jobs(state: &Arc<ServerState>) -> io::Result<()> {
                     entry_rec.error = rec.error;
                     entry_rec.retryable = rec.retryable;
                     entry_rec.duration_ms = Some(rec.duration_ms);
-                    state.jobs.lock().unwrap().insert(id, entry_rec);
+                    entry_rec.panicked = rec.panicked;
+                    state.jobs.lock().insert(id, entry_rec);
                     continue;
                 }
             }
@@ -308,40 +439,46 @@ fn recover_jobs(state: &Arc<ServerState>) -> io::Result<()> {
         // Unfinished: this job was queued or mid-search when the daemon
         // died. Its checkpoint (if any) is re-verified against the spec
         // before the worker is allowed to warm-start from it.
-        entry_rec.resumed = verify_or_discard_checkpoint(&dir, &entry_rec.spec, state);
+        entry_rec.resumed = verify_checkpoint_with_fallback(&dir, &entry_rec.spec, state);
         state.obs.counter_add("serve.jobs.recovered", 1);
-        state.jobs.lock().unwrap().insert(id.clone(), entry_rec);
+        state.jobs.lock().insert(id.clone(), entry_rec);
         recovered.push(id);
     }
     recovered.sort();
-    let mut queue = state.queue.lock().unwrap();
+    let mut queue = state.queue.lock();
     queue.extend(recovered);
     drop(queue);
     state.queue_cv.notify_all();
     Ok(())
 }
 
-/// Loads the newest checkpoint generation and verifies its fingerprint
-/// and seed against what the spec would produce. A checkpoint that fails
-/// verification is deleted (the attempt restarts fresh rather than
-/// resuming someone else's search). Returns whether a valid checkpoint
-/// is available to resume from.
-fn verify_or_discard_checkpoint(dir: &Path, spec: &JobSpec, state: &Arc<ServerState>) -> bool {
-    let Ok(Some((generation, path))) = latest_generation(dir, "search") else {
-        return false;
-    };
+/// Finds the newest checkpoint generation that loads, passes its
+/// checksum, and verifies against the fingerprint and per-attempt seed
+/// the spec would produce. Generations that fail — torn, bit-flipped,
+/// wrong job — are moved to the job's `quarantine/` subdirectory
+/// (counted on `serve.checkpoints.quarantined`) and the walk falls back
+/// to the next-older generation, so one corrupt file costs a few
+/// checkpoint cadences of progress instead of the whole search state.
+/// Returns whether any valid checkpoint is available to resume from.
+fn verify_checkpoint_with_fallback(dir: &Path, spec: &JobSpec, state: &Arc<ServerState>) -> bool {
     let expected = match placement_graph(state, spec) {
         Ok(g) => graph_fingerprint(&g),
         Err(_) => return false,
     };
-    let seed = attempt_seed(spec, generation as u32);
-    match load_checkpoint(&path).and_then(|c| c.verify(expected, seed).map(|_| ())) {
-        Ok(()) => true,
-        Err(_) => {
-            let _ = fs::remove_file(&path);
-            false
-        }
+    let validate = |generation: u64, ckpt: &SearchCheckpoint| -> Result<(), CheckpointError> {
+        ckpt.verify(expected, attempt_seed(spec, generation as u32))
+    };
+    let Ok(scan) = latest_valid_generation_with(&*state.config.storage, dir, "search", &validate)
+    else {
+        return false;
+    };
+    if !scan.quarantined.is_empty() {
+        state.obs.counter_add(
+            "serve.checkpoints.quarantined",
+            scan.quarantined.len() as u64,
+        );
     }
+    scan.valid.is_some()
 }
 
 // ---------------------------------------------------------------------
@@ -364,8 +501,8 @@ fn accept_loop(listener: TcpListener, state: &Arc<ServerState>) {
 }
 
 fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_read_timeout(Some(state.config.read_timeout));
+    let _ = stream.set_write_timeout(Some(state.config.read_timeout));
     let response = match read_request(&mut stream) {
         Ok(req) => route(&req, state),
         Err(RequestError::BodyTooLarge(n)) => Response::json(
@@ -375,6 +512,10 @@ fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
         Err(RequestError::Malformed(msg)) => {
             Response::json(400, format!("{{\"error\":{}}}", json_string(&msg)))
         }
+        Err(RequestError::HeadTooLarge) => Response::json(
+            431,
+            "{\"error\":\"request head exceeds the 64 KiB limit\"}".to_string(),
+        ),
         Err(RequestError::Io(_)) => return,
     };
     let _ = response.write_to(&mut stream);
@@ -408,8 +549,8 @@ fn route(req: &Request, state: &Arc<ServerState>) -> Response {
 /// `(queued, running, total, dropped)`. Both endpoints call this before
 /// rendering, so they always agree on the live numbers.
 fn refresh_gauges(state: &Arc<ServerState>) -> (usize, usize, usize, u64) {
-    let queued = state.queue.lock().unwrap().len();
-    let jobs = state.jobs.lock().unwrap();
+    let queued = state.queue.lock().len();
+    let jobs = state.jobs.lock();
     let running = jobs
         .values()
         .filter(|j| j.state == JobState::Running)
@@ -429,6 +570,19 @@ fn refresh_gauges(state: &Arc<ServerState>) -> (usize, usize, usize, u64) {
         state.avg_job_ms.load(Ordering::Relaxed) as f64,
     );
     obs.gauge_set("serve.solver_events_dropped", dropped as f64);
+    obs.gauge_set(
+        "serve.workers_alive",
+        state.workers_alive.load(Ordering::Relaxed) as f64,
+    );
+    // Fold newly injected storage faults (chaos builds only; 0 in
+    // production) into the monotonic counter.
+    let faults = state.config.storage.faults_injected();
+    let reported = state
+        .storage_faults_reported
+        .swap(faults, Ordering::Relaxed);
+    if faults > reported {
+        obs.counter_add("serve.storage.faults_injected", faults - reported);
+    }
     (queued, running, total, dropped)
 }
 
@@ -451,7 +605,9 @@ fn healthz(state: &Arc<ServerState>) -> Response {
          \"completed\":{},\"degraded\":{},\"failed\":{},\"cancelled\":{},\"retries\":{},\
          \"recovered\":{},\"profile_cache_hits\":{},\"profile_cache_misses\":{},\
          \"avg_job_ms\":{},\"events_dropped\":{dropped},\"pruned_generations\":{},\
-         \"pruned_tmp\":{}}}",
+         \"pruned_tmp\":{},\"panicked\":{},\"worker_restarts\":{},\
+         \"workers_alive\":{},\"checkpoints_quarantined\":{},\
+         \"storage_faults_injected\":{}}}",
         state.config.workers,
         state.config.queue_capacity,
         c("serve.jobs.submitted"),
@@ -467,6 +623,11 @@ fn healthz(state: &Arc<ServerState>) -> Response {
         state.avg_job_ms.load(Ordering::Relaxed),
         c("serve.checkpoints.pruned_generations"),
         c("serve.checkpoints.pruned_tmp"),
+        c("serve.jobs.panicked"),
+        c("serve.worker_restarts"),
+        state.workers_alive.load(Ordering::Relaxed),
+        c("serve.checkpoints.quarantined"),
+        c("serve.storage.faults_injected"),
     );
     Response::json(200, body)
 }
@@ -502,7 +663,7 @@ fn submit(req: &Request, state: &Arc<ServerState>) -> Response {
     // typed — a 429 with both a Retry-After header (seconds) and a
     // machine-readable retry_after_ms — and the job leaves no state.
     {
-        let queue = state.queue.lock().unwrap();
+        let queue = state.queue.lock();
         if queue.len() >= state.config.queue_capacity {
             let hint_ms = retry_after_hint_ms(state, queue.len(), spec.sla_ms);
             state.obs.counter_add("serve.jobs.rejected", 1);
@@ -519,11 +680,15 @@ fn submit(req: &Request, state: &Arc<ServerState>) -> Response {
 
     let id = format!("job-{}", state.next_id.fetch_add(1, Ordering::Relaxed));
     let dir = state.config.data_dir.join(&id);
-    if let Err(e) = fs::create_dir_all(&dir).and_then(|_| {
+    let storage = &state.config.storage;
+    if let Err(e) = storage.create_dir_all(&dir).and_then(|_| {
         let text = serde_json::to_string(&spec)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}")))?;
-        atomic_write(&dir.join("spec.json"), text.as_bytes())
+        storage.write_atomic(&dir.join("spec.json"), text.as_bytes())
     }) {
+        // The job is NOT admitted: it has no registry entry, no queue
+        // slot, and (at worst) a partial spec that recovery ignores. The
+        // client owns the retry.
         return Response::json(
             500,
             format!(
@@ -546,9 +711,10 @@ fn submit(req: &Request, state: &Arc<ServerState>) -> Response {
         duration_ms: None,
         cancel: CancelToken::new(),
         obs: Obs::enabled_with_event_capacity(state.config.event_capacity),
+        panicked: false,
     };
-    state.jobs.lock().unwrap().insert(id.clone(), entry);
-    state.queue.lock().unwrap().push_back(id.clone());
+    state.jobs.lock().insert(id.clone(), entry);
+    state.queue.lock().push_back(id.clone());
     state.queue_cv.notify_one();
     state.obs.counter_add("serve.jobs.submitted", 1);
     Response::json(
@@ -588,7 +754,7 @@ fn retry_hint_from(avg_job_ms: u64, workers: usize, queue_len: usize, sla_ms: Op
 }
 
 fn list_jobs(state: &Arc<ServerState>) -> Response {
-    let jobs = state.jobs.lock().unwrap();
+    let jobs = state.jobs.lock();
     let mut ids: Vec<&String> = jobs.keys().collect();
     ids.sort();
     let items: Vec<String> = ids
@@ -611,7 +777,7 @@ fn job_status(id: &str, req: &Request, state: &Arc<ServerState>) -> Response {
         .and_then(|v| v.parse().ok())
         .unwrap_or(0);
     let (summary, obs) = {
-        let jobs = state.jobs.lock().unwrap();
+        let jobs = state.jobs.lock();
         let Some(j) = jobs.get(id) else {
             return Response::json(404, "{\"error\":\"no such job\"}");
         };
@@ -649,6 +815,9 @@ fn job_summary_json(id: &str, j: &JobEntry) -> String {
             json_string(e),
             j.retryable
         ));
+    }
+    if j.panicked {
+        out.push_str(",\"panicked\":true");
     }
     if let Some(ms) = j.duration_ms {
         out.push_str(&format!(",\"duration_ms\":{ms}"));
@@ -720,7 +889,7 @@ fn event_json(e: &SolverEvent) -> String {
 }
 
 fn cancel_job(id: &str, state: &Arc<ServerState>) -> Response {
-    let mut jobs = state.jobs.lock().unwrap();
+    let mut jobs = state.jobs.lock();
     let Some(j) = jobs.get_mut(id) else {
         return Response::json(404, "{\"error\":\"no such job\"}");
     };
@@ -753,10 +922,10 @@ fn cancel_job(id: &str, state: &Arc<ServerState>) -> Response {
 // ---------------------------------------------------------------------
 // Workers
 
-fn worker_loop(state: &Arc<ServerState>) {
+fn worker_loop(state: &Arc<ServerState>, slot: usize) {
     loop {
         let id = {
-            let mut queue = state.queue.lock().unwrap();
+            let mut queue = state.queue.lock();
             loop {
                 if state.shutdown.load(Ordering::Acquire) {
                     return;
@@ -764,10 +933,14 @@ fn worker_loop(state: &Arc<ServerState>) {
                 if let Some(id) = queue.pop_front() {
                     break id;
                 }
-                queue = state.queue_cv.wait(queue).unwrap();
+                queue = wait_robust(&state.queue_cv, queue);
             }
         };
+        // Register the job on this worker's slot so the supervisor can
+        // settle it if this thread dies mid-run.
+        *state.worker_slots[slot].lock() = Some(id.clone());
         run_job(state, &id);
+        *state.worker_slots[slot].lock() = None;
     }
 }
 
@@ -782,7 +955,7 @@ fn run_job(state: &Arc<ServerState>, id: &str) {
     let mut job_span = state.obs.span("serve.job");
     job_span.set_attr("id", id);
     let (spec, cancel, obs, resumed_hint) = {
-        let mut jobs = state.jobs.lock().unwrap();
+        let mut jobs = state.jobs.lock();
         let Some(j) = jobs.get_mut(id) else { return };
         if j.state.is_terminal() {
             return; // cancelled while queued
@@ -790,6 +963,11 @@ fn run_job(state: &Arc<ServerState>, id: &str) {
         j.state = JobState::Running;
         (j.spec.clone(), j.cancel.clone(), j.obs.clone(), j.resumed)
     };
+    // Chaos hook: die *outside* the solve sandbox, killing this worker
+    // thread — the supervisor must settle the job and respawn the slot.
+    if spec.chaos.as_deref() == Some("panic-worker") {
+        panic!("chaos: injected worker panic for {id}");
+    }
     if cancel.is_cancelled() {
         finalize_cancelled(state, id);
         return;
@@ -822,13 +1000,36 @@ fn run_job(state: &Arc<ServerState>, id: &str) {
 
     loop {
         {
-            let mut jobs = state.jobs.lock().unwrap();
+            let mut jobs = state.jobs.lock();
             if let Some(j) = jobs.get_mut(id) {
                 j.attempts = attempt - first_attempt + 1;
             }
         }
         let config = job_config(state, &spec, attempt, &dir, &cancel, &obs);
-        let result = Pesto::new(config).place(&graph, &state.cluster);
+        // The panic sandbox: a panicking solve (a solver bug, or the
+        // injected "panic-solve" chaos mode) becomes a typed terminal
+        // failure for THIS job; the worker thread survives.
+        let chaos_solve = spec.chaos.as_deref() == Some("panic-solve");
+        let sandboxed = catch_unwind(AssertUnwindSafe(|| {
+            if chaos_solve {
+                panic!("chaos: injected solve panic");
+            }
+            Pesto::new(config).place(&graph, &state.cluster)
+        }));
+        let result = match sandboxed {
+            Ok(result) => result,
+            Err(payload) => {
+                let msg = panic_message(payload.as_ref());
+                state.obs.counter_add("serve.jobs.panicked", 1);
+                finalize(state, id, JobState::Failed, |j| {
+                    j.error = Some(format!("solve panicked: {msg}"));
+                    j.retryable = false;
+                    j.panicked = true;
+                });
+                write_terminal(state, id, JobState::Failed, None);
+                return;
+            }
+        };
         match result {
             Ok(outcome) => {
                 let placement: Vec<u32> = outcome
@@ -856,7 +1057,9 @@ fn run_job(state: &Arc<ServerState>, id: &str) {
                 write_terminal(state, id, terminal, Some(placement));
                 // GC after success: superseded generations and any tmp
                 // litter go now, not at the next restart.
-                if let Ok(report) = prune(&dir, state.config.keep_generations) {
+                if let Ok(report) =
+                    prune_with(&*state.config.storage, &dir, state.config.keep_generations)
+                {
                     record_prune(&state.obs, &report);
                 }
                 return;
@@ -943,7 +1146,7 @@ fn placement_graph(state: &Arc<ServerState>, spec: &JobSpec) -> Result<FrozenGra
         return Ok(graph);
     };
     let key = (graph_fingerprint(&graph), spec.seed, iters);
-    if let Some(cached) = state.profile_cache.lock().unwrap().get(&key) {
+    if let Some(cached) = state.profile_cache.lock().get(&key) {
         state.obs.counter_add("serve.profile_cache.hits", 1);
         return Ok((**cached).clone());
     }
@@ -955,7 +1158,6 @@ fn placement_graph(state: &Arc<ServerState>, spec: &JobSpec) -> Result<FrozenGra
     state
         .profile_cache
         .lock()
-        .unwrap()
         .entry(key)
         .or_insert_with(|| Arc::clone(&estimated));
     Ok((*estimated).clone())
@@ -1021,7 +1223,7 @@ fn finalize(
     terminal: JobState,
     update: impl FnOnce(&mut JobEntry),
 ) {
-    let mut jobs = state.jobs.lock().unwrap();
+    let mut jobs = state.jobs.lock();
     let Some(j) = jobs.get_mut(id) else { return };
     if j.state.is_terminal() {
         return;
@@ -1064,7 +1266,7 @@ fn write_terminal(
     placement: Option<Vec<u32>>,
 ) {
     let record = {
-        let jobs = state.jobs.lock().unwrap();
+        let jobs = state.jobs.lock();
         let Some(j) = jobs.get(id) else { return };
         TerminalRecord {
             id: id.to_string(),
@@ -1077,19 +1279,30 @@ fn write_terminal(
             attempts: j.attempts,
             resumed: j.resumed,
             duration_ms: j.duration_ms.unwrap_or(0),
+            panicked: j.panicked,
         }
     };
     let dir = state.config.data_dir.join(id);
     if let Ok(text) = serde_json::to_string(&record) {
-        let _ = atomic_write(&dir.join("result.json"), text.as_bytes());
+        // A failed terminal write is survivable: the in-memory state is
+        // already terminal, and a crash before a later successful write
+        // merely re-runs a deterministic job.
+        let _ = state
+            .config
+            .storage
+            .write_atomic(&dir.join("result.json"), text.as_bytes());
     }
 }
 
-/// Temp-file + rename, same discipline as the checkpoint writer.
-fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
-    let tmp = path.with_extension("json.tmp");
-    fs::write(&tmp, bytes)?;
-    fs::rename(&tmp, path)
+/// Best-effort stringification of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 // ---------------------------------------------------------------------

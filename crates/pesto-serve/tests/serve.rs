@@ -484,6 +484,17 @@ fn metrics_agrees_with_healthz_and_flight_recorder_dumps() {
             "serve_checkpoints_pruned_generations_total",
         ),
         ("pruned_tmp", "serve_checkpoints_pruned_tmp_total"),
+        ("panicked", "serve_jobs_panicked_total"),
+        ("worker_restarts", "serve_worker_restarts_total"),
+        (
+            "checkpoints_quarantined",
+            "serve_checkpoints_quarantined_total",
+        ),
+        (
+            "storage_faults_injected",
+            "serve_storage_faults_injected_total",
+        ),
+        ("workers_alive", "serve_workers_alive"),
         ("queued", "serve_queue_depth"),
         ("jobs", "serve_jobs_total"),
         ("workers", "serve_workers"),

@@ -36,7 +36,10 @@ use pesto::graph::{from_json, to_json, Cluster, FrozenGraph, Plan};
 use pesto::models::ModelSpec;
 use pesto::obs::Obs;
 use pesto::sim::Simulator;
-use pesto::{repair_after_outage, CheckpointConfig, Pesto, PestoConfig, PestoError};
+use pesto::{
+    quarantine_file, repair_after_outage, CheckpointConfig, CheckpointError, Pesto, PestoConfig,
+    PestoError,
+};
 use std::fs;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -352,9 +355,35 @@ fn run(args: &[String]) -> Result<(), CliError> {
                 None => {}
             }
             let obs = config.obs.clone();
-            let outcome = Pesto::new(config)
-                .place(&graph, &cluster)
-                .map_err(CliError::from)?;
+            let retry_config = config.clone();
+            let outcome = match Pesto::new(config).place(&graph, &cluster) {
+                // A checkpoint that fails its integrity check (torn
+                // write, bit rot) should not brick the resume command:
+                // move the evidence into quarantine/ and run once more
+                // from scratch. Every *other* checkpoint error (version
+                // skew, wrong job, I/O) still surfaces as-is.
+                Err(PestoError::Checkpoint(CheckpointError::Corrupt(msg))) if resume => {
+                    let mut fresh = retry_config;
+                    let ckpt = fresh
+                        .checkpoint
+                        .as_mut()
+                        .expect("--resume implies --checkpoint");
+                    eprintln!("warning: checkpoint failed integrity check: {msg}");
+                    match quarantine_file(&ckpt.path) {
+                        Ok(dest) => eprintln!(
+                            "warning: quarantined corrupt checkpoint to {}",
+                            dest.display()
+                        ),
+                        Err(e) => eprintln!("warning: could not quarantine checkpoint: {e}"),
+                    }
+                    eprintln!("warning: restarting the search from scratch");
+                    ckpt.resume = false;
+                    Pesto::new(fresh)
+                        .place(&graph, &cluster)
+                        .map_err(CliError::from)?
+                }
+                other => other.map_err(CliError::from)?,
+            };
             println!(
                 "{}",
                 serde_json::to_string(&outcome.plan).map_err(|e| e.to_string())?

@@ -19,7 +19,24 @@
 //! [`load_checkpoint`] rejects an unknown major cleanly
 //! ([`CheckpointError::UnsupportedVersion`]) before attempting a full
 //! parse.
+//!
+//! Atomic rename protects against a *crash*, but not against storage that
+//! lies: a torn writeback or a flipped bit leaves a file that renames
+//! cleanly and parses as garbage (or worse, parses fine). Every
+//! checkpoint is therefore wrapped in a checksummed envelope — a one-line
+//! header carrying the payload length and a CRC-64 — and
+//! [`load_checkpoint`] fails corruption with the typed, non-retryable
+//! [`CheckpointError::Corrupt`]. Pre-envelope files (no header) still
+//! load for backward compatibility. On top of that,
+//! [`latest_valid_generation`] walks the generation set newest-first,
+//! moving corrupt generations into a `quarantine/` subdirectory (evidence
+//! for postmortems, never deleted) until it finds one that loads and
+//! validates — so one bad write costs a few hundred iterations of
+//! progress, not the whole job. All file I/O here is routed through the
+//! [`Storage`] trait so the chaos test-suite can inject exactly those
+//! faults.
 
+use crate::storage::{FsStorage, Storage};
 use pesto_graph::{FrozenGraph, Plan};
 use pesto_ilp::HybridSearchState;
 use pesto_milp::MilpCheckpoint;
@@ -163,6 +180,12 @@ pub enum CheckpointError {
     /// The checkpoint is valid but belongs to a different job (graph
     /// fingerprint or seed differs).
     Mismatch(String),
+    /// The file's checksummed envelope does not match its payload: the
+    /// bytes on disk were torn or corrupted after the write "succeeded".
+    /// Non-retryable — retrying re-reads the same bad bytes; the recovery
+    /// path is [`latest_valid_generation`] falling back to an older
+    /// generation (quarantining this one).
+    Corrupt(String),
 }
 
 impl fmt::Display for CheckpointError {
@@ -177,6 +200,7 @@ impl fmt::Display for CheckpointError {
                 major = schema_major(CHECKPOINT_SCHEMA_VERSION).unwrap_or(1),
             ),
             CheckpointError::Mismatch(msg) => write!(f, "checkpoint mismatch: {msg}"),
+            CheckpointError::Corrupt(msg) => write!(f, "checkpoint corrupt: {msg}"),
         }
     }
 }
@@ -246,33 +270,161 @@ fn extract_schema_version(json: &str) -> Option<String> {
     Some(rest[..end].to_string())
 }
 
-/// Atomically persists `checkpoint` at `path`: the bytes are written to a
-/// sibling temp file and `rename`d into place, so a crash at any point
-/// leaves either the old checkpoint or the new one — never a torn file.
+/// CRC-64/XZ lookup table (reflected ECMA-182 polynomial), built at
+/// compile time.
+const CRC64_TABLE: [u64; 256] = {
+    let mut table = [0u64; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u64;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 == 1 {
+                (crc >> 1) ^ 0xC96C_5795_D787_0F42
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-64/XZ of `bytes` (reflected ECMA-182, init and xorout all-ones).
+fn crc64(bytes: &[u8]) -> u64 {
+    let mut crc = !0u64;
+    for &b in bytes {
+        crc = CRC64_TABLE[((crc ^ b as u64) & 0xff) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Magic prefix of a checksummed checkpoint file. Files that do not start
+/// with this are treated as legacy bare-payload checkpoints.
+const ENVELOPE_MAGIC: &str = "{\"pesto_envelope\":1,";
+
+/// Wraps `payload` in the checksummed envelope: a single header line
+/// `{"pesto_envelope":1,"len":<N>,"crc64":"<16 hex>"}` followed by the
+/// payload verbatim.
+fn encode_envelope(payload: &[u8]) -> Vec<u8> {
+    let header = format!(
+        "{ENVELOPE_MAGIC}\"len\":{},\"crc64\":\"{:016x}\"}}\n",
+        payload.len(),
+        crc64(payload),
+    );
+    let mut out = Vec::with_capacity(header.len() + payload.len());
+    out.extend_from_slice(header.as_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Extracts an unsigned decimal header field (`"len":123`).
+fn header_u64(header: &str, key: &str) -> Option<u64> {
+    let at = header.find(key)? + key.len();
+    let rest = header[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts a quoted hex header field (`"crc64":"00ff..."`).
+fn header_hex(header: &str, key: &str) -> Option<u64> {
+    let at = header.find(key)? + key.len();
+    let rest = header[at..]
+        .trim_start()
+        .strip_prefix(':')?
+        .trim_start()
+        .strip_prefix('"')?;
+    let end = rest.find('"')?;
+    u64::from_str_radix(&rest[..end], 16).ok()
+}
+
+/// Validates the envelope and returns the payload slice. A file without
+/// the envelope magic is a legacy bare-payload checkpoint and is returned
+/// whole (its integrity is then only as good as its JSON parse — exactly
+/// the pre-envelope behavior).
+///
+/// # Errors
+///
+/// [`CheckpointError::Corrupt`] when the header is unparseable, the
+/// payload length differs (torn write), or the CRC does not match
+/// (bit rot / corruption).
+fn decode_envelope<'a>(raw: &'a [u8], path: &Path) -> Result<&'a [u8], CheckpointError> {
+    if !raw.starts_with(ENVELOPE_MAGIC.as_bytes()) {
+        return Ok(raw);
+    }
+    let newline = raw.iter().position(|&b| b == b'\n').ok_or_else(|| {
+        CheckpointError::Corrupt(format!("{}: envelope header has no end", path.display()))
+    })?;
+    let header = std::str::from_utf8(&raw[..newline]).map_err(|_| {
+        CheckpointError::Corrupt(format!("{}: envelope header not UTF-8", path.display()))
+    })?;
+    let (len, crc) = match (
+        header_u64(header, "\"len\""),
+        header_hex(header, "\"crc64\""),
+    ) {
+        (Some(len), Some(crc)) => (len, crc),
+        _ => {
+            return Err(CheckpointError::Corrupt(format!(
+                "{}: envelope header missing len/crc64",
+                path.display()
+            )))
+        }
+    };
+    let payload = &raw[newline + 1..];
+    if payload.len() as u64 != len {
+        return Err(CheckpointError::Corrupt(format!(
+            "{}: payload is {} bytes, envelope says {len} (torn write)",
+            path.display(),
+            payload.len(),
+        )));
+    }
+    let actual = crc64(payload);
+    if actual != crc {
+        return Err(CheckpointError::Corrupt(format!(
+            "{}: payload crc64 {actual:016x} != envelope {crc:016x}",
+            path.display(),
+        )));
+    }
+    Ok(payload)
+}
+
+/// Atomically persists `checkpoint` at `path` via [`FsStorage`]; see
+/// [`save_checkpoint_with`].
 ///
 /// # Errors
 ///
 /// [`CheckpointError::Io`] on any filesystem failure;
 /// [`CheckpointError::Parse`] if serialization itself fails.
 pub fn save_checkpoint(path: &Path, checkpoint: &SearchCheckpoint) -> Result<(), CheckpointError> {
+    save_checkpoint_with(&FsStorage, path, checkpoint)
+}
+
+/// Atomically persists `checkpoint` at `path` through `storage`: the
+/// payload JSON is wrapped in the checksummed envelope and handed to
+/// [`Storage::write_atomic`] (sibling temp file + rename), so a crash at
+/// any point leaves either the old checkpoint or the new one — never a
+/// torn *visible* file, and storage-level tearing of the contents is
+/// caught at load time by the checksum.
+///
+/// # Errors
+///
+/// [`CheckpointError::Io`] on any storage failure;
+/// [`CheckpointError::Parse`] if serialization itself fails.
+pub fn save_checkpoint_with(
+    storage: &dyn Storage,
+    path: &Path,
+    checkpoint: &SearchCheckpoint,
+) -> Result<(), CheckpointError> {
     let json = serde_json::to_string(checkpoint)
         .map_err(|e| CheckpointError::Parse(format!("serialize: {e}")))?;
-    let mut tmp_name = path
-        .file_name()
-        .map(|n| n.to_os_string())
-        .unwrap_or_else(|| "checkpoint".into());
-    tmp_name.push(".tmp");
-    let tmp = path.with_file_name(tmp_name);
-    fs::write(&tmp, json.as_bytes())
-        .map_err(|e| CheckpointError::Io(format!("write {}: {e}", tmp.display())))?;
-    fs::rename(&tmp, path).map_err(|e| {
-        CheckpointError::Io(format!(
-            "rename {} -> {}: {e}",
-            tmp.display(),
-            path.display()
-        ))
-    })?;
-    Ok(())
+    let bytes = encode_envelope(json.as_bytes());
+    storage
+        .write_atomic(path, &bytes)
+        .map_err(|e| CheckpointError::Io(format!("write {}: {e}", path.display())))
 }
 
 /// File path for generation `generation` of job `stem` under `dir`:
@@ -354,6 +506,23 @@ pub struct PruneReport {
 /// [`CheckpointError::Io`] if listing the directory or deleting a file
 /// fails; deletions already performed are not rolled back.
 pub fn prune(dir: &Path, keep_n: usize) -> Result<PruneReport, CheckpointError> {
+    prune_with(&FsStorage, dir, keep_n)
+}
+
+/// [`prune`] with removals routed through `storage` (fault injection in
+/// tests). Deletions run oldest-generation-first per stem, so a crash —
+/// or an injected failure — at any point during the sweep leaves the
+/// newest generations intact: there is no window where a job has zero
+/// loadable checkpoints on disk.
+///
+/// # Errors
+///
+/// As [`prune`].
+pub fn prune_with(
+    storage: &dyn Storage,
+    dir: &Path,
+    keep_n: usize,
+) -> Result<PruneReport, CheckpointError> {
     let keep_n = keep_n.max(1);
     let mut report = PruneReport::default();
     let entries = match fs::read_dir(dir) {
@@ -374,7 +543,8 @@ pub fn prune(dir: &Path, keep_n: usize) -> Result<PruneReport, CheckpointError> 
             continue;
         };
         if name.ends_with(".tmp") {
-            fs::remove_file(&path)
+            storage
+                .remove_file(&path)
                 .map_err(|e| CheckpointError::Io(format!("remove {}: {e}", path.display())))?;
             report.removed_tmp += 1;
             continue;
@@ -390,7 +560,8 @@ pub fn prune(dir: &Path, keep_n: usize) -> Result<PruneReport, CheckpointError> 
         gens.sort_by_key(|(g, _)| *g);
         let cut = gens.len().saturating_sub(keep_n);
         for (_, path) in gens.drain(..cut) {
-            fs::remove_file(&path)
+            storage
+                .remove_file(&path)
                 .map_err(|e| CheckpointError::Io(format!("remove {}: {e}", path.display())))?;
             report.removed_generations += 1;
         }
@@ -398,21 +569,42 @@ pub fn prune(dir: &Path, keep_n: usize) -> Result<PruneReport, CheckpointError> 
     Ok(report)
 }
 
-/// Loads and validates a checkpoint from `path`.
+/// Loads and validates a checkpoint from `path` via [`FsStorage`]; see
+/// [`load_checkpoint_with`].
 ///
-/// The schema major version is checked *before* the full parse, so a
-/// future-format file fails with [`CheckpointError::UnsupportedVersion`]
-/// rather than an opaque deserialization error.
+/// # Errors
+///
+/// As [`load_checkpoint_with`].
+pub fn load_checkpoint(path: &Path) -> Result<SearchCheckpoint, CheckpointError> {
+    load_checkpoint_with(&FsStorage, path)
+}
+
+/// Loads and validates a checkpoint from `path` through `storage`.
+///
+/// The checksummed envelope is verified first (legacy bare-payload files
+/// skip this), then the schema major version is checked *before* the full
+/// parse, so a future-format file fails with
+/// [`CheckpointError::UnsupportedVersion`] rather than an opaque
+/// deserialization error.
 ///
 /// # Errors
 ///
 /// [`CheckpointError::Io`] if the file cannot be read,
-/// [`CheckpointError::UnsupportedVersion`] for unknown majors,
-/// [`CheckpointError::Parse`] for anything that is not a checkpoint.
-pub fn load_checkpoint(path: &Path) -> Result<SearchCheckpoint, CheckpointError> {
-    let raw = fs::read_to_string(path)
+/// [`CheckpointError::Corrupt`] if the envelope checksum or length does
+/// not match the payload, [`CheckpointError::UnsupportedVersion`] for
+/// unknown majors, [`CheckpointError::Parse`] for anything that is not a
+/// checkpoint.
+pub fn load_checkpoint_with(
+    storage: &dyn Storage,
+    path: &Path,
+) -> Result<SearchCheckpoint, CheckpointError> {
+    let bytes = storage
+        .read(path)
         .map_err(|e| CheckpointError::Io(format!("read {}: {e}", path.display())))?;
-    match extract_schema_version(&raw) {
+    let payload = decode_envelope(&bytes, path)?;
+    let raw = std::str::from_utf8(payload)
+        .map_err(|_| CheckpointError::Parse(format!("{}: payload not UTF-8", path.display())))?;
+    match extract_schema_version(raw) {
         Some(version) => check_schema_version(&version)?,
         None => {
             return Err(CheckpointError::Parse(format!(
@@ -421,9 +613,156 @@ pub fn load_checkpoint(path: &Path) -> Result<SearchCheckpoint, CheckpointError>
             )))
         }
     }
-    let checkpoint: SearchCheckpoint = serde_json::from_str(&raw)
+    let checkpoint: SearchCheckpoint = serde_json::from_str(raw)
         .map_err(|e| CheckpointError::Parse(format!("{}: {e}", path.display())))?;
     Ok(checkpoint)
+}
+
+/// Moves `path` into the `quarantine/` subdirectory next to it via
+/// [`FsStorage`]; see [`quarantine_file_with`].
+///
+/// # Errors
+///
+/// As [`quarantine_file_with`].
+pub fn quarantine_file(path: &Path) -> Result<PathBuf, CheckpointError> {
+    quarantine_file_with(&FsStorage, path)
+}
+
+/// Moves a corrupt file into a `quarantine/` subdirectory beside it
+/// (creating the directory if needed) and returns the new path. Corrupt
+/// checkpoints are preserved, not deleted: the quarantined bytes are the
+/// evidence a postmortem needs to tell torn writes from bit rot from
+/// software bugs. `quarantine/` is invisible to [`latest_generation`] and
+/// [`prune`], which only consider regular files directly under the
+/// checkpoint directory.
+///
+/// # Errors
+///
+/// [`CheckpointError::Io`] if the directory cannot be created or the file
+/// cannot be moved.
+pub fn quarantine_file_with(
+    storage: &dyn Storage,
+    path: &Path,
+) -> Result<PathBuf, CheckpointError> {
+    let parent = path.parent().unwrap_or_else(|| Path::new("."));
+    let qdir = parent.join("quarantine");
+    storage
+        .create_dir_all(&qdir)
+        .map_err(|e| CheckpointError::Io(format!("create {}: {e}", qdir.display())))?;
+    let name = path.file_name().ok_or_else(|| {
+        CheckpointError::Io(format!("{}: no file name to quarantine", path.display()))
+    })?;
+    let dest = qdir.join(name);
+    storage.rename(path, &dest).map_err(|e| {
+        CheckpointError::Io(format!(
+            "quarantine {} -> {}: {e}",
+            path.display(),
+            dest.display()
+        ))
+    })?;
+    Ok(dest)
+}
+
+/// Outcome of a [`latest_valid_generation`] scan.
+#[derive(Debug, Clone, Default)]
+pub struct GenerationScan {
+    /// The newest generation that loaded and validated, if any:
+    /// `(generation, path, checkpoint)`.
+    pub valid: Option<(u64, PathBuf, SearchCheckpoint)>,
+    /// Generations that failed validation (corrupt, unparseable, wrong
+    /// schema, or wrong job) and were moved into `quarantine/`. Newest
+    /// first.
+    pub quarantined: Vec<PathBuf>,
+    /// Generations skipped because of a (possibly transient) read error.
+    /// Not quarantined — the bytes on disk may be fine.
+    pub skipped_io: Vec<PathBuf>,
+}
+
+/// Finds the newest checkpoint generation of `stem` under `dir` that
+/// loads and passes `validate`, via [`FsStorage`]; see
+/// [`latest_valid_generation_with`].
+///
+/// # Errors
+///
+/// As [`latest_valid_generation_with`].
+pub fn latest_valid_generation(
+    dir: &Path,
+    stem: &str,
+    validate: &dyn Fn(u64, &SearchCheckpoint) -> Result<(), CheckpointError>,
+) -> Result<GenerationScan, CheckpointError> {
+    latest_valid_generation_with(&FsStorage, dir, stem, validate)
+}
+
+/// The corruption-tolerant replacement for [`latest_generation`]: walks
+/// the generations of `stem` under `dir` newest-first until one loads and
+/// passes `validate(generation, &checkpoint)` (typically
+/// [`SearchCheckpoint::verify`] against the expected fingerprint and the
+/// generation's seed).
+///
+/// Generations that fail — corrupt envelope, unparseable payload,
+/// unsupported schema, or `validate` rejection — are moved into
+/// `quarantine/` ([`quarantine_file_with`]) and the walk continues to the
+/// next-older generation. Generations whose *read* fails are skipped but
+/// left in place (the error may be transient; destroying the newest
+/// checkpoint over a flaky read would be worse than resuming older). A
+/// missing directory, or no generation surviving the walk, yields
+/// `valid: None` — a fresh start, exactly like [`latest_generation`]
+/// returning `None`.
+///
+/// # Errors
+///
+/// [`CheckpointError::Io`] only if the directory exists but cannot be
+/// listed; per-generation failures are reported in the scan, not as
+/// errors.
+pub fn latest_valid_generation_with(
+    storage: &dyn Storage,
+    dir: &Path,
+    stem: &str,
+    validate: &dyn Fn(u64, &SearchCheckpoint) -> Result<(), CheckpointError>,
+) -> Result<GenerationScan, CheckpointError> {
+    let mut scan = GenerationScan::default();
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(scan),
+        Err(e) => return Err(CheckpointError::Io(format!("list {}: {e}", dir.display()))),
+    };
+    let mut gens: Vec<(u64, PathBuf)> = Vec::new();
+    for entry in entries {
+        let entry =
+            entry.map_err(|e| CheckpointError::Io(format!("list {}: {e}", dir.display())))?;
+        let path = entry.path();
+        if !entry.file_type().map(|t| t.is_file()).unwrap_or(false) {
+            continue;
+        }
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if let Some((s, generation)) = parse_generation(name) {
+            if s == stem {
+                gens.push((generation, path));
+            }
+        }
+    }
+    gens.sort_by_key(|(g, _)| std::cmp::Reverse(*g));
+    for (generation, path) in gens {
+        match load_checkpoint_with(storage, &path).and_then(|ckpt| {
+            validate(generation, &ckpt)?;
+            Ok(ckpt)
+        }) {
+            Ok(ckpt) => {
+                scan.valid = Some((generation, path, ckpt));
+                break;
+            }
+            Err(CheckpointError::Io(_)) => scan.skipped_io.push(path),
+            Err(_) => match quarantine_file_with(storage, &path) {
+                Ok(dest) => scan.quarantined.push(dest),
+                // Quarantine itself failed (disk trouble); leave the file
+                // and record it as skipped rather than aborting the walk.
+                Err(_) => scan.skipped_io.push(path),
+            },
+        }
+    }
+    Ok(scan)
 }
 
 #[cfg(test)]
@@ -604,16 +943,243 @@ mod tests {
         let back = load_checkpoint(&path).unwrap();
         assert_eq!(back, ckpt);
 
-        // A future-major file is refused cleanly, before parsing.
-        let future = std::fs::read_to_string(&path)
+        // A future-major file is refused cleanly, before parsing. Rewrite
+        // the payload *and* its envelope — this is a well-formed future
+        // file, not a corrupt one.
+        let raw = std::fs::read(&path).unwrap();
+        let payload = decode_envelope(&raw, &path).unwrap();
+        let future = std::str::from_utf8(payload)
             .unwrap()
             .replace("\"1.0\"", "\"2.0\"");
-        std::fs::write(&path, future).unwrap();
+        std::fs::write(&path, encode_envelope(future.as_bytes())).unwrap();
         assert!(matches!(
             load_checkpoint(&path),
             Err(CheckpointError::UnsupportedVersion { found }) if found == "2.0"
         ));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn crc64_matches_the_reference_vector() {
+        // CRC-64/XZ check value from the catalogue of parametrised CRCs.
+        assert_eq!(crc64(b"123456789"), 0x995D_C9BB_DF19_39FA);
+        assert_eq!(crc64(b""), 0);
+    }
+
+    #[test]
+    fn envelope_rejects_torn_and_bit_flipped_payloads() {
+        let payload = br#"{"schema_version":"1.0","graph_fingerprint":1}"#;
+        let bytes = encode_envelope(payload);
+        let path = Path::new("test.json");
+        assert_eq!(decode_envelope(&bytes, path).unwrap(), payload.as_slice());
+
+        // Torn: the payload lost its tail but the header survived.
+        let torn = &bytes[..bytes.len() - 5];
+        assert!(matches!(
+            decode_envelope(torn, path),
+            Err(CheckpointError::Corrupt(msg)) if msg.contains("torn")
+        ));
+
+        // Bit flip in the payload: length matches, CRC does not.
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x10;
+        assert!(matches!(
+            decode_envelope(&flipped, path),
+            Err(CheckpointError::Corrupt(msg)) if msg.contains("crc64")
+        ));
+
+        // A file without the magic is a legacy payload, returned whole.
+        assert_eq!(decode_envelope(payload, path).unwrap(), payload.as_slice());
+    }
+
+    #[test]
+    fn legacy_unchecksummed_checkpoints_still_load() {
+        if !serde_json_available() {
+            return;
+        }
+        let path = tmp_path("legacy.json");
+        let ckpt = SearchCheckpoint::new(0xbeef, 9);
+        // Pre-envelope writers stored the bare payload JSON.
+        let payload = serde_json::to_string(&ckpt).unwrap();
+        fs::write(&path, payload.as_bytes()).unwrap();
+        assert_eq!(load_checkpoint(&path).unwrap(), ckpt);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupting_the_saved_file_is_detected() {
+        if !serde_json_available() {
+            return;
+        }
+        let path = tmp_path("detect-corrupt.json");
+        let ckpt = SearchCheckpoint::new(0xc0de, 1);
+        save_checkpoint(&path, &ckpt).unwrap();
+        // Saved files carry the envelope and round-trip.
+        assert_eq!(load_checkpoint(&path).unwrap(), ckpt);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            load_checkpoint(&path),
+            Err(CheckpointError::Corrupt(_))
+        ));
+        // Truncation (a torn writeback) is detected too.
+        save_checkpoint(&path, &ckpt).unwrap();
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        assert!(matches!(
+            load_checkpoint(&path),
+            Err(CheckpointError::Corrupt(_))
+        ));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn latest_valid_generation_walks_past_corruption_and_quarantines() {
+        if !serde_json_available() {
+            return;
+        }
+        let dir = tmp_path("valid-gen-walk");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let accept_job = |_: u64, ckpt: &SearchCheckpoint| -> Result<(), CheckpointError> {
+            ckpt.verify(0xfeed, 5)
+        };
+
+        // Missing dir and empty dir are both a clean fresh start.
+        let empty =
+            latest_valid_generation(&tmp_path("valid-gen-none"), "job", &accept_job).unwrap();
+        assert!(empty.valid.is_none() && empty.quarantined.is_empty());
+
+        let ckpt = SearchCheckpoint::new(0xfeed, 5);
+        for g in 0..3u64 {
+            save_checkpoint(&generation_path(&dir, "job", g), &ckpt).unwrap();
+        }
+        // Corrupt the newest generation and tear the one below it.
+        let g2 = generation_path(&dir, "job", 2);
+        let mut bytes = fs::read(&g2).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        fs::write(&g2, &bytes).unwrap();
+        let g1 = generation_path(&dir, "job", 1);
+        let bytes = fs::read(&g1).unwrap();
+        fs::write(&g1, &bytes[..bytes.len() / 2]).unwrap();
+
+        let scan = latest_valid_generation(&dir, "job", &accept_job).unwrap();
+        let (generation, path, loaded) = scan.valid.expect("gen-0 survives");
+        assert_eq!(generation, 0);
+        assert_eq!(path, generation_path(&dir, "job", 0));
+        assert_eq!(loaded, ckpt);
+        // Both bad generations moved into quarantine/, newest first.
+        assert_eq!(
+            scan.quarantined,
+            vec![
+                dir.join("quarantine").join("job.gen-2.json"),
+                dir.join("quarantine").join("job.gen-1.json"),
+            ]
+        );
+        assert!(!g2.exists() && !g1.exists());
+        assert!(scan.skipped_io.is_empty());
+
+        // The wrong job is also walked past (and quarantined): a stray
+        // checkpoint must never be resumed into a different job.
+        let mut wrong = SearchCheckpoint::new(0xdead, 5);
+        wrong.incumbent = None;
+        save_checkpoint(&generation_path(&dir, "job", 3), &wrong).unwrap();
+        let scan = latest_valid_generation(&dir, "job", &accept_job).unwrap();
+        assert_eq!(scan.valid.as_ref().map(|(g, _, _)| *g), Some(0));
+        assert_eq!(scan.quarantined.len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A storage that fails every `remove_file` after the first `n`,
+    /// simulating a crash (SIGKILL) landing mid-prune.
+    #[derive(Debug)]
+    struct StopAfterN {
+        budget: std::sync::Mutex<usize>,
+    }
+
+    impl Storage for StopAfterN {
+        fn read(&self, path: &Path) -> std::io::Result<Vec<u8>> {
+            FsStorage.read(path)
+        }
+        fn write_atomic(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+            FsStorage.write_atomic(path, bytes)
+        }
+        fn remove_file(&self, path: &Path) -> std::io::Result<()> {
+            let mut budget = self.budget.lock().unwrap();
+            if *budget == 0 {
+                return Err(std::io::Error::other("killed mid-prune"));
+            }
+            *budget -= 1;
+            FsStorage.remove_file(path)
+        }
+        fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()> {
+            FsStorage.rename(from, to)
+        }
+        fn create_dir_all(&self, path: &Path) -> std::io::Result<()> {
+            FsStorage.create_dir_all(path)
+        }
+    }
+
+    #[test]
+    fn prune_interrupted_at_any_point_leaves_a_loadable_checkpoint() {
+        if !serde_json_available() {
+            return;
+        }
+        let ckpt = SearchCheckpoint::new(0xfade, 11);
+        let accept =
+            |_: u64, c: &SearchCheckpoint| -> Result<(), CheckpointError> { c.verify(0xfade, 11) };
+        // 6 generations, keep 2 => prune wants 4 removals. Kill it after
+        // every possible number of completed removals (0..=4) and check
+        // the survivors always include a loadable, *newest-possible*
+        // checkpoint.
+        for killed_after in 0..=4usize {
+            let dir = tmp_path(&format!("prune-race-{killed_after}"));
+            let _ = fs::remove_dir_all(&dir);
+            fs::create_dir_all(&dir).unwrap();
+            for g in 0..6u64 {
+                save_checkpoint(&generation_path(&dir, "job", g), &ckpt).unwrap();
+            }
+            let storage = StopAfterN {
+                budget: std::sync::Mutex::new(killed_after),
+            };
+            let result = prune_with(&storage, &dir, 2);
+            if killed_after < 4 {
+                assert!(result.is_err(), "prune should have been interrupted");
+            } else {
+                assert_eq!(result.unwrap().removed_generations, 4);
+            }
+            let scan = latest_valid_generation(&dir, "job", &accept).unwrap();
+            let (generation, path, _) = scan.valid.expect("a checkpoint must survive");
+            // Deletion is oldest-first, so the newest generation is
+            // untouched no matter where the kill landed.
+            assert_eq!(generation, 5);
+            assert_eq!(load_checkpoint(&path).unwrap(), ckpt);
+            assert!(scan.quarantined.is_empty());
+            fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn quarantine_moves_the_file_beside_its_directory() {
+        let dir = tmp_path("quarantine-move");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let victim = dir.join("job.gen-3.json");
+        fs::write(&victim, b"corrupt bytes").unwrap();
+        let dest = quarantine_file(&victim).unwrap();
+        assert_eq!(dest, dir.join("quarantine").join("job.gen-3.json"));
+        assert!(!victim.exists());
+        assert_eq!(fs::read(&dest).unwrap(), b"corrupt bytes");
+        // Quarantined files are invisible to the generation scan and to
+        // prune's sweep.
+        assert_eq!(latest_generation(&dir, "job").unwrap(), None);
+        assert_eq!(prune(&dir, 1).unwrap(), PruneReport::default());
+        assert!(dest.exists());
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

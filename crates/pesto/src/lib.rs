@@ -65,10 +65,13 @@ mod checkpoint;
 mod eval;
 mod pipeline;
 mod robust;
+mod storage;
 
 pub use checkpoint::{
-    generation_path, graph_fingerprint, latest_generation, load_checkpoint, prune, save_checkpoint,
-    CheckpointConfig, CheckpointError, CheckpointIncumbent, PruneReport, SearchCheckpoint,
+    generation_path, graph_fingerprint, latest_generation, latest_valid_generation,
+    latest_valid_generation_with, load_checkpoint, load_checkpoint_with, prune, prune_with,
+    quarantine_file, quarantine_file_with, save_checkpoint, save_checkpoint_with, CheckpointConfig,
+    CheckpointError, CheckpointIncumbent, GenerationScan, PruneReport, SearchCheckpoint,
     CHECKPOINT_SCHEMA_VERSION,
 };
 pub use eval::{
@@ -81,6 +84,7 @@ pub use robust::{
     replace_after_drift_observed, DriftReplaceOutcome, RepairOutcome, RobustnessConfig,
     RobustnessReport, ROBUSTNESS_SCHEMA_VERSION,
 };
+pub use storage::{ChaosPlan, ChaosStorage, FsStorage, Storage};
 
 /// Re-export: operation DAGs, clusters, and plans.
 pub mod graph {
